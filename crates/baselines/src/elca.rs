@@ -1,0 +1,146 @@
+//! Exclusive LCA (ELCA) computation, XRank semantics.
+//!
+//! A node `v` is an ELCA iff, after *excluding* every occurrence that lies
+//! inside a descendant which itself contains all keywords (a CA node), `v`
+//! still contains at least one occurrence of every keyword. "An ELCA set of
+//! nodes is a superset of the SLCA nodes" (paper §1).
+//!
+//! Algorithm: (1) aggregate keyword masks into all ancestors of all postings
+//! (the CA map); (2) every posting is then *attributed* to its lowest CA
+//! ancestor — occurrences below a CA never leak past it; (3) ELCA = CA nodes
+//! whose attributed (exclusive) mask is full.
+
+use gks_dewey::DeweyId;
+use gks_index::fasthash::{FastMap, FastSet};
+
+/// Computes the ELCA set from document-ordered posting lists (one per
+/// keyword). Returns nodes in document order. Empty when any list is empty
+/// (AND-semantics).
+pub fn elca(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
+    let n = lists.len();
+    if n == 0 || n > 64 || lists.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+
+    // 1. CA map: full masks for every ancestor of every posting.
+    let mut masks: FastMap<DeweyId, u64> = FastMap::default();
+    for (kw, list) in lists.iter().enumerate() {
+        let bit = 1u64 << kw;
+        for id in list {
+            let mut node = id.clone();
+            loop {
+                let m = masks.entry(node.clone()).or_insert(0);
+                if *m & bit != 0 {
+                    break;
+                }
+                *m |= bit;
+                match node.parent() {
+                    Some(p) => node = p,
+                    None => break,
+                }
+            }
+        }
+    }
+    let ca_set: FastSet<DeweyId> = masks
+        .iter()
+        .filter(|(_, m)| **m == full)
+        .map(|(d, _)| d.clone())
+        .collect();
+    if ca_set.is_empty() {
+        return Vec::new();
+    }
+
+    // 2. Attribute each posting to its lowest CA ancestor-or-self.
+    let mut excl: FastMap<DeweyId, u64> = FastMap::default();
+    for (kw, list) in lists.iter().enumerate() {
+        let bit = 1u64 << kw;
+        for id in list {
+            let mut node = Some(id.clone());
+            while let Some(v) = node {
+                if ca_set.contains(&v) {
+                    *excl.entry(v).or_insert(0) |= bit;
+                    break;
+                }
+                node = v.parent();
+            }
+        }
+    }
+
+    // 3. ELCA = CA nodes with a full exclusive mask.
+    let mut out: Vec<DeweyId> = excl
+        .into_iter()
+        .filter(|(_, m)| *m == full)
+        .map(|(d, _)| d)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slca::slca_ca_map;
+    use gks_dewey::DocId;
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    #[test]
+    fn elca_is_superset_of_slca() {
+        // x1 = [0] has its own {k0,k1} plus a nested x2 = [0,9] with both.
+        let lists = vec![
+            vec![d(&[0, 0]), d(&[0, 9, 0])],
+            vec![d(&[0, 1]), d(&[0, 9, 1])],
+        ];
+        let e = elca(&lists);
+        let s = slca_ca_map(&lists);
+        assert_eq!(s, vec![d(&[0, 9])]);
+        assert_eq!(e, vec![d(&[0]), d(&[0, 9])], "x1 has exclusive witnesses");
+        for v in &s {
+            assert!(e.contains(v), "ELCA ⊇ SLCA");
+        }
+    }
+
+    #[test]
+    fn ancestor_without_exclusive_witness_is_not_elca() {
+        // Root's only occurrences are inside the CA child [0].
+        let lists = vec![vec![d(&[0, 0])], vec![d(&[0, 1])]];
+        assert_eq!(elca(&lists), vec![d(&[0])]);
+    }
+
+    #[test]
+    fn occurrences_inside_non_ca_children_count_for_ancestor() {
+        // Root has k0 in child [0] and k1 in child [1]; neither child is CA,
+        // so the root is the single ELCA.
+        let lists = vec![vec![d(&[0, 0])], vec![d(&[1, 0])]];
+        assert_eq!(elca(&lists), vec![d(&[])]);
+    }
+
+    #[test]
+    fn and_semantics() {
+        assert!(elca(&[vec![d(&[0])], vec![]]).is_empty());
+        assert!(elca(&[]).is_empty());
+    }
+
+    #[test]
+    fn partial_mask_leaks_past_non_ca_node() {
+        // [0] contains k0 only (not CA); its occurrence must still witness
+        // the root together with k1 elsewhere.
+        let lists = vec![vec![d(&[0, 0, 0])], vec![d(&[1])]];
+        assert_eq!(elca(&lists), vec![d(&[])]);
+    }
+
+    #[test]
+    fn chain_of_cas_attribution() {
+        // CA chain: root ⊃ [0] ⊃ [0,0], each with both keywords directly.
+        let lists = vec![
+            vec![d(&[0, 0, 0]), d(&[0, 1]), d(&[1])],
+            vec![d(&[0, 0, 1]), d(&[0, 2]), d(&[2])],
+        ];
+        // [0,0] is CA+ELCA; [0] has exclusive {k0@[0,1], k1@[0,2]} → ELCA;
+        // root has exclusive {k0@[1], k1@[2]} → ELCA.
+        assert_eq!(elca(&lists), vec![d(&[]), d(&[0]), d(&[0, 0])]);
+    }
+}

@@ -1,0 +1,132 @@
+//! The naive exponential route to GKS semantics (paper §4, Lemma 3).
+//!
+//! "A naive approach would be to create all the keyword subsets (of size
+//! ≥ s) for query Q, and for each of these keyword subsets, identify the LCA
+//! nodes. … this approach results in an exponential number of sub-queries."
+//! This module implements exactly that strawman so the benchmark harness can
+//! demonstrate the blow-up against GKS's single-pass method.
+
+use gks_dewey::DeweyId;
+
+use crate::slca::{remove_ancestors, slca_ca_map};
+
+/// Result of a naive run, including the cost accounting the Lemma 3
+/// experiment reports.
+#[derive(Debug, Clone)]
+pub struct NaiveOutcome {
+    /// Union of the per-subset SLCA sets, ancestors removed, document order.
+    pub nodes: Vec<DeweyId>,
+    /// Number of sub-queries executed: Σ_{i=s}^{n} (n choose i).
+    pub subqueries: u64,
+}
+
+/// Runs SLCA once per keyword subset of size ≥ `s` and unions the results.
+///
+/// `lists` are the per-keyword posting lists. Subsets containing a keyword
+/// with an empty list produce NULL under AND-semantics and are skipped by
+/// SLCA itself; they are still *counted* — the naive approach cannot know in
+/// advance.
+pub fn naive_gks(lists: &[Vec<DeweyId>], s: usize) -> NaiveOutcome {
+    let n = lists.len();
+    let s = s.clamp(1, n.max(1));
+    let mut nodes: Vec<DeweyId> = Vec::new();
+    let mut subqueries = 0u64;
+    if n == 0 || n > 24 {
+        // 2^24 subsets is already far past the point the experiment makes;
+        // refuse quietly rather than hang.
+        return NaiveOutcome { nodes, subqueries };
+    }
+    let mut subset_lists: Vec<Vec<DeweyId>> = Vec::with_capacity(n);
+    for mask in 1u32..(1u32 << n) {
+        if (mask.count_ones() as usize) < s {
+            continue;
+        }
+        subqueries += 1;
+        subset_lists.clear();
+        for (i, list) in lists.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                subset_lists.push(list.clone());
+            }
+        }
+        nodes.extend(slca_ca_map(&subset_lists));
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    NaiveOutcome { nodes: remove_ancestors(nodes), subqueries }
+}
+
+/// The number of sub-queries the naive approach needs: Σ_{i=s}^{n} C(n, i).
+pub fn subquery_count(n: usize, s: usize) -> u64 {
+    (s..=n).map(|i| binomial(n, i)).sum()
+}
+
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u64 / (i + 1) as u64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_dewey::DocId;
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    #[test]
+    fn subquery_counts_match_lemma3() {
+        // Lemma 3: for s = n/2 the count exceeds 2^(n/2).
+        assert_eq!(subquery_count(4, 1), 15); // 2^4 - 1
+        assert_eq!(subquery_count(4, 2), 11);
+        assert_eq!(subquery_count(8, 4), 163);
+        for n in [4usize, 8, 12, 16] {
+            let s = n / 2;
+            assert!(subquery_count(n, s) as f64 >= 2f64.powi((n / 2) as i32));
+        }
+    }
+
+    #[test]
+    fn naive_counts_executed_subqueries() {
+        let lists = vec![vec![d(&[0])], vec![d(&[1])], vec![d(&[2])]];
+        let out = naive_gks(&lists, 2);
+        assert_eq!(out.subqueries, subquery_count(3, 2));
+    }
+
+    #[test]
+    fn naive_finds_partial_match_nodes() {
+        // k0,k1 live under [0]; k2 lives under [5] alone. SLCA of the full
+        // query is the root; the subset {k0,k1} exposes [0].
+        let lists = vec![
+            vec![d(&[0, 0])],
+            vec![d(&[0, 1])],
+            vec![d(&[5, 0])],
+        ];
+        let out = naive_gks(&lists, 2);
+        assert!(out.nodes.contains(&d(&[0])), "{:?}", out.nodes);
+    }
+
+    #[test]
+    fn naive_with_s_one_includes_single_keyword_nodes() {
+        let lists = vec![vec![d(&[0, 0])], vec![d(&[1, 0])]];
+        let out = naive_gks(&lists, 1);
+        assert!(out.nodes.contains(&d(&[0, 0])));
+        assert!(out.nodes.contains(&d(&[1, 0])));
+        assert_eq!(out.subqueries, 3);
+    }
+
+    #[test]
+    fn oversized_query_is_refused() {
+        let lists: Vec<Vec<DeweyId>> = (0..25).map(|i| vec![d(&[i])]).collect();
+        let out = naive_gks(&lists, 1);
+        assert_eq!(out.subqueries, 0);
+        assert!(out.nodes.is_empty());
+    }
+}

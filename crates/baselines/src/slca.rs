@@ -1,0 +1,228 @@
+//! Smallest LCA (SLCA) computation.
+//!
+//! "An SLCA node contains all the query keywords in its sub-tree and there is
+//! no node in its sub-tree which contains all the keywords" (paper §1).
+//! AND-semantics: an empty posting list for any keyword makes the result
+//! NULL — exactly the failure mode GKS is designed to escape.
+//!
+//! Two independent algorithms are provided and cross-checked in tests:
+//!
+//! * [`slca_ca_map`] — aggregate every posting's keyword bit into all of its
+//!   ancestors (O(Σ|Si|·d) hash updates), take the nodes with a full mask
+//!   (the *common ancestors*, CA), and keep those with no CA descendant.
+//! * [`slca_indexed_lookup`] — the Indexed Lookup Eager idea of Xu &
+//!   Papakonstantinou: for each occurrence in the shortest list, the deepest
+//!   common ancestor with each other list is reached through the closest
+//!   (predecessor/successor) occurrence; the SLCA candidate is the
+//!   shallowest of those per-list LCAs; finally remove ancestors.
+
+use gks_dewey::DeweyId;
+use gks_index::fasthash::FastMap;
+
+/// SLCA via the CA-map method. `lists` are document-ordered posting lists,
+/// one per keyword. Returns SLCA nodes in document order.
+pub fn slca_ca_map(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
+    let Some(full) = full_mask(lists.len()) else { return Vec::new() };
+    if lists.iter().any(Vec::is_empty) {
+        return Vec::new(); // AND-semantics
+    }
+    let mut masks: FastMap<DeweyId, u64> = FastMap::default();
+    for (kw, list) in lists.iter().enumerate() {
+        let bit = 1u64 << kw;
+        for id in list {
+            let mut node = id.clone();
+            loop {
+                let m = masks.entry(node.clone()).or_insert(0);
+                if *m & bit != 0 {
+                    break; // this ancestor chain already has the bit
+                }
+                *m |= bit;
+                match node.parent() {
+                    Some(p) => node = p,
+                    None => break,
+                }
+            }
+        }
+    }
+    let mut cas: Vec<DeweyId> = masks
+        .into_iter()
+        .filter(|(_, m)| *m == full)
+        .map(|(d, _)| d)
+        .collect();
+    cas.sort_unstable();
+    remove_ancestors(cas)
+}
+
+/// SLCA via Indexed Lookup Eager. Same contract as [`slca_ca_map`].
+pub fn slca_indexed_lookup(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
+    if lists.is_empty() || lists.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    if lists.len() == 1 {
+        // Every occurrence is its own SLCA candidate; keep the deepest ones.
+        return remove_ancestors({
+            let mut v = lists[0].clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        });
+    }
+    let shortest = lists
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, l)| l.len())
+        .map(|(i, _)| i)
+        .expect("non-empty lists");
+
+    let mut candidates: Vec<DeweyId> = Vec::new();
+    'outer: for u in &lists[shortest] {
+        // The deepest ancestor of u containing an element of every list is
+        // the shallowest of the per-list deepest common ancestors.
+        let mut best: Option<DeweyId> = None; // shallowest so far
+        for (i, list) in lists.iter().enumerate() {
+            if i == shortest {
+                continue;
+            }
+            let Some(a) = deepest_lca_with_list(u, list) else { continue 'outer };
+            best = Some(match best {
+                None => a,
+                Some(b) if a.depth() < b.depth() => a,
+                Some(b) => b,
+            });
+        }
+        if let Some(c) = best {
+            candidates.push(c);
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    remove_ancestors(candidates)
+}
+
+/// The deepest ancestor of `u` whose subtree contains an element of `list`:
+/// reached through u's closest neighbours in the sorted list.
+fn deepest_lca_with_list(u: &DeweyId, list: &[DeweyId]) -> Option<DeweyId> {
+    let pos = list.partition_point(|x| x < u);
+    let mut best: Option<DeweyId> = None;
+    for neighbour in [pos.checked_sub(1).map(|p| &list[p]), list.get(pos)]
+        .into_iter()
+        .flatten()
+    {
+        if let Some(lca) = u.common_prefix(neighbour) {
+            best = Some(match best {
+                None => lca,
+                Some(b) if lca.depth() > b.depth() => lca,
+                Some(b) => b,
+            });
+        }
+    }
+    best
+}
+
+/// Keeps only nodes with no descendant in the set. `nodes` must be sorted.
+pub(crate) fn remove_ancestors(nodes: Vec<DeweyId>) -> Vec<DeweyId> {
+    let mut out: Vec<DeweyId> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        // In sorted order a descendant follows its ancestor immediately
+        // (possibly after other descendants); compare with the previous kept
+        // node is not enough — compare with the NEXT element instead, so
+        // walk backwards: drop previous kept nodes that contain this one.
+        while let Some(last) = out.last() {
+            if last.is_ancestor_of(&node) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(node);
+    }
+    out
+}
+
+fn full_mask(n: usize) -> Option<u64> {
+    match n {
+        0 => None,
+        64 => Some(u64::MAX),
+        n if n > 64 => None,
+        n => Some((1u64 << n) - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_dewey::DocId;
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    fn both(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
+        let a = slca_ca_map(lists);
+        let b = slca_indexed_lookup(lists);
+        assert_eq!(a, b, "the two SLCA algorithms must agree");
+        a
+    }
+
+    #[test]
+    fn basic_slca() {
+        // Keywords under a common parent [0]; root also contains both.
+        let lists = vec![vec![d(&[0, 0]), d(&[1, 0])], vec![d(&[0, 1])]];
+        assert_eq!(both(&lists), vec![d(&[0])]);
+    }
+
+    #[test]
+    fn nested_slca_keeps_deepest() {
+        // [0] and [0,2] both contain {k0, k1}; SLCA is the deeper [0,2].
+        let lists = vec![
+            vec![d(&[0, 1]), d(&[0, 2, 0])],
+            vec![d(&[0, 2, 1])],
+        ];
+        assert_eq!(both(&lists), vec![d(&[0, 2])]);
+    }
+
+    #[test]
+    fn multiple_independent_slcas() {
+        let lists = vec![
+            vec![d(&[0, 0]), d(&[5, 0])],
+            vec![d(&[0, 1]), d(&[5, 1])],
+        ];
+        assert_eq!(both(&lists), vec![d(&[0]), d(&[5])]);
+    }
+
+    #[test]
+    fn and_semantics_null_on_missing_keyword() {
+        let lists = vec![vec![d(&[0])], vec![]];
+        assert!(both(&lists).is_empty());
+        assert!(both(&[]).is_empty());
+    }
+
+    #[test]
+    fn cross_document_occurrences() {
+        let lists = vec![
+            vec![DeweyId::new(DocId(0), vec![0]), DeweyId::new(DocId(1), vec![0])],
+            vec![DeweyId::new(DocId(1), vec![1])],
+        ];
+        // Only document 1 contains both keywords.
+        assert_eq!(both(&lists), vec![DeweyId::root(DocId(1))]);
+    }
+
+    #[test]
+    fn same_node_for_all_keywords() {
+        let lists = vec![vec![d(&[0, 3])], vec![d(&[0, 3])]];
+        assert_eq!(both(&lists), vec![d(&[0, 3])]);
+    }
+
+    #[test]
+    fn single_keyword_slca_is_each_deepest_occurrence() {
+        let lists = vec![vec![d(&[0]), d(&[0, 1]), d(&[2])]];
+        // [0] is an ancestor of [0,1] — removed.
+        assert_eq!(both(&lists), vec![d(&[0, 1]), d(&[2])]);
+    }
+
+    #[test]
+    fn remove_ancestors_chain() {
+        let v = vec![d(&[]), d(&[0]), d(&[0, 0]), d(&[1])];
+        assert_eq!(remove_ancestors(v), vec![d(&[0, 0]), d(&[1])]);
+    }
+}

@@ -1,0 +1,101 @@
+//! XSEarch-style TF-IDF scoring (Cohen et al., VLDB 2003) — the IR-flavoured
+//! ranking baseline of the paper's §3 ("XSEarch computes the node rank based
+//! on TF-IDF").
+//!
+//! Posting lists are node-deduplicated (a node contains a term or it does
+//! not), so term frequency is binary and the score of a result node reduces
+//! to the summed inverse document frequency of the query terms it matches:
+//! `score(v) = Σ_{matched terms t} ln(1 + N / df(t))` with `N` the corpus
+//! node count and `df(t)` the posting-list length. Rare terms dominate —
+//! the exact opposite philosophy of GKS's structure-driven potential flow,
+//! which is what the ablation experiment contrasts.
+
+use gks_core::query::Keyword;
+use gks_core::search::{Hit, Response};
+use gks_index::GksIndex;
+
+/// Inverse document frequency of one term within the index.
+pub fn idf(index: &GksIndex, term: &str) -> f64 {
+    let n = index.stats().total_nodes.max(1) as f64;
+    let df = index.postings(term).len().max(1) as f64;
+    (1.0 + n / df).ln()
+}
+
+/// TF-IDF score of one hit: summed idf of the matched keywords' terms.
+pub fn score_hit(index: &GksIndex, hit: &Hit, keywords: &[Keyword]) -> f64 {
+    keywords
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| hit.keyword_mask & (1 << *i) != 0)
+        .flat_map(|(_, k)| k.terms())
+        .map(|t| idf(index, t))
+        .sum()
+}
+
+/// Scores every hit of a response (same order as `response.hits()`).
+pub fn score_response(index: &GksIndex, response: &Response) -> Vec<f64> {
+    response
+        .hits()
+        .iter()
+        .map(|h| score_hit(index, h, response.keywords()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_core::query::Query;
+    use gks_core::search::{search, SearchOptions};
+    use gks_index::{Corpus, IndexOptions};
+
+    fn index_of(xml: &str) -> GksIndex {
+        let corpus = Corpus::from_named_strs([("t", xml)]).unwrap();
+        GksIndex::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let ix = index_of(
+            "<r><a>common rare</a><b>common</b><c>common</c><d>common</d></r>",
+        );
+        assert!(idf(&ix, "rare") > idf(&ix, "common"));
+        assert!(idf(&ix, "absent") >= idf(&ix, "rare"), "df floor of 1");
+    }
+
+    #[test]
+    fn hits_matching_rarer_keywords_score_higher() {
+        // Distinct leaf labels keep the tree entity-free, so the hits stay
+        // at <x> (common+rare) and <y> (common only).
+        let ix = index_of(
+            "<r><x><w1>common</w1><w2>rare</w2></x><y><w3>common</w3></y></r>",
+        );
+        let q = Query::parse("common rare").unwrap();
+        let r = search(&ix, &q, SearchOptions::with_s(1)).unwrap();
+        let scores = score_response(&ix, &r);
+        let both = r
+            .hits()
+            .iter()
+            .position(|h| h.keyword_count == 2)
+            .expect("a two-keyword hit");
+        let common_only = r
+            .hits()
+            .iter()
+            .position(|h| h.matched_keywords(r.keywords()) == vec!["common"])
+            .expect("a common-only hit");
+        assert!(scores[both] > scores[common_only]);
+        // The gap is idf(rare), which exceeds idf(common) — rare terms
+        // dominate the scheme.
+        let gap = scores[both] - scores[common_only];
+        assert!(gap > scores[common_only], "gap {gap} vs {}", scores[common_only]);
+    }
+
+    #[test]
+    fn unmatched_hits_score_zero() {
+        let ix = index_of("<r><w>alpha</w></r>");
+        let q = Query::parse("alpha").unwrap();
+        let r = search(&ix, &q, SearchOptions::with_s(1)).unwrap();
+        let mut hit = r.hits()[0].clone();
+        hit.keyword_mask = 0;
+        assert_eq!(score_hit(&ix, &hit, r.keywords()), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: GKS vs the LCA-family baselines (the Lemma 3
+//! comparison, plus SLCA algorithm head-to-head).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gks_baselines::{naive::naive_gks, query_posting_lists, slca, slca_stack};
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_core::search::SearchOptions;
+use gks_datagen::dblp;
+use gks_index::{Corpus, IndexOptions};
+
+fn setup(n_articles: usize) -> (Engine, Vec<String>) {
+    let out = dblp::generate(&dblp::Config { articles: n_articles, ..Default::default() }, 42);
+    let corpus = Corpus::from_named_strs([("dblp", out.xml)]).unwrap();
+    let engine = Engine::build(&corpus, IndexOptions::default()).unwrap();
+    let mut authors: Vec<String> = Vec::new();
+    for c in &out.clusters {
+        for a in c {
+            if !authors.contains(a) {
+                authors.push(a.clone());
+            }
+        }
+    }
+    (engine, authors)
+}
+
+/// GKS single pass vs naive subset enumeration at s = n/2 (Lemma 3).
+fn bench_gks_vs_naive(c: &mut Criterion) {
+    let (engine, authors) = setup(800);
+    let mut group = c.benchmark_group("gks_vs_naive");
+    for n in [4usize, 8] {
+        let s = n / 2;
+        let query = Query::from_keywords(authors[..n].to_vec()).unwrap();
+        let lists = query_posting_lists(engine.index(), &query);
+        group.bench_with_input(BenchmarkId::new("gks", n), &query, |b, q| {
+            b.iter(|| engine.search(q, SearchOptions::with_s(s)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &lists, |b, lists| {
+            b.iter(|| naive_gks(lists, s));
+        });
+    }
+    group.finish();
+}
+
+/// The two SLCA implementations head to head.
+fn bench_slca_algorithms(c: &mut Criterion) {
+    let (engine, authors) = setup(2000);
+    let query = Query::from_keywords(authors[..3].to_vec()).unwrap();
+    let lists = query_posting_lists(engine.index(), &query);
+    let mut group = c.benchmark_group("slca");
+    group.bench_function("ca_map", |b| b.iter(|| slca::slca_ca_map(&lists)));
+    group.bench_function("indexed_lookup", |b| b.iter(|| slca::slca_indexed_lookup(&lists)));
+    group.bench_function("stack", |b| b.iter(|| slca_stack::slca_stack(&lists)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gks_vs_naive, bench_slca_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for index construction (Table 4 axis):
+//! build throughput per dataset shape, sequential vs parallel, and the
+//! persistence round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gks_datagen::Dataset;
+use gks_index::{Corpus, GksIndex, IndexOptions};
+
+/// Build throughput over the three structurally extreme datasets: flat-wide
+/// (DBLP), attribute-heavy (Mondial), and deep (TreeBank).
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    for (ds, scale) in
+        [(Dataset::Dblp, 2000usize), (Dataset::Mondial, 60), (Dataset::TreeBank, 200)]
+    {
+        let xml = ds.generate(scale, 42);
+        let corpus = Corpus::from_named_strs([(ds.name(), xml)]).unwrap();
+        group.throughput(Throughput::Bytes(corpus.total_bytes() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ds.name()), &corpus, |b, corpus| {
+            b.iter(|| GksIndex::build(corpus, IndexOptions::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Sequential vs parallel build over a multi-document corpus.
+fn bench_parallel_build(c: &mut Criterion) {
+    let docs: Vec<(String, String)> = (0..8)
+        .map(|i| (format!("dblp{i}"), Dataset::Dblp.generate(500, i as u64)))
+        .collect();
+    let corpus = Corpus::from_named_strs(docs).unwrap();
+    let mut group = c.benchmark_group("parallel_build");
+    group.throughput(Throughput::Bytes(corpus.total_bytes() as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| GksIndex::build_parallel(&corpus, IndexOptions::default(), w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Persistence: serialize and reload (the "onetime activity" of §2.4).
+fn bench_persist(c: &mut Criterion) {
+    let xml = Dataset::Dblp.generate(2000, 42);
+    let corpus = Corpus::from_named_strs([("dblp", xml)]).unwrap();
+    let index = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+    let bytes = index.to_bytes();
+    let mut group = c.benchmark_group("persist");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("to_bytes", |b| b.iter(|| index.to_bytes()));
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| GksIndex::from_bytes(bytes.clone()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_parallel_build, bench_persist);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Substrate micro-benchmarks and design-choice ablations:
+//! the FxHash-style hasher vs std's SipHash on Dewey-keyed maps (DESIGN.md
+//! justifies the custom hasher), Porter stemming throughput, and the
+//! delta-prefix Dewey codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gks_dewey::{codec, DeweyId, DocId};
+use gks_index::fasthash::FastMap;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn sample_ids(n: usize) -> Vec<DeweyId> {
+    (0..n)
+        .map(|i| {
+            DeweyId::new(
+                DocId((i % 4) as u32),
+                vec![(i % 7) as u32, (i % 13) as u32, (i % 1000) as u32, (i % 3) as u32],
+            )
+        })
+        .collect()
+}
+
+/// Ablation: FxHash vs SipHash for the node table's access pattern.
+fn bench_hashers(c: &mut Criterion) {
+    let ids = sample_ids(20_000);
+    let mut group = c.benchmark_group("hasher_ablation");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("fxhash_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: FastMap<DeweyId, u32> = FastMap::default();
+            for (i, id) in ids.iter().enumerate() {
+                m.insert(id.clone(), i as u32);
+            }
+            let mut acc = 0u64;
+            for id in &ids {
+                acc += u64::from(*m.get(id).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("siphash_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: HashMap<DeweyId, u32> = HashMap::new();
+            for (i, id) in ids.iter().enumerate() {
+                m.insert(id.clone(), i as u32);
+            }
+            let mut acc = 0u64;
+            for id in &ids {
+                acc += u64::from(*m.get(id).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Porter stemmer throughput over a realistic word mix.
+fn bench_stemmer(c: &mut Criterion) {
+    let words: Vec<String> = gks_datagen::pools::TITLE_WORDS
+        .iter()
+        .cycle()
+        .take(10_000)
+        .map(|w| format!("{w}ing"))
+        .collect();
+    let mut group = c.benchmark_group("text");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("porter_stem", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &words {
+                total += gks_text::stem(w).len();
+            }
+            black_box(total)
+        })
+    });
+    let prose = words.join(" ");
+    group.throughput(Throughput::Bytes(prose.len() as u64));
+    group.bench_function("analyze", |b| {
+        let analyzer = gks_text::Analyzer::default();
+        b.iter(|| black_box(analyzer.analyze(&prose).len()))
+    });
+    group.finish();
+}
+
+/// Dewey codec throughput (the persistence hot path).
+fn bench_codec(c: &mut Criterion) {
+    let mut ids = sample_ids(20_000);
+    ids.sort();
+    ids.dedup();
+    let mut encoded = bytes::BytesMut::new();
+    codec::encode_sorted_run(&ids, &mut encoded);
+    let encoded = encoded.freeze();
+    let mut group = c.benchmark_group("dewey_codec");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("encode_sorted_run", |b| {
+        b.iter(|| {
+            let mut out = bytes::BytesMut::with_capacity(encoded.len());
+            codec::encode_sorted_run(&ids, &mut out);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("decode_sorted_run", |b| {
+        b.iter(|| {
+            let mut slice = encoded.clone();
+            black_box(codec::decode_sorted_run(&mut slice).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashers, bench_stemmer, bench_codec);
+criterion_main!(benches);

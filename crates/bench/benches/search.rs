@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for GKS search latency: the Figure 8/9/10
+//! axes (|SL|, n, corpus scale) at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_core::search::SearchOptions;
+use gks_datagen::{bio, nasa};
+use gks_index::{Corpus, IndexOptions};
+
+fn nasa_engine(scale: usize) -> (Engine, Vec<String>) {
+    let out = nasa::generate(&nasa::Config { datasets: scale }, 42);
+    let corpus = Corpus::from_named_strs([("nasa", out.xml)]).unwrap();
+    (Engine::build(&corpus, IndexOptions::default()).unwrap(), out.last_names)
+}
+
+fn distinct(names: &[String], n: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for name in names {
+        if !out.contains(name) {
+            out.push(name.clone());
+            if out.len() == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// RT vs number of keywords (Figure 9 axis).
+fn bench_rt_vs_n(c: &mut Criterion) {
+    let (engine, names) = nasa_engine(1200);
+    let mut group = c.benchmark_group("rt_vs_n");
+    for n in [2usize, 4, 8, 16] {
+        let query = Query::from_keywords(distinct(&names, n)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
+            b.iter(|| engine.search(q, SearchOptions::with_s(1)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// RT vs corpus scale (Figure 10 axis).
+fn bench_rt_vs_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rt_vs_scale");
+    for factor in [1usize, 2, 3] {
+        let out = bio::generate_swissprot(&bio::SwissProtConfig { entries: 600 }, 7);
+        let base = Corpus::from_named_strs([("sp", out.xml)]).unwrap();
+        let corpus = base.replicate(factor);
+        let engine = Engine::build(&corpus, IndexOptions::default()).unwrap();
+        let query = Query::from_keywords(distinct(&out.authors, 8)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &query, |b, q| {
+            b.iter(|| engine.search(q, SearchOptions::with_s(1)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// RT vs threshold s (ablation: candidate volume shrinks as s grows).
+fn bench_rt_vs_s(c: &mut Criterion) {
+    let (engine, names) = nasa_engine(1200);
+    let query = Query::from_keywords(distinct(&names, 8)).unwrap();
+    let mut group = c.benchmark_group("rt_vs_s");
+    for s in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| engine.search(&query, SearchOptions::with_s(s)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rt_vs_n, bench_rt_vs_scale, bench_rt_vs_s);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Simulated crowd assessment of GKS vs SLCA responses (§7.5 substitution).
+//!
+//! The paper asked 40 users to rate each query's two responses on a 1–4
+//! scale (1 = "GKS very useful" … 4 = "SLCA very useful"). That study cannot
+//! be re-run here, so a deterministic *assessor model* scores the measurable
+//! proxies the users plausibly reacted to:
+//!
+//! * SLCA returned NULL or only a document root → the GKS ranked list is the
+//!   only useful answer;
+//! * GKS's rank score (§7.3) — whether the most complete matches are on top;
+//! * response volume — an empty GKS response cannot be useful either.
+//!
+//! Per-user noise (seeded) spreads the scores into a 1–4 histogram the way
+//! human panels do. The *shape* to reproduce is the paper's: ~90% of
+//! (user, query) pairs prefer GKS.
+
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_core::search::SearchOptions;
+use gks_dewey::DeweyId;
+use rand::Rng as _;
+use rand::SeedableRng;
+
+use crate::rankscore::rank_score;
+
+/// Ratings histogram for one query: `counts[r-1]` users gave rating `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[0]` = rating 1 ("GKS very useful") … `counts[3]` = rating 4.
+    pub counts: [u32; 4],
+}
+
+impl Histogram {
+    /// Users preferring GKS (ratings 1–2).
+    pub fn gks_better(&self) -> u32 {
+        self.counts[0] + self.counts[1]
+    }
+
+    /// Total users.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Assesses one query with `users` simulated assessors.
+pub fn assess(
+    engine: &Engine,
+    query: &Query,
+    slca: &[DeweyId],
+    users: u32,
+    seed: u64,
+) -> Histogram {
+    let response = engine.search(query, SearchOptions::with_s(1)).expect("search");
+
+    // Objective quality signals.
+    let slca_useless = slca.is_empty() || slca.iter().all(|v| v.depth() == 0);
+    let gks_nonempty = !response.hits().is_empty();
+    let gks_well_ranked = rank_score(&response) >= 0.9;
+
+    // Base preference for GKS in [0, 3]: 3 = overwhelming.
+    let base: f64 = match (gks_nonempty, slca_useless) {
+        (true, true) => 2.5,   // GKS answers, SLCA has nothing → near-universal 1s/2s
+        (true, false) => 1.35, // both answer; GKS adds partial matches, SLCA is focused
+        (false, true) => 1.0,  // neither is useful; coin flips
+        (false, false) => 0.4, // SLCA answers, GKS empty (cannot happen: RQ ⊇ SLCA region)
+    } + if gks_well_ranked { 0.3 } else { 0.0 };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut counts = [0u32; 4];
+    for _ in 0..users {
+        // Higher preference → lower rating. Noise models disagreement.
+        let noisy = base + rng.gen_range(-0.9..0.9);
+        let rating = if noisy >= 2.2 {
+            1
+        } else if noisy >= 1.2 {
+            2
+        } else if noisy >= 0.5 {
+            3
+        } else {
+            4
+        };
+        counts[rating - 1] += 1;
+    }
+    Histogram { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_index::{Corpus, IndexOptions};
+
+    fn engine() -> Engine {
+        let xml = "<r><a><x>alpha</x><y>beta</y></a><b><x>alpha</x></b></r>";
+        let corpus = Corpus::from_named_strs([("t", xml)]).unwrap();
+        Engine::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn useless_slca_yields_strong_gks_preference() {
+        let e = engine();
+        let q = Query::parse("alpha beta").unwrap();
+        let h = assess(&e, &q, &[], 40, 1);
+        assert_eq!(h.total(), 40);
+        assert!(h.gks_better() >= 35, "{h:?}");
+    }
+
+    #[test]
+    fn meaningful_slca_softens_preference() {
+        let e = engine();
+        let q = Query::parse("alpha beta").unwrap();
+        let deep_slca = vec![DeweyId::new(gks_dewey::DocId(0), vec![0])];
+        let with = assess(&e, &q, &deep_slca, 40, 1);
+        let without = assess(&e, &q, &[], 40, 1);
+        assert!(with.gks_better() <= without.gks_better(), "{with:?} vs {without:?}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let e = engine();
+        let q = Query::parse("alpha").unwrap();
+        assert_eq!(assess(&e, &q, &[], 40, 7), assess(&e, &q, &[], 40, 7));
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p gks-bench --bin experiments -- all
+//! cargo run --release -p gks-bench --bin experiments -- table7 table8
+//! cargo run --release -p gks-bench --bin experiments -- --list
+//! ```
+
+use gks_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [--list] <id>... | all");
+        eprintln!("available: {}", experiments::ALL.join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match experiments::run(id) {
+            Some(output) => println!("{output}"),
+            None => {
+                eprintln!("unknown experiment {id:?}; available: {}", experiments::ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

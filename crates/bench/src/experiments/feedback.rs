@@ -1,0 +1,68 @@
+//! §7.5: the 40-assessor GKS-vs-SLCA usefulness study, simulated (see
+//! [`crate::assessor`] and DESIGN.md's substitution table).
+
+use gks_baselines::{query_posting_lists, slca::slca_ca_map};
+
+use crate::assessor::assess;
+use crate::table::TextTable;
+use crate::workloads::table6_workloads;
+
+/// Number of simulated assessors, as in the paper.
+pub const USERS: u32 = 40;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut t = TextTable::new(&["Query", "1", "2", "3", "4"]);
+    let mut better = 0u32;
+    let mut total = 0u32;
+    for w in table6_workloads(2016) {
+        // The paper's panel rated the 12 QS/QD/QM queries.
+        if w.name == "InterPro" {
+            continue;
+        }
+        for (qi, q) in w.queries.iter().enumerate() {
+            let slca = slca_ca_map(&query_posting_lists(w.engine.index(), &q.query));
+            let h = assess(&w.engine, &q.query, &slca, USERS, 2016 + qi as u64);
+            t.row(&[
+                q.id.clone(),
+                h.counts[0].to_string(),
+                h.counts[1].to_string(),
+                h.counts[2].to_string(),
+                h.counts[3].to_string(),
+            ]);
+            better += h.gks_better();
+            total += h.total();
+        }
+    }
+    format!(
+        "== §7.5: simulated crowd feedback (1 = GKS very useful … 4 = SLCA very useful) ==\n{}\n\
+         {better} / {total} responses rate GKS better ({:.1}%); the paper reports 430/480 \
+         (89.6%).\n",
+        t.render(),
+        100.0 * better as f64 / total as f64
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gks_preferred_by_a_large_majority() {
+        let mut better = 0u32;
+        let mut total = 0u32;
+        for w in table6_workloads(5) {
+            if w.name == "InterPro" {
+                continue;
+            }
+            for (qi, q) in w.queries.iter().enumerate() {
+                let slca = slca_ca_map(&query_posting_lists(w.engine.index(), &q.query));
+                let h = assess(&w.engine, &q.query, &slca, USERS, qi as u64);
+                better += h.gks_better();
+                total += h.total();
+            }
+        }
+        let pct = 100.0 * better as f64 / total as f64;
+        assert!(pct > 70.0, "GKS preferred only {pct}% — paper reports 89.6%");
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 8: response time vs merged-list size |SL| with n = 8 keywords, on
+//! the NASA-like and SwissProt-like corpora. §4.2's analysis says RT is
+//! O(d·|SL|·log n), so for fixed d and n the plot should be linear in |SL|.
+
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_core::search::SearchOptions;
+
+use crate::table::TextTable;
+use crate::timed_search;
+use crate::workloads::{nasa_engine, swissprot_corpus};
+
+/// Builds 8-keyword queries with increasing posting volume by repeating the
+/// most frequent names more often.
+fn queries_by_volume(names: &[String], count: usize) -> Vec<Query> {
+    // Frequency-rank the names.
+    let mut freq: std::collections::HashMap<&str, usize> = Default::default();
+    for n in names {
+        *freq.entry(n.as_str()).or_default() += 1;
+    }
+    let mut ranked: Vec<(&str, usize)> = freq.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    // Query i mixes (8−i) of the most frequent names with i of the rarest:
+    // query 0 maximizes |SL|, later queries shrink it.
+    (0..count)
+        .map(|i| {
+            let frequent = 8usize.saturating_sub(i);
+            let mut kws: Vec<String> =
+                ranked[..frequent].iter().map(|(n, _)| n.to_string()).collect();
+            for (n, _) in ranked.iter().rev() {
+                if kws.len() == 8 {
+                    break;
+                }
+                if !kws.iter().any(|k| k == n) {
+                    kws.push(n.to_string());
+                }
+            }
+            Query::from_keywords(kws).expect("query")
+        })
+        .collect()
+}
+
+fn run_on(label: &str, engine: &Engine, names: &[String], out: &mut String) {
+    let avg_d = engine.index().stats().avg_keyword_depth();
+    let mut rows: Vec<(usize, u64, usize)> = Vec::new();
+    for q in queries_by_volume(names, 6) {
+        let (us, resp) = timed_search(engine, &q, SearchOptions::with_s(1), 7);
+        rows.push((resp.sl_len(), us, resp.hits().len()));
+    }
+    rows.sort_unstable();
+    rows.dedup_by_key(|r| r.0);
+    let mut t = TextTable::new(&["|SL|", "RT (µs)", "hits", "RT/|SL| (µs)"]);
+    for (sl, us, hits) in &rows {
+        t.row(&[
+            sl.to_string(),
+            us.to_string(),
+            hits.to_string(),
+            format!("{:.2}", *us as f64 / (*sl).max(1) as f64),
+        ]);
+    }
+    out.push_str(&format!(
+        "{label} (n = 8, s = 1, avg keyword depth {avg_d:.1}):\n{}\n",
+        t.render()
+    ));
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("== Figure 8: response time vs merged list size |SL| ==\n");
+    let (nasa, nasa_names) = nasa_engine(4000, 2016);
+    run_on("NASA-like", &nasa, &nasa_names, &mut out);
+    let (corpus, sp_names) = swissprot_corpus(4000, 2017);
+    let sp = Engine::build(&corpus, gks_index::IndexOptions::default()).expect("index");
+    run_on("SwissProt-like", &sp, &sp_names, &mut out);
+    out.push_str(
+        "expected shape: RT grows roughly linearly with |SL| (constant RT/|SL|), per §4.2's \
+         O(d·|SL|·log n) bound.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_queries_span_a_range_of_sl() {
+        let (engine, names) = nasa_engine(800, 5);
+        let qs = queries_by_volume(&names, 4);
+        let sls: Vec<usize> = qs
+            .iter()
+            .map(|q| {
+                engine
+                    .search(q, SearchOptions::with_s(1))
+                    .unwrap()
+                    .sl_len()
+            })
+            .collect();
+        let min = *sls.iter().min().unwrap();
+        let max = *sls.iter().max().unwrap();
+        assert!(max > min, "expected spread, got {sls:?}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 9: response time vs number of query keywords n ∈ {2,4,8,16}. With
+//! |SL| growing roughly proportionally to n and the per-entry cost adding a
+//! log n factor, RT grows mildly super-linearly in n — the paper observes
+//! "the change in RT is logarithmic in n" once |SL| is accounted for.
+
+use gks_core::query::Query;
+use gks_core::search::SearchOptions;
+
+use crate::table::TextTable;
+use crate::timed_search;
+use crate::workloads::{nasa_engine, swissprot_corpus};
+
+fn distinct(names: &[String], n: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(n);
+    for name in names {
+        if !out.contains(name) {
+            out.push(name.clone());
+            if out.len() == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("== Figure 9: response time vs keywords in query (n) ==\n");
+    let (nasa, nasa_names) = nasa_engine(4000, 2016);
+    let (sp_corpus, sp_names) = swissprot_corpus(4000, 2017);
+    let sp = gks_core::engine::Engine::build(&sp_corpus, gks_index::IndexOptions::default())
+        .expect("index");
+
+    for (label, engine, names) in
+        [("NASA-like", &nasa, &nasa_names), ("SwissProt-like", &sp, &sp_names)]
+    {
+        let mut t = TextTable::new(&["n", "|SL|", "RT (µs)", "hits"]);
+        for n in [2usize, 4, 8, 16] {
+            let kws = distinct(names, n);
+            let q = Query::from_keywords(kws).expect("query");
+            let (us, resp) = timed_search(engine, &q, SearchOptions::with_s(1), 7);
+            t.row(&[
+                n.to_string(),
+                resp.sl_len().to_string(),
+                us.to_string(),
+                resp.hits().len().to_string(),
+            ]);
+        }
+        out.push_str(&format!("{label} (s = 1):\n{}\n", t.render()));
+    }
+    out.push_str(
+        "expected shape: doubling n less than doubles RT once |SL| growth is factored out \
+         (O(d·|SL|·log n)); the paper saw <2x RT going from n=8 to n=16 on NASA.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_returns_n_unique_names() {
+        let names = vec!["a".to_string(), "b".into(), "a".into(), "c".into(), "d".into()];
+        let d = distinct(&names, 3);
+        assert_eq!(d, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Lemma 3: the naive route to GKS semantics — one SLCA query per keyword
+//! subset of size ≥ s — explodes exponentially, while GKS's single-pass
+//! method stays flat.
+
+use std::time::Instant;
+
+use gks_baselines::naive::{naive_gks, subquery_count};
+use gks_baselines::query_posting_lists;
+use gks_core::query::Query;
+use gks_core::search::SearchOptions;
+use gks_datagen::dblp;
+use gks_index::{Corpus, IndexOptions};
+
+use crate::table::TextTable;
+use crate::timed_search;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let out = dblp::generate(&dblp::Config { articles: 1500, ..Default::default() }, 2016);
+    let corpus = Corpus::from_named_strs([("dblp", out.xml)]).expect("corpus");
+    let engine =
+        gks_core::engine::Engine::build(&corpus, IndexOptions::default()).expect("index");
+
+    // Distinct author names across clusters.
+    let mut authors: Vec<String> = Vec::new();
+    for c in &out.clusters {
+        for a in c {
+            if !authors.contains(a) {
+                authors.push(a.clone());
+            }
+        }
+    }
+
+    let mut t = TextTable::new(&[
+        "n",
+        "s=⌈n/2⌉",
+        "subqueries",
+        "GKS RT (µs)",
+        "naive RT (µs)",
+        "naive/GKS",
+    ]);
+    for n in [4usize, 8, 12] {
+        let s = n.div_ceil(2);
+        let q = Query::from_keywords(authors[..n].to_vec()).expect("query");
+        let (gks_us, _) = timed_search(&engine, &q, SearchOptions::with_s(s), 5);
+        let lists = query_posting_lists(engine.index(), &q);
+        let start = Instant::now();
+        let naive = naive_gks(&lists, s);
+        let naive_us = start.elapsed().as_micros() as u64;
+        t.row(&[
+            n.to_string(),
+            s.to_string(),
+            naive.subqueries.to_string(),
+            gks_us.to_string(),
+            naive_us.to_string(),
+            format!("{:.1}x", naive_us as f64 / gks_us.max(1) as f64),
+        ]);
+    }
+    // n = 16 is reported analytically (the naive run would take minutes).
+    let row16 = format!(
+        "n=16, s=8: the naive approach needs {} SLCA sub-queries (not executed)",
+        subquery_count(16, 8)
+    );
+    format!(
+        "== Lemma 3: GKS single pass vs naive subset enumeration ==\n{}\n{row16}\n\
+         expected shape: sub-query count ~2^n for s=n/2; the naive/GKS time ratio grows \
+         with n while GKS stays in the same order of magnitude.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use gks_baselines::naive::subquery_count;
+
+    #[test]
+    fn subquery_growth_is_exponential() {
+        // Lemma 3: for s = n/2 the count exceeds 2^(n/2).
+        let mut prev = 0u64;
+        for n in [4usize, 8, 12, 16] {
+            let c = subquery_count(n, n / 2);
+            assert!(c >= 1 << (n / 2), "n={n}: {c}");
+            assert!(c > prev * 4, "growth from {prev} to {c} too slow");
+            prev = c;
+        }
+    }
+}

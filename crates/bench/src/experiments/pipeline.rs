@@ -1,0 +1,71 @@
+//! Pipeline breakdown: where does search time go? The §4.2 analysis says the
+//! merge is O(|SL|·log n) and everything after is O(d·|SL|); this experiment
+//! makes the constant factors visible stage by stage, for growing |SL|.
+
+use gks_core::query::Query;
+use gks_core::search::SearchOptions;
+
+use crate::table::TextTable;
+use crate::workloads::nasa_engine;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let (engine, names) = nasa_engine(4000, 2016);
+    // Frequency-ranked names: take progressively larger prefixes for
+    // progressively larger |SL|.
+    let mut freq: std::collections::HashMap<&str, usize> = Default::default();
+    for n in &names {
+        *freq.entry(n.as_str()).or_default() += 1;
+    }
+    let mut ranked: Vec<(&str, usize)> = freq.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    let mut t = TextTable::new(&[
+        "n", "|SL|", "cands", "LCE", "hits", "merge µs", "window µs", "sweep µs", "assemble µs",
+    ]);
+    for n in [2usize, 4, 8, 16] {
+        let kws: Vec<String> = ranked.iter().take(n).map(|(w, _)| w.to_string()).collect();
+        let q = Query::from_keywords(kws).expect("query");
+        // Warm up, then measure once (the trace is per-run).
+        let _ = engine.search(&q, SearchOptions::with_s(1)).expect("search");
+        let r = engine.search(&q, SearchOptions::with_s(1)).expect("search");
+        let tr = r.trace();
+        t.row(&[
+            n.to_string(),
+            r.sl_len().to_string(),
+            tr.candidates.to_string(),
+            tr.lce_nodes.to_string(),
+            r.hits().len().to_string(),
+            tr.merge_micros.to_string(),
+            tr.window_micros.to_string(),
+            tr.sweep_micros.to_string(),
+            tr.assemble_micros.to_string(),
+        ]);
+    }
+    format!(
+        "== Pipeline breakdown (NASA-like, s = 1) ==\n{}\n\
+         expected shape: the sweep dominates (it does the O(d·|SL|) rank work); merge and \
+         window stay linear in |SL|; assembly is small.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_counters_are_consistent() {
+        let (engine, names) = nasa_engine(300, 4);
+        let q = Query::from_keywords(names[..4].to_vec()).unwrap();
+        let r = engine.search(&q, SearchOptions::with_s(1)).unwrap();
+        let tr = r.trace();
+        assert!(tr.candidates > 0);
+        assert_eq!(
+            r.hits().len(),
+            tr.witnessed_lce + tr.orphan_lcp - tr.pruned,
+            "hits = witnessed LCE + orphan LCP − pruned"
+        );
+        assert!(tr.witnessed_lce <= tr.lce_nodes);
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's rank-score measure (§7.3).
+//!
+//! "The XML nodes that contain the highest number of keywords from query Q
+//! in their sub-tree are called the *true* XML nodes. Let w be the lowest
+//! rank of a true XML node in the list L. To each true XML node we assign a
+//! weight of (w+1−i) where i is the rank of the true node in L; wa is their
+//! sum, wt = w(w+1)/2, and the rank score is wa/wt." A score of 1 means no
+//! true node ranks below a non-true node.
+
+use gks_core::search::Response;
+
+/// Computes the paper's rank score over a ranked response. Returns 1.0 for
+/// an empty response (nothing is misranked).
+pub fn rank_score(response: &Response) -> f64 {
+    rank_score_of_counts(
+        &response.hits().iter().map(|h| h.keyword_count).collect::<Vec<_>>(),
+    )
+}
+
+/// Core computation over the ranked list of per-hit keyword counts.
+pub fn rank_score_of_counts(counts: &[u32]) -> f64 {
+    let Some(&max) = counts.iter().max() else { return 1.0 };
+    // 1-based positions of true nodes (those matching `max` keywords).
+    let positions: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == max)
+        .map(|(i, _)| i + 1)
+        .collect();
+    let w = *positions.last().expect("at least one true node");
+    let wa: usize = positions.iter().map(|&i| w + 1 - i).sum();
+    let wt = w * (w + 1) / 2;
+    wa as f64 / wt as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        // True nodes (3 keywords) occupy the top of the list.
+        assert_eq!(rank_score_of_counts(&[3, 3, 2, 1]), 1.0);
+        assert_eq!(rank_score_of_counts(&[5]), 1.0);
+        assert_eq!(rank_score_of_counts(&[]), 1.0);
+        assert_eq!(rank_score_of_counts(&[2, 2, 2]), 1.0);
+    }
+
+    #[test]
+    fn late_true_node_is_penalized() {
+        // One true node at position 3: w=3, wa = 3+1-3 = 1, wt = 6.
+        let s = rank_score_of_counts(&[2, 2, 3]);
+        assert!((s - 1.0 / 6.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn mixed_positions() {
+        // True nodes at positions 1 and 3: w=3, wa = (3) + (1) = 4, wt = 6.
+        let s = rank_score_of_counts(&[4, 1, 4]);
+        assert!((s - 4.0 / 6.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn monotone_in_true_node_position() {
+        let better = rank_score_of_counts(&[3, 2, 2, 2]);
+        let worse = rank_score_of_counts(&[2, 2, 2, 3]);
+        assert!(better > worse);
+    }
+}

@@ -1,0 +1,259 @@
+//! Corpora and query workloads analogous to the paper's Table 6.
+//!
+//! The paper's QS/QD/QM/QI queries are concrete author names and geographic
+//! terms from the real datasets; here they are rebuilt from the synthetic
+//! generators' manifests with the same *shapes*: |Q| ∈ {2,4,6,8}, mixing
+//! keywords that co-occur in one record, keywords split across records, and
+//! keywords that are absent — the situations Table 7 contrasts.
+
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_datagen::{bio, dblp, mondial, nasa, sigmod};
+use gks_index::{Corpus, IndexOptions};
+
+/// One named query of a workload.
+pub struct NamedQuery {
+    /// Paper-style id, e.g. `QS2`.
+    pub id: String,
+    /// The parsed query.
+    pub query: Query,
+}
+
+/// A dataset with its engine and query set.
+pub struct Workload {
+    /// Dataset display name.
+    pub name: &'static str,
+    /// Engine over the synthetic corpus.
+    pub engine: Engine,
+    /// Table-6-analogous queries.
+    pub queries: Vec<NamedQuery>,
+}
+
+fn build_engine(name: &str, xml: String) -> Engine {
+    let corpus = Corpus::from_named_strs([(name, xml)]).expect("corpus");
+    Engine::build(&corpus, IndexOptions::default()).expect("index")
+}
+
+fn nq(id: &str, keywords: Vec<String>) -> NamedQuery {
+    NamedQuery { id: id.to_string(), query: Query::from_keywords(keywords).expect("query") }
+}
+
+/// SIGMOD Record workload: QS1–QS4 (|Q| = 2, 4, 6, 8 author names).
+pub fn sigmod_workload(scale: usize, seed: u64) -> Workload {
+    let out = sigmod::generate(
+        &sigmod::Config { issues: scale.max(4), ..Default::default() },
+        seed,
+    );
+    let mut freq: std::collections::HashMap<&str, usize> = Default::default();
+    for authors in &out.article_authors {
+        for a in authors {
+            *freq.entry(a.as_str()).or_default() += 1;
+        }
+    }
+    // Prefer articles whose authors also publish elsewhere, so s=1 responses
+    // are wider than the single co-authored article (as in the paper, where
+    // QS1 returns 8 nodes).
+    let mut multi: Vec<&Vec<String>> =
+        out.article_authors.iter().filter(|a| a.len() >= 2).collect();
+    multi.sort_by_key(|authors| {
+        std::cmp::Reverse(authors.iter().map(|a| freq[a.as_str()]).sum::<usize>())
+    });
+    assert!(multi.len() >= 4, "need multi-author articles");
+    let queries = vec![
+        // QS1: two co-authors of one article.
+        nq("QS1", multi[0][..2].to_vec()),
+        // QS2: two co-author pairs from different articles.
+        nq("QS2", [&multi[0][..2], &multi[1][..2]].concat()),
+        // QS3: six authors over three articles.
+        nq("QS3", [&multi[0][..2], &multi[1][..2], &multi[2][..2]].concat()),
+        // QS4: eight authors, including one full author list so one article
+        // matches everything it can.
+        nq("QS4", {
+            let mut v = multi[3].clone();
+            let mut i = 0;
+            while v.len() < 8 {
+                let a = &multi[i % multi.len()][i / multi.len() % 2];
+                if !v.contains(a) {
+                    v.push(a.clone());
+                }
+                i += 1;
+            }
+            v.truncate(8);
+            v
+        }),
+    ];
+    Workload { name: "SIGMOD Records", engine: build_engine("sigmod", out.xml), queries }
+}
+
+/// DBLP workload: QD1–QD4.
+pub fn dblp_workload(scale: usize, seed: u64) -> Workload {
+    let out = dblp::generate(
+        &dblp::Config { articles: scale.max(200), ..Default::default() },
+        seed,
+    );
+    let c0 = &out.clusters[0];
+    let c1 = &out.clusters[1];
+    let c2 = &out.clusters[2];
+    let queries = vec![
+        // QD1: a co-publishing pair.
+        nq("QD1", vec![c0[0].clone(), c0[1].clone()]),
+        // QD2: the Example-2 shape — three cluster members + one outsider.
+        nq("QD2", vec![c0[0].clone(), c0[1].clone(), c0[2].clone(), c1[0].clone()]),
+        // QD3: six authors from two clusters.
+        nq(
+            "QD3",
+            vec![
+                c0[0].clone(),
+                c0[1].clone(),
+                c1[0].clone(),
+                c1[1].clone(),
+                c2[0].clone(),
+                c2[1].clone(),
+            ],
+        ),
+        // QD4: eight authors across three clusters.
+        nq(
+            "QD4",
+            vec![
+                c0[0].clone(),
+                c0[1].clone(),
+                c0[2].clone(),
+                c1[0].clone(),
+                c1[1].clone(),
+                c1[2].clone(),
+                c2[0].clone(),
+                c2[1].clone(),
+            ],
+        ),
+    ];
+    Workload { name: "DBLP", engine: build_engine("dblp", out.xml), queries }
+}
+
+/// Mondial workload: QM1–QM4 (tag names + text keywords).
+pub fn mondial_workload(scale: usize, seed: u64) -> Workload {
+    let out = mondial::generate(
+        &mondial::Config { countries: scale.max(10), ..Default::default() },
+        seed,
+    );
+    let (_, religion) = out.religions[0].clone();
+    let country_name = out.countries[1].clone();
+    let queries = vec![
+        // QM1: {country, Muslim}-shaped.
+        nq("QM1", vec!["country".into(), religion.clone()]),
+        // QM2: {Laos, country, name}-shaped.
+        nq("QM2", vec![country_name, "country".into(), "name".into()]),
+        // QM3: six mixed demographic keywords (some likely co-occur nowhere).
+        nq(
+            "QM3",
+            vec![
+                "Polish".into(),
+                "Spanish".into(),
+                "German".into(),
+                out.countries[2].clone(),
+                out.cities[0].clone(),
+                "Catholic".into(),
+            ],
+        ),
+        // QM4: eight religions/languages.
+        nq(
+            "QM4",
+            vec![
+                "Chinese".into(),
+                "Thai".into(),
+                "Muslim".into(),
+                "Buddhism".into(),
+                "Christianity".into(),
+                "Hinduism".into(),
+                "Orthodox".into(),
+                "Catholic".into(),
+            ],
+        ),
+    ];
+    Workload { name: "Mondial", engine: build_engine("mondial", out.xml), queries }
+}
+
+/// InterPro workload: QI1–QI2.
+pub fn interpro_workload(scale: usize, seed: u64) -> Workload {
+    let out = bio::generate_interpro(&bio::InterProConfig { entries: scale.max(20) }, seed);
+    let stem = out.names[0].split(' ').next().expect("name stem").to_string();
+    // QI2 uses a year that really co-occurs with a 'Science' publication, as
+    // the paper's {Publication 2002 Science} did on the real data.
+    let science_year =
+        out.science_years.first().cloned().unwrap_or_else(|| "2005".to_string());
+    let queries = vec![
+        // QI1: {Kringle, Domain}-shaped — a family stem plus the word that
+        // names the entity type.
+        nq("QI1", vec![stem, "domain".into()]),
+        // QI2: {Publication, <year>, Science}-shaped.
+        nq("QI2", vec!["publication".into(), science_year, "Science".into()]),
+    ];
+    Workload { name: "InterPro", engine: build_engine("interpro", out.xml), queries }
+}
+
+/// All four Table-6 workloads.
+pub fn table6_workloads(seed: u64) -> Vec<Workload> {
+    vec![
+        sigmod_workload(30, seed),
+        dblp_workload(1500, seed + 1),
+        mondial_workload(25, seed + 2),
+        interpro_workload(60, seed + 3),
+    ]
+}
+
+/// The NASA-like engine used by the response-time experiments (§7.1.2),
+/// returning the engine plus author surnames to build queries from.
+pub fn nasa_engine(scale: usize, seed: u64) -> (Engine, Vec<String>) {
+    let out = nasa::generate(&nasa::Config { datasets: scale }, seed);
+    let engine = build_engine("nasa", out.xml);
+    (engine, out.last_names)
+}
+
+/// The SwissProt-like engine for §7.1.2/§7.1.3, plus reference author
+/// *surnames*. Single-term keywords keep |SL| equal to the summed posting
+/// volume, as in the paper's response-time model (a phrase keyword would
+/// pre-filter its postings by intersection and hide the fetch cost).
+pub fn swissprot_corpus(scale: usize, seed: u64) -> (Corpus, Vec<String>) {
+    let out = bio::generate_swissprot(&bio::SwissProtConfig { entries: scale }, seed);
+    let corpus = Corpus::from_named_strs([("swissprot", out.xml)]).expect("corpus");
+    let surnames: Vec<String> = out
+        .authors
+        .iter()
+        .filter_map(|full| full.rsplit(' ').next().map(str::to_string))
+        .collect();
+    (corpus, surnames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_core::search::SearchOptions;
+
+    #[test]
+    fn table6_workloads_have_expected_shapes() {
+        let ws = table6_workloads(99);
+        assert_eq!(ws.len(), 4);
+        let sizes: Vec<Vec<usize>> = ws
+            .iter()
+            .map(|w| w.queries.iter().map(|q| q.query.len()).collect())
+            .collect();
+        assert_eq!(sizes[0], vec![2, 4, 6, 8], "QS sizes");
+        assert_eq!(sizes[1], vec![2, 4, 6, 8], "QD sizes");
+        assert_eq!(sizes[2], vec![2, 3, 6, 8], "QM sizes");
+        assert_eq!(sizes[3], vec![2, 3], "QI sizes");
+    }
+
+    #[test]
+    fn workload_queries_return_hits_at_s1() {
+        for w in table6_workloads(7) {
+            for q in &w.queries {
+                let r = w.engine.search(&q.query, SearchOptions::with_s(1)).unwrap();
+                assert!(
+                    !r.hits().is_empty(),
+                    "{} {} returned nothing",
+                    w.name,
+                    q.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Implementation of the `gks` command-line tool.
+//!
+//! Subcommands (see [`run`] and `gks --help`):
+//!
+//! * `index <out.gksix> <file.xml>…` — build and persist an index;
+//! * `search <index.gksix> [-s N] [--limit N] [--di] [--analytics] <kw>…` —
+//!   query it (quote phrases: `'"Peter Buneman"'`);
+//! * `suggest <index.gksix> <kw>…` — refinement suggestions for a query;
+//! * `census <file.xml>…` — the §7.2 node-category census (`--schema` adds
+//!   the schema-harmonized view);
+//! * `info <index.gksix>` — index statistics;
+//! * `generate <dataset> <scale> <out.xml>` — write a synthetic corpus.
+//!
+//! The library form exists so the behaviour is unit-testable; `main` just
+//! forwards `std::env::args` and prints.
+
+use std::fmt::Write as _;
+
+use gks_core::analytics::AnalyticsOptions;
+use gks_core::di::DiOptions;
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_core::search::{SearchOptions, Threshold};
+use gks_datagen::Dataset;
+use gks_index::{Corpus, GksIndex, IndexOptions, SchemaSummary};
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError { message: message.into(), code: 2 }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError { message: message.into(), code: 1 }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+gks — Generic Keyword Search over XML data (EDBT 2016)
+
+USAGE:
+  gks index <out.gksix> <file.xml>...
+  gks search <index.gksix> [-s N] [--limit N] [--di] [--analytics] <keyword>...
+  gks suggest <index.gksix> <keyword>...
+  gks census [--schema] <file.xml>...
+  gks schema <index.gksix>
+  gks info <index.gksix>
+  gks generate <dataset> <scale> <out.xml>
+  gks repl <index.gksix>
+
+DATASETS (for generate):
+  sigmod mondial plays treebank swissprot protein dblp nasa interpro
+";
+
+/// Runs the CLI on pre-split arguments (without the program name),
+/// returning the text to print on success.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    match cmd.as_str() {
+        "index" => cmd_index(rest),
+        "search" => cmd_search(rest),
+        "suggest" => cmd_suggest(rest),
+        "census" => cmd_census(rest),
+        "schema" => cmd_schema(rest),
+        "info" => cmd_info(rest),
+        "generate" => cmd_generate(rest),
+        "repl" => cmd_repl(rest),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn load_engine(path: &str) -> Result<Engine, CliError> {
+    let index = GksIndex::load(path)
+        .map_err(|e| CliError::runtime(format!("cannot load index {path:?}: {e}")))?;
+    Ok(Engine::from_index(index))
+}
+
+fn parse_query(words: &[String]) -> Result<Query, CliError> {
+    if words.is_empty() {
+        return Err(CliError::usage("no query keywords given"));
+    }
+    Query::from_keywords(words.iter().cloned())
+        .map_err(|e| CliError::usage(format!("bad query: {e}")))
+}
+
+fn cmd_index(args: &[String]) -> Result<String, CliError> {
+    let [out, files @ ..] = args else {
+        return Err(CliError::usage("usage: gks index <out.gksix> <file.xml>..."));
+    };
+    if files.is_empty() {
+        return Err(CliError::usage("usage: gks index <out.gksix> <file.xml>..."));
+    }
+    let corpus = Corpus::from_paths(files.iter())
+        .map_err(|e| CliError::runtime(format!("cannot read corpus: {e}")))?;
+    let index = GksIndex::build(&corpus, IndexOptions::default())
+        .map_err(|e| CliError::runtime(format!("indexing failed: {e}")))?;
+    let written = index
+        .save(out)
+        .map_err(|e| CliError::runtime(format!("cannot write {out:?}: {e}")))?;
+    let s = index.stats();
+    Ok(format!(
+        "indexed {} document(s): {} nodes, {} entities, {} terms, {} postings\n\
+         wrote {written} bytes to {out} in {} ms\n",
+        s.doc_count, s.total_nodes, s.census.entity, s.distinct_terms, s.total_postings,
+        s.build_millis
+    ))
+}
+
+fn cmd_search(args: &[String]) -> Result<String, CliError> {
+    let Some((index_path, rest)) = args.split_first() else {
+        return Err(CliError::usage("usage: gks search <index.gksix> [options] <keyword>..."));
+    };
+    let mut s = Threshold::Fixed(1);
+    let mut limit = 20usize;
+    let mut want_di = false;
+    let mut want_analytics = false;
+    let mut keywords: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-s" => {
+                let v = it.next().ok_or_else(|| CliError::usage("-s needs a value"))?;
+                s = if v == "all" {
+                    Threshold::All
+                } else if v == "half" {
+                    Threshold::HalfQuery
+                } else {
+                    Threshold::Fixed(
+                        v.parse().map_err(|_| CliError::usage(format!("bad -s value {v:?}")))?,
+                    )
+                };
+            }
+            "--limit" => {
+                let v = it.next().ok_or_else(|| CliError::usage("--limit needs a value"))?;
+                limit =
+                    v.parse().map_err(|_| CliError::usage(format!("bad --limit value {v:?}")))?;
+            }
+            "--di" => want_di = true,
+            "--analytics" => want_analytics = true,
+            _ => keywords.push(arg.clone()),
+        }
+    }
+    let engine = load_engine(index_path)?;
+    let query = parse_query(&keywords)?;
+    let resp = engine
+        .search(&query, SearchOptions { s, limit })
+        .map_err(|e| CliError::runtime(format!("search failed: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "query: {query}  (s = {}, |SL| = {}, {} µs)",
+        resp.s(),
+        resp.sl_len(),
+        resp.elapsed_micros()
+    );
+    let _ = writeln!(out, "{} hit(s):", resp.hits().len());
+    for hit in resp.hits() {
+        let _ = writeln!(out, "  {}", engine.render_hit(hit, &resp));
+    }
+    if !resp.missing_keyword_indices().is_empty() {
+        let missing: Vec<&str> = resp
+            .missing_keyword_indices()
+            .iter()
+            .map(|&i| resp.keywords()[i].raw())
+            .collect();
+        let _ = writeln!(out, "keywords matching nothing: {missing:?}");
+    }
+    if want_di {
+        let di = engine.discover_di(&resp, &DiOptions::default());
+        let _ = writeln!(out, "\ndeeper analytical insights:");
+        for i in &di {
+            let _ = writeln!(out, "  {}  weight={:.2} support={}", i.display(), i.weight, i.support);
+        }
+    }
+    if want_analytics {
+        let a = engine.analyze(&resp, &AnalyticsOptions::default());
+        let _ = writeln!(out, "\nhits by entity type:");
+        for g in &a.by_type {
+            let _ = writeln!(out, "  {}: {} hit(s), rank mass {:.2}", g.label, g.hits, g.rank_mass);
+        }
+        let _ = writeln!(out, "facets:");
+        for f in &a.facets {
+            let values: Vec<String> =
+                f.values.iter().map(|v| format!("{}×{}", v.value, v.count)).collect();
+            let _ = writeln!(out, "  {}: {}", f.path.join("/"), values.join(", "));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_suggest(args: &[String]) -> Result<String, CliError> {
+    let Some((index_path, keywords)) = args.split_first() else {
+        return Err(CliError::usage("usage: gks suggest <index.gksix> <keyword>..."));
+    };
+    let engine = load_engine(index_path)?;
+    let query = parse_query(keywords)?;
+    let resp = engine
+        .search(&query, SearchOptions::with_s(1))
+        .map_err(|e| CliError::runtime(format!("search failed: {e}")))?;
+    let di = engine.discover_di(&resp, &DiOptions::default());
+    let refinement = engine.refine(&resp, &di);
+    let mut out = String::new();
+    let _ = writeln!(out, "query: {query}");
+    let _ = writeln!(out, "sub-queries found in the data:");
+    for sq in &refinement.sub_queries {
+        let _ = writeln!(out, "  {sq:?}");
+    }
+    if !refinement.unmatched.is_empty() {
+        let _ = writeln!(out, "unmatched keywords: {:?}", refinement.unmatched);
+    }
+    if !refinement.morphs.is_empty() {
+        let _ = writeln!(out, "suggested morphs (with discovered keywords):");
+        for m in &refinement.morphs {
+            let _ = writeln!(out, "  {m:?}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_census(args: &[String]) -> Result<String, CliError> {
+    let schema = args.iter().any(|a| a == "--schema");
+    let files: Vec<&String> = args.iter().filter(|a| *a != "--schema").collect();
+    if files.is_empty() {
+        return Err(CliError::usage("usage: gks census [--schema] <file.xml>..."));
+    }
+    let corpus = Corpus::from_paths(files.iter())
+        .map_err(|e| CliError::runtime(format!("cannot read corpus: {e}")))?;
+    let index = GksIndex::build(&corpus, IndexOptions::default())
+        .map_err(|e| CliError::runtime(format!("indexing failed: {e}")))?;
+    let c = index.stats().census;
+    let mut out = format!(
+        "instance-level census: AN={} EN={} RN={} CN={} total={}\n",
+        c.attribute, c.entity, c.repeating, c.connecting, c.total()
+    );
+    if schema {
+        let summary = SchemaSummary::from_index(&index);
+        let h = summary.harmonized_census();
+        let _ = writeln!(
+            out,
+            "schema-level census:   AN={} EN={} RN={} CN={} total={}",
+            h.attribute, h.entity, h.repeating, h.connecting, h.total()
+        );
+        let _ = writeln!(out, "entity types:");
+        for path in summary.entity_paths() {
+            let _ = writeln!(out, "  /{}", path.join("/"));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_schema(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::usage("usage: gks schema <index.gksix>"));
+    };
+    let engine = load_engine(path)?;
+    let summary = SchemaSummary::from_index(engine.index());
+    let mut out = format!("{} distinct label path(s):\n", summary.len());
+    for (path, stats) in summary.iter_sorted() {
+        let _ = writeln!(
+            out,
+            "  /{:<48} {:>7} × {}  avg fan-out {:.1}",
+            path.join("/"),
+            stats.instances,
+            stats.dominant_category().abbrev(),
+            stats.avg_children()
+        );
+    }
+    let _ = writeln!(out, "\nentity types:");
+    for path in summary.entity_paths() {
+        let _ = writeln!(out, "  /{}", path.join("/"));
+    }
+    Ok(out)
+}
+
+/// Runs the interactive loop over any `BufRead`/`Write` pair (testable; the
+/// binary passes stdin/stdout).
+pub fn repl_loop(
+    engine: &Engine,
+    input: &mut dyn std::io::BufRead,
+    output: &mut dyn std::io::Write,
+) -> std::io::Result<()> {
+    let mut s_threshold = Threshold::Fixed(1);
+    writeln!(output, "gks repl — enter keywords; :s N sets the threshold; :q quits")?;
+    let mut line = String::new();
+    loop {
+        write!(output, "gks> ")?;
+        output.flush()?;
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix(':') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("q") | Some("quit") => return Ok(()),
+                Some("s") => match parts.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(v) if v > 0 => {
+                        s_threshold = Threshold::Fixed(v);
+                        writeln!(output, "s = {v}")?;
+                    }
+                    _ => writeln!(output, "usage: :s <positive integer>")?,
+                },
+                Some(other) => writeln!(output, "unknown command :{other} (try :s, :q)")?,
+                None => writeln!(output, "empty command")?,
+            }
+            continue;
+        }
+        let query = match Query::parse(trimmed) {
+            Ok(q) => q,
+            Err(e) => {
+                writeln!(output, "bad query: {e}")?;
+                continue;
+            }
+        };
+        match engine.search(&query, SearchOptions { s: s_threshold, limit: 10 }) {
+            Ok(resp) => {
+                writeln!(
+                    output,
+                    "{} hit(s) (s = {}, {} µs):",
+                    resp.hits().len(),
+                    resp.s(),
+                    resp.elapsed_micros()
+                )?;
+                for hit in resp.hits() {
+                    writeln!(output, "  {}", engine.render_hit(hit, &resp))?;
+                }
+                let di = engine.discover_di(&resp, &DiOptions { top_m: 3, ..Default::default() });
+                if !di.is_empty() {
+                    let shown: Vec<String> = di.iter().map(|i| i.display()).collect();
+                    writeln!(output, "  DI: {}", shown.join(", "))?;
+                }
+            }
+            Err(e) => writeln!(output, "search failed: {e}")?,
+        }
+    }
+}
+
+fn cmd_repl(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::usage("usage: gks repl <index.gksix>"));
+    };
+    let engine = load_engine(path)?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    repl_loop(&engine, &mut stdin.lock(), &mut stdout.lock())
+        .map_err(|e| CliError::runtime(format!("repl I/O error: {e}")))?;
+    Ok(String::new())
+}
+
+fn cmd_info(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::usage("usage: gks info <index.gksix>"));
+    };
+    let engine = load_engine(path)?;
+    let s = engine.index().stats();
+    Ok(format!(
+        "documents: {}\nnodes: {} (AN={} EN={} RN={} CN={})\nmax depth: {}\n\
+         distinct terms: {}\npostings: {}\nraw bytes indexed: {}\nbuild time: {} ms\n",
+        s.doc_count,
+        s.total_nodes,
+        s.census.attribute,
+        s.census.entity,
+        s.census.repeating,
+        s.census.connecting,
+        s.max_depth,
+        s.distinct_terms,
+        s.total_postings,
+        s.raw_bytes,
+        s.build_millis
+    ))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let [dataset, scale, out_path] = args else {
+        return Err(CliError::usage("usage: gks generate <dataset> <scale> <out.xml>"));
+    };
+    let ds = match dataset.to_lowercase().as_str() {
+        "sigmod" => Dataset::SigmodRecord,
+        "mondial" => Dataset::Mondial,
+        "plays" => Dataset::Plays,
+        "treebank" => Dataset::TreeBank,
+        "swissprot" => Dataset::SwissProt,
+        "protein" => Dataset::ProteinSequence,
+        "dblp" => Dataset::Dblp,
+        "nasa" => Dataset::Nasa,
+        "interpro" => Dataset::InterPro,
+        other => return Err(CliError::usage(format!("unknown dataset {other:?}"))),
+    };
+    let scale: usize =
+        scale.parse().map_err(|_| CliError::usage(format!("bad scale {scale:?}")))?;
+    let xml = ds.generate(scale, 2016);
+    let bytes = xml.len();
+    std::fs::write(out_path, xml)
+        .map_err(|e| CliError::runtime(format!("cannot write {out_path:?}: {e}")))?;
+    Ok(format!("wrote {bytes} bytes of synthetic {} to {out_path}\n", ds.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gks-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&args(&["--help"])).unwrap().contains("USAGE"));
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown command"));
+        assert_eq!(run(&[]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn full_workflow_generate_index_search_suggest_info() {
+        let dir = tmpdir();
+        let xml = dir.join("dblp.xml");
+        let ix = dir.join("dblp.gksix");
+        let xml_s = xml.to_str().unwrap();
+        let ix_s = ix.to_str().unwrap();
+
+        let out = run(&args(&["generate", "dblp", "200", xml_s])).unwrap();
+        assert!(out.contains("synthetic DBLP"), "{out}");
+
+        let out = run(&args(&["index", ix_s, xml_s])).unwrap();
+        assert!(out.contains("indexed 1 document(s)"), "{out}");
+
+        let out = run(&args(&["search", ix_s, "-s", "1", "--di", "keyword", "search"])).unwrap();
+        assert!(out.contains("hit(s):"), "{out}");
+        assert!(out.contains("deeper analytical insights"), "{out}");
+
+        let out = run(&args(&["search", ix_s, "--analytics", "xml"])).unwrap();
+        assert!(out.contains("hits by entity type"), "{out}");
+
+        let out = run(&args(&["suggest", ix_s, "keyword", "zzznothing"])).unwrap();
+        assert!(out.contains("unmatched keywords"), "{out}");
+
+        let out = run(&args(&["info", ix_s])).unwrap();
+        assert!(out.contains("documents: 1"), "{out}");
+
+        let out = run(&args(&["census", "--schema", xml_s])).unwrap();
+        assert!(out.contains("instance-level census"), "{out}");
+        assert!(out.contains("schema-level census"), "{out}");
+        assert!(out.contains("/dblp/"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_and_repl_over_a_real_index() {
+        let dir = tmpdir().join("schema-repl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml = dir.join("m.xml");
+        let ix = dir.join("m.gksix");
+        run(&args(&["generate", "mondial", "10", xml.to_str().unwrap()])).unwrap();
+        run(&args(&["index", ix.to_str().unwrap(), xml.to_str().unwrap()])).unwrap();
+
+        let out = run(&args(&["schema", ix.to_str().unwrap()])).unwrap();
+        assert!(out.contains("/mondial/country"), "{out}");
+        assert!(out.contains("entity types:"), "{out}");
+
+        // Drive the REPL through an in-memory session.
+        let engine =
+            Engine::from_index(GksIndex::load(ix.to_str().unwrap()).unwrap());
+        let session = b":s 2\ncountry name\n:nope\n:q\n" as &[u8];
+        let mut input = std::io::BufReader::new(session);
+        let mut output = Vec::new();
+        repl_loop(&engine, &mut input, &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("s = 2"), "{text}");
+        assert!(text.contains("hit(s) (s = 2"), "{text}");
+        assert!(text.contains("unknown command :nope"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_produce_runtime_errors() {
+        let err = run(&args(&["info", "/no/such/file.gksix"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        let err = run(&args(&["index", "/tmp/x.gksix", "/no/such.xml"])).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn bad_options_produce_usage_errors() {
+        assert_eq!(run(&args(&["search"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["generate", "bogus", "5", "/tmp/x"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["generate", "dblp", "NaN", "/tmp/x"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["census"])).unwrap_err().code, 2);
+    }
+}

@@ -1,0 +1,13 @@
+//! The `gks` binary. All logic lives in the library so it can be tested;
+//! see [`gks_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gks_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # gks-core — Generic Keyword Search over XML data
+//!
+//! The paper's primary contribution (Agarwal, Ramamritham, Agarwal, *Generic
+//! Keyword Search over XML Data*, EDBT 2016): for a keyword query
+//! `Q = {k1 … kn}` and a threshold `s ≤ n`, return **every** XML node whose
+//! subtree contains at least `s` distinct query keywords — not just the
+//! lowest common ancestors of all of them — organized around *Least Common
+//! Entity* nodes, ranked with a potential-flow model, and analyzed for
+//! *Deeper Analytical Insights* that drive query refinement.
+//!
+//! Modules, following the paper's structure:
+//!
+//! * [`query`] — keyword queries (terms and quoted phrases);
+//! * [`postlist`] / [`merge`] — per-keyword posting lists and the merged
+//!   document-ordered list `SL` (§4.1);
+//! * [`window`] — the sliding window of `s` unique keywords → LCP candidate
+//!   list (§4.1, Figures 4–5);
+//! * [`sweep`] — exact matched-keyword sets, potential-flow ranks (§5) and
+//!   entity witnesses (§4.2) in one pass over `SL`;
+//! * [`search`] — the full GKS search pipeline (Figure 6);
+//! * [`di`] — Deeper Analytical Insights, plain and recursive (§2.3, §6.2);
+//! * [`refine`] — query refinement suggestions (§6.1);
+//! * [`analytics`] — response analytics: group-bys and facets over the
+//!   answer set (the paper's "analytics over raw XML data" future work);
+//! * [`engine`] — the [`engine::Engine`] facade tying it all together.
+
+pub mod analytics;
+pub mod chunk;
+pub mod di;
+pub mod engine;
+pub mod error;
+pub mod merge;
+pub mod postlist;
+pub mod query;
+pub mod refine;
+pub mod search;
+pub mod sweep;
+pub mod window;
+
+pub use analytics::{AnalyticsOptions, ResponseAnalytics};
+pub use di::{DiOptions, Insight};
+pub use engine::Engine;
+pub use error::QueryError;
+pub use query::Query;
+pub use search::{Hit, HitKind, Response, SearchOptions, Threshold};

@@ -1,0 +1,85 @@
+//! K-way merge of posting lists into the merged list `SL` (paper §4.1).
+//!
+//! "For the query keywords ki ∈ Q, we first merge their respective inverted
+//! index lists such that in the merged list, keywords follow their arrival
+//! order in the XML document" — i.e. `SL` is sorted by Dewey id (document
+//! order), each entry tagged with the keyword it came from. The merge is the
+//! classic heap-based k-way merge, O(|SL|·log n).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gks_dewey::DeweyId;
+
+/// One entry of the merged list: a node and the query keyword (by index)
+/// found at it.
+pub type SlEntry = (DeweyId, u8);
+
+/// Merges the per-keyword lists (each already document-ordered) into `SL`.
+pub fn merge_posting_lists(lists: Vec<Vec<DeweyId>>) -> Vec<SlEntry> {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // Heap of (next id, list index, position); Reverse for a min-heap.
+    let mut heap: BinaryHeap<Reverse<(DeweyId, usize, usize)>> = BinaryHeap::new();
+    let mut iters: Vec<std::vec::IntoIter<DeweyId>> =
+        lists.into_iter().map(Vec::into_iter).collect();
+    for (k, it) in iters.iter_mut().enumerate() {
+        if let Some(first) = it.next() {
+            heap.push(Reverse((first, k, 0)));
+        }
+    }
+    while let Some(Reverse((id, k, _))) = heap.pop() {
+        out.push((id, k as u8));
+        if let Some(next) = iters[k].next() {
+            heap.push(Reverse((next, k, out.len())));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_dewey::DocId;
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    #[test]
+    fn merge_interleaves_in_document_order() {
+        let a = vec![d(&[0, 0]), d(&[2])];
+        let b = vec![d(&[0, 1]), d(&[1]), d(&[3])];
+        let sl = merge_posting_lists(vec![a, b]);
+        let ids: Vec<&DeweyId> = sl.iter().map(|(id, _)| id).collect();
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            sl,
+            vec![
+                (d(&[0, 0]), 0),
+                (d(&[0, 1]), 1),
+                (d(&[1]), 1),
+                (d(&[2]), 0),
+                (d(&[3]), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_node_for_two_keywords_keeps_both_entries() {
+        // An element-name keyword and a text keyword can hit the same node.
+        let a = vec![d(&[1])];
+        let b = vec![d(&[1])];
+        let sl = merge_posting_lists(vec![a, b]);
+        assert_eq!(sl.len(), 2);
+        assert_eq!(sl[0].0, sl[1].0);
+    }
+
+    #[test]
+    fn empty_lists_are_fine() {
+        assert!(merge_posting_lists(vec![]).is_empty());
+        assert!(merge_posting_lists(vec![vec![], vec![]]).is_empty());
+        let sl = merge_posting_lists(vec![vec![], vec![d(&[0])]]);
+        assert_eq!(sl, vec![(d(&[0]), 1)]);
+    }
+}

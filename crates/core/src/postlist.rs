@@ -1,0 +1,122 @@
+//! Per-keyword posting lists.
+//!
+//! A plain keyword's posting list comes straight from the inverted index. A
+//! phrase keyword (`"Peter Buneman"`) matches the nodes that contain *all* of
+//! its terms, i.e. the intersection of the terms' lists — an adequate phrase
+//! model at text-node granularity, since author names, course titles, etc.
+//! each live in one text node.
+
+use gks_dewey::DeweyId;
+use gks_index::GksIndex;
+
+use crate::query::Keyword;
+
+/// The document-ordered list of nodes matching `keyword`, empty if any term
+/// is absent from the corpus.
+pub fn keyword_postings(index: &GksIndex, keyword: &Keyword) -> Vec<DeweyId> {
+    match keyword.terms() {
+        [] => Vec::new(),
+        [term] => index.postings(term).to_vec(),
+        terms => {
+            // Intersect starting from the shortest list.
+            let mut lists: Vec<&[DeweyId]> = terms.iter().map(|t| index.postings(t)).collect();
+            lists.sort_by_key(|l| l.len());
+            if lists[0].is_empty() {
+                return Vec::new();
+            }
+            let mut acc: Vec<DeweyId> = lists[0].to_vec();
+            for list in &lists[1..] {
+                acc = intersect(&acc, list);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// Intersection of two sorted lists: binary-search each element of the
+/// shorter list in the not-yet-consumed tail of the longer one.
+fn intersect(short: &[DeweyId], long: &[DeweyId]) -> Vec<DeweyId> {
+    let mut out = Vec::with_capacity(short.len().min(long.len()));
+    let mut lo = 0usize;
+    for id in short {
+        match long[lo..].binary_search(id) {
+            Ok(pos) => {
+                out.push(id.clone());
+                lo += pos + 1;
+            }
+            Err(pos) => lo += pos,
+        }
+        if lo >= long.len() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_dewey::DocId;
+    use gks_index::{Corpus, IndexOptions};
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    #[test]
+    fn intersect_basics() {
+        let a = vec![d(&[0]), d(&[1]), d(&[3]), d(&[7])];
+        let b = vec![d(&[1]), d(&[2]), d(&[3]), d(&[9])];
+        assert_eq!(intersect(&a, &b), vec![d(&[1]), d(&[3])]);
+        assert_eq!(intersect(&a, &[]), vec![]);
+        assert_eq!(intersect(&[], &b), vec![]);
+        assert_eq!(intersect(&a, &a), a);
+    }
+
+    #[test]
+    fn intersect_large_gallop() {
+        let long: Vec<DeweyId> = (0..1000).map(|i| d(&[i])).collect();
+        let short = vec![d(&[0]), d(&[500]), d(&[999]), d(&[2000])];
+        assert_eq!(intersect(&short, &long), vec![d(&[0]), d(&[500]), d(&[999])]);
+    }
+
+    #[test]
+    fn phrase_postings_require_cooccurrence() {
+        let xml = r#"<dblp>
+            <article><author>Peter Buneman</author></article>
+            <article><author>Peter Chen</author></article>
+            <article><author>Mary Buneman</author></article>
+        </dblp>"#;
+        let corpus = Corpus::from_named_strs([("d", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let q = crate::query::Query::parse(r#""Peter Buneman""#).unwrap();
+        let kw = &q.normalized(ix.analyzer())[0];
+        let postings = keyword_postings(&ix, kw);
+        // Only the first article's author node has both terms.
+        assert_eq!(postings.len(), 1);
+        assert_eq!(postings[0], d(&[0, 0]));
+    }
+
+    #[test]
+    fn absent_term_kills_phrase() {
+        let xml = "<r><a>Peter</a></r>";
+        let corpus = Corpus::from_named_strs([("d", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let q = crate::query::Query::parse(r#""Peter Nosuch""#).unwrap();
+        let kw = &q.normalized(ix.analyzer())[0];
+        assert!(keyword_postings(&ix, kw).is_empty());
+    }
+
+    #[test]
+    fn empty_keyword_has_no_postings() {
+        let xml = "<r><a>x</a></r>";
+        let corpus = Corpus::from_named_strs([("d", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let q = crate::query::Query::parse("the").unwrap(); // stop word
+        let kw = &q.normalized(ix.analyzer())[0];
+        assert!(keyword_postings(&ix, kw).is_empty());
+    }
+}

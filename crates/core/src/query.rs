@@ -1,0 +1,206 @@
+//! Keyword queries.
+//!
+//! A GKS query `Q = {k1 … kn}` is a *set of keywords*; each keyword is either
+//! a single term or a quoted phrase (the paper's queries are full of author
+//! names like `"Peter Buneman"`, which count as **one** keyword). Keywords
+//! are normalized with the same analyzer the index used, so `Databases` in a
+//! query meets `databas` in the index.
+
+use gks_text::Analyzer;
+
+use crate::error::{QueryError, MAX_KEYWORDS};
+
+/// One query keyword: a term or a phrase of terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keyword {
+    /// The keyword as the user wrote it (for display).
+    raw: String,
+    /// Normalized terms; a phrase has several.
+    terms: Vec<String>,
+}
+
+impl Keyword {
+    /// The user-facing spelling.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The normalized terms (one for a plain keyword, several for a phrase).
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Whether this keyword is a multi-term phrase.
+    pub fn is_phrase(&self) -> bool {
+        self.terms.len() > 1
+    }
+}
+
+/// A parsed keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    keywords: Vec<Keyword>,
+}
+
+impl Query {
+    /// Parses user input: whitespace-separated keywords, double-quoted
+    /// phrases. Normalization (lower-case, stop words, stemming) is applied
+    /// lazily by [`Self::normalized`] at search time, because it depends on
+    /// the index's analyzer. This constructor only splits.
+    pub fn parse(input: &str) -> Result<Query, QueryError> {
+        let mut raw_keywords: Vec<String> = Vec::new();
+        let mut rest = input.trim();
+        while !rest.is_empty() {
+            if let Some(stripped) = rest.strip_prefix('"') {
+                let close = stripped.find('"').ok_or(QueryError::UnclosedQuote)?;
+                let phrase = stripped[..close].trim();
+                if !phrase.is_empty() {
+                    raw_keywords.push(phrase.to_string());
+                }
+                rest = stripped[close + 1..].trim_start();
+            } else {
+                let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+                raw_keywords.push(rest[..end].to_string());
+                rest = rest[end..].trim_start();
+            }
+        }
+        Self::from_keywords(raw_keywords)
+    }
+
+    /// Builds a query from pre-split keywords (each string may be a phrase).
+    pub fn from_keywords<S: Into<String>>(
+        keywords: impl IntoIterator<Item = S>,
+    ) -> Result<Query, QueryError> {
+        let keywords: Vec<Keyword> = keywords
+            .into_iter()
+            .map(|raw| {
+                let raw = raw.into();
+                Keyword { terms: Vec::new(), raw }
+            })
+            .collect();
+        if keywords.is_empty() {
+            return Err(QueryError::Empty);
+        }
+        if keywords.len() > MAX_KEYWORDS {
+            return Err(QueryError::TooManyKeywords(keywords.len()));
+        }
+        Ok(Query { keywords })
+    }
+
+    /// The raw keywords.
+    pub fn keywords(&self) -> &[Keyword] {
+        &self.keywords
+    }
+
+    /// Number of keywords, `|Q|`.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// True for a keyword-less query (not constructible via the public API).
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// Normalizes every keyword with the given analyzer, producing the
+    /// keywords the search engine actually matches. Keywords whose terms all
+    /// normalize away (e.g. a stop word) keep an empty term list and simply
+    /// never match.
+    pub fn normalized(&self, analyzer: &Analyzer) -> Vec<Keyword> {
+        self.keywords
+            .iter()
+            .map(|k| {
+                let mut terms = Vec::new();
+                analyzer.analyze_into(&k.raw, &mut terms);
+                // A phrase is a set of terms that must co-occur; duplicates
+                // within one phrase add nothing.
+                terms.dedup();
+                Keyword { raw: k.raw.clone(), terms }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, k) in self.keywords.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            if k.raw.contains(char::is_whitespace) {
+                write!(f, "\"{}\"", k.raw)?;
+            } else {
+                write!(f, "{}", k.raw)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_keywords() {
+        let q = Query::parse("student karen mike").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.keywords()[0].raw(), "student");
+    }
+
+    #[test]
+    fn parse_quoted_phrases() {
+        let q = Query::parse(r#""Peter Buneman" "Wenfei Fan" xml"#).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.keywords()[0].raw(), "Peter Buneman");
+        assert_eq!(q.keywords()[2].raw(), "xml");
+    }
+
+    #[test]
+    fn unclosed_quote_rejected() {
+        assert_eq!(Query::parse(r#"a "b c"#), Err(QueryError::UnclosedQuote));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Query::parse("   "), Err(QueryError::Empty));
+    }
+
+    #[test]
+    fn too_many_keywords_rejected() {
+        let words: Vec<String> = (0..65).map(|i| format!("k{i}")).collect();
+        assert_eq!(Query::from_keywords(words), Err(QueryError::TooManyKeywords(65)));
+    }
+
+    #[test]
+    fn normalization_stems_and_splits_phrases() {
+        let q = Query::parse(r#""Relational Databases" Students"#).unwrap();
+        let analyzer = gks_text::Analyzer::default();
+        let norm = q.normalized(&analyzer);
+        assert_eq!(norm[0].terms(), ["relat", "databas"]);
+        assert!(norm[0].is_phrase());
+        assert_eq!(norm[1].terms(), ["student"]);
+        assert!(!norm[1].is_phrase());
+    }
+
+    #[test]
+    fn stopword_keyword_normalizes_to_nothing() {
+        let q = Query::parse("the database").unwrap();
+        let norm = q.normalized(&gks_text::Analyzer::default());
+        assert!(norm[0].terms().is_empty());
+        assert_eq!(norm[1].terms(), ["databas"]);
+    }
+
+    #[test]
+    fn display_round_trips_phrases() {
+        let q = Query::parse(r#""Peter Buneman" xml"#).unwrap();
+        assert_eq!(q.to_string(), r#""Peter Buneman" xml"#);
+        assert_eq!(Query::parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn empty_quotes_are_skipped() {
+        let q = Query::parse(r#""" a"#).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+}

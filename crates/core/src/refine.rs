@@ -1,0 +1,182 @@
+//! Query refinement (paper §6.1).
+//!
+//! "The user query Q can be refined by either removing or adding the most
+//! relevant keywords to Q, in the context of the query." GKS supports three
+//! refinement moves, all derived from the response and its DI:
+//!
+//! * **sub-queries** — the distinct matched-keyword subsets of the top hits,
+//!   best first (`Q3 = {a,b,c,d}` → `{a,b,c}` and `{a,b,d}`);
+//! * **partition** — a greedy cover of the query by those subsets, showing
+//!   how the keywords distribute over the data (`Q3` partitions into
+//!   `{a,b,c}` + `{a,b,d}`);
+//! * **morphs** — the query with unmatchable keywords dropped and top DI
+//!   keywords offered as replacements (`{a,b,e}` → `{a,b,c}` / `{a,b,d}`).
+
+use crate::di::Insight;
+use crate::query::Query;
+use crate::search::Response;
+
+/// A set of refinement suggestions.
+#[derive(Debug, Clone)]
+pub struct Refinement {
+    /// Distinct matched-keyword subsets of the top hits, best-ranked first.
+    /// Each entry is a list of raw keyword spellings.
+    pub sub_queries: Vec<Vec<String>>,
+    /// A greedy partition of the query's matchable keywords by the
+    /// sub-queries above.
+    pub partition: Vec<Vec<String>>,
+    /// Keywords that matched nothing in the corpus.
+    pub unmatched: Vec<String>,
+    /// Morphed queries: matchable keywords of the best sub-queries plus one
+    /// top DI value each.
+    pub morphs: Vec<Vec<String>>,
+}
+
+/// Derives refinement suggestions from a response (and optionally its DI).
+pub fn refine(response: &Response, insights: &[Insight], max_suggestions: usize) -> Refinement {
+    let keywords = response.keywords();
+
+    // Distinct masks of the top hits, in rank order.
+    let mut seen_masks: Vec<u64> = Vec::new();
+    for hit in response.hits() {
+        if hit.keyword_mask != 0 && !seen_masks.contains(&hit.keyword_mask) {
+            seen_masks.push(hit.keyword_mask);
+        }
+        if seen_masks.len() >= max_suggestions {
+            break;
+        }
+    }
+    let mask_to_words = |mask: u64| -> Vec<String> {
+        keywords
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << *i) != 0)
+            .map(|(_, k)| k.raw().to_string())
+            .collect()
+    };
+    let sub_queries: Vec<Vec<String>> = seen_masks.iter().map(|&m| mask_to_words(m)).collect();
+
+    // Greedy partition: walk sub-queries best-first, taking each one's
+    // not-yet-covered keywords until all matchable keywords are covered.
+    let matchable: u64 = {
+        let missing: u64 =
+            response.missing_keyword_indices().iter().map(|&i| 1u64 << i).sum();
+        let all = if keywords.len() == 64 { u64::MAX } else { (1u64 << keywords.len()) - 1 };
+        all & !missing
+    };
+    let mut covered: u64 = 0;
+    let mut partition: Vec<Vec<String>> = Vec::new();
+    for &mask in &seen_masks {
+        if covered & matchable == matchable {
+            break;
+        }
+        if mask & !covered != 0 {
+            partition.push(mask_to_words(mask));
+            covered |= mask;
+        }
+    }
+
+    let unmatched: Vec<String> = response
+        .missing_keyword_indices()
+        .iter()
+        .map(|&i| keywords[i].raw().to_string())
+        .collect();
+
+    // Morphs: best sub-query (the matchable core) + one DI value.
+    let mut morphs: Vec<Vec<String>> = Vec::new();
+    if let Some(core) = sub_queries.first() {
+        for insight in insights.iter().take(max_suggestions) {
+            let mut q = core.clone();
+            if !q.contains(&insight.value) {
+                q.push(insight.value.clone());
+                morphs.push(q);
+            }
+        }
+    }
+
+    Refinement { sub_queries, partition, unmatched, morphs }
+}
+
+/// Builds a [`Query`] from one suggestion (helper for driving a follow-up
+/// search).
+pub fn suggestion_to_query(words: &[String]) -> Option<Query> {
+    Query::from_keywords(words.iter().cloned()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::search::{search, SearchOptions};
+    use gks_index::{Corpus, GksIndex, IndexOptions};
+
+    fn fig1() -> GksIndex {
+        let xml = "<r>\
+            <x1><v>ka</v><v>kb</v><v>kc</v><v>kf</v>\
+                <x2><v>ka</v><v>kb</v><v>kc</v></x2></x1>\
+            <x3><v>ka</v><v>kb</v><x5><v>kd</v><v>kf</v></x5></x3>\
+            <x4><v>kc</v><v>kd</v></x4>\
+        </r>";
+        let corpus = Corpus::from_named_strs([("fig1", xml)]).unwrap();
+        GksIndex::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn q3_sub_queries_and_partition() {
+        // §6.1: "user can refine the query Q3 to {a,b,c} or {a,b,d} given the
+        // GKS response" — and the partition covers all four keywords.
+        let ix = fig1();
+        let q = Query::parse("ka kb kc kd").unwrap();
+        let r = search(&ix, &q, SearchOptions::with_s(2)).unwrap();
+        let refinement = refine(&r, &[], 5);
+        assert_eq!(refinement.sub_queries[0], vec!["ka", "kb", "kc"]);
+        assert_eq!(refinement.sub_queries[1], vec!["ka", "kb", "kd"]);
+        // Greedy partition: {a,b,c} then {a,b,d} covers everything.
+        assert_eq!(refinement.partition.len(), 2);
+        assert!(refinement.unmatched.is_empty());
+    }
+
+    #[test]
+    fn q2_reports_unmatched_keyword() {
+        let ix = fig1();
+        let q = Query::parse("ka kb ke").unwrap();
+        let r = search(&ix, &q, SearchOptions::with_s(2)).unwrap();
+        let refinement = refine(&r, &[], 5);
+        assert_eq!(refinement.unmatched, vec!["ke"]);
+        assert_eq!(refinement.sub_queries[0], vec!["ka", "kb"]);
+    }
+
+    #[test]
+    fn morphs_extend_core_with_di() {
+        let ix = fig1();
+        let q = Query::parse("ka kb ke").unwrap();
+        let r = search(&ix, &q, SearchOptions::with_s(2)).unwrap();
+        let fake_insight = Insight {
+            value: "kc".into(),
+            path: vec!["x2".into()],
+            weight: 1.0,
+            support: 1,
+        };
+        let refinement = refine(&r, &[fake_insight], 5);
+        assert_eq!(refinement.morphs, vec![vec!["ka", "kb", "kc"]]);
+    }
+
+    #[test]
+    fn empty_response_produces_empty_suggestions() {
+        let ix = fig1();
+        let q = Query::parse("zz").unwrap();
+        let r = search(&ix, &q, SearchOptions::with_s(1)).unwrap();
+        let refinement = refine(&r, &[], 5);
+        assert!(refinement.sub_queries.is_empty());
+        assert!(refinement.partition.is_empty());
+        assert_eq!(refinement.unmatched, vec!["zz"]);
+        assert!(refinement.morphs.is_empty());
+    }
+
+    #[test]
+    fn suggestion_round_trips_to_query() {
+        let q = suggestion_to_query(&["ka".into(), "kb kc".into()]).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(suggestion_to_query(&[]).is_none());
+    }
+}

@@ -1,0 +1,538 @@
+//! GKS search (paper §4): retrieve every node containing at least `s` of the
+//! query keywords, organized around LCE nodes, ranked by potential flow.
+//!
+//! Pipeline (Figure 6 of the paper, with the exact-statistics refinement
+//! described in DESIGN.md):
+//!
+//! 1. fetch each keyword's posting list and k-way merge them into `SL`;
+//! 2. slide a window of `s` unique keywords over `SL`, collecting the longest
+//!    common prefix of each minimal block → candidate GKS nodes;
+//! 3. derive each candidate's *Least Common Entity* (nearest entity
+//!    ancestor-or-self, via `entityHash`);
+//! 4. sweep `SL` once to compute exact matched-keyword sets, potential-flow
+//!    ranks, and entity witnesses for all candidates and LCEs;
+//! 5. assemble `RQ(s)`: witnessed LCE nodes, plus LCP candidates with no
+//!    surviving LCE, pruned SLCA-style (an LCP hit strictly containing
+//!    another hit is dropped — "the nodes in GKS response set follow the
+//!    semantics of SLCA");
+//! 6. rank: descending potential-flow rank, then keyword count, then
+//!    document order.
+
+use std::time::Instant;
+
+use gks_dewey::DeweyId;
+use gks_index::fasthash::{FastMap, FastSet};
+use gks_index::GksIndex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::QueryError;
+use crate::merge::merge_posting_lists;
+use crate::postlist::keyword_postings;
+use crate::query::{Keyword, Query};
+use crate::sweep::sweep;
+use crate::window::lcp_candidates;
+
+/// How the minimum keyword count `s` is chosen for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Threshold {
+    /// A fixed `s`; effectively `min(s, |Q|)` per the problem definition.
+    Fixed(usize),
+    /// `s = |Q|` — every keyword must appear (the paper's `s=|Q|` rows).
+    All,
+    /// `s = max(1, |Q|/2)` — the paper's `s = |Q|/2` configuration.
+    HalfQuery,
+}
+
+impl Threshold {
+    /// Resolves to a concrete `s` for a query of `n` keywords.
+    pub fn resolve(self, n: usize) -> Result<usize, QueryError> {
+        let s = match self {
+            Threshold::Fixed(0) => return Err(QueryError::ZeroThreshold),
+            Threshold::Fixed(s) => s.min(n),
+            Threshold::All => n,
+            Threshold::HalfQuery => (n / 2).max(1),
+        };
+        Ok(s.max(1))
+    }
+}
+
+/// Search-time options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// The keyword threshold `s`.
+    pub s: Threshold,
+    /// Cap on returned hits (`usize::MAX` = unlimited).
+    pub limit: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { s: Threshold::Fixed(1), limit: usize::MAX }
+    }
+}
+
+impl SearchOptions {
+    /// Options with a fixed `s`.
+    pub fn with_s(s: usize) -> Self {
+        SearchOptions { s: Threshold::Fixed(s), ..Default::default() }
+    }
+}
+
+/// How a hit entered the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitKind {
+    /// A Least Common Entity node (Def 2.2.1) with an independent witness.
+    Lce,
+    /// An LCP candidate with no surviving entity ancestor.
+    Lcp,
+}
+
+/// One node of the GKS response `RQ(s)`.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// The node.
+    pub node: DeweyId,
+    /// LCE or plain LCP.
+    pub kind: HitKind,
+    /// Bit `i` set iff query keyword `i` occurs in the subtree.
+    pub keyword_mask: u64,
+    /// Number of distinct query keywords in the subtree.
+    pub keyword_count: u32,
+    /// Potential-flow rank (§5).
+    pub rank: f64,
+}
+
+impl Hit {
+    /// The raw spellings of the matched keywords, in query order.
+    pub fn matched_keywords<'q>(&self, keywords: &'q [Keyword]) -> Vec<&'q str> {
+        keywords
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.keyword_mask & (1 << i) != 0)
+            .map(|(_, k)| k.raw())
+            .collect()
+    }
+}
+
+/// Per-stage counters and timings of one search — the §4.2 complexity
+/// analysis made observable (used by the pipeline-breakdown experiment and
+/// for diagnosing slow queries).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchTrace {
+    /// Candidate nodes from the sliding window (after attribute promotion
+    /// and dedup).
+    pub candidates: usize,
+    /// Distinct LCE nodes derived from the candidates.
+    pub lce_nodes: usize,
+    /// LCE nodes that survived witness filtering with ≥ s keywords.
+    pub witnessed_lce: usize,
+    /// LCP hits emitted because no surviving LCE covered them.
+    pub orphan_lcp: usize,
+    /// LCP hits dropped by SLCA-style pruning.
+    pub pruned: usize,
+    /// Posting fetch + k-way merge time (µs).
+    pub merge_micros: u64,
+    /// Sliding-window candidate generation time (µs).
+    pub window_micros: u64,
+    /// Statistics sweep time (µs) — masks, ranks, witnesses.
+    pub sweep_micros: u64,
+    /// Hit assembly, pruning and final sort time (µs).
+    pub assemble_micros: u64,
+}
+
+/// The response to a GKS search.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Normalized query keywords (index order = mask bit order).
+    keywords: Vec<Keyword>,
+    /// The resolved threshold.
+    s: usize,
+    /// Ranked hits.
+    hits: Vec<Hit>,
+    /// |SL| — drives the paper's response-time analysis (Figure 8).
+    sl_len: usize,
+    /// Wall-clock search time.
+    elapsed_micros: u64,
+    /// Keywords (by index) with zero postings — candidates for refinement.
+    missing: Vec<usize>,
+    /// Per-stage counters and timings.
+    trace: SearchTrace,
+}
+
+impl Response {
+    /// Ranked hits, best first.
+    pub fn hits(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// The normalized keywords the search matched against.
+    pub fn keywords(&self) -> &[Keyword] {
+        &self.keywords
+    }
+
+    /// The resolved threshold `s`.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Size of the merged posting list `SL`.
+    pub fn sl_len(&self) -> usize {
+        self.sl_len
+    }
+
+    /// Search latency in microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.elapsed_micros
+    }
+
+    /// Indices of query keywords absent from the corpus.
+    pub fn missing_keyword_indices(&self) -> &[usize] {
+        &self.missing
+    }
+
+    /// Per-stage counters and timings of this search.
+    pub fn trace(&self) -> &SearchTrace {
+        &self.trace
+    }
+
+    /// The highest keyword count among hits (the paper's "Max keywords in a
+    /// GKS node", Table 7).
+    pub fn max_keyword_count(&self) -> u32 {
+        self.hits.iter().map(|h| h.keyword_count).max().unwrap_or(0)
+    }
+}
+
+/// Runs a GKS search against an index.
+pub fn search(index: &GksIndex, query: &Query, options: SearchOptions) -> Result<Response, QueryError> {
+    let start = Instant::now();
+    let keywords = query.normalized(index.analyzer());
+    if keywords.is_empty() {
+        return Err(QueryError::Empty);
+    }
+    let n = keywords.len();
+    let s = options.s.resolve(n)?;
+
+    // 1. Posting lists.
+    let lists: Vec<Vec<DeweyId>> =
+        keywords.iter().map(|k| keyword_postings(index, k)).collect();
+    let missing: Vec<usize> =
+        lists.iter().enumerate().filter(|(_, l)| l.is_empty()).map(|(i, _)| i).collect();
+
+    let mut trace = SearchTrace::default();
+    let stage = Instant::now();
+
+    // 2. Merge into SL.
+    let sl = merge_posting_lists(lists);
+    let sl_len = sl.len();
+    trace.merge_micros = stage.elapsed().as_micros() as u64;
+    let stage = Instant::now();
+
+    // 3. Window → LCP candidates (already promoted past attribute nodes).
+    let candidates = lcp_candidates(index, &sl, s, n);
+    trace.window_micros = stage.elapsed().as_micros() as u64;
+    trace.candidates = candidates.len();
+
+    // 4. LCE derivation.
+    let mut lce_of: FastMap<DeweyId, Option<DeweyId>> = FastMap::default();
+    let mut lce_set: FastSet<DeweyId> = FastSet::default();
+    for c in &candidates {
+        let lce = index.node_table().lowest_entity_ancestor_or_self(c);
+        if let Some(e) = &lce {
+            lce_set.insert(e.clone());
+        }
+        lce_of.insert(c.clone(), lce);
+    }
+
+    // 5. Exact statistics for candidates ∪ LCEs.
+    let mut stat_nodes: Vec<DeweyId> = candidates.clone();
+    stat_nodes.extend(lce_set.iter().cloned());
+    stat_nodes.sort_unstable();
+    stat_nodes.dedup();
+    let stage = Instant::now();
+    let stats = sweep(index, &sl, &stat_nodes, n);
+    trace.sweep_micros = stage.elapsed().as_micros() as u64;
+    trace.lce_nodes = lce_set.len();
+    let stat_by_node: FastMap<&DeweyId, usize> =
+        stat_nodes.iter().enumerate().map(|(i, d)| (d, i)).collect();
+    let stage = Instant::now();
+
+    // 6. Assemble hits.
+    let mut hits: Vec<Hit> = Vec::new();
+    let mut emitted: FastSet<DeweyId> = FastSet::default();
+    // Witnessed LCE nodes with enough keywords.
+    for e in &lce_set {
+        let st = &stats[stat_by_node[e]];
+        if st.witnessed && st.keyword_count() as usize >= s && emitted.insert(e.clone()) {
+            trace.witnessed_lce += 1;
+            hits.push(Hit {
+                node: e.clone(),
+                kind: HitKind::Lce,
+                keyword_mask: st.mask,
+                keyword_count: st.keyword_count(),
+                rank: st.rank,
+            });
+        }
+    }
+    // Candidates whose LCE is absent or did not survive fall back to plain
+    // LCP hits ("those nodes in LCP list for which no corresponding LCE node
+    // exist", §4.2).
+    for c in &candidates {
+        let surviving_lce = match &lce_of[c] {
+            Some(e) => {
+                let st = &stats[stat_by_node[e]];
+                st.witnessed && st.keyword_count() as usize >= s
+            }
+            None => false,
+        };
+        if surviving_lce {
+            continue;
+        }
+        let st = &stats[stat_by_node[c]];
+        if st.keyword_count() as usize >= s && emitted.insert(c.clone()) {
+            trace.orphan_lcp += 1;
+            hits.push(Hit {
+                node: c.clone(),
+                kind: HitKind::Lcp,
+                keyword_mask: st.mask,
+                keyword_count: st.keyword_count(),
+                rank: st.rank,
+            });
+        }
+    }
+
+    // SLCA-style pruning of LCP hits: drop an LCP hit whose contained hits
+    // jointly cover its keyword set — its information is more specifically
+    // available below (Table 1: x1 and r are dropped in favour of x2). An
+    // ancestor carrying a keyword its descendants do not cover survives, so
+    // no query keyword region is lost.
+    hits.sort_by(|a, b| a.node.cmp(&b.node));
+    let mut keep = vec![true; hits.len()];
+    for i in 0..hits.len() {
+        if hits[i].kind != HitKind::Lcp {
+            continue;
+        }
+        // Hits are in document order: contained hits follow i contiguously
+        // until the subtree upper bound. Pruned descendants may be counted
+        // too — their masks are covered by their own descendants, so the
+        // union over all contained hits equals the union over survivors.
+        let upper = hits[i].node.subtree_upper_bound();
+        let mut contained_union = 0u64;
+        let mut any_contained = false;
+        for h in hits.iter().skip(i + 1).take_while(|h| h.node < upper) {
+            contained_union |= h.keyword_mask;
+            any_contained = true;
+        }
+        if any_contained && contained_union & hits[i].keyword_mask == hits[i].keyword_mask {
+            keep[i] = false;
+        }
+    }
+    trace.pruned = keep.iter().filter(|&&k| !k).count();
+    let mut hits: Vec<Hit> =
+        hits.into_iter().zip(keep).filter(|(_, k)| *k).map(|(h, _)| h).collect();
+
+    // 7. Final ranking.
+    hits.sort_by(|a, b| {
+        b.rank
+            .partial_cmp(&a.rank)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.keyword_count.cmp(&a.keyword_count))
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    hits.truncate(options.limit);
+    trace.assemble_micros = stage.elapsed().as_micros() as u64;
+
+    Ok(Response {
+        keywords,
+        s,
+        hits,
+        sl_len,
+        elapsed_micros: start.elapsed().as_micros() as u64,
+        missing,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_dewey::DocId;
+    use gks_index::{Corpus, IndexOptions};
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    fn index_of(xml: &str) -> GksIndex {
+        let corpus = Corpus::from_named_strs([("t", xml)]).unwrap();
+        GksIndex::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    /// The Figure 1 tree (see DESIGN.md for the reconstruction).
+    fn fig1() -> GksIndex {
+        index_of(
+            "<r>\
+                <x1><v>ka</v><v>kb</v><v>kc</v><v>kf</v>\
+                    <x2><v>ka</v><v>kb</v><v>kc</v></x2></x1>\
+                <x3><v>ka</v><v>kb</v><x5><v>kd</v><v>kf</v></x5></x3>\
+                <x4><v>kc</v><v>kd</v></x4>\
+            </r>",
+        )
+    }
+
+    fn run(ix: &GksIndex, q: &str, s: usize) -> Response {
+        search(ix, &Query::parse(q).unwrap(), SearchOptions::with_s(s)).unwrap()
+    }
+
+    fn hit_nodes(r: &Response) -> Vec<DeweyId> {
+        r.hits().iter().map(|h| h.node.clone()).collect()
+    }
+
+    const X1: &[u32] = &[0];
+    const X2: &[u32] = &[0, 4];
+    const X3: &[u32] = &[1];
+    const X4: &[u32] = &[2];
+
+    #[test]
+    fn table1_q1_all_keywords() {
+        // Q1 = {a,b,c}, s = |Q1|: GKS returns {x2} — x1 and r have no
+        // information that is not more specifically in x2.
+        let ix = fig1();
+        let r = run(&ix, "ka kb kc", 3);
+        assert_eq!(hit_nodes(&r), vec![d(X2)]);
+        assert!((r.hits()[0].rank - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_q2_missing_keyword() {
+        // Q2 = {a,b,e}, s=2: 'ke' is absent; GKS still returns {x2},{x3}
+        // while SLCA/ELCA would return NULL.
+        let ix = fig1();
+        let r = run(&ix, "ka kb ke", 2);
+        let nodes = hit_nodes(&r);
+        assert_eq!(nodes, vec![d(X2), d(X3)]);
+        assert_eq!(r.missing_keyword_indices(), &[2]);
+    }
+
+    #[test]
+    fn table1_q3_ranked_x2_x3_x4() {
+        // Q3 = {a,b,c,d}, s=2: ranked {x2} > {x3} > {x4} (Example 5 ranks
+        // 3 > 2.5 > 2).
+        let ix = fig1();
+        let r = run(&ix, "ka kb kc kd", 2);
+        assert_eq!(hit_nodes(&r), vec![d(X2), d(X3), d(X4)]);
+        let ranks: Vec<f64> = r.hits().iter().map(|h| h.rank).collect();
+        assert!((ranks[0] - 3.0).abs() < 1e-9);
+        assert!((ranks[1] - 2.5).abs() < 1e-9);
+        assert!((ranks[2] - 2.0).abs() < 1e-9);
+        assert_eq!(r.max_keyword_count(), 3);
+    }
+
+    #[test]
+    fn x1_excluded_despite_qualifying() {
+        // x1 contains a, b, c (its own copies and x2's) but every hit it
+        // could justify is more specifically x2.
+        let ix = fig1();
+        let r = run(&ix, "ka kb kc", 3);
+        assert!(!hit_nodes(&r).contains(&d(X1)));
+    }
+
+    #[test]
+    fn example3_lce_response() {
+        // Fig 2(a)-style data; Q4 = {student, karen, mike, john}, s=2 → the
+        // three course entity nodes, ranked.
+        let xml = r#"<Dept><Dept_Name>CS</Dept_Name><Area><Name>Databases</Name><Courses>
+            <Course><Name>Data Mining</Name><Students>
+                <Student>Karen</Student><Student>Mike</Student><Student>Peter</Student></Students></Course>
+            <Course><Name>Algorithms</Name><Students>
+                <Student>Karen</Student><Student>John</Student><Student>Julie</Student></Students></Course>
+            <Course><Name>AI</Name><Students>
+                <Student>Karen</Student><Student>Mike</Student><Student>Serena</Student></Students></Course>
+        </Courses></Area></Dept>"#;
+        let ix = index_of(xml);
+        let r = run(&ix, "student karen mike john", 2);
+        // All hits are LCE (entity) hits on Course nodes.
+        for h in r.hits() {
+            assert_eq!(h.kind, HitKind::Lce, "{:?}", h.node);
+        }
+        let nodes = hit_nodes(&r);
+        assert!(nodes.contains(&d(&[1, 1, 0])), "Data Mining course");
+        assert!(nodes.contains(&d(&[1, 1, 1])), "Algorithms course");
+        assert!(nodes.contains(&d(&[1, 1, 2])), "AI course");
+        // Courses with student+karen+mike (3 kws) outrank student+karen+john
+        // … Data Mining and AI have {student,karen,mike}; all three courses
+        // have ≥ 3 matched keywords? Algorithms has {student,karen,john}.
+        assert!(r.hits()[0].keyword_count >= r.hits().last().unwrap().keyword_count);
+    }
+
+    #[test]
+    fn dblp_example2_any_author() {
+        // Example 2: s=1 returns every article by any queried author, ranked
+        // so articles with more queried co-authors come first.
+        let xml = r#"<dblp>
+            <inproceedings><title>Joint Work</title>
+                <author>Peter Buneman</author><author>Wenfei Fan</author><author>Scott Weinstein</author></inproceedings>
+            <inproceedings><title>Pair Work</title>
+                <author>Peter Buneman</author><author>Wenfei Fan</author></inproceedings>
+            <inproceedings><title>Solo A</title><author>Peter Buneman</author><author>Someone Else</author></inproceedings>
+            <inproceedings><title>Unrelated</title><author>Prithviraj Banerjee</author><author>Other Guy</author></inproceedings>
+        </dblp>"#;
+        let ix = index_of(xml);
+        let q = r#""Peter Buneman" "Wenfei Fan" "Scott Weinstein" "Prithviraj Banerjee""#;
+        let r = run(&ix, q, 1);
+        assert_eq!(r.hits().len(), 4, "all four articles match s=1");
+        // The three-author article ranks first, the two-author second.
+        assert_eq!(r.hits()[0].node, d(&[0]));
+        assert_eq!(r.hits()[0].keyword_count, 3);
+        assert_eq!(r.hits()[1].node, d(&[1]));
+        // An LCA-based technique would have returned the DBLP root; GKS must
+        // not.
+        assert!(!hit_nodes(&r).contains(&d(&[])));
+    }
+
+    #[test]
+    fn threshold_resolution() {
+        assert_eq!(Threshold::Fixed(3).resolve(5).unwrap(), 3);
+        assert_eq!(Threshold::Fixed(9).resolve(5).unwrap(), 5, "min(s, |Q|)");
+        assert_eq!(Threshold::All.resolve(5).unwrap(), 5);
+        assert_eq!(Threshold::HalfQuery.resolve(5).unwrap(), 2);
+        assert_eq!(Threshold::HalfQuery.resolve(1).unwrap(), 1);
+        assert!(Threshold::Fixed(0).resolve(3).is_err());
+    }
+
+    #[test]
+    fn lemma2_monotonicity_on_fig1() {
+        // |RQ(s1)| ≤ |RQ(s2)| for s1 > s2 (Lemma 2).
+        let ix = fig1();
+        let mut prev = usize::MAX;
+        for s in 1..=4 {
+            let r = run(&ix, "ka kb kc kd", s);
+            assert!(r.hits().len() <= prev, "s={s}: {} > {prev}", r.hits().len());
+            prev = r.hits().len();
+        }
+    }
+
+    #[test]
+    fn no_hits_when_nothing_matches() {
+        let ix = fig1();
+        let r = run(&ix, "zz yy", 1);
+        assert!(r.hits().is_empty());
+        assert_eq!(r.missing_keyword_indices(), &[0, 1]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let ix = fig1();
+        let mut opts = SearchOptions::with_s(1);
+        opts.limit = 2;
+        let r = search(&ix, &Query::parse("ka kb kc kd").unwrap(), opts).unwrap();
+        assert_eq!(r.hits().len(), 2);
+    }
+
+    #[test]
+    fn matched_keywords_reports_raw_spellings() {
+        let ix = fig1();
+        let r = run(&ix, "ka kb kc kd", 2);
+        let matched = r.hits()[0].matched_keywords(r.keywords());
+        assert_eq!(matched, vec!["ka", "kb", "kc"]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The statistics sweep: one pass over `SL` computing, for every candidate
+//! node, its exact matched-keyword set, its potential-flow rank (§5), and —
+//! for entity nodes — whether it has an *independent witness* (Def 2.2.1,
+//! Lemmas 4–5).
+//!
+//! The sweep maintains a stack of "active" candidate nodes (exactly the
+//! candidates whose subtree contains the current `SL` entry — candidates are
+//! sorted, so this is the classic Dewey ancestor stack). Each entry updates
+//! every active candidate:
+//!
+//! * the keyword bit joins the candidate's mask;
+//! * if the entry is the shallowest occurrence of its keyword seen so far in
+//!   the candidate's subtree, it becomes a *terminal point* and contributes
+//!   the potential-flow path product `Π 1/children(v)` along the path from
+//!   the candidate down to the entry's parent (ties at the same depth all
+//!   contribute — "each of its occurrences is considered a terminal point");
+//! * the entry's lowest entity ancestor-or-self is marked witnessed: a
+//!   keyword occurrence is an independent witness for exactly the nearest
+//!   enclosing entity node.
+//!
+//! The final rank is `P|e × Σ_k (terminal path products of k)` with
+//! `P|e = |matched keywords|`, reproducing the paper's Example 5 numbers.
+
+use gks_dewey::DeweyId;
+use gks_index::fasthash::FastMap;
+use gks_index::GksIndex;
+
+use crate::merge::SlEntry;
+
+/// Per-candidate results of the sweep.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// The candidate node.
+    pub dewey: DeweyId,
+    /// Bit `i` set iff query keyword `i` occurs in the subtree.
+    pub mask: u64,
+    /// Potential-flow rank (§5).
+    pub rank: f64,
+    /// Whether some keyword occurrence has this node as its nearest
+    /// enclosing entity (only meaningful for entity nodes).
+    pub witnessed: bool,
+}
+
+impl NodeStats {
+    /// Number of distinct query keywords in the subtree (`P|e`).
+    pub fn keyword_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// Runs the sweep. `nodes` must be sorted and deduplicated; `n_keywords` is
+/// `|Q|`. Returns stats in the same order as `nodes`.
+pub fn sweep(index: &GksIndex, sl: &[SlEntry], nodes: &[DeweyId], n_keywords: usize) -> Vec<NodeStats> {
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes sorted+deduped");
+    let n_nodes = nodes.len();
+    let mut mask = vec![0u64; n_nodes];
+    // Terminal tracking, flattened [node][keyword].
+    let mut min_depth = vec![u32::MAX; n_nodes * n_keywords];
+    let mut prod_sum = vec![0f64; n_nodes * n_keywords];
+    let mut witnessed = vec![false; n_nodes];
+
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_node = 0usize;
+
+    // Reciprocal child-count products along the current entry's root path:
+    // prods[t] = Π_{u<t} 1/children(prefix of depth u), so the product from a
+    // candidate at depth a down to the entry's parent is prods[dE]/prods[a].
+    let mut prods: Vec<f64> = vec![1.0];
+    let mut prev_entry: Option<DeweyId> = None;
+    // Cache of lowest-entity-ancestor lookups per posting node (postings for
+    // several keywords often repeat the same node).
+    let mut lea_cache: FastMap<DeweyId, Option<DeweyId>> = FastMap::default();
+
+    for (entry, kw) in sl {
+        let kw = *kw as usize;
+        // Activate candidates up to the current position.
+        while next_node < n_nodes && nodes[next_node] <= *entry {
+            while let Some(&top) = stack.last() {
+                if nodes[top].is_ancestor_or_self(&nodes[next_node]) {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(next_node);
+            next_node += 1;
+        }
+        // Keep only the candidates whose subtree contains the entry.
+        while let Some(&top) = stack.last() {
+            if nodes[top].is_ancestor_or_self(entry) {
+                break;
+            }
+            stack.pop();
+        }
+
+        if !stack.is_empty() {
+            // `prev_entry` is the entry `prods` currently describes — only
+            // entries that actually refreshed `prods` update it.
+            update_prods(index, &mut prods, prev_entry.as_ref(), entry);
+            prev_entry = Some(entry.clone());
+            let d_entry = entry.depth();
+            for &idx in &stack {
+                mask[idx] |= 1 << kw;
+                let d_node = nodes[idx].depth();
+                let p = prods[d_entry] / prods[d_node];
+                let slot = idx * n_keywords + kw;
+                let depth = d_entry as u32;
+                match depth.cmp(&min_depth[slot]) {
+                    std::cmp::Ordering::Less => {
+                        min_depth[slot] = depth;
+                        prod_sum[slot] = p;
+                    }
+                    std::cmp::Ordering::Equal => prod_sum[slot] += p,
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+        }
+
+        // Witness marking: this occurrence independently witnesses its
+        // nearest enclosing entity node.
+        let lea = lea_cache
+            .entry(entry.clone())
+            .or_insert_with(|| index.node_table().lowest_entity_ancestor_or_self(entry))
+            .clone();
+        if let Some(entity) = lea {
+            if let Ok(idx) = nodes.binary_search(&entity) {
+                witnessed[idx] = true;
+            }
+        }
+    }
+
+    (0..n_nodes)
+        .map(|i| {
+            let sum: f64 = prod_sum[i * n_keywords..(i + 1) * n_keywords].iter().sum();
+            let p = mask[i].count_ones() as f64;
+            NodeStats {
+                dewey: nodes[i].clone(),
+                mask: mask[i],
+                rank: p * sum,
+                witnessed: witnessed[i],
+            }
+        })
+        .collect()
+}
+
+/// Refreshes the prefix-product vector for a new entry, reusing the shared
+/// prefix with the previous entry (consecutive `SL` entries are pre-order
+/// neighbours, so most of the path is unchanged).
+fn update_prods(index: &GksIndex, prods: &mut Vec<f64>, prev: Option<&DeweyId>, entry: &DeweyId) {
+    let keep = match prev {
+        Some(p) => p.common_prefix_len(entry).unwrap_or(0),
+        None => 0,
+    };
+    prods.truncate(keep + 1);
+    for t in keep..entry.depth() {
+        let prefix = entry.ancestor_at_depth(t);
+        let children = index.node_table().child_count(&prefix).unwrap_or(1).max(1);
+        let last = *prods.last().expect("prods starts with 1.0");
+        prods.push(last / children as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_posting_lists;
+    use gks_dewey::DocId;
+    use gks_index::{Corpus, GksIndex, IndexOptions};
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    /// The Figure 1 tree as reconstructed in DESIGN.md: leaves are `<v>`
+    /// elements holding one keyword each.
+    fn fig1_index() -> GksIndex {
+        let xml = "<r>\
+            <x1><v>ka</v><v>kb</v><v>kc</v><v>kf</v>\
+                <x2><v>ka</v><v>kb</v><v>kc</v></x2></x1>\
+            <x3><v>ka</v><v>kb</v><x5><v>kd</v><v>kf</v></x5></x3>\
+            <x4><v>kc</v><v>kd</v></x4>\
+        </r>";
+        let corpus = Corpus::from_named_strs([("fig1", xml)]).unwrap();
+        GksIndex::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    fn sl_for(ix: &GksIndex, kws: &[&str]) -> Vec<SlEntry> {
+        merge_posting_lists(kws.iter().map(|k| ix.postings(k).to_vec()).collect())
+    }
+
+    #[test]
+    fn example5_ranks() {
+        // Q3 = {a, b, c, d}: the paper's Example 5 computes rank(x2) = 3,
+        // rank(x3) = 2.5, rank(x4) = 2.
+        let ix = fig1_index();
+        let sl = sl_for(&ix, &["ka", "kb", "kc", "kd"]);
+        let x2 = d(&[0, 4]);
+        let x3 = d(&[1]);
+        let x4 = d(&[2]);
+        let stats = sweep(&ix, &sl, &[x2.clone(), x3.clone(), x4.clone()], 4);
+        let by_node: std::collections::HashMap<_, _> =
+            stats.iter().map(|s| (s.dewey.clone(), s)).collect();
+
+        let s2 = by_node[&x2];
+        assert_eq!(s2.keyword_count(), 3); // a, b, c
+        assert!((s2.rank - 3.0).abs() < 1e-9, "rank(x2) = {}", s2.rank);
+
+        let s3 = by_node[&x3];
+        assert_eq!(s3.keyword_count(), 3); // a, b, d
+        assert!((s3.rank - 2.5).abs() < 1e-9, "rank(x3) = {}", s3.rank);
+
+        let s4 = by_node[&x4];
+        assert_eq!(s4.keyword_count(), 2); // c, d
+        assert!((s4.rank - 2.0).abs() < 1e-9, "rank(x4) = {}", s4.rank);
+    }
+
+    #[test]
+    fn masks_are_exact() {
+        let ix = fig1_index();
+        let sl = sl_for(&ix, &["ka", "kd"]);
+        let stats = sweep(&ix, &sl, &[d(&[]), d(&[0, 4]), d(&[1, 2])], 2);
+        assert_eq!(stats[0].mask, 0b11); // root sees both
+        assert_eq!(stats[1].mask, 0b01); // x2 has a only
+        assert_eq!(stats[2].mask, 0b10); // x5 has d only
+    }
+
+    #[test]
+    fn highest_occurrence_is_the_terminal() {
+        // For x1 and keyword 'ka': occurrences at depth 2 (direct v child) and
+        // depth 3 (inside x2). Only the depth-2 one is a terminal.
+        let ix = fig1_index();
+        let sl = sl_for(&ix, &["ka"]);
+        let x1 = d(&[0]);
+        let stats = sweep(&ix, &sl, &[x1], 1);
+        // x1 has 5 children; the direct <v>ka</v> receives 1/5 of potential 1.
+        assert!((stats[0].rank - 0.2).abs() < 1e-9, "rank = {}", stats[0].rank);
+    }
+
+    #[test]
+    fn duplicate_terminals_at_same_depth_all_count() {
+        let xml = "<r><v>ka</v><v>ka</v><v>kb</v></r>";
+        let corpus = Corpus::from_named_strs([("t", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let sl = sl_for(&ix, &["ka", "kb"]);
+        let stats = sweep(&ix, &sl, &[d(&[])], 2);
+        // P = 2; terminals: two 'a' at 1/3 each, one 'b' at 1/3 → rank 2.
+        assert!((stats[0].rank - 2.0).abs() < 1e-9, "rank = {}", stats[0].rank);
+    }
+
+    #[test]
+    fn witness_marks_nearest_entity_only() {
+        // Courses with students: each Course is an entity; the Area above
+        // them gets no witness from keywords that live inside courses.
+        let xml = r#"<Area><Name>DB</Name><Courses>
+            <Course><Name>Mining</Name><Students>
+                <Student>Karen</Student><Student>Mike</Student></Students></Course>
+            <Course><Name>AI</Name><Students>
+                <Student>Karen</Student><Student>John</Student></Students></Course>
+        </Courses></Area>"#;
+        let corpus = Corpus::from_named_strs([("w", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let sl = sl_for(&ix, &["karen", "mike"]);
+        let area = d(&[]);
+        let course0 = d(&[1, 0]);
+        let stats = sweep(&ix, &sl, &[area, course0], 2);
+        assert!(!stats[0].witnessed, "Area's keywords all live inside courses");
+        assert!(stats[1].witnessed, "Course 0 directly contains karen & mike");
+        // Both masks are full nonetheless.
+        assert_eq!(stats[0].mask, 0b11);
+        assert_eq!(stats[1].mask, 0b11);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ix = fig1_index();
+        assert!(sweep(&ix, &[], &[], 1).is_empty());
+        let stats = sweep(&ix, &[], &[d(&[])], 1);
+        assert_eq!(stats[0].mask, 0);
+        assert_eq!(stats[0].rank, 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Synthetic biological datasets: SwissProt, Protein Sequence, InterPro.
+//!
+//! * **SwissProt** — `<root>` → `<Entry id class mtype>` → `<AC>`, `<Mod>`,
+//!   `<Descr>`, `<Species>`, `<Org>*`, `<Ref>*` (→ `<Author>*`, `<Cite>`),
+//!   `<Keyword>*`, `<Features>` → `<DOMAIN>`/`<CHAIN>`* (→ `<Descr>`).
+//! * **Protein Sequence** — `<ProteinDatabase>` → `<ProteinEntry>` →
+//!   `<header>`, `<protein>`, `<organism>`, `<reference>*` → `<refinfo>` →
+//!   `<authors>` → `<author>*`, `<citation>`.
+//! * **InterPro** — `<interprodb>` → `<interpro id>` → `<name>`,
+//!   `<abstract>`, `<pub_list>` → `<publication>*` (→ `<author_list>`,
+//!   `<journal>`, `<year>`), `<taxonomy_distribution>` → `<taxon_data>*`
+//!   (name / proteins_count as XML attributes) — the shape behind the
+//!   paper's QI1/QI2 queries and their DI.
+
+use gks_xml::Writer;
+use rand::Rng as _;
+
+use crate::pools::{person, pick, title, ORGANISMS, PROTEIN_STEMS, TAXA, TOPIC_KEYWORDS};
+
+// ---------------------------------------------------------------- SwissProt
+
+/// SwissProt generation parameters.
+#[derive(Debug, Clone)]
+pub struct SwissProtConfig {
+    /// Number of `<Entry>` records.
+    pub entries: usize,
+}
+
+impl Default for SwissProtConfig {
+    fn default() -> Self {
+        SwissProtConfig { entries: 25 }
+    }
+}
+
+/// SwissProt output.
+#[derive(Debug, Clone)]
+pub struct BioOutput {
+    /// The document.
+    pub xml: String,
+    /// Names planted in records (protein descriptions or entry names).
+    pub names: Vec<String>,
+    /// Author names planted in references.
+    pub authors: Vec<String>,
+    /// Years of publications in the 'Science' journal (InterPro only) —
+    /// used to build the paper's QI2-style query.
+    pub science_years: Vec<String>,
+}
+
+/// Generates a SwissProt-like document.
+pub fn generate_swissprot(config: &SwissProtConfig, seed: u64) -> BioOutput {
+    let mut rng = crate::rng(seed);
+    let mut w = Writer::new();
+    w.start("root", &[]).expect("writer");
+    let mut names = Vec::new();
+    let mut authors = Vec::new();
+    for i in 0..config.entries {
+        let descr = format!(
+            "{} {}",
+            pick(&mut rng, PROTEIN_STEMS),
+            pick(&mut rng, PROTEIN_STEMS)
+        );
+        w.start(
+            "Entry",
+            &[
+                ("id", &format!("P{i:05}")),
+                ("class", if rng.gen_bool(0.8) { "STANDARD" } else { "PRELIMINARY" }),
+                ("mtype", "PRT"),
+            ],
+        )
+        .expect("writer");
+        w.element_text("AC", &[], &format!("Q{:05}", rng.gen_range(0..99999u32)))
+            .expect("writer");
+        w.element_text("Mod", &[], &format!("{:02}-{}", rng.gen_range(1..=12), rng.gen_range(1990..=2015)))
+            .expect("writer");
+        w.element_text("Descr", &[], &descr).expect("writer");
+        w.element_text("Species", &[], pick(&mut rng, ORGANISMS)).expect("writer");
+        for _ in 0..rng.gen_range(1..=3) {
+            w.element_text("Org", &[], pick(&mut rng, TAXA)).expect("writer");
+        }
+        for r in 0..rng.gen_range(1..=3) {
+            w.start("Ref", &[("num", &r.to_string())]).expect("writer");
+            for _ in 0..rng.gen_range(1..=4) {
+                let a = person(&mut rng);
+                w.element_text("Author", &[], &a).expect("writer");
+                authors.push(a);
+            }
+            w.element_text("Cite", &[], &title(&mut rng, 5)).expect("writer");
+            w.end().expect("writer");
+        }
+        for _ in 0..rng.gen_range(1..=4) {
+            w.element_text("Keyword", &[], pick(&mut rng, TOPIC_KEYWORDS)).expect("writer");
+        }
+        w.start("Features", &[]).expect("writer");
+        for _ in 0..rng.gen_range(1..=3) {
+            let kind = if rng.gen_bool(0.5) { "DOMAIN" } else { "CHAIN" };
+            w.start(kind, &[]).expect("writer");
+            w.element_text("Descr", &[], pick(&mut rng, TOPIC_KEYWORDS)).expect("writer");
+            w.element_text("from", &[], &rng.gen_range(1..200).to_string()).expect("writer");
+            w.element_text("to", &[], &rng.gen_range(200..999).to_string()).expect("writer");
+            w.end().expect("writer");
+        }
+        w.end().expect("writer"); // Features
+        w.end().expect("writer"); // Entry
+        names.push(descr);
+    }
+    w.end().expect("writer");
+    BioOutput { xml: w.finish().expect("balanced"), names, authors, science_years: Vec::new() }
+}
+
+// --------------------------------------------------------- Protein Sequence
+
+/// Protein Sequence generation parameters.
+#[derive(Debug, Clone)]
+pub struct ProteinConfig {
+    /// Number of `<ProteinEntry>` records.
+    pub entries: usize,
+}
+
+impl Default for ProteinConfig {
+    fn default() -> Self {
+        ProteinConfig { entries: 25 }
+    }
+}
+
+/// Generates a Protein-Sequence-Database-like document.
+pub fn generate_protein(config: &ProteinConfig, seed: u64) -> BioOutput {
+    let mut rng = crate::rng(seed);
+    let mut w = Writer::new();
+    w.start("ProteinDatabase", &[]).expect("writer");
+    let mut names = Vec::new();
+    let mut authors = Vec::new();
+    for i in 0..config.entries {
+        let name = format!("{} precursor", pick(&mut rng, PROTEIN_STEMS));
+        w.start("ProteinEntry", &[("id", &format!("PE{i:05}"))]).expect("writer");
+        w.start("header", &[]).expect("writer");
+        w.element_text("uid", &[], &format!("U{i:06}")).expect("writer");
+        w.element_text("accession", &[], &format!("A{:05}", rng.gen_range(0..99999u32)))
+            .expect("writer");
+        w.end().expect("writer");
+        w.start("protein", &[]).expect("writer");
+        w.element_text("name", &[], &name).expect("writer");
+        w.element_text("classification", &[], pick(&mut rng, PROTEIN_STEMS)).expect("writer");
+        w.end().expect("writer");
+        w.start("organism", &[]).expect("writer");
+        w.element_text("source", &[], pick(&mut rng, ORGANISMS)).expect("writer");
+        w.end().expect("writer");
+        for _ in 0..rng.gen_range(1..=3) {
+            w.start("reference", &[]).expect("writer");
+            w.start("refinfo", &[]).expect("writer");
+            w.start("authors", &[]).expect("writer");
+            for _ in 0..rng.gen_range(1..=4) {
+                let a = person(&mut rng);
+                w.element_text("author", &[], &a).expect("writer");
+                authors.push(a);
+            }
+            w.end().expect("writer"); // authors
+            w.element_text("citation", &[], &title(&mut rng, 6)).expect("writer");
+            w.element_text("year", &[], &rng.gen_range(1980..=2015).to_string())
+                .expect("writer");
+            w.end().expect("writer"); // refinfo
+            w.end().expect("writer"); // reference
+        }
+        w.end().expect("writer"); // ProteinEntry
+        names.push(name);
+    }
+    w.end().expect("writer");
+    BioOutput { xml: w.finish().expect("balanced"), names, authors, science_years: Vec::new() }
+}
+
+// ------------------------------------------------------------------ InterPro
+
+/// InterPro generation parameters.
+#[derive(Debug, Clone)]
+pub struct InterProConfig {
+    /// Number of `<interpro>` records.
+    pub entries: usize,
+}
+
+impl Default for InterProConfig {
+    fn default() -> Self {
+        InterProConfig { entries: 25 }
+    }
+}
+
+/// Generates an InterPro-like document.
+pub fn generate_interpro(config: &InterProConfig, seed: u64) -> BioOutput {
+    let mut rng = crate::rng(seed);
+    let mut w = Writer::new();
+    w.start("interprodb", &[]).expect("writer");
+    let mut names = Vec::new();
+    let mut authors = Vec::new();
+    let mut science_years = Vec::new();
+    for i in 0..config.entries {
+        let name = format!("{} domain", pick(&mut rng, PROTEIN_STEMS));
+        w.start(
+            "interpro",
+            &[("id", &format!("IPR{i:06}")), ("type", "Domain")],
+        )
+        .expect("writer");
+        w.element_text("name", &[], &name).expect("writer");
+        w.element_text("abstract", &[], &title(&mut rng, 12)).expect("writer");
+        w.start("pub_list", &[]).expect("writer");
+        for p in 0..rng.gen_range(1..=3) {
+            w.start("publication", &[("id", &format!("PUB{i}-{p}"))]).expect("writer");
+            w.start("author_list", &[]).expect("writer");
+            for _ in 0..rng.gen_range(1..=3) {
+                let a = person(&mut rng);
+                w.element_text("author", &[], &a).expect("writer");
+                authors.push(a);
+            }
+            w.end().expect("writer"); // author_list
+            let journal = if rng.gen_bool(0.3) { "Science" } else { "J Mol Biol" };
+            w.element_text("journal", &[], journal).expect("writer");
+            let year = rng.gen_range(1995..=2010).to_string();
+            w.element_text("year", &[], &year).expect("writer");
+            if journal == "Science" {
+                science_years.push(year);
+            }
+            w.end().expect("writer"); // publication
+        }
+        w.end().expect("writer"); // pub_list
+        w.start("taxonomy_distribution", &[]).expect("writer");
+        for _ in 0..rng.gen_range(1..=3) {
+            let taxon = pick(&mut rng, TAXA);
+            let count = rng.gen_range(1..500).to_string();
+            w.empty("taxon_data", &[("name", taxon), ("proteins_count", count.as_str())])
+                .expect("writer");
+        }
+        w.end().expect("writer"); // taxonomy_distribution
+        w.end().expect("writer"); // interpro
+        names.push(name);
+    }
+    w.end().expect("writer");
+    BioOutput { xml: w.finish().expect("balanced"), names, authors, science_years }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_xml::Document;
+
+    #[test]
+    fn swissprot_structure() {
+        let out = generate_swissprot(&SwissProtConfig { entries: 10 }, 5);
+        let doc = Document::parse(&out.xml).unwrap();
+        let entries: Vec<_> = doc.root().element_children();
+        assert_eq!(entries.len(), 10);
+        for e in entries {
+            assert_eq!(e.name(), "Entry");
+            assert!(e.attribute("id").is_some());
+            assert!(e.child_element("Descr").is_some());
+            assert!(e.find_all("Author").count() >= 1);
+        }
+        assert_eq!(out.names.len(), 10);
+    }
+
+    #[test]
+    fn protein_structure() {
+        let out = generate_protein(&ProteinConfig { entries: 8 }, 5);
+        let doc = Document::parse(&out.xml).unwrap();
+        assert_eq!(doc.root().name(), "ProteinDatabase");
+        for e in doc.root().element_children() {
+            assert_eq!(e.name(), "ProteinEntry");
+            assert!(e.child_element("protein").is_some());
+            assert!(e.find_all("author").count() >= 1);
+        }
+    }
+
+    #[test]
+    fn interpro_structure() {
+        let out = generate_interpro(&InterProConfig { entries: 8 }, 5);
+        let doc = Document::parse(&out.xml).unwrap();
+        for e in doc.root().element_children() {
+            assert_eq!(e.name(), "interpro");
+            assert!(e.child_element("pub_list").is_some());
+            let taxons: Vec<_> = e.find_all("taxon_data").collect();
+            assert!(!taxons.is_empty());
+            assert!(taxons[0].attribute("proteins_count").is_some());
+        }
+    }
+
+    #[test]
+    fn interpro_has_science_publications_for_qi2() {
+        // The paper's QI2 = {Publication 2002 Science}; 'Science' must exist.
+        let out = generate_interpro(&InterProConfig { entries: 40 }, 5);
+        assert!(out.xml.contains("Science"));
+    }
+}

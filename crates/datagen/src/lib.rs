@@ -1,0 +1,161 @@
+//! Seeded synthetic XML corpora mirroring the GKS paper's datasets.
+//!
+//! The paper evaluates on real repositories from the University of
+//! Washington XML repository (DBLP, SIGMOD Record, Mondial, TreeBank,
+//! SwissProt, Protein Sequence, InterPro, NASA, Shakespeare's plays). Those
+//! files are not available here, so each generator reproduces the *schema
+//! shape* that drives every algorithm in this workspace — element
+//! vocabulary, nesting depth, sibling repetition, single- vs multi-child
+//! records — at a configurable scale, deterministically from a seed.
+//!
+//! Each generator returns the XML plus a small *manifest* of the entities it
+//! planted (author names, course/country names, co-author groups …), which
+//! the experiment harness uses to build queries analogous to the paper's
+//! Table 6 without peeking into the index.
+
+pub mod bio;
+pub mod dblp;
+pub mod merge;
+pub mod mondial;
+pub mod nasa;
+pub mod pools;
+pub mod shakespeare;
+pub mod sigmod;
+pub mod treebank;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The deterministic RNG used by all generators.
+pub type Rng = StdRng;
+
+/// Creates the generator RNG for a seed.
+pub fn rng(seed: u64) -> Rng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Descriptor of one synthetic dataset at a given scale, used by the
+/// Table 4/5 experiments to iterate "all datasets".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// SIGMOD Record: issues → articles → authors.
+    SigmodRecord,
+    /// Mondial: countries/provinces/cities, payload in XML attributes.
+    Mondial,
+    /// Shakespeare's plays: acts/scenes/speeches.
+    Plays,
+    /// TreeBank: very deep parse trees.
+    TreeBank,
+    /// SwissProt: protein entries with references and features.
+    SwissProt,
+    /// Protein Sequence Database.
+    ProteinSequence,
+    /// DBLP bibliography.
+    Dblp,
+    /// NASA astronomy datasets.
+    Nasa,
+    /// InterPro protein families.
+    InterPro,
+}
+
+impl Dataset {
+    /// The paper's display name (Table 4).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::SigmodRecord => "SIGMOD Record",
+            Dataset::Mondial => "Mondial",
+            Dataset::Plays => "Plays",
+            Dataset::TreeBank => "TreeBank",
+            Dataset::SwissProt => "SwissProt",
+            Dataset::ProteinSequence => "Protein Sequence",
+            Dataset::Dblp => "DBLP",
+            Dataset::Nasa => "NASA",
+            Dataset::InterPro => "InterPro",
+        }
+    }
+
+    /// All datasets in the paper's Table 4 order (NASA and InterPro, used in
+    /// §7.1.2/§7.3, appended).
+    pub fn all() -> [Dataset; 9] {
+        [
+            Dataset::SigmodRecord,
+            Dataset::Mondial,
+            Dataset::Plays,
+            Dataset::TreeBank,
+            Dataset::SwissProt,
+            Dataset::ProteinSequence,
+            Dataset::Dblp,
+            Dataset::Nasa,
+            Dataset::InterPro,
+        ]
+    }
+
+    /// Generates this dataset's XML at roughly `scale` records with the
+    /// given seed (what a "record" is depends on the dataset; sizes grow
+    /// linearly in `scale`).
+    pub fn generate(self, scale: usize, seed: u64) -> String {
+        match self {
+            Dataset::SigmodRecord => sigmod::generate(&sigmod::Config {
+                issues: scale.max(1),
+                ..Default::default()
+            }, seed).xml,
+            Dataset::Mondial => mondial::generate(&mondial::Config {
+                countries: scale.max(1),
+                ..Default::default()
+            }, seed).xml,
+            Dataset::Plays => shakespeare::generate(&shakespeare::Config {
+                plays: scale.max(1),
+                ..Default::default()
+            }, seed).xml,
+            Dataset::TreeBank => treebank::generate(&treebank::Config {
+                sentences: scale.max(1),
+                ..Default::default()
+            }, seed).xml,
+            Dataset::SwissProt => bio::generate_swissprot(&bio::SwissProtConfig { entries: scale.max(1) }, seed).xml,
+            Dataset::ProteinSequence => bio::generate_protein(&bio::ProteinConfig { entries: scale.max(1) }, seed).xml,
+            Dataset::Dblp => dblp::generate(&dblp::Config {
+                articles: scale.max(1),
+                ..Default::default()
+            }, seed).xml,
+            Dataset::Nasa => nasa::generate(&nasa::Config { datasets: scale.max(1) }, seed).xml,
+            Dataset::InterPro => bio::generate_interpro(&bio::InterProConfig { entries: scale.max(1) }, seed).xml,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_well_formed_xml() {
+        for ds in Dataset::all() {
+            let xml = ds.generate(3, 42);
+            gks_xml::Document::parse(&xml)
+                .unwrap_or_else(|e| panic!("{}: {e}", ds.name()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for ds in Dataset::all() {
+            assert_eq!(ds.generate(3, 7), ds.generate(3, 7), "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::Dblp.generate(5, 1);
+        let b = Dataset::Dblp.generate(5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn size_grows_with_scale() {
+        for ds in Dataset::all() {
+            let small = ds.generate(2, 3).len();
+            let large = ds.generate(20, 3).len();
+            assert!(large > small * 3, "{}: {small} -> {large}", ds.name());
+        }
+    }
+}

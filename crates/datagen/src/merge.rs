@@ -1,0 +1,86 @@
+//! Corpus merging for the hybrid-query experiments (paper §7.6).
+//!
+//! "We merged DBLP and Sigmod Record datasets into a single dataset (with a
+//! 'common root'). We also increased the depth of Sigmod Record elements by
+//! introducing two connecting nodes between the 'common root' and the root
+//! of Sigmod Record data."
+
+/// A part of a merged document: its wrapper element name, the source XML,
+/// and how many padding connecting nodes to insert above it.
+#[derive(Debug, Clone)]
+pub struct MergePart<'a> {
+    /// The wrapper element around this part's content.
+    pub wrapper: &'a str,
+    /// A complete XML document whose root element is unwrapped into the
+    /// wrapper.
+    pub xml: &'a str,
+    /// Number of `<padN>` connecting nodes inserted above the wrapper.
+    pub pad_levels: usize,
+}
+
+/// Strips the outermost element of a document, returning its inner content.
+/// Panics on input without a root element (generator output always has one).
+pub fn strip_root(xml: &str) -> &str {
+    let open_end = xml.find('>').expect("root open tag");
+    let Some(close_start) = xml.rfind("</") else {
+        return ""; // self-closing root: <a/>
+    };
+    if open_end + 1 > close_start {
+        return ""; // empty root
+    }
+    &xml[open_end + 1..close_start]
+}
+
+/// Merges several documents under one `<merged>` root, optionally padding
+/// parts with extra connecting levels.
+pub fn merge_under_root(parts: &[MergePart<'_>]) -> String {
+    let mut out = String::from("<merged>");
+    for part in parts {
+        for level in 0..part.pad_levels {
+            out.push_str(&format!("<pad{}>", level + 1));
+        }
+        out.push('<');
+        out.push_str(part.wrapper);
+        out.push('>');
+        out.push_str(strip_root(part.xml));
+        out.push_str("</");
+        out.push_str(part.wrapper);
+        out.push('>');
+        for level in (0..part.pad_levels).rev() {
+            out.push_str(&format!("</pad{}>", level + 1));
+        }
+    }
+    out.push_str("</merged>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_xml::Document;
+
+    #[test]
+    fn strip_root_basics() {
+        assert_eq!(strip_root("<a><b>x</b></a>"), "<b>x</b>");
+        assert_eq!(strip_root("<a/>"), "");
+        assert_eq!(strip_root("<a></a>"), "");
+        assert_eq!(strip_root("<a attr=\"v\">text</a>"), "text");
+    }
+
+    #[test]
+    fn merged_document_is_well_formed_and_padded() {
+        let d1 = "<dblp><article><title>T</title></article></dblp>";
+        let d2 = "<SigmodRecord><issue><volume>11</volume></issue></SigmodRecord>";
+        let merged = merge_under_root(&[
+            MergePart { wrapper: "dblp", xml: d1, pad_levels: 0 },
+            MergePart { wrapper: "SigmodRecord", xml: d2, pad_levels: 2 },
+        ]);
+        let doc = Document::parse(&merged).unwrap();
+        assert_eq!(doc.root().name(), "merged");
+        assert!(doc.root().child_element("dblp").is_some());
+        // The SIGMOD side sits two connecting levels deeper.
+        let pad1 = doc.root().child_element("pad1").unwrap();
+        let pad2 = pad1.child_element("pad2").unwrap();
+        assert!(pad2.child_element("SigmodRecord").is_some());
+    }
+}

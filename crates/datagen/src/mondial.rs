@@ -1,0 +1,151 @@
+//! Synthetic Mondial (geographic database).
+//!
+//! Mondial is the attribute-heavy dataset: countries carry `car_code`/`name`
+//! as XML attributes, demographics are repeated elements with `percentage`
+//! attributes, and provinces nest cities. Exercises the indexer's
+//! XML-attribute lifting and the paper's QM* queries (`country Muslim`,
+//! `Laos country name`, …).
+
+use gks_xml::Writer;
+use rand::Rng as _;
+
+use crate::pools::{pick, CITY_STEMS, CITY_SUFFIXES, COUNTRIES, ETHNIC_GROUPS, LANGUAGES, RELIGIONS};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of countries (cycled through the country pool with numeric
+    /// suffixes when exceeding it).
+    pub countries: usize,
+    /// Max provinces per country.
+    pub max_provinces: usize,
+    /// Max cities per province.
+    pub max_cities: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { countries: 20, max_provinces: 4, max_cities: 5 }
+    }
+}
+
+/// Generator output.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The document.
+    pub xml: String,
+    /// Country names in document order.
+    pub countries: Vec<String>,
+    /// (country, religion) pairs planted.
+    pub religions: Vec<(String, String)>,
+    /// All city names.
+    pub cities: Vec<String>,
+}
+
+/// Generates a Mondial-like document.
+pub fn generate(config: &Config, seed: u64) -> Output {
+    let mut rng = crate::rng(seed);
+    let mut w = Writer::new();
+    w.start("mondial", &[]).expect("writer");
+    let mut countries = Vec::new();
+    let mut religions = Vec::new();
+    let mut cities = Vec::new();
+    for i in 0..config.countries {
+        let base = COUNTRIES[i % COUNTRIES.len()];
+        let name =
+            if i < COUNTRIES.len() { base.to_string() } else { format!("{base}{}", i / COUNTRIES.len()) };
+        let car_code: String = name.chars().take(2).collect::<String>().to_uppercase();
+        w.start(
+            "country",
+            &[
+                ("car_code", car_code.as_str()),
+                ("name", name.as_str()),
+                ("capital", &format!("cty-{i}-0")),
+            ],
+        )
+        .expect("writer");
+        w.element_text("name", &[], &name).expect("writer");
+        w.element_text("population", &[], &rng.gen_range(100_000..80_000_000).to_string())
+            .expect("writer");
+        w.element_text(
+            "population_growth",
+            &[],
+            &format!("{:.2}", rng.gen_range(-1.0..4.0)),
+        )
+        .expect("writer");
+
+        for _ in 0..rng.gen_range(1..=3) {
+            let pct = format!("{:.1}", rng.gen_range(1.0..100.0));
+            w.element_text("ethnicgroups", &[("percentage", pct.as_str())], pick(&mut rng, ETHNIC_GROUPS))
+                .expect("writer");
+        }
+        for _ in 0..rng.gen_range(1..=3) {
+            let religion = pick(&mut rng, RELIGIONS).to_string();
+            let pct = format!("{:.1}", rng.gen_range(1.0..100.0));
+            w.element_text("religions", &[("percentage", pct.as_str())], &religion)
+                .expect("writer");
+            religions.push((name.clone(), religion));
+        }
+        for _ in 0..rng.gen_range(1..=3) {
+            let pct = format!("{:.1}", rng.gen_range(1.0..100.0));
+            w.element_text("languages", &[("percentage", pct.as_str())], pick(&mut rng, LANGUAGES))
+                .expect("writer");
+        }
+
+        for p in 0..rng.gen_range(1..=config.max_provinces.max(1)) {
+            w.start("province", &[("id", &format!("prov-{i}-{p}"))]).expect("writer");
+            w.element_text("name", &[], &format!("{name} Province {p}")).expect("writer");
+            for c in 0..rng.gen_range(1..=config.max_cities.max(1)) {
+                let city =
+                    format!("{}{}", pick(&mut rng, CITY_STEMS), pick(&mut rng, CITY_SUFFIXES));
+                w.start("city", &[("id", &format!("cty-{i}-{p}-{c}"))]).expect("writer");
+                w.element_text("name", &[], &city).expect("writer");
+                w.element_text("population", &[], &rng.gen_range(1_000..5_000_000).to_string())
+                    .expect("writer");
+                w.end().expect("writer"); // city
+                cities.push(city);
+            }
+            w.end().expect("writer"); // province
+        }
+        w.end().expect("writer"); // country
+        countries.push(name);
+    }
+    w.end().expect("writer");
+    Output { xml: w.finish().expect("balanced"), countries, religions, cities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_xml::Document;
+
+    #[test]
+    fn structure_matches_mondial_shape() {
+        let out = generate(&Config::default(), 31);
+        let doc = Document::parse(&out.xml).unwrap();
+        let root = doc.root();
+        assert_eq!(root.name(), "mondial");
+        assert_eq!(root.element_children().len(), out.countries.len());
+        for country in root.element_children() {
+            assert!(country.attribute("car_code").is_some());
+            assert!(country.attribute("name").is_some());
+            assert!(country.child_element("province").is_some());
+            assert!(country.find_all("city").count() >= 1);
+        }
+    }
+
+    #[test]
+    fn religions_manifest_is_accurate() {
+        let out = generate(&Config::default(), 7);
+        let doc = Document::parse(&out.xml).unwrap();
+        let total: usize = doc.root().find_all("religions").count();
+        assert_eq!(total, out.religions.len());
+    }
+
+    #[test]
+    fn country_pool_wraps_with_suffixes() {
+        let out = generate(&Config { countries: 35, ..Default::default() }, 1);
+        assert_eq!(out.countries.len(), 35);
+        assert!(out.countries.iter().any(|c| c.ends_with('1')), "{:?}", &out.countries[30..]);
+    }
+}

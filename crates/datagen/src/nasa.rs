@@ -1,0 +1,129 @@
+//! Synthetic NASA astronomy dataset (used in §7.1.2's response-time
+//! experiments: average keyword depth ~6.7–6.9).
+//!
+//! `<datasets>` → `<dataset subject>` → `<title>`, `<altname>*`,
+//! `<author>*` (→ `<initial>`, `<lastName>`), `<keywords>` → `<keyword>*`,
+//! `<history>` → `<creator>` → `<name>`, `<date>`; `<tableHead>` →
+//! `<tableLinks>` → `<tableLink>*` — deliberately nested so text keywords
+//! sit 5–7 levels deep.
+
+use gks_xml::Writer;
+use rand::Rng as _;
+
+use crate::pools::{pick, title, FIRST_NAMES, LAST_NAMES, TOPIC_KEYWORDS};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of `<dataset>` records.
+    pub datasets: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { datasets: 20 }
+    }
+}
+
+/// Generator output.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The document.
+    pub xml: String,
+    /// Author last names planted.
+    pub last_names: Vec<String>,
+    /// Dataset titles.
+    pub titles: Vec<String>,
+}
+
+/// Generates a NASA-like document.
+pub fn generate(config: &Config, seed: u64) -> Output {
+    let mut rng = crate::rng(seed);
+    let mut w = Writer::new();
+    w.start("datasets", &[]).expect("writer");
+    let mut last_names = Vec::new();
+    let mut titles = Vec::new();
+    for i in 0..config.datasets {
+        let n_title_words = rng.gen_range(4..=8);
+        let t = title(&mut rng, n_title_words);
+        w.start("dataset", &[("subject", "astronomy")]).expect("writer");
+        w.element_text("title", &[], &t).expect("writer");
+        for a in 0..rng.gen_range(0..=2) {
+            w.element_text("altname", &[("type", "ADC")], &format!("ADC {i}-{a}"))
+                .expect("writer");
+        }
+        for _ in 0..rng.gen_range(1..=4) {
+            let first = pick(&mut rng, FIRST_NAMES);
+            let last = pick(&mut rng, LAST_NAMES).to_string();
+            w.start("author", &[]).expect("writer");
+            w.element_text("initial", &[], &first[..1]).expect("writer");
+            w.element_text("lastName", &[], &last).expect("writer");
+            w.end().expect("writer");
+            last_names.push(last);
+        }
+        w.start("keywords", &[("parentListURL", "http://example/kw")]).expect("writer");
+        for _ in 0..rng.gen_range(2..=5) {
+            w.element_text("keyword", &[], pick(&mut rng, TOPIC_KEYWORDS)).expect("writer");
+        }
+        w.end().expect("writer"); // keywords
+        w.start("history", &[]).expect("writer");
+        w.start("creator", &[]).expect("writer");
+        w.element_text("name", &[], pick(&mut rng, LAST_NAMES)).expect("writer");
+        w.element_text("date", &[], &format!("{}-01-01", rng.gen_range(1970..=2000)))
+            .expect("writer");
+        w.end().expect("writer"); // creator
+        w.start("ingest", &[]).expect("writer");
+        w.start("creator", &[]).expect("writer");
+        w.element_text("name", &[], pick(&mut rng, LAST_NAMES)).expect("writer");
+        w.end().expect("writer");
+        w.element_text("date", &[], &format!("{}-06-15", rng.gen_range(2000..=2015)))
+            .expect("writer");
+        w.end().expect("writer"); // ingest
+        w.end().expect("writer"); // history
+        w.start("tableHead", &[]).expect("writer");
+        w.start("tableLinks", &[]).expect("writer");
+        for l in 0..rng.gen_range(1..=3) {
+            w.element_text("tableLink", &[("href", &format!("tbl-{i}-{l}"))], "table")
+                .expect("writer");
+        }
+        w.end().expect("writer"); // tableLinks
+        w.end().expect("writer"); // tableHead
+        w.end().expect("writer"); // dataset
+        titles.push(t);
+    }
+    w.end().expect("writer");
+    Output { xml: w.finish().expect("balanced"), last_names, titles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_xml::Document;
+
+    #[test]
+    fn structure_matches_nasa_shape() {
+        let out = generate(&Config { datasets: 6 }, 17);
+        let doc = Document::parse(&out.xml).unwrap();
+        assert_eq!(doc.root().name(), "datasets");
+        for ds in doc.root().element_children() {
+            assert_eq!(ds.name(), "dataset");
+            assert!(ds.child_element("title").is_some());
+            assert!(ds.find_all("lastName").count() >= 1);
+            assert!(ds.child_element("history").is_some());
+        }
+        assert_eq!(out.titles.len(), 6);
+    }
+
+    #[test]
+    fn keywords_nested_several_levels() {
+        let out = generate(&Config { datasets: 2 }, 17);
+        // creator names sit at datasets/dataset/history/creator/name.
+        let doc = Document::parse(&out.xml).unwrap();
+        let ds = &doc.root().element_children()[0];
+        let name = ds
+            .child_element("history")
+            .and_then(|h| h.child_element("creator"))
+            .and_then(|c| c.child_element("name"));
+        assert!(name.is_some());
+    }
+}

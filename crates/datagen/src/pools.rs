@@ -1,0 +1,193 @@
+//! Shared vocabulary pools for the generators.
+//!
+//! All pools are fixed arrays so that generation is deterministic given a
+//! seed, and so that experiment queries can reference values that are
+//! guaranteed to exist (e.g. author names are `first last` pairs drawn from
+//! these pools).
+
+use rand::Rng as _;
+
+use crate::Rng;
+
+/// First names for synthetic people.
+pub static FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Claude", "Dana", "Edgar", "Frances", "Grace", "Hedy", "Ivan",
+    "Jim", "Karen", "Leslie", "Maurice", "Niklaus", "Ole", "Peter", "Radia", "Stephen", "Tim",
+    "Ursula", "Vint", "Wenfei", "Xavier", "Yvonne", "Zohar", "Manoj", "Krithi", "Prashant",
+    "Divesh", "Nicolas", "Serge", "Victor", "Hector", "Jennifer", "Jeffrey", "Rakesh", "Ramez",
+    "Shamkant", "Michael", "David", "Donald", "Raghu", "Johannes", "Surajit", "Moshe", "Dan",
+    "Mary", "Susan", "Laura",
+];
+
+/// Last names for synthetic people.
+pub static LAST_NAMES: &[&str] = &[
+    "Lovelace", "Turing", "Liskov", "Shannon", "Scott", "Codd", "Allen", "Hopper", "Lamarr",
+    "Sutherland", "Gray", "Jones", "Lamport", "Wilkes", "Wirth", "Madsen", "Buneman",
+    "Perlman", "Cook", "Lee", "Franklin", "Cerf", "Fan", "Leroy", "Choquet", "Manna",
+    "Agarwal", "Ramamritham", "Mehta", "Srivastava", "Bruno", "Abiteboul", "Vianu",
+    "Garcia-Molina", "Widom", "Ullman", "Agrawal", "Elmasri", "Navathe", "Stonebraker",
+    "DeWitt", "Knuth", "Ramakrishnan", "Gehrke", "Chaudhuri", "Vardi", "Suciu", "Shaw",
+    "Davidson", "Haas",
+];
+
+/// Words used in titles, abstracts and descriptions.
+pub static TITLE_WORDS: &[&str] = &[
+    "efficient", "keyword", "search", "xml", "data", "query", "processing", "index",
+    "semantic", "ranking", "schema", "semistructured", "optimization", "join", "twig",
+    "holistic", "stream", "distributed", "parallel", "adaptive", "incremental", "approximate",
+    "probabilistic", "graph", "tree", "pattern", "matching", "integration", "warehouse",
+    "transaction", "recovery", "concurrency", "scalable", "declarative", "relational",
+    "temporal", "spatial", "mining", "learning", "clustering", "classification", "skyline",
+    "provenance", "view", "materialized", "cache", "partition", "replication", "consistency",
+];
+
+/// Journal names (DBLP-style).
+pub static JOURNALS: &[&str] = &[
+    "SIGMOD Record", "TODS", "VLDB Journal", "TKDE", "Information Systems", "JACM", "TCS",
+    "IBM Research Report", "Computing Surveys", "Data Engineering Bulletin",
+];
+
+/// Conference names (DBLP booktitle-style).
+pub static BOOKTITLES: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "ICDT", "CIKM", "WWW", "KDD", "PODS", "ICPP",
+];
+
+/// Country names for Mondial.
+pub static COUNTRIES: &[&str] = &[
+    "Albania", "Bolivia", "Cambodia", "Denmark", "Ecuador", "Finland", "Ghana", "Hungary",
+    "Iceland", "Jordan", "Kenya", "Laos", "Morocco", "Nepal", "Oman", "Peru", "Qatar",
+    "Romania", "Senegal", "Thailand", "Uganda", "Vietnam", "Yemen", "Zimbabwe", "Luxembourg",
+    "Belgium", "Austria", "Chile", "Estonia", "Fiji",
+];
+
+/// City name stems for Mondial.
+pub static CITY_STEMS: &[&str] = &[
+    "Port", "New", "Old", "Upper", "Lower", "East", "West", "North", "South", "Grand",
+    "Little", "Fort", "Lake", "Mount", "Saint",
+];
+
+/// City name suffixes for Mondial.
+pub static CITY_SUFFIXES: &[&str] = &[
+    "ville", "burg", "ton", "ford", "haven", "field", "bridge", "stad", "minster", "mouth",
+];
+
+/// Religions for Mondial.
+pub static RELIGIONS: &[&str] = &[
+    "Muslim", "Catholic", "Protestant", "Orthodox", "Buddhism", "Hinduism", "Christianity",
+    "Jewish", "Anglican", "Shinto",
+];
+
+/// Languages for Mondial.
+pub static LANGUAGES: &[&str] = &[
+    "Polish", "Spanish", "German", "French", "Thai", "Chinese", "Arabic", "Hindi", "Swahili",
+    "Portuguese", "Dutch", "Khmer", "Lao",
+];
+
+/// Ethnic groups for Mondial.
+pub static ETHNIC_GROUPS: &[&str] = &[
+    "Albanian", "Greek", "Quechua", "Mestizo", "Khmer", "Dane", "Finn", "Magyar", "Berber",
+    "Sherpa", "Akan", "Kikuyu",
+];
+
+/// Protein / gene style tokens for the bio datasets.
+pub static PROTEIN_STEMS: &[&str] = &[
+    "kinase", "globin", "ferritin", "actin", "myosin", "tubulin", "histone", "collagen",
+    "insulin", "albumin", "keratin", "elastin", "lysozyme", "pepsin", "trypsin", "amylase",
+];
+
+/// Organism names for the bio datasets.
+pub static ORGANISMS: &[&str] = &[
+    "Homo sapiens", "Mus musculus", "Escherichia coli", "Saccharomyces cerevisiae",
+    "Drosophila melanogaster", "Arabidopsis thaliana", "Danio rerio", "Rattus norvegicus",
+    "Caenorhabditis elegans", "Bacillus subtilis",
+];
+
+/// Taxonomy groups for InterPro.
+pub static TAXA: &[&str] = &[
+    "Eukaryota", "Bacteria", "Archaea", "Viruses", "Metazoa", "Fungi", "Viridiplantae",
+];
+
+/// Keywords for SwissProt/NASA keyword lists.
+pub static TOPIC_KEYWORDS: &[&str] = &[
+    "transferase", "hydrolase", "membrane", "nuclear", "cytoplasm", "signal", "receptor",
+    "transport", "binding", "repeat", "zinc", "iron", "calcium", "photometry", "spectroscopy",
+    "astrometry", "radial", "velocity", "magnitude", "parallax",
+];
+
+/// Penn-Treebank-style part-of-speech / phrase labels.
+pub static TREEBANK_LABELS: &[&str] = &[
+    "S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP", "PRT", "INTJ",
+];
+
+/// English filler words for TreeBank leaves and Shakespeare lines.
+pub static FILLER_WORDS: &[&str] = &[
+    "time", "king", "heart", "night", "day", "love", "death", "crown", "sword", "ghost",
+    "honor", "blood", "storm", "castle", "letter", "witch", "throne", "battle", "prince",
+    "queen", "fool", "grave", "poison", "dream", "shadow", "mercy", "justice", "truth",
+];
+
+/// Play titles.
+pub static PLAY_TITLES: &[&str] = &[
+    "The Tragedy of Hamlet", "Macbeth", "King Lear", "Othello", "The Tempest",
+    "Julius Caesar", "Richard III", "Twelfth Night", "As You Like It", "The Winters Tale",
+];
+
+/// Picks one element of a pool.
+pub fn pick<'a>(rng: &mut Rng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A synthetic person name.
+pub fn person(rng: &mut Rng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A title of `words` random title words, capitalized.
+pub fn title(rng: &mut Rng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        let w = pick(rng, TITLE_WORDS);
+        // Capitalize the first word.
+        if i == 0 {
+            let mut c = w.chars();
+            if let Some(first) = c.next() {
+                out.extend(first.to_uppercase());
+                out.push_str(c.as_str());
+            }
+        } else {
+            out.push_str(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_and_title_are_deterministic() {
+        let mut a = crate::rng(5);
+        let mut b = crate::rng(5);
+        assert_eq!(person(&mut a), person(&mut b));
+        assert_eq!(title(&mut a, 4), title(&mut b, 4));
+    }
+
+    #[test]
+    fn title_has_requested_word_count() {
+        let mut r = crate::rng(1);
+        let t = title(&mut r, 5);
+        assert_eq!(t.split(' ').count(), 5);
+        assert!(t.chars().next().unwrap().is_uppercase());
+    }
+
+    #[test]
+    fn pools_are_non_trivial() {
+        assert!(FIRST_NAMES.len() >= 32);
+        assert!(LAST_NAMES.len() >= 32);
+        assert!(TITLE_WORDS.len() >= 32);
+    }
+}

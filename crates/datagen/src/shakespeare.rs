@@ -1,0 +1,155 @@
+//! Synthetic Shakespeare plays ("Plays" in Table 4, "distributed over
+//! multiple files").
+//!
+//! `<PLAY>` → `<TITLE>`, `<PERSONAE>` → `<PERSONA>*`, `<ACT>*` →
+//! `<TITLE>`, `<SCENE>*` → `<TITLE>`, `<SPEECH>*` → `<SPEAKER>`, `<LINE>*`.
+
+use gks_xml::Writer;
+use rand::Rng as _;
+
+use crate::pools::{pick, FILLER_WORDS, LAST_NAMES, PLAY_TITLES};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of plays (each a `<PLAY>` element; use
+    /// [`generate_files`] for one file per play).
+    pub plays: usize,
+    /// Acts per play.
+    pub acts: usize,
+    /// Scenes per act.
+    pub scenes: usize,
+    /// Speeches per scene.
+    pub speeches: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { plays: 3, acts: 3, scenes: 3, speeches: 6 }
+    }
+}
+
+/// Generator output.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// A single document wrapping all plays (`<PLAYS>` root).
+    pub xml: String,
+    /// Speaker names used.
+    pub speakers: Vec<String>,
+    /// Play titles used.
+    pub titles: Vec<String>,
+}
+
+/// Generates all plays into one document.
+pub fn generate(config: &Config, seed: u64) -> Output {
+    let files = generate_files(config, seed);
+    let mut w = Writer::new();
+    w.start("PLAYS", &[]).expect("writer");
+    let mut xml = w_into_string(w);
+    let mut speakers = Vec::new();
+    let mut titles = Vec::new();
+    for f in files {
+        xml.push_str(&f.xml);
+        speakers.extend(f.speakers);
+        titles.extend(f.titles);
+    }
+    xml.push_str("</PLAYS>");
+    speakers.sort();
+    speakers.dedup();
+    Output { xml, speakers, titles }
+}
+
+// Writer has no "leave open" mode; emit the prefix manually.
+fn w_into_string(_w: Writer) -> String {
+    "<PLAYS>".to_string()
+}
+
+/// Generates one document per play (the paper's plays "are distributed over
+/// multiple files").
+pub fn generate_files(config: &Config, seed: u64) -> Vec<Output> {
+    let mut rng = crate::rng(seed);
+    let mut out = Vec::with_capacity(config.plays);
+    for p in 0..config.plays {
+        let base = PLAY_TITLES[p % PLAY_TITLES.len()];
+        let title = if p < PLAY_TITLES.len() {
+            base.to_string()
+        } else {
+            format!("{base} Part {}", p / PLAY_TITLES.len() + 1)
+        };
+        let mut speakers: Vec<String> = (0..rng.gen_range(4..=8))
+            .map(|_| pick(&mut rng, LAST_NAMES).to_uppercase())
+            .collect();
+        speakers.sort();
+        speakers.dedup();
+
+        let mut w = Writer::new();
+        w.start("PLAY", &[]).expect("writer");
+        w.element_text("TITLE", &[], &title).expect("writer");
+        w.start("PERSONAE", &[]).expect("writer");
+        for s in &speakers {
+            w.element_text("PERSONA", &[], s).expect("writer");
+        }
+        w.end().expect("writer");
+        for a in 0..config.acts.max(1) {
+            w.start("ACT", &[]).expect("writer");
+            w.element_text("TITLE", &[], &format!("ACT {}", a + 1)).expect("writer");
+            for s in 0..config.scenes.max(1) {
+                w.start("SCENE", &[]).expect("writer");
+                w.element_text("TITLE", &[], &format!("SCENE {}", s + 1)).expect("writer");
+                for _ in 0..config.speeches.max(1) {
+                    w.start("SPEECH", &[]).expect("writer");
+                    let speaker = &speakers[rng.gen_range(0..speakers.len())];
+                    w.element_text("SPEAKER", &[], speaker).expect("writer");
+                    for _ in 0..rng.gen_range(1..=4) {
+                        let line = format!(
+                            "the {} of {} speaks to the {}",
+                            pick(&mut rng, FILLER_WORDS),
+                            pick(&mut rng, FILLER_WORDS),
+                            pick(&mut rng, FILLER_WORDS),
+                        );
+                        w.element_text("LINE", &[], &line).expect("writer");
+                    }
+                    w.end().expect("writer"); // SPEECH
+                }
+                w.end().expect("writer"); // SCENE
+            }
+            w.end().expect("writer"); // ACT
+        }
+        w.end().expect("writer"); // PLAY
+        out.push(Output {
+            xml: w.finish().expect("balanced"),
+            speakers: speakers.clone(),
+            titles: vec![title],
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_xml::Document;
+
+    #[test]
+    fn single_document_wraps_all_plays() {
+        let out = generate(&Config::default(), 23);
+        let doc = Document::parse(&out.xml).unwrap();
+        assert_eq!(doc.root().name(), "PLAYS");
+        assert_eq!(doc.root().element_children().len(), 3);
+    }
+
+    #[test]
+    fn per_file_structure() {
+        let files = generate_files(&Config { plays: 2, ..Default::default() }, 23);
+        assert_eq!(files.len(), 2);
+        for f in files {
+            let doc = Document::parse(&f.xml).unwrap();
+            assert_eq!(doc.root().name(), "PLAY");
+            assert!(doc.root().find_all("SPEECH").count() >= 9);
+            // Every SPEAKER is in the manifest.
+            for sp in doc.root().find_all("SPEAKER") {
+                assert!(f.speakers.contains(&sp.text()), "{}", sp.text());
+            }
+        }
+    }
+}

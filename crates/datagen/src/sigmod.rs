@@ -1,0 +1,127 @@
+//! Synthetic SIGMOD Record.
+//!
+//! `<SigmodRecord>` → `<issue>` (volume, number) → `<articles>` →
+//! `<article>` → `<title>`, `<initPage>`, `<endPage>`, `<authors>` →
+//! `<author>*`. The §7.2 discussion hinges on this shape: `<articles>` and
+//! `<authors>` are connecting nodes, and single-author articles fail the
+//! entity rule.
+
+use gks_xml::Writer;
+use rand::Rng as _;
+
+use crate::pools::{person, title};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of issues.
+    pub issues: usize,
+    /// Articles per issue (upper bound; actual count is 2..=max).
+    pub max_articles_per_issue: usize,
+    /// Probability of a single-author article.
+    pub single_author_prob: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { issues: 10, max_articles_per_issue: 8, single_author_prob: 0.3 }
+    }
+}
+
+/// Generator output.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The document.
+    pub xml: String,
+    /// Author lists per article, in document order.
+    pub article_authors: Vec<Vec<String>>,
+    /// Article titles, in document order.
+    pub titles: Vec<String>,
+}
+
+/// Generates a SIGMOD-Record-like document.
+pub fn generate(config: &Config, seed: u64) -> Output {
+    let mut rng = crate::rng(seed);
+    let mut w = Writer::new();
+    w.start("SigmodRecord", &[]).expect("writer");
+    let mut article_authors = Vec::new();
+    let mut titles = Vec::new();
+    for v in 0..config.issues {
+        w.start("issue", &[]).expect("writer");
+        w.element_text("volume", &[], &(11 + v).to_string()).expect("writer");
+        w.element_text("number", &[], &(1 + v % 4).to_string()).expect("writer");
+        w.start("articles", &[]).expect("writer");
+        let n_articles = rng.gen_range(2..=config.max_articles_per_issue.max(2));
+        let mut page = 1u32;
+        for _ in 0..n_articles {
+            let n_title_words = rng.gen_range(3..=8);
+            let t = title(&mut rng, n_title_words);
+            let n_authors = if rng.gen_bool(config.single_author_prob) {
+                1
+            } else {
+                rng.gen_range(2..=5)
+            };
+            let mut authors = Vec::with_capacity(n_authors);
+            while authors.len() < n_authors {
+                let p = person(&mut rng);
+                if !authors.contains(&p) {
+                    authors.push(p);
+                }
+            }
+            let len = rng.gen_range(6..=24);
+            w.start("article", &[]).expect("writer");
+            w.element_text("title", &[], &t).expect("writer");
+            w.element_text("initPage", &[], &page.to_string()).expect("writer");
+            w.element_text("endPage", &[], &(page + len).to_string()).expect("writer");
+            w.start("authors", &[]).expect("writer");
+            for (pos, a) in authors.iter().enumerate() {
+                w.element_text("author", &[("position", &pos.to_string())], a)
+                    .expect("writer");
+            }
+            w.end().expect("writer"); // authors
+            w.end().expect("writer"); // article
+            page += len + 1;
+            article_authors.push(authors);
+            titles.push(t);
+        }
+        w.end().expect("writer"); // articles
+        w.end().expect("writer"); // issue
+    }
+    w.end().expect("writer");
+    Output { xml: w.finish().expect("balanced"), article_authors, titles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_xml::Document;
+
+    #[test]
+    fn structure_matches_sigmod_shape() {
+        let out = generate(&Config::default(), 21);
+        let doc = Document::parse(&out.xml).unwrap();
+        let root = doc.root();
+        assert_eq!(root.name(), "SigmodRecord");
+        let mut articles = 0;
+        for issue in root.element_children() {
+            assert_eq!(issue.name(), "issue");
+            let arts = issue.child_element("articles").expect("articles container");
+            for article in arts.element_children() {
+                articles += 1;
+                assert!(article.child_element("title").is_some());
+                let authors = article.child_element("authors").expect("authors container");
+                assert!(!authors.element_children().is_empty());
+            }
+        }
+        assert_eq!(articles, out.article_authors.len());
+        assert_eq!(articles, out.titles.len());
+    }
+
+    #[test]
+    fn author_positions_present() {
+        let out = generate(&Config::default(), 2);
+        let doc = Document::parse(&out.xml).unwrap();
+        let first_author = doc.root().find_all("author").next().unwrap();
+        assert_eq!(first_author.attribute("position"), Some("0"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Synthetic TreeBank: deep, irregular parse trees.
+//!
+//! The real TreeBank's distinguishing feature in Table 4 is its depth (36
+//! vs ≤ 8 for everything else) and irregular recursive structure. The
+//! generator emits `<FILE>` → `<EMPTY>` (sentence) → recursive phrase
+//! elements (`S`, `NP`, `VP`, …) bottoming out in word leaves, with a
+//! configurable maximum depth the recursion actually reaches.
+
+use gks_xml::Writer;
+use rand::Rng as _;
+
+use crate::pools::{pick, FILLER_WORDS, TREEBANK_LABELS};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of sentences.
+    pub sentences: usize,
+    /// Maximum recursion depth of a sentence's parse tree.
+    pub max_depth: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { sentences: 10, max_depth: 30 }
+    }
+}
+
+/// Generator output.
+#[derive(Debug, Clone)]
+pub struct Output {
+    /// The document.
+    pub xml: String,
+    /// All leaf words in order.
+    pub words: Vec<String>,
+}
+
+/// Generates a TreeBank-like document.
+pub fn generate(config: &Config, seed: u64) -> Output {
+    let mut rng = crate::rng(seed);
+    let mut w = Writer::new();
+    let mut words = Vec::new();
+    w.start("FILE", &[]).expect("writer");
+    for s in 0..config.sentences {
+        w.start("EMPTY", &[]).expect("writer");
+        // Force one deep spine per sentence so max depth is actually hit,
+        // plus bushier random structure around it.
+        let deep = s % 2 == 0;
+        grow(&mut w, &mut rng, config.max_depth.max(2), deep, &mut words);
+        w.end().expect("writer");
+    }
+    w.end().expect("writer");
+    Output { xml: w.finish().expect("balanced"), words }
+}
+
+fn grow(w: &mut Writer, rng: &mut crate::Rng, budget: usize, spine: bool, words: &mut Vec<String>) {
+    let label = pick(rng, TREEBANK_LABELS);
+    w.start(label, &[]).expect("writer");
+    if budget <= 1 {
+        let word = pick(rng, FILLER_WORDS).to_string();
+        w.text(&word).expect("writer");
+        words.push(word);
+    } else {
+        let children = if spine { 1 } else { rng.gen_range(1..=3) };
+        for c in 0..children {
+            // The spine child keeps recursing to full depth; others shrink
+            // fast, giving the irregular look of parse trees.
+            let child_budget = if spine && c == 0 {
+                budget - 1
+            } else {
+                rng.gen_range(1..=(budget / 2).max(1))
+            };
+            if child_budget <= 1 && rng.gen_bool(0.5) {
+                let word = pick(rng, FILLER_WORDS).to_string();
+                w.element_text(pick(rng, TREEBANK_LABELS), &[], &word).expect("writer");
+                words.push(word);
+            } else {
+                grow(w, rng, child_budget, spine && c == 0, words);
+            }
+        }
+    }
+    w.end().expect("writer");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_xml::{Document, Node};
+
+    fn depth_of(node: &Node) -> usize {
+        1 + node
+            .element_children()
+            .iter()
+            .map(|c| depth_of(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn trees_reach_configured_depth() {
+        let out = generate(&Config { sentences: 4, max_depth: 20 }, 13);
+        let doc = Document::parse(&out.xml).unwrap();
+        let d = depth_of(doc.root());
+        assert!(d >= 20, "depth {d} < 20");
+    }
+
+    #[test]
+    fn words_manifest_matches_leaves() {
+        let out = generate(&Config { sentences: 3, max_depth: 8 }, 13);
+        let doc = Document::parse(&out.xml).unwrap();
+        let text = doc.root().text();
+        for word in &out.words {
+            assert!(text.contains(word.as_str()));
+        }
+        assert!(!out.words.is_empty());
+    }
+}

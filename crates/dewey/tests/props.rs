@@ -1,0 +1,82 @@
+//! Property tests for the Dewey id algebra and codecs.
+
+use gks_dewey::{codec, DeweyId, DocId};
+use proptest::prelude::*;
+
+fn arb_id() -> impl Strategy<Value = DeweyId> {
+    (0u32..4, proptest::collection::vec(0u32..8, 0..6))
+        .prop_map(|(doc, steps)| DeweyId::new(DocId(doc), steps))
+}
+
+proptest! {
+    /// Ancestor iff strict prefix, and prefix-order sorts ancestors first.
+    #[test]
+    fn ancestor_implies_order(a in arb_id(), b in arb_id()) {
+        if a.is_ancestor_of(&b) {
+            prop_assert!(a < b);
+            prop_assert!(a.depth() < b.depth());
+            prop_assert!(a.subtree_upper_bound() > b);
+        }
+    }
+
+    /// The common prefix is the lowest common ancestor: it is an
+    /// ancestor-or-self of both, and no deeper id is.
+    #[test]
+    fn common_prefix_is_lowest(a in arb_id(), b in arb_id()) {
+        match a.common_prefix(&b) {
+            None => prop_assert_ne!(a.doc(), b.doc()),
+            Some(p) => {
+                prop_assert!(p.is_ancestor_or_self(&a));
+                prop_assert!(p.is_ancestor_or_self(&b));
+                // Any strictly deeper ancestor-or-self of a is not one of b
+                // (unless a == b == p handles equality).
+                if p != a && p != b {
+                    let deeper = a.ancestor_at_depth(p.depth() + 1);
+                    prop_assert!(!deeper.is_ancestor_or_self(&b));
+                }
+            }
+        }
+    }
+
+    /// Subtree interval: x in [id, ub) iff id ⪯a x... the forward direction:
+    /// descendants always land inside, non-descendants outside.
+    #[test]
+    fn subtree_interval_contains_exactly_descendants(a in arb_id(), b in arb_id()) {
+        let ub = a.subtree_upper_bound();
+        let inside = a <= b && b < ub;
+        prop_assert_eq!(inside, a.is_ancestor_or_self(&b));
+    }
+
+    /// Display/parse round trip.
+    #[test]
+    fn display_parse_round_trip(a in arb_id()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<DeweyId>().unwrap(), a);
+    }
+
+    /// Standalone codec round trip.
+    #[test]
+    fn codec_id_round_trip(a in arb_id()) {
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_id(&a, &mut buf);
+        let mut slice = buf.freeze();
+        prop_assert_eq!(codec::decode_id(&mut slice).unwrap(), a);
+    }
+
+    /// Sorted-run codec round trip over arbitrary sorted, deduped runs.
+    #[test]
+    fn codec_run_round_trip(mut ids in proptest::collection::vec(arb_id(), 0..40)) {
+        ids.sort();
+        ids.dedup();
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_sorted_run(&ids, &mut buf);
+        let mut slice = buf.freeze();
+        prop_assert_eq!(codec::decode_sorted_run(&mut slice).unwrap(), ids);
+    }
+
+    /// Parent/child are inverses.
+    #[test]
+    fn parent_child_inverse(a in arb_id(), ord in 0u32..16) {
+        prop_assert_eq!(a.child(ord).parent().unwrap(), a);
+    }
+}

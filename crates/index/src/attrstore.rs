@@ -1,0 +1,112 @@
+//! The attribute store: per-entity context attributes for DI discovery.
+//!
+//! For an entity node `e`, `R(e)` is "a subset of text keywords, extracted
+//! from attribute nodes of e" (paper Table 2); §2.3 additionally associates
+//! with every DI keyword "the XML elements in the path from node e till
+//! keyword k" — the *semantics* of the keyword (`<Course: Name: Data
+//! Mining>`). This store records, for every entity node, its qualifying
+//! attribute entries: the element path from the entity to the attribute, the
+//! attribute's text, and whether the source was a true attribute node or a
+//! repeating text node.
+//!
+//! Repeating text nodes are included (flagged [`AttrSource::RepeatingText`])
+//! because the paper's own DI examples surface them — `<ip: author: Alok N
+//! Choudhary>` comes from an `<author>` list, which repeats in multi-author
+//! articles — even though Def 2.3.1 speaks only of attribute nodes. DI
+//! extraction filters by source according to its options.
+
+use gks_dewey::DeweyId;
+
+use crate::fasthash::FastMap;
+
+/// Where an attribute entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrSource {
+    /// A true attribute node (Def 2.1.1) on a repetition-free path.
+    Attribute,
+    /// A repeating text node (e.g. one `<author>` of several).
+    RepeatingText,
+}
+
+/// One qualifying attribute of an entity node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrEntry {
+    /// Interned labels of the elements from the entity's child down to the
+    /// attribute element itself (inclusive), e.g. `[students, student]` or
+    /// `[name]`.
+    pub path: Vec<u32>,
+    /// The attribute's raw text value.
+    pub value: String,
+    /// Attribute node or repeating text node.
+    pub source: AttrSource,
+}
+
+/// Map from entity Dewey ids to their qualifying attributes.
+#[derive(Debug, Default, Clone)]
+pub struct AttrStore {
+    map: FastMap<DeweyId, Vec<AttrEntry>>,
+}
+
+impl AttrStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        AttrStore::default()
+    }
+
+    /// Records the qualifying attributes of entity `e`.
+    pub fn insert(&mut self, e: DeweyId, entries: Vec<AttrEntry>) {
+        if !entries.is_empty() {
+            self.map.insert(e, entries);
+        }
+    }
+
+    /// `R(e)`: the qualifying attributes of entity `e` (empty for unknown or
+    /// attribute-less entities).
+    pub fn entries(&self, e: &DeweyId) -> &[AttrEntry] {
+        self.map.get(e).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of entities with at least one recorded attribute.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates all `(entity, entries)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&DeweyId, &Vec<AttrEntry>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_dewey::DocId;
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let mut s = AttrStore::new();
+        s.insert(
+            d(&[0, 1]),
+            vec![AttrEntry { path: vec![3], value: "Data Mining".into(), source: AttrSource::Attribute }],
+        );
+        assert_eq!(s.entries(&d(&[0, 1]))[0].value, "Data Mining");
+        assert!(s.entries(&d(&[9])).is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_entry_lists_not_stored() {
+        let mut s = AttrStore::new();
+        s.insert(d(&[0]), vec![]);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,799 @@
+//! The single-pass index builder and the [`GksIndex`] it produces.
+//!
+//! "Since XML nodes arrive pre-order (an ancestor of an XML node always
+//! appears before it), the hash tables and the inverted index are created in
+//! a single pass over XML data" (paper §2.4). The builder maintains a stack
+//! of open elements; each closing element runs the categorization step
+//! ([`crate::categorize::close_element`]), finalizes its children's
+//! attribute/repeating status, emits its children's node-table entries, and
+//! reports a structural summary to its parent.
+
+use std::time::Instant;
+
+use gks_dewey::{DeweyId, DocId};
+use gks_text::Analyzer;
+use gks_xml::{Event, Reader};
+
+use crate::attrstore::{AttrEntry, AttrSource, AttrStore};
+use crate::categorize::{close_element, finalize_child_flags, self_flags, ChildSummary};
+use crate::corpus::Corpus;
+use crate::error::IndexError;
+use crate::fasthash::FastMap;
+use crate::node_table::{NodeMeta, NodeTable};
+use crate::options::IndexOptions;
+use crate::postings::InvertedIndex;
+use crate::stats::IndexStats;
+
+/// A fully built GKS index over a corpus.
+#[derive(Debug)]
+pub struct GksIndex {
+    options: IndexOptions,
+    analyzer: Analyzer,
+    node_table: NodeTable,
+    inverted: InvertedIndex,
+    attrs: AttrStore,
+    stats: IndexStats,
+    doc_names: Vec<String>,
+}
+
+/// Everything a closed element hands to its parent.
+struct ChildInfo {
+    dewey: DeweyId,
+    label: u32,
+    child_count: u32,
+    text_only: bool,
+    /// Materialized from an XML attribute (never a real element).
+    synthetic: bool,
+    is_entity: bool,
+    has_attr_child: bool,
+    /// The child's own raw text (attribute value when the child turns out to
+    /// be an attribute / repeating text node).
+    text: String,
+    /// Qualifying attribute entries of the child's subtree, to be inherited
+    /// by ancestors while no repeating node is crossed.
+    attr_entries: Vec<AttrEntry>,
+    summary: ChildSummary,
+}
+
+/// One open element during the streaming pass.
+struct OpenFrame {
+    dewey: DeweyId,
+    label: u32,
+    next_ordinal: u32,
+    has_text: bool,
+    text: String,
+    children: Vec<ChildInfo>,
+}
+
+impl GksIndex {
+    /// Indexes a corpus sequentially.
+    pub fn build(corpus: &Corpus, options: IndexOptions) -> Result<GksIndex, IndexError> {
+        let start = Instant::now();
+        let mut ix = GksIndex::empty(options);
+        for (i, doc) in corpus.docs().iter().enumerate() {
+            ix.index_document(DocId(i as u32), &doc.name, &doc.xml)?;
+        }
+        ix.finish(start);
+        Ok(ix)
+    }
+
+    /// Indexes a corpus with one worker per chunk of documents, merging the
+    /// partial indexes. Produces the same index as [`Self::build`].
+    pub fn build_parallel(
+        corpus: &Corpus,
+        options: IndexOptions,
+        workers: usize,
+    ) -> Result<GksIndex, IndexError> {
+        let start = Instant::now();
+        let docs = corpus.docs();
+        let workers = workers.clamp(1, docs.len().max(1));
+        if workers == 1 {
+            return Self::build(corpus, options);
+        }
+        let chunk = docs.len().div_ceil(workers);
+        let results = parking_lot::Mutex::new(Vec::<(usize, GksIndex)>::new());
+        let error = parking_lot::Mutex::new(None::<IndexError>);
+        crossbeam::thread::scope(|scope| {
+            for (w, slice) in docs.chunks(chunk).enumerate() {
+                let options = options.clone();
+                let results = &results;
+                let error = &error;
+                scope.spawn(move |_| {
+                    let mut part = GksIndex::empty(options);
+                    for (j, doc) in slice.iter().enumerate() {
+                        let doc_id = DocId((w * chunk + j) as u32);
+                        if let Err(e) = part.index_document(doc_id, &doc.name, &doc.xml) {
+                            *error.lock() = Some(e);
+                            return;
+                        }
+                    }
+                    results.lock().push((w, part));
+                });
+            }
+        })
+        .expect("index worker panicked");
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        let mut parts = results.into_inner();
+        parts.sort_by_key(|(w, _)| *w);
+        let mut iter = parts.into_iter();
+        let (_, mut ix) = iter.next().expect("at least one worker");
+        for (_, part) in iter {
+            ix.merge(part);
+        }
+        ix.finish(start);
+        Ok(ix)
+    }
+
+    /// Appends more documents to an existing index (incremental corpus
+    /// growth). New documents receive the next document ids; posting lists
+    /// are re-finalized. The result is identical to building one index over
+    /// the concatenated corpus.
+    pub fn append(&mut self, corpus: &Corpus) -> Result<(), IndexError> {
+        let start = Instant::now();
+        let base = self.doc_names.len() as u32;
+        let prior_millis = self.stats.build_millis;
+        for (i, doc) in corpus.docs().iter().enumerate() {
+            self.index_document(DocId(base + i as u32), &doc.name, &doc.xml)?;
+        }
+        self.finish(start);
+        self.stats.build_millis += prior_millis;
+        Ok(())
+    }
+
+    fn empty(options: IndexOptions) -> GksIndex {
+        let analyzer = Analyzer::new(options.analyzer_options());
+        GksIndex {
+            options,
+            analyzer,
+            node_table: NodeTable::new(),
+            inverted: InvertedIndex::new(),
+            attrs: AttrStore::new(),
+            stats: IndexStats::default(),
+            doc_names: Vec::new(),
+        }
+    }
+
+    fn finish(&mut self, start: Instant) {
+        self.inverted.finalize();
+        self.stats.distinct_terms = self.inverted.term_count() as u64;
+        self.stats.total_postings = self.inverted.total_postings() as u64;
+        self.stats.posting_depth_sum = self
+            .inverted
+            .iter()
+            .flat_map(|(_, list)| list.iter())
+            .map(|d| d.depth() as u64)
+            .sum();
+        self.stats.build_millis = start.elapsed().as_millis() as u64;
+    }
+
+    /// Streams one document into the index.
+    fn index_document(&mut self, doc_id: DocId, name: &str, xml: &str) -> Result<(), IndexError> {
+        self.doc_names.push(name.to_string());
+        self.stats.doc_count += 1;
+        self.stats.raw_bytes += xml.len() as u64;
+
+        let mut reader = Reader::new(xml);
+        let mut stack: Vec<OpenFrame> = Vec::new();
+        let mut scratch: FastMap<u32, u32> = FastMap::default();
+        let mut terms_buf: Vec<String> = Vec::new();
+
+        loop {
+            let event = reader
+                .next_event()
+                .map_err(|e| IndexError::Xml { document: name.to_string(), source: e })?;
+            let Some(event) = event else { break };
+            match event {
+                Event::Start { name: tag, attributes } => {
+                    let dewey = match stack.last_mut() {
+                        Some(parent) => {
+                            let d = parent.dewey.child(parent.next_ordinal);
+                            parent.next_ordinal += 1;
+                            d
+                        }
+                        None => DeweyId::root(doc_id),
+                    };
+                    self.stats.max_depth = self.stats.max_depth.max(dewey.depth() as u32);
+                    let label = self.node_table.labels_mut().intern(tag);
+                    if self.options.index_element_names {
+                        // Namespace-prefixed names ("dblp:author") index by
+                        // their local part.
+                        let local = tag.rsplit(':').next().unwrap_or(tag);
+                        if let Some(term) = self.analyzer.normalize_term(local) {
+                            let tid = self.inverted.term_id(&term);
+                            self.inverted.push(tid, dewey.clone());
+                        }
+                    }
+                    let mut frame = OpenFrame {
+                        dewey,
+                        label,
+                        next_ordinal: 0,
+                        has_text: false,
+                        text: String::new(),
+                        children: Vec::new(),
+                    };
+                    if self.options.xml_attributes_as_elements {
+                        for attr in &attributes {
+                            self.push_synthetic_attr_child(&mut frame, attr.name, &attr.value);
+                        }
+                    }
+                    stack.push(frame);
+                }
+                Event::Text(text) => {
+                    let frame = stack.last_mut().expect("reader guarantees text inside root");
+                    // Index the words at the containing element itself; the
+                    // search engine applies the §2.1.1 parent-promotion rule
+                    // for attribute nodes at candidate-generation time.
+                    terms_buf.clear();
+                    self.analyzer.analyze_into(&text, &mut terms_buf);
+                    for term in &terms_buf {
+                        let tid = self.inverted.term_id(term);
+                        self.inverted.push(tid, frame.dewey.clone());
+                    }
+                    if !text.trim().is_empty() {
+                        if frame.has_text {
+                            frame.text.push(' ');
+                        }
+                        frame.text.push_str(text.trim());
+                        frame.has_text = true;
+                    }
+                }
+                Event::End { .. } => {
+                    let frame = stack.pop().expect("reader guarantees balance");
+                    let info = self.close_frame(frame, &mut scratch);
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(info),
+                        None => self.finalize_root(info),
+                    }
+                }
+                Event::Comment(_) | Event::Pi(_) | Event::Declaration(_) | Event::Doctype(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes an XML attribute `k="v"` as a text-only child element.
+    fn push_synthetic_attr_child(&mut self, frame: &mut OpenFrame, attr_name: &str, value: &str) {
+        let dewey = frame.dewey.child(frame.next_ordinal);
+        frame.next_ordinal += 1;
+        let label = self.node_table.labels_mut().intern(attr_name);
+        if self.options.index_element_names {
+            let local = attr_name.rsplit(':').next().unwrap_or(attr_name);
+            if let Some(term) = self.analyzer.normalize_term(local) {
+                let tid = self.inverted.term_id(&term);
+                self.inverted.push(tid, dewey.clone());
+            }
+        }
+        let mut terms = Vec::new();
+        self.analyzer.analyze_into(value, &mut terms);
+        for term in &terms {
+            let tid = self.inverted.term_id(term);
+            self.inverted.push(tid, dewey.clone());
+        }
+        self.stats.max_depth = self.stats.max_depth.max(dewey.depth() as u32);
+        frame.children.push(ChildInfo {
+            dewey,
+            label,
+            child_count: 1,
+            text_only: true,
+            synthetic: true,
+            is_entity: false,
+            has_attr_child: false,
+            text: value.to_string(),
+            attr_entries: Vec::new(),
+            summary: ChildSummary {
+                label,
+                text_only: true,
+                qual_attr_inside: false,
+                has_rep_inside: false,
+            },
+        });
+    }
+
+    /// Runs categorization for a closing element: finalizes its children,
+    /// records them in the node table, assembles qualifying attribute
+    /// entries, and produces the element's own [`ChildInfo`].
+    fn close_frame(&mut self, frame: OpenFrame, scratch: &mut FastMap<u32, u32>) -> ChildInfo {
+        let summaries: Vec<ChildSummary> =
+            frame.children.iter().map(|c| c.summary.clone()).collect();
+        let outcome = close_element(&summaries, scratch);
+
+        let mut attr_entries: Vec<AttrEntry> = Vec::new();
+        for (child, &repeating) in frame.children.iter().zip(&outcome.child_repeating) {
+            if child.text_only && !child.text.is_empty() {
+                attr_entries.push(AttrEntry {
+                    path: vec![child.label],
+                    value: child.text.clone(),
+                    source: if repeating {
+                        AttrSource::RepeatingText
+                    } else {
+                        AttrSource::Attribute
+                    },
+                });
+            }
+            if !repeating {
+                // Inherit the subtree's qualifying attributes: the path from
+                // this element to them crosses no repeating node. Text-only
+                // children contribute too: their XML attributes were lifted
+                // into entries of their own.
+                for entry in &child.attr_entries {
+                    let mut path = Vec::with_capacity(entry.path.len() + 1);
+                    path.push(child.label);
+                    path.extend_from_slice(&entry.path);
+                    attr_entries.push(AttrEntry {
+                        path,
+                        value: entry.value.clone(),
+                        source: entry.source,
+                    });
+                }
+            }
+        }
+
+        // Synthetic attribute children do not make an element an interior
+        // node: <author position="0">Name</author> still *directly contains
+        // its value* and must classify as an attribute/repeating text node.
+        let real_children = frame.children.iter().filter(|c| !c.synthetic).count();
+
+        // Children are fully decided now: record them.
+        for (child, &repeating) in frame.children.into_iter().zip(&outcome.child_repeating) {
+            let mut flags = self_flags(child.text_only, child.is_entity, child.has_attr_child);
+            finalize_child_flags(&mut flags, repeating);
+            self.record_node(
+                child.dewey,
+                NodeMeta { child_count: child.child_count, flags, label: child.label },
+            );
+        }
+
+        if outcome.is_entity {
+            self.attrs.insert(frame.dewey.clone(), attr_entries.clone());
+        }
+
+        let element_children = outcome.child_repeating.len() as u32;
+        let child_count = (element_children + u32::from(frame.has_text)).max(1);
+        let text_only = real_children == 0;
+        ChildInfo {
+            summary: ChildSummary {
+                label: frame.label,
+                text_only,
+                qual_attr_inside: outcome.summary_qual_attr_inside,
+                has_rep_inside: outcome.summary_has_rep_inside,
+            },
+            dewey: frame.dewey,
+            label: frame.label,
+            child_count,
+            text_only,
+            synthetic: false,
+            is_entity: outcome.is_entity,
+            has_attr_child: outcome.has_attr_child,
+            text: frame.text,
+            attr_entries,
+        }
+    }
+
+    /// The document root has no parent to finalize it; it is never repeating.
+    fn finalize_root(&mut self, info: ChildInfo) {
+        let mut flags = self_flags(info.text_only, info.is_entity, info.has_attr_child);
+        finalize_child_flags(&mut flags, false);
+        self.record_node(
+            info.dewey,
+            NodeMeta { child_count: info.child_count, flags, label: info.label },
+        );
+    }
+
+    fn record_node(&mut self, dewey: DeweyId, meta: NodeMeta) {
+        self.stats.total_nodes += 1;
+        let primary = meta.flags.primary();
+        self.stats.census.add(primary);
+        let label_name = self.node_table.labels().name(meta.label).to_string();
+        self.stats.per_label.entry(label_name).or_default().add(primary);
+        self.node_table.insert(dewey, meta);
+    }
+
+    /// Merges another index (built over disjoint, higher document ids) into
+    /// this one. Label and term ids are remapped.
+    fn merge(&mut self, other: GksIndex) {
+        // Remap labels.
+        let label_map: Vec<u32> = other
+            .node_table
+            .labels()
+            .names()
+            .iter()
+            .map(|name| self.node_table.labels_mut().intern(name))
+            .collect();
+        for (dewey, meta) in other.node_table.iter() {
+            self.node_table.insert(
+                dewey.clone(),
+                NodeMeta { label: label_map[meta.label as usize], ..*meta },
+            );
+        }
+        for (entity, entries) in other.attrs.iter() {
+            let remapped: Vec<AttrEntry> = entries
+                .iter()
+                .map(|e| AttrEntry {
+                    path: e.path.iter().map(|&l| label_map[l as usize]).collect(),
+                    value: e.value.clone(),
+                    source: e.source,
+                })
+                .collect();
+            self.attrs.insert(entity.clone(), remapped);
+        }
+        for (term, list) in other.inverted.iter() {
+            let tid = self.inverted.term_id(term);
+            for id in list {
+                self.inverted.push(tid, id.clone());
+            }
+        }
+        self.stats.merge(&other.stats);
+        self.doc_names.extend(other.doc_names);
+    }
+
+    // ----- accessors used by the search engine -----
+
+    /// The options the index was built with.
+    pub fn options(&self) -> &IndexOptions {
+        &self.options
+    }
+
+    /// The analyzer matching the index's normalization (use it on query
+    /// keywords).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Inverted-index lookup: the document-ordered posting list `S_i` of a
+    /// normalized term.
+    pub fn postings(&self, term: &str) -> &[DeweyId] {
+        self.inverted.postings(term)
+    }
+
+    /// The node table (`entityHash` + `elementHash`).
+    pub fn node_table(&self) -> &NodeTable {
+        &self.node_table
+    }
+
+    /// The per-entity attribute store.
+    pub fn attr_store(&self) -> &AttrStore {
+        &self.attrs
+    }
+
+    /// Build statistics (Tables 4 and 5).
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Name of an indexed document.
+    pub fn doc_name(&self, doc: DocId) -> Option<&str> {
+        self.doc_names.get(doc.0 as usize).map(String::as_str)
+    }
+
+    /// Document names in id order.
+    pub fn doc_names(&self) -> &[String] {
+        &self.doc_names
+    }
+
+    /// The raw inverted index (persistence and diagnostics).
+    pub fn inverted(&self) -> &InvertedIndex {
+        &self.inverted
+    }
+
+    /// Crate-internal constructor for the persistence layer.
+    pub(crate) fn from_parts(
+        options: IndexOptions,
+        node_table: NodeTable,
+        inverted: InvertedIndex,
+        attrs: AttrStore,
+        stats: IndexStats,
+        doc_names: Vec<String>,
+    ) -> GksIndex {
+        let analyzer = Analyzer::new(options.analyzer_options());
+        GksIndex { options, analyzer, node_table, inverted, attrs, stats, doc_names }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::NodeCategory;
+
+    /// The paper's Figure 2(a) document (Dept → Area → Courses → Course →
+    /// Students → Student), trimmed to the parts the tests assert on.
+    pub(crate) const FIG2A: &str = r#"<Dept>
+        <Dept_Name>CS</Dept_Name>
+        <Area>
+            <Name>Databases</Name>
+            <Courses>
+                <Course>
+                    <Name>Data Mining</Name>
+                    <Students>
+                        <Student>Karen</Student>
+                        <Student>Mike</Student>
+                        <Student>Peter</Student>
+                    </Students>
+                </Course>
+                <Course>
+                    <Name>Algorithms</Name>
+                    <Students>
+                        <Student>Karen</Student>
+                        <Student>John</Student>
+                        <Student>Julie</Student>
+                    </Students>
+                </Course>
+                <Course>
+                    <Name>AI</Name>
+                    <Students>
+                        <Student>Karen</Student>
+                        <Student>Mike</Student>
+                        <Student>Serena</Student>
+                    </Students>
+                </Course>
+            </Courses>
+        </Area>
+        <Area>
+            <Name>Systems</Name>
+            <Courses>
+                <Course>
+                    <Name>Networks</Name>
+                    <Students>
+                        <Student>Harry</Student>
+                        <Student>Draco</Student>
+                    </Students>
+                </Course>
+                <Course>
+                    <Name>Compilers</Name>
+                    <Students>
+                        <Student>Luna</Student>
+                        <Student>Neville</Student>
+                    </Students>
+                </Course>
+            </Courses>
+        </Area>
+    </Dept>"#;
+
+    fn build_fig2a() -> GksIndex {
+        let corpus = Corpus::from_named_strs([("fig2a", FIG2A)]).unwrap();
+        GksIndex::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    fn d(steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(0), steps.to_vec())
+    }
+
+    #[test]
+    fn fig2a_categorization_matches_paper() {
+        let ix = build_fig2a();
+        let t = ix.node_table();
+        // <Area> (n0.1) is an entity node: attribute <Name> + repeating
+        // <Course> nodes (paper Def 2.1.3 walk-through).
+        assert!(t.is_entity(&d(&[1])).is_some(), "Area is an entity node");
+        // <Course> nodes are entity nodes.
+        assert!(t.is_entity(&d(&[1, 1, 0])).is_some(), "Course is an entity node");
+        // <Courses> (n0.1.1) is a connecting node.
+        let courses = t.get(&d(&[1, 1])).unwrap();
+        assert_eq!(courses.flags.primary(), NodeCategory::Connecting);
+        // <Name> (n0.1.0) is an attribute node.
+        let name = t.get(&d(&[1, 0])).unwrap();
+        assert_eq!(name.flags.primary(), NodeCategory::Attribute);
+        // <Student> nodes are repeating (text) nodes.
+        let student = t.get(&d(&[1, 1, 0, 1, 0])).unwrap();
+        assert_eq!(student.flags.primary(), NodeCategory::Repeating);
+        // <Dept> is an entity node (Dept_Name attribute + repeating Areas).
+        assert!(t.is_entity(&d(&[])).is_some(), "Dept is an entity node");
+        // <Course> is simultaneously an entity node and a repeating node.
+        let course = t.get(&d(&[1, 1, 0])).unwrap();
+        assert!(course.flags.is_entity() && course.flags.is_repeating());
+    }
+
+    #[test]
+    fn fig2a_postings() {
+        let ix = build_fig2a();
+        // "Karen" appears in three courses, at the Student text elements
+        // (Table 3 of the paper shows exactly these Dewey shapes).
+        let karen = ix.postings("karen");
+        assert_eq!(karen.len(), 3);
+        assert_eq!(karen[0], d(&[1, 1, 0, 1, 0]));
+        assert!(karen.windows(2).all(|w| w[0] < w[1]), "document order");
+        // Element names are indexed: "student" (stemmed from Students and
+        // Student) has postings.
+        assert!(!ix.postings("student").is_empty());
+        // Stop words are not.
+        assert!(ix.postings("the").is_empty());
+    }
+
+    #[test]
+    fn fig2a_attr_store_exposes_course_names() {
+        let ix = build_fig2a();
+        let entries = ix.attr_store().entries(&d(&[1, 1, 0]));
+        // The Data Mining course: attribute <Name> plus three repeating
+        // Student text nodes.
+        let names: Vec<&str> = entries
+            .iter()
+            .filter(|e| e.source == AttrSource::Attribute)
+            .map(|e| e.value.as_str())
+            .collect();
+        assert_eq!(names, vec!["Data Mining"]);
+        let students: Vec<&str> = entries
+            .iter()
+            .filter(|e| e.source == AttrSource::RepeatingText)
+            .map(|e| e.value.as_str())
+            .collect();
+        assert_eq!(students, vec!["Karen", "Mike", "Peter"]);
+        // Paths carry the semantics: students are reached via
+        // Students/Student.
+        let student_entry =
+            entries.iter().find(|e| e.value == "Karen").expect("Karen entry");
+        let path: Vec<&str> = student_entry
+            .path
+            .iter()
+            .map(|&l| ix.node_table().labels().name(l))
+            .collect();
+        assert_eq!(path, vec!["Students", "Student"]);
+    }
+
+    #[test]
+    fn attributes_do_not_leak_across_repeating_boundaries() {
+        let ix = build_fig2a();
+        // Area's own attributes must not include course names (the path
+        // crosses the repeating <Course> nodes).
+        let entries = ix.attr_store().entries(&d(&[1]));
+        assert!(entries.iter().all(|e| e.value != "Data Mining"));
+        assert!(entries.iter().any(|e| e.value == "Databases"));
+    }
+
+    #[test]
+    fn child_counts_support_ranking() {
+        let ix = build_fig2a();
+        let t = ix.node_table();
+        assert_eq!(t.child_count(&d(&[1])), Some(2)); // Area: Name + Courses
+        assert_eq!(t.child_count(&d(&[1, 1])), Some(3)); // Courses: 3 Course
+        assert_eq!(t.child_count(&d(&[1, 1, 0, 1])), Some(3)); // Students: 3
+        assert_eq!(t.child_count(&d(&[1, 0])), Some(1)); // Name: its value
+    }
+
+    #[test]
+    fn stats_census_counts_every_node() {
+        let ix = build_fig2a();
+        let s = ix.stats();
+        assert_eq!(s.census.total(), s.total_nodes);
+        // Dept, 2 Areas, 5 Courses are entities.
+        assert_eq!(s.census.entity, 8);
+        // 13 students are repeating text nodes.
+        assert_eq!(s.census.repeating, 13);
+        // Dept_Name + 2 Area Names + 5 Course Names are attributes.
+        assert_eq!(s.census.attribute, 8);
+        // 2 Courses containers + 5 Students containers are connecting.
+        assert_eq!(s.census.connecting, 7);
+        assert_eq!(s.max_depth, 5); // Dept/Area/Courses/Course/Students/Student
+        assert_eq!(s.doc_count, 1);
+        // Per-label census saw 13 Student nodes, all repeating.
+        assert_eq!(s.per_label["Student"].repeating, 13);
+    }
+
+    #[test]
+    fn xml_attributes_lifted_to_children() {
+        let xml = r#"<mondial><country car_code="AL" name="Albania">
+            <city><name>Tirana</name></city>
+            <city><name>Durres</name></city>
+        </country></mondial>"#;
+        let corpus = Corpus::from_named_strs([("m", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        // The country's XML attributes become attribute-node children, so
+        // "albania" is searchable…
+        assert_eq!(ix.postings("albania").len(), 1);
+        // …and the country (attrs + repeating cities) is an entity whose
+        // attribute store carries the lifted values.
+        let country = DeweyId::new(DocId(0), vec![0]);
+        assert!(ix.node_table().is_entity(&country).is_some());
+        let values: Vec<&str> =
+            ix.attr_store().entries(&country).iter().map(|e| e.value.as_str()).collect();
+        assert!(values.contains(&"Albania"));
+    }
+
+    #[test]
+    fn xml_attribute_lifting_can_be_disabled() {
+        let xml = r#"<r><a k="needle"/><a k="other"/></r>"#;
+        let corpus = Corpus::from_named_strs([("m", xml)]).unwrap();
+        let opts = IndexOptions { xml_attributes_as_elements: false, ..Default::default() };
+        let ix = GksIndex::build(&corpus, opts).unwrap();
+        assert!(ix.postings("needle").is_empty());
+    }
+
+    #[test]
+    fn multi_document_corpus_prefixes_doc_ids() {
+        let corpus = Corpus::from_named_strs([
+            ("one", "<r><x>shared</x></r>"),
+            ("two", "<r><y>shared</y></r>"),
+        ])
+        .unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let postings = ix.postings("share"); // stemmed
+        assert_eq!(postings.len(), 2);
+        assert_eq!(postings[0].doc(), DocId(0));
+        assert_eq!(postings[1].doc(), DocId(1));
+        assert_eq!(ix.doc_name(DocId(1)), Some("two"));
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let corpus = Corpus::from_named_strs([
+            ("a", FIG2A),
+            ("b", "<r><x>alpha</x><x>beta</x><name>gamma</name></r>"),
+            ("c", "<r><y>alpha</y></r>"),
+            ("d", FIG2A),
+        ])
+        .unwrap();
+        let seq = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let par = GksIndex::build_parallel(&corpus, IndexOptions::default(), 3).unwrap();
+        assert_eq!(seq.stats().total_nodes, par.stats().total_nodes);
+        assert_eq!(seq.stats().census, par.stats().census);
+        assert_eq!(seq.inverted().term_count(), par.inverted().term_count());
+        for (term, list) in seq.inverted().iter() {
+            assert_eq!(par.postings(term), list, "postings for {term}");
+        }
+        assert_eq!(seq.node_table().len(), par.node_table().len());
+        for (dewey, meta) in seq.node_table().iter() {
+            let other = par.node_table().get(dewey).expect("node present");
+            assert_eq!(other.child_count, meta.child_count);
+            assert_eq!(other.flags, meta.flags);
+            assert_eq!(
+                par.node_table().labels().name(other.label),
+                seq.node_table().labels().name(meta.label)
+            );
+        }
+    }
+
+    #[test]
+    fn append_equals_building_the_concatenated_corpus() {
+        let part1 = Corpus::from_named_strs([("a", FIG2A)]).unwrap();
+        let part2 =
+            Corpus::from_named_strs([("b", "<r><x>alpha</x><x>beta</x></r>"), ("c", FIG2A)])
+                .unwrap();
+        let mut incremental = GksIndex::build(&part1, IndexOptions::default()).unwrap();
+        incremental.append(&part2).unwrap();
+
+        let mut all = Corpus::new();
+        all.push("a", FIG2A);
+        all.push("b", "<r><x>alpha</x><x>beta</x></r>");
+        all.push("c", FIG2A);
+        let oneshot = GksIndex::build(&all, IndexOptions::default()).unwrap();
+
+        assert_eq!(incremental.doc_names(), oneshot.doc_names());
+        assert_eq!(incremental.stats().total_nodes, oneshot.stats().total_nodes);
+        assert_eq!(incremental.stats().census, oneshot.stats().census);
+        for (term, list) in oneshot.inverted().iter() {
+            assert_eq!(incremental.postings(term), list, "postings for {term}");
+        }
+        assert_eq!(incremental.node_table().len(), oneshot.node_table().len());
+    }
+
+    #[test]
+    fn malformed_document_reports_name() {
+        let corpus = Corpus::from_named_strs([("bad", "<a><b></a>")]).unwrap();
+        let err = GksIndex::build(&corpus, IndexOptions::default()).unwrap_err();
+        match err {
+            IndexError::Xml { document, .. } => assert_eq!(document, "bad"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespaced_element_names_index_by_local_part() {
+        let xml = r#"<dblp:bib xmlns:dblp="http://example/ns">
+            <dblp:article><dblp:author>Jane Roe</dblp:author></dblp:article>
+        </dblp:bib>"#;
+        let corpus = Corpus::from_named_strs([("ns", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        // The tag-name keyword is the local part…
+        assert!(!ix.postings("author").is_empty());
+        // …while labels keep the full prefixed name for display.
+        let article = DeweyId::new(DocId(0), vec![1]);
+        assert_eq!(ix.node_table().label_name(&article), Some("dblp:article"));
+    }
+
+    #[test]
+    fn empty_element_gets_unit_child_count() {
+        let corpus = Corpus::from_named_strs([("e", "<r><empty/><empty/></r>")]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        assert_eq!(ix.node_table().child_count(&d(&[0])), Some(1));
+    }
+}

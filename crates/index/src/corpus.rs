@@ -1,0 +1,197 @@
+//! A corpus: one or more named XML documents indexed together.
+//!
+//! "The XML data could be spread over multiple files" (paper §2.4); GKS
+//! search spans them all by prefixing every Dewey id with its document id.
+
+use std::fs;
+use std::path::Path;
+
+use gks_dewey::DocId;
+
+use crate::error::IndexError;
+
+/// One document of a corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusDoc {
+    /// Human-readable name (file stem or caller-supplied).
+    pub name: String,
+    /// Raw XML text.
+    pub xml: String,
+}
+
+/// An in-memory corpus of XML documents.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    docs: Vec<CorpusDoc>,
+}
+
+impl Corpus {
+    /// An empty corpus; add documents with [`Self::push`].
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Builds a corpus from `(name, xml)` pairs.
+    ///
+    /// Returns an error only for an empty iterator; XML is validated later,
+    /// at index time, so that parse errors carry document names.
+    pub fn from_named_strs<N, S>(docs: impl IntoIterator<Item = (N, S)>) -> Result<Self, IndexError>
+    where
+        N: Into<String>,
+        S: Into<String>,
+    {
+        let docs: Vec<CorpusDoc> = docs
+            .into_iter()
+            .map(|(name, xml)| CorpusDoc { name: name.into(), xml: xml.into() })
+            .collect();
+        if docs.is_empty() {
+            return Err(IndexError::Corrupt("corpus has no documents".into()));
+        }
+        Ok(Corpus { docs })
+    }
+
+    /// Reads documents from the filesystem.
+    pub fn from_paths(paths: impl IntoIterator<Item = impl AsRef<Path>>) -> Result<Self, IndexError> {
+        let mut docs = Vec::new();
+        for path in paths {
+            let path = path.as_ref();
+            let xml = fs::read_to_string(path)?;
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            docs.push(CorpusDoc { name, xml });
+        }
+        if docs.is_empty() {
+            return Err(IndexError::Corrupt("corpus has no documents".into()));
+        }
+        Ok(Corpus { docs })
+    }
+
+    /// Reads every `.xml` file directly inside `dir` (sorted by name, for
+    /// deterministic document ids).
+    pub fn from_directory(dir: impl AsRef<Path>) -> Result<Self, IndexError> {
+        let mut paths: Vec<std::path::PathBuf> = fs::read_dir(dir.as_ref())?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e.eq_ignore_ascii_case("xml")))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(IndexError::Corrupt(format!(
+                "no .xml files in {}",
+                dir.as_ref().display()
+            )));
+        }
+        Self::from_paths(paths)
+    }
+
+    /// Appends one document, returning its [`DocId`].
+    pub fn push(&mut self, name: impl Into<String>, xml: impl Into<String>) -> DocId {
+        self.docs.push(CorpusDoc { name: name.into(), xml: xml.into() });
+        DocId((self.docs.len() - 1) as u32)
+    }
+
+    /// The documents in id order.
+    pub fn docs(&self) -> &[CorpusDoc] {
+        &self.docs
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents have been added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total raw XML bytes — the "Data Set Size" column of the paper's
+    /// Table 4.
+    pub fn total_bytes(&self) -> usize {
+        self.docs.iter().map(|d| d.xml.len()).sum()
+    }
+
+    /// The name of document `doc`, if it exists.
+    pub fn doc_name(&self, doc: DocId) -> Option<&str> {
+        self.docs.get(doc.0 as usize).map(|d| d.name.as_str())
+    }
+
+    /// A corpus containing this corpus's documents repeated `factor` times —
+    /// the replication protocol of the paper's scalability experiment
+    /// (§7.1.3, Figure 10).
+    pub fn replicate(&self, factor: usize) -> Corpus {
+        let mut docs = Vec::with_capacity(self.docs.len() * factor);
+        for rep in 0..factor {
+            for d in &self.docs {
+                docs.push(CorpusDoc { name: format!("{}#{rep}", d.name), xml: d.xml.clone() });
+            }
+        }
+        Corpus { docs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_named_strs_assigns_ids_in_order() {
+        let c = Corpus::from_named_strs([("a", "<r/>"), ("b", "<r/>")]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.doc_name(DocId(0)), Some("a"));
+        assert_eq!(c.doc_name(DocId(1)), Some("b"));
+        assert_eq!(c.doc_name(DocId(2)), None);
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        assert!(Corpus::from_named_strs(Vec::<(String, String)>::new()).is_err());
+    }
+
+    #[test]
+    fn total_bytes_sums_documents() {
+        let c = Corpus::from_named_strs([("a", "<r/>"), ("b", "<root/>")]).unwrap();
+        assert_eq!(c.total_bytes(), 4 + 7);
+    }
+
+    #[test]
+    fn replicate_multiplies_documents() {
+        let c = Corpus::from_named_strs([("a", "<r/>")]).unwrap();
+        let r = c.replicate(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_bytes(), 3 * 4);
+        assert_eq!(r.doc_name(DocId(2)), Some("a#2"));
+    }
+
+    #[test]
+    fn from_directory_reads_xml_files_sorted() {
+        let dir = std::env::temp_dir().join(format!("gks-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b.xml"), "<b/>").unwrap();
+        std::fs::write(dir.join("a.xml"), "<a/>").unwrap();
+        std::fs::write(dir.join("ignore.txt"), "nope").unwrap();
+        let c = Corpus::from_directory(&dir).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.doc_name(DocId(0)), Some("a"));
+        assert_eq!(c.doc_name(DocId(1)), Some("b"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_directory_with_no_xml_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("gks-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Corpus::from_directory(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn push_returns_sequential_ids() {
+        let mut c = Corpus::new();
+        assert_eq!(c.push("x", "<r/>"), DocId(0));
+        assert_eq!(c.push("y", "<r/>"), DocId(1));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for index construction and persistence.
+
+use std::fmt;
+use std::io;
+
+use gks_dewey::codec::DecodeError;
+use gks_xml::XmlError;
+
+/// Anything that can go wrong while building, saving or loading an index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The underlying XML failed to parse; carries the document name.
+    Xml { document: String, source: XmlError },
+    /// Filesystem error while reading a corpus or persisting an index.
+    Io(io::Error),
+    /// A persisted index failed to decode.
+    Corrupt(String),
+    /// A persisted index has an incompatible format version.
+    VersionMismatch { found: u32, expected: u32 },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Xml { document, source } => {
+                write!(f, "in document {document:?}: {source}")
+            }
+            IndexError::Io(e) => write!(f, "I/O error: {e}"),
+            IndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+            IndexError::VersionMismatch { found, expected } => {
+                write!(f, "index format version {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Xml { source, .. } => Some(source),
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IndexError {
+    fn from(e: io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+impl From<DecodeError> for IndexError {
+    fn from(e: DecodeError) -> Self {
+        IndexError::Corrupt(e.to_string())
+    }
+}

@@ -1,0 +1,366 @@
+//! Binary persistence for [`GksIndex`].
+//!
+//! "For a given XML data repository, we first prepare an index on it. This is
+//! a onetime activity" (paper §2.4); Table 4 then reports on-disk index sizes
+//! comparable to the raw data. This module serializes the whole index into a
+//! compact format: posting lists and the node table use the delta-prefix
+//! Dewey codec, strings are length-prefixed UTF-8, and all integers are
+//! LEB128 varints.
+
+use std::fs;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gks_dewey::codec::{
+    decode_id, decode_sorted_run, encode_id, encode_sorted_run, read_varint, write_varint,
+};
+use gks_dewey::DeweyId;
+
+use crate::attrstore::{AttrEntry, AttrSource, AttrStore};
+use crate::builder::GksIndex;
+use crate::categorize::NodeFlags;
+use crate::error::IndexError;
+use crate::node_table::{NodeMeta, NodeTable};
+use crate::options::{AnalyzerOptionsSer, IndexOptions};
+use crate::postings::InvertedIndex;
+use crate::stats::{CategoryCensus, IndexStats};
+
+const MAGIC: &[u8; 5] = b"GKSIX";
+const VERSION: u32 = 2;
+
+fn write_str(out: &mut BytesMut, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.put_slice(s.as_bytes());
+}
+
+fn read_str(input: &mut Bytes) -> Result<String, IndexError> {
+    let len = read_varint(input)? as usize;
+    if input.remaining() < len {
+        return Err(IndexError::Corrupt("truncated string".into()));
+    }
+    let bytes = input.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| IndexError::Corrupt("invalid UTF-8 in string".into()))
+}
+
+fn write_census(out: &mut BytesMut, c: &CategoryCensus) {
+    write_varint(out, c.attribute);
+    write_varint(out, c.repeating);
+    write_varint(out, c.entity);
+    write_varint(out, c.connecting);
+}
+
+fn read_census(input: &mut Bytes) -> Result<CategoryCensus, IndexError> {
+    Ok(CategoryCensus {
+        attribute: read_varint(input)?,
+        repeating: read_varint(input)?,
+        entity: read_varint(input)?,
+        connecting: read_varint(input)?,
+    })
+}
+
+impl GksIndex {
+    /// Serializes the index to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_slice(MAGIC);
+        out.put_u32(VERSION);
+
+        // Options.
+        let o = self.options();
+        out.put_u8(u8::from(o.analyzer.remove_stopwords));
+        out.put_u8(u8::from(o.analyzer.stem));
+        write_varint(&mut out, o.analyzer.min_term_len as u64);
+        out.put_u8(u8::from(o.xml_attributes_as_elements));
+        out.put_u8(u8::from(o.index_element_names));
+
+        // Document names.
+        write_varint(&mut out, self.doc_names().len() as u64);
+        for name in self.doc_names() {
+            write_str(&mut out, name);
+        }
+
+        // Labels.
+        let labels = self.node_table().labels().names();
+        write_varint(&mut out, labels.len() as u64);
+        for name in labels {
+            write_str(&mut out, name);
+        }
+
+        // Node table, sorted by Dewey id so the run codec compresses.
+        let mut nodes: Vec<(&DeweyId, &NodeMeta)> = self.node_table().iter().collect();
+        nodes.sort_by(|a, b| a.0.cmp(b.0));
+        let ids: Vec<DeweyId> = nodes.iter().map(|(d, _)| (*d).clone()).collect();
+        encode_sorted_run(&ids, &mut out);
+        for (_, meta) in &nodes {
+            write_varint(&mut out, u64::from(meta.child_count));
+            out.put_u8(meta.flags.bits());
+            write_varint(&mut out, u64::from(meta.label));
+        }
+
+        // Inverted index.
+        write_varint(&mut out, self.inverted().term_count() as u64);
+        for (term, list) in self.inverted().iter() {
+            write_str(&mut out, term);
+            encode_sorted_run(list, &mut out);
+        }
+
+        // Attribute store.
+        write_varint(&mut out, self.attr_store().len() as u64);
+        for (entity, entries) in self.attr_store().iter() {
+            encode_id(entity, &mut out);
+            write_varint(&mut out, entries.len() as u64);
+            for e in entries {
+                write_varint(&mut out, e.path.len() as u64);
+                for &l in &e.path {
+                    write_varint(&mut out, u64::from(l));
+                }
+                write_str(&mut out, &e.value);
+                out.put_u8(match e.source {
+                    AttrSource::Attribute => 0,
+                    AttrSource::RepeatingText => 1,
+                });
+            }
+        }
+
+        // Stats.
+        let s = self.stats();
+        write_varint(&mut out, s.doc_count);
+        write_varint(&mut out, s.total_nodes);
+        write_census(&mut out, &s.census);
+        write_varint(&mut out, s.per_label.len() as u64);
+        for (label, census) in &s.per_label {
+            write_str(&mut out, label);
+            write_census(&mut out, census);
+        }
+        write_varint(&mut out, u64::from(s.max_depth));
+        write_varint(&mut out, s.raw_bytes);
+        write_varint(&mut out, s.distinct_terms);
+        write_varint(&mut out, s.total_postings);
+        write_varint(&mut out, s.posting_depth_sum);
+        write_varint(&mut out, s.build_millis);
+
+        out.freeze()
+    }
+
+    /// Deserializes an index produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: Bytes) -> Result<GksIndex, IndexError> {
+        let mut input = bytes;
+        if input.remaining() < MAGIC.len() + 4 {
+            return Err(IndexError::Corrupt("header too short".into()));
+        }
+        let mut magic = [0u8; 5];
+        input.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(IndexError::Corrupt("bad magic".into()));
+        }
+        let version = input.get_u32();
+        if version != VERSION {
+            return Err(IndexError::VersionMismatch { found: version, expected: VERSION });
+        }
+
+        let options = IndexOptions {
+            analyzer: AnalyzerOptionsSer {
+                remove_stopwords: input.get_u8() != 0,
+                stem: input.get_u8() != 0,
+                min_term_len: read_varint(&mut input)? as usize,
+            },
+            xml_attributes_as_elements: input.get_u8() != 0,
+            index_element_names: input.get_u8() != 0,
+        };
+
+        let doc_count = read_varint(&mut input)? as usize;
+        let mut doc_names = Vec::with_capacity(doc_count);
+        for _ in 0..doc_count {
+            doc_names.push(read_str(&mut input)?);
+        }
+
+        let label_count = read_varint(&mut input)? as usize;
+        let mut node_table = NodeTable::new();
+        for _ in 0..label_count {
+            let name = read_str(&mut input)?;
+            node_table.labels_mut().intern(&name);
+        }
+
+        let ids = decode_sorted_run(&mut input)?;
+        for id in ids {
+            let child_count = read_varint(&mut input)? as u32;
+            if !input.has_remaining() {
+                return Err(IndexError::Corrupt("truncated node meta".into()));
+            }
+            let flags = NodeFlags::from_bits(input.get_u8());
+            let label = read_varint(&mut input)? as u32;
+            if label as usize >= label_count {
+                return Err(IndexError::Corrupt(format!("label id {label} out of range")));
+            }
+            node_table.insert(id, NodeMeta { child_count, flags, label });
+        }
+
+        let term_count = read_varint(&mut input)? as usize;
+        let mut inverted = InvertedIndex::new();
+        for _ in 0..term_count {
+            let term = read_str(&mut input)?;
+            let list = decode_sorted_run(&mut input)?;
+            inverted.load_term(term, list);
+        }
+
+        let attr_count = read_varint(&mut input)? as usize;
+        let mut attrs = AttrStore::new();
+        for _ in 0..attr_count {
+            let entity = decode_id(&mut input)?;
+            let entry_count = read_varint(&mut input)? as usize;
+            let mut entries = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                let path_len = read_varint(&mut input)? as usize;
+                let mut path = Vec::with_capacity(path_len);
+                for _ in 0..path_len {
+                    path.push(read_varint(&mut input)? as u32);
+                }
+                let value = read_str(&mut input)?;
+                if !input.has_remaining() {
+                    return Err(IndexError::Corrupt("truncated attr entry".into()));
+                }
+                let source = match input.get_u8() {
+                    0 => AttrSource::Attribute,
+                    1 => AttrSource::RepeatingText,
+                    other => {
+                        return Err(IndexError::Corrupt(format!("bad attr source {other}")))
+                    }
+                };
+                entries.push(AttrEntry { path, value, source });
+            }
+            attrs.insert(entity, entries);
+        }
+
+        let mut stats = IndexStats {
+            doc_count: read_varint(&mut input)?,
+            total_nodes: read_varint(&mut input)?,
+            census: read_census(&mut input)?,
+            ..Default::default()
+        };
+        let per_label_count = read_varint(&mut input)? as usize;
+        for _ in 0..per_label_count {
+            let label = read_str(&mut input)?;
+            let census = read_census(&mut input)?;
+            stats.per_label.insert(label, census);
+        }
+        stats.max_depth = read_varint(&mut input)? as u32;
+        stats.raw_bytes = read_varint(&mut input)?;
+        stats.distinct_terms = read_varint(&mut input)?;
+        stats.total_postings = read_varint(&mut input)?;
+        stats.posting_depth_sum = read_varint(&mut input)?;
+        stats.build_millis = read_varint(&mut input)?;
+
+        Ok(GksIndex::from_parts(options, node_table, inverted, attrs, stats, doc_names))
+    }
+
+    /// Writes the index to a file, returning the number of bytes written
+    /// (the "Index Size" of Table 4).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, IndexError> {
+        let bytes = self.to_bytes();
+        fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Loads an index written by [`Self::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<GksIndex, IndexError> {
+        let bytes = fs::read(path)?;
+        GksIndex::from_bytes(Bytes::from(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    const XML: &str = r#"<dblp>
+        <article><title>System R</title><author>Jim Gray</author><author>Kapali Eswaran</author></article>
+        <article><title>INGRES</title><author>Michael Stonebraker</author></article>
+    </dblp>"#;
+
+    fn sample_index() -> GksIndex {
+        let corpus = Corpus::from_named_strs([("dblp", XML)]).unwrap();
+        GksIndex::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ix = sample_index();
+        let bytes = ix.to_bytes();
+        let loaded = GksIndex::from_bytes(bytes).unwrap();
+
+        assert_eq!(loaded.options(), ix.options());
+        assert_eq!(loaded.doc_names(), ix.doc_names());
+        assert_eq!(loaded.stats().total_nodes, ix.stats().total_nodes);
+        assert_eq!(loaded.stats().census, ix.stats().census);
+        assert_eq!(loaded.stats().max_depth, ix.stats().max_depth);
+        assert_eq!(loaded.stats().per_label, ix.stats().per_label);
+        assert_eq!(loaded.inverted().term_count(), ix.inverted().term_count());
+        for (term, list) in ix.inverted().iter() {
+            assert_eq!(loaded.postings(term), list, "postings for {term}");
+        }
+        assert_eq!(loaded.node_table().len(), ix.node_table().len());
+        for (dewey, meta) in ix.node_table().iter() {
+            let other = loaded.node_table().get(dewey).unwrap();
+            assert_eq!(other.child_count, meta.child_count);
+            assert_eq!(other.flags, meta.flags);
+            assert_eq!(
+                loaded.node_table().labels().name(other.label),
+                ix.node_table().labels().name(meta.label)
+            );
+        }
+        assert_eq!(loaded.attr_store().len(), ix.attr_store().len());
+        for (entity, entries) in ix.attr_store().iter() {
+            let other = loaded.attr_store().entries(entity);
+            assert_eq!(other.len(), entries.len());
+            for (a, b) in entries.iter().zip(other) {
+                assert_eq!(a.value, b.value);
+                assert_eq!(a.source, b.source);
+                let names = |ix: &GksIndex, e: &AttrEntry| -> Vec<String> {
+                    e.path
+                        .iter()
+                        .map(|&l| ix.node_table().labels().name(l).to_string())
+                        .collect()
+                };
+                assert_eq!(names(&ix, a), names(&loaded, b));
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let ix = sample_index();
+        let dir = std::env::temp_dir().join("gks-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.gksix");
+        let written = ix.save(&path).unwrap();
+        assert!(written > 0);
+        let loaded = GksIndex::load(&path).unwrap();
+        assert_eq!(loaded.postings("gray"), ix.postings("gray"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = GksIndex::from_bytes(Bytes::from_static(b"NOTIX\0\0\0\0rest")).unwrap_err();
+        assert!(matches!(err, IndexError::Corrupt(_)));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let ix = sample_index();
+        let mut bytes = ix.to_bytes().to_vec();
+        bytes[5..9].copy_from_slice(&99u32.to_be_bytes());
+        let err = GksIndex::from_bytes(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, IndexError::VersionMismatch { found: 99, .. }));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let ix = sample_index();
+        let bytes = ix.to_bytes();
+        let truncated = bytes.slice(..bytes.len() / 2);
+        assert!(GksIndex::from_bytes(truncated).is_err());
+    }
+}

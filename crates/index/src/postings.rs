@@ -1,0 +1,154 @@
+//! The inverted keyword index (paper §2.4, Table 3).
+//!
+//! "For each unique text keyword that appears in the XML document repository,
+//! we keep an inverted index list … containing the Dewey id of all the nodes
+//! which contain that keyword", document-ordered. Postings point at the
+//! *text element itself* (for keywords in text values) or the element (for
+//! tag-name keywords); the §2.1.1 rule that an attribute node's parent is the
+//! lowest meaningful ancestor is applied at candidate-generation time by the
+//! search engine, which promotes attribute-node candidates to their parents.
+
+use gks_dewey::DeweyId;
+
+use crate::fasthash::FastMap;
+
+/// Inverted index from normalized terms to document-ordered posting lists.
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    term_ids: FastMap<String, u32>,
+    terms: Vec<String>,
+    lists: Vec<Vec<DeweyId>>,
+    finalized: bool,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        InvertedIndex::default()
+    }
+
+    /// Interns `term` and returns its id.
+    pub fn term_id(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.term_ids.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(term.to_string());
+        self.term_ids.insert(term.to_string(), id);
+        self.lists.push(Vec::new());
+        id
+    }
+
+    /// Appends a posting for `term_id`. Postings may arrive out of order and
+    /// with duplicates; [`Self::finalize`] sorts and dedups.
+    pub fn push(&mut self, term_id: u32, id: DeweyId) {
+        self.lists[term_id as usize].push(id);
+        self.finalized = false;
+    }
+
+    /// Sorts every list into document order and removes duplicate postings
+    /// (a node contains a keyword once no matter how many times the keyword
+    /// occurs in one text value).
+    pub fn finalize(&mut self) {
+        for list in &mut self.lists {
+            list.sort_unstable();
+            list.dedup();
+            list.shrink_to_fit();
+        }
+        self.finalized = true;
+    }
+
+    /// The posting list for a term, by name. Empty slice for unknown terms.
+    pub fn postings(&self, term: &str) -> &[DeweyId] {
+        debug_assert!(self.finalized, "postings() before finalize()");
+        match self.term_ids.get(term) {
+            Some(&id) => &self.lists[id as usize],
+            None => &[],
+        }
+    }
+
+    /// Whether the term occurs anywhere in the corpus.
+    pub fn contains_term(&self, term: &str) -> bool {
+        self.term_ids.contains_key(term)
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total postings across all lists.
+    pub fn total_postings(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates `(term, postings)` in term-id order (for persistence).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[DeweyId])> {
+        self.terms.iter().map(String::as_str).zip(self.lists.iter().map(Vec::as_slice))
+    }
+
+    /// Bulk-loads a term with an already-sorted list (persistence path).
+    pub fn load_term(&mut self, term: String, list: Vec<DeweyId>) {
+        let id = self.terms.len() as u32;
+        self.term_ids.insert(term.clone(), id);
+        self.terms.push(term);
+        self.lists.push(list);
+        self.finalized = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_dewey::DocId;
+
+    fn d(doc: u32, steps: &[u32]) -> DeweyId {
+        DeweyId::new(DocId(doc), steps.to_vec())
+    }
+
+    #[test]
+    fn postings_sorted_and_deduped() {
+        let mut ix = InvertedIndex::new();
+        let karen = ix.term_id("karen");
+        ix.push(karen, d(0, &[0, 1, 1, 2]));
+        ix.push(karen, d(0, &[0, 1, 1, 0]));
+        ix.push(karen, d(0, &[0, 1, 1, 0])); // duplicate occurrence
+        ix.push(karen, d(1, &[0]));
+        ix.finalize();
+        assert_eq!(
+            ix.postings("karen"),
+            &[d(0, &[0, 1, 1, 0]), d(0, &[0, 1, 1, 2]), d(1, &[0])]
+        );
+    }
+
+    #[test]
+    fn unknown_term_is_empty() {
+        let mut ix = InvertedIndex::new();
+        ix.finalize();
+        assert!(ix.postings("nothing").is_empty());
+        assert!(!ix.contains_term("nothing"));
+    }
+
+    #[test]
+    fn term_ids_are_stable() {
+        let mut ix = InvertedIndex::new();
+        let a = ix.term_id("a");
+        let b = ix.term_id("b");
+        assert_ne!(a, b);
+        assert_eq!(ix.term_id("a"), a);
+        assert_eq!(ix.term_count(), 2);
+    }
+
+    #[test]
+    fn counters() {
+        let mut ix = InvertedIndex::new();
+        let a = ix.term_id("a");
+        ix.push(a, d(0, &[0]));
+        ix.push(a, d(0, &[1]));
+        ix.finalize();
+        assert_eq!(ix.total_postings(), 2);
+        let pairs: Vec<_> = ix.iter().collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, "a");
+    }
+}

@@ -1,0 +1,417 @@
+//! The Porter stemming algorithm (M. F. Porter, "An algorithm for suffix
+//! stripping", *Program* 14(3), 1980).
+//!
+//! This is a faithful implementation of the original 1980 algorithm (not the
+//! later "Porter2"/Snowball revision): five steps of suffix rewriting guarded
+//! by the *measure* `m` of the stem — the number of vowel-consonant sequences
+//! `[C](VC)^m[V]`. Words of one or two letters, and words containing
+//! non-ASCII-alphabetic characters, are returned unchanged; the tokenizer has
+//! already lower-cased its input.
+
+/// Stems one lower-case word.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer { b: word.as_bytes().to_vec() };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    // The buffer is ASCII throughout.
+    String::from_utf8(s.b).expect("stemmer buffer is ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// Is `b[i]` a consonant? `y` is a consonant at position 0 or after a
+    /// vowel, and a vowel after a consonant ("toy" vs "syzygy").
+    fn is_cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_cons(i - 1),
+            _ => true,
+        }
+    }
+
+    /// The measure of `b[..len]`: the number of VC sequences in
+    /// `[C](VC)^m[V]`.
+    fn measure(&self, len: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip the optional leading consonant run.
+        while i < len && self.is_cons(i) {
+            i += 1;
+        }
+        loop {
+            // Vowel run.
+            while i < len && !self.is_cons(i) {
+                i += 1;
+            }
+            if i == len {
+                return m;
+            }
+            // Consonant run completes one VC.
+            while i < len && self.is_cons(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// Does `b[..len]` contain a vowel?
+    fn has_vowel(&self, len: usize) -> bool {
+        (0..len).any(|i| !self.is_cons(i))
+    }
+
+    /// Does `b[..len]` end with a double consonant?
+    fn ends_double_cons(&self, len: usize) -> bool {
+        len >= 2 && self.b[len - 1] == self.b[len - 2] && self.is_cons(len - 1)
+    }
+
+    /// Does `b[..len]` end consonant–vowel–consonant, where the final
+    /// consonant is not `w`, `x` or `y`? (The `*o` condition of the paper.)
+    fn ends_cvc(&self, len: usize) -> bool {
+        if len < 3 || !self.is_cons(len - 1) || self.is_cons(len - 2) || !self.is_cons(len - 3) {
+            return false;
+        }
+        !matches!(self.b[len - 1], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && self.b[self.b.len() - suffix.len()..] == *suffix
+    }
+
+    /// Length of the stem left when `suffix` is removed.
+    fn stem_len(&self, suffix: &[u8]) -> usize {
+        self.b.len() - suffix.len()
+    }
+
+    /// Replaces a matched `suffix` with `rep`.
+    fn set(&mut self, suffix: &[u8], rep: &[u8]) {
+        let at = self.stem_len(suffix);
+        self.b.truncate(at);
+        self.b.extend_from_slice(rep);
+    }
+
+    /// `(m > threshold) suffix -> rep`; returns whether the suffix matched
+    /// (regardless of whether the guard allowed the rewrite), so rule lists
+    /// can stop at the first matching suffix, as the paper specifies.
+    fn rule(&mut self, suffix: &[u8], rep: &[u8], min_m: usize) -> bool {
+        if !self.ends_with(suffix) {
+            return false;
+        }
+        if self.measure(self.stem_len(suffix)) > min_m {
+            self.set(suffix, rep);
+        }
+        true
+    }
+
+    /// Step 1a: plurals. `sses -> ss`, `ies -> i`, `ss -> ss`, `s -> `.
+    fn step1a(&mut self) {
+        if self.ends_with(b"sses") {
+            self.set(b"sses", b"ss");
+        } else if self.ends_with(b"ies") {
+            self.set(b"ies", b"i");
+        } else if !self.ends_with(b"ss") && self.ends_with(b"s") {
+            self.set(b"s", b"");
+        }
+    }
+
+    /// Step 1b: `-ed` / `-ing`, with the restore pass (`at -> ate`, undouble,
+    /// `-e` after a short stem).
+    fn step1b(&mut self) {
+        if self.ends_with(b"eed") {
+            if self.measure(self.stem_len(b"eed")) > 0 {
+                self.set(b"eed", b"ee");
+            }
+            return;
+        }
+        let stripped = if self.ends_with(b"ed") && self.has_vowel(self.stem_len(b"ed")) {
+            self.set(b"ed", b"");
+            true
+        } else if self.ends_with(b"ing") && self.has_vowel(self.stem_len(b"ing")) {
+            self.set(b"ing", b"");
+            true
+        } else {
+            false
+        };
+        if !stripped {
+            return;
+        }
+        if self.ends_with(b"at") {
+            self.set(b"at", b"ate");
+        } else if self.ends_with(b"bl") {
+            self.set(b"bl", b"ble");
+        } else if self.ends_with(b"iz") {
+            self.set(b"iz", b"ize");
+        } else if self.ends_double_cons(self.b.len())
+            && !matches!(self.b[self.b.len() - 1], b'l' | b's' | b'z')
+        {
+            self.b.pop();
+        } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
+            self.b.push(b'e');
+        }
+    }
+
+    /// Step 1c: terminal `y -> i` when the stem contains a vowel.
+    fn step1c(&mut self) {
+        if self.ends_with(b"y") && self.has_vowel(self.stem_len(b"y")) {
+            let last = self.b.len() - 1;
+            self.b[last] = b'i';
+        }
+    }
+
+    /// Step 2: double-suffix reduction (guard `m > 0`). Rules are keyed by
+    /// the penultimate letter in the paper; a first-match scan is equivalent
+    /// because the suffixes keyed to one letter are mutually exclusive.
+    fn step2(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ];
+        for (suffix, rep) in RULES {
+            if self.rule(suffix, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 3: `-ic-`, `-ful`, `-ness` family (guard `m > 0`).
+    fn step3(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for (suffix, rep) in RULES {
+            if self.rule(suffix, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    /// Step 4: strip residual suffixes when `m > 1`. `-ion` additionally
+    /// requires the stem to end in `s` or `t`.
+    fn step4(&mut self) {
+        const RULES: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent",
+        ];
+        for suffix in RULES {
+            if self.ends_with(suffix) {
+                if self.measure(self.stem_len(suffix)) > 1 {
+                    self.set(suffix, b"");
+                }
+                return;
+            }
+        }
+        if self.ends_with(b"ion") {
+            let at = self.stem_len(b"ion");
+            if at >= 1 && matches!(self.b[at - 1], b's' | b't') && self.measure(at) > 1 {
+                self.set(b"ion", b"");
+            }
+            return;
+        }
+        const TAIL: &[&[u8]] = &[b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize"];
+        for suffix in TAIL {
+            if self.ends_with(suffix) {
+                if self.measure(self.stem_len(suffix)) > 1 {
+                    self.set(suffix, b"");
+                }
+                return;
+            }
+        }
+    }
+
+    /// Step 5a: drop a terminal `e` when `m > 1`, or when `m == 1` and the
+    /// stem does not end CVC.
+    fn step5a(&mut self) {
+        if !self.ends_with(b"e") {
+            return;
+        }
+        let at = self.stem_len(b"e");
+        let m = self.measure(at);
+        if m > 1 || (m == 1 && !self.ends_cvc(at)) {
+            self.b.pop();
+        }
+    }
+
+    /// Step 5b: undouble a terminal `ll` when `m > 1`.
+    fn step5b(&mut self) {
+        if self.measure(self.b.len()) > 1
+            && self.ends_double_cons(self.b.len())
+            && self.b[self.b.len() - 1] == b'l'
+        {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stem;
+
+    /// Asserts a batch of (input, expected) vectors.
+    fn check(vectors: &[(&str, &str)]) {
+        for (input, expected) in vectors {
+            assert_eq!(&stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn step1a_plurals() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_ed_ing() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn step1c_y_to_i() {
+        check(&[("happy", "happi"), ("sky", "sky")]);
+    }
+
+    #[test]
+    fn step2_double_suffixes() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ]);
+    }
+
+    #[test]
+    fn step3() {
+        check(&[
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ]);
+    }
+
+    #[test]
+    fn step4() {
+        check(&[
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ]);
+    }
+
+    #[test]
+    fn step5() {
+        check(&[
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ]);
+    }
+
+    #[test]
+    fn full_pipeline_classics() {
+        check(&[
+            ("generalizations", "gener"),
+            ("oscillators", "oscil"),
+            ("databases", "databas"),
+            ("computers", "comput"),
+            ("searching", "search"),
+            ("argued", "argu"),
+        ]);
+    }
+
+    #[test]
+    fn short_and_non_ascii_words_unchanged() {
+        check(&[("a", "a"), ("is", "is"), ("müller", "müller"), ("año", "año")]);
+    }
+
+    #[test]
+    fn numbers_pass_through() {
+        check(&[("2001", "2001"), ("vldb99", "vldb99")]);
+    }
+}

@@ -1,0 +1,59 @@
+//! English stop-word list.
+//!
+//! The classical IR stop list (articles, pronouns, auxiliaries, common
+//! prepositions). The paper removes stop words before indexing text-node
+//! keywords (§2.4); the same list is applied to query keywords so the two
+//! sides agree.
+
+/// Stop words, sorted, lower-case. Binary-searched by [`is_stopword`].
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "me", "more", "most", "my", "myself", "no", "nor", "not", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "same", "she", "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "with", "would", "you", "your",
+    "yours", "yourself", "yourselves",
+];
+
+/// Returns `true` iff `term` (already lower-cased) is a stop word.
+pub fn is_stopword(term: &str) -> bool {
+    STOPWORDS.binary_search(&term).is_ok()
+}
+
+/// The number of stop words in the list (exposed for documentation/tests).
+pub fn len() -> usize {
+    STOPWORDS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        // binary_search correctness depends on this.
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} >= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_words_are_stopped() {
+        for w in ["the", "a", "and", "of", "is", "with"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["database", "keyword", "xml", "buneman", "2001", ""] {
+            assert!(!is_stopword(w), "{w} should not be a stop word");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Tokenizer: splits raw text into lower-cased alphanumeric terms.
+//!
+//! A token is a maximal run of alphanumeric characters; everything else
+//! (whitespace, punctuation, symbols) is a separator. Tokens are lower-cased
+//! as they are produced. This matches how the paper's prototype treats the
+//! text of a text node that "comprises multiple keywords" (§2.4).
+
+/// Calls `f` once per token, in order. Tokens are lower-cased.
+///
+/// The callback form avoids allocating a `Vec` for the common one-token case
+/// in the indexer's inner loop.
+pub fn tokenize_into(text: &str, mut f: impl FnMut(&str)) {
+    let mut buf = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            // Lower-casing may expand a char (e.g. 'İ'); extend handles it.
+            buf.extend(c.to_lowercase());
+        } else if !buf.is_empty() {
+            f(&buf);
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        f(&buf);
+    }
+}
+
+/// Returns all tokens of `text`, lower-cased, in order.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    tokenize_into(text, |t| out.push(t.to_string()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("Third-Generation Database System Manifesto!"),
+            vec!["third", "generation", "database", "system", "manifesto"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("SIGMOD Record"), vec!["sigmod", "record"]);
+    }
+
+    #[test]
+    fn keeps_digits_and_mixed_tokens() {
+        assert_eq!(tokenize("year 2001, vldb99"), vec!["year", "2001", "vldb99"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ,;--  ").is_empty());
+    }
+
+    #[test]
+    fn unicode_terms_survive() {
+        assert_eq!(tokenize("Müller's Straße"), vec!["müller", "s", "straße"]);
+    }
+
+    #[test]
+    fn token_boundaries_at_string_edges() {
+        assert_eq!(tokenize("a b"), vec!["a", "b"]);
+        assert_eq!(tokenize("a"), vec!["a"]);
+        assert_eq!(tokenize(" a "), vec!["a"]);
+    }
+}

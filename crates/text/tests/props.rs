@@ -1,0 +1,70 @@
+//! Property tests for the text pipeline.
+
+use gks_text::{stem, tokenize, Analyzer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The Porter stemmer never panics, never grows a word, and keeps the
+    /// alphabet: lowercase ASCII in → lowercase ASCII out.
+    #[test]
+    fn stem_shrinks_and_stays_ascii(word in "[a-z]{1,24}") {
+        let out = stem(&word);
+        prop_assert!(out.len() <= word.len(), "{word} -> {out}");
+        prop_assert!(!out.is_empty());
+        prop_assert!(out.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    /// Non-ASCII and mixed inputs pass through unchanged (the stemmer only
+    /// touches pure lowercase ASCII words).
+    #[test]
+    fn stem_passes_through_non_ascii(word in "[a-z0-9éü]{1,12}") {
+        if !word.bytes().all(|b| b.is_ascii_lowercase()) {
+            prop_assert_eq!(stem(&word), word);
+        }
+    }
+
+    /// Tokenization never panics and produces lower-case alphanumeric
+    /// tokens only.
+    #[test]
+    fn tokenize_output_is_clean(text in ".{0,80}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(char::is_alphanumeric), "{tok:?}");
+            prop_assert_eq!(tok.to_lowercase(), tok.clone());
+        }
+    }
+
+    /// Analyzer output is a subset-in-order of the tokenizer output after
+    /// stemming — stop-word removal only deletes, never reorders.
+    #[test]
+    fn analyzer_preserves_order(text in "[a-zA-Z ,.;]{0,80}") {
+        let analyzer = Analyzer::default();
+        let analyzed = analyzer.analyze(&text);
+        let all_stemmed: Vec<String> = tokenize(&text).iter().map(|t| stem(t)).collect();
+        // `analyzed` must be a subsequence of `all_stemmed`.
+        let mut it = all_stemmed.iter();
+        for term in &analyzed {
+            prop_assert!(
+                it.any(|t| t == term),
+                "{term:?} out of order: {analyzed:?} vs {all_stemmed:?}"
+            );
+        }
+    }
+
+    /// Normalizing a term twice is a no-op (queries can be re-normalized
+    /// safely).
+    #[test]
+    fn normalize_term_idempotent_on_survivors(word in "[a-zA-Z]{1,16}") {
+        let analyzer = Analyzer::default();
+        if let Some(once) = analyzer.normalize_term(&word) {
+            if let Some(twice) = analyzer.normalize_term(&once) {
+                // Stemming may shrink again (Porter is not idempotent for
+                // every word), but the result must be stable from there.
+                let thrice = analyzer.normalize_term(&twice);
+                prop_assert_eq!(thrice.as_deref(), Some(twice.as_str()));
+            }
+        }
+    }
+}

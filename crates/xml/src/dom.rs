@@ -1,0 +1,239 @@
+//! A lightweight DOM built on the pull parser.
+//!
+//! The GKS engine itself never materializes a DOM — it indexes in one
+//! streaming pass — but the naive baseline algorithms and the property-test
+//! oracles need a plain tree to walk, and examples are easier to read against
+//! one.
+
+use crate::reader::{Event, Reader, XmlError};
+
+/// What a [`Node`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with a tag name.
+    Element,
+    /// Character data.
+    Text,
+}
+
+/// One node of the tree: an element (with attributes and children) or a text
+/// node (with content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    kind: NodeKind,
+    /// Element name, or empty for text nodes.
+    name: String,
+    /// Text content for text nodes, empty for elements.
+    content: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn element(name: &str, attributes: Vec<(String, String)>) -> Self {
+        Node {
+            kind: NodeKind::Element,
+            name: name.to_string(),
+            content: String::new(),
+            attributes,
+            children: Vec::new(),
+        }
+    }
+
+    fn text_node(content: String) -> Self {
+        Node {
+            kind: NodeKind::Text,
+            name: String::new(),
+            content,
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Element vs text.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// Tag name (empty for text nodes).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` for element nodes.
+    pub fn is_element(&self) -> bool {
+        self.kind == NodeKind::Element
+    }
+
+    /// All children in document order (elements and text nodes).
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Only the element children, in order.
+    pub fn element_children(&self) -> Vec<&Node> {
+        self.children.iter().filter(|c| c.is_element()).collect()
+    }
+
+    /// XML attributes as (name, value) pairs, in document order.
+    pub fn attributes(&self) -> &[(String, String)] {
+        &self.attributes
+    }
+
+    /// The value of the named XML attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Concatenated text of this node's subtree (for a text node, its own
+    /// content).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        if self.kind == NodeKind::Text {
+            out.push_str(&self.content);
+        }
+        for c in &self.children {
+            c.collect_text(out);
+        }
+    }
+
+    /// Pre-order iterator over this subtree, including `self`.
+    pub fn descendants(&self) -> Descendants<'_> {
+        Descendants { stack: vec![self] }
+    }
+
+    /// All descendant elements (including self) with the given tag name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
+        self.descendants().filter(move |n| n.is_element() && n.name == name)
+    }
+
+    /// The first child element with the given tag name, if any.
+    pub fn child_element(&self, name: &str) -> Option<&Node> {
+        self.children.iter().find(|c| c.is_element() && c.name == name)
+    }
+}
+
+/// Pre-order traversal. See [`Node::descendants`].
+pub struct Descendants<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Node;
+
+    fn next(&mut self) -> Option<&'a Node> {
+        let node = self.stack.pop()?;
+        self.stack.extend(node.children.iter().rev());
+        Some(node)
+    }
+}
+
+/// A parsed XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    root: Node,
+}
+
+impl Document {
+    /// Parses a document, building the full tree in memory.
+    pub fn parse(xml: &str) -> Result<Document, XmlError> {
+        let mut reader = Reader::new(xml);
+        let mut stack: Vec<Node> = Vec::new();
+        let mut root: Option<Node> = None;
+        while let Some(event) = reader.next_event()? {
+            match event {
+                Event::Start { name, attributes } => {
+                    let attrs = attributes
+                        .into_iter()
+                        .map(|a| (a.name.to_string(), a.value.into_owned()))
+                        .collect();
+                    stack.push(Node::element(name, attrs));
+                }
+                Event::End { .. } => {
+                    let node = stack.pop().expect("reader guarantees balance");
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => root = Some(node),
+                    }
+                }
+                Event::Text(t) => {
+                    if let Some(parent) = stack.last_mut() {
+                        parent.children.push(Node::text_node(t.into_owned()));
+                    }
+                }
+                Event::Comment(_) | Event::Pi(_) | Event::Declaration(_) | Event::Doctype(_) => {}
+            }
+        }
+        Ok(Document { root: root.expect("reader guarantees a root") })
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XML: &str = r#"<dept><area><name>Databases</name><courses>
+        <course><name>Data Mining</name>
+            <students><student>Karen</student><student>Mike</student></students>
+        </course>
+        <course><name>Algorithms</name>
+            <students><student>John</student></students>
+        </course>
+    </courses></area></dept>"#;
+
+    #[test]
+    fn tree_shape() {
+        let doc = Document::parse(XML).unwrap();
+        let root = doc.root();
+        assert_eq!(root.name(), "dept");
+        let area = root.child_element("area").unwrap();
+        assert_eq!(area.element_children().len(), 2);
+        let courses = area.child_element("courses").unwrap();
+        assert_eq!(courses.element_children().len(), 2);
+    }
+
+    #[test]
+    fn find_all_and_text() {
+        let doc = Document::parse(XML).unwrap();
+        let students: Vec<String> =
+            doc.root().find_all("student").map(|n| n.text()).collect();
+        assert_eq!(students, vec!["Karen", "Mike", "John"]);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
+        let names: Vec<&str> =
+            doc.root().descendants().filter(|n| n.is_element()).map(|n| n.name()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn subtree_text_concatenation() {
+        let doc = Document::parse("<a>x<b>y</b>z</a>").unwrap();
+        assert_eq!(doc.root().text(), "xyz");
+    }
+
+    #[test]
+    fn attributes_available() {
+        let doc = Document::parse(r#"<m><country car_code="AL"/></m>"#).unwrap();
+        let c = doc.root().child_element("country").unwrap();
+        assert_eq!(c.attribute("car_code"), Some("AL"));
+        assert_eq!(c.attribute("nope"), None);
+    }
+
+    #[test]
+    fn malformed_input_propagates_error() {
+        assert!(Document::parse("<a><b></a>").is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Escaping and entity decoding for character data and attribute values.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Error produced while decoding entity references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EscapeError {
+    /// `&` not followed by a terminated entity reference.
+    UnterminatedEntity,
+    /// An entity name that is neither predefined nor a character reference.
+    UnknownEntity(String),
+    /// A numeric character reference that is not a valid Unicode scalar.
+    InvalidCharRef(String),
+}
+
+impl fmt::Display for EscapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EscapeError::UnterminatedEntity => write!(f, "unterminated entity reference"),
+            EscapeError::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            EscapeError::InvalidCharRef(s) => write!(f, "invalid character reference &#{s};"),
+        }
+    }
+}
+
+impl std::error::Error for EscapeError {}
+
+/// Escapes `text` for use as character data or an attribute value, appending
+/// to `out`. Escapes the five predefined entities; everything else passes
+/// through verbatim.
+pub fn escape_into(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes `text`, avoiding allocation when nothing needs escaping.
+pub fn escape(text: &str) -> Cow<'_, str> {
+    if text.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        let mut out = String::with_capacity(text.len() + 8);
+        escape_into(text, &mut out);
+        Cow::Owned(out)
+    } else {
+        Cow::Borrowed(text)
+    }
+}
+
+/// Decodes entity and character references in `text`. Borrows when there is
+/// nothing to decode.
+pub fn unescape(text: &str) -> Result<Cow<'_, str>, EscapeError> {
+    if !text.contains('&') {
+        return Ok(Cow::Borrowed(text));
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or(EscapeError::UnterminatedEntity)?;
+        let name = &after[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with('#') => {
+                let digits = &name[1..];
+                let code = if let Some(hex) = digits.strip_prefix('x').or(digits.strip_prefix('X'))
+                {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    digits.parse::<u32>()
+                }
+                .map_err(|_| EscapeError::InvalidCharRef(digits.to_string()))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| EscapeError::InvalidCharRef(digits.to_string()))?,
+                );
+            }
+            _ => return Err(EscapeError::UnknownEntity(name.to_string())),
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_all_five() {
+        assert_eq!(escape(r#"<a & "b" 'c'>"#), "&lt;a &amp; &quot;b&quot; &apos;c&apos;&gt;");
+    }
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape("plain text"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_predefined_and_numeric() {
+        assert_eq!(unescape("&lt;x&gt; &amp; &#65;&#x42;").unwrap(), "<x> & AB");
+        assert_eq!(unescape("a &apos;quoted&apos; &quot;v&quot;").unwrap(), "a 'quoted' \"v\"");
+    }
+
+    #[test]
+    fn unescape_borrows_when_clean() {
+        assert!(matches!(unescape("nothing here").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_rejects_bad_input() {
+        assert_eq!(unescape("a & b"), Err(EscapeError::UnterminatedEntity));
+        assert_eq!(unescape("&nbsp;"), Err(EscapeError::UnknownEntity("nbsp".into())));
+        assert_eq!(unescape("&#xD800;"), Err(EscapeError::InvalidCharRef("xD800".into())));
+        assert_eq!(unescape("&#zz;"), Err(EscapeError::InvalidCharRef("zz".into())));
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = r#"Mixed <tags> & "quotes" with 'apostrophes' and ünïcode"#;
+        assert_eq!(unescape(&escape(original)).unwrap(), original);
+    }
+}

@@ -1,0 +1,56 @@
+//! Zero-dependency streaming XML for the GKS engine.
+//!
+//! The GKS indexing engine consumes XML "in a single pass over the data"
+//! (paper §2.2/§2.4), relying on the pre-order arrival of nodes. This crate
+//! provides exactly what that requires and nothing more:
+//!
+//! * [`Reader`] — a pull parser producing [`Event`]s (start/end element,
+//!   text, …) with entity decoding, attribute parsing, and well-formedness
+//!   checking (tag balance, single root);
+//! * [`Writer`] — an escaping writer with optional pretty-printing, used by
+//!   the synthetic dataset generators;
+//! * [`escape`] / [`unescape`] — the text escaping primitives;
+//! * [`Document`] — a lightweight DOM built on top of the reader, used by the
+//!   naive baseline algorithms and as ground truth in property tests.
+//!
+//! The parser accepts the subset of XML 1.0 that data-oriented repositories
+//! (DBLP, Mondial, SwissProt, …) exercise: elements, attributes, character
+//! data, CDATA sections, comments, processing instructions and the XML
+//! declaration, plus the five predefined entities and numeric character
+//! references. DTD internal subsets are skipped, not validated.
+
+mod dom;
+mod escape;
+mod reader;
+mod writer;
+
+pub use dom::{Document, Node, NodeKind};
+pub use escape::{escape, escape_into, unescape, EscapeError};
+pub use reader::{Attribute, Event, Reader, XmlError};
+pub use writer::Writer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end: write a small document, parse it back, compare the DOM.
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = Writer::new();
+        w.start("dblp", &[]).unwrap();
+        w.start("article", &[("key", "a/1"), ("mdate", "2004-03-08")]).unwrap();
+        w.element_text("title", &[], "On Keyword <Search> & \"Ranking\"").unwrap();
+        w.element_text("author", &[], "Ada O'Hara").unwrap();
+        w.end().unwrap();
+        w.end().unwrap();
+        let xml = w.finish().unwrap();
+
+        let doc = Document::parse(&xml).unwrap();
+        let root = doc.root();
+        assert_eq!(root.name(), "dblp");
+        let article = &root.element_children()[0];
+        assert_eq!(article.attribute("key"), Some("a/1"));
+        let title = &article.element_children()[0];
+        assert_eq!(title.text(), "On Keyword <Search> & \"Ranking\"");
+    }
+}

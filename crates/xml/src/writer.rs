@@ -1,0 +1,230 @@
+//! Escaping XML writer used by the synthetic dataset generators.
+
+use std::fmt;
+
+use crate::escape::escape_into;
+
+/// Error produced by misuse of the writer (unbalanced `end` calls, etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriterError(String);
+
+impl fmt::Display for WriterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML writer error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WriterError {}
+
+/// Builds an XML string with correct escaping and optional pretty-printing.
+///
+/// ```
+/// let mut w = gks_xml::Writer::new();
+/// w.start("root", &[("id", "1")]).unwrap();
+/// w.element_text("name", &[], "a & b").unwrap();
+/// w.end().unwrap();
+/// assert_eq!(
+///     w.finish().unwrap(),
+///     "<root id=\"1\"><name>a &amp; b</name></root>"
+/// );
+/// ```
+pub struct Writer {
+    out: String,
+    stack: Vec<String>,
+    pretty: bool,
+    /// Whether the current element has child markup (controls pretty-print
+    /// placement of its end tag).
+    had_children: Vec<bool>,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    /// A compact writer (no insignificant whitespace).
+    pub fn new() -> Self {
+        Writer { out: String::new(), stack: Vec::new(), pretty: false, had_children: Vec::new() }
+    }
+
+    /// A pretty-printing writer (two-space indentation, one element per
+    /// line). Indentation whitespace is insignificant for the GKS reader,
+    /// which trims it.
+    pub fn pretty() -> Self {
+        Writer { pretty: true, ..Self::new() }
+    }
+
+    /// Writes the `<?xml …?>` declaration; call before the root element.
+    pub fn declaration(&mut self) -> Result<(), WriterError> {
+        if !self.out.is_empty() {
+            return Err(WriterError("declaration must come first".into()));
+        }
+        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if self.pretty {
+            self.out.push('\n');
+        }
+        Ok(())
+    }
+
+    fn indent(&mut self) {
+        if self.pretty {
+            if !self.out.is_empty() && !self.out.ends_with('\n') {
+                self.out.push('\n');
+            }
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn write_open(&mut self, name: &str, attributes: &[(&str, &str)]) {
+        self.out.push('<');
+        self.out.push_str(name);
+        for (k, v) in attributes {
+            self.out.push(' ');
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            escape_into(v, &mut self.out);
+            self.out.push('"');
+        }
+    }
+
+    /// Opens an element.
+    pub fn start(&mut self, name: &str, attributes: &[(&str, &str)]) -> Result<(), WriterError> {
+        if let Some(last) = self.had_children.last_mut() {
+            *last = true;
+        }
+        self.indent();
+        self.write_open(name, attributes);
+        self.out.push('>');
+        self.stack.push(name.to_string());
+        self.had_children.push(false);
+        Ok(())
+    }
+
+    /// Closes the most recently opened element.
+    pub fn end(&mut self) -> Result<(), WriterError> {
+        let name = self.stack.pop().ok_or_else(|| WriterError("end() with no open element".into()))?;
+        let had_children = self.had_children.pop().unwrap_or(false);
+        if self.pretty && had_children {
+            self.indent();
+        }
+        self.out.push_str("</");
+        self.out.push_str(&name);
+        self.out.push('>');
+        Ok(())
+    }
+
+    /// Writes character data inside the current element.
+    pub fn text(&mut self, text: &str) -> Result<(), WriterError> {
+        if self.stack.is_empty() {
+            return Err(WriterError("text() outside the root element".into()));
+        }
+        escape_into(text, &mut self.out);
+        Ok(())
+    }
+
+    /// Convenience: `<name attrs…>text</name>` in one call — the shape of
+    /// every text node the dataset generators emit.
+    pub fn element_text(
+        &mut self,
+        name: &str,
+        attributes: &[(&str, &str)],
+        text: &str,
+    ) -> Result<(), WriterError> {
+        if let Some(last) = self.had_children.last_mut() {
+            *last = true;
+        }
+        self.indent();
+        self.write_open(name, attributes);
+        self.out.push('>');
+        escape_into(text, &mut self.out);
+        self.out.push_str("</");
+        self.out.push_str(name);
+        self.out.push('>');
+        Ok(())
+    }
+
+    /// Convenience: an empty element `<name attrs…/>`.
+    pub fn empty(&mut self, name: &str, attributes: &[(&str, &str)]) -> Result<(), WriterError> {
+        if let Some(last) = self.had_children.last_mut() {
+            *last = true;
+        }
+        self.indent();
+        self.write_open(name, attributes);
+        self.out.push_str("/>");
+        Ok(())
+    }
+
+    /// Finishes the document, checking balance, and returns the XML string.
+    pub fn finish(self) -> Result<String, WriterError> {
+        if !self.stack.is_empty() {
+            return Err(WriterError(format!("{} element(s) left open", self.stack.len())));
+        }
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{Event, Reader};
+
+    #[test]
+    fn compact_output() {
+        let mut w = Writer::new();
+        w.start("a", &[]).unwrap();
+        w.element_text("b", &[("k", "v")], "x<y").unwrap();
+        w.empty("c", &[]).unwrap();
+        w.end().unwrap();
+        assert_eq!(w.finish().unwrap(), "<a><b k=\"v\">x&lt;y</b><c/></a>");
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let mut w = Writer::pretty();
+        w.declaration().unwrap();
+        w.start("root", &[]).unwrap();
+        w.start("child", &[]).unwrap();
+        w.element_text("leaf", &[], "text").unwrap();
+        w.end().unwrap();
+        w.end().unwrap();
+        let xml = w.finish().unwrap();
+        assert!(xml.contains("\n  <child>"));
+        // Must be re-readable.
+        let mut r = Reader::new(&xml);
+        let mut texts = Vec::new();
+        while let Some(ev) = r.next_event().unwrap() {
+            if let Event::Text(t) = ev {
+                texts.push(t.to_string());
+            }
+        }
+        assert_eq!(texts, vec!["text"]);
+    }
+
+    #[test]
+    fn unbalanced_usage_is_an_error() {
+        let mut w = Writer::new();
+        assert!(w.end().is_err());
+        w.start("a", &[]).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let mut w = Writer::new();
+        assert!(w.text("x").is_err());
+    }
+
+    #[test]
+    fn attribute_values_escaped() {
+        let mut w = Writer::new();
+        w.empty("a", &[("q", "say \"hi\" & <go>")]).unwrap();
+        assert_eq!(
+            w.finish().unwrap(),
+            "<a q=\"say &quot;hi&quot; &amp; &lt;go&gt;\"/>"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # GKS — Generic Keyword Search over XML Data
+//!
+//! A from-scratch Rust implementation of *"Generic Keyword Search over XML
+//! Data"* (Agarwal, Ramamritham, Agarwal — EDBT 2016).
+//!
+//! This facade crate re-exports the workspace's public API. Start with
+//! [`Engine`](gks_core::engine::Engine):
+//!
+//! ```
+//! use gks::prelude::*;
+//!
+//! let xml = r#"<dept><area><name>Databases</name><courses>
+//!     <course><name>Data Mining</name>
+//!       <students><student>Karen</student><student>Mike</student></students>
+//!     </course>
+//!     <course><name>Algorithms</name>
+//!       <students><student>Karen</student><student>John</student></students>
+//!     </course>
+//! </courses></area></dept>"#;
+//!
+//! let corpus = Corpus::from_named_strs([("uni", xml)]).unwrap();
+//! let engine = Engine::build(&corpus, IndexOptions::default()).unwrap();
+//! let query = Query::parse("karen mike john").unwrap();
+//! let resp = engine.search(&query, SearchOptions::with_s(2)).unwrap();
+//! assert!(!resp.hits().is_empty());
+//! ```
+//!
+//! The individual subsystems are available as their own crates and re-exported
+//! here as modules:
+//!
+//! * [`xml`] — streaming XML pull parser and writer,
+//! * [`dewey`] — Dewey identifiers and codecs,
+//! * [`text`] — tokenizer, stop words, Porter stemmer,
+//! * [`index`] — node categorization and the GKS indexes,
+//! * [`core`] — search, ranking, DI discovery, query refinement,
+//! * [`baselines`] — SLCA / ELCA / naïve-GKS reference algorithms,
+//! * [`datagen`] — synthetic corpora mirroring the paper's datasets.
+
+pub use gks_baselines as baselines;
+pub use gks_core as core;
+pub use gks_datagen as datagen;
+pub use gks_dewey as dewey;
+pub use gks_index as index;
+pub use gks_text as text;
+pub use gks_xml as xml;
+
+/// One-stop imports for typical use of the engine.
+pub mod prelude {
+    pub use gks_core::di::{DiOptions, Insight};
+    pub use gks_core::engine::Engine;
+    pub use gks_core::query::Query;
+    pub use gks_core::search::{SearchOptions, Threshold};
+    pub use gks_index::corpus::Corpus;
+    pub use gks_index::options::IndexOptions;
+}
