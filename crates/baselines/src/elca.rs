@@ -42,11 +42,8 @@ pub fn elca(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
             }
         }
     }
-    let ca_set: FastSet<DeweyId> = masks
-        .iter()
-        .filter(|(_, m)| **m == full)
-        .map(|(d, _)| d.clone())
-        .collect();
+    let ca_set: FastSet<DeweyId> =
+        masks.iter().filter(|(_, m)| **m == full).map(|(d, _)| d.clone()).collect();
     if ca_set.is_empty() {
         return Vec::new();
     }
@@ -68,11 +65,8 @@ pub fn elca(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
     }
 
     // 3. ELCA = CA nodes with a full exclusive mask.
-    let mut out: Vec<DeweyId> = excl
-        .into_iter()
-        .filter(|(_, m)| *m == full)
-        .map(|(d, _)| d)
-        .collect();
+    let mut out: Vec<DeweyId> =
+        excl.into_iter().filter(|(_, m)| *m == full).map(|(d, _)| d).collect();
     out.sort_unstable();
     out
 }
@@ -90,10 +84,7 @@ mod tests {
     #[test]
     fn elca_is_superset_of_slca() {
         // x1 = [0] has its own {k0,k1} plus a nested x2 = [0,9] with both.
-        let lists = vec![
-            vec![d(&[0, 0]), d(&[0, 9, 0])],
-            vec![d(&[0, 1]), d(&[0, 9, 1])],
-        ];
+        let lists = vec![vec![d(&[0, 0]), d(&[0, 9, 0])], vec![d(&[0, 1]), d(&[0, 9, 1])]];
         let e = elca(&lists);
         let s = slca_ca_map(&lists);
         assert_eq!(s, vec![d(&[0, 9])]);

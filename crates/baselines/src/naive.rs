@@ -104,11 +104,7 @@ mod tests {
     fn naive_finds_partial_match_nodes() {
         // k0,k1 live under [0]; k2 lives under [5] alone. SLCA of the full
         // query is the root; the subset {k0,k1} exposes [0].
-        let lists = vec![
-            vec![d(&[0, 0])],
-            vec![d(&[0, 1])],
-            vec![d(&[5, 0])],
-        ];
+        let lists = vec![vec![d(&[0, 0])], vec![d(&[0, 1])], vec![d(&[5, 0])]];
         let out = naive_gks(&lists, 2);
         assert!(out.nodes.contains(&d(&[0])), "{:?}", out.nodes);
     }

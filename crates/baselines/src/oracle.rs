@@ -15,6 +15,7 @@ use gks_text::Analyzer;
 use gks_xml::{Document, Node};
 
 /// Exact matched-keyword masks for every element node of a corpus.
+#[derive(Debug)]
 pub struct GroundTruth {
     /// Subtree keyword mask per node.
     pub masks: FastMap<DeweyId, u64>,

@@ -22,7 +22,9 @@ use gks_index::fasthash::FastMap;
 /// SLCA via the CA-map method. `lists` are document-ordered posting lists,
 /// one per keyword. Returns SLCA nodes in document order.
 pub fn slca_ca_map(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
-    let Some(full) = full_mask(lists.len()) else { return Vec::new() };
+    let Some(full) = full_mask(lists.len()) else {
+        return Vec::new();
+    };
     if lists.iter().any(Vec::is_empty) {
         return Vec::new(); // AND-semantics
     }
@@ -44,11 +46,8 @@ pub fn slca_ca_map(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
             }
         }
     }
-    let mut cas: Vec<DeweyId> = masks
-        .into_iter()
-        .filter(|(_, m)| *m == full)
-        .map(|(d, _)| d)
-        .collect();
+    let mut cas: Vec<DeweyId> =
+        masks.into_iter().filter(|(_, m)| *m == full).map(|(d, _)| d).collect();
     cas.sort_unstable();
     remove_ancestors(cas)
 }
@@ -83,7 +82,9 @@ pub fn slca_indexed_lookup(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
             if i == shortest {
                 continue;
             }
-            let Some(a) = deepest_lca_with_list(u, list) else { continue 'outer };
+            let Some(a) = deepest_lca_with_list(u, list) else {
+                continue 'outer;
+            };
             best = Some(match best {
                 None => a,
                 Some(b) if a.depth() < b.depth() => a,
@@ -104,10 +105,7 @@ pub fn slca_indexed_lookup(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
 fn deepest_lca_with_list(u: &DeweyId, list: &[DeweyId]) -> Option<DeweyId> {
     let pos = list.partition_point(|x| x < u);
     let mut best: Option<DeweyId> = None;
-    for neighbour in [pos.checked_sub(1).map(|p| &list[p]), list.get(pos)]
-        .into_iter()
-        .flatten()
-    {
+    for neighbour in [pos.checked_sub(1).map(|p| &list[p]), list.get(pos)].into_iter().flatten() {
         if let Some(lca) = u.common_prefix(neighbour) {
             best = Some(match best {
                 None => lca,
@@ -174,19 +172,13 @@ mod tests {
     #[test]
     fn nested_slca_keeps_deepest() {
         // [0] and [0,2] both contain {k0, k1}; SLCA is the deeper [0,2].
-        let lists = vec![
-            vec![d(&[0, 1]), d(&[0, 2, 0])],
-            vec![d(&[0, 2, 1])],
-        ];
+        let lists = vec![vec![d(&[0, 1]), d(&[0, 2, 0])], vec![d(&[0, 2, 1])]];
         assert_eq!(both(&lists), vec![d(&[0, 2])]);
     }
 
     #[test]
     fn multiple_independent_slcas() {
-        let lists = vec![
-            vec![d(&[0, 0]), d(&[5, 0])],
-            vec![d(&[0, 1]), d(&[5, 1])],
-        ];
+        let lists = vec![vec![d(&[0, 0]), d(&[5, 0])], vec![d(&[0, 1]), d(&[5, 1])]];
         assert_eq!(both(&lists), vec![d(&[0]), d(&[5])]);
     }
 

@@ -80,7 +80,11 @@ pub fn slca_stack(lists: &[Vec<DeweyId>]) -> Vec<DeweyId> {
                 break;
             }
             // Cross-document entries share no ancestor: flush completely.
-            let towards = if top.dewey.doc() == dewey.doc() { Some(dewey) } else { None };
+            let towards = if top.dewey.doc() == dewey.doc() {
+                Some(dewey)
+            } else {
+                None
+            };
             pop_and_fold(&mut stack, towards, full, &mut out);
         }
         match stack.last_mut() {
@@ -114,14 +118,8 @@ mod tests {
 
     #[test]
     fn agrees_on_basic_cases() {
-        assert_eq!(
-            both(&[vec![d(&[0, 0]), d(&[1, 0])], vec![d(&[0, 1])]]),
-            vec![d(&[0])]
-        );
-        assert_eq!(
-            both(&[vec![d(&[0, 1]), d(&[0, 2, 0])], vec![d(&[0, 2, 1])]]),
-            vec![d(&[0, 2])]
-        );
+        assert_eq!(both(&[vec![d(&[0, 0]), d(&[1, 0])], vec![d(&[0, 1])]]), vec![d(&[0])]);
+        assert_eq!(both(&[vec![d(&[0, 1]), d(&[0, 2, 0])], vec![d(&[0, 2, 1])]]), vec![d(&[0, 2])]);
         assert_eq!(
             both(&[vec![d(&[0, 0]), d(&[5, 0])], vec![d(&[0, 1]), d(&[5, 1])]]),
             vec![d(&[0]), d(&[5])]
@@ -145,19 +143,13 @@ mod tests {
             vec![DeweyId::new(DocId(0), vec![0]), DeweyId::new(DocId(1), vec![0])],
             vec![DeweyId::new(DocId(0), vec![1]), DeweyId::new(DocId(1), vec![1])],
         ];
-        assert_eq!(
-            both(&lists),
-            vec![DeweyId::root(DocId(0)), DeweyId::root(DocId(1))]
-        );
+        assert_eq!(both(&lists), vec![DeweyId::root(DocId(0)), DeweyId::root(DocId(1))]);
     }
 
     #[test]
     fn and_semantics_and_single_list() {
         assert!(both(&[vec![d(&[0])], vec![]]).is_empty());
-        assert_eq!(
-            both(&[vec![d(&[0]), d(&[0, 1]), d(&[2])]]),
-            vec![d(&[0, 1]), d(&[2])]
-        );
+        assert_eq!(both(&[vec![d(&[0]), d(&[0, 1]), d(&[2])]]), vec![d(&[0, 1]), d(&[2])]);
     }
 
     #[test]

@@ -55,9 +55,7 @@ mod tests {
 
     #[test]
     fn rare_terms_outweigh_common_ones() {
-        let ix = index_of(
-            "<r><a>common rare</a><b>common</b><c>common</c><d>common</d></r>",
-        );
+        let ix = index_of("<r><a>common rare</a><b>common</b><c>common</c><d>common</d></r>");
         assert!(idf(&ix, "rare") > idf(&ix, "common"));
         assert!(idf(&ix, "absent") >= idf(&ix, "rare"), "df floor of 1");
     }
@@ -66,17 +64,11 @@ mod tests {
     fn hits_matching_rarer_keywords_score_higher() {
         // Distinct leaf labels keep the tree entity-free, so the hits stay
         // at <x> (common+rare) and <y> (common only).
-        let ix = index_of(
-            "<r><x><w1>common</w1><w2>rare</w2></x><y><w3>common</w3></y></r>",
-        );
+        let ix = index_of("<r><x><w1>common</w1><w2>rare</w2></x><y><w3>common</w3></y></r>");
         let q = Query::parse("common rare").unwrap();
         let r = search(&ix, &q, SearchOptions::with_s(1)).unwrap();
         let scores = score_response(&ix, &r);
-        let both = r
-            .hits()
-            .iter()
-            .position(|h| h.keyword_count == 2)
-            .expect("a two-keyword hit");
+        let both = r.hits().iter().position(|h| h.keyword_count == 2).expect("a two-keyword hit");
         let common_only = r
             .hits()
             .iter()

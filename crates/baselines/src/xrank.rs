@@ -54,10 +54,8 @@ impl ElemRank {
         let nodes: Vec<&DeweyId> = table.iter().map(|(d, _)| d).collect();
         let pos: FastMap<&DeweyId, usize> =
             nodes.iter().enumerate().map(|(i, d)| (*d, i)).collect();
-        let parent: Vec<Option<usize>> = nodes
-            .iter()
-            .map(|d| d.parent().and_then(|p| pos.get(&&p).copied()))
-            .collect();
+        let parent: Vec<Option<usize>> =
+            nodes.iter().map(|d| d.parent().and_then(|p| pos.get(&&p).copied())).collect();
         let child_count: Vec<f64> = nodes
             .iter()
             .map(|d| f64::from(table.child_count(d).unwrap_or(1).max(1)))
@@ -184,12 +182,7 @@ mod tests {
         let lists = query_posting_lists(&ix, &q);
         let results = vec![d(&[0]), d(&[1])]; // <shallow>, <deep>
         let scores = rank_results(&er, &results, &lists, 0.5);
-        assert!(
-            scores[0] > scores[1],
-            "shallow {} should beat deep {}",
-            scores[0],
-            scores[1]
-        );
+        assert!(scores[0] > scores[1], "shallow {} should beat deep {}", scores[0], scores[1]);
     }
 
     #[test]

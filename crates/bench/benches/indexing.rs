@@ -48,9 +48,7 @@ fn bench_persist(c: &mut Criterion) {
     let mut group = c.benchmark_group("persist");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("to_bytes", |b| b.iter(|| index.to_bytes()));
-    group.bench_function("from_bytes", |b| {
-        b.iter(|| GksIndex::from_bytes(bytes.clone()).unwrap())
-    });
+    group.bench_function("from_bytes", |b| b.iter(|| GksIndex::from_bytes(bytes.clone()).unwrap()));
     group.finish();
 }
 

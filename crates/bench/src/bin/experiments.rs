@@ -5,34 +5,71 @@
 //! cargo run --release -p gks-bench --bin experiments -- table7 table8
 //! cargo run --release -p gks-bench --bin experiments -- --list
 //! ```
+//!
+//! Before measuring, the driver preflights `cargo xtask lint` (pass
+//! `--no-preflight` to skip), and every benchmark index is validated with the
+//! index doctor as it is built.
+
+use std::process::ExitCode;
 
 use gks_bench::experiments;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: experiments [--list] <id>... | all");
         eprintln!("available: {}", experiments::ALL.join(" "));
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
     }
     if args.iter().any(|a| a == "--list") {
         for id in experiments::ALL {
             println!("{id}");
         }
-        return;
+        return ExitCode::SUCCESS;
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect()
     };
+    // Preflight: refuse to publish numbers from a tree that fails its own
+    // audit. Skipped (with a note) when cargo is unavailable, e.g. when the
+    // compiled binary is run outside the workspace. Every benchmark index is
+    // additionally doctor-validated at build time (see workloads::build_engine).
+    if !args.iter().any(|a| a == "--no-preflight") {
+        // Anchor to the workspace root so the alias in .cargo/config.toml
+        // resolves regardless of the invoking directory.
+        let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        if workspace.join("Cargo.toml").exists() {
+            match std::process::Command::new("cargo")
+                .args(["xtask", "lint"])
+                .current_dir(&workspace)
+                .status()
+            {
+                Ok(status) if !status.success() => {
+                    eprintln!("preflight failed: `cargo xtask lint` reported violations");
+                    eprintln!("(run with --no-preflight to measure anyway)");
+                    return ExitCode::from(2);
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("preflight skipped: cannot run `cargo xtask lint`: {e}"),
+            }
+        } else {
+            eprintln!("preflight skipped: workspace sources not present");
+        }
+    }
     for id in ids {
         match experiments::run(id) {
             Some(output) => println!("{output}"),
             None => {
                 eprintln!("unknown experiment {id:?}; available: {}", experiments::ALL.join(" "));
-                std::process::exit(2);
+                return ExitCode::from(2);
             }
         }
     }
+    ExitCode::SUCCESS
 }

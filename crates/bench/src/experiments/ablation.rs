@@ -31,7 +31,9 @@ fn score(counts: &[u32]) -> f64 {
 
 /// Mean reciprocal rank of the first hit with the maximum keyword count.
 fn mrr(counts: &[u32]) -> f64 {
-    let Some(&max) = counts.iter().max() else { return 1.0 };
+    let Some(&max) = counts.iter().max() else {
+        return 1.0;
+    };
     match counts.iter().position(|&c| c == max) {
         Some(pos) => 1.0 / (pos + 1) as f64,
         None => 1.0,
@@ -79,13 +81,11 @@ fn reordered(engine: &Engine, query: &Query, response: &Response, mode: &str) ->
 
 /// Runs the experiment.
 pub fn run() -> String {
-    const MODES: [&str; 5] =
-        ["potential-flow", "count-only", "tf-idf", "xrank", "document-order"];
+    const MODES: [&str; 5] = ["potential-flow", "count-only", "tf-idf", "xrank", "document-order"];
     let mut sums = [0.0f64; 5];
     let mut mrrs = [0.0f64; 5];
     let mut count = 0usize;
-    let mut t =
-        TextTable::new(&["Query", "flow", "count-only", "tf-idf", "xrank", "doc-order"]);
+    let mut t = TextTable::new(&["Query", "flow", "count-only", "tf-idf", "xrank", "doc-order"]);
     for w in table6_workloads(2016) {
         for q in &w.queries {
             let r = w.engine.search(&q.query, SearchOptions::with_s(1)).expect("search");

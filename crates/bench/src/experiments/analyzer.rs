@@ -50,11 +50,7 @@ pub fn run() -> String {
             .iter()
             .filter(|p| {
                 let q = Query::parse(p).expect("query");
-                !engine
-                    .search(&q, SearchOptions::with_s(1))
-                    .expect("search")
-                    .hits()
-                    .is_empty()
+                !engine.search(&q, SearchOptions::with_s(1)).expect("search").hits().is_empty()
             })
             .count();
         t.row(&[
@@ -103,10 +99,7 @@ mod tests {
         let corpus = Corpus::from_named_strs([("d", xml)]).unwrap();
         let stemmed = Engine::build(&corpus, config(true, true)).unwrap();
         let unstemmed = Engine::build(&corpus, config(false, true)).unwrap();
-        assert!(
-            stemmed.index().stats().distinct_terms
-                <= unstemmed.index().stats().distinct_terms
-        );
+        assert!(stemmed.index().stats().distinct_terms <= unstemmed.index().stats().distinct_terms);
     }
 
     #[test]
@@ -117,8 +110,6 @@ mod tests {
         let corpus = Corpus::from_named_strs([("p", xml)]).unwrap();
         let with = Engine::build(&corpus, config(true, true)).unwrap();
         let without = Engine::build(&corpus, config(true, false)).unwrap();
-        assert!(
-            with.index().stats().total_postings < without.index().stats().total_postings
-        );
+        assert!(with.index().stats().total_postings < without.index().stats().total_postings);
     }
 }

@@ -25,8 +25,7 @@ fn coauthor_ranking(out: &dblp::Output, author: &str) -> Vec<(String, usize)> {
             }
         }
     }
-    let mut v: Vec<(String, usize)> =
-        counts.into_iter().map(|(a, c)| (a.to_string(), c)).collect();
+    let mut v: Vec<(String, usize)> = counts.into_iter().map(|(a, c)| (a.to_string(), c)).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v
 }
@@ -79,7 +78,12 @@ pub fn run() -> String {
     // Recursive DI convergence: round sizes for one author.
     let q = Query::from_keywords([out.clusters[0][0].clone()]).expect("query");
     let rounds = engine
-        .recursive_di(&q, SearchOptions::with_s(1), &DiOptions { top_m: 3, ..Default::default() }, 3)
+        .recursive_di(
+            &q,
+            SearchOptions::with_s(1),
+            &DiOptions { top_m: 3, ..Default::default() },
+            3,
+        )
         .expect("recursive di");
     let round_sizes: Vec<String> = rounds
         .iter()

@@ -90,12 +90,7 @@ mod tests {
         let qs = queries_by_volume(&names, 4);
         let sls: Vec<usize> = qs
             .iter()
-            .map(|q| {
-                engine
-                    .search(q, SearchOptions::with_s(1))
-                    .unwrap()
-                    .sl_len()
-            })
+            .map(|q| engine.search(q, SearchOptions::with_s(1)).unwrap().sl_len())
             .collect();
         let min = *sls.iter().min().unwrap();
         let max = *sls.iter().max().unwrap();

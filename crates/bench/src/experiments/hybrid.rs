@@ -44,12 +44,7 @@ pub fn run() -> String {
     let mut by_type: std::collections::BTreeMap<String, usize> = Default::default();
     let mut max_depth_hit = 0usize;
     for h in resp.hits() {
-        let label = engine
-            .index()
-            .node_table()
-            .label_name(&h.node)
-            .unwrap_or("?")
-            .to_string();
+        let label = engine.index().node_table().label_name(&h.node).unwrap_or("?").to_string();
         *by_type.entry(label).or_default() += 1;
         max_depth_hit = max_depth_hit.max(h.node.depth());
     }

@@ -18,8 +18,7 @@ use crate::timed_search;
 pub fn run() -> String {
     let out = dblp::generate(&dblp::Config { articles: 1500, ..Default::default() }, 2016);
     let corpus = Corpus::from_named_strs([("dblp", out.xml)]).expect("corpus");
-    let engine =
-        gks_core::engine::Engine::build(&corpus, IndexOptions::default()).expect("index");
+    let engine = gks_core::engine::Engine::build(&corpus, IndexOptions::default()).expect("index");
 
     // Distinct author names across clusters.
     let mut authors: Vec<String> = Vec::new();

@@ -20,8 +20,22 @@ pub mod table8;
 
 /// All experiment ids in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "table4", "fig8", "fig9", "fig10", "table5", "table7", "table8", "feedback",
-    "hybrid", "lemma3", "pipeline", "ablation", "quality", "analyzer", "di_quality",
+    "table1",
+    "table4",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table5",
+    "table7",
+    "table8",
+    "feedback",
+    "hybrid",
+    "lemma3",
+    "pipeline",
+    "ablation",
+    "quality",
+    "analyzer",
+    "di_quality",
 ];
 
 /// Runs one experiment by id.

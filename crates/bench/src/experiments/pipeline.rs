@@ -21,7 +21,15 @@ pub fn run() -> String {
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
 
     let mut t = TextTable::new(&[
-        "n", "|SL|", "cands", "LCE", "hits", "merge µs", "window µs", "sweep µs", "assemble µs",
+        "n",
+        "|SL|",
+        "cands",
+        "LCE",
+        "hits",
+        "merge µs",
+        "window µs",
+        "sweep µs",
+        "assemble µs",
     ]);
     for n in [2usize, 4, 8, 16] {
         let kws: Vec<String> = ranked.iter().take(n).map(|(w, _)| w.to_string()).collect();

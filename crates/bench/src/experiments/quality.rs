@@ -24,7 +24,8 @@ fn score(nodes: &[DeweyId], targets: &[usize]) -> (f64, f64, f64) {
     }
     // A node is relevant when its top-level record ordinal is a target
     // (records are the root's children: the first Dewey step).
-    let relevant = |n: &DeweyId| n.steps().first().is_some_and(|&r| targets.contains(&(r as usize)));
+    let relevant =
+        |n: &DeweyId| n.steps().first().is_some_and(|&r| targets.contains(&(r as usize)));
     let tp = nodes.iter().filter(|n| relevant(n)).count();
     // Recall counts distinct covered targets.
     let covered = targets
@@ -32,7 +33,11 @@ fn score(nodes: &[DeweyId], targets: &[usize]) -> (f64, f64, f64) {
         .filter(|&&t| nodes.iter().any(|n| n.steps().first() == Some(&(t as u32))))
         .count();
     let precision = tp as f64 / nodes.len() as f64;
-    let recall = if targets.is_empty() { 1.0 } else { covered as f64 / targets.len() as f64 };
+    let recall = if targets.is_empty() {
+        1.0
+    } else {
+        covered as f64 / targets.len() as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -47,9 +52,8 @@ pub fn run() -> String {
     let corpus = Corpus::from_named_strs([("dblp", out.xml.clone())]).expect("corpus");
     let engine = Engine::build(&corpus, IndexOptions::default()).expect("index");
 
-    let mut t = TextTable::new(&[
-        "query", "s", "targets", "GKS P", "GKS R", "GKS F1", "SLCA P", "SLCA R",
-    ]);
+    let mut t =
+        TextTable::new(&["query", "s", "targets", "GKS P", "GKS R", "GKS F1", "SLCA P", "SLCA R"]);
     for (qi, cluster) in out.clusters.iter().take(4).enumerate() {
         let authors: Vec<String> = cluster.iter().take(3).cloned().collect();
         let query = Query::from_keywords(authors.clone()).expect("query");
@@ -59,9 +63,7 @@ pub fn run() -> String {
                 .records
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| {
-                    authors.iter().filter(|a| r.authors.contains(a)).count() >= s
-                })
+                .filter(|(_, r)| authors.iter().filter(|a| r.authors.contains(a)).count() >= s)
                 .map(|(i, _)| i)
                 .collect();
             let resp = engine.search(&query, SearchOptions::with_s(s)).expect("search");

@@ -57,11 +57,7 @@ pub fn run() -> String {
             );
         }
     }
-    format!(
-        "== Table 5: node-category census ==\n{}\n{}",
-        t.render(),
-        drill
-    )
+    format!("== Table 5: node-category census ==\n{}\n{}", t.render(), drill)
 }
 
 #[cfg(test)]

@@ -35,7 +35,8 @@ pub fn run() -> String {
             // §7.4 walk-through on QD1: refine the pair query with the top
             // co-author insight and compare joint-article counts.
             if q.id == "QD1" {
-                if let Some(co) = d1.iter().find(|i| i.path.last().map(String::as_str) == Some("author"))
+                if let Some(co) =
+                    d1.iter().find(|i| i.path.last().map(String::as_str) == Some("author"))
                 {
                     let author0 = q.query.keywords()[0].raw().to_string();
                     let refined =
@@ -55,11 +56,7 @@ pub fn run() -> String {
             }
         }
     }
-    format!(
-        "== Table 8: DI discovered per query ==\n{}\n{}",
-        t.render(),
-        qd1_walkthrough
-    )
+    format!("== Table 8: DI discovered per query ==\n{}\n{}", t.render(), qd1_walkthrough)
 }
 
 #[cfg(test)]

@@ -26,6 +26,11 @@
 //!
 //! Run them with `cargo run --release -p gks-bench --bin experiments -- all`.
 
+// Not an engine library crate: unwrap/expect on deterministic, known-good
+// data is acceptable here. The hard panic-free rule is scoped to the
+// engine crates and enforced by `cargo xtask lint` (see docs/ANALYSIS.md).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod assessor;
 pub mod experiments;
 pub mod rankscore;
@@ -41,7 +46,12 @@ use gks_core::search::{Response, SearchOptions};
 /// Runs a search `reps` times and returns (median wall-clock µs, response).
 /// The response's own `elapsed_micros` covers a single run; the median over
 /// repetitions is what the RT experiments report.
-pub fn timed_search(engine: &Engine, query: &Query, options: SearchOptions, reps: usize) -> (u64, Response) {
+pub fn timed_search(
+    engine: &Engine,
+    query: &Query,
+    options: SearchOptions,
+    reps: usize,
+) -> (u64, Response) {
     let mut times: Vec<u64> = Vec::with_capacity(reps.max(1));
     let mut response = None;
     for _ in 0..reps.max(1) {

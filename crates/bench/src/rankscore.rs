@@ -12,14 +12,14 @@ use gks_core::search::Response;
 /// Computes the paper's rank score over a ranked response. Returns 1.0 for
 /// an empty response (nothing is misranked).
 pub fn rank_score(response: &Response) -> f64 {
-    rank_score_of_counts(
-        &response.hits().iter().map(|h| h.keyword_count).collect::<Vec<_>>(),
-    )
+    rank_score_of_counts(&response.hits().iter().map(|h| h.keyword_count).collect::<Vec<_>>())
 }
 
 /// Core computation over the ranked list of per-hit keyword counts.
 pub fn rank_score_of_counts(counts: &[u32]) -> f64 {
-    let Some(&max) = counts.iter().max() else { return 1.0 };
+    let Some(&max) = counts.iter().max() else {
+        return 1.0;
+    };
     // 1-based positions of true nodes (those matching `max` keywords).
     let positions: Vec<usize> = counts
         .iter()

@@ -1,6 +1,7 @@
 //! Minimal aligned-column table printer for experiment output.
 
 /// Builds a text table with a header row and aligned columns.
+#[derive(Debug)]
 pub struct TextTable {
     header: Vec<String>,
     rows: Vec<Vec<String>>,

@@ -12,6 +12,7 @@ use gks_datagen::{bio, dblp, mondial, nasa, sigmod};
 use gks_index::{Corpus, IndexOptions};
 
 /// One named query of a workload.
+#[derive(Debug)]
 pub struct NamedQuery {
     /// Paper-style id, e.g. `QS2`.
     pub id: String,
@@ -20,6 +21,7 @@ pub struct NamedQuery {
 }
 
 /// A dataset with its engine and query set.
+#[derive(Debug)]
 pub struct Workload {
     /// Dataset display name.
     pub name: &'static str,
@@ -31,7 +33,16 @@ pub struct Workload {
 
 fn build_engine(name: &str, xml: String) -> Engine {
     let corpus = Corpus::from_named_strs([(name, xml)]).expect("corpus");
-    Engine::build(&corpus, IndexOptions::default()).expect("index")
+    let engine = Engine::build(&corpus, IndexOptions::default()).expect("index");
+    // Every benchmark index is doctor-validated before experiments run: a
+    // structurally broken index (unsorted postings, orphan Dewey ids,
+    // inconsistent census) would silently skew all downstream measurements.
+    let violations = engine.index().doctor();
+    assert!(
+        violations.is_empty(),
+        "{name}: benchmark index failed its audit: {violations:?}"
+    );
+    engine
 }
 
 fn nq(id: &str, keywords: Vec<String>) -> NamedQuery {
@@ -40,10 +51,8 @@ fn nq(id: &str, keywords: Vec<String>) -> NamedQuery {
 
 /// SIGMOD Record workload: QS1–QS4 (|Q| = 2, 4, 6, 8 author names).
 pub fn sigmod_workload(scale: usize, seed: u64) -> Workload {
-    let out = sigmod::generate(
-        &sigmod::Config { issues: scale.max(4), ..Default::default() },
-        seed,
-    );
+    let out =
+        sigmod::generate(&sigmod::Config { issues: scale.max(4), ..Default::default() }, seed);
     let mut freq: std::collections::HashMap<&str, usize> = Default::default();
     for authors in &out.article_authors {
         for a in authors {
@@ -87,10 +96,8 @@ pub fn sigmod_workload(scale: usize, seed: u64) -> Workload {
 
 /// DBLP workload: QD1–QD4.
 pub fn dblp_workload(scale: usize, seed: u64) -> Workload {
-    let out = dblp::generate(
-        &dblp::Config { articles: scale.max(200), ..Default::default() },
-        seed,
-    );
+    let out =
+        dblp::generate(&dblp::Config { articles: scale.max(200), ..Default::default() }, seed);
     let c0 = &out.clusters[0];
     let c1 = &out.clusters[1];
     let c2 = &out.clusters[2];
@@ -178,8 +185,7 @@ pub fn interpro_workload(scale: usize, seed: u64) -> Workload {
     let stem = out.names[0].split(' ').next().expect("name stem").to_string();
     // QI2 uses a year that really co-occurs with a 'Science' publication, as
     // the paper's {Publication 2002 Science} did on the real data.
-    let science_year =
-        out.science_years.first().cloned().unwrap_or_else(|| "2005".to_string());
+    let science_year = out.science_years.first().cloned().unwrap_or_else(|| "2005".to_string());
     let queries = vec![
         // QI1: {Kringle, Domain}-shaped — a family stem plus the word that
         // names the entity type.
@@ -232,10 +238,8 @@ mod tests {
     fn table6_workloads_have_expected_shapes() {
         let ws = table6_workloads(99);
         assert_eq!(ws.len(), 4);
-        let sizes: Vec<Vec<usize>> = ws
-            .iter()
-            .map(|w| w.queries.iter().map(|q| q.query.len()).collect())
-            .collect();
+        let sizes: Vec<Vec<usize>> =
+            ws.iter().map(|w| w.queries.iter().map(|q| q.query.len()).collect()).collect();
         assert_eq!(sizes[0], vec![2, 4, 6, 8], "QS sizes");
         assert_eq!(sizes[1], vec![2, 4, 6, 8], "QD sizes");
         assert_eq!(sizes[2], vec![2, 3, 6, 8], "QM sizes");
@@ -247,12 +251,7 @@ mod tests {
         for w in table6_workloads(7) {
             for q in &w.queries {
                 let r = w.engine.search(&q.query, SearchOptions::with_s(1)).unwrap();
-                assert!(
-                    !r.hits().is_empty(),
-                    "{} {} returned nothing",
-                    w.name,
-                    q.id
-                );
+                assert!(!r.hits().is_empty(), "{} {} returned nothing", w.name, q.id);
             }
         }
     }

@@ -9,6 +9,9 @@
 //! * `census <file.xml>…` — the §7.2 node-category census (`--schema` adds
 //!   the schema-harmonized view);
 //! * `info <index.gksix>` — index statistics;
+//! * `doctor <index.gksix>` — audit a persisted index against the structural
+//!   invariants of paper §2.1/§2.4 (sorted postings, parent closure, census
+//!   consistency, attribute-store resolvability);
 //! * `generate <dataset> <scale> <out.xml>` — write a synthetic corpus.
 //!
 //! The library form exists so the behaviour is unit-testable; `main` just
@@ -54,6 +57,7 @@ USAGE:
   gks census [--schema] <file.xml>...
   gks schema <index.gksix>
   gks info <index.gksix>
+  gks doctor <index.gksix>
   gks generate <dataset> <scale> <out.xml>
   gks repl <index.gksix>
 
@@ -74,6 +78,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "census" => cmd_census(rest),
         "schema" => cmd_schema(rest),
         "info" => cmd_info(rest),
+        "doctor" => cmd_doctor(rest),
         "generate" => cmd_generate(rest),
         "repl" => cmd_repl(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -113,7 +118,11 @@ fn cmd_index(args: &[String]) -> Result<String, CliError> {
     Ok(format!(
         "indexed {} document(s): {} nodes, {} entities, {} terms, {} postings\n\
          wrote {written} bytes to {out} in {} ms\n",
-        s.doc_count, s.total_nodes, s.census.entity, s.distinct_terms, s.total_postings,
+        s.doc_count,
+        s.total_nodes,
+        s.census.entity,
+        s.distinct_terms,
+        s.total_postings,
         s.build_millis
     ))
 }
@@ -182,7 +191,8 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
         let di = engine.discover_di(&resp, &DiOptions::default());
         let _ = writeln!(out, "\ndeeper analytical insights:");
         for i in &di {
-            let _ = writeln!(out, "  {}  weight={:.2} support={}", i.display(), i.weight, i.support);
+            let _ =
+                writeln!(out, "  {}  weight={:.2} support={}", i.display(), i.weight, i.support);
         }
     }
     if want_analytics {
@@ -243,7 +253,11 @@ fn cmd_census(args: &[String]) -> Result<String, CliError> {
     let c = index.stats().census;
     let mut out = format!(
         "instance-level census: AN={} EN={} RN={} CN={} total={}\n",
-        c.attribute, c.entity, c.repeating, c.connecting, c.total()
+        c.attribute,
+        c.entity,
+        c.repeating,
+        c.connecting,
+        c.total()
     );
     if schema {
         let summary = SchemaSummary::from_index(&index);
@@ -251,7 +265,11 @@ fn cmd_census(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "schema-level census:   AN={} EN={} RN={} CN={} total={}",
-            h.attribute, h.entity, h.repeating, h.connecting, h.total()
+            h.attribute,
+            h.entity,
+            h.repeating,
+            h.connecting,
+            h.total()
         );
         let _ = writeln!(out, "entity types:");
         for path in summary.entity_paths() {
@@ -387,6 +405,27 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::usage("usage: gks doctor <index.gksix>"));
+    };
+    let index = GksIndex::load(path)
+        .map_err(|e| CliError::runtime(format!("cannot load index {path:?}: {e}")))?;
+    let violations = index.doctor();
+    if violations.is_empty() {
+        let s = index.stats();
+        return Ok(format!(
+            "{path}: index is healthy — 0 violation(s) across {} node(s), {} term(s), {} posting(s)\n",
+            s.total_nodes, s.distinct_terms, s.total_postings
+        ));
+    }
+    let mut message = format!("{path}: {} violation(s) found\n", violations.len());
+    for v in &violations {
+        let _ = writeln!(message, "  {v}");
+    }
+    Err(CliError::runtime(message))
+}
+
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
     let [dataset, scale, out_path] = args else {
         return Err(CliError::usage("usage: gks generate <dataset> <scale> <out.xml>"));
@@ -462,6 +501,10 @@ mod tests {
         let out = run(&args(&["info", ix_s])).unwrap();
         assert!(out.contains("documents: 1"), "{out}");
 
+        // Acceptance bar: a freshly built synthetic-DBLP index is healthy.
+        let out = run(&args(&["doctor", ix_s])).unwrap();
+        assert!(out.contains("0 violation(s)"), "{out}");
+
         let out = run(&args(&["census", "--schema", xml_s])).unwrap();
         assert!(out.contains("instance-level census"), "{out}");
         assert!(out.contains("schema-level census"), "{out}");
@@ -484,8 +527,7 @@ mod tests {
         assert!(out.contains("entity types:"), "{out}");
 
         // Drive the REPL through an in-memory session.
-        let engine =
-            Engine::from_index(GksIndex::load(ix.to_str().unwrap()).unwrap());
+        let engine = Engine::from_index(GksIndex::load(ix.to_str().unwrap()).unwrap());
         let session = b":s 2\ncountry name\n:nope\n:q\n" as &[u8];
         let mut input = std::io::BufReader::new(session);
         let mut output = Vec::new();

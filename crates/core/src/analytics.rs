@@ -77,7 +77,11 @@ pub struct ResponseAnalytics {
 }
 
 /// Computes group-bys and facets over a response's LCE hits.
-pub fn analyze(index: &GksIndex, response: &Response, options: &AnalyticsOptions) -> ResponseAnalytics {
+pub fn analyze(
+    index: &GksIndex,
+    response: &Response,
+    options: &AnalyticsOptions,
+) -> ResponseAnalytics {
     let n = response.keywords().len();
     let mut keyword_hit_counts = vec![0usize; n];
     let mut by_type: FastMap<String, TypeGroup> = FastMap::default();
@@ -93,14 +97,12 @@ pub fn analyze(index: &GksIndex, response: &Response, options: &AnalyticsOptions
         if hit.kind != HitKind::Lce {
             continue;
         }
-        let label = index
-            .node_table()
-            .label_name(&hit.node)
-            .unwrap_or("?")
-            .to_string();
-        let group = by_type
-            .entry(label.clone())
-            .or_insert_with(|| TypeGroup { label: label.clone(), hits: 0, rank_mass: 0.0 });
+        let label = index.node_table().label_name(&hit.node).unwrap_or("?").to_string();
+        let group = by_type.entry(label.clone()).or_insert_with(|| TypeGroup {
+            label: label.clone(),
+            hits: 0,
+            rank_mass: 0.0,
+        });
         group.hits += 1;
         group.rank_mass += hit.rank;
 
@@ -186,11 +188,8 @@ mod tests {
     fn facets_histogram_attribute_values() {
         let (ix, r) = setup();
         let a = analyze(&ix, &r, &AnalyticsOptions::default());
-        let year_facet = a
-            .facets
-            .iter()
-            .find(|f| f.path == ["article", "year"])
-            .expect("year facet");
+        let year_facet =
+            a.facets.iter().find(|f| f.path == ["article", "year"]).expect("year facet");
         assert_eq!(year_facet.coverage, 2);
         assert_eq!(year_facet.values[0], FacetValue { value: "2001".into(), count: 2 });
     }

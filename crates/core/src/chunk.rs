@@ -8,14 +8,18 @@
 //! wrapper.
 
 use gks_index::GksIndex;
-use gks_xml::Writer;
+use gks_xml::{Writer, WriterError};
 
 use crate::search::Hit;
 
 /// Renders an entity hit as a pretty-printed XML fragment. Non-entity hits
 /// (no stored attributes) render as an empty element with a comment noting
 /// the matched node.
-pub fn render_xml_chunk(index: &GksIndex, hit: &Hit) -> String {
+///
+/// The writer calls are balanced by construction, so the `Err` arm is
+/// unreachable in practice; it is propagated rather than unwrapped so a
+/// future bug surfaces as a typed error, not a panic mid-search.
+pub fn render_xml_chunk(index: &GksIndex, hit: &Hit) -> Result<String, WriterError> {
     let label = index.node_table().label_name(&hit.node).unwrap_or("node");
     let mut entries: Vec<(Vec<&str>, &str)> = index
         .attr_store()
@@ -33,7 +37,7 @@ pub fn render_xml_chunk(index: &GksIndex, hit: &Hit) -> String {
     entries.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut w = Writer::pretty();
-    w.start(label, &[]).expect("writer");
+    w.start(label, &[])?;
     // Open-element stack below the entity root, merged across entries.
     let mut open: Vec<&str> = Vec::new();
     for (path, value) in &entries {
@@ -42,26 +46,22 @@ pub fn render_xml_chunk(index: &GksIndex, hit: &Hit) -> String {
             None => continue,
         };
         // Close elements that diverge, open the missing ones.
-        let shared = open
-            .iter()
-            .zip(wrappers.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let shared = open.iter().zip(wrappers.iter()).take_while(|(a, b)| a == b).count();
         for _ in shared..open.len() {
             open.pop();
-            w.end().expect("writer");
+            w.end()?;
         }
         for name in &wrappers[shared..] {
-            w.start(name, &[]).expect("writer");
+            w.start(name, &[])?;
             open.push(name);
         }
-        w.element_text(leaf, &[], value).expect("writer");
+        w.element_text(leaf, &[], value)?;
     }
     for _ in 0..open.len() {
-        w.end().expect("writer");
+        w.end()?;
     }
-    w.end().expect("writer");
-    w.finish().expect("balanced")
+    w.end()?;
+    w.finish()
 }
 
 #[cfg(test)]
@@ -89,15 +89,14 @@ mod tests {
     #[test]
     fn chunk_matches_figure_2b_shape() {
         let (ix, hit) = course_hit();
-        let chunk = render_xml_chunk(&ix, &hit);
+        let chunk = render_xml_chunk(&ix, &hit).unwrap();
         // Must be well-formed…
         let doc = gks_xml::Document::parse(&chunk).unwrap();
         assert_eq!(doc.root().name(), "Course");
         // …with the Name attribute and a single merged Students wrapper.
         assert_eq!(doc.root().find_all("Name").count(), 1);
         assert_eq!(doc.root().find_all("Students").count(), 1);
-        let students: Vec<String> =
-            doc.root().find_all("Student").map(|s| s.text()).collect();
+        let students: Vec<String> = doc.root().find_all("Student").map(|s| s.text()).collect();
         assert_eq!(students, vec!["Karen", "Mike"]);
     }
 
@@ -109,7 +108,7 @@ mod tests {
         let q = Query::parse("solo").unwrap();
         let r = search(&ix, &q, SearchOptions::with_s(1)).unwrap();
         for hit in r.hits() {
-            let chunk = render_xml_chunk(&ix, hit);
+            let chunk = render_xml_chunk(&ix, hit).unwrap();
             gks_xml::Document::parse(&chunk).unwrap();
         }
     }

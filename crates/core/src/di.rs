@@ -88,11 +88,7 @@ pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -
         if hit.kind != HitKind::Lce {
             continue;
         }
-        let entity_label = index
-            .node_table()
-            .label_name(&hit.node)
-            .unwrap_or("?")
-            .to_string();
+        let entity_label = index.node_table().label_name(&hit.node).unwrap_or("?").to_string();
         for entry in index.attr_store().entries(&hit.node) {
             if entry.source == AttrSource::RepeatingText && !options.include_repeating_text {
                 continue;
@@ -106,7 +102,9 @@ pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -
             }
             let mut path: Vec<String> = Vec::with_capacity(entry.path.len() + 1);
             path.push(entity_label.clone());
-            path.extend(entry.path.iter().map(|&l| index.node_table().labels().name(l).to_string()));
+            path.extend(
+                entry.path.iter().map(|&l| index.node_table().labels().name(l).to_string()),
+            );
             let norm_value = value_terms.join(" ");
             let key = (path.clone(), norm_value);
             let insight = agg.entry(key).or_insert_with(|| Insight {
@@ -158,8 +156,7 @@ pub fn recursive_di(
     for _ in 0..=rounds {
         let response = search(index, &current, search_options)?;
         let insights = discover_di(index, &response, di_options);
-        let next_keywords: Vec<String> =
-            insights.iter().map(|i| i.value.clone()).collect();
+        let next_keywords: Vec<String> = insights.iter().map(|i| i.value.clone()).collect();
         out.push(DiRound { query: current.clone(), response, insights });
         if next_keywords.is_empty() || out.len() > rounds {
             break;
@@ -210,10 +207,9 @@ mod tests {
     }
 
     fn example2_response(ix: &GksIndex) -> Response {
-        let q = Query::parse(
-            r#""Peter Buneman" "Wenfei Fan" "Scott Weinstein" "Prithviraj Banerjee""#,
-        )
-        .unwrap();
+        let q =
+            Query::parse(r#""Peter Buneman" "Wenfei Fan" "Scott Weinstein" "Prithviraj Banerjee""#)
+                .unwrap();
         search(ix, &q, SearchOptions::with_s(1)).unwrap()
     }
 
@@ -257,8 +253,7 @@ mod tests {
     fn repeating_text_sources_can_be_excluded() {
         let ix = dblp_index();
         let r = example2_response(&ix);
-        let opts =
-            DiOptions { top_m: 50, include_repeating_text: false, ..Default::default() };
+        let opts = DiOptions { top_m: 50, include_repeating_text: false, ..Default::default() };
         let di = discover_di(&ix, &r, &opts);
         // Co-author names come from repeating <author> nodes.
         assert!(di.iter().all(|i| i.path.last().map(String::as_str) != Some("author")));
@@ -281,8 +276,7 @@ mod tests {
         assert!(rounds.len() >= 2, "initial round plus at least one recursion");
         assert_eq!(rounds[0].query, q);
         // The second round queries the first round's insight values.
-        let first_values: Vec<&str> =
-            rounds[0].insights.iter().map(|i| i.value.as_str()).collect();
+        let first_values: Vec<&str> = rounds[0].insights.iter().map(|i| i.value.as_str()).collect();
         for kw in rounds[1].query.keywords() {
             assert!(first_values.contains(&kw.raw()));
         }

@@ -109,11 +109,7 @@ impl Engine {
         (0..=node.depth())
             .map(|depth| {
                 let prefix = node.ancestor_at_depth(depth);
-                self.index
-                    .node_table()
-                    .label_name(&prefix)
-                    .unwrap_or("?")
-                    .to_string()
+                self.index.node_table().label_name(&prefix).unwrap_or("?").to_string()
             })
             .collect()
     }
@@ -135,11 +131,8 @@ impl Engine {
                 .iter()
                 .take(3)
                 .map(|e| {
-                    let path: Vec<&str> = e
-                        .path
-                        .iter()
-                        .map(|&l| self.index.node_table().labels().name(l))
-                        .collect();
+                    let path: Vec<&str> =
+                        e.path.iter().map(|&l| self.index.node_table().labels().name(l)).collect();
                     format!("{}={}", path.join("."), e.value)
                 })
                 .collect();
@@ -151,8 +144,9 @@ impl Engine {
     }
 
     /// Renders a hit as a well-constructed XML fragment (the paper's
-    /// Figure 2(b) response shape).
-    pub fn render_xml_chunk(&self, hit: &Hit) -> String {
+    /// Figure 2(b) response shape). The writer error arm is unreachable for
+    /// indexes built by this crate; see [`crate::chunk::render_xml_chunk`].
+    pub fn render_xml_chunk(&self, hit: &Hit) -> Result<String, gks_xml::WriterError> {
         render_xml_chunk(&self.index, hit)
     }
 
@@ -184,7 +178,8 @@ mod tests {
     fn end_to_end_search_di_refine() {
         let e = engine();
         let q = Query::parse(r#""Manoj Agarwal" "Divesh Srivastava""#).unwrap();
-        let r = e.search(&q, SearchOptions { s: Threshold::Fixed(1), ..Default::default() })
+        let r = e
+            .search(&q, SearchOptions { s: Threshold::Fixed(1), ..Default::default() })
             .unwrap();
         assert_eq!(r.hits().len(), 2, "one article per author");
         let di = e.discover_di(&r, &DiOptions::default());

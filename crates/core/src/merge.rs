@@ -55,13 +55,7 @@ mod tests {
         assert!(ids.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(
             sl,
-            vec![
-                (d(&[0, 0]), 0),
-                (d(&[0, 1]), 1),
-                (d(&[1]), 1),
-                (d(&[2]), 0),
-                (d(&[3]), 1),
-            ]
+            vec![(d(&[0, 0]), 0), (d(&[0, 1]), 1), (d(&[1]), 1), (d(&[2]), 0), (d(&[3]), 1),]
         );
     }
 

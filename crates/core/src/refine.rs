@@ -59,9 +59,12 @@ pub fn refine(response: &Response, insights: &[Insight], max_suggestions: usize)
     // Greedy partition: walk sub-queries best-first, taking each one's
     // not-yet-covered keywords until all matchable keywords are covered.
     let matchable: u64 = {
-        let missing: u64 =
-            response.missing_keyword_indices().iter().map(|&i| 1u64 << i).sum();
-        let all = if keywords.len() == 64 { u64::MAX } else { (1u64 << keywords.len()) - 1 };
+        let missing: u64 = response.missing_keyword_indices().iter().map(|&i| 1u64 << i).sum();
+        let all = if keywords.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << keywords.len()) - 1
+        };
         all & !missing
     };
     let mut covered: u64 = 0;
@@ -151,12 +154,8 @@ mod tests {
         let ix = fig1();
         let q = Query::parse("ka kb ke").unwrap();
         let r = search(&ix, &q, SearchOptions::with_s(2)).unwrap();
-        let fake_insight = Insight {
-            value: "kc".into(),
-            path: vec!["x2".into()],
-            weight: 1.0,
-            support: 1,
-        };
+        let fake_insight =
+            Insight { value: "kc".into(), path: vec!["x2".into()], weight: 1.0, support: 1 };
         let refinement = refine(&r, &[fake_insight], 5);
         assert_eq!(refinement.morphs, vec![vec!["ka", "kb", "kc"]]);
     }

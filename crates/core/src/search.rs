@@ -203,7 +203,11 @@ impl Response {
 }
 
 /// Runs a GKS search against an index.
-pub fn search(index: &GksIndex, query: &Query, options: SearchOptions) -> Result<Response, QueryError> {
+pub fn search(
+    index: &GksIndex,
+    query: &Query,
+    options: SearchOptions,
+) -> Result<Response, QueryError> {
     let start = Instant::now();
     let keywords = query.normalized(index.analyzer());
     if keywords.is_empty() {
@@ -213,8 +217,7 @@ pub fn search(index: &GksIndex, query: &Query, options: SearchOptions) -> Result
     let s = options.s.resolve(n)?;
 
     // 1. Posting lists.
-    let lists: Vec<Vec<DeweyId>> =
-        keywords.iter().map(|k| keyword_postings(index, k)).collect();
+    let lists: Vec<Vec<DeweyId>> = keywords.iter().map(|k| keyword_postings(index, k)).collect();
     let missing: Vec<usize> =
         lists.iter().enumerate().filter(|(_, l)| l.is_empty()).map(|(i, _)| i).collect();
 

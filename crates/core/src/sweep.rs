@@ -50,7 +50,12 @@ impl NodeStats {
 
 /// Runs the sweep. `nodes` must be sorted and deduplicated; `n_keywords` is
 /// `|Q|`. Returns stats in the same order as `nodes`.
-pub fn sweep(index: &GksIndex, sl: &[SlEntry], nodes: &[DeweyId], n_keywords: usize) -> Vec<NodeStats> {
+pub fn sweep(
+    index: &GksIndex,
+    sl: &[SlEntry],
+    nodes: &[DeweyId],
+    n_keywords: usize,
+) -> Vec<NodeStats> {
     debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes sorted+deduped");
     let n_nodes = nodes.len();
     let mut mask = vec![0u64; n_nodes];
@@ -154,7 +159,9 @@ fn update_prods(index: &GksIndex, prods: &mut Vec<f64>, prev: Option<&DeweyId>, 
     for t in keep..entry.depth() {
         let prefix = entry.ancestor_at_depth(t);
         let children = index.node_table().child_count(&prefix).unwrap_or(1).max(1);
-        let last = *prods.last().expect("prods starts with 1.0");
+        // The caller seeds `prods` with 1.0; fall back to that seed so an
+        // empty vector degrades gracefully instead of panicking.
+        let last = prods.last().copied().unwrap_or(1.0);
         prods.push(last / children as f64);
     }
 }

@@ -19,7 +19,12 @@ use crate::merge::SlEntry;
 
 /// Enumerates LCP candidates for blocks of `s` unique keywords, with
 /// attribute-node promotion, returning them sorted and deduplicated.
-pub fn lcp_candidates(index: &GksIndex, sl: &[SlEntry], s: usize, n_keywords: usize) -> Vec<DeweyId> {
+pub fn lcp_candidates(
+    index: &GksIndex,
+    sl: &[SlEntry],
+    s: usize,
+    n_keywords: usize,
+) -> Vec<DeweyId> {
     assert!(s >= 1, "threshold must be ≥ 1");
     let mut counts = vec![0u32; n_keywords];
     let mut unique = 0usize;
@@ -104,10 +109,8 @@ mod tests {
     fn window_finds_common_ancestors() {
         let ix = fig2a_index();
         // karen (2 postings) + mike (1 posting).
-        let sl = merge_posting_lists(vec![
-            ix.postings("karen").to_vec(),
-            ix.postings("mike").to_vec(),
-        ]);
+        let sl =
+            merge_posting_lists(vec![ix.postings("karen").to_vec(), ix.postings("mike").to_vec()]);
         let cands = lcp_candidates(&ix, &sl, 2, 2);
         // Blocks: (karen@c0, mike@c0) → Students of course 0;
         // (mike@c0, karen@c1) → Courses.

@@ -15,11 +15,7 @@ fn arb_word() -> impl Strategy<Value = String> {
 
 /// Random flat-ish documents: groups of records with word leaves.
 fn arb_doc() -> impl Strategy<Value = String> {
-    prop::collection::vec(
-        prop::collection::vec(arb_word(), 1..4),
-        1..8,
-    )
-    .prop_map(|records| {
+    prop::collection::vec(prop::collection::vec(arb_word(), 1..4), 1..8).prop_map(|records| {
         let mut xml = String::from("<root>");
         for rec in records {
             xml.push_str("<rec>");

@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal wall-clock harness exposing the API surface the GKS benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark runs a short warm-up, then a fixed number of
+//! timed batches, and reports the per-iteration median to stdout. No
+//! statistical analysis, HTML reports, or baseline comparison — this is for
+//! relative, same-machine readings only. Under `--test` (as passed by
+//! `cargo test --benches`) each benchmark body runs exactly once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Reads harness flags (`--test`) like the real crate's
+    /// `Criterion::default().configure_from_args()`.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), test_mode: self.test_mode, _parent: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one(name, test_mode, f);
+    }
+}
+
+/// A named group of benchmarks (subset of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the amount of work per iteration; accepted for source
+    /// compatibility (the shim does not report rates).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Accepted for source compatibility; the shim's batch count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.test_mode, |b| f(b));
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id` within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name qualified by a parameter value.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Work-per-iteration declaration (subset of `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, then size batches so each takes ~10ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+        let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u32;
+        for _ in 0..15 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, mut f: F) {
+    let mut b = Bencher { test_mode, samples: Vec::new() };
+    f(&mut b);
+    if test_mode {
+        println!("test-mode bench {label}: ok");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+    println!("bench {label}: median {median:?} over {} samples", b.samples.len());
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -54,24 +54,31 @@ pub fn generate_swissprot(config: &SwissProtConfig, seed: u64) -> BioOutput {
     let mut names = Vec::new();
     let mut authors = Vec::new();
     for i in 0..config.entries {
-        let descr = format!(
-            "{} {}",
-            pick(&mut rng, PROTEIN_STEMS),
-            pick(&mut rng, PROTEIN_STEMS)
-        );
+        let descr = format!("{} {}", pick(&mut rng, PROTEIN_STEMS), pick(&mut rng, PROTEIN_STEMS));
         w.start(
             "Entry",
             &[
                 ("id", &format!("P{i:05}")),
-                ("class", if rng.gen_bool(0.8) { "STANDARD" } else { "PRELIMINARY" }),
+                (
+                    "class",
+                    if rng.gen_bool(0.8) {
+                        "STANDARD"
+                    } else {
+                        "PRELIMINARY"
+                    },
+                ),
                 ("mtype", "PRT"),
             ],
         )
         .expect("writer");
         w.element_text("AC", &[], &format!("Q{:05}", rng.gen_range(0..99999u32)))
             .expect("writer");
-        w.element_text("Mod", &[], &format!("{:02}-{}", rng.gen_range(1..=12), rng.gen_range(1990..=2015)))
-            .expect("writer");
+        w.element_text(
+            "Mod",
+            &[],
+            &format!("{:02}-{}", rng.gen_range(1..=12), rng.gen_range(1990..=2015)),
+        )
+        .expect("writer");
         w.element_text("Descr", &[], &descr).expect("writer");
         w.element_text("Species", &[], pick(&mut rng, ORGANISMS)).expect("writer");
         for _ in 0..rng.gen_range(1..=3) {
@@ -139,7 +146,8 @@ pub fn generate_protein(config: &ProteinConfig, seed: u64) -> BioOutput {
         w.end().expect("writer");
         w.start("protein", &[]).expect("writer");
         w.element_text("name", &[], &name).expect("writer");
-        w.element_text("classification", &[], pick(&mut rng, PROTEIN_STEMS)).expect("writer");
+        w.element_text("classification", &[], pick(&mut rng, PROTEIN_STEMS))
+            .expect("writer");
         w.end().expect("writer");
         w.start("organism", &[]).expect("writer");
         w.element_text("source", &[], pick(&mut rng, ORGANISMS)).expect("writer");
@@ -192,11 +200,8 @@ pub fn generate_interpro(config: &InterProConfig, seed: u64) -> BioOutput {
     let mut science_years = Vec::new();
     for i in 0..config.entries {
         let name = format!("{} domain", pick(&mut rng, PROTEIN_STEMS));
-        w.start(
-            "interpro",
-            &[("id", &format!("IPR{i:06}")), ("type", "Domain")],
-        )
-        .expect("writer");
+        w.start("interpro", &[("id", &format!("IPR{i:06}")), ("type", "Domain")])
+            .expect("writer");
         w.element_text("name", &[], &name).expect("writer");
         w.element_text("abstract", &[], &title(&mut rng, 12)).expect("writer");
         w.start("pub_list", &[]).expect("writer");
@@ -209,7 +214,11 @@ pub fn generate_interpro(config: &InterProConfig, seed: u64) -> BioOutput {
                 authors.push(a);
             }
             w.end().expect("writer"); // author_list
-            let journal = if rng.gen_bool(0.3) { "Science" } else { "J Mol Biol" };
+            let journal = if rng.gen_bool(0.3) {
+                "Science"
+            } else {
+                "J Mol Biol"
+            };
             w.element_text("journal", &[], journal).expect("writer");
             let year = rng.gen_range(1995..=2010).to_string();
             w.element_text("year", &[], &year).expect("writer");

@@ -91,7 +91,11 @@ pub fn generate(config: &Config, seed: u64) -> Output {
             offset += 1;
         }
         let year = rng.gen_range(1990..=2015);
-        let kind = if rng.gen_bool(0.5) { "inproceedings" } else { "article" };
+        let kind = if rng.gen_bool(0.5) {
+            "inproceedings"
+        } else {
+            "article"
+        };
         let venue = if kind == "article" {
             pick(&mut rng, JOURNALS).to_string()
         } else {
@@ -105,9 +109,14 @@ pub fn generate(config: &Config, seed: u64) -> Output {
             w.element_text("author", &[], a).expect("writer");
         }
         w.element_text("year", &[], &year.to_string()).expect("writer");
-        let venue_tag = if kind == "article" { "journal" } else { "booktitle" };
+        let venue_tag = if kind == "article" {
+            "journal"
+        } else {
+            "booktitle"
+        };
         w.element_text(venue_tag, &[], &venue).expect("writer");
-        w.element_text("pages", &[], &format!("{}-{}", i * 3 + 1, i * 3 + 12)).expect("writer");
+        w.element_text("pages", &[], &format!("{}-{}", i * 3 + 1, i * 3 + 12))
+            .expect("writer");
         w.end().expect("writer");
         records.push(Record { authors, year, venue });
     }

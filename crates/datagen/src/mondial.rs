@@ -9,7 +9,9 @@
 use gks_xml::Writer;
 use rand::Rng as _;
 
-use crate::pools::{pick, CITY_STEMS, CITY_SUFFIXES, COUNTRIES, ETHNIC_GROUPS, LANGUAGES, RELIGIONS};
+use crate::pools::{
+    pick, CITY_STEMS, CITY_SUFFIXES, COUNTRIES, ETHNIC_GROUPS, LANGUAGES, RELIGIONS,
+};
 
 /// Generation parameters.
 #[derive(Debug, Clone)]
@@ -52,8 +54,11 @@ pub fn generate(config: &Config, seed: u64) -> Output {
     let mut cities = Vec::new();
     for i in 0..config.countries {
         let base = COUNTRIES[i % COUNTRIES.len()];
-        let name =
-            if i < COUNTRIES.len() { base.to_string() } else { format!("{base}{}", i / COUNTRIES.len()) };
+        let name = if i < COUNTRIES.len() {
+            base.to_string()
+        } else {
+            format!("{base}{}", i / COUNTRIES.len())
+        };
         let car_code: String = name.chars().take(2).collect::<String>().to_uppercase();
         w.start(
             "country",
@@ -67,17 +72,17 @@ pub fn generate(config: &Config, seed: u64) -> Output {
         w.element_text("name", &[], &name).expect("writer");
         w.element_text("population", &[], &rng.gen_range(100_000..80_000_000).to_string())
             .expect("writer");
-        w.element_text(
-            "population_growth",
-            &[],
-            &format!("{:.2}", rng.gen_range(-1.0..4.0)),
-        )
-        .expect("writer");
+        w.element_text("population_growth", &[], &format!("{:.2}", rng.gen_range(-1.0..4.0)))
+            .expect("writer");
 
         for _ in 0..rng.gen_range(1..=3) {
             let pct = format!("{:.1}", rng.gen_range(1.0..100.0));
-            w.element_text("ethnicgroups", &[("percentage", pct.as_str())], pick(&mut rng, ETHNIC_GROUPS))
-                .expect("writer");
+            w.element_text(
+                "ethnicgroups",
+                &[("percentage", pct.as_str())],
+                pick(&mut rng, ETHNIC_GROUPS),
+            )
+            .expect("writer");
         }
         for _ in 0..rng.gen_range(1..=3) {
             let religion = pick(&mut rng, RELIGIONS).to_string();

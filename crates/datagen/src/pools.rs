@@ -11,59 +11,177 @@ use crate::Rng;
 
 /// First names for synthetic people.
 pub static FIRST_NAMES: &[&str] = &[
-    "Ada", "Alan", "Barbara", "Claude", "Dana", "Edgar", "Frances", "Grace", "Hedy", "Ivan",
-    "Jim", "Karen", "Leslie", "Maurice", "Niklaus", "Ole", "Peter", "Radia", "Stephen", "Tim",
-    "Ursula", "Vint", "Wenfei", "Xavier", "Yvonne", "Zohar", "Manoj", "Krithi", "Prashant",
-    "Divesh", "Nicolas", "Serge", "Victor", "Hector", "Jennifer", "Jeffrey", "Rakesh", "Ramez",
-    "Shamkant", "Michael", "David", "Donald", "Raghu", "Johannes", "Surajit", "Moshe", "Dan",
-    "Mary", "Susan", "Laura",
+    "Ada", "Alan", "Barbara", "Claude", "Dana", "Edgar", "Frances", "Grace", "Hedy", "Ivan", "Jim",
+    "Karen", "Leslie", "Maurice", "Niklaus", "Ole", "Peter", "Radia", "Stephen", "Tim", "Ursula",
+    "Vint", "Wenfei", "Xavier", "Yvonne", "Zohar", "Manoj", "Krithi", "Prashant", "Divesh",
+    "Nicolas", "Serge", "Victor", "Hector", "Jennifer", "Jeffrey", "Rakesh", "Ramez", "Shamkant",
+    "Michael", "David", "Donald", "Raghu", "Johannes", "Surajit", "Moshe", "Dan", "Mary", "Susan",
+    "Laura",
 ];
 
 /// Last names for synthetic people.
 pub static LAST_NAMES: &[&str] = &[
-    "Lovelace", "Turing", "Liskov", "Shannon", "Scott", "Codd", "Allen", "Hopper", "Lamarr",
-    "Sutherland", "Gray", "Jones", "Lamport", "Wilkes", "Wirth", "Madsen", "Buneman",
-    "Perlman", "Cook", "Lee", "Franklin", "Cerf", "Fan", "Leroy", "Choquet", "Manna",
-    "Agarwal", "Ramamritham", "Mehta", "Srivastava", "Bruno", "Abiteboul", "Vianu",
-    "Garcia-Molina", "Widom", "Ullman", "Agrawal", "Elmasri", "Navathe", "Stonebraker",
-    "DeWitt", "Knuth", "Ramakrishnan", "Gehrke", "Chaudhuri", "Vardi", "Suciu", "Shaw",
-    "Davidson", "Haas",
+    "Lovelace",
+    "Turing",
+    "Liskov",
+    "Shannon",
+    "Scott",
+    "Codd",
+    "Allen",
+    "Hopper",
+    "Lamarr",
+    "Sutherland",
+    "Gray",
+    "Jones",
+    "Lamport",
+    "Wilkes",
+    "Wirth",
+    "Madsen",
+    "Buneman",
+    "Perlman",
+    "Cook",
+    "Lee",
+    "Franklin",
+    "Cerf",
+    "Fan",
+    "Leroy",
+    "Choquet",
+    "Manna",
+    "Agarwal",
+    "Ramamritham",
+    "Mehta",
+    "Srivastava",
+    "Bruno",
+    "Abiteboul",
+    "Vianu",
+    "Garcia-Molina",
+    "Widom",
+    "Ullman",
+    "Agrawal",
+    "Elmasri",
+    "Navathe",
+    "Stonebraker",
+    "DeWitt",
+    "Knuth",
+    "Ramakrishnan",
+    "Gehrke",
+    "Chaudhuri",
+    "Vardi",
+    "Suciu",
+    "Shaw",
+    "Davidson",
+    "Haas",
 ];
 
 /// Words used in titles, abstracts and descriptions.
 pub static TITLE_WORDS: &[&str] = &[
-    "efficient", "keyword", "search", "xml", "data", "query", "processing", "index",
-    "semantic", "ranking", "schema", "semistructured", "optimization", "join", "twig",
-    "holistic", "stream", "distributed", "parallel", "adaptive", "incremental", "approximate",
-    "probabilistic", "graph", "tree", "pattern", "matching", "integration", "warehouse",
-    "transaction", "recovery", "concurrency", "scalable", "declarative", "relational",
-    "temporal", "spatial", "mining", "learning", "clustering", "classification", "skyline",
-    "provenance", "view", "materialized", "cache", "partition", "replication", "consistency",
+    "efficient",
+    "keyword",
+    "search",
+    "xml",
+    "data",
+    "query",
+    "processing",
+    "index",
+    "semantic",
+    "ranking",
+    "schema",
+    "semistructured",
+    "optimization",
+    "join",
+    "twig",
+    "holistic",
+    "stream",
+    "distributed",
+    "parallel",
+    "adaptive",
+    "incremental",
+    "approximate",
+    "probabilistic",
+    "graph",
+    "tree",
+    "pattern",
+    "matching",
+    "integration",
+    "warehouse",
+    "transaction",
+    "recovery",
+    "concurrency",
+    "scalable",
+    "declarative",
+    "relational",
+    "temporal",
+    "spatial",
+    "mining",
+    "learning",
+    "clustering",
+    "classification",
+    "skyline",
+    "provenance",
+    "view",
+    "materialized",
+    "cache",
+    "partition",
+    "replication",
+    "consistency",
 ];
 
 /// Journal names (DBLP-style).
 pub static JOURNALS: &[&str] = &[
-    "SIGMOD Record", "TODS", "VLDB Journal", "TKDE", "Information Systems", "JACM", "TCS",
-    "IBM Research Report", "Computing Surveys", "Data Engineering Bulletin",
+    "SIGMOD Record",
+    "TODS",
+    "VLDB Journal",
+    "TKDE",
+    "Information Systems",
+    "JACM",
+    "TCS",
+    "IBM Research Report",
+    "Computing Surveys",
+    "Data Engineering Bulletin",
 ];
 
 /// Conference names (DBLP booktitle-style).
-pub static BOOKTITLES: &[&str] = &[
-    "SIGMOD", "VLDB", "ICDE", "EDBT", "ICDT", "CIKM", "WWW", "KDD", "PODS", "ICPP",
-];
+pub static BOOKTITLES: &[&str] =
+    &["SIGMOD", "VLDB", "ICDE", "EDBT", "ICDT", "CIKM", "WWW", "KDD", "PODS", "ICPP"];
 
 /// Country names for Mondial.
 pub static COUNTRIES: &[&str] = &[
-    "Albania", "Bolivia", "Cambodia", "Denmark", "Ecuador", "Finland", "Ghana", "Hungary",
-    "Iceland", "Jordan", "Kenya", "Laos", "Morocco", "Nepal", "Oman", "Peru", "Qatar",
-    "Romania", "Senegal", "Thailand", "Uganda", "Vietnam", "Yemen", "Zimbabwe", "Luxembourg",
-    "Belgium", "Austria", "Chile", "Estonia", "Fiji",
+    "Albania",
+    "Bolivia",
+    "Cambodia",
+    "Denmark",
+    "Ecuador",
+    "Finland",
+    "Ghana",
+    "Hungary",
+    "Iceland",
+    "Jordan",
+    "Kenya",
+    "Laos",
+    "Morocco",
+    "Nepal",
+    "Oman",
+    "Peru",
+    "Qatar",
+    "Romania",
+    "Senegal",
+    "Thailand",
+    "Uganda",
+    "Vietnam",
+    "Yemen",
+    "Zimbabwe",
+    "Luxembourg",
+    "Belgium",
+    "Austria",
+    "Chile",
+    "Estonia",
+    "Fiji",
 ];
 
 /// City name stems for Mondial.
 pub static CITY_STEMS: &[&str] = &[
-    "Port", "New", "Old", "Upper", "Lower", "East", "West", "North", "South", "Grand",
-    "Little", "Fort", "Lake", "Mount", "Saint",
+    "Port", "New", "Old", "Upper", "Lower", "East", "West", "North", "South", "Grand", "Little",
+    "Fort", "Lake", "Mount", "Saint",
 ];
 
 /// City name suffixes for Mondial.
@@ -73,14 +191,33 @@ pub static CITY_SUFFIXES: &[&str] = &[
 
 /// Religions for Mondial.
 pub static RELIGIONS: &[&str] = &[
-    "Muslim", "Catholic", "Protestant", "Orthodox", "Buddhism", "Hinduism", "Christianity",
-    "Jewish", "Anglican", "Shinto",
+    "Muslim",
+    "Catholic",
+    "Protestant",
+    "Orthodox",
+    "Buddhism",
+    "Hinduism",
+    "Christianity",
+    "Jewish",
+    "Anglican",
+    "Shinto",
 ];
 
 /// Languages for Mondial.
 pub static LANGUAGES: &[&str] = &[
-    "Polish", "Spanish", "German", "French", "Thai", "Chinese", "Arabic", "Hindi", "Swahili",
-    "Portuguese", "Dutch", "Khmer", "Lao",
+    "Polish",
+    "Spanish",
+    "German",
+    "French",
+    "Thai",
+    "Chinese",
+    "Arabic",
+    "Hindi",
+    "Swahili",
+    "Portuguese",
+    "Dutch",
+    "Khmer",
+    "Lao",
 ];
 
 /// Ethnic groups for Mondial.
@@ -91,45 +228,82 @@ pub static ETHNIC_GROUPS: &[&str] = &[
 
 /// Protein / gene style tokens for the bio datasets.
 pub static PROTEIN_STEMS: &[&str] = &[
-    "kinase", "globin", "ferritin", "actin", "myosin", "tubulin", "histone", "collagen",
-    "insulin", "albumin", "keratin", "elastin", "lysozyme", "pepsin", "trypsin", "amylase",
+    "kinase", "globin", "ferritin", "actin", "myosin", "tubulin", "histone", "collagen", "insulin",
+    "albumin", "keratin", "elastin", "lysozyme", "pepsin", "trypsin", "amylase",
 ];
 
 /// Organism names for the bio datasets.
 pub static ORGANISMS: &[&str] = &[
-    "Homo sapiens", "Mus musculus", "Escherichia coli", "Saccharomyces cerevisiae",
-    "Drosophila melanogaster", "Arabidopsis thaliana", "Danio rerio", "Rattus norvegicus",
-    "Caenorhabditis elegans", "Bacillus subtilis",
+    "Homo sapiens",
+    "Mus musculus",
+    "Escherichia coli",
+    "Saccharomyces cerevisiae",
+    "Drosophila melanogaster",
+    "Arabidopsis thaliana",
+    "Danio rerio",
+    "Rattus norvegicus",
+    "Caenorhabditis elegans",
+    "Bacillus subtilis",
 ];
 
 /// Taxonomy groups for InterPro.
 pub static TAXA: &[&str] = &[
-    "Eukaryota", "Bacteria", "Archaea", "Viruses", "Metazoa", "Fungi", "Viridiplantae",
+    "Eukaryota",
+    "Bacteria",
+    "Archaea",
+    "Viruses",
+    "Metazoa",
+    "Fungi",
+    "Viridiplantae",
 ];
 
 /// Keywords for SwissProt/NASA keyword lists.
 pub static TOPIC_KEYWORDS: &[&str] = &[
-    "transferase", "hydrolase", "membrane", "nuclear", "cytoplasm", "signal", "receptor",
-    "transport", "binding", "repeat", "zinc", "iron", "calcium", "photometry", "spectroscopy",
-    "astrometry", "radial", "velocity", "magnitude", "parallax",
+    "transferase",
+    "hydrolase",
+    "membrane",
+    "nuclear",
+    "cytoplasm",
+    "signal",
+    "receptor",
+    "transport",
+    "binding",
+    "repeat",
+    "zinc",
+    "iron",
+    "calcium",
+    "photometry",
+    "spectroscopy",
+    "astrometry",
+    "radial",
+    "velocity",
+    "magnitude",
+    "parallax",
 ];
 
 /// Penn-Treebank-style part-of-speech / phrase labels.
-pub static TREEBANK_LABELS: &[&str] = &[
-    "S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP", "PRT", "INTJ",
-];
+pub static TREEBANK_LABELS: &[&str] =
+    &["S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP", "PRT", "INTJ"];
 
 /// English filler words for TreeBank leaves and Shakespeare lines.
 pub static FILLER_WORDS: &[&str] = &[
-    "time", "king", "heart", "night", "day", "love", "death", "crown", "sword", "ghost",
-    "honor", "blood", "storm", "castle", "letter", "witch", "throne", "battle", "prince",
-    "queen", "fool", "grave", "poison", "dream", "shadow", "mercy", "justice", "truth",
+    "time", "king", "heart", "night", "day", "love", "death", "crown", "sword", "ghost", "honor",
+    "blood", "storm", "castle", "letter", "witch", "throne", "battle", "prince", "queen", "fool",
+    "grave", "poison", "dream", "shadow", "mercy", "justice", "truth",
 ];
 
 /// Play titles.
 pub static PLAY_TITLES: &[&str] = &[
-    "The Tragedy of Hamlet", "Macbeth", "King Lear", "Othello", "The Tempest",
-    "Julius Caesar", "Richard III", "Twelfth Night", "As You Like It", "The Winters Tale",
+    "The Tragedy of Hamlet",
+    "Macbeth",
+    "King Lear",
+    "Othello",
+    "The Tempest",
+    "Julius Caesar",
+    "Richard III",
+    "Twelfth Night",
+    "As You Like It",
+    "The Winters Tale",
 ];
 
 /// Picks one element of a pool.

@@ -75,8 +75,7 @@ pub fn generate(config: &Config, seed: u64) -> Output {
             w.element_text("endPage", &[], &(page + len).to_string()).expect("writer");
             w.start("authors", &[]).expect("writer");
             for (pos, a) in authors.iter().enumerate() {
-                w.element_text("author", &[("position", &pos.to_string())], a)
-                    .expect("writer");
+                w.element_text("author", &[("position", &pos.to_string())], a).expect("writer");
             }
             w.end().expect("writer"); // authors
             w.end().expect("writer"); // article

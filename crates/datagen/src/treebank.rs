@@ -88,12 +88,7 @@ mod tests {
     use gks_xml::{Document, Node};
 
     fn depth_of(node: &Node) -> usize {
-        1 + node
-            .element_children()
-            .iter()
-            .map(|c| depth_of(c))
-            .max()
-            .unwrap_or(0)
+        1 + node.element_children().iter().map(|c| depth_of(c)).max().unwrap_or(0)
     }
 
     #[test]

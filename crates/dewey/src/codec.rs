@@ -34,10 +34,9 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::UnexpectedEof => write!(f, "unexpected end of encoded data"),
             DecodeError::VarintOverflow => write!(f, "varint exceeds 32-bit range"),
-            DecodeError::BadSharedPrefix { shared, prev_depth } => write!(
-                f,
-                "shared prefix length {shared} exceeds previous id depth {prev_depth}"
-            ),
+            DecodeError::BadSharedPrefix { shared, prev_depth } => {
+                write!(f, "shared prefix length {shared} exceeds previous id depth {prev_depth}")
+            }
         }
     }
 }

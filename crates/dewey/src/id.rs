@@ -73,10 +73,7 @@ impl DeweyId {
         if self.steps.is_empty() {
             None
         } else {
-            Some(DeweyId {
-                doc: self.doc,
-                steps: self.steps[..self.steps.len() - 1].to_vec(),
-            })
+            Some(DeweyId { doc: self.doc, steps: self.steps[..self.steps.len() - 1].to_vec() })
         }
     }
 
@@ -108,12 +105,7 @@ impl DeweyId {
         if self.doc != other.doc {
             return None;
         }
-        let n = self
-            .steps
-            .iter()
-            .zip(other.steps.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let n = self.steps.iter().zip(other.steps.iter()).take_while(|(a, b)| a == b).count();
         Some(DeweyId { doc: self.doc, steps: self.steps[..n].to_vec() })
     }
 
@@ -124,13 +116,7 @@ impl DeweyId {
         if self.doc != other.doc {
             return None;
         }
-        Some(
-            self.steps
-                .iter()
-                .zip(other.steps.iter())
-                .take_while(|(a, b)| a == b)
-                .count(),
-        )
+        Some(self.steps.iter().zip(other.steps.iter()).take_while(|(a, b)| a == b).count())
     }
 
     /// The smallest id that sorts strictly after **every** node in the
@@ -172,6 +158,7 @@ impl DeweyId {
 }
 
 /// Iterator over strict ancestors, nearest first. See [`DeweyId::ancestors`].
+#[derive(Debug)]
 pub struct Ancestors<'a> {
     doc: DocId,
     steps: &'a [Step],
@@ -198,9 +185,7 @@ impl ExactSizeIterator for Ancestors<'_> {}
 
 impl Ord for DeweyId {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.doc
-            .cmp(&other.doc)
-            .then_with(|| self.steps.cmp(&other.steps))
+        self.doc.cmp(&other.doc).then_with(|| self.steps.cmp(&other.steps))
     }
 }
 

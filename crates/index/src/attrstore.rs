@@ -96,7 +96,11 @@ mod tests {
         let mut s = AttrStore::new();
         s.insert(
             d(&[0, 1]),
-            vec![AttrEntry { path: vec![3], value: "Data Mining".into(), source: AttrSource::Attribute }],
+            vec![AttrEntry {
+                path: vec![3],
+                value: "Data Mining".into(),
+                source: AttrSource::Attribute,
+            }],
         );
         assert_eq!(s.entries(&d(&[0, 1]))[0].value, "Data Mining");
         assert!(s.entries(&d(&[9])).is_empty());

@@ -8,6 +8,7 @@
 //! attribute/repeating status, emits its children's node-table entries, and
 //! reports a structural summary to its parent.
 
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use gks_dewey::{DeweyId, DocId};
@@ -34,6 +35,12 @@ pub struct GksIndex {
     attrs: AttrStore,
     stats: IndexStats,
     doc_names: Vec<String>,
+}
+
+/// Locks a mutex, recovering the data even if another worker panicked while
+/// holding it (the panic itself still propagates through the thread scope).
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Everything a closed element hands to its parent.
@@ -91,34 +98,37 @@ impl GksIndex {
             return Self::build(corpus, options);
         }
         let chunk = docs.len().div_ceil(workers);
-        let results = parking_lot::Mutex::new(Vec::<(usize, GksIndex)>::new());
-        let error = parking_lot::Mutex::new(None::<IndexError>);
-        crossbeam::thread::scope(|scope| {
+        let results = std::sync::Mutex::new(Vec::<(usize, GksIndex)>::new());
+        let error = std::sync::Mutex::new(None::<IndexError>);
+        std::thread::scope(|scope| {
             for (w, slice) in docs.chunks(chunk).enumerate() {
                 let options = options.clone();
                 let results = &results;
                 let error = &error;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut part = GksIndex::empty(options);
                     for (j, doc) in slice.iter().enumerate() {
                         let doc_id = DocId((w * chunk + j) as u32);
                         if let Err(e) = part.index_document(doc_id, &doc.name, &doc.xml) {
-                            *error.lock() = Some(e);
+                            *lock_ignoring_poison(error) = Some(e);
                             return;
                         }
                     }
-                    results.lock().push((w, part));
+                    lock_ignoring_poison(results).push((w, part));
                 });
             }
-        })
-        .expect("index worker panicked");
-        if let Some(e) = error.into_inner() {
+        });
+        if let Some(e) = error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
             return Err(e);
         }
-        let mut parts = results.into_inner();
+        let mut parts = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         parts.sort_by_key(|(w, _)| *w);
         let mut iter = parts.into_iter();
-        let (_, mut ix) = iter.next().expect("at least one worker");
+        let Some((_, mut ix)) = iter.next() else {
+            // workers >= 2 implies at least one chunk, so this is unreachable
+            // in practice; fall back to the sequential path rather than panic.
+            return Self::build(corpus, options);
+        };
         for (_, part) in iter {
             ix.merge(part);
         }
@@ -166,6 +176,16 @@ impl GksIndex {
             .map(|d| d.depth() as u64)
             .sum();
         self.stats.build_millis = start.elapsed().as_millis() as u64;
+        // Debug builds audit every freshly built index so the doctor's
+        // invariants are exercised by the whole test suite for free.
+        #[cfg(debug_assertions)]
+        {
+            let violations = crate::doctor::check(self);
+            debug_assert!(
+                violations.is_empty(),
+                "index doctor found violations in a fresh build: {violations:?}"
+            );
+        }
     }
 
     /// Streams one document into the index.
@@ -221,7 +241,9 @@ impl GksIndex {
                     stack.push(frame);
                 }
                 Event::Text(text) => {
-                    let frame = stack.last_mut().expect("reader guarantees text inside root");
+                    let frame = stack
+                        .last_mut()
+                        .ok_or(IndexError::Invariant("text event outside the root element"))?;
                     // Index the words at the containing element itself; the
                     // search engine applies the §2.1.1 parent-promotion rule
                     // for attribute nodes at candidate-generation time.
@@ -240,7 +262,9 @@ impl GksIndex {
                     }
                 }
                 Event::End { .. } => {
-                    let frame = stack.pop().expect("reader guarantees balance");
+                    let frame = stack
+                        .pop()
+                        .ok_or(IndexError::Invariant("end event with no open element"))?;
                     let info = self.close_frame(frame, &mut scratch);
                     match stack.last_mut() {
                         Some(parent) => parent.children.push(info),
@@ -402,10 +426,8 @@ impl GksIndex {
             .map(|name| self.node_table.labels_mut().intern(name))
             .collect();
         for (dewey, meta) in other.node_table.iter() {
-            self.node_table.insert(
-                dewey.clone(),
-                NodeMeta { label: label_map[meta.label as usize], ..*meta },
-            );
+            self.node_table
+                .insert(dewey.clone(), NodeMeta { label: label_map[meta.label as usize], ..*meta });
         }
         for (entity, entries) in other.attrs.iter() {
             let remapped: Vec<AttrEntry> = entries
@@ -475,6 +497,28 @@ impl GksIndex {
     /// The raw inverted index (persistence and diagnostics).
     pub fn inverted(&self) -> &InvertedIndex {
         &self.inverted
+    }
+
+    // ----- test-only mutators for the doctor's corrupted-index fixtures -----
+
+    #[cfg(test)]
+    pub(crate) fn inverted_mut(&mut self) -> &mut InvertedIndex {
+        &mut self.inverted
+    }
+
+    #[cfg(test)]
+    pub(crate) fn node_table_mut(&mut self) -> &mut NodeTable {
+        &mut self.node_table
+    }
+
+    #[cfg(test)]
+    pub(crate) fn attrs_mut(&mut self) -> &mut AttrStore {
+        &mut self.attrs
+    }
+
+    #[cfg(test)]
+    pub(crate) fn stats_mut(&mut self) -> &mut IndexStats {
+        &mut self.stats
     }
 
     /// Crate-internal constructor for the persistence layer.
@@ -620,13 +664,9 @@ mod tests {
         assert_eq!(students, vec!["Karen", "Mike", "Peter"]);
         // Paths carry the semantics: students are reached via
         // Students/Student.
-        let student_entry =
-            entries.iter().find(|e| e.value == "Karen").expect("Karen entry");
-        let path: Vec<&str> = student_entry
-            .path
-            .iter()
-            .map(|&l| ix.node_table().labels().name(l))
-            .collect();
+        let student_entry = entries.iter().find(|e| e.value == "Karen").expect("Karen entry");
+        let path: Vec<&str> =
+            student_entry.path.iter().map(|&l| ix.node_table().labels().name(l)).collect();
         assert_eq!(path, vec!["Students", "Student"]);
     }
 

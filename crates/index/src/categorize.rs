@@ -186,8 +186,7 @@ pub fn close_element(
     for c in children {
         *scratch.entry(c.label).or_insert(0) += 1;
     }
-    let child_repeating: Vec<bool> =
-        children.iter().map(|c| scratch[&c.label] >= 2).collect();
+    let child_repeating: Vec<bool> = children.iter().map(|c| scratch[&c.label] >= 2).collect();
     let rep_at_v = child_repeating.iter().any(|&r| r);
 
     // A child grants "qualifying attribute" reachability when it is itself an
@@ -200,10 +199,7 @@ pub fn close_element(
         .collect();
     let qual_attr_total = attr_reach.iter().any(|&a| a);
 
-    let has_attr_child = children
-        .iter()
-        .zip(&child_repeating)
-        .any(|(c, &rep)| c.text_only && !rep);
+    let has_attr_child = children.iter().zip(&child_repeating).any(|(c, &rep)| c.text_only && !rep);
 
     // Entity rule: a qualifying attribute and a repeating group whose joint
     // LCA is this node. A group formed by this node's own repeating children
@@ -215,9 +211,8 @@ pub fn close_element(
         true
     } else {
         let rep_in: Vec<bool> = children.iter().map(|c| c.has_rep_inside).collect();
-        (0..children.len()).any(|i| {
-            attr_reach[i] && (0..children.len()).any(|j| j != i && rep_in[j])
-        })
+        (0..children.len())
+            .any(|i| attr_reach[i] && (0..children.len()).any(|j| j != i && rep_in[j]))
     };
 
     let summary_has_rep_inside = rep_at_v || children.iter().any(|c| c.has_rep_inside);
@@ -264,8 +259,11 @@ mod tests {
     fn entity_case_a_direct_group_plus_attribute() {
         // <course><name>…</name><student/><student/></course> — wait,
         // students here are direct repeating children; name is a direct AN.
-        let children =
-            [child(0, true, false, false), child(1, true, false, false), child(1, true, false, false)];
+        let children = [
+            child(0, true, false, false),
+            child(1, true, false, false),
+            child(1, true, false, false),
+        ];
         let out = close_element(&children, &mut FastMap::default());
         assert!(out.is_entity);
         assert_eq!(out.child_repeating, vec![false, true, true]);
@@ -321,8 +319,11 @@ mod tests {
     fn single_author_article_is_not_entity() {
         // <article><title/><author/><year/></article>: all children are
         // attribute nodes; no repeating group → CN (paper §7.2 discussion).
-        let children =
-            [child(0, true, false, false), child(1, true, false, false), child(2, true, false, false)];
+        let children = [
+            child(0, true, false, false),
+            child(1, true, false, false),
+            child(2, true, false, false),
+        ];
         let out = close_element(&children, &mut FastMap::default());
         assert!(!out.is_entity);
         assert!(out.has_attr_child);
@@ -332,8 +333,11 @@ mod tests {
     fn multi_author_article_is_entity() {
         // <article><title/><author/><author/></article>: repeating author
         // group + title attribute → EN.
-        let children =
-            [child(0, true, false, false), child(1, true, false, false), child(1, true, false, false)];
+        let children = [
+            child(0, true, false, false),
+            child(1, true, false, false),
+            child(1, true, false, false),
+        ];
         let out = close_element(&children, &mut FastMap::default());
         assert!(out.is_entity);
     }

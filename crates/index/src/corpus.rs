@@ -51,7 +51,9 @@ impl Corpus {
     }
 
     /// Reads documents from the filesystem.
-    pub fn from_paths(paths: impl IntoIterator<Item = impl AsRef<Path>>) -> Result<Self, IndexError> {
+    pub fn from_paths(
+        paths: impl IntoIterator<Item = impl AsRef<Path>>,
+    ) -> Result<Self, IndexError> {
         let mut docs = Vec::new();
         for path in paths {
             let path = path.as_ref();

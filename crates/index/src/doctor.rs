@@ -1,0 +1,351 @@
+//! The index doctor: end-to-end invariant checking over a built index.
+//!
+//! GKS correctness rests on structural invariants the paper assumes but
+//! never re-checks at runtime: posting lists are document-ordered by Dewey
+//! id (§2.4 — the stack-based sweep silently produces wrong SLCA/ELCA
+//! answers on out-of-order postings), the Dewey prefix algebra of §2.1
+//! implies every non-root node's parent exists, and the AN/RN/EN/CN census
+//! of Table 5 must agree with the node table's category flags. The doctor
+//! validates all of them plus the attribute store, returning a typed
+//! [`Violation`] report instead of panicking, so it is safe to run against
+//! untrusted persisted indexes (`gks doctor <index.gksix>`).
+//!
+//! The builder re-runs these checks under `#[cfg(debug_assertions)]` after
+//! every build, so debug test runs exercise them continuously.
+
+use std::fmt;
+
+use gks_dewey::DeweyId;
+
+use crate::builder::GksIndex;
+use crate::categorize::NodeCategory;
+use crate::stats::CategoryCensus;
+
+/// One violated index invariant, as found by [`GksIndex::doctor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A posting list is not strictly sorted by Dewey document order at
+    /// `position` (equal neighbours — duplicates — also violate strictness).
+    UnsortedPostings {
+        /// The term whose list is broken.
+        term: String,
+        /// Index of the first out-of-order posting within the list.
+        position: usize,
+    },
+    /// A posting references a Dewey id with no node-table entry.
+    PostingUnknownNode {
+        /// The term whose list contains the dangling posting.
+        term: String,
+        /// The unresolvable Dewey id.
+        node: DeweyId,
+    },
+    /// A non-root node's parent is missing from the node table, breaking
+    /// the §2.1 prefix algebra (ancestor walks, child-count lookups).
+    OrphanNode {
+        /// The node whose parent is absent.
+        node: DeweyId,
+    },
+    /// The node table holds a different number of nodes than the build
+    /// statistics recorded.
+    NodeCountMismatch {
+        /// Nodes actually present in the table.
+        in_table: u64,
+        /// Nodes the statistics claim.
+        in_stats: u64,
+    },
+    /// The census recomputed from node-table category flags disagrees with
+    /// the recorded statistics for one category (a miscategorized node or a
+    /// stale census).
+    CensusMismatch {
+        /// The category whose counts disagree.
+        category: NodeCategory,
+        /// Count recomputed from the node table's flags.
+        in_table: u64,
+        /// Count recorded in [`crate::stats::IndexStats`].
+        in_stats: u64,
+    },
+    /// An attribute-store key is not an entity node in the node table
+    /// (Def 2.3.1 attaches `R(e)` to entity nodes only).
+    AttrEntityNotEntity {
+        /// The offending attribute-store key.
+        entity: DeweyId,
+    },
+    /// An attribute entry's element path contains a label id the interner
+    /// cannot resolve.
+    AttrPathUnresolvable {
+        /// The entity whose entry is broken.
+        entity: DeweyId,
+        /// The unresolvable label id.
+        label: u32,
+    },
+    /// An attribute entry has an empty element path (every entry must name
+    /// at least the attribute element itself).
+    AttrPathEmpty {
+        /// The entity whose entry is broken.
+        entity: DeweyId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnsortedPostings { term, position } => write!(
+                f,
+                "posting list for {term:?} is not strictly Dewey-sorted at position {position}"
+            ),
+            Violation::PostingUnknownNode { term, node } => {
+                write!(f, "posting list for {term:?} references unknown node {node}")
+            }
+            Violation::OrphanNode { node } => {
+                write!(f, "node {node} has no parent entry in the node table")
+            }
+            Violation::NodeCountMismatch { in_table, in_stats } => {
+                write!(f, "node table holds {in_table} node(s) but statistics record {in_stats}")
+            }
+            Violation::CensusMismatch { category, in_table, in_stats } => write!(
+                f,
+                "census mismatch for {}: node table has {in_table}, statistics record {in_stats}",
+                category.abbrev()
+            ),
+            Violation::AttrEntityNotEntity { entity } => {
+                write!(f, "attribute store keyed by {entity}, which is not an entity node")
+            }
+            Violation::AttrPathUnresolvable { entity, label } => {
+                write!(f, "attribute entry of {entity} has unresolvable label id {label}")
+            }
+            Violation::AttrPathEmpty { entity } => {
+                write!(f, "attribute entry of {entity} has an empty element path")
+            }
+        }
+    }
+}
+
+/// Runs every invariant check against `index`, returning all violations in
+/// a deterministic order (sorted by rendered message). An empty vector
+/// means the index is healthy.
+pub fn check(index: &GksIndex) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_postings(index, &mut violations);
+    check_parents(index, &mut violations);
+    check_census(index, &mut violations);
+    check_attrs(index, &mut violations);
+    // Hash-map iteration order is unspecified; sort so reports (and the
+    // corrupted-fixture tests) are stable run to run.
+    violations.sort_by_key(|v| v.to_string());
+    violations
+}
+
+/// Posting lists must be strictly sorted by Dewey order (§2.4: "containing
+/// the Dewey id of all the nodes which contain that keyword", document-
+/// ordered and deduplicated), and every posting must resolve in the node
+/// table. One violation per broken list keeps reports readable.
+fn check_postings(index: &GksIndex, out: &mut Vec<Violation>) {
+    for (term, list) in index.inverted().iter() {
+        if let Some(pos) = list.windows(2).position(|w| w[0] >= w[1]) {
+            out.push(Violation::UnsortedPostings { term: term.to_string(), position: pos + 1 });
+        }
+        if let Some(node) = list.iter().find(|id| index.node_table().get(id).is_none()) {
+            out.push(Violation::PostingUnknownNode { term: term.to_string(), node: node.clone() });
+        }
+    }
+}
+
+/// Every non-root node's parent must itself be recorded: ancestor walks
+/// (LCE derivation, §4.1) and potential-flow child-count lookups (§5) both
+/// assume the §2.1 prefix algebra closes over the table.
+fn check_parents(index: &GksIndex, out: &mut Vec<Violation>) {
+    for (id, _) in index.node_table().iter() {
+        let Some(parent) = id.parent() else { continue };
+        if index.node_table().get(&parent).is_none() {
+            out.push(Violation::OrphanNode { node: id.clone() });
+        }
+    }
+}
+
+/// The AN/RN/EN/CN census recorded during the build (Table 5) must agree
+/// with a recount over the node table's category flags.
+fn check_census(index: &GksIndex, out: &mut Vec<Violation>) {
+    let stats = index.stats();
+    if index.node_table().len() as u64 != stats.total_nodes {
+        out.push(Violation::NodeCountMismatch {
+            in_table: index.node_table().len() as u64,
+            in_stats: stats.total_nodes,
+        });
+    }
+    let mut recount = CategoryCensus::default();
+    for (_, meta) in index.node_table().iter() {
+        recount.add(meta.flags.primary());
+    }
+    for category in [
+        NodeCategory::Attribute,
+        NodeCategory::Repeating,
+        NodeCategory::Entity,
+        NodeCategory::Connecting,
+    ] {
+        let in_table = recount.get(category);
+        let in_stats = stats.census.get(category);
+        if in_table != in_stats {
+            out.push(Violation::CensusMismatch { category, in_table, in_stats });
+        }
+    }
+}
+
+/// Attribute-store keys must be entity nodes and every entry's element path
+/// must resolve through the label interner (§2.3: the path from the entity
+/// to the attribute is the keyword's semantics — an unresolvable path makes
+/// DI discovery produce garbage).
+fn check_attrs(index: &GksIndex, out: &mut Vec<Violation>) {
+    let labels = index.node_table().labels();
+    for (entity, entries) in index.attr_store().iter() {
+        if index.node_table().is_entity(entity).is_none() {
+            out.push(Violation::AttrEntityNotEntity { entity: entity.clone() });
+        }
+        for entry in entries {
+            if entry.path.is_empty() {
+                out.push(Violation::AttrPathEmpty { entity: entity.clone() });
+                continue;
+            }
+            if let Some(&label) = entry.path.iter().find(|&&l| l as usize >= labels.len()) {
+                out.push(Violation::AttrPathUnresolvable { entity: entity.clone(), label });
+            }
+        }
+    }
+}
+
+impl GksIndex {
+    /// Runs the full invariant audit; see the [module docs](self) for the
+    /// checks performed. Empty result = healthy index.
+    pub fn doctor(&self) -> Vec<Violation> {
+        check(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::node_table::NodeMeta;
+    use crate::options::IndexOptions;
+    use gks_dewey::{DeweyId, DocId};
+
+    fn build() -> GksIndex {
+        let xml = "<Area><Name>DB</Name><Courses>\
+            <Course><Name>Data Mining</Name><Students>\
+                <Student>Karen</Student><Student>Mike</Student></Students></Course>\
+            <Course><Name>AI</Name><Students>\
+                <Student>Karen</Student><Student>John</Student></Students></Course>\
+        </Courses></Area>";
+        let corpus = Corpus::from_named_strs([("uni", xml)]).unwrap();
+        GksIndex::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fresh_index_is_healthy() {
+        let ix = build();
+        assert_eq!(ix.doctor(), Vec::new());
+    }
+
+    #[test]
+    fn detects_unsorted_posting_list() {
+        let mut ix = build();
+        // Corrupt the "karen" list by swapping its (two) postings.
+        let tid = ix.inverted_mut().term_id("karen");
+        ix.inverted_mut().list_mut(tid).reverse();
+        let violations = ix.doctor();
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::UnsortedPostings { term, position: 1 } if term == "karen"
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn detects_orphan_dewey_id() {
+        let mut ix = build();
+        // Insert a deep node whose parent chain does not exist.
+        let stray = DeweyId::new(DocId(0), vec![9, 9, 9]);
+        let meta =
+            NodeMeta { child_count: 1, flags: crate::categorize::NodeFlags::empty(), label: 0 };
+        ix.node_table_mut().insert(stray.clone(), meta);
+        // Keep total_nodes consistent so only the orphan fires, not the
+        // node-count check.
+        ix.stats_mut().total_nodes += 1;
+        ix.stats_mut().census.add(meta.flags.primary());
+        let violations = ix.doctor();
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::OrphanNode { node } if *node == stray
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn detects_miscategorized_node() {
+        let mut ix = build();
+        // Flip one entity node's flags to empty (connecting): the recount
+        // diverges from the recorded census in two categories.
+        let (id, meta) = ix
+            .node_table()
+            .iter()
+            .find(|(_, m)| m.flags.is_entity() && m.flags.primary() == NodeCategory::Entity)
+            .map(|(id, m)| (id.clone(), *m))
+            .expect("built index has an entity node");
+        ix.node_table_mut()
+            .insert(id, NodeMeta { flags: crate::categorize::NodeFlags::empty(), ..meta });
+        let violations = ix.doctor();
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::CensusMismatch { category: NodeCategory::Entity, .. }
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn detects_dangling_posting_and_bad_attr_entry() {
+        let mut ix = build();
+        let tid = ix.inverted_mut().term_id("karen");
+        // A posting beyond every real node, appended in order.
+        ix.inverted_mut().list_mut(tid).push(DeweyId::new(DocId(7), vec![1]));
+        let entity = DeweyId::new(DocId(0), vec![5, 5]);
+        ix.attrs_mut().insert(
+            entity.clone(),
+            vec![crate::attrstore::AttrEntry {
+                path: vec![u32::MAX],
+                value: "x".into(),
+                source: crate::attrstore::AttrSource::Attribute,
+            }],
+        );
+        let violations = ix.doctor();
+        assert!(
+            violations.iter().any(
+                |v| matches!(v, Violation::PostingUnknownNode { term, .. } if term == "karen")
+            ),
+            "{violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::AttrEntityNotEntity { entity: e } if *e == entity)),
+            "{violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::AttrPathUnresolvable { label: u32::MAX, .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn violations_render_with_context() {
+        let v = Violation::UnsortedPostings { term: "karen".into(), position: 3 };
+        let s = v.to_string();
+        assert!(s.contains("karen") && s.contains('3'), "{s}");
+    }
+}

@@ -17,6 +17,9 @@ pub enum IndexError {
     Corrupt(String),
     /// A persisted index has an incompatible format version.
     VersionMismatch { found: u32, expected: u32 },
+    /// An internal invariant did not hold during construction — a bug in
+    /// this crate, reported as a typed error rather than a panic.
+    Invariant(&'static str),
 }
 
 impl fmt::Display for IndexError {
@@ -29,6 +32,9 @@ impl fmt::Display for IndexError {
             IndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
             IndexError::VersionMismatch { found, expected } => {
                 write!(f, "index format version {found}, expected {expected}")
+            }
+            IndexError::Invariant(what) => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }

@@ -19,7 +19,7 @@ const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 const ROTATE: u32 = 5;
 
 /// The FxHash mixing function: rotate, xor, multiply per word.
-#[derive(Default, Clone)]
+#[derive(Debug, Default, Clone)]
 pub struct FxHasher {
     hash: u64,
 }
@@ -33,6 +33,9 @@ impl FxHasher {
 
 impl Hasher for FxHasher {
     #[inline]
+    // chunks_exact(8) yields exactly-8-byte slices, so the conversion cannot
+    // fail (also entered in xtask/lint-allow.toml).
+    #[allow(clippy::expect_used)]
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {

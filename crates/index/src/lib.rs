@@ -25,6 +25,7 @@ pub mod attrstore;
 pub mod builder;
 pub mod categorize;
 pub mod corpus;
+pub mod doctor;
 pub mod error;
 pub mod fasthash;
 pub mod node_table;
@@ -38,6 +39,7 @@ pub use attrstore::{AttrEntry, AttrSource, AttrStore};
 pub use builder::GksIndex;
 pub use categorize::{NodeCategory, NodeFlags};
 pub use corpus::Corpus;
+pub use doctor::Violation;
 pub use error::IndexError;
 pub use node_table::{NodeMeta, NodeTable};
 pub use options::IndexOptions;

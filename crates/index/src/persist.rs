@@ -223,9 +223,7 @@ impl GksIndex {
                 let source = match input.get_u8() {
                     0 => AttrSource::Attribute,
                     1 => AttrSource::RepeatingText,
-                    other => {
-                        return Err(IndexError::Corrupt(format!("bad attr source {other}")))
-                    }
+                    other => return Err(IndexError::Corrupt(format!("bad attr source {other}"))),
                 };
                 entries.push(AttrEntry { path, value, source });
             }
@@ -318,10 +316,7 @@ mod tests {
                 assert_eq!(a.value, b.value);
                 assert_eq!(a.source, b.source);
                 let names = |ix: &GksIndex, e: &AttrEntry| -> Vec<String> {
-                    e.path
-                        .iter()
-                        .map(|&l| ix.node_table().labels().name(l).to_string())
-                        .collect()
+                    e.path.iter().map(|&l| ix.node_table().labels().name(l).to_string()).collect()
                 };
                 assert_eq!(names(&ix, a), names(&loaded, b));
             }

@@ -87,6 +87,14 @@ impl InvertedIndex {
         self.terms.iter().map(String::as_str).zip(self.lists.iter().map(Vec::as_slice))
     }
 
+    /// Mutable access to one posting list, for crate-internal corruption in
+    /// doctor tests. Deliberately not public: callers could break the
+    /// sorted-list invariant.
+    #[cfg(test)]
+    pub(crate) fn list_mut(&mut self, term_id: u32) -> &mut Vec<DeweyId> {
+        &mut self.lists[term_id as usize]
+    }
+
     /// Bulk-loads a term with an already-sorted list (persistence path).
     pub fn load_term(&mut self, term: String, list: Vec<DeweyId>) {
         let id = self.terms.len() as u32;
@@ -115,10 +123,7 @@ mod tests {
         ix.push(karen, d(0, &[0, 1, 1, 0])); // duplicate occurrence
         ix.push(karen, d(1, &[0]));
         ix.finalize();
-        assert_eq!(
-            ix.postings("karen"),
-            &[d(0, &[0, 1, 1, 0]), d(0, &[0, 1, 1, 2]), d(1, &[0])]
-        );
+        assert_eq!(ix.postings("karen"), &[d(0, &[0, 1, 1, 0]), d(0, &[0, 1, 1, 2]), d(1, &[0])]);
     }
 
     #[test]

@@ -43,11 +43,16 @@ impl PathStats {
             (self.census.attribute, NodeCategory::Attribute),
             (self.census.connecting, NodeCategory::Connecting),
         ];
+        // `max_by_key` keeps the *last* maximum, so iterate in reverse to
+        // favour the earlier (more structured) category on ties, as
+        // documented above. The default is unreachable: the array is
+        // non-empty by construction.
         candidates
             .iter()
+            .rev()
             .max_by_key(|(count, _)| *count)
             .map(|(_, cat)| *cat)
-            .expect("non-empty candidate list")
+            .unwrap_or(NodeCategory::Connecting)
     }
 
     /// Average fan-out of instances.

@@ -134,7 +134,8 @@ mod tests {
 
     #[test]
     fn stats_merge_keeps_max_depth_and_sums() {
-        let mut a = IndexStats { max_depth: 3, total_nodes: 10, doc_count: 1, ..Default::default() };
+        let mut a =
+            IndexStats { max_depth: 3, total_nodes: 10, doc_count: 1, ..Default::default() };
         let b = IndexStats { max_depth: 7, total_nodes: 5, doc_count: 2, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.max_depth, 7);

@@ -8,7 +8,11 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Tree {
     Leaf(String),
-    Node { label: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Node {
+        label: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
 }
 
 fn arb_word() -> impl Strategy<Value = String> {

@@ -1,0 +1,230 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! generate-only property-testing harness that is source-compatible with the
+//! subset of proptest the GKS test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc comments,
+//!   and `pat in strategy` arguments),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * the [`Strategy`] combinators `prop_map`, `prop_filter`,
+//!   `prop_recursive`, `boxed`, tuples, integer ranges, and regex-like
+//!   string strategies (`".{0,200}"`, char classes),
+//! * `collection::{vec, hash_set}`, `sample::select`, [`prop_oneof!`],
+//!   [`strategy::Just`].
+//!
+//! Differences from the real crate: no shrinking (a failing case reports its
+//! inputs but is not minimized), no persistence of regressions, and the RNG
+//! stream is a fixed deterministic function of the test's module path and
+//! name, so failures reproduce across runs without a `proptest-regressions`
+//! file.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from
+    /// `size`. Gives up on growing the set after a bounded number of
+    /// duplicate draws, like the real crate.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 50 + 100 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Sampling strategies (subset of `proptest::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding a uniformly chosen element of `options`.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select of empty options");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+/// Alias module so `use proptest::prelude::*` followed by
+/// `prop::collection::vec(..)` works, as with the real crate.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a test module normally imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests; see the crate docs for the
+/// differences from the real `proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {case}/{}: {e}",
+                            stringify!($name),
+                            config.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Fallible assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "{}: `{:?}` == `{:?}`", format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Fallible inequality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "{}: `{:?}` != `{:?}`", format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Uniform choice between several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}

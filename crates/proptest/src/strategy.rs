@@ -1,0 +1,472 @@
+//! Generate-only [`Strategy`] trait and the combinators the GKS test
+//! suites use. No shrinking: `new_value` draws one value per case.
+
+use crate::test_runner::TestRng;
+use std::sync::Arc;
+
+/// A recipe for generating values of `Self::Value` (subset of
+/// `proptest::strategy::Strategy`, without shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying a bounded number of times.
+    fn prop_filter<R, F>(self, whence: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence: whence.into(), pred }
+    }
+
+    /// Builds recursive values: `self` is the leaf strategy and `f` wraps an
+    /// inner strategy into the next level. The shim expands exactly `depth`
+    /// levels, relying on the size bounds inside `f` for termination (the
+    /// `desired_size`/`expected_branch_size` hints are accepted but unused).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = f(strat).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// Type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+    }
+}
+
+/// Uniform choice between boxed strategies (backs [`crate::prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].new_value(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Size specification for collection strategies (subset of
+/// `proptest::collection::SizeRange`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + rng.below(self.hi - self.lo)
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-like string strategies: `".{0,200}"`, `"[a-z0-9]{1,8}"`, literals.
+// ---------------------------------------------------------------------------
+
+/// A `&str` pattern acts as a strategy for `String`, supporting the subset
+/// of regex syntax the test suites use: `.`, character classes with ranges
+/// and `\`-escapes, literal characters, and `{m,n}` / `{n}` quantifiers.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let n = if hi <= lo {
+                *lo
+            } else {
+                lo + rng.below(hi - lo + 1)
+            };
+            for _ in 0..n {
+                out.push(atom.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable char with occasional control/unicode spice.
+    Dot,
+    /// `[...]` — one of the listed chars.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Dot => {
+                // Mostly printable ASCII; ~10% of draws pull from a spice
+                // set of control and non-ASCII chars to stress parsers.
+                const SPICE: &[char] =
+                    &['\t', '\n', '\r', '\u{0}', 'é', 'ß', '\u{4e2d}', '\u{1F600}', '\u{7f}'];
+                if rng.below(10) == 0 {
+                    SPICE[rng.below(SPICE.len())]
+                } else {
+                    char::from(b' ' + rng.below((b'~' - b' ' + 1) as usize) as u8)
+                }
+            }
+            Atom::Class(chars) => chars[rng.below(chars.len())],
+            Atom::Literal(c) => *c,
+        }
+    }
+}
+
+/// Parses a pattern into `(atom, min_reps, max_reps)` triples.
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars.get(i).copied().unwrap_or('\\'))
+                    } else {
+                        chars[i]
+                    };
+                    // A `-` between two members denotes a range.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            unescape(chars.get(i + 2).copied().unwrap_or('\\'))
+                        } else {
+                            chars[i + 2]
+                        };
+                        for m in c..=hi {
+                            members.push(m);
+                        }
+                        i += 3;
+                    } else {
+                        members.push(c);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                assert!(!members.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(members)
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars.get(i).copied().unwrap_or('\\'));
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 16)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 16)
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\u{0}',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::deterministic("ranges_and_tuples");
+        let strat = (0u32..4, 10usize..=12);
+        for _ in 0..200 {
+            let (a, b) = strat.new_value(&mut rng);
+            assert!(a < 4);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_filter_recursive() {
+        let mut rng = TestRng::deterministic("map_filter_recursive");
+        let strat = (1u32..10).prop_map(|v| v * 2).prop_filter("even and > 2", |v| *v > 2);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!(v % 2 == 0 && v > 2);
+        }
+
+        #[derive(Debug)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let tree = Just(()).prop_map(|_| T::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        for _ in 0..50 {
+            assert!(depth(&tree.new_value(&mut rng)) <= 3);
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::deterministic("string_patterns");
+        for _ in 0..200 {
+            let s = ".{0,200}".new_value(&mut rng);
+            assert!(s.chars().count() <= 200);
+            let t = "[a-c0-2]{1,5}".new_value(&mut rng);
+            assert!((1..=5).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| "abc012".contains(c)));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        let mut rng = TestRng::deterministic("class_with_escapes");
+        for _ in 0..200 {
+            let s = r#"[<>/="'a-z !\[\]\-?&;#x0-9]{0,20}"#.new_value(&mut rng);
+            for c in s.chars() {
+                assert!(
+                    "<>/=\"' !?&;#x-[]".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+}

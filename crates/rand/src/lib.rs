@@ -1,0 +1,207 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! subset of the `rand` API that `gks-datagen` and `gks-bench` use:
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer and float
+//! ranges, and [`Rng::gen_bool`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — deterministic for a given seed on every platform, which is
+//! all the synthetic-corpus generators require (they promise "same seed,
+//! same corpus", not any particular stream).
+//!
+//! Note: streams differ from the real `rand::rngs::StdRng` (ChaCha12), so
+//! swapping the real crate back in would change generated corpora. Every
+//! consumer in this workspace treats corpora as opaque given a seed, so only
+//! golden-value tests of specific generated text would notice.
+
+/// Construction of a seeded generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ core state.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed, as recommended by the xoshiro
+        // authors for filling initial state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 { s: [next(), next(), next(), next()] }
+    }
+}
+
+/// Named RNGs (subset of `rand::rngs`).
+pub mod rngs {
+    /// Stand-in for `rand::rngs::StdRng`; see the crate docs for the caveat
+    /// that the stream differs from the real ChaCha12-based StdRng.
+    pub type StdRng = super::Xoshiro256;
+}
+
+/// A range that [`Rng::gen_range`] can sample uniformly from (subset of
+/// `rand::distributions::uniform::SampleRange`). Generic over the output
+/// type, matching the real crate's shape so integer-literal inference works.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample using `rng`.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Raw 64-bit output, the only primitive the samplers need.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256::next_u64(self)
+    }
+}
+
+/// Types uniformly sampleable from a range (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+        Self::sample_half_open(lo, hi + f64::EPSILON, rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut impl RngCore) -> Self {
+        Self::sample_half_open(lo, hi + f32::EPSILON, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Sampling helpers (subset of `rand::Rng`), blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&v));
+            let f = rng.gen_range(-1.0..4.0);
+            assert!((-1.0..4.0).contains(&f));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal shim: the `Serialize` / `Deserialize` *traits* exist as empty
+//! markers and the derive macros expand to nothing. No code in this
+//! workspace performs actual serde serialization (persistence uses the
+//! hand-rolled binary codec in `gks-index::persist`), so the markers are
+//! sufficient for every `#[derive(Serialize, Deserialize)]` in the tree.
+//!
+//! If real serialization is ever needed, replace this crate with the real
+//! `serde` in `[workspace.dependencies]` — the API subset here is
+//! source-compatible.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (lifetime elided: the shim
+/// never drives deserialization, so the `'de` parameter is dropped).
+pub trait Deserialize {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<T: ?Sized> Deserialize for T {}
+
+// The derive macros live in their own proc-macro crate, re-exported here
+// exactly like the real `serde` does with `serde_derive`.
+pub use serde_derive::{Deserialize, Serialize};

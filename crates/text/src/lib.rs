@@ -73,7 +73,11 @@ impl Analyzer {
         if self.options.remove_stopwords && stopwords::is_stopword(&cleaned) {
             return None;
         }
-        let out = if self.options.stem { stem(&cleaned) } else { cleaned };
+        let out = if self.options.stem {
+            stem(&cleaned)
+        } else {
+            cleaned
+        };
         (out.len() >= self.options.min_term_len).then_some(out)
     }
 
@@ -94,7 +98,11 @@ impl Analyzer {
             if self.options.remove_stopwords && stopwords::is_stopword(tok) {
                 return;
             }
-            let term = if self.options.stem { stem(tok) } else { tok.to_string() };
+            let term = if self.options.stem {
+                stem(tok)
+            } else {
+                tok.to_string()
+            };
             if term.len() >= self.options.min_term_len {
                 out.push(term);
             }

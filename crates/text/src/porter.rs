@@ -22,8 +22,10 @@ pub fn stem(word: &str) -> String {
     s.step4();
     s.step5a();
     s.step5b();
-    // The buffer is ASCII throughout.
-    String::from_utf8(s.b).expect("stemmer buffer is ASCII")
+    // The buffer is ASCII throughout (the rewrite steps only ever shorten
+    // the word or write ASCII letters); degrade lossily rather than panic
+    // if that invariant is ever broken.
+    String::from_utf8(s.b).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
 }
 
 struct Stemmer {

@@ -5,7 +5,7 @@
 //! oracles need a plain tree to walk, and examples are easier to read against
 //! one.
 
-use crate::reader::{Event, Reader, XmlError};
+use crate::reader::{Event, Reader, XmlError, XmlErrorKind};
 
 /// What a [`Node`] is.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +119,7 @@ impl Node {
 }
 
 /// Pre-order traversal. See [`Node::descendants`].
+#[derive(Debug)]
 pub struct Descendants<'a> {
     stack: Vec<&'a Node>,
 }
@@ -154,8 +155,14 @@ impl Document {
                         .collect();
                     stack.push(Node::element(name, attrs));
                 }
-                Event::End { .. } => {
-                    let node = stack.pop().expect("reader guarantees balance");
+                Event::End { name } => {
+                    // The reader enforces balance; surface a typed error
+                    // instead of panicking if that ever regresses.
+                    let Some(node) = stack.pop() else {
+                        return Err(
+                            reader.error_here(XmlErrorKind::UnmatchedEndTag(name.to_string()))
+                        );
+                    };
                     match stack.last_mut() {
                         Some(parent) => parent.children.push(node),
                         None => root = Some(node),
@@ -169,7 +176,10 @@ impl Document {
                 Event::Comment(_) | Event::Pi(_) | Event::Declaration(_) | Event::Doctype(_) => {}
             }
         }
-        Ok(Document { root: root.expect("reader guarantees a root") })
+        // The reader rejects input with no root element, so this error is
+        // unreachable; report it as a parse error rather than panicking.
+        let root = root.ok_or_else(|| reader.error_here(XmlErrorKind::EmptyDocument))?;
+        Ok(Document { root })
     }
 
     /// The root element.
@@ -205,8 +215,7 @@ mod tests {
     #[test]
     fn find_all_and_text() {
         let doc = Document::parse(XML).unwrap();
-        let students: Vec<String> =
-            doc.root().find_all("student").map(|n| n.text()).collect();
+        let students: Vec<String> = doc.root().find_all("student").map(|n| n.text()).collect();
         assert_eq!(students, vec!["Karen", "Mike", "John"]);
     }
 

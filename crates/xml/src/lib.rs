@@ -26,8 +26,8 @@ mod writer;
 
 pub use dom::{Document, Node, NodeKind};
 pub use escape::{escape, escape_into, unescape, EscapeError};
-pub use reader::{Attribute, Event, Reader, XmlError};
-pub use writer::Writer;
+pub use reader::{Attribute, Event, Reader, XmlError, XmlErrorKind};
+pub use writer::{Writer, WriterError};
 
 #[cfg(test)]
 mod tests {

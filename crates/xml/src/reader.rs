@@ -22,7 +22,10 @@ pub struct Attribute<'a> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event<'a> {
     /// `<name attr="v" …>`
-    Start { name: &'a str, attributes: Vec<Attribute<'a>> },
+    Start {
+        name: &'a str,
+        attributes: Vec<Attribute<'a>>,
+    },
     /// `</name>`
     End { name: &'a str },
     /// Character data (entities decoded, CDATA passed through verbatim).
@@ -102,6 +105,7 @@ impl std::error::Error for XmlError {}
 /// assert!(matches!(r.next_event().unwrap(), Some(Event::Start { name: "b", .. })));
 /// assert!(matches!(r.next_event().unwrap(), Some(Event::Text(t)) if t == "hi"));
 /// ```
+#[derive(Debug)]
 pub struct Reader<'a> {
     input: &'a str,
     pos: usize,
@@ -141,6 +145,13 @@ impl<'a> Reader<'a> {
     /// Current depth of open elements.
     pub fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    /// Builds an [`XmlError`] of the given kind at the reader's current
+    /// position — for callers layering structural checks on the event
+    /// stream (e.g. the DOM builder).
+    pub fn error_here(&self, kind: XmlErrorKind) -> XmlError {
+        self.error(kind)
     }
 
     fn error(&self, kind: XmlErrorKind) -> XmlError {
@@ -184,8 +195,8 @@ impl<'a> Reader<'a> {
             if self.stack.is_empty() {
                 return Err(self.error_at(start, XmlErrorKind::TextOutsideRoot));
             }
-            let text = unescape(slice)
-                .map_err(|e| self.error_at(start, XmlErrorKind::Escape(e)))?;
+            let text =
+                unescape(slice).map_err(|e| self.error_at(start, XmlErrorKind::Escape(e)))?;
             return Ok(Some(Event::Text(text)));
         }
     }
@@ -288,7 +299,7 @@ impl<'a> Reader<'a> {
     fn parse_start_tag(&mut self) -> Result<Event<'a>, XmlError> {
         let tag_start = self.pos;
         let body = &self.rest()[1..]; // past '<'
-        // Find the closing '>' respecting quoted attribute values.
+                                      // Find the closing '>' respecting quoted attribute values.
         let bytes = body.as_bytes();
         let mut i = 0;
         let mut quote: Option<u8> = None;
@@ -314,8 +325,10 @@ impl<'a> Reader<'a> {
         let name_end = tag.find(|c: char| c.is_whitespace()).unwrap_or(tag.len());
         let name = &tag[..name_end];
         if !is_valid_name(name) {
-            return Err(self
-                .error_at(tag_start, XmlErrorKind::Malformed(format!("bad element name {name:?}"))));
+            return Err(self.error_at(
+                tag_start,
+                XmlErrorKind::Malformed(format!("bad element name {name:?}")),
+            ));
         }
         let attributes = self.parse_attributes(&tag[name_end..], tag_start)?;
         if self.stack.is_empty() {
@@ -371,8 +384,8 @@ impl<'a> Reader<'a> {
                 self.error_at(tag_start, XmlErrorKind::UnexpectedEof("attribute value"))
             })?;
             let raw = &value_body[..close];
-            let value = unescape(raw)
-                .map_err(|e| self.error_at(tag_start, XmlErrorKind::Escape(e)))?;
+            let value =
+                unescape(raw).map_err(|e| self.error_at(tag_start, XmlErrorKind::Escape(e)))?;
             attrs.push(Attribute { name, value });
             rest = &value_body[close + 1..];
         }

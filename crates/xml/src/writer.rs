@@ -28,6 +28,7 @@ impl std::error::Error for WriterError {}
 ///     "<root id=\"1\"><name>a &amp; b</name></root>"
 /// );
 /// ```
+#[derive(Debug)]
 pub struct Writer {
     out: String,
     stack: Vec<String>,
@@ -106,7 +107,10 @@ impl Writer {
 
     /// Closes the most recently opened element.
     pub fn end(&mut self) -> Result<(), WriterError> {
-        let name = self.stack.pop().ok_or_else(|| WriterError("end() with no open element".into()))?;
+        let name = self
+            .stack
+            .pop()
+            .ok_or_else(|| WriterError("end() with no open element".into()))?;
         let had_children = self.had_children.pop().unwrap_or(false);
         if self.pretty && had_children {
             self.indent();
@@ -222,9 +226,6 @@ mod tests {
     fn attribute_values_escaped() {
         let mut w = Writer::new();
         w.empty("a", &[("q", "say \"hi\" & <go>")]).unwrap();
-        assert_eq!(
-            w.finish().unwrap(),
-            "<a q=\"say &quot;hi&quot; &amp; &lt;go&gt;\"/>"
-        );
+        assert_eq!(w.finish().unwrap(), "<a q=\"say &quot;hi&quot; &amp; &lt;go&gt;\"/>");
     }
 }

@@ -9,7 +9,11 @@ type Fingerprint = Vec<(String, Vec<(String, String)>, String)>;
 /// printable characters (including ones that need escaping).
 #[derive(Debug, Clone)]
 enum Tree {
-    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
     Text(String),
 }
 
@@ -33,8 +37,11 @@ fn arb_tree() -> impl Strategy<Value = Tree> {
             .prop_map(|(name, attrs)| Tree::Element { name, attrs, children: vec![] }),
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
-        (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..2),
-         prop::collection::vec(inner, 0..4))
+        (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_text()), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
             .prop_map(|(name, attrs, children)| Tree::Element { name, attrs, children })
     })
 }
@@ -72,17 +79,10 @@ fn fingerprint(t: &Tree, out: &mut Fingerprint) {
     }
 }
 
-fn fingerprint_node(
-    n: &gks_xml::Node,
-    out: &mut Fingerprint,
-) {
+fn fingerprint_node(n: &gks_xml::Node, out: &mut Fingerprint) {
     if n.is_element() {
-        let own_text: String = n
-            .children()
-            .iter()
-            .filter(|c| !c.is_element())
-            .map(|c| c.text())
-            .collect();
+        let own_text: String =
+            n.children().iter().filter(|c| !c.is_element()).map(|c| c.text()).collect();
         out.push((n.name().to_string(), n.attributes().to_vec(), own_text));
         for c in n.children() {
             fingerprint_node(c, out);

@@ -1,0 +1,215 @@
+//! Parser for `crates/xtask/lint-allow.toml`, the lint allowlist.
+//!
+//! The file is a sequence of `[[allow]]` tables with string keys. A tiny
+//! hand-rolled parser keeps the driver dependency-free; the accepted
+//! subset is exactly what the file uses:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-panic"
+//! path = "crates/dewey/src/codec.rs"
+//! pattern = ".expect(\"pushed above\")"   # optional line substring
+//! reason = "why this site is exempt"      # required, non-empty
+//! ```
+
+use std::path::Path;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to (e.g. `no-panic`).
+    pub rule: String,
+    /// Workspace-relative path suffix the entry applies to.
+    pub path: String,
+    /// Optional substring the flagged line must contain; empty matches any
+    /// line in the file.
+    pub pattern: String,
+    /// Human explanation — required so every exemption is justified.
+    pub reason: String,
+    /// Line in the allowlist file, for diagnostics.
+    pub defined_at: usize,
+}
+
+/// Parse result: entries plus any config errors (which fail the lint run).
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    pub errors: Vec<String>,
+}
+
+impl Allowlist {
+    /// Loads the allowlist, treating a missing file as empty.
+    pub fn load(path: &Path) -> Allowlist {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw_line);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                list.push(current.take(), idx + 1);
+                current = Some(AllowEntry { defined_at: idx + 1, ..AllowEntry::default() });
+                continue;
+            }
+            if line.starts_with('[') {
+                list.errors.push(format!("line {}: unknown table `{line}`", idx + 1));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                list.errors.push(format!("line {}: expected `key = \"value\"`", idx + 1));
+                continue;
+            };
+            let Some(value) = parse_toml_string(value.trim()) else {
+                list.errors.push(format!(
+                    "line {}: value for `{}` must be a double-quoted string",
+                    idx + 1,
+                    key.trim()
+                ));
+                continue;
+            };
+            let Some(entry) = current.as_mut() else {
+                list.errors.push(format!("line {}: key outside any [[allow]] table", idx + 1));
+                continue;
+            };
+            match key.trim() {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "pattern" => entry.pattern = value,
+                "reason" => entry.reason = value,
+                other => list.errors.push(format!("line {}: unknown key `{other}`", idx + 1)),
+            }
+        }
+        let end = text.lines().count();
+        list.push(current.take(), end);
+        list
+    }
+
+    fn push(&mut self, entry: Option<AllowEntry>, at: usize) {
+        let Some(entry) = entry else { return };
+        if entry.rule.is_empty() {
+            self.errors.push(format!("entry ending at line {at}: missing `rule`"));
+        } else if entry.path.is_empty() {
+            self.errors.push(format!("entry ending at line {at}: missing `path`"));
+        } else if entry.reason.trim().is_empty() {
+            self.errors.push(format!(
+                "entry ending at line {at}: `reason` is required — every exemption must be justified"
+            ));
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Returns the index of the first entry matching a violation, if any.
+    pub fn matches(
+        &self,
+        rule: &str,
+        path: &str,
+        line_code: &str,
+        line_raw: &str,
+    ) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == rule
+                && (path == e.path || path.ends_with(&e.path))
+                && (e.pattern.is_empty()
+                    || line_code.contains(&e.pattern)
+                    || line_raw.contains(&e.pattern))
+        })
+    }
+}
+
+/// Strips a `#` comment, respecting `"` strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parses a double-quoted TOML basic string with `\"` and `\\` escapes.
+fn parse_toml_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string: malformed
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_rejects_missing_reason() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "no-panic"
+path = "crates/dewey/src/codec.rs"
+pattern = ".expect(\"x\")"
+reason = "bounded above"
+
+[[allow]]
+rule = "no-panic"
+path = "crates/core/src/engine.rs"
+"#;
+        let list = Allowlist::parse(text);
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.errors.len(), 1, "{:?}", list.errors);
+        assert_eq!(list.entries[0].pattern, ".expect(\"x\")");
+    }
+
+    #[test]
+    fn matching_by_suffix_and_pattern() {
+        let mut list = Allowlist::default();
+        list.entries.push(AllowEntry {
+            rule: "no-panic".into(),
+            path: "crates/dewey/src/codec.rs".into(),
+            pattern: ".expect(".into(),
+            reason: "r".into(),
+            defined_at: 1,
+        });
+        assert!(list
+            .matches("no-panic", "crates/dewey/src/codec.rs", "x.expect(msg)", "")
+            .is_some());
+        assert!(list
+            .matches("no-panic", "crates/dewey/src/codec.rs", "x.unwrap()", "")
+            .is_none());
+        assert!(list
+            .matches("no-truncating-cast", "crates/dewey/src/codec.rs", "x.expect(m)", "")
+            .is_none());
+    }
+}

@@ -1,0 +1,427 @@
+//! The GKS-specific lint rules and the driver loop.
+//!
+//! Rules (ids as they appear in diagnostics and `lint-allow.toml`):
+//!
+//! * `no-panic` — library crates (`xml`, `dewey`, `text`, `index`, `core`)
+//!   must not call `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` /
+//!   `todo!` / `unimplemented!` outside `#[cfg(test)]` modules. A single
+//!   out-of-order Dewey id silently corrupts SLCA/ELCA answers, so library
+//!   code must surface corruption as typed errors, not process aborts.
+//! * `no-truncating-cast` — in the Dewey-bearing crates (`dewey`, `index`,
+//!   `core`), `as u8` / `as u16` / `as i8` / `as i16` casts on lines that
+//!   mention Dewey component identifiers (step/doc/label/ordinal/depth) are
+//!   flagged unless the value is visibly masked on the same line; a
+//!   truncated step reorders posting lists without any error.
+//! * `pub-fn-docs` — every `pub fn` in `gks-core` and `gks-index` carries a
+//!   doc comment. These two crates are the API surface later PRs refactor
+//!   against.
+//! * `no-process-exit` — `std::process::exit` is reserved for the `cli`
+//!   crate; a library that exits the process cannot be embedded in a
+//!   server.
+//!
+//! Tests, benches, `datagen`, the offline dependency shims, and this driver
+//! itself are exempt by construction (they are not in the scanned set).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use crate::allow::Allowlist;
+use crate::scan::{scan_file, Line};
+
+/// Crates whose `src/` must be panic-free.
+const PANIC_FREE: &[&str] = &["xml", "dewey", "text", "index", "core"];
+/// Crates checked for truncating casts on Dewey component types.
+const CAST_CHECKED: &[&str] = &["dewey", "index", "core"];
+/// Crates whose public functions must be documented.
+const DOC_REQUIRED: &[&str] = &["core", "index"];
+/// Crates scanned for `process::exit` (everything buildable except `cli`).
+const EXIT_CHECKED: &[&str] =
+    &["xml", "dewey", "text", "index", "core", "baselines", "datagen", "bench"];
+
+/// A single diagnostic.
+#[derive(Debug)]
+struct Violation {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// Runs every rule; returns the process exit code.
+pub fn run(root: &Path, verbose: bool) -> ExitCode {
+    let allow_path = root.join("crates/xtask/lint-allow.toml");
+    let allowlist = Allowlist::load(&allow_path);
+    if !allowlist.errors.is_empty() {
+        eprintln!("error: malformed {}:", allow_path.display());
+        for e in &allowlist.errors {
+            eprintln!("  {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations = Vec::new();
+    let mut allowed = vec![0usize; allowlist.entries.len()];
+    let mut files_scanned = 0usize;
+
+    for krate in crate_union() {
+        let src = root.join("crates").join(krate).join("src");
+        for file in rust_files(&src) {
+            files_scanned += 1;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                violations.push(Violation {
+                    path: rel,
+                    line: 0,
+                    rule: "io",
+                    message: "unreadable source file".into(),
+                });
+                continue;
+            };
+            let lines = scan_file(&text);
+            let mut file_violations = Vec::new();
+            if PANIC_FREE.contains(&krate) {
+                check_no_panic(&rel, &lines, &mut file_violations);
+            }
+            if CAST_CHECKED.contains(&krate) {
+                check_truncating_casts(&rel, &lines, &mut file_violations);
+            }
+            if DOC_REQUIRED.contains(&krate) {
+                check_pub_fn_docs(&rel, &lines, &mut file_violations);
+            }
+            if EXIT_CHECKED.contains(&krate) {
+                check_process_exit(&rel, &lines, &mut file_violations);
+            }
+            for v in file_violations {
+                let (code, raw) = lines
+                    .get(v.line.saturating_sub(1))
+                    .map(|l| (l.code.as_str(), l.raw.as_str()))
+                    .unwrap_or(("", ""));
+                match allowlist.matches(v.rule, &v.path, code, raw) {
+                    Some(i) => allowed[i] += 1,
+                    None => violations.push(v),
+                }
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+
+    let mut unused = 0usize;
+    for (entry, hits) in allowlist.entries.iter().zip(&allowed) {
+        if *hits == 0 {
+            unused += 1;
+            eprintln!(
+                "warning: unused allowlist entry (line {}): rule={} path={} pattern={:?}",
+                entry.defined_at, entry.rule, entry.path, entry.pattern
+            );
+        } else if verbose {
+            eprintln!("allow: {} x{} {} ({})", entry.rule, hits, entry.path, entry.reason);
+        }
+    }
+
+    let suppressed: usize = allowed.iter().sum();
+    eprintln!(
+        "xtask lint: {} file(s) scanned, {} violation(s), {} suppressed by allowlist ({} entries, {} unused)",
+        files_scanned,
+        violations.len(),
+        suppressed,
+        allowlist.entries.len(),
+        unused,
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Every crate any rule applies to.
+fn crate_union() -> Vec<&'static str> {
+    let mut all: Vec<&'static str> = PANIC_FREE
+        .iter()
+        .chain(CAST_CHECKED)
+        .chain(DOC_REQUIRED)
+        .chain(EXIT_CHECKED)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()` in library crate — return a typed error instead"),
+    (".expect(", "`.expect(..)` in library crate — return a typed error instead"),
+    ("panic!", "`panic!` in library crate — return a typed error instead"),
+    (
+        "unreachable!",
+        "`unreachable!` in library crate — make the state unrepresentable or return an error",
+    ),
+    ("todo!", "`todo!` in library crate"),
+    ("unimplemented!", "`unimplemented!` in library crate"),
+];
+
+fn check_no_panic(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test_mod {
+            continue;
+        }
+        for (pattern, message) in PANIC_PATTERNS {
+            for start in match_indices_outside_idents(&line.code, pattern) {
+                // Bang macros must be actual invocations — `panic!(..)`,
+                // `unreachable!{..}` — not prefixes of longer macro names.
+                if pattern.ends_with('!') {
+                    let rest = &line.code[start + pattern.len()..];
+                    if !(rest.starts_with('(') || rest.starts_with('[') || rest.starts_with('{')) {
+                        continue;
+                    }
+                }
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: i + 1,
+                    rule: "no-panic",
+                    message: (*message).to_string(),
+                });
+                break; // one diagnostic per pattern per line
+            }
+        }
+    }
+}
+
+/// Identifiers that mark a line as handling Dewey components.
+const DEWEY_MARKERS: &[&str] = &["step", "doc", "dewey", "label", "ordinal", "depth"];
+const NARROW_CASTS: &[&str] = &["as u8", "as u16", "as i8", "as i16"];
+
+fn check_truncating_casts(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test_mod {
+            continue;
+        }
+        let lower = line.code.to_lowercase();
+        if !DEWEY_MARKERS.iter().any(|m| lower.contains(m)) {
+            continue;
+        }
+        for cast in NARROW_CASTS {
+            if let Some(pos) = find_cast(&line.code, cast) {
+                // A visible mask on the same line bounds the value; that is
+                // the idiomatic LEB128 pattern and is not a truncation bug.
+                let before = &line.code[..pos];
+                if before.contains("& 0x") || before.contains("&0x") {
+                    continue;
+                }
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: i + 1,
+                    rule: "no-truncating-cast",
+                    message: format!(
+                        "`{cast}` on a line handling Dewey components — a truncated \
+                         step/doc id reorders posting lists silently; use `try_from` \
+                         or widen the type"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_pub_fn_docs(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test_mod {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let is_pub_fn = ["pub fn ", "pub const fn ", "pub unsafe fn ", "pub async fn "]
+            .iter()
+            .any(|p| trimmed.starts_with(p));
+        if !is_pub_fn {
+            continue;
+        }
+        // Walk upward over attributes and blank lines to the nearest
+        // substantive line; it must be a doc comment.
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let above = &lines[j];
+            let t = above.raw.trim_start();
+            if above.is_doc {
+                documented = true;
+                break;
+            }
+            if t.starts_with("#[") || t.starts_with("#!") || t.ends_with(']') && t.starts_with(')')
+            {
+                continue; // attribute (possibly the tail of a multi-line one)
+            }
+            if t.is_empty() {
+                break; // blank line separates any docs from the item
+            }
+            break;
+        }
+        if !documented {
+            let name = fn_name(trimmed);
+            out.push(Violation {
+                path: path.to_string(),
+                line: i + 1,
+                rule: "pub-fn-docs",
+                message: format!(
+                    "public function `{name}` has no doc comment — gks-core/gks-index \
+                     are the API surface; document contract and errors"
+                ),
+            });
+        }
+    }
+}
+
+fn check_process_exit(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test_mod {
+            continue;
+        }
+        if line.code.contains("process::exit") {
+            out.push(Violation {
+                path: path.to_string(),
+                line: i + 1,
+                rule: "no-process-exit",
+                message: "`std::process::exit` outside the cli crate — return an error \
+                          and let the caller decide"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Extracts the function name from a `pub fn ...` line for diagnostics.
+fn fn_name(decl: &str) -> &str {
+    let after = decl
+        .trim_start_matches("pub ")
+        .trim_start_matches("const ")
+        .trim_start_matches("unsafe ")
+        .trim_start_matches("async ")
+        .trim_start_matches("fn ");
+    let end = after.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(after.len());
+    &after[..end]
+}
+
+/// Occurrences of `needle` in `haystack` that are not part of a longer
+/// identifier (so `panic!` does not match `is_panicking!`, and `.unwrap()`
+/// does not match `.unwrap_or()` because the needle includes punctuation).
+fn match_indices_outside_idents(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let first_is_ident = needle.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+    for (pos, _) in haystack.match_indices(needle) {
+        if first_is_ident {
+            let before = haystack[..pos].chars().next_back();
+            if before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue; // rejects `my_panic!`-style longer identifiers
+            }
+        }
+        out.push(pos);
+    }
+    out
+}
+
+/// Finds a narrowing cast, requiring a word boundary after the type name so
+/// `as u8` does not match `as u80` (not a real type, but be strict).
+fn find_cast(code: &str, cast: &str) -> Option<usize> {
+    for (pos, _) in code.match_indices(cast) {
+        let after = code[pos + cast.len()..].chars().next();
+        if after.is_none_or(|c| !(c.is_alphanumeric() || c == '_')) {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+
+    fn run_rule(
+        src: &str,
+        rule: fn(&str, &[Line], &mut Vec<Violation>),
+    ) -> Vec<(usize, &'static str)> {
+        let lines = scan_file(src);
+        let mut out = Vec::new();
+        rule("test.rs", &lines, &mut out);
+        out.into_iter().map(|v| (v.line, v.rule)).collect()
+    }
+
+    #[test]
+    fn no_panic_flags_real_sites_only() {
+        let src = "\
+fn a() { x.unwrap(); }
+fn b() { x.unwrap_or(0); }
+fn c() { x.expect(\"boom\"); }
+// x.unwrap() in a comment
+let s = \"panic!\";
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+";
+        let hits = run_rule(src, check_no_panic);
+        assert_eq!(hits, vec![(1, "no-panic"), (3, "no-panic")]);
+    }
+
+    #[test]
+    fn truncating_cast_needs_dewey_marker_and_no_mask() {
+        let src = "\
+let a = step as u16;
+let b = value as u16;
+let c = (step & 0x7f) as u8;
+let d = doc_id.0 as i16;
+";
+        let hits = run_rule(src, check_truncating_casts);
+        assert_eq!(hits, vec![(1, "no-truncating-cast"), (4, "no-truncating-cast")]);
+    }
+
+    #[test]
+    fn pub_fn_docs_checks_attributes_and_blanks() {
+        let src = "\
+/// Documented.
+pub fn good() {}
+
+/// Documented through an attribute.
+#[inline]
+pub fn good_attr() {}
+
+pub fn bad() {}
+
+fn private_ok() {}
+";
+        let hits = run_rule(src, check_pub_fn_docs);
+        assert_eq!(hits, vec![(8, "pub-fn-docs")]);
+    }
+
+    #[test]
+    fn process_exit_flagged() {
+        let src = "fn f() { std::process::exit(2); }\n";
+        let hits = run_rule(src, check_process_exit);
+        assert_eq!(hits, vec![(1, "no-process-exit")]);
+    }
+}

@@ -1,0 +1,62 @@
+//! `cargo xtask` — workspace automation for the GKS repo.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the GKS-specific lint rules over the workspace sources
+//!   (see [`lint`] and `docs/ANALYSIS.md`). Exits nonzero on violations.
+//!
+//! The driver is dependency-free by design: it must run in the offline
+//! build container and stay fast enough to sit in front of every CI job.
+
+// Not an engine library crate: unwrap/expect on deterministic, known-good
+// data is acceptable here. The hard panic-free rule is scoped to the
+// engine crates and enforced by `cargo xtask lint` (see docs/ANALYSIS.md).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+mod allow;
+mod lint;
+mod scan;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+            lint::run(&workspace_root(), verbose)
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\
+         \n\
+         commands:\n\
+           lint [--verbose]   run the GKS lint rules (no-panic, no-truncating-cast,\n\
+                              pub-fn-docs, no-process-exit) over the workspace;\n\
+                              allowlist lives in crates/xtask/lint-allow.toml\n\
+           help               show this message"
+    );
+}
+
+/// The workspace root, resolved from this crate's manifest directory so the
+/// driver works from any cwd.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}

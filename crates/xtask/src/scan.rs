@@ -1,0 +1,322 @@
+//! Lightweight Rust source scanning: comment/string stripping and
+//! `#[cfg(test)]` region tracking, with no parser dependency.
+//!
+//! The lint rules operate on a per-line "code view" of each file in which
+//! comments and string/char literal *contents* are blanked out (replaced by
+//! spaces) so that textual patterns like `.unwrap()` only match real code.
+//! Doc-comment lines are recorded separately for the `pub-fn-docs` rule.
+
+/// One source line after stripping, plus classification flags.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comments and literal contents blanked.
+    pub code: String,
+    /// The original line, for diagnostics.
+    pub raw: String,
+    /// True if the raw line is (part of) a doc comment (`///`, `//!`, or a
+    /// `#[doc` attribute).
+    pub is_doc: bool,
+    /// True if the line falls inside a `#[cfg(test)] mod { .. }` region.
+    pub in_test_mod: bool,
+}
+
+/// Scans a whole file into classified lines.
+pub fn scan_file(source: &str) -> Vec<Line> {
+    let stripped = strip(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    let test_flags = test_mod_flags(&code_lines);
+    raw_lines
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| {
+            let trimmed = raw.trim_start();
+            Line {
+                code: code_lines.get(i).copied().unwrap_or("").to_string(),
+                raw: (*raw).to_string(),
+                is_doc: trimmed.starts_with("///")
+                    || trimmed.starts_with("//!")
+                    || trimmed.starts_with("#[doc")
+                    || trimmed.starts_with("#![doc"),
+                in_test_mod: test_flags.get(i).copied().unwrap_or(false),
+            }
+        })
+        .collect()
+}
+
+/// Replaces comments and the contents of string/char literals with spaces,
+/// preserving line structure.
+fn strip(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut out = String::with_capacity(source.len());
+    let chars: Vec<char> = source.chars().collect();
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if next == Some('"') || (next == Some('#') && is_raw_string(&chars, i)) => {
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    state = State::RawStr(hashes);
+                    for _ in i..=j {
+                        out.push(' ');
+                    }
+                    i = j + 1;
+                }
+                'b' if next == Some('"') => {
+                    state = State::Str;
+                    out.push(' ');
+                    out.push('"');
+                    i += 2;
+                }
+                'b' if next == Some('\'') => {
+                    state = State::Char;
+                    out.push(' ');
+                    out.push('\'');
+                    i += 2;
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal is `'x'` or `'\..'`;
+                    // a lifetime quote is followed by an identifier with no
+                    // closing quote right after one char.
+                    if next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\'')) {
+                        state = State::Char;
+                        out.push('\'');
+                        i += 1;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    state = State::Normal;
+                    out.push('"');
+                    i += 1;
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    state = State::Normal;
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    state = State::Normal;
+                    out.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    out
+}
+
+/// Whether `r#...` starting at `chars[i]` really opens a raw string (all
+/// hashes then a quote) rather than a raw identifier like `r#try`.
+fn is_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the quote at `chars[i]` is followed by `hashes` `#` characters.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks the lines belonging to `#[cfg(test)] mod .. { .. }` regions by
+/// tracking brace depth in the stripped code view.
+fn test_mod_flags(code_lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; code_lines.len()];
+    let mut pending_cfg_test = false;
+    // (depth at which the region closes) for each open test module.
+    let mut region_close_depth: Option<i64> = None;
+    let mut depth: i64 = 0;
+    for (i, line) in code_lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if region_close_depth.is_none() && trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let opens_mod = pending_cfg_test && trimmed.starts_with("mod ");
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if opens_mod && region_close_depth.is_none() {
+                        region_close_depth = Some(depth - 1);
+                        pending_cfg_test = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close_depth == Some(depth) {
+                        region_close_depth = None;
+                        flags[i] = true; // the closing line itself
+                    }
+                }
+                _ => {}
+            }
+        }
+        if region_close_depth.is_some() {
+            flags[i] = true;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"panic!\"; // panic!\nlet y = 1; /* .unwrap() */\n";
+        let lines = scan_file(src);
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(!lines[1].code.contains(".unwrap()"));
+        assert!(lines[0].code.contains("let x"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(s: &'a str) -> char { '\"' }\nlet q = b'\\'';\nlet p = 'x';\n";
+        let lines = scan_file(src);
+        assert!(lines[0].code.contains("fn f<'a>(s: &'a str)"));
+        assert!(!lines[0].code.contains('"'), "{}", lines[0].code);
+        assert!(lines[2].code.contains("let p ="));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let src = "let s = r#\"has .unwrap() inside\"#;\nlet t = r\"also .expect(\";\n.unwrap()\n";
+        let lines = scan_file(src);
+        assert!(!lines[0].code.contains(".unwrap"));
+        assert!(!lines[1].code.contains(".expect"));
+        assert!(lines[2].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn test_mod_regions() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let lines = scan_file(src);
+        assert!(!lines[0].in_test_mod);
+        assert!(lines[3].in_test_mod);
+        assert!(lines[4].in_test_mod);
+        assert!(!lines[5].in_test_mod);
+    }
+
+    #[test]
+    fn doc_lines() {
+        let src = "/// docs\npub fn f() {}\n//! module docs\n";
+        let lines = scan_file(src);
+        assert!(lines[0].is_doc);
+        assert!(!lines[1].is_doc);
+        assert!(lines[2].is_doc);
+    }
+}

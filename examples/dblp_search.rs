@@ -16,7 +16,11 @@ use gks_datagen::dblp;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2 000 articles, clustered co-authorship.
     let out = dblp::generate(&dblp::Config { articles: 2000, ..Default::default() }, 2016);
-    println!("generated synthetic DBLP: {} bytes, {} records", out.xml.len(), out.records.len());
+    println!(
+        "generated synthetic DBLP: {} bytes, {} records",
+        out.xml.len(),
+        out.records.len()
+    );
 
     let corpus = Corpus::from_named_strs([("dblp", out.xml.clone())])?;
     let engine = Engine::build(&corpus, IndexOptions::default())?;

@@ -25,12 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::build(&corpus, IndexOptions::default())?;
 
     // Two DBLP co-authors + two SIGMOD co-authors.
-    let dblp_pair = first_coauthor_pair(
-        dblp_out.records.iter().map(|r| r.authors.as_slice()),
-    );
-    let sigmod_pair = first_coauthor_pair(
-        sigmod_out.article_authors.iter().map(Vec::as_slice),
-    );
+    let dblp_pair = first_coauthor_pair(dblp_out.records.iter().map(|r| r.authors.as_slice()));
+    let sigmod_pair = first_coauthor_pair(sigmod_out.article_authors.iter().map(Vec::as_slice));
     let query = Query::from_keywords([
         dblp_pair.0.clone(),
         dblp_pair.1.clone(),
@@ -39,19 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     println!("hybrid query: {query}  (s = 2)");
 
-    let response = engine.search(
-        &query,
-        SearchOptions { s: Threshold::Fixed(2), ..Default::default() },
-    )?;
+    let response =
+        engine.search(&query, SearchOptions { s: Threshold::Fixed(2), ..Default::default() })?;
     println!("{} hit(s):", response.hits().len());
     let mut by_type: std::collections::BTreeMap<String, usize> = Default::default();
     for hit in response.hits() {
-        let label = engine
-            .index()
-            .node_table()
-            .label_name(&hit.node)
-            .unwrap_or("?")
-            .to_string();
+        let label = engine.index().node_table().label_name(&hit.node).unwrap_or("?").to_string();
         *by_type.entry(label).or_default() += 1;
         println!("  {}", engine.render_hit(hit, &response));
     }
@@ -65,9 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Finds the first record with ≥ 2 authors and returns its first two.
-fn first_coauthor_pair<'a>(mut records: impl Iterator<Item = &'a [String]>) -> (&'a String, &'a String) {
-    let r = records
-        .find(|authors| authors.len() >= 2)
-        .expect("a multi-author record");
+fn first_coauthor_pair<'a>(
+    mut records: impl Iterator<Item = &'a [String]>,
+) -> (&'a String, &'a String) {
+    let r = records.find(|authors| authors.len() >= 2).expect("a multi-author record");
     (&r[0], &r[1])
 }

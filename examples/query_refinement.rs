@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &refined,
         SearchOptions { s: gks_core::search::Threshold::All, ..Default::default() },
     )?;
-    println!(
-        "refined query {refined} → {} joint article(s):",
-        refined_resp.hits().len()
-    );
+    println!("refined query {refined} → {} joint article(s):", refined_resp.hits().len());
     for hit in refined_resp.hits().iter().take(10) {
         println!("  {}", engine.render_hit(hit, &refined_resp));
     }

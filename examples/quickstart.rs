@@ -37,10 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    all these students, and LCA techniques would answer with a useless
     //    common ancestor. GKS returns every course with ≥ 2 of the keywords.
     let query = Query::parse("student karen mike john harry")?;
-    let response = engine.search(
-        &query,
-        SearchOptions { s: Threshold::Fixed(2), ..Default::default() },
-    )?;
+    let response =
+        engine.search(&query, SearchOptions { s: Threshold::Fixed(2), ..Default::default() })?;
 
     println!("query: {query}   (s = {}, |SL| = {})", response.s(), response.sl_len());
     println!("{} hit(s):", response.hits().len());

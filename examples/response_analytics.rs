@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(top) = resp.hits().first() {
         println!("\ntop hit as an XML chunk (paper Figure 2(b) shape):");
-        println!("{}", engine.render_xml_chunk(top));
+        println!("{}", engine.render_xml_chunk(top)?);
     }
     Ok(())
 }

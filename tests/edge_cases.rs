@@ -45,9 +45,7 @@ fn s_larger_than_query_clamps_to_all() {
     let e = engine_of("<r><a>alpha</a><a>beta</a></r>");
     let q = Query::parse("alpha beta").unwrap();
     let clamped = e.search(&q, SearchOptions::with_s(99)).unwrap();
-    let all = e
-        .search(&q, SearchOptions { s: Threshold::All, ..Default::default() })
-        .unwrap();
+    let all = e.search(&q, SearchOptions { s: Threshold::All, ..Default::default() }).unwrap();
     assert_eq!(clamped.s(), 2);
     assert_eq!(clamped.hits().len(), all.hits().len());
 }
@@ -72,9 +70,7 @@ fn unicode_content_is_searchable() {
 #[test]
 fn numeric_keywords_work() {
     let e = engine_of("<r><y>2001</y><y>2002</y></r>");
-    let r = e
-        .search(&Query::parse("2001").unwrap(), SearchOptions::with_s(1))
-        .unwrap();
+    let r = e.search(&Query::parse("2001").unwrap(), SearchOptions::with_s(1)).unwrap();
     assert_eq!(r.hits().len(), 1);
 }
 
@@ -84,10 +80,7 @@ fn sixty_four_keywords_is_the_cap() {
     assert!(Query::from_keywords(words.clone()).is_ok());
     let mut too_many = words;
     too_many.push("extra".into());
-    assert!(matches!(
-        Query::from_keywords(too_many),
-        Err(QueryError::TooManyKeywords(65))
-    ));
+    assert!(matches!(Query::from_keywords(too_many), Err(QueryError::TooManyKeywords(65))));
 }
 
 #[test]
@@ -127,7 +120,10 @@ fn mixed_content_indexes_both_text_runs() {
     }
     // alpha and gamma live at <p> itself; the phrase co-occurs there.
     let r = e
-        .search(&Query::parse("alpha gamma").unwrap(), SearchOptions { s: Threshold::All, ..Default::default() })
+        .search(
+            &Query::parse("alpha gamma").unwrap(),
+            SearchOptions { s: Threshold::All, ..Default::default() },
+        )
         .unwrap();
     assert!(!r.hits().is_empty());
 }

@@ -138,7 +138,12 @@ fn recursive_di_terminates_and_links_rounds() {
     let author = out.clusters[0][0].clone();
     let q = Query::from_keywords([author]).unwrap();
     let rounds = engine
-        .recursive_di(&q, SearchOptions::with_s(1), &DiOptions { top_m: 3, ..Default::default() }, 3)
+        .recursive_di(
+            &q,
+            SearchOptions::with_s(1),
+            &DiOptions { top_m: 3, ..Default::default() },
+            3,
+        )
         .unwrap();
     assert!(!rounds.is_empty());
     assert!(rounds.len() <= 4);

@@ -90,9 +90,8 @@ fn ranking_ignores_absolute_depth() {
             SearchOptions { s: Threshold::Fixed(2), ..Default::default() },
         )
         .unwrap();
-    let label = |h: &gks_core::Hit| {
-        engine.index().node_table().label_name(&h.node).unwrap().to_string()
-    };
+    let label =
+        |h: &gks_core::Hit| engine.index().node_table().label_name(&h.node).unwrap().to_string();
     // Find the best-ranked article and the inproceedings with many extra
     // co-authors ("Proofs Two" has 7 extras diluting its potential flow).
     let best_article_pos = resp.hits().iter().position(|h| label(h) == "article").unwrap();

@@ -34,7 +34,10 @@ fn engine() -> Engine {
 
 fn gks_nodes(e: &Engine, q: &str, s: usize) -> Vec<DeweyId> {
     let resp = e
-        .search(&Query::parse(q).unwrap(), SearchOptions { s: Threshold::Fixed(s), ..Default::default() })
+        .search(
+            &Query::parse(q).unwrap(),
+            SearchOptions { s: Threshold::Fixed(s), ..Default::default() },
+        )
         .unwrap();
     resp.hits().iter().map(|h| h.node.clone()).collect()
 }
