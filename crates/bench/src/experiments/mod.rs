@@ -12,6 +12,7 @@ pub mod hybrid;
 pub mod lemma3;
 pub mod pipeline;
 pub mod quality;
+pub mod serving;
 pub mod table1;
 pub mod table4;
 pub mod table5;
@@ -36,6 +37,7 @@ pub const ALL: &[&str] = &[
     "quality",
     "analyzer",
     "di_quality",
+    "serving",
 ];
 
 /// Runs one experiment by id.
@@ -57,6 +59,7 @@ pub fn run(id: &str) -> Option<String> {
         "quality" => quality::run(),
         "analyzer" => analyzer::run(),
         "di_quality" => di_quality::run(),
+        "serving" => serving::run(),
         _ => return None,
     })
 }

@@ -12,7 +12,18 @@
 //! * `doctor <index.gksix>` — audit a persisted index against the structural
 //!   invariants of paper §2.1/§2.4 (sorted postings, parent closure, census
 //!   consistency, attribute-store resolvability);
-//! * `generate <dataset> <scale> <out.xml>` — write a synthetic corpus.
+//! * `generate <dataset> <scale> <out.xml>` — write a synthetic corpus;
+//! * `serve <index.gksix>` — run the resident HTTP query service
+//!   (`gks-server`: worker pool, admission control, result cache, /metrics);
+//! * `loadgen <host:port> <workload.txt>` — closed-loop load generator
+//!   against a running `serve`, reporting QPS and latency percentiles.
+//!
+//! `search` and `suggest` accept `--json`, emitting exactly the wire format
+//! the serve endpoints return (`gks_core::wire`), so scripts can switch
+//! between one-shot CLI calls and the service without reparsing.
+//!
+//! Exit codes: `0` success, `1` runtime error (missing file, failed search,
+//! unhealthy index), `2` usage error.
 //!
 //! The library form exists so the behaviour is unit-testable; `main` just
 //! forwards `std::env::args` and prints.
@@ -24,8 +35,10 @@ use gks_core::di::DiOptions;
 use gks_core::engine::Engine;
 use gks_core::query::Query;
 use gks_core::search::{SearchOptions, Threshold};
+use gks_core::wire;
 use gks_datagen::Dataset;
 use gks_index::{Corpus, GksIndex, IndexOptions, SchemaSummary};
+use gks_server::{loadgen, signal, ServeConfig};
 
 /// CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -46,23 +59,37 @@ impl CliError {
     }
 }
 
-/// Top-level usage text.
+/// Top-level usage text. Every subcommand is listed here; `run` rejects
+/// anything else with exit code 2.
 pub const USAGE: &str = "\
 gks — Generic Keyword Search over XML data (EDBT 2016)
 
 USAGE:
   gks index <out.gksix> <file.xml>...
-  gks search <index.gksix> [-s N] [--limit N] [--di] [--analytics] <keyword>...
-  gks suggest <index.gksix> <keyword>...
+  gks search <index.gksix> [-s N|all|half] [--limit N] [--json]
+             [--di] [--analytics] <keyword>...
+  gks suggest <index.gksix> [--json] <keyword>...
   gks census [--schema] <file.xml>...
   gks schema <index.gksix>
   gks info <index.gksix>
   gks doctor <index.gksix>
   gks generate <dataset> <scale> <out.xml>
   gks repl <index.gksix>
+  gks serve <index.gksix> [--addr HOST:PORT] [--workers N] [--queue N]
+            [--deadline-ms N] [--cache-mb N]
+  gks loadgen <host:port> <workload.txt> [--clients N] [--requests N]
+            [--zipf S] [--seed N] [--timeout-ms N]
+
+`--json` emits the same wire format the serve endpoints return.
+`serve` drains in-flight requests and exits 0 on SIGTERM/ctrl-c.
 
 DATASETS (for generate):
   sigmod mondial plays treebank swissprot protein dblp nasa interpro
+
+EXIT CODES:
+  0  success
+  1  runtime error (missing file, failed search, unhealthy index)
+  2  usage error (unknown command or bad flags)
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name),
@@ -81,6 +108,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "doctor" => cmd_doctor(rest),
         "generate" => cmd_generate(rest),
         "repl" => cmd_repl(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -135,21 +164,15 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
     let mut limit = 20usize;
     let mut want_di = false;
     let mut want_analytics = false;
+    let mut want_json = false;
     let mut keywords: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-s" => {
                 let v = it.next().ok_or_else(|| CliError::usage("-s needs a value"))?;
-                s = if v == "all" {
-                    Threshold::All
-                } else if v == "half" {
-                    Threshold::HalfQuery
-                } else {
-                    Threshold::Fixed(
-                        v.parse().map_err(|_| CliError::usage(format!("bad -s value {v:?}")))?,
-                    )
-                };
+                s = Threshold::parse(v)
+                    .ok_or_else(|| CliError::usage(format!("bad -s value {v:?}")))?;
             }
             "--limit" => {
                 let v = it.next().ok_or_else(|| CliError::usage("--limit needs a value"))?;
@@ -158,14 +181,25 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
             }
             "--di" => want_di = true,
             "--analytics" => want_analytics = true,
+            "--json" => want_json = true,
             _ => keywords.push(arg.clone()),
         }
+    }
+    if want_json && (want_di || want_analytics) {
+        return Err(CliError::usage(
+            "--json cannot be combined with --di/--analytics (use `gks suggest --json` for insights)",
+        ));
     }
     let engine = load_engine(index_path)?;
     let query = parse_query(&keywords)?;
     let resp = engine
         .search(&query, SearchOptions { s, limit })
         .map_err(|e| CliError::runtime(format!("search failed: {e}")))?;
+    if want_json {
+        let mut body = wire::search_response_json(&engine, &resp);
+        body.push('\n');
+        return Ok(body);
+    }
 
     let mut out = String::new();
     let _ = writeln!(
@@ -212,16 +246,23 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_suggest(args: &[String]) -> Result<String, CliError> {
-    let Some((index_path, keywords)) = args.split_first() else {
-        return Err(CliError::usage("usage: gks suggest <index.gksix> <keyword>..."));
+    let Some((index_path, rest)) = args.split_first() else {
+        return Err(CliError::usage("usage: gks suggest <index.gksix> [--json] <keyword>..."));
     };
+    let want_json = rest.iter().any(|a| a == "--json");
+    let keywords: Vec<String> = rest.iter().filter(|a| *a != "--json").cloned().collect();
     let engine = load_engine(index_path)?;
-    let query = parse_query(keywords)?;
+    let query = parse_query(&keywords)?;
     let resp = engine
         .search(&query, SearchOptions::with_s(1))
         .map_err(|e| CliError::runtime(format!("search failed: {e}")))?;
     let di = engine.discover_di(&resp, &DiOptions::default());
     let refinement = engine.refine(&resp, &di);
+    if want_json {
+        let mut body = wire::suggest_response_json(&resp, &refinement, &di);
+        body.push('\n');
+        return Ok(body);
+    }
     let mut out = String::new();
     let _ = writeln!(out, "query: {query}");
     let _ = writeln!(out, "sub-queries found in the data:");
@@ -426,6 +467,120 @@ fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
     Err(CliError::runtime(message))
 }
 
+fn take_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a String, CliError> {
+    it.next().ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+}
+
+fn parse_value<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::usage(format!("bad {flag} value {value:?}")))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    const SERVE_USAGE: &str = "usage: gks serve <index.gksix> [--addr HOST:PORT] \
+        [--workers N] [--queue N] [--deadline-ms N] [--cache-mb N]";
+    let Some((index_path, rest)) = args.split_first() else {
+        return Err(CliError::usage(SERVE_USAGE));
+    };
+    let mut config = ServeConfig::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = take_value(&mut it, "--addr")?.clone(),
+            "--workers" => {
+                config.workers = parse_value(take_value(&mut it, "--workers")?, "--workers")?;
+            }
+            "--queue" => {
+                config.queue_depth = parse_value(take_value(&mut it, "--queue")?, "--queue")?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse_value(take_value(&mut it, "--deadline-ms")?, "--deadline-ms")?;
+                config.deadline = std::time::Duration::from_millis(ms);
+            }
+            "--cache-mb" => {
+                let mb: usize = parse_value(take_value(&mut it, "--cache-mb")?, "--cache-mb")?;
+                config.cache_bytes = mb * 1024 * 1024;
+            }
+            other => return Err(CliError::usage(format!("unknown serve flag {other:?}"))),
+        }
+    }
+    let engine = std::sync::Arc::new(load_engine(index_path)?);
+    let server = gks_server::serve(engine, config.clone())
+        .map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
+    // Clear any stale flag (e.g. a prior run in the same test process), then
+    // hook SIGTERM/ctrl-c so `kill` triggers a drain instead of a hard stop.
+    signal::request_shutdown(false);
+    let have_signals = signal::install_shutdown_handler();
+    println!(
+        "gks-serve: listening on {} ({} worker(s), queue {}, deadline {} ms, cache {} MiB)",
+        server.local_addr(),
+        config.workers,
+        config.queue_depth,
+        config.deadline.as_millis(),
+        config.cache_bytes / (1024 * 1024)
+    );
+    if !have_signals {
+        println!("gks-serve: no signal support on this platform; stop by killing the process");
+    }
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    while !signal::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let report = server.shutdown();
+    Ok(format!(
+        "gks-serve: drained — accepted {} connection(s), served {}, rejected {}\n",
+        report.accepted, report.served, report.rejected
+    ))
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+    const LOADGEN_USAGE: &str = "usage: gks loadgen <host:port> <workload.txt> \
+        [--clients N] [--requests N] [--zipf S] [--seed N] [--timeout-ms N]";
+    let [addr_raw, workload_path, rest @ ..] = args else {
+        return Err(CliError::usage(LOADGEN_USAGE));
+    };
+    let addr = {
+        use std::net::ToSocketAddrs as _;
+        addr_raw
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .ok_or_else(|| CliError::usage(format!("bad address {addr_raw:?}")))?
+    };
+    let mut config = loadgen::LoadgenConfig { addr, ..loadgen::LoadgenConfig::default() };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--clients" => {
+                config.clients = parse_value(take_value(&mut it, "--clients")?, "--clients")?;
+            }
+            "--requests" => {
+                config.requests_per_client =
+                    parse_value(take_value(&mut it, "--requests")?, "--requests")?;
+            }
+            "--zipf" => config.zipf_s = parse_value(take_value(&mut it, "--zipf")?, "--zipf")?,
+            "--seed" => config.seed = parse_value(take_value(&mut it, "--seed")?, "--seed")?,
+            "--timeout-ms" => {
+                let ms: u64 = parse_value(take_value(&mut it, "--timeout-ms")?, "--timeout-ms")?;
+                config.timeout = std::time::Duration::from_millis(ms);
+            }
+            other => return Err(CliError::usage(format!("unknown loadgen flag {other:?}"))),
+        }
+    }
+    let text = std::fs::read_to_string(workload_path)
+        .map_err(|e| CliError::runtime(format!("cannot read workload {workload_path:?}: {e}")))?;
+    let workload = loadgen::parse_workload(&text);
+    if workload.is_empty() {
+        return Err(CliError::runtime(format!("workload {workload_path:?} has no queries")));
+    }
+    let report = loadgen::run(&config, &workload);
+    Ok(report.render())
+}
+
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
     let [dataset, scale, out_path] = args else {
         return Err(CliError::usage("usage: gks generate <dataset> <scale> <out.xml>"));
@@ -538,6 +693,58 @@ mod tests {
         assert!(text.contains("unknown command :nope"), "{text}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_output_matches_wire_format() {
+        let dir = tmpdir().join("json-out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml = dir.join("d.xml");
+        let ix = dir.join("d.gksix");
+        run(&args(&["generate", "dblp", "100", xml.to_str().unwrap()])).unwrap();
+        run(&args(&["index", ix.to_str().unwrap(), xml.to_str().unwrap()])).unwrap();
+        let ix_s = ix.to_str().unwrap();
+
+        let out = run(&args(&["search", ix_s, "--json", "-s", "1", "keyword", "search"])).unwrap();
+        assert!(out.starts_with("{\"query\":[\"keyword\",\"search\"],\"s\":"), "{out}");
+        assert!(out.ends_with("}\n"), "newline-terminated JSON document");
+
+        let out = run(&args(&["suggest", ix_s, "--json", "keyword"])).unwrap();
+        assert!(out.starts_with("{\"query\":[\"keyword\"]"), "{out}");
+        assert!(out.contains("\"sub_queries\""), "{out}");
+
+        // --json is the machine format; the human-only flags conflict.
+        let err = run(&args(&["search", ix_s, "--json", "--di", "x"])).unwrap_err();
+        assert_eq!(err.code, 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_loadgen_flag_validation() {
+        assert_eq!(run(&args(&["serve"])).unwrap_err().code, 2);
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--bogus"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown serve flag"));
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--workers"])).unwrap_err();
+        assert_eq!(err.code, 2, "missing flag value");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--deadline-ms", "soon"])).unwrap_err();
+        assert_eq!(err.code, 2, "non-numeric flag value");
+
+        assert_eq!(run(&args(&["loadgen"])).unwrap_err().code, 2);
+        let err = run(&args(&["loadgen", "not-an-addr", "/tmp/w.txt"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run(&args(&["loadgen", "127.0.0.1:1", "/no/such/workload.txt"])).unwrap_err();
+        assert_eq!(err.code, 1, "unreadable workload is a runtime error");
+
+        // The usage text must list every subcommand (satellite: docs drift).
+        for sub in [
+            "index", "search", "suggest", "census", "schema", "info", "doctor", "generate", "repl",
+            "serve", "loadgen",
+        ] {
+            assert!(USAGE.contains(&format!("gks {sub} ")), "USAGE missing {sub}");
+        }
+        assert!(USAGE.contains("EXIT CODES"));
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`refine`] — query refinement suggestions (§6.1);
 //! * [`analytics`] — response analytics: group-bys and facets over the
 //!   answer set (the paper's "analytics over raw XML data" future work);
+//! * [`wire`] — the deterministic JSON wire format shared by the CLI's
+//!   `--json` mode and the `gks-serve` HTTP endpoints;
 //! * [`engine`] — the [`engine::Engine`] facade tying it all together.
 
 pub mod analytics;
@@ -36,6 +38,7 @@ pub mod refine;
 pub mod search;
 pub mod sweep;
 pub mod window;
+pub mod wire;
 
 pub use analytics::{AnalyticsOptions, ResponseAnalytics};
 pub use di::{DiOptions, Insight};

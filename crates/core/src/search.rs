@@ -44,6 +44,21 @@ pub enum Threshold {
 }
 
 impl Threshold {
+    /// Parses the user-facing spelling shared by the CLI (`-s`) and the
+    /// server (`?s=`): a positive integer, `all`, or `half`. Returns `None`
+    /// for anything else (including `0`, which [`Threshold::resolve`] would
+    /// reject anyway).
+    pub fn parse(value: &str) -> Option<Threshold> {
+        match value {
+            "all" => Some(Threshold::All),
+            "half" => Some(Threshold::HalfQuery),
+            v => match v.parse::<usize>() {
+                Ok(s) if s > 0 => Some(Threshold::Fixed(s)),
+                _ => None,
+            },
+        }
+    }
+
     /// Resolves to a concrete `s` for a query of `n` keywords.
     pub fn resolve(self, n: usize) -> Result<usize, QueryError> {
         let s = match self {
@@ -500,6 +515,16 @@ mod tests {
         assert_eq!(Threshold::HalfQuery.resolve(5).unwrap(), 2);
         assert_eq!(Threshold::HalfQuery.resolve(1).unwrap(), 1);
         assert!(Threshold::Fixed(0).resolve(3).is_err());
+    }
+
+    #[test]
+    fn threshold_parsing() {
+        assert_eq!(Threshold::parse("3"), Some(Threshold::Fixed(3)));
+        assert_eq!(Threshold::parse("all"), Some(Threshold::All));
+        assert_eq!(Threshold::parse("half"), Some(Threshold::HalfQuery));
+        assert_eq!(Threshold::parse("0"), None);
+        assert_eq!(Threshold::parse("-1"), None);
+        assert_eq!(Threshold::parse("many"), None);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! The JSON wire format shared by `gks search/suggest --json` and the
+//! `gks-serve` HTTP endpoints.
+//!
+//! Serialization is hand-rolled on `std::fmt::Write` because the workspace's
+//! `serde` is an offline marker shim (see `crates/serde`). Two properties are
+//! load-bearing and covered by tests:
+//!
+//! * **Stable field names** — scripts, the loadgen verifier, and the server's
+//!   cache all key off this shape; renaming a field is a wire break.
+//! * **Determinism** — the same index + query + options always produce the
+//!   same bytes. Wall-clock timings are deliberately *excluded* from the
+//!   body (the server reports elapsed time in an `x-gks-micros` response
+//!   header instead), so a cached body is byte-identical to a freshly
+//!   computed one. The result-cache property test relies on this.
+
+use std::fmt::Write as _;
+
+use crate::di::Insight;
+use crate::engine::Engine;
+use crate::refine::Refinement;
+use crate::search::{HitKind, Response};
+
+/// Appends `s` to `out` as a JSON string literal (quotes included), escaping
+/// per RFC 8259: `"`, `\`, and control characters below `U+0020`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON array of strings to `out`.
+pub fn push_json_str_array(out: &mut String, items: impl IntoIterator<Item = impl AsRef<str>>) {
+    out.push('[');
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, item.as_ref());
+    }
+    out.push(']');
+}
+
+/// Appends an `f64` as a JSON number. Rust's shortest-roundtrip `{}`
+/// formatting is deterministic and valid JSON for finite values; non-finite
+/// values (which no ranking path produces) degrade to `null` rather than
+/// emitting the invalid tokens `NaN`/`inf`.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Serializes a search response as one deterministic JSON object.
+///
+/// Shape (stable, shared with `GET /search`):
+///
+/// ```json
+/// {"query":["karen","mike"],"s":2,"sl_len":9,"total_hits":1,
+///  "hits":[{"node":"0:1.2","path":["uni","course"],"kind":"lce",
+///           "rank":3.0,"keywords":2,"matched":["karen","mike"]}],
+///  "missing":[]}
+/// ```
+///
+/// `hits` is already truncated to the request's `limit`; `total_hits` is the
+/// length of the returned list (not the pre-truncation count, which the
+/// engine does not retain). `missing` lists keywords with zero postings.
+pub fn search_response_json(engine: &Engine, response: &Response) -> String {
+    let mut out = String::with_capacity(256 + response.hits().len() * 128);
+    out.push_str("{\"query\":");
+    push_json_str_array(&mut out, response.keywords().iter().map(|k| k.raw()));
+    let _ = write!(out, ",\"s\":{}", response.s());
+    let _ = write!(out, ",\"sl_len\":{}", response.sl_len());
+    let _ = write!(out, ",\"total_hits\":{}", response.hits().len());
+    out.push_str(",\"hits\":[");
+    for (i, hit) in response.hits().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"node\":");
+        push_json_str(&mut out, &hit.node.to_string());
+        out.push_str(",\"path\":");
+        push_json_str_array(&mut out, engine.node_path(&hit.node));
+        out.push_str(",\"kind\":");
+        push_json_str(
+            &mut out,
+            match hit.kind {
+                HitKind::Lce => "lce",
+                HitKind::Lcp => "lcp",
+            },
+        );
+        out.push_str(",\"rank\":");
+        push_json_f64(&mut out, hit.rank);
+        let _ = write!(out, ",\"keywords\":{}", hit.keyword_count);
+        out.push_str(",\"matched\":");
+        push_json_str_array(&mut out, hit.matched_keywords(response.keywords()));
+        out.push('}');
+    }
+    out.push_str("],\"missing\":");
+    let missing: Vec<&str> = response
+        .missing_keyword_indices()
+        .iter()
+        .filter_map(|&i| response.keywords().get(i).map(|k| k.raw()))
+        .collect();
+    push_json_str_array(&mut out, missing);
+    out.push('}');
+    out
+}
+
+/// Serializes refinement suggestions plus their DI as one deterministic JSON
+/// object (stable, shared with `GET /suggest`):
+///
+/// ```json
+/// {"query":[...],"sub_queries":[[...]],"partition":[[...]],
+///  "unmatched":[...],"morphs":[[...]],
+///  "insights":[{"value":"Data Mining","path":["course","name"],
+///               "weight":3.0,"support":1}]}
+/// ```
+pub fn suggest_response_json(
+    response: &Response,
+    refinement: &Refinement,
+    insights: &[Insight],
+) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"query\":");
+    push_json_str_array(&mut out, response.keywords().iter().map(|k| k.raw()));
+    let push_nested = |out: &mut String, name: &str, groups: &[Vec<String>]| {
+        let _ = write!(out, ",\"{name}\":[");
+        for (i, group) in groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str_array(out, group);
+        }
+        out.push(']');
+    };
+    push_nested(&mut out, "sub_queries", &refinement.sub_queries);
+    push_nested(&mut out, "partition", &refinement.partition);
+    out.push_str(",\"unmatched\":");
+    push_json_str_array(&mut out, &refinement.unmatched);
+    push_nested(&mut out, "morphs", &refinement.morphs);
+    out.push_str(",\"insights\":[");
+    for (i, insight) in insights.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"value\":");
+        push_json_str(&mut out, &insight.value);
+        out.push_str(",\"path\":");
+        push_json_str_array(&mut out, &insight.path);
+        out.push_str(",\"weight\":");
+        push_json_f64(&mut out, insight.weight);
+        let _ = write!(out, ",\"support\":{}", insight.support);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes an index-doctor report as one deterministic JSON object
+/// (stable, shared with `GET /doctor`):
+///
+/// ```json
+/// {"healthy":true,"violations":[],"nodes":12,"terms":34,"postings":56}
+/// ```
+pub fn doctor_response_json(engine: &Engine) -> String {
+    let violations = engine.index().doctor();
+    let stats = engine.index().stats();
+    let mut out = String::with_capacity(128);
+    let _ = write!(out, "{{\"healthy\":{}", violations.is_empty());
+    out.push_str(",\"violations\":");
+    push_json_str_array(&mut out, violations.iter().map(|v| v.to_string()));
+    let _ = write!(
+        out,
+        ",\"nodes\":{},\"terms\":{},\"postings\":{}}}",
+        stats.total_nodes, stats.distinct_terms, stats.total_postings
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::di::DiOptions;
+    use crate::query::Query;
+    use crate::search::SearchOptions;
+    use gks_index::{Corpus, IndexOptions};
+
+    fn engine() -> Engine {
+        let xml = "<courses>\
+            <course><name>Mining</name><students>\
+                <student>Karen</student><student>Mike</student></students></course>\
+            <course><name>AI</name><students>\
+                <student>Karen</student><student>John</student></students></course>\
+        </courses>";
+        let corpus = Corpus::from_named_strs([("uni", xml)]).unwrap();
+        Engine::build(&corpus, IndexOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}e");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn f64_formatting() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 3.0);
+        out.push(' ');
+        push_json_f64(&mut out, 2.5);
+        out.push(' ');
+        push_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "3 2.5 null");
+    }
+
+    #[test]
+    fn search_json_shape_and_determinism() {
+        let e = engine();
+        let q = Query::parse("karen mike zzznothing").unwrap();
+        let r1 = e.search(&q, SearchOptions::with_s(2)).unwrap();
+        let r2 = e.search(&q, SearchOptions::with_s(2)).unwrap();
+        let j1 = search_response_json(&e, &r1);
+        let j2 = search_response_json(&e, &r2);
+        assert_eq!(j1, j2, "same query must serialize to identical bytes");
+        assert!(j1.starts_with("{\"query\":[\"karen\",\"mike\",\"zzznothing\"]"), "{j1}");
+        assert!(j1.contains("\"kind\":\"lce\""), "{j1}");
+        assert!(j1.contains("\"missing\":[\"zzznothing\"]"), "{j1}");
+        assert!(j1.contains("\"path\":[\"courses\",\"course\"]"), "{j1}");
+        // No timing field: determinism is the cache's correctness argument.
+        assert!(!j1.contains("micros"), "{j1}");
+    }
+
+    #[test]
+    fn suggest_and_doctor_json_shape() {
+        let e = engine();
+        let q = Query::parse("karen zzznothing").unwrap();
+        let r = e.search(&q, SearchOptions::with_s(1)).unwrap();
+        let di = e.discover_di(&r, &DiOptions::default());
+        let refinement = e.refine(&r, &di);
+        let j = suggest_response_json(&r, &refinement, &di);
+        assert!(j.contains("\"sub_queries\":[[\"karen\"]]"), "{j}");
+        assert!(j.contains("\"unmatched\":[\"zzznothing\"]"), "{j}");
+        assert!(j.contains("\"insights\":["), "{j}");
+
+        let d = doctor_response_json(&e);
+        assert!(d.starts_with("{\"healthy\":true,\"violations\":[]"), "{d}");
+    }
+}

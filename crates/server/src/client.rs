@@ -1,0 +1,89 @@
+//! A minimal blocking HTTP/1.1 GET client — just enough for the load
+//! generator, the CI smoke check, and tests to talk to a running server
+//! without external dependencies. One request per connection (the server
+//! always answers `Connection: close`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code, headers, body bytes.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body decoded as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues `GET {target}` against `addr` and reads the full response.
+/// `target` is the path + query string, e.g. `/search?q=twig&s=1`.
+pub fn http_get(
+    addr: SocketAddr,
+    target: &str,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!("GET {target} HTTP/1.1\r\nHost: gks\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::with_capacity(4096);
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// Splits a raw HTTP/1.1 response into status, headers, and body. Returns
+/// `None` when the status line or header block is malformed.
+pub fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
+    let split = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..split]).ok()?;
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    // "HTTP/1.1 200 OK" — the code is the second token.
+    let status = status_line.split(' ').nth(1)?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':')?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Some(ClientResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nx-gks-cache: hit\r\n\r\n{\"a\":1}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("Content-Type"), Some("application/json"));
+        assert_eq!(r.header("X-GKS-Cache"), Some("hit"));
+        assert_eq!(r.body_text(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_none());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_none());
+    }
+}

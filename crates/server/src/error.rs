@@ -1,0 +1,50 @@
+//! Typed errors for the serving layer. The server never panics on a bad
+//! request or a dead socket — per-connection failures degrade to HTTP error
+//! responses or dropped connections; only startup problems surface here.
+
+use std::fmt;
+
+/// Failure starting or talking to a `gks-serve` instance.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound.
+    Bind {
+        /// The address that failed to bind.
+        addr: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Client-side I/O failure (HTTP client, load generator).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not parse as an HTTP response.
+    BadResponse(String),
+    /// A configuration value is unusable (zero workers, empty workload, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::BadResponse(m) => write!(f, "malformed HTTP response: {m}"),
+            ServeError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

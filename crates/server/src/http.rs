@@ -1,0 +1,319 @@
+//! A deliberately minimal HTTP/1.1 subset on `std::net`, sufficient for the
+//! query service: `GET` requests with query strings, fixed-length responses,
+//! `Connection: close` semantics. No TLS, no chunked bodies, no keep-alive —
+//! each connection carries exactly one request.
+//!
+//! Parsing is separated from socket I/O ([`parse_request`] vs
+//! [`read_request`]) so the router and its tests never need a socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers), in bytes.
+/// Anything longer is rejected before buffering more — a resident service
+/// must bound memory per connection.
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request: method, decoded path, decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `HEAD`, …), uppercased by the parser.
+    pub method: String,
+    /// Percent-decoded path without the query string, e.g. `/search`.
+    pub path: String,
+    /// Percent-decoded query parameters in request order.
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line or headers are not valid HTTP.
+    Malformed(&'static str),
+    /// The request head exceeds [`MAX_REQUEST_BYTES`].
+    TooLarge,
+    /// The socket failed or timed out before a full head arrived.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge => write!(f, "request head exceeds {MAX_REQUEST_BYTES} bytes"),
+            HttpError::Io(m) => write!(f, "request I/O: {m}"),
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a URL component. Invalid
+/// escapes are passed through literally (never an error — a query keyword
+/// containing a stray `%` should search for it, not fail the request).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let hi = bytes_hex(h[0])?;
+                    let lo = bytes_hex(h[1])?;
+                    Some(hi * 16 + lo)
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn bytes_hex(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes a URL query component (RFC 3986 unreserved characters
+/// pass through; everything else, including space, is `%XX`-escaped).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char);
+            }
+            _ => {
+                out.push('%');
+                out.push(HEX_UPPER[usize::from(b >> 4)]);
+                out.push(HEX_UPPER[usize::from(b & 0x0f)]);
+            }
+        }
+    }
+    out
+}
+
+const HEX_UPPER: [char; 16] =
+    ['0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'A', 'B', 'C', 'D', 'E', 'F'];
+
+/// Parses a raw request head (`GET /path?a=1 HTTP/1.1\r\n…`). Headers are
+/// accepted and discarded — the service keys off method, path, and query
+/// string only.
+pub fn parse_request(head: &str) -> Result<Request, HttpError> {
+    let request_line = head.lines().next().ok_or(HttpError::Malformed("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed("missing method"))?;
+    let target = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let params = raw_query
+        .map(|q| {
+            q.split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(kv), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(Request { method: method.to_ascii_uppercase(), path: percent_decode(raw_path), params })
+}
+
+/// Reads one request head from `stream` (until the blank line), bounded by
+/// [`MAX_REQUEST_BYTES`]. Any request body is ignored — every endpoint is a
+/// `GET`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let head = String::from_utf8_lossy(&buf[..end]);
+            return parse_request(&head);
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 2)
+}
+
+/// An HTTP response ready to be written to a socket.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Additional headers (name, value).
+    pub headers: Vec<(&'static str, String)>,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error body `{"error": <message>}` with the given status.
+    pub fn error(status: u16, message: &str) -> HttpResponse {
+        let mut body = String::with_capacity(message.len() + 12);
+        body.push_str("{\"error\":");
+        gks_core::wire::push_json_str(&mut body, message);
+        body.push('}');
+        HttpResponse::json(status, body)
+    }
+
+    /// Adds a header, builder-style.
+    pub fn with_header(mut self, name: &'static str, value: String) -> HttpResponse {
+        self.headers.push((name, value));
+        self
+    }
+
+    /// Serializes status line, headers, and body with `Connection: close`
+    /// and an exact `Content-Length`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_line_and_params() {
+        let r = parse_request("GET /search?q=karen+mike&s=2&limit=10 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/search");
+        assert_eq!(r.param("q"), Some("karen mike"));
+        assert_eq!(r.param("s"), Some("2"));
+        assert_eq!(r.param("limit"), Some("10"));
+        assert_eq!(r.param("nope"), None);
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        let raw = "\"Peter Buneman\" & co + 100%";
+        assert_eq!(percent_decode(&percent_encode(raw)), raw);
+        assert_eq!(percent_decode("a%20b%2Bc"), "a b+c");
+        // Invalid escapes pass through instead of erroring.
+        assert_eq!(percent_decode("100%zz"), "100%zz");
+        assert_eq!(percent_decode("dangling%2"), "dangling%2");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("GET /x").is_err());
+        assert!(parse_request("GET /x SPDY/3\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        HttpResponse::json(200, "{}")
+            .with_header("x-gks-cache", "hit".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("x-gks-cache: hit\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        let r = HttpResponse::error(400, "no \"q\"");
+        assert_eq!(String::from_utf8(r.body).unwrap(), "{\"error\":\"no \\\"q\\\"\"}");
+    }
+}

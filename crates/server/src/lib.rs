@@ -1,0 +1,530 @@
+//! # gks-serve — a resident, concurrent query service over a GKS index
+//!
+//! The paper's headline claim is *interactive* keyword search: sub-second
+//! queries and a DI-driven refinement loop in which a user issues several
+//! related queries against the same corpus. That only makes sense with a
+//! long-lived index whose per-query setup cost is amortized away — so this
+//! crate keeps an [`Engine`] resident and serves it over HTTP/1.1, std-only
+//! (the workspace vendors its dependencies; the listener is a hand-rolled
+//! subset on `std::net`).
+//!
+//! Architecture, front to back:
+//!
+//! * **accept loop** — one thread accepting connections and applying
+//!   *admission control*: connections are handed to a **bounded** queue
+//!   ([`pool::BoundedQueue`]); when it is full the connection is answered
+//!   `503 + Retry-After` immediately instead of queueing unboundedly.
+//! * **worker pool** — a fixed number of threads pop connections, parse the
+//!   request ([`http`]), route it ([`ServeState::handle`]), and write the
+//!   response. Each request carries a **deadline** from the moment it was
+//!   accepted; work still pending past the deadline (including time spent
+//!   queued) is aborted with `503` and counted.
+//! * **result cache** — a sharded LRU ([`cache::ResultCache`]) keyed on the
+//!   normalized `(endpoint, query, s, limit)` tuple, storing the exact
+//!   response bytes; the deterministic wire format (`gks_core::wire`) makes
+//!   a hit byte-identical to recomputation. The cache is invalidated by
+//!   index identity ([`index_identity`]).
+//! * **metrics** — lock-free counters and a latency histogram
+//!   ([`metrics::Metrics`]) exposed at `GET /metrics`.
+//! * **graceful shutdown** — [`Server::shutdown`] stops accepting, drains
+//!   queued and in-flight requests, joins every thread, and reports totals;
+//!   the CLI wires SIGTERM/ctrl-c ([`signal`]) to it so `kill` never drops
+//!   accepted work.
+//!
+//! Endpoints: `GET /search`, `GET /suggest`, `GET /doctor`, `GET /healthz`,
+//! `GET /metrics`. See [`ServeState::handle`] for parameters.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod signal;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gks_core::di::DiOptions;
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_core::search::{SearchOptions, Threshold};
+use gks_core::wire;
+use gks_index::GksIndex;
+
+use crate::cache::ResultCache;
+use crate::error::ServeError;
+use crate::http::{HttpResponse, Request};
+use crate::metrics::{Endpoint, Metrics};
+use crate::pool::BoundedQueue;
+
+/// Server tuning knobs. `Default` matches the CLI's defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7070` (port 0 picks an ephemeral
+    /// port — used by tests).
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded queue depth between the accept loop and the workers; the
+    /// admission-control limit.
+    pub queue_depth: usize,
+    /// Per-request deadline measured from accept (queueing time included).
+    pub deadline: Duration,
+    /// Result-cache capacity in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Result-cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// `limit` applied to `/search` when the request does not pass one.
+    pub default_limit: usize,
+    /// Upper bound on the `limit` a request may ask for.
+    pub max_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_millis(2_000),
+            cache_bytes: 32 * 1024 * 1024,
+            cache_shards: 8,
+            default_limit: 20,
+            max_limit: 1_000,
+        }
+    }
+}
+
+/// A stable fingerprint of an index's identity, used to invalidate the
+/// result cache when the resident index changes. FNV-1a over the document
+/// names and the structural counts — two indexes over different corpora (or
+/// rebuilt over changed data) collide only if every one of these agrees.
+pub fn index_identity(index: &GksIndex) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for name in index.doc_names() {
+        mix(name.as_bytes());
+    }
+    let stats = index.stats();
+    for v in [
+        stats.doc_count,
+        stats.total_nodes,
+        stats.distinct_terms,
+        stats.total_postings,
+        stats.raw_bytes,
+    ] {
+        mix(&v.to_le_bytes());
+    }
+    h
+}
+
+/// Shared per-server state: the resident engine, cache, metrics, config.
+/// Routing lives here ([`ServeState::handle`]) so tests and the property
+/// suite can drive the service without sockets.
+#[derive(Debug)]
+pub struct ServeState {
+    engine: Arc<Engine>,
+    cache: ResultCache,
+    metrics: Metrics,
+    config: ServeConfig,
+    identity: u64,
+    accepted: AtomicU64,
+    served: AtomicU64,
+}
+
+impl ServeState {
+    /// Builds the state for `engine` under `config`.
+    pub fn new(engine: Arc<Engine>, config: ServeConfig) -> ServeState {
+        let identity = index_identity(engine.index());
+        let cache = ResultCache::new(config.cache_bytes, config.cache_shards, identity);
+        ServeState {
+            engine,
+            cache,
+            metrics: Metrics::default(),
+            config,
+            identity,
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Routes one parsed request. `accepted_at` anchors the per-request
+    /// deadline (time spent queued counts against the budget).
+    pub fn handle(&self, request: &Request, accepted_at: Instant) -> HttpResponse {
+        let endpoint = Endpoint::of_path(&request.path);
+        self.metrics.record_request(endpoint);
+        if request.method != "GET" {
+            return HttpResponse::error(405, "only GET is supported");
+        }
+        // The cache outlives any future index hot-swap: revalidate identity
+        // on every request (one atomic compare when unchanged).
+        self.cache.ensure_identity(self.identity);
+        match endpoint {
+            Endpoint::Healthz => HttpResponse::text(200, "ok\n"),
+            Endpoint::Metrics => {
+                let body = self.metrics.render(self.cache.stats(), self.identity);
+                HttpResponse::text(200, body)
+            }
+            Endpoint::Doctor => HttpResponse::json(200, wire::doctor_response_json(&self.engine)),
+            Endpoint::Search => self.handle_query(request, accepted_at, false),
+            Endpoint::Suggest => self.handle_query(request, accepted_at, true),
+            Endpoint::Other => HttpResponse::error(404, "unknown path"),
+        }
+    }
+
+    /// Remaining budget before `accepted_at + deadline`, or `None` if the
+    /// deadline already passed.
+    fn budget_left(&self, accepted_at: Instant) -> Option<Duration> {
+        self.config.deadline.checked_sub(accepted_at.elapsed())
+    }
+
+    fn deadline_abort(&self) -> HttpResponse {
+        self.metrics.deadline_aborts_total.fetch_add(1, Ordering::Relaxed);
+        HttpResponse::error(503, "deadline exceeded").with_header("Retry-After", "1".to_string())
+    }
+
+    /// `/search` and `/suggest` share parameter parsing and the cache path.
+    fn handle_query(&self, request: &Request, accepted_at: Instant, suggest: bool) -> HttpResponse {
+        let Some(q) = request.param("q") else {
+            return HttpResponse::error(400, "missing query parameter q");
+        };
+        let query = match Query::parse(q) {
+            Ok(query) => query,
+            Err(e) => return HttpResponse::error(400, &format!("bad query: {e}")),
+        };
+        let s_raw = request.param("s").unwrap_or("1");
+        let Some(s) = Threshold::parse(s_raw) else {
+            return HttpResponse::error(400, &format!("bad s value {s_raw:?}"));
+        };
+        let limit = match request.param("limit") {
+            None => self.config.default_limit,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => n.min(self.config.max_limit),
+                _ => return HttpResponse::error(400, &format!("bad limit value {v:?}")),
+            },
+        };
+
+        // Normalized cache key: endpoint + parsed keywords (whitespace
+        // collapsed by the parser) + s + limit. Raw spellings are kept —
+        // they are echoed in the response body, so they are part of the
+        // cached bytes' identity.
+        let mut key = String::with_capacity(q.len() + 24);
+        key.push_str(if suggest { "suggest" } else { "search" });
+        for kw in query.keywords() {
+            key.push('\u{1}');
+            key.push_str(kw.raw());
+        }
+        key.push('\u{2}');
+        key.push_str(s_raw);
+        key.push('\u{2}');
+        let _ = {
+            use std::fmt::Write as _;
+            write!(key, "{limit}")
+        };
+
+        if self.config.cache_bytes > 0 {
+            if let Some(body) = self.cache.get(&key) {
+                self.metrics.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+                return HttpResponse::json(200, body.to_vec())
+                    .with_header("x-gks-cache", "hit".to_string());
+            }
+            self.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Admission + queueing may already have consumed the budget; do not
+        // start a search we are not allowed to finish.
+        if self.budget_left(accepted_at).is_none() {
+            return self.deadline_abort();
+        }
+        let options = SearchOptions { s, limit };
+        let response = match self.engine.search(&query, options) {
+            Ok(r) => r,
+            Err(e) => return HttpResponse::error(400, &format!("search failed: {e}")),
+        };
+        // The deadline gates result *rendering*: a search that returns with
+        // an exhausted budget is aborted before serialization (rendering
+        // ranks, paths, and attributes dominates for large limits).
+        if self.budget_left(accepted_at).is_none() {
+            return self.deadline_abort();
+        }
+        let body = if suggest {
+            let di = self.engine.discover_di(&response, &DiOptions::default());
+            let refinement = self.engine.refine(&response, &di);
+            wire::suggest_response_json(&response, &refinement, &di)
+        } else {
+            wire::search_response_json(&self.engine, &response)
+        };
+        if self.budget_left(accepted_at).is_none() {
+            return self.deadline_abort();
+        }
+        if self.config.cache_bytes > 0 {
+            self.cache.put(key, Arc::from(body.as_bytes()));
+        }
+        HttpResponse::json(200, body).with_header("x-gks-cache", "miss".to_string())
+    }
+}
+
+/// Totals reported by [`Server::shutdown`] after the drain completes.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Requests fully served (a response was written).
+    pub served: u64,
+    /// Connections rejected by admission control.
+    pub rejected: u64,
+}
+
+type Job = (TcpStream, Instant);
+
+/// A running server: accept thread + worker pool over a [`ServeState`].
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+    queue: Arc<BoundedQueue<Job>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds `config.addr` and spawns the accept loop and worker pool. The
+/// returned [`Server`] is live until [`Server::shutdown`].
+pub fn serve(engine: Arc<Engine>, config: ServeConfig) -> Result<Server, ServeError> {
+    if config.workers == 0 {
+        return Err(ServeError::BadConfig("workers must be > 0".into()));
+    }
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServeError::Bind { addr: config.addr.clone(), source: e })?;
+    let addr = listener.local_addr().map_err(ServeError::Io)?;
+    let state = Arc::new(ServeState::new(engine, config.clone()));
+    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_depth));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("gks-accept".to_string())
+            .spawn(move || accept_loop(&listener, &state, &queue, &stop))
+            .map_err(ServeError::Io)?
+    };
+    let workers = (0..config.workers)
+        .map(|i| {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("gks-worker-{i}"))
+                .spawn(move || worker_loop(&state, &queue))
+                .map_err(ServeError::Io)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(Server { state, addr, queue, stop, acceptor: Some(acceptor), workers })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &ServeState,
+    queue: &BoundedQueue<Job>,
+    stop: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break; // the shutdown poke connection lands here too
+        }
+        let Ok(stream) = stream else { continue };
+        state.accepted.fetch_add(1, Ordering::Relaxed);
+        let accepted_at = Instant::now();
+        if let Err((stream, _)) = queue.try_push((stream, accepted_at)) {
+            // Admission reject: answer 503 without occupying a worker. The
+            // short write timeout keeps a slow client from stalling accepts.
+            state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+            let _ = HttpResponse::error(503, "server overloaded, retry shortly")
+                .with_header("Retry-After", "1".to_string())
+                .write_to(&mut stream);
+        }
+    }
+}
+
+fn worker_loop(state: &ServeState, queue: &BoundedQueue<Job>) {
+    while let Some((mut stream, accepted_at)) = queue.pop() {
+        state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(state.config.deadline));
+        let _ = stream.set_write_timeout(Some(state.config.deadline));
+        let _ = stream.set_nodelay(true);
+        let response = match http::read_request(&mut stream) {
+            Ok(request) => state.handle(&request, accepted_at),
+            Err(http::HttpError::TooLarge) => HttpResponse::error(400, "request too large"),
+            Err(e) => HttpResponse::error(400, &format!("{e}")),
+        };
+        let micros = u64::try_from(accepted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        state.metrics.record_status(response.status);
+        state.metrics.latency.record(micros);
+        let response = response.with_header("x-gks-micros", micros.to_string());
+        if response.write_to(&mut stream).is_ok() {
+            state.served.fetch_add(1, Ordering::Relaxed);
+        }
+        state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Server {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (metrics, cache) — e.g. for in-process inspection.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join all threads, and report totals. Idempotent by
+    /// construction (consumes the server).
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // No more admissions; release workers once the backlog drains.
+        self.queue.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        DrainReport {
+            accepted: self.state.accepted.load(Ordering::Relaxed),
+            served: self.state.served.load(Ordering::Relaxed),
+            rejected: self.state.metrics.rejected_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_index::{Corpus, IndexOptions};
+
+    fn small_engine() -> Arc<Engine> {
+        let xml = "<dblp>\
+            <article><title>Generic Keyword Search</title>\
+                <author>Manoj Agarwal</author><author>Krithi Ramamritham</author>\
+                <year>2016</year></article>\
+            <article><title>Holistic Twig Joins</title>\
+                <author>Nicolas Bruno</author><author>Divesh Srivastava</author>\
+                <year>2002</year></article>\
+        </dblp>";
+        let corpus = Corpus::from_named_strs([("dblp", xml)]).unwrap();
+        Arc::new(Engine::build(&corpus, IndexOptions::default()).unwrap())
+    }
+
+    fn get(state: &ServeState, target: &str) -> HttpResponse {
+        let request = http::parse_request(&format!("GET {target} HTTP/1.1\r\n\r\n")).unwrap();
+        state.handle(&request, Instant::now())
+    }
+
+    #[test]
+    fn routes_and_shapes() {
+        let state = ServeState::new(small_engine(), ServeConfig::default());
+        assert_eq!(get(&state, "/healthz").status, 200);
+        assert_eq!(get(&state, "/nope").status, 404);
+
+        let search = get(&state, "/search?q=keyword+search&s=2");
+        assert_eq!(search.status, 200);
+        let body = String::from_utf8(search.body).unwrap();
+        assert!(body.starts_with("{\"query\":[\"keyword\",\"search\"]"), "{body}");
+
+        let suggest = get(&state, "/suggest?q=agarwal");
+        assert_eq!(suggest.status, 200);
+        assert!(String::from_utf8(suggest.body).unwrap().contains("\"sub_queries\""));
+
+        let doctor = get(&state, "/doctor");
+        assert!(String::from_utf8(doctor.body).unwrap().contains("\"healthy\":true"));
+
+        let metrics = get(&state, "/metrics");
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(metrics::metric_value(&text, "gks_requests_total").unwrap() >= 4);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let state = ServeState::new(small_engine(), ServeConfig::default());
+        assert_eq!(get(&state, "/search").status, 400, "missing q");
+        assert_eq!(get(&state, "/search?q=x&s=zero").status, 400, "bad s");
+        assert_eq!(get(&state, "/search?q=x&limit=wat").status, 400, "bad limit");
+        assert_eq!(get(&state, "/search?q=%22unclosed").status, 400, "unclosed phrase");
+        let request = http::parse_request("POST /search?q=x HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(state.handle(&request, Instant::now()).status, 405);
+    }
+
+    #[test]
+    fn cache_hits_return_identical_bytes() {
+        let state = ServeState::new(small_engine(), ServeConfig::default());
+        let first = get(&state, "/search?q=twig&s=1");
+        let second = get(&state, "/search?q=twig&s=1");
+        assert_eq!(first.body, second.body);
+        let hdr = |r: &HttpResponse| {
+            r.headers.iter().find(|(k, _)| *k == "x-gks-cache").map(|(_, v)| v.clone())
+        };
+        assert_eq!(hdr(&first).as_deref(), Some("miss"));
+        assert_eq!(hdr(&second).as_deref(), Some("hit"));
+        assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);
+        assert_eq!(state.metrics.cache_misses_total.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_deadline_aborts() {
+        let config = ServeConfig { deadline: Duration::from_nanos(0), ..Default::default() };
+        let state = ServeState::new(small_engine(), config);
+        let response = get(&state, "/search?q=twig");
+        assert_eq!(response.status, 503);
+        assert_eq!(state.metrics.deadline_aborts_total.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn identity_differs_across_corpora() {
+        let other = {
+            let corpus = Corpus::from_named_strs([("x", "<r><a>hi</a><a>ho</a></r>")]).unwrap();
+            Arc::new(Engine::build(&corpus, IndexOptions::default()).unwrap())
+        };
+        assert_ne!(index_identity(small_engine().index()), index_identity(other.index()),);
+    }
+}

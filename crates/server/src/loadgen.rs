@@ -1,0 +1,344 @@
+//! Closed-loop load generator for a running `gks serve` instance.
+//!
+//! `--clients N` threads each issue requests back-to-back (closed loop: a
+//! client waits for its response before sending the next), sampling queries
+//! from a workload file under a Zipf-like skew — a small set of hot queries
+//! dominates, which is both how real query logs behave and what exercises
+//! the result cache. The report aggregates status classes, cache hits
+//! observed via the `x-gks-cache` header, sustained QPS, and latency
+//! percentiles computed exactly from the recorded samples.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::client::http_get;
+use crate::http::percent_encode;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address to target.
+    pub addr: SocketAddr,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Zipf skew exponent; 0 = uniform, ~1 = classic web-query skew.
+    pub zipf_s: f64,
+    /// RNG seed (deterministic workloads for repeatable runs).
+    pub seed: u64,
+    /// Per-request client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7070)),
+            clients: 8,
+            requests_per_client: 50,
+            zipf_s: 1.0,
+            seed: 0x6b73_6721,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One workload entry: a query string plus its `s` threshold spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadEntry {
+    /// Raw keyword query, e.g. `agarwal keyword search`.
+    pub query: String,
+    /// Threshold spelling passed through as `?s=` (`all`, `half`, or an int).
+    pub s: String,
+}
+
+/// Parses a workload file: one query per line, optional `<TAB>s-value`
+/// suffix; blank lines and `#` comments skipped.
+pub fn parse_workload(text: &str) -> Vec<WorkloadEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| match line.split_once('\t') {
+            Some((query, s)) => {
+                WorkloadEntry { query: query.trim().to_string(), s: s.trim().to_string() }
+            }
+            None => WorkloadEntry { query: line.to_string(), s: "1".to_string() },
+        })
+        .collect()
+}
+
+/// Aggregated results of a load-generation run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests attempted across all clients.
+    pub total: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 4xx responses.
+    pub client_errors: u64,
+    /// 5xx responses (admission rejects + deadline aborts).
+    pub server_errors: u64,
+    /// Transport failures (connect/read errors, timeouts).
+    pub transport_errors: u64,
+    /// Responses carrying `x-gks-cache: hit`.
+    pub cache_hits: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Sorted end-to-end latencies (µs) of completed requests.
+    pub latencies_micros: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Sustained throughput over the run.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total as f64 / secs
+    }
+
+    /// Cache hit rate over completed (non-transport-error) requests.
+    pub fn hit_rate(&self) -> f64 {
+        let completed = self.ok + self.client_errors + self.server_errors;
+        if completed == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / completed as f64
+    }
+
+    /// Exact `q`-quantile (0 < q ≤ 1) of the recorded latencies, in µs.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.latencies_micros.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_micros.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_micros[rank - 1]
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "requests          {}", self.total);
+        let _ = writeln!(out, "  2xx             {}", self.ok);
+        let _ = writeln!(out, "  4xx             {}", self.client_errors);
+        let _ = writeln!(out, "  5xx             {}", self.server_errors);
+        let _ = writeln!(out, "  transport-errs  {}", self.transport_errors);
+        let _ = writeln!(
+            out,
+            "cache hits        {} ({:.1}%)",
+            self.cache_hits,
+            self.hit_rate() * 100.0
+        );
+        let _ = writeln!(out, "elapsed           {:.3}s", self.elapsed.as_secs_f64());
+        let _ = writeln!(out, "throughput        {:.1} qps", self.qps());
+        for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let _ = writeln!(out, "latency {label}       {}us", self.percentile(q));
+        }
+        out
+    }
+}
+
+/// SplitMix64 — tiny deterministic PRNG for query sampling; no external
+/// crates and stable across platforms.
+#[derive(Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf sampler over ranks `0..n` via inverse-CDF on precomputed cumulative
+/// weights (`weight(rank) = 1 / (rank+1)^s`). O(log n) per sample.
+#[derive(Debug)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s` (`s = 0` → uniform).
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        let n = n.max(1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let total = self.cumulative[self.cumulative.len() - 1];
+        let target = rng.next_f64() * total;
+        // First rank whose cumulative weight exceeds the target.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SharedTallies {
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    transport_errors: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+/// Runs the closed loop: `config.clients` threads × `requests_per_client`
+/// requests sampled from `workload`, against `config.addr`. Blocks until
+/// every client finishes.
+pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
+    let entries: Arc<Vec<WorkloadEntry>> = Arc::new(if workload.is_empty() {
+        vec![WorkloadEntry { query: "keyword".to_string(), s: "1".to_string() }]
+    } else {
+        workload.to_vec()
+    });
+    let tallies = Arc::new(SharedTallies::default());
+    let started = Instant::now();
+    let handles: Vec<_> = (0..config.clients.max(1))
+        .map(|client_id| {
+            let entries = Arc::clone(&entries);
+            let tallies = Arc::clone(&tallies);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64(config.seed ^ (client_id as u64).wrapping_mul(0x9e37));
+                let sampler = ZipfSampler::new(entries.len(), config.zipf_s);
+                let mut latencies = Vec::with_capacity(config.requests_per_client);
+                for _ in 0..config.requests_per_client {
+                    let entry = &entries[sampler.sample(&mut rng)];
+                    let target = format!(
+                        "/search?q={}&s={}",
+                        percent_encode(&entry.query),
+                        percent_encode(&entry.s)
+                    );
+                    let sent = Instant::now();
+                    match http_get(config.addr, &target, config.timeout) {
+                        Ok(response) => {
+                            let micros =
+                                u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            latencies.push(micros);
+                            let counter = match response.status {
+                                200..=299 => &tallies.ok,
+                                400..=499 => &tallies.client_errors,
+                                _ => &tallies.server_errors,
+                            };
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            if response.header("x-gks-cache") == Some("hit") {
+                                tallies.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            tallies.transport_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies_micros = Vec::new();
+    for handle in handles {
+        if let Ok(mut thread_latencies) = handle.join() {
+            latencies_micros.append(&mut thread_latencies);
+        }
+    }
+    latencies_micros.sort_unstable();
+    let elapsed = started.elapsed();
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let total = (config.clients.max(1) * config.requests_per_client) as u64;
+    LoadReport {
+        total,
+        ok: load(&tallies.ok),
+        client_errors: load(&tallies.client_errors),
+        server_errors: load(&tallies.server_errors),
+        transport_errors: load(&tallies.transport_errors),
+        cache_hits: load(&tallies.cache_hits),
+        elapsed,
+        latencies_micros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_parsing() {
+        let entries =
+            parse_workload("# comment\nkeyword search\t2\n\nagarwal\n  twig joins \thalf\n");
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0], WorkloadEntry { query: "keyword search".into(), s: "2".into() });
+        assert_eq!(entries[1], WorkloadEntry { query: "agarwal".into(), s: "1".into() });
+        assert_eq!(entries[2], WorkloadEntry { query: "twig joins".into(), s: "half".into() });
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut rng = SplitMix64(7);
+        let mut head = 0u32;
+        const DRAWS: u32 = 2_000;
+        for _ in 0..DRAWS {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 over 100 ranks, the top 10 carry well over half the
+        // mass; uniform sampling would put only ~10% there.
+        assert!(head > DRAWS / 2, "head draws {head} of {DRAWS}");
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = SplitMix64(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "uniform bucket way off: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_over_samples() {
+        let report = LoadReport {
+            total: 4,
+            ok: 4,
+            client_errors: 0,
+            server_errors: 0,
+            transport_errors: 0,
+            cache_hits: 2,
+            elapsed: Duration::from_secs(2),
+            latencies_micros: vec![10, 20, 30, 40],
+        };
+        assert_eq!(report.percentile(0.5), 20);
+        assert_eq!(report.percentile(0.99), 40);
+        assert_eq!(report.qps(), 2.0);
+        assert!((report.hit_rate() - 0.5).abs() < 1e-9);
+        assert!(report.render().contains("throughput"));
+    }
+}

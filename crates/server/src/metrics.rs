@@ -1,0 +1,292 @@
+//! Atomic service counters and a fixed-bucket latency histogram, rendered
+//! as a Prometheus-style `text/plain` exposition on `GET /metrics`.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — the counters
+//! are statistics, not synchronization), so recording adds nanoseconds to
+//! the request path. Quantiles are derived from the histogram's cumulative
+//! counts: the reported value is the upper bound of the bucket containing
+//! the target rank, i.e. an over-estimate by at most one bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::CacheStats;
+
+/// Upper bounds (µs) of the latency histogram buckets; a final overflow
+/// bucket catches everything slower than the last bound.
+pub const LATENCY_BOUNDS_MICROS: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// The endpoints the service distinguishes in its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /search`
+    Search,
+    /// `GET /suggest`
+    Suggest,
+    /// `GET /doctor`
+    Doctor,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, bad paths).
+    Other,
+}
+
+impl Endpoint {
+    /// Classifies a request path.
+    pub fn of_path(path: &str) -> Endpoint {
+        match path {
+            "/search" => Endpoint::Search,
+            "/suggest" => Endpoint::Suggest,
+            "/doctor" => Endpoint::Doctor,
+            "/healthz" => Endpoint::Healthz,
+            "/metrics" => Endpoint::Metrics,
+            _ => Endpoint::Other,
+        }
+    }
+
+    const ALL: [Endpoint; 6] = [
+        Endpoint::Search,
+        Endpoint::Suggest,
+        Endpoint::Doctor,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Search => "search",
+            Endpoint::Suggest => "suggest",
+            Endpoint::Doctor => "doctor",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Search => 0,
+            Endpoint::Suggest => 1,
+            Endpoint::Doctor => 2,
+            Endpoint::Healthz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+/// Fixed-bucket latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_MICROS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        let idx = LATENCY_BOUNDS_MICROS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BOUNDS_MICROS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (µs).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket holding
+    /// the target rank. Observations past the last bound report that bound
+    /// (the histogram cannot resolve further). Returns 0 with no data.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return LATENCY_BOUNDS_MICROS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(LATENCY_BOUNDS_MICROS[LATENCY_BOUNDS_MICROS.len() - 1]);
+            }
+        }
+        LATENCY_BOUNDS_MICROS[LATENCY_BOUNDS_MICROS.len() - 1]
+    }
+}
+
+/// All service counters. Every field is monotonically non-decreasing except
+/// `in_flight` (a gauge).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully parsed and routed (rejected connections excluded).
+    pub requests_total: AtomicU64,
+    /// Per-endpoint request counts.
+    pub by_endpoint: [AtomicU64; 6],
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (bad query, unknown path).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (overload inside a worker, deadline aborts).
+    pub responses_5xx: AtomicU64,
+    /// Connections rejected at admission (queue full) with 503.
+    pub rejected_total: AtomicU64,
+    /// Requests aborted because the per-request deadline expired.
+    pub deadline_aborts_total: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits_total: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses_total: AtomicU64,
+    /// Requests currently being processed by workers (gauge).
+    pub in_flight: AtomicU64,
+    /// End-to-end request latency (accept → response written), µs.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Bumps the counter for one routed request on `endpoint`.
+    pub fn record_request(&self, endpoint: Endpoint) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.by_endpoint[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Classifies a response status into its class counter.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus-style exposition, folding in cache occupancy
+    /// and the index identity the service is bound to.
+    pub fn render(&self, cache: CacheStats, index_identity: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let _ = writeln!(out, "gks_requests_total {}", load(&self.requests_total));
+        for endpoint in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "gks_requests{{endpoint=\"{}\"}} {}",
+                endpoint.label(),
+                load(&self.by_endpoint[endpoint.index()])
+            );
+        }
+        let _ = writeln!(out, "gks_responses{{class=\"2xx\"}} {}", load(&self.responses_2xx));
+        let _ = writeln!(out, "gks_responses{{class=\"4xx\"}} {}", load(&self.responses_4xx));
+        let _ = writeln!(out, "gks_responses{{class=\"5xx\"}} {}", load(&self.responses_5xx));
+        let _ = writeln!(out, "gks_rejected_total {}", load(&self.rejected_total));
+        let _ = writeln!(out, "gks_deadline_aborts_total {}", load(&self.deadline_aborts_total));
+        let _ = writeln!(out, "gks_cache_hits_total {}", load(&self.cache_hits_total));
+        let _ = writeln!(out, "gks_cache_misses_total {}", load(&self.cache_misses_total));
+        let _ = writeln!(out, "gks_cache_entries {}", cache.entries);
+        let _ = writeln!(out, "gks_cache_bytes {}", cache.bytes);
+        let _ = writeln!(out, "gks_cache_capacity_bytes {}", cache.capacity);
+        let _ = writeln!(out, "gks_in_flight {}", load(&self.in_flight));
+        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "gks_latency_micros{{quantile=\"{label}\"}} {}",
+                self.latency.quantile(q)
+            );
+        }
+        let _ = writeln!(out, "gks_latency_micros_sum {}", self.latency.sum());
+        let _ = writeln!(out, "gks_latency_micros_count {}", self.latency.count());
+        let _ = writeln!(out, "gks_index_identity {index_identity}");
+        out
+    }
+}
+
+/// Extracts the value of a metric line (`name value` or `name{…} value`)
+/// from a rendered exposition. Used by the load generator and tests to read
+/// hit rates back without a metrics client.
+pub fn metric_value(exposition: &str, name: &str) -> Option<u64> {
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix(name) else {
+            continue;
+        };
+        // Exact name match: next char must be a space (plain counter) only —
+        // `gks_requests` must not match `gks_requests_total` or a labeled
+        // variant unless the caller included the label block in `name`.
+        if let Some(value) = rest.strip_prefix(' ') {
+            return value.trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for micros in [10, 20, 30, 40, 60, 80, 120, 300, 700, 1500] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 2860);
+        // p50 → 5th observation (60µs) lands in the ≤100 bucket.
+        assert_eq!(h.quantile(0.5), 100);
+        // p99 → 10th observation (1500µs) lands in the ≤2500 bucket.
+        assert_eq!(h.quantile(0.99), 2_500);
+        assert_eq!(h.quantile(0.1), 50);
+    }
+
+    #[test]
+    fn histogram_overflow_reports_last_bound() {
+        let h = LatencyHistogram::default();
+        h.record(10_000_000);
+        assert_eq!(h.quantile(0.5), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let m = Metrics::default();
+        m.record_request(Endpoint::Search);
+        m.record_request(Endpoint::Search);
+        m.record_request(Endpoint::Healthz);
+        m.record_status(200);
+        m.record_status(400);
+        m.cache_hits_total.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(120);
+        let cache = CacheStats { entries: 2, bytes: 400, capacity: 1000 };
+        let text = m.render(cache, 42);
+        assert_eq!(metric_value(&text, "gks_requests_total"), Some(3));
+        assert_eq!(metric_value(&text, "gks_requests{endpoint=\"search\"}"), Some(2));
+        assert_eq!(metric_value(&text, "gks_responses{class=\"2xx\"}"), Some(1));
+        assert_eq!(metric_value(&text, "gks_cache_hits_total"), Some(3));
+        assert_eq!(metric_value(&text, "gks_cache_entries"), Some(2));
+        assert_eq!(metric_value(&text, "gks_latency_micros_count"), Some(1));
+        assert_eq!(metric_value(&text, "gks_index_identity"), Some(42));
+        assert_eq!(metric_value(&text, "gks_nope"), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! A bounded MPMC job queue for the worker pool.
+//!
+//! Admission control lives here: [`BoundedQueue::try_push`] never blocks and
+//! fails immediately when the queue is at capacity, so the accept loop can
+//! turn overload into a fast `503 + Retry-After` instead of queueing
+//! unboundedly (and eventually OOMing) or blocking the listener.
+//!
+//! Shutdown is drain-style: after [`BoundedQueue::shutdown`], pushes fail
+//! but [`BoundedQueue::pop`] keeps returning queued jobs until the queue is
+//! empty, then returns `None` — workers finish accepted work before exiting.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A fixed-capacity FIFO shared between the accept loop and the workers.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+fn lock<T>(m: &Mutex<State<T>>) -> MutexGuard<'_, State<T>> {
+    // Poison only means another thread panicked while holding the lock; the
+    // queue of sockets is still structurally sound, so continue draining.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item` without blocking. Returns it back when the queue is
+    /// full (admission reject) or shutting down.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = lock(&self.state);
+        if state.shutdown || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is both
+    /// shut down and empty (returning `None` — the worker should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admissions and wakes every blocked consumer; already-queued
+    /// items remain poppable (drain semantics).
+    pub fn shutdown(&self) {
+        lock(&self.state).shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "third push must be rejected");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed by pop");
+    }
+
+    #[test]
+    fn drains_after_shutdown() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).ok();
+        q.try_push(2).ok();
+        q.shutdown();
+        assert_eq!(q.try_push(3), Err(3), "no admissions after shutdown");
+        assert_eq!(q.pop(), Some(1), "queued work still drains");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "then workers are released");
+    }
+
+    #[test]
+    fn unblocks_waiting_consumers_on_shutdown() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn producers_and_consumers_agree_on_totals() {
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(16));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let mut pushed = 0u64;
+        for v in 1..=200u64 {
+            let mut item = v;
+            loop {
+                match q.try_push(item) {
+                    Ok(()) => {
+                        pushed += v;
+                        break;
+                    }
+                    Err(back) => {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        q.shutdown();
+        let consumed: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(consumed, pushed);
+    }
+}

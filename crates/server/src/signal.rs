@@ -1,0 +1,82 @@
+//! SIGTERM / SIGINT → a process-wide shutdown flag.
+//!
+//! The standard library exposes no signal API, and the workspace is
+//! offline-only (no `signal-hook`/`libc` crates), so on Unix this module
+//! registers a minimal handler through the C `signal(2)` symbol that std
+//! already links against. The handler body is async-signal-safe: it only
+//! stores to an atomic. Non-Unix builds compile to a flag that never fires
+//! (callers fall back to ctrl-c terminating the process).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been observed since
+/// [`install_shutdown_handler`] ran.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Test/embedding hook: raise (or clear) the flag without a real signal.
+pub fn request_shutdown(value: bool) {
+    SHUTDOWN.store(value, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        // `signal(2)`: returns the previous handler; the pointer-sized
+        // return is declared as usize since we never inspect it.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Registers the handler for SIGINT and SIGTERM; always succeeds here.
+    pub fn install() -> bool {
+        // SAFETY: `signal` is the C library's own registration call; the
+        // handler is a plain fn pointer that performs one atomic store.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        true
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal support off Unix; reports that nothing was installed.
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Registers SIGINT/SIGTERM handlers that set the shutdown flag. Returns
+/// `false` on platforms without signal support (the flag then only changes
+/// via [`request_shutdown`]). Safe to call more than once.
+pub fn install_shutdown_handler() -> bool {
+    imp::install()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        request_shutdown(false);
+        assert!(!shutdown_requested());
+        request_shutdown(true);
+        assert!(shutdown_requested());
+        request_shutdown(false);
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end smoke tests over a real in-process server: concurrent load
+//! through actual sockets, admission-control overload behaviour, and a
+//! clean drain. This is the test the CI serve-smoke job mirrors with curl.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gks_core::engine::Engine;
+use gks_index::{Corpus, IndexOptions};
+use gks_server::client::http_get;
+use gks_server::loadgen::{self, LoadgenConfig, WorkloadEntry};
+use gks_server::metrics::metric_value;
+use gks_server::{serve, ServeConfig};
+
+fn dblp_engine() -> Arc<Engine> {
+    let xml = gks_datagen::Dataset::Dblp.generate(300, 2016);
+    let corpus = Corpus::from_named_strs([("dblp", xml)]).unwrap();
+    Arc::new(Engine::build(&corpus, IndexOptions::default()).unwrap())
+}
+
+fn ephemeral_config() -> ServeConfig {
+    ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() }
+}
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+#[test]
+fn concurrent_load_is_clean_and_drains() {
+    let server = serve(dblp_engine(), ephemeral_config()).unwrap();
+    let addr = server.local_addr();
+
+    // A skewed workload: a few hot queries dominate, so the LRU cache
+    // must produce a majority of hits (the ISSUE's acceptance bar).
+    let workload: Vec<WorkloadEntry> = [
+        ("keyword search", "1"),
+        ("xml data", "2"),
+        ("query processing", "1"),
+        ("agarwal", "1"),
+        ("database systems", "half"),
+        ("index structures", "1"),
+        ("information retrieval", "2"),
+        ("semistructured", "1"),
+    ]
+    .iter()
+    .map(|(q, s)| WorkloadEntry { query: (*q).to_string(), s: (*s).to_string() })
+    .collect();
+
+    let config = LoadgenConfig {
+        addr,
+        clients: 8,
+        requests_per_client: 50,
+        zipf_s: 1.1,
+        seed: 42,
+        timeout: TIMEOUT,
+    };
+    let report = loadgen::run(&config, &workload);
+
+    assert_eq!(report.total, 400);
+    assert_eq!(report.transport_errors, 0, "no dropped connections under load");
+    assert_eq!(report.server_errors, 0, "no unexpected 5xx: {report:?}");
+    assert_eq!(report.client_errors, 0, "workload queries are all valid");
+    assert_eq!(report.ok, 400);
+    assert!(
+        report.hit_rate() > 0.5,
+        "zipf-skewed workload must be >50% cache hits, got {:.2}",
+        report.hit_rate()
+    );
+    assert!(report.percentile(0.99) > 0, "latencies were recorded");
+
+    // Metrics surface agrees with the client-side tally and is monotonic.
+    let text = http_get(addr, "/metrics", TIMEOUT).unwrap().body_text();
+    let searches = metric_value(&text, "gks_requests{endpoint=\"search\"}").unwrap();
+    assert_eq!(searches, 400);
+    let hits = metric_value(&text, "gks_cache_hits_total").unwrap();
+    let misses = metric_value(&text, "gks_cache_misses_total").unwrap();
+    assert_eq!(hits, report.cache_hits);
+    assert_eq!(hits + misses, 400);
+    assert_eq!(metric_value(&text, "gks_responses{class=\"5xx\"}"), Some(0));
+    assert!(metric_value(&text, "gks_latency_micros_count").unwrap() >= 400);
+
+    let later = http_get(addr, "/metrics", TIMEOUT).unwrap().body_text();
+    let total_before = metric_value(&text, "gks_requests_total").unwrap();
+    let total_after = metric_value(&later, "gks_requests_total").unwrap();
+    assert!(total_after > total_before, "counters only move forward");
+
+    let report = server.shutdown();
+    assert!(report.accepted >= 402, "400 queries + 2 metrics scrapes");
+    assert_eq!(report.rejected, 0);
+    assert!(report.served >= 402);
+}
+
+#[test]
+fn overload_rejects_with_503_and_retry_after() {
+    // One slow-to-start worker and a tiny queue: a burst of idle
+    // connections (we never send the request bytes) wedges the pool, so
+    // later arrivals must be turned away at admission, not queued forever.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = serve(dblp_engine(), config).unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the worker and the queue slot with connections that stall in
+    // read_request until the server's read timeout fires.
+    let stalled: Vec<_> = (0..2)
+        .map(|_| std::net::TcpStream::connect_timeout(&addr, TIMEOUT).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut rejected = 0;
+    for _ in 0..10 {
+        if let Ok(response) = http_get(addr, "/healthz", TIMEOUT) {
+            if response.status == 503 {
+                assert_eq!(response.header("retry-after"), Some("1"));
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "admission control must shed load");
+    drop(stalled);
+
+    // Once the stall clears, service recovers.
+    std::thread::sleep(Duration::from_millis(400));
+    let ok = (0..10).any(|_| {
+        std::thread::sleep(Duration::from_millis(100));
+        http_get(addr, "/healthz", TIMEOUT).is_ok_and(|r| r.status == 200)
+    });
+    assert!(ok, "server must recover after overload");
+
+    let report = server.shutdown();
+    assert!(report.rejected >= rejected, "rejects show up in the drain report");
+}
+
+#[test]
+fn doctor_and_suggest_round_trip_over_sockets() {
+    let server = serve(dblp_engine(), ephemeral_config()).unwrap();
+    let addr = server.local_addr();
+
+    let doctor = http_get(addr, "/doctor", TIMEOUT).unwrap();
+    assert_eq!(doctor.status, 200);
+    assert!(doctor.body_text().contains("\"healthy\":true"), "{}", doctor.body_text());
+
+    let suggest = http_get(addr, "/suggest?q=keyword+zzznothing", TIMEOUT).unwrap();
+    assert_eq!(suggest.status, 200);
+    assert!(
+        suggest.body_text().contains("\"unmatched\":[\"zzznothing\"]"),
+        "{}",
+        suggest.body_text()
+    );
+
+    let bad = http_get(addr, "/search?q=x&limit=nope", TIMEOUT).unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.header("x-gks-micros").is_some(), "even errors report timing");
+
+    server.shutdown();
+}

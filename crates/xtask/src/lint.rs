@@ -28,15 +28,27 @@ use std::process::ExitCode;
 use crate::allow::Allowlist;
 use crate::scan::{scan_file, Line};
 
-/// Crates whose `src/` must be panic-free.
-const PANIC_FREE: &[&str] = &["xml", "dewey", "text", "index", "core"];
-/// Crates checked for truncating casts on Dewey component types.
+/// Crates whose `src/` must be panic-free. The server joins the list: a
+/// panicking worker thread silently shrinks the pool.
+const PANIC_FREE: &[&str] = &["xml", "dewey", "text", "index", "core", "server"];
+/// Crates checked for truncating casts on Dewey component types. The server
+/// is deliberately absent: its sources mention `doctor`, which the `doc`
+/// marker would false-positive on, and it never manipulates raw Dewey steps.
 const CAST_CHECKED: &[&str] = &["dewey", "index", "core"];
 /// Crates whose public functions must be documented.
-const DOC_REQUIRED: &[&str] = &["core", "index"];
+const DOC_REQUIRED: &[&str] = &["core", "index", "server"];
 /// Crates scanned for `process::exit` (everything buildable except `cli`).
-const EXIT_CHECKED: &[&str] =
-    &["xml", "dewey", "text", "index", "core", "baselines", "datagen", "bench"];
+const EXIT_CHECKED: &[&str] = &[
+    "xml",
+    "dewey",
+    "text",
+    "index",
+    "core",
+    "baselines",
+    "datagen",
+    "bench",
+    "server",
+];
 
 /// A single diagnostic.
 #[derive(Debug)]
@@ -45,6 +57,20 @@ struct Violation {
     line: usize,
     rule: &'static str,
     message: String,
+}
+
+/// Prints which crates each rule covers (`cargo xtask lint --crates`), one
+/// `rule: crate crate …` line per rule. CI greps this to assert new crates
+/// actually joined the scanned set instead of trusting the docs.
+pub fn print_coverage() {
+    for (rule, crates) in [
+        ("no-panic", PANIC_FREE),
+        ("no-truncating-cast", CAST_CHECKED),
+        ("pub-fn-docs", DOC_REQUIRED),
+        ("no-process-exit", EXIT_CHECKED),
+    ] {
+        println!("{rule}: {}", crates.join(" "));
+    }
 }
 
 /// Runs every rule; returns the process exit code.

@@ -24,6 +24,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
+            if args.iter().any(|a| a == "--crates") {
+                lint::print_coverage();
+                return ExitCode::SUCCESS;
+            }
             let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
             lint::run(&workspace_root(), verbose)
         }
@@ -47,6 +51,7 @@ fn print_usage() {
            lint [--verbose]   run the GKS lint rules (no-panic, no-truncating-cast,\n\
                               pub-fn-docs, no-process-exit) over the workspace;\n\
                               allowlist lives in crates/xtask/lint-allow.toml\n\
+           lint --crates      print which crates each rule covers and exit\n\
            help               show this message"
     );
 }

@@ -34,13 +34,16 @@
 //! * [`index`] — node categorization and the GKS indexes,
 //! * [`core`] — search, ranking, DI discovery, query refinement,
 //! * [`baselines`] — SLCA / ELCA / naïve-GKS reference algorithms,
-//! * [`datagen`] — synthetic corpora mirroring the paper's datasets.
+//! * [`datagen`] — synthetic corpora mirroring the paper's datasets,
+//! * [`server`] — the resident HTTP query service (`gks serve`) and its
+//!   closed-loop load generator.
 
 pub use gks_baselines as baselines;
 pub use gks_core as core;
 pub use gks_datagen as datagen;
 pub use gks_dewey as dewey;
 pub use gks_index as index;
+pub use gks_server as server;
 pub use gks_text as text;
 pub use gks_xml as xml;
 
