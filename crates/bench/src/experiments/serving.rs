@@ -3,26 +3,43 @@
 //! pool, result cache) is driven by the closed-loop load generator at
 //! growing client counts over a Zipf-skewed workload — the regime the
 //! refinement loop of §6 creates, where a few hot queries repeat. Reported:
-//! sustained QPS, latency percentiles, and the cache hit rate that makes
-//! the repeats cheap.
+//! sustained QPS, latency percentiles, the cache hit rate that makes the
+//! repeats cheap, and the server-side per-phase p50s from the `gks-trace`
+//! span histograms.
+//!
+//! Two observability sections follow the scaling table:
+//!
+//! * **tracing overhead** — the same fixed workload with the tracer
+//!   disabled (control) and enabled; the acceptance bar is an enabled QPS
+//!   within 2% of the control.
+//! * **per-phase breakdown** — the Table-6-style DBLP queries run directly
+//!   against the engine with tracing on, reporting where each query's time
+//!   goes (parse / postings / sweep / rank / di). This is the measured
+//!   table DESIGN.md's observability section and docs/ANALYSIS.md cite.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use gks_server::loadgen::{self, LoadgenConfig, WorkloadEntry};
+use gks_server::loadgen::{self, LoadgenConfig, Pacing, WorkloadEntry};
 use gks_server::{serve, ServeConfig};
+use gks_trace::SpanKind;
 
 use crate::table::TextTable;
-use crate::workloads::nasa_engine;
+use crate::workloads::{dblp_workload, nasa_engine};
 
-/// Runs the experiment.
-pub fn run() -> String {
-    let (engine, names) = nasa_engine(2000, 2016);
-    let engine = Arc::new(engine);
+/// Per-phase p50 out of the process-global span histograms, `-` when the
+/// phase recorded no samples (e.g. every request was a cache hit).
+fn phase_p50(kind: SpanKind) -> String {
+    match gks_trace::histogram(kind).quantile(0.5) {
+        Some(v) => v.to_string(),
+        None => "-".to_string(),
+    }
+}
 
-    // Workload: the 16 most frequent last names, singly and in pairs.
+/// Builds the hot-names workload the serving rows share.
+fn hot_names_workload(names: &[String]) -> Vec<WorkloadEntry> {
     let mut freq: std::collections::HashMap<&str, usize> = Default::default();
-    for n in &names {
+    for n in names {
         *freq.entry(n.as_str()).or_default() += 1;
     }
     let mut ranked: Vec<(&str, usize)> = freq.into_iter().collect();
@@ -36,44 +53,193 @@ pub fn run() -> String {
         workload
             .push(WorkloadEntry { query: format!("{} {}", pair[0], pair[1]), s: "2".to_string() });
     }
+    workload
+}
 
+/// One closed-loop run against a fresh server; returns the loadgen report.
+fn drive(
+    engine: &Arc<gks_core::engine::Engine>,
+    workload: &[WorkloadEntry],
+    clients: usize,
+    requests_per_client: usize,
+    trace: bool,
+) -> Result<loadgen::LoadReport, String> {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        trace,
+        ..ServeConfig::default()
+    };
+    let server =
+        serve(Arc::clone(engine), config).map_err(|e| format!("server failed to start: {e}"))?;
+    let load = LoadgenConfig {
+        addr: server.local_addr(),
+        clients,
+        requests_per_client,
+        zipf_s: 1.0,
+        seed: 2016,
+        timeout: Duration::from_secs(10),
+        pacing: Pacing::Closed,
+    };
+    let report = loadgen::run(&load, workload);
+    server.shutdown();
+    Ok(report)
+}
+
+/// Peak QPS over `runs` independent runs — the scheduler-noise-resistant
+/// statistic for an A/B throughput comparison on a shared machine. The
+/// global tracer flag is forced to match `trace` before every run (a
+/// `ServeState` only ever turns tracing on, never off), so A and B legs can
+/// interleave.
+fn best_qps(
+    engine: &Arc<gks_core::engine::Engine>,
+    workload: &[WorkloadEntry],
+    trace: bool,
+    runs: usize,
+) -> Result<loadgen::LoadReport, String> {
+    let mut best: Option<loadgen::LoadReport> = None;
+    for _ in 0..runs {
+        gks_trace::set_enabled(trace);
+        let report = drive(engine, workload, 8, 2_000, trace)?;
+        if best.as_ref().is_none_or(|b| report.qps() > b.qps()) {
+            best = Some(report);
+        }
+    }
+    best.ok_or_else(|| "no runs".to_string())
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let (engine, names) = nasa_engine(2000, 2016);
+    let engine = Arc::new(engine);
+    let workload = hot_names_workload(&names);
+    let mut out = String::new();
+
+    // -- Tracing overhead, measured first: `ServeState` only ever enables
+    // the process-global tracer, so the disabled control must run before
+    // any `trace: true` server exists in this process. A discarded warm-up
+    // run pays the one-time costs (page cache, allocator, socket setup) so
+    // they do not land on the control side of the comparison.
+    gks_trace::set_enabled(false);
+    if let Err(e) = drive(&engine, &workload, 8, 500, false) {
+        return format!("== Serving throughput ==\n{e}\n");
+    }
+    // Interleave the legs (A B A B A B A B) so drift in the shared
+    // machine's load lands on both sides of the comparison.
+    let mut control: Option<loadgen::LoadReport> = None;
+    let mut traced: Option<loadgen::LoadReport> = None;
+    for _ in 0..4 {
+        match best_qps(&engine, &workload, false, 1) {
+            Ok(r) if control.as_ref().is_none_or(|b| r.qps() > b.qps()) => control = Some(r),
+            Ok(_) => {}
+            Err(e) => return format!("== Serving throughput ==\n{e}\n"),
+        }
+        match best_qps(&engine, &workload, true, 1) {
+            Ok(r) if traced.as_ref().is_none_or(|b| r.qps() > b.qps()) => traced = Some(r),
+            Ok(_) => {}
+            Err(e) => return format!("== Serving throughput ==\n{e}\n"),
+        }
+    }
+    let (Some(control), Some(traced)) = (control, traced) else {
+        return "== Serving throughput ==\nno runs\n".to_string();
+    };
+    let delta_pct = (control.qps() - traced.qps()) / control.qps() * 100.0;
+    out.push_str(&format!(
+        "== Tracing overhead (8 clients, 16000 requests, best of 4 interleaved, Zipf s=1.0) ==\n\
+         trace disabled: {:.0} qps (p99 {} µs)\n\
+         trace enabled:  {:.0} qps (p99 {} µs)\n\
+         enabled-vs-disabled QPS delta: {delta_pct:+.1}% (acceptance bar: <= 2%)\n\n",
+        control.qps(),
+        control.percentile(0.99),
+        traced.qps(),
+        traced.percentile(0.99),
+    ));
+
+    // -- Scaling table, now with server-side per-phase p50s. The histograms
+    // are process-global, so they are reset per row.
     let mut t = TextTable::new(&[
-        "clients", "requests", "qps", "p50 µs", "p95 µs", "p99 µs", "hit rate", "5xx",
+        "clients", "qps", "p50 µs", "p95 µs", "p99 µs", "hit rate", "5xx", "parse", "postings",
+        "sweep", "rank",
     ]);
     for clients in [1usize, 4, 8, 16] {
-        let config =
-            ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 4, ..ServeConfig::default() };
-        let server = match serve(Arc::clone(&engine), config) {
-            Ok(s) => s,
-            Err(e) => return format!("== Serving throughput ==\nserver failed to start: {e}\n"),
+        gks_trace::reset();
+        let report = match drive(&engine, &workload, clients, 200, true) {
+            Ok(r) => r,
+            Err(e) => return format!("== Serving throughput ==\n{e}\n"),
         };
-        let load = LoadgenConfig {
-            addr: server.local_addr(),
-            clients,
-            requests_per_client: 200,
-            zipf_s: 1.0,
-            seed: 2016,
-            timeout: Duration::from_secs(10),
-        };
-        let report = loadgen::run(&load, &workload);
-        server.shutdown();
         t.row(&[
             clients.to_string(),
-            report.total.to_string(),
             format!("{:.0}", report.qps()),
             report.percentile(0.5).to_string(),
             report.percentile(0.95).to_string(),
             report.percentile(0.99).to_string(),
             format!("{:.0}%", report.hit_rate() * 100.0),
             (report.server_errors + report.transport_errors).to_string(),
+            phase_p50(SpanKind::Parse),
+            phase_p50(SpanKind::Postings),
+            phase_p50(SpanKind::Sweep),
+            phase_p50(SpanKind::Rank),
         ]);
     }
-    format!(
-        "== Serving throughput (NASA-like, 4 workers, Zipf s=1.0) ==\n{}\n\
+    out.push_str(&format!(
+        "== Serving throughput (NASA-like, 4 workers, Zipf s=1.0, 200 req/client) ==\n{}\n\
          expected shape: QPS scales with clients until the worker pool saturates; \
          the hit rate climbs past 50% as the Zipf head warms the cache, pulling \
          p50 far below p99 (which pays for cold tails); the 5xx column stays 0 — \
-         admission control is not triggered at these depths.\n",
+         admission control is not triggered at these depths. Phase columns are \
+         server-side span p50s in µs; hits bypass the engine, so they reflect \
+         misses only.\n\n",
         t.render()
-    )
+    ));
+
+    // -- Per-phase breakdown over the DBLP workload, engine-direct (no
+    // sockets or cache in the way), the measured table for docs/ANALYSIS.md.
+    let wl = dblp_workload(400, 2016);
+    let mut bt = TextTable::new(&[
+        "query",
+        "|Q|",
+        "reps",
+        "parse",
+        "postings",
+        "sweep",
+        "rank",
+        "di",
+        "total µs",
+    ]);
+    const REPS: usize = 32;
+    for named in &wl.queries {
+        gks_trace::reset();
+        let options = gks_core::search::SearchOptions::with_s(2);
+        let mut resp = None;
+        for _ in 0..REPS {
+            resp = wl.engine.search(&named.query, options).ok();
+        }
+        let Some(resp) = resp else {
+            return format!("== Serving throughput ==\n{}: search failed\n", named.id);
+        };
+        let di_opts = gks_core::di::DiOptions::default();
+        for _ in 0..REPS {
+            wl.engine.discover_di(&resp, &di_opts);
+        }
+        bt.row(&[
+            named.id.clone(),
+            named.query.keywords().len().to_string(),
+            REPS.to_string(),
+            phase_p50(SpanKind::Parse),
+            phase_p50(SpanKind::Postings),
+            phase_p50(SpanKind::Sweep),
+            phase_p50(SpanKind::Rank),
+            phase_p50(SpanKind::Di),
+            gks_trace::histogram(SpanKind::Search).quantile(0.5).unwrap_or(0).to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "== Per-phase breakdown (DBLP scale 400, s=2, span p50s in µs) ==\n{}\n\
+         expected shape: postings + sweep dominate and grow with |Q|; parse is \
+         noise; rank is proportional to |SL|; di (mining over the result set) \
+         is the priciest single phase but runs once per refinement round, not \
+         per keystroke.\n",
+        bt.render()
+    ));
+    out
 }

@@ -15,8 +15,9 @@
 //! * `generate <dataset> <scale> <out.xml>` — write a synthetic corpus;
 //! * `serve <index.gksix>` — run the resident HTTP query service
 //!   (`gks-server`: worker pool, admission control, result cache, /metrics);
-//! * `loadgen <host:port> <workload.txt>` — closed-loop load generator
-//!   against a running `serve`, reporting QPS and latency percentiles.
+//! * `loadgen <host:port> <workload.txt>` — load generator against a
+//!   running `serve` (closed-loop by default, `--open-loop --rate` for a
+//!   paced schedule), reporting QPS and latency percentiles.
 //!
 //! `search` and `suggest` accept `--json`, emitting exactly the wire format
 //! the serve endpoints return (`gks_core::wire`), so scripts can switch
@@ -67,7 +68,7 @@ gks — Generic Keyword Search over XML data (EDBT 2016)
 USAGE:
   gks index <out.gksix> <file.xml>...
   gks search <index.gksix> [-s N|all|half] [--limit N] [--json]
-             [--di] [--analytics] <keyword>...
+             [--di] [--analytics] [--trace] <keyword>...
   gks suggest <index.gksix> [--json] <keyword>...
   gks census [--schema] <file.xml>...
   gks schema <index.gksix>
@@ -76,12 +77,17 @@ USAGE:
   gks generate <dataset> <scale> <out.xml>
   gks repl <index.gksix>
   gks serve <index.gksix> [--addr HOST:PORT] [--workers N] [--queue N]
-            [--deadline-ms N] [--cache-mb N]
+            [--deadline-ms N] [--cache-mb N] [--query-log FILE]
+            [--slow-log FILE] [--slow-ms N] [--trace-ring N] [--no-trace]
   gks loadgen <host:port> <workload.txt> [--clients N] [--requests N]
-            [--zipf S] [--seed N] [--timeout-ms N]
+            [--zipf S] [--seed N] [--timeout-ms N] [--open-loop --rate QPS]
 
 `--json` emits the same wire format the serve endpoints return.
-`serve` drains in-flight requests and exits 0 on SIGTERM/ctrl-c.
+`--trace` prints the span tree (per-phase timings) after the results.
+`serve` drains in-flight requests and exits 0 on SIGTERM/ctrl-c; its
+query/slow logs are JSONL, one object per request.
+`loadgen --open-loop` paces requests on a fixed schedule (no coordinated
+omission); latencies are then measured from the scheduled send time.
 
 DATASETS (for generate):
   sigmod mondial plays treebank swissprot protein dblp nasa interpro
@@ -165,6 +171,7 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
     let mut want_di = false;
     let mut want_analytics = false;
     let mut want_json = false;
+    let mut want_trace = false;
     let mut keywords: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -182,19 +189,37 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
             "--di" => want_di = true,
             "--analytics" => want_analytics = true,
             "--json" => want_json = true,
+            "--trace" => want_trace = true,
             _ => keywords.push(arg.clone()),
         }
     }
-    if want_json && (want_di || want_analytics) {
+    if want_json && (want_di || want_analytics || want_trace) {
         return Err(CliError::usage(
-            "--json cannot be combined with --di/--analytics (use `gks suggest --json` for insights)",
+            "--json cannot be combined with --di/--analytics/--trace (use `gks suggest --json` for insights)",
         ));
     }
+    if want_trace {
+        gks_trace::set_enabled(true);
+    }
     let engine = load_engine(index_path)?;
+    // The index-open span completes during `load_engine`; grab its trace
+    // before the search opens a new root span and displaces it.
+    let open_trace = if want_trace {
+        gks_trace::take_last_trace()
+    } else {
+        None
+    };
     let query = parse_query(&keywords)?;
     let resp = engine
         .search(&query, SearchOptions { s, limit })
         .map_err(|e| CliError::runtime(format!("search failed: {e}")))?;
+    // Taken now because a later `--di` pass opens its own root span, which
+    // would displace the search trace from the last-trace slot.
+    let search_trace = if want_trace {
+        gks_trace::take_last_trace()
+    } else {
+        None
+    };
     if want_json {
         let mut body = wire::search_response_json(&engine, &resp);
         body.push('\n');
@@ -240,6 +265,13 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
             let values: Vec<String> =
                 f.values.iter().map(|v| format!("{}×{}", v.value, v.count)).collect();
             let _ = writeln!(out, "  {}: {}", f.path.join("/"), values.join(", "));
+        }
+    }
+    if want_trace {
+        let _ = writeln!(out, "\nspans:");
+        for trace in [open_trace, search_trace, gks_trace::take_last_trace()].into_iter().flatten()
+        {
+            out.push_str(&trace.render_text());
         }
     }
     Ok(out)
@@ -482,7 +514,8 @@ fn parse_value<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliEr
 
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     const SERVE_USAGE: &str = "usage: gks serve <index.gksix> [--addr HOST:PORT] \
-        [--workers N] [--queue N] [--deadline-ms N] [--cache-mb N]";
+        [--workers N] [--queue N] [--deadline-ms N] [--cache-mb N] \
+        [--query-log FILE] [--slow-log FILE] [--slow-ms N] [--trace-ring N] [--no-trace]";
     let Some((index_path, rest)) = args.split_first() else {
         return Err(CliError::usage(SERVE_USAGE));
     };
@@ -505,6 +538,23 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                 let mb: usize = parse_value(take_value(&mut it, "--cache-mb")?, "--cache-mb")?;
                 config.cache_bytes = mb * 1024 * 1024;
             }
+            "--query-log" => {
+                config.query_log =
+                    Some(std::path::PathBuf::from(take_value(&mut it, "--query-log")?));
+            }
+            "--slow-log" => {
+                config.slow_log =
+                    Some(std::path::PathBuf::from(take_value(&mut it, "--slow-log")?));
+            }
+            "--slow-ms" => {
+                let ms: u64 = parse_value(take_value(&mut it, "--slow-ms")?, "--slow-ms")?;
+                config.slow_threshold = std::time::Duration::from_millis(ms);
+            }
+            "--trace-ring" => {
+                config.trace_ring =
+                    parse_value(take_value(&mut it, "--trace-ring")?, "--trace-ring")?;
+            }
+            "--no-trace" => config.trace = false,
             other => return Err(CliError::usage(format!("unknown serve flag {other:?}"))),
         }
     }
@@ -523,6 +573,16 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         config.deadline.as_millis(),
         config.cache_bytes / (1024 * 1024)
     );
+    if let Some(path) = &config.query_log {
+        println!("gks-serve: query log -> {}", path.display());
+    }
+    if let Some(path) = &config.slow_log {
+        println!(
+            "gks-serve: slow log -> {} (threshold {} ms)",
+            path.display(),
+            config.slow_threshold.as_millis()
+        );
+    }
     if !have_signals {
         println!("gks-serve: no signal support on this platform; stop by killing the process");
     }
@@ -539,7 +599,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
     const LOADGEN_USAGE: &str = "usage: gks loadgen <host:port> <workload.txt> \
-        [--clients N] [--requests N] [--zipf S] [--seed N] [--timeout-ms N]";
+        [--clients N] [--requests N] [--zipf S] [--seed N] [--timeout-ms N] \
+        [--open-loop --rate QPS]";
     let [addr_raw, workload_path, rest @ ..] = args else {
         return Err(CliError::usage(LOADGEN_USAGE));
     };
@@ -552,6 +613,8 @@ fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
             .ok_or_else(|| CliError::usage(format!("bad address {addr_raw:?}")))?
     };
     let mut config = loadgen::LoadgenConfig { addr, ..loadgen::LoadgenConfig::default() };
+    let mut open_loop = false;
+    let mut rate_qps: Option<f64> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -568,9 +631,24 @@ fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
                 let ms: u64 = parse_value(take_value(&mut it, "--timeout-ms")?, "--timeout-ms")?;
                 config.timeout = std::time::Duration::from_millis(ms);
             }
+            "--open-loop" => open_loop = true,
+            "--rate" => {
+                rate_qps = Some(parse_value(take_value(&mut it, "--rate")?, "--rate")?);
+            }
             other => return Err(CliError::usage(format!("unknown loadgen flag {other:?}"))),
         }
     }
+    config.pacing = match (open_loop, rate_qps) {
+        (true, Some(rate_qps)) if rate_qps > 0.0 => loadgen::Pacing::Open { rate_qps },
+        (true, Some(rate_qps)) => {
+            return Err(CliError::usage(format!("--rate must be > 0, got {rate_qps}")));
+        }
+        (true, None) => return Err(CliError::usage("--open-loop needs --rate QPS")),
+        (false, Some(_)) => {
+            return Err(CliError::usage("--rate only applies with --open-loop"));
+        }
+        (false, None) => loadgen::Pacing::Closed,
+    };
     let text = std::fs::read_to_string(workload_path)
         .map_err(|e| CliError::runtime(format!("cannot read workload {workload_path:?}: {e}")))?;
     let workload = loadgen::parse_workload(&text);
@@ -647,6 +725,13 @@ mod tests {
         assert!(out.contains("hit(s):"), "{out}");
         assert!(out.contains("deeper analytical insights"), "{out}");
 
+        let out = run(&args(&["search", ix_s, "--trace", "keyword", "search"])).unwrap();
+        assert!(out.contains("spans:"), "{out}");
+        assert!(out.contains("trace #"), "{out}");
+        for label in ["index_open", "search", "parse", "postings", "sweep", "rank"] {
+            assert!(out.contains(label), "span tree missing {label}:\n{out}");
+        }
+
         let out = run(&args(&["search", ix_s, "--analytics", "xml"])).unwrap();
         assert!(out.contains("hits by entity type"), "{out}");
 
@@ -716,6 +801,8 @@ mod tests {
         // --json is the machine format; the human-only flags conflict.
         let err = run(&args(&["search", ix_s, "--json", "--di", "x"])).unwrap_err();
         assert_eq!(err.code, 2);
+        let err = run(&args(&["search", ix_s, "--json", "--trace", "x"])).unwrap_err();
+        assert_eq!(err.code, 2);
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -730,12 +817,37 @@ mod tests {
         assert_eq!(err.code, 2, "missing flag value");
         let err = run(&args(&["serve", "/tmp/x.gksix", "--deadline-ms", "soon"])).unwrap_err();
         assert_eq!(err.code, 2, "non-numeric flag value");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--slow-ms", "soon"])).unwrap_err();
+        assert_eq!(err.code, 2, "non-numeric slow threshold");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--query-log"])).unwrap_err();
+        assert_eq!(err.code, 2, "missing log path");
 
         assert_eq!(run(&args(&["loadgen"])).unwrap_err().code, 2);
         let err = run(&args(&["loadgen", "not-an-addr", "/tmp/w.txt"])).unwrap_err();
         assert_eq!(err.code, 2);
         let err = run(&args(&["loadgen", "127.0.0.1:1", "/no/such/workload.txt"])).unwrap_err();
         assert_eq!(err.code, 1, "unreadable workload is a runtime error");
+        // Open-loop pacing needs both halves of the flag pair and a
+        // positive rate; these all fail before touching the network.
+        let err = run(&args(&["loadgen", "127.0.0.1:1", "/tmp/w.txt", "--open-loop"])).unwrap_err();
+        assert_eq!(err.code, 2, "--open-loop without --rate");
+        let err =
+            run(&args(&["loadgen", "127.0.0.1:1", "/tmp/w.txt", "--rate", "50"])).unwrap_err();
+        assert_eq!(err.code, 2, "--rate without --open-loop");
+        let err =
+            run(&args(&["loadgen", "127.0.0.1:1", "/tmp/w.txt", "--open-loop", "--rate", "0"]))
+                .unwrap_err();
+        assert_eq!(err.code, 2, "zero rate");
+        let err = run(&args(&[
+            "loadgen",
+            "127.0.0.1:1",
+            "/tmp/w.txt",
+            "--open-loop",
+            "--rate",
+            "fast",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2, "non-numeric rate");
 
         // The usage text must list every subcommand (satellite: docs drift).
         for sub in [
@@ -743,6 +855,18 @@ mod tests {
             "serve", "loadgen",
         ] {
             assert!(USAGE.contains(&format!("gks {sub} ")), "USAGE missing {sub}");
+        }
+        for flag in [
+            "--trace",
+            "--query-log",
+            "--slow-log",
+            "--slow-ms",
+            "--trace-ring",
+            "--no-trace",
+            "--open-loop",
+            "--rate",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }
         assert!(USAGE.contains("EXIT CODES"));
     }

@@ -71,6 +71,7 @@ impl Insight {
 
 /// Extracts DI from a response's LCE hits.
 pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -> Vec<Insight> {
+    let _di_span = gks_trace::span(gks_trace::SpanKind::Di);
     // Normalized query terms, to exclude query keywords from Sw_Q ("if a
     // keyword in the attribute node is part of the user query Q, it is not
     // included").

@@ -24,6 +24,8 @@
 //!   answer set (the paper's "analytics over raw XML data" future work);
 //! * [`wire`] — the deterministic JSON wire format shared by the CLI's
 //!   `--json` mode and the `gks-serve` HTTP endpoints;
+//! * [`json`] — the matching JSON reader used by round-trip tests and the
+//!   smoke tooling;
 //! * [`engine`] — the [`engine::Engine`] facade tying it all together.
 
 pub mod analytics;
@@ -31,6 +33,7 @@ pub mod chunk;
 pub mod di;
 pub mod engine;
 pub mod error;
+pub mod json;
 pub mod merge;
 pub mod postlist;
 pub mod query;

@@ -18,11 +18,10 @@
 //! 6. rank: descending potential-flow rank, then keyword count, then
 //!    document order.
 
-use std::time::Instant;
-
 use gks_dewey::DeweyId;
 use gks_index::fasthash::{FastMap, FastSet};
 use gks_index::GksIndex;
+use gks_trace::{span, SpanKind};
 use serde::{Deserialize, Serialize};
 
 use crate::error::QueryError;
@@ -145,6 +144,8 @@ pub struct SearchTrace {
     pub orphan_lcp: usize,
     /// LCP hits dropped by SLCA-style pruning.
     pub pruned: usize,
+    /// Query normalization and threshold resolution time (µs).
+    pub parse_micros: u64,
     /// Posting fetch + k-way merge time (µs).
     pub merge_micros: u64,
     /// Sliding-window candidate generation time (µs).
@@ -223,31 +224,33 @@ pub fn search(
     query: &Query,
     options: SearchOptions,
 ) -> Result<Response, QueryError> {
-    let start = Instant::now();
+    let search_span = span(SpanKind::Search);
+    let mut trace = SearchTrace::default();
+
+    let parse_span = span(SpanKind::Parse);
     let keywords = query.normalized(index.analyzer());
     if keywords.is_empty() {
         return Err(QueryError::Empty);
     }
     let n = keywords.len();
     let s = options.s.resolve(n)?;
+    trace.parse_micros = parse_span.elapsed_micros();
+    drop(parse_span);
 
-    // 1. Posting lists.
+    // 1.–2. Posting lists, merged into SL.
+    let postings_span = span(SpanKind::Postings);
     let lists: Vec<Vec<DeweyId>> = keywords.iter().map(|k| keyword_postings(index, k)).collect();
     let missing: Vec<usize> =
         lists.iter().enumerate().filter(|(_, l)| l.is_empty()).map(|(i, _)| i).collect();
-
-    let mut trace = SearchTrace::default();
-    let stage = Instant::now();
-
-    // 2. Merge into SL.
     let sl = merge_posting_lists(lists);
     let sl_len = sl.len();
-    trace.merge_micros = stage.elapsed().as_micros() as u64;
-    let stage = Instant::now();
+    trace.merge_micros = postings_span.elapsed_micros();
+    drop(postings_span);
 
     // 3. Window → LCP candidates (already promoted past attribute nodes).
+    let sweep_span = span(SpanKind::Sweep);
     let candidates = lcp_candidates(index, &sl, s, n);
-    trace.window_micros = stage.elapsed().as_micros() as u64;
+    trace.window_micros = sweep_span.elapsed_micros();
     trace.candidates = candidates.len();
 
     // 4. LCE derivation.
@@ -266,13 +269,14 @@ pub fn search(
     stat_nodes.extend(lce_set.iter().cloned());
     stat_nodes.sort_unstable();
     stat_nodes.dedup();
-    let stage = Instant::now();
+    let pre_sweep_micros = sweep_span.elapsed_micros();
     let stats = sweep(index, &sl, &stat_nodes, n);
-    trace.sweep_micros = stage.elapsed().as_micros() as u64;
+    trace.sweep_micros = sweep_span.elapsed_micros().saturating_sub(pre_sweep_micros);
     trace.lce_nodes = lce_set.len();
+    drop(sweep_span);
+    let rank_span = span(SpanKind::Rank);
     let stat_by_node: FastMap<&DeweyId, usize> =
         stat_nodes.iter().enumerate().map(|(i, d)| (d, i)).collect();
-    let stage = Instant::now();
 
     // 6. Assemble hits.
     let mut hits: Vec<Hit> = Vec::new();
@@ -357,14 +361,15 @@ pub fn search(
             .then_with(|| a.node.cmp(&b.node))
     });
     hits.truncate(options.limit);
-    trace.assemble_micros = stage.elapsed().as_micros() as u64;
+    trace.assemble_micros = rank_span.elapsed_micros();
+    drop(rank_span);
 
     Ok(Response {
         keywords,
         s,
         hits,
         sl_len,
-        elapsed_micros: start.elapsed().as_micros() as u64,
+        elapsed_micros: search_span.elapsed_micros(),
         missing,
         trace,
     })

@@ -262,6 +262,7 @@ impl GksIndex {
 
     /// Loads an index written by [`Self::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<GksIndex, IndexError> {
+        let _open_span = gks_trace::span(gks_trace::SpanKind::IndexOpen);
         let bytes = fs::read(path)?;
         GksIndex::from_bytes(Bytes::from(bytes))
     }

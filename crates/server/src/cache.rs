@@ -165,7 +165,7 @@ impl Shard {
 }
 
 /// Point-in-time occupancy of the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Live entries across all shards.
     pub entries: usize,

@@ -31,8 +31,15 @@
 //!   the CLI wires SIGTERM/ctrl-c ([`signal`]) to it so `kill` never drops
 //!   accepted work.
 //!
+//! * **observability** — every query runs under a `gks-trace` root span
+//!   ([`qlog`]): per-phase percentiles join `/metrics`, the completed-trace
+//!   ring is dumped by `GET /debug/traces?n=`, `/search` responses carry a
+//!   `Server-Timing` header, and the server can write a JSONL query log plus
+//!   a threshold-gated slow-query log embedding the full span tree.
+//!
 //! Endpoints: `GET /search`, `GET /suggest`, `GET /doctor`, `GET /healthz`,
-//! `GET /metrics`. See [`ServeState::handle`] for parameters.
+//! `GET /metrics`, `GET /debug/traces`. See [`ServeState::handle`] for
+//! parameters.
 
 pub mod cache;
 pub mod client;
@@ -41,9 +48,11 @@ pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;
+pub mod qlog;
 pub mod signal;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,6 +64,7 @@ use gks_core::query::Query;
 use gks_core::search::{SearchOptions, Threshold};
 use gks_core::wire;
 use gks_index::GksIndex;
+use gks_trace::SpanKind;
 
 use crate::cache::ResultCache;
 use crate::error::ServeError;
@@ -83,6 +93,18 @@ pub struct ServeConfig {
     pub default_limit: usize,
     /// Upper bound on the `limit` a request may ask for.
     pub max_limit: usize,
+    /// Enable `gks-trace` span recording (per-phase metrics, the
+    /// `/debug/traces` ring, `Server-Timing` headers, slow-log span trees).
+    pub trace: bool,
+    /// Capacity of the completed-trace ring buffer.
+    pub trace_ring: usize,
+    /// JSONL query log path (`None` disables it).
+    pub query_log: Option<PathBuf>,
+    /// JSONL slow-query log path (`None` disables it).
+    pub slow_log: Option<PathBuf>,
+    /// Queries at least this slow count as slow (logged with their span
+    /// tree when `slow_log` is set).
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +118,11 @@ impl Default for ServeConfig {
             cache_shards: 8,
             default_limit: 20,
             max_limit: 1_000,
+            trace: true,
+            trace_ring: gks_trace::DEFAULT_RING_CAPACITY,
+            query_log: None,
+            slow_log: None,
+            slow_threshold: Duration::from_millis(500),
         }
     }
 }
@@ -142,14 +169,25 @@ pub struct ServeState {
     identity: u64,
     accepted: AtomicU64,
     served: AtomicU64,
+    query_log: Option<qlog::LogFile>,
+    slow_log: Option<qlog::LogFile>,
 }
 
 impl ServeState {
-    /// Builds the state for `engine` under `config`.
-    pub fn new(engine: Arc<Engine>, config: ServeConfig) -> ServeState {
+    /// Builds the state for `engine` under `config`, opening the query and
+    /// slow-query logs if configured. Tracing is enabled process-wide when
+    /// `config.trace` is set (it is never force-disabled here — another
+    /// in-process consumer, e.g. a test harness, may also depend on it).
+    pub fn new(engine: Arc<Engine>, config: ServeConfig) -> Result<ServeState, ServeError> {
         let identity = index_identity(engine.index());
         let cache = ResultCache::new(config.cache_bytes, config.cache_shards, identity);
-        ServeState {
+        let query_log = config.query_log.as_deref().map(qlog::LogFile::open).transpose()?;
+        let slow_log = config.slow_log.as_deref().map(qlog::LogFile::open).transpose()?;
+        if config.trace {
+            gks_trace::set_ring_capacity(config.trace_ring);
+            gks_trace::set_enabled(true);
+        }
+        Ok(ServeState {
             engine,
             cache,
             metrics: Metrics::default(),
@@ -157,7 +195,9 @@ impl ServeState {
             identity,
             accepted: AtomicU64::new(0),
             served: AtomicU64::new(0),
-        }
+            query_log,
+            slow_log,
+        })
     }
 
     /// The service counters.
@@ -198,10 +238,41 @@ impl ServeState {
                 HttpResponse::text(200, body)
             }
             Endpoint::Doctor => HttpResponse::json(200, wire::doctor_response_json(&self.engine)),
+            Endpoint::DebugTraces => self.handle_debug_traces(request),
             Endpoint::Search => self.handle_query(request, accepted_at, false),
             Endpoint::Suggest => self.handle_query(request, accepted_at, true),
             Endpoint::Other => HttpResponse::error(404, "unknown path"),
         }
+    }
+
+    /// `GET /debug/traces?n=` — dumps the most recent `n` completed traces
+    /// (default 32) from the `gks-trace` ring buffer as deterministic JSON,
+    /// oldest first.
+    fn handle_debug_traces(&self, request: &Request) -> HttpResponse {
+        let n = match request.param("n") {
+            None => 32,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return HttpResponse::error(400, &format!("bad n value {v:?}")),
+            },
+        };
+        let traces = gks_trace::recent_traces(n);
+        let mut body = String::with_capacity(64 + traces.len() * 128);
+        body.push_str("{\"enabled\":");
+        body.push_str(if gks_trace::enabled() {
+            "true"
+        } else {
+            "false"
+        });
+        body.push_str(",\"traces\":[");
+        for (i, trace) in traces.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            trace.write_json(&mut body);
+        }
+        body.push_str("]}");
+        HttpResponse::json(200, body)
     }
 
     /// Remaining budget before `accepted_at + deadline`, or `None` if the
@@ -215,8 +286,47 @@ impl ServeState {
         HttpResponse::error(503, "deadline exceeded").with_header("Retry-After", "1".to_string())
     }
 
-    /// `/search` and `/suggest` share parameter parsing and the cache path.
+    /// `/search` and `/suggest`: runs the query under a `request` root span,
+    /// then fans the outcome out to every observability sink — the
+    /// `Server-Timing` header, the query log, and (over the threshold) the
+    /// slow-query log with the full span tree.
     fn handle_query(&self, request: &Request, accepted_at: Instant, suggest: bool) -> HttpResponse {
+        let request_span = gks_trace::span(SpanKind::Request);
+        let mut record = qlog::QueryRecord::new(if suggest { "suggest" } else { "search" });
+        record.query = request.param("q").unwrap_or_default().to_string();
+        record.s = request.param("s").unwrap_or("1").to_string();
+        let mut response = self.run_query(request, accepted_at, suggest, &mut record);
+        record.status = response.status;
+        record.micros = request_span.elapsed_micros();
+        drop(request_span);
+        // The root span just closed on this thread; its completed tree (if
+        // tracing is on) is waiting in the thread-local slot.
+        let trace = gks_trace::take_last_trace();
+        if let Some(trace) = &trace {
+            response = response.with_header("Server-Timing", qlog::server_timing(trace));
+        }
+        if let Some(log) = &self.query_log {
+            log.append(&record.to_json(None));
+        }
+        if Duration::from_micros(record.micros) >= self.config.slow_threshold {
+            self.metrics.slow_queries_total.fetch_add(1, Ordering::Relaxed);
+            if let Some(log) = &self.slow_log {
+                log.append(&record.to_json(trace.as_ref()));
+            }
+        }
+        response
+    }
+
+    /// The query pipeline proper: parameter parsing, cache lookup, deadline
+    /// checks, engine search, rendering. Fills `record` as facts about the
+    /// request become known.
+    fn run_query(
+        &self,
+        request: &Request,
+        accepted_at: Instant,
+        suggest: bool,
+        record: &mut qlog::QueryRecord,
+    ) -> HttpResponse {
         let Some(q) = request.param("q") else {
             return HttpResponse::error(400, "missing query parameter q");
         };
@@ -235,6 +345,7 @@ impl ServeState {
                 _ => return HttpResponse::error(400, &format!("bad limit value {v:?}")),
             },
         };
+        record.limit = limit;
 
         // Normalized cache key: endpoint + parsed keywords (whitespace
         // collapsed by the parser) + s + limit. Raw spellings are kept —
@@ -257,6 +368,7 @@ impl ServeState {
         if self.config.cache_bytes > 0 {
             if let Some(body) = self.cache.get(&key) {
                 self.metrics.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+                record.cached = true;
                 return HttpResponse::json(200, body.to_vec())
                     .with_header("x-gks-cache", "hit".to_string());
             }
@@ -273,12 +385,15 @@ impl ServeState {
             Ok(r) => r,
             Err(e) => return HttpResponse::error(400, &format!("search failed: {e}")),
         };
+        record.hits = Some(response.hits().len());
+        record.sl_len = Some(response.sl_len());
         // The deadline gates result *rendering*: a search that returns with
         // an exhausted budget is aborted before serialization (rendering
         // ranks, paths, and attributes dominates for large limits).
         if self.budget_left(accepted_at).is_none() {
             return self.deadline_abort();
         }
+        let render_span = gks_trace::span(SpanKind::Render);
         let body = if suggest {
             let di = self.engine.discover_di(&response, &DiOptions::default());
             let refinement = self.engine.refine(&response, &di);
@@ -286,6 +401,7 @@ impl ServeState {
         } else {
             wire::search_response_json(&self.engine, &response)
         };
+        drop(render_span);
         if self.budget_left(accepted_at).is_none() {
             return self.deadline_abort();
         }
@@ -329,7 +445,7 @@ pub fn serve(engine: Arc<Engine>, config: ServeConfig) -> Result<Server, ServeEr
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| ServeError::Bind { addr: config.addr.clone(), source: e })?;
     let addr = listener.local_addr().map_err(ServeError::Io)?;
-    let state = Arc::new(ServeState::new(engine, config.clone()));
+    let state = Arc::new(ServeState::new(engine, config.clone())?);
     let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_depth));
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -463,7 +579,7 @@ mod tests {
 
     #[test]
     fn routes_and_shapes() {
-        let state = ServeState::new(small_engine(), ServeConfig::default());
+        let state = ServeState::new(small_engine(), ServeConfig::default()).unwrap();
         assert_eq!(get(&state, "/healthz").status, 200);
         assert_eq!(get(&state, "/nope").status, 404);
 
@@ -486,7 +602,7 @@ mod tests {
 
     #[test]
     fn parameter_validation() {
-        let state = ServeState::new(small_engine(), ServeConfig::default());
+        let state = ServeState::new(small_engine(), ServeConfig::default()).unwrap();
         assert_eq!(get(&state, "/search").status, 400, "missing q");
         assert_eq!(get(&state, "/search?q=x&s=zero").status, 400, "bad s");
         assert_eq!(get(&state, "/search?q=x&limit=wat").status, 400, "bad limit");
@@ -497,7 +613,7 @@ mod tests {
 
     #[test]
     fn cache_hits_return_identical_bytes() {
-        let state = ServeState::new(small_engine(), ServeConfig::default());
+        let state = ServeState::new(small_engine(), ServeConfig::default()).unwrap();
         let first = get(&state, "/search?q=twig&s=1");
         let second = get(&state, "/search?q=twig&s=1");
         assert_eq!(first.body, second.body);
@@ -513,7 +629,7 @@ mod tests {
     #[test]
     fn zero_deadline_aborts() {
         let config = ServeConfig { deadline: Duration::from_nanos(0), ..Default::default() };
-        let state = ServeState::new(small_engine(), config);
+        let state = ServeState::new(small_engine(), config).unwrap();
         let response = get(&state, "/search?q=twig");
         assert_eq!(response.status, 503);
         assert_eq!(state.metrics.deadline_aborts_total.load(Ordering::Relaxed), 1);

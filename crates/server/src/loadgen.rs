@@ -1,29 +1,58 @@
-//! Closed-loop load generator for a running `gks serve` instance.
+//! Load generator for a running `gks serve` instance, in two pacing modes.
 //!
-//! `--clients N` threads each issue requests back-to-back (closed loop: a
-//! client waits for its response before sending the next), sampling queries
-//! from a workload file under a Zipf-like skew — a small set of hot queries
-//! dominates, which is both how real query logs behave and what exercises
-//! the result cache. The report aggregates status classes, cache hits
-//! observed via the `x-gks-cache` header, sustained QPS, and latency
-//! percentiles computed exactly from the recorded samples.
+//! **Closed loop** (default): `--clients N` threads each issue requests
+//! back-to-back — a client waits for its response before sending the next.
+//! Simple and self-throttling, but it suffers *coordinated omission*: when
+//! the server stalls, the generator stops sending, so the stall is sampled
+//! once instead of once per request that *would* have been sent, and tail
+//! percentiles come out flattering.
+//!
+//! **Open loop** (`--open-loop --rate <qps>`): requests are scheduled on a
+//! fixed timeline (`t_i = start + i/rate`) regardless of how the server is
+//! doing; client threads pull the next scheduled slot from a shared
+//! counter, sleep until its time, and measure latency **from the scheduled
+//! send time**. A server stall now penalizes every request scheduled during
+//! it. When all clients are busy the schedule keeps advancing, and the gap
+//! is reported as *send lag* (scheduled-vs-actual send time) — lag growing
+//! without bound means the offered rate exceeds capacity.
+//!
+//! Queries are sampled from a workload file under a Zipf-like skew — a
+//! small set of hot queries dominates, which is both how real query logs
+//! behave and what exercises the result cache. The report aggregates status
+//! classes, cache hits observed via the `x-gks-cache` header, sustained
+//! QPS, and latency percentiles computed exactly from recorded samples.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::client::http_get;
 use crate::http::percent_encode;
 
+/// How request send times are decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Each client sends its next request as soon as the previous response
+    /// arrives.
+    Closed,
+    /// Requests follow a fixed schedule at this aggregate rate (QPS),
+    /// independent of response times.
+    Open {
+        /// Aggregate scheduled request rate, QPS.
+        rate_qps: f64,
+    },
+}
+
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Server address to target.
     pub addr: SocketAddr,
-    /// Concurrent closed-loop client threads.
+    /// Concurrent client threads.
     pub clients: usize,
-    /// Requests each client issues.
+    /// Requests each client issues (open loop: total = clients × this, but
+    /// the schedule is shared, not per-client).
     pub requests_per_client: usize,
     /// Zipf skew exponent; 0 = uniform, ~1 = classic web-query skew.
     pub zipf_s: f64,
@@ -31,6 +60,8 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Per-request client timeout.
     pub timeout: Duration,
+    /// Closed or open-loop pacing.
+    pub pacing: Pacing,
 }
 
 impl Default for LoadgenConfig {
@@ -42,6 +73,7 @@ impl Default for LoadgenConfig {
             zipf_s: 1.0,
             seed: 0x6b73_6721,
             timeout: Duration::from_secs(5),
+            pacing: Pacing::Closed,
         }
     }
 }
@@ -87,8 +119,15 @@ pub struct LoadReport {
     pub cache_hits: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// Sorted end-to-end latencies (µs) of completed requests.
+    /// Sorted end-to-end latencies (µs) of completed requests. Closed loop:
+    /// measured from the actual send. Open loop: measured from the
+    /// *scheduled* send time, so queueing delay inside the generator counts
+    /// against the server (no coordinated omission).
     pub latencies_micros: Vec<u64>,
+    /// Open loop only: sorted scheduled-vs-actual send lag (µs) per request
+    /// — how far behind its schedule the generator was when the request
+    /// actually went out. Empty for closed-loop runs.
+    pub send_lags_micros: Vec<u64>,
 }
 
 impl LoadReport {
@@ -112,12 +151,21 @@ impl LoadReport {
 
     /// Exact `q`-quantile (0 < q ≤ 1) of the recorded latencies, in µs.
     pub fn percentile(&self, q: f64) -> u64 {
-        if self.latencies_micros.is_empty() {
+        Self::exact_quantile(&self.latencies_micros, q)
+    }
+
+    /// Exact `q`-quantile of the recorded send lags (open loop), in µs.
+    pub fn send_lag_percentile(&self, q: f64) -> u64 {
+        Self::exact_quantile(&self.send_lags_micros, q)
+    }
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
             return 0;
         }
-        let n = self.latencies_micros.len();
+        let n = sorted.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.latencies_micros[rank - 1]
+        sorted[rank - 1]
     }
 
     /// Human-readable multi-line summary.
@@ -139,6 +187,16 @@ impl LoadReport {
         let _ = writeln!(out, "throughput        {:.1} qps", self.qps());
         for (q, label) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
             let _ = writeln!(out, "latency {label}       {}us", self.percentile(q));
+        }
+        if !self.send_lags_micros.is_empty() {
+            for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
+                let _ = writeln!(out, "send lag {label}      {}us", self.send_lag_percentile(q));
+            }
+            let _ = writeln!(
+                out,
+                "send lag max      {}us",
+                self.send_lags_micros[self.send_lags_micros.len() - 1]
+            );
         }
         out
     }
@@ -206,9 +264,43 @@ struct SharedTallies {
     cache_hits: AtomicU64,
 }
 
-/// Runs the closed loop: `config.clients` threads × `requests_per_client`
-/// requests sampled from `workload`, against `config.addr`. Blocks until
-/// every client finishes.
+/// Issues one request and tallies its outcome. Returns the measured
+/// latency anchored at `measure_from` (closed loop: the actual send; open
+/// loop: the scheduled send, which charges generator queueing to the
+/// server), or `None` on a transport error.
+fn issue(
+    config: &LoadgenConfig,
+    tallies: &SharedTallies,
+    entry: &WorkloadEntry,
+    measure_from: Instant,
+) -> Option<u64> {
+    let target =
+        format!("/search?q={}&s={}", percent_encode(&entry.query), percent_encode(&entry.s));
+    match http_get(config.addr, &target, config.timeout) {
+        Ok(response) => {
+            let micros = u64::try_from(measure_from.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let counter = match response.status {
+                200..=299 => &tallies.ok,
+                400..=499 => &tallies.client_errors,
+                _ => &tallies.server_errors,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            if response.header("x-gks-cache") == Some("hit") {
+                tallies.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(micros)
+        }
+        Err(_) => {
+            tallies.transport_errors.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Runs the generator against `config.addr` with queries sampled from
+/// `workload`, dispatching on [`LoadgenConfig::pacing`]. Blocks until every
+/// client finishes. Total requests = `clients × requests_per_client` in
+/// both modes.
 pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
     let entries: Arc<Vec<WorkloadEntry>> = Arc::new(if workload.is_empty() {
         vec![WorkloadEntry { query: "keyword".to_string(), s: "1".to_string() }]
@@ -217,10 +309,34 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
     });
     let tallies = Arc::new(SharedTallies::default());
     let started = Instant::now();
+    let total = (config.clients.max(1) * config.requests_per_client) as u64;
+    let (latencies_micros, send_lags_micros) = match config.pacing {
+        Pacing::Closed => (run_closed(config, &entries, &tallies), Vec::new()),
+        Pacing::Open { rate_qps } => run_open(config, &entries, &tallies, rate_qps, total),
+    };
+    LoadReport {
+        total,
+        ok: tallies.ok.load(Ordering::Relaxed),
+        client_errors: tallies.client_errors.load(Ordering::Relaxed),
+        server_errors: tallies.server_errors.load(Ordering::Relaxed),
+        transport_errors: tallies.transport_errors.load(Ordering::Relaxed),
+        cache_hits: tallies.cache_hits.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latencies_micros,
+        send_lags_micros,
+    }
+}
+
+/// Closed loop: each client sends back-to-back.
+fn run_closed(
+    config: &LoadgenConfig,
+    entries: &Arc<Vec<WorkloadEntry>>,
+    tallies: &Arc<SharedTallies>,
+) -> Vec<u64> {
     let handles: Vec<_> = (0..config.clients.max(1))
         .map(|client_id| {
-            let entries = Arc::clone(&entries);
-            let tallies = Arc::clone(&tallies);
+            let entries = Arc::clone(entries);
+            let tallies = Arc::clone(tallies);
             let config = config.clone();
             std::thread::spawn(move || {
                 let mut rng = SplitMix64(config.seed ^ (client_id as u64).wrapping_mul(0x9e37));
@@ -228,30 +344,9 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
                 let mut latencies = Vec::with_capacity(config.requests_per_client);
                 for _ in 0..config.requests_per_client {
                     let entry = &entries[sampler.sample(&mut rng)];
-                    let target = format!(
-                        "/search?q={}&s={}",
-                        percent_encode(&entry.query),
-                        percent_encode(&entry.s)
-                    );
                     let sent = Instant::now();
-                    match http_get(config.addr, &target, config.timeout) {
-                        Ok(response) => {
-                            let micros =
-                                u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
-                            latencies.push(micros);
-                            let counter = match response.status {
-                                200..=299 => &tallies.ok,
-                                400..=499 => &tallies.client_errors,
-                                _ => &tallies.server_errors,
-                            };
-                            counter.fetch_add(1, Ordering::Relaxed);
-                            if response.header("x-gks-cache") == Some("hit") {
-                                tallies.cache_hits.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        Err(_) => {
-                            tallies.transport_errors.fetch_add(1, Ordering::Relaxed);
-                        }
+                    if let Some(micros) = issue(&config, &tallies, entry, sent) {
+                        latencies.push(micros);
                     }
                 }
                 latencies
@@ -265,19 +360,69 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
         }
     }
     latencies_micros.sort_unstable();
-    let elapsed = started.elapsed();
-    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-    let total = (config.clients.max(1) * config.requests_per_client) as u64;
-    LoadReport {
-        total,
-        ok: load(&tallies.ok),
-        client_errors: load(&tallies.client_errors),
-        server_errors: load(&tallies.server_errors),
-        transport_errors: load(&tallies.transport_errors),
-        cache_hits: load(&tallies.cache_hits),
-        elapsed,
-        latencies_micros,
+    latencies_micros
+}
+
+/// Open loop: request `i` is due at `start + i/rate`; clients claim slots
+/// from a shared counter, sleep until the slot's time, and measure from the
+/// schedule. Returns `(latencies, send_lags)`, both sorted.
+fn run_open(
+    config: &LoadgenConfig,
+    entries: &Arc<Vec<WorkloadEntry>>,
+    tallies: &Arc<SharedTallies>,
+    rate_qps: f64,
+    total: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    // Degenerate rates fall back to "everything due immediately" — still
+    // open loop, just with the whole schedule at t=0.
+    let interval_nanos = if rate_qps > 0.0 { 1e9 / rate_qps } else { 0.0 };
+    let next_slot = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..config.clients.max(1))
+        .map(|client_id| {
+            let entries = Arc::clone(entries);
+            let tallies = Arc::clone(tallies);
+            let next_slot = Arc::clone(&next_slot);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64(config.seed ^ (client_id as u64).wrapping_mul(0x9e37));
+                let sampler = ZipfSampler::new(entries.len(), config.zipf_s);
+                let mut latencies = Vec::new();
+                let mut lags = Vec::new();
+                loop {
+                    let slot = next_slot.fetch_add(1, Ordering::Relaxed);
+                    if slot as u64 >= total {
+                        break;
+                    }
+                    let due = start + Duration::from_nanos((slot as f64 * interval_nanos) as u64);
+                    let now = Instant::now();
+                    if let Some(wait) = due.checked_duration_since(now) {
+                        std::thread::sleep(wait);
+                    }
+                    // Scheduled-vs-actual send lag: zero when we slept until
+                    // the slot, positive when the generator fell behind.
+                    let lag = Instant::now().saturating_duration_since(due);
+                    lags.push(u64::try_from(lag.as_micros()).unwrap_or(u64::MAX));
+                    let entry = &entries[sampler.sample(&mut rng)];
+                    if let Some(micros) = issue(&config, &tallies, entry, due) {
+                        latencies.push(micros);
+                    }
+                }
+                (latencies, lags)
+            })
+        })
+        .collect();
+    let mut latencies_micros = Vec::new();
+    let mut send_lags_micros = Vec::new();
+    for handle in handles {
+        if let Ok((mut thread_latencies, mut thread_lags)) = handle.join() {
+            latencies_micros.append(&mut thread_latencies);
+            send_lags_micros.append(&mut thread_lags);
+        }
     }
+    latencies_micros.sort_unstable();
+    send_lags_micros.sort_unstable();
+    (latencies_micros, send_lags_micros)
 }
 
 #[cfg(test)]
@@ -334,11 +479,34 @@ mod tests {
             cache_hits: 2,
             elapsed: Duration::from_secs(2),
             latencies_micros: vec![10, 20, 30, 40],
+            send_lags_micros: Vec::new(),
         };
         assert_eq!(report.percentile(0.5), 20);
         assert_eq!(report.percentile(0.99), 40);
         assert_eq!(report.qps(), 2.0);
         assert!((report.hit_rate() - 0.5).abs() < 1e-9);
-        assert!(report.render().contains("throughput"));
+        let text = report.render();
+        assert!(text.contains("throughput"));
+        assert!(!text.contains("send lag"), "closed loop reports no lag");
+    }
+
+    #[test]
+    fn open_loop_report_includes_send_lag() {
+        let report = LoadReport {
+            total: 3,
+            ok: 3,
+            client_errors: 0,
+            server_errors: 0,
+            transport_errors: 0,
+            cache_hits: 0,
+            elapsed: Duration::from_secs(1),
+            latencies_micros: vec![100, 200, 300],
+            send_lags_micros: vec![0, 5, 250],
+        };
+        assert_eq!(report.send_lag_percentile(0.5), 5);
+        assert_eq!(report.send_lag_percentile(0.99), 250);
+        let text = report.render();
+        assert!(text.contains("send lag p50"), "{text}");
+        assert!(text.contains("send lag max      250us"), "{text}");
     }
 }

@@ -1,22 +1,24 @@
-//! Atomic service counters and a fixed-bucket latency histogram, rendered
-//! as a Prometheus-style `text/plain` exposition on `GET /metrics`.
+//! Atomic service counters rendered as a Prometheus-style `text/plain`
+//! exposition on `GET /metrics`.
 //!
-//! Everything is lock-free (`AtomicU64` with relaxed ordering — the counters
-//! are statistics, not synchronization), so recording adds nanoseconds to
-//! the request path. Quantiles are derived from the histogram's cumulative
-//! counts: the reported value is the upper bound of the bucket containing
-//! the target rank, i.e. an over-estimate by at most one bucket width.
+//! The latency histogram lives in `gks-trace` ([`Histogram`]) so the
+//! end-to-end request histogram and the per-phase engine aggregates share
+//! bucket semantics; this module re-exports the bucket bounds for backward
+//! compatibility. Everything is lock-free (`AtomicU64` with relaxed ordering
+//! — the counters are statistics, not synchronization), so recording adds
+//! nanoseconds to the request path. Quantiles are derived from cumulative
+//! bucket counts: the reported value is the upper bound of the bucket
+//! containing the target rank, i.e. an over-estimate by at most one bucket
+//! width. A histogram with **zero samples** renders its quantiles as the
+//! sentinel `-1` — never a bucket bound, never `NaN` — so dashboards can
+//! distinguish "no traffic" from "sub-50µs traffic".
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::cache::CacheStats;
+use gks_trace::SpanKind;
+pub use gks_trace::{Histogram, LATENCY_BOUNDS_MICROS};
 
-/// Upper bounds (µs) of the latency histogram buckets; a final overflow
-/// bucket catches everything slower than the last bound.
-pub const LATENCY_BOUNDS_MICROS: [u64; 14] = [
-    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
-    1_000_000,
-];
+use crate::cache::CacheStats;
 
 /// The endpoints the service distinguishes in its counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +33,8 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `GET /debug/traces`
+    DebugTraces,
     /// Anything else (404s, bad paths).
     Other,
 }
@@ -44,16 +48,18 @@ impl Endpoint {
             "/doctor" => Endpoint::Doctor,
             "/healthz" => Endpoint::Healthz,
             "/metrics" => Endpoint::Metrics,
+            "/debug/traces" => Endpoint::DebugTraces,
             _ => Endpoint::Other,
         }
     }
 
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Search,
         Endpoint::Suggest,
         Endpoint::Doctor,
         Endpoint::Healthz,
         Endpoint::Metrics,
+        Endpoint::DebugTraces,
         Endpoint::Other,
     ];
 
@@ -64,6 +70,7 @@ impl Endpoint {
             Endpoint::Doctor => "doctor",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::DebugTraces => "debug_traces",
             Endpoint::Other => "other",
         }
     }
@@ -75,61 +82,9 @@ impl Endpoint {
             Endpoint::Doctor => 2,
             Endpoint::Healthz => 3,
             Endpoint::Metrics => 4,
-            Endpoint::Other => 5,
+            Endpoint::DebugTraces => 5,
+            Endpoint::Other => 6,
         }
-    }
-}
-
-/// Fixed-bucket latency histogram over microseconds.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BOUNDS_MICROS.len() + 1],
-    sum: AtomicU64,
-    count: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&self, micros: u64) {
-        let idx = LATENCY_BOUNDS_MICROS
-            .iter()
-            .position(|&bound| micros <= bound)
-            .unwrap_or(LATENCY_BOUNDS_MICROS.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(micros, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Sum of all observations (µs).
-    pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket holding
-    /// the target rank. Observations past the last bound report that bound
-    /// (the histogram cannot resolve further). Returns 0 with no data.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut cumulative = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= target {
-                return LATENCY_BOUNDS_MICROS
-                    .get(i)
-                    .copied()
-                    .unwrap_or(LATENCY_BOUNDS_MICROS[LATENCY_BOUNDS_MICROS.len() - 1]);
-            }
-        }
-        LATENCY_BOUNDS_MICROS[LATENCY_BOUNDS_MICROS.len() - 1]
     }
 }
 
@@ -140,7 +95,7 @@ pub struct Metrics {
     /// Requests fully parsed and routed (rejected connections excluded).
     pub requests_total: AtomicU64,
     /// Per-endpoint request counts.
-    pub by_endpoint: [AtomicU64; 6],
+    pub by_endpoint: [AtomicU64; 7],
     /// Responses by status class.
     pub responses_2xx: AtomicU64,
     /// 4xx responses (bad query, unknown path).
@@ -155,10 +110,28 @@ pub struct Metrics {
     pub cache_hits_total: AtomicU64,
     /// Result-cache misses.
     pub cache_misses_total: AtomicU64,
+    /// Queries slower than the slow-query threshold (logged in full).
+    pub slow_queries_total: AtomicU64,
     /// Requests currently being processed by workers (gauge).
     pub in_flight: AtomicU64,
     /// End-to-end request latency (accept → response written), µs.
-    pub latency: LatencyHistogram,
+    pub latency: Histogram,
+}
+
+/// The quantiles `/metrics` reports for every histogram.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Appends one quantile line, rendering the zero-sample sentinel `-1`.
+fn write_quantile(out: &mut String, name: &str, labels: &str, q_label: &str, value: Option<u64>) {
+    use std::fmt::Write as _;
+    match value {
+        Some(v) => {
+            let _ = writeln!(out, "{name}{{{labels}quantile=\"{q_label}\"}} {v}");
+        }
+        None => {
+            let _ = writeln!(out, "{name}{{{labels}quantile=\"{q_label}\"}} -1");
+        }
+    }
 }
 
 impl Metrics {
@@ -178,11 +151,12 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the Prometheus-style exposition, folding in cache occupancy
-    /// and the index identity the service is bound to.
+    /// Renders the Prometheus-style exposition, folding in cache occupancy,
+    /// the index identity the service is bound to, and the engine's global
+    /// per-phase latency aggregates from `gks-trace`.
     pub fn render(&self, cache: CacheStats, index_identity: u64) -> String {
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(2048);
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let _ = writeln!(out, "gks_requests_total {}", load(&self.requests_total));
         for endpoint in Endpoint::ALL {
@@ -203,16 +177,41 @@ impl Metrics {
         let _ = writeln!(out, "gks_cache_entries {}", cache.entries);
         let _ = writeln!(out, "gks_cache_bytes {}", cache.bytes);
         let _ = writeln!(out, "gks_cache_capacity_bytes {}", cache.capacity);
+        let _ = writeln!(out, "gks_slow_queries_total {}", load(&self.slow_queries_total));
         let _ = writeln!(out, "gks_in_flight {}", load(&self.in_flight));
-        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-            let _ = writeln!(
-                out,
-                "gks_latency_micros{{quantile=\"{label}\"}} {}",
-                self.latency.quantile(q)
-            );
+        for (q, label) in QUANTILES {
+            write_quantile(&mut out, "gks_latency_micros", "", label, self.latency.quantile(q));
         }
         let _ = writeln!(out, "gks_latency_micros_sum {}", self.latency.sum());
         let _ = writeln!(out, "gks_latency_micros_count {}", self.latency.count());
+        // Per-phase engine latency, aggregated by gks-trace across every
+        // span of that kind recorded process-wide (CLI-triggered searches
+        // included, though in the server they all come from requests).
+        for kind in SpanKind::PHASES {
+            let hist = gks_trace::histogram(kind);
+            let labels = format!("phase=\"{}\",", kind.label());
+            for (q, label) in QUANTILES {
+                write_quantile(
+                    &mut out,
+                    "gks_phase_latency_micros",
+                    &labels,
+                    label,
+                    hist.quantile(q),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "gks_phase_latency_micros_sum{{phase=\"{}\"}} {}",
+                kind.label(),
+                hist.sum()
+            );
+            let _ = writeln!(
+                out,
+                "gks_phase_latency_micros_count{{phase=\"{}\"}} {}",
+                kind.label(),
+                hist.count()
+            );
+        }
         let _ = writeln!(out, "gks_index_identity {index_identity}");
         out
     }
@@ -220,8 +219,9 @@ impl Metrics {
 
 /// Extracts the value of a metric line (`name value` or `name{…} value`)
 /// from a rendered exposition. Used by the load generator and tests to read
-/// hit rates back without a metrics client.
-pub fn metric_value(exposition: &str, name: &str) -> Option<u64> {
+/// hit rates back without a metrics client. Signed, because zero-sample
+/// quantiles render the `-1` sentinel.
+pub fn metric_value(exposition: &str, name: &str) -> Option<i64> {
     for line in exposition.lines() {
         let Some(rest) = line.strip_prefix(name) else {
             continue;
@@ -239,34 +239,6 @@ pub fn metric_value(exposition: &str, name: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_quantiles_bracket_observations() {
-        let h = LatencyHistogram::default();
-        for micros in [10, 20, 30, 40, 60, 80, 120, 300, 700, 1500] {
-            h.record(micros);
-        }
-        assert_eq!(h.count(), 10);
-        assert_eq!(h.sum(), 2860);
-        // p50 → 5th observation (60µs) lands in the ≤100 bucket.
-        assert_eq!(h.quantile(0.5), 100);
-        // p99 → 10th observation (1500µs) lands in the ≤2500 bucket.
-        assert_eq!(h.quantile(0.99), 2_500);
-        assert_eq!(h.quantile(0.1), 50);
-    }
-
-    #[test]
-    fn histogram_overflow_reports_last_bound() {
-        let h = LatencyHistogram::default();
-        h.record(10_000_000);
-        assert_eq!(h.quantile(0.5), 1_000_000);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.5), 0);
-    }
 
     #[test]
     fn render_and_parse_round_trip() {
@@ -288,5 +260,43 @@ mod tests {
         assert_eq!(metric_value(&text, "gks_latency_micros_count"), Some(1));
         assert_eq!(metric_value(&text, "gks_index_identity"), Some(42));
         assert_eq!(metric_value(&text, "gks_nope"), None);
+    }
+
+    #[test]
+    fn zero_sample_quantiles_render_sentinel() {
+        let m = Metrics::default();
+        let text = m.render(CacheStats::default(), 0);
+        // No latency samples recorded → every quantile is the -1 sentinel,
+        // not a bucket bound and not NaN.
+        assert_eq!(metric_value(&text, "gks_latency_micros{quantile=\"0.5\"}"), Some(-1));
+        assert_eq!(metric_value(&text, "gks_latency_micros{quantile=\"0.99\"}"), Some(-1));
+        assert!(!text.contains("NaN"));
+        m.latency.record(70);
+        let text = m.render(CacheStats::default(), 0);
+        assert_eq!(metric_value(&text, "gks_latency_micros{quantile=\"0.5\"}"), Some(100));
+    }
+
+    #[test]
+    fn per_phase_lines_are_exposed() {
+        let m = Metrics::default();
+        let text = m.render(CacheStats::default(), 0);
+        for phase in ["parse", "postings", "sweep", "rank", "di"] {
+            for q in ["0.5", "0.95", "0.99"] {
+                let name =
+                    format!("gks_phase_latency_micros{{phase=\"{phase}\",quantile=\"{q}\"}}");
+                assert!(
+                    metric_value(&text, &name).is_some(),
+                    "missing per-phase quantile line {name}"
+                );
+            }
+            let count = format!("gks_phase_latency_micros_count{{phase=\"{phase}\"}}");
+            assert!(metric_value(&text, &count).is_some(), "missing {count}");
+        }
+    }
+
+    #[test]
+    fn debug_traces_endpoint_classifies() {
+        assert_eq!(Endpoint::of_path("/debug/traces"), Endpoint::DebugTraces);
+        assert_eq!(Endpoint::of_path("/debug/other"), Endpoint::Other);
     }
 }

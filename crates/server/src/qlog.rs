@@ -1,0 +1,237 @@
+//! Structured query logging: one JSON object per line (JSONL).
+//!
+//! Two sinks share the same record shape:
+//!
+//! * the **query log** (`--query-log`) gets every `/search` and `/suggest`
+//!   request — outcome, latency, cache disposition;
+//! * the **slow-query log** (`--slow-log`) gets only requests slower than
+//!   the configured threshold, and each record additionally embeds the full
+//!   span tree from `gks-trace`, so a slow query arrives with its own
+//!   per-phase breakdown attached.
+//!
+//! Lines are written under a mutex with a single `write_all` per record, so
+//! concurrent workers never interleave partial lines. Append errors are
+//! dropped deliberately: losing a log line must never fail a query.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gks_core::wire::push_json_str;
+use gks_trace::{CompletedTrace, SpanKind};
+
+/// An append-only JSONL sink shared by worker threads.
+#[derive(Debug)]
+pub struct LogFile {
+    file: Mutex<File>,
+}
+
+impl LogFile {
+    /// Opens (creating or appending to) the log at `path`.
+    pub fn open(path: &Path) -> std::io::Result<LogFile> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(LogFile { file: Mutex::new(file) })
+    }
+
+    /// Appends one record as a single line. Errors are swallowed — logging
+    /// is best-effort and must never fail the request being logged.
+    pub fn append(&self, record: &str) {
+        let mut line = String::with_capacity(record.len() + 1);
+        line.push_str(record);
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Everything logged about one `/search` or `/suggest` request.
+#[derive(Debug)]
+pub struct QueryRecord {
+    /// `"search"` or `"suggest"`.
+    pub endpoint: &'static str,
+    /// The raw `q` parameter (empty when missing).
+    pub query: String,
+    /// The raw `s` spelling (`all`, `half`, or an integer).
+    pub s: String,
+    /// The effective result limit.
+    pub limit: usize,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// End-to-end handler latency (µs).
+    pub micros: u64,
+    /// Whether the response came from the result cache.
+    pub cached: bool,
+    /// Hits returned (engine runs only; `None` for cache hits and errors).
+    pub hits: Option<usize>,
+    /// |SL| of the search (engine runs only).
+    pub sl_len: Option<usize>,
+}
+
+impl QueryRecord {
+    /// A record for `endpoint` with everything else at its zero value.
+    pub fn new(endpoint: &'static str) -> QueryRecord {
+        QueryRecord {
+            endpoint,
+            query: String::new(),
+            s: String::new(),
+            limit: 0,
+            status: 0,
+            micros: 0,
+            cached: false,
+            hits: None,
+            sl_len: None,
+        }
+    }
+
+    /// Renders the JSONL line, stamping the wall-clock time. When `trace` is
+    /// given (the slow-log path) the full span tree is embedded under
+    /// `"trace"`.
+    pub fn to_json(&self, trace: Option<&CompletedTrace>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"ts_ms\":{},\"endpoint\":\"{}\",\"query\":",
+            unix_millis(),
+            self.endpoint
+        );
+        push_json_str(&mut out, &self.query);
+        out.push_str(",\"s\":");
+        push_json_str(&mut out, &self.s);
+        let _ = write!(
+            out,
+            ",\"limit\":{},\"status\":{},\"micros\":{},\"cached\":{}",
+            self.limit, self.status, self.micros, self.cached
+        );
+        match self.hits {
+            Some(h) => {
+                let _ = write!(out, ",\"hits\":{h}");
+            }
+            None => out.push_str(",\"hits\":null"),
+        }
+        match self.sl_len {
+            Some(n) => {
+                let _ = write!(out, ",\"sl_len\":{n}");
+            }
+            None => out.push_str(",\"sl_len\":null"),
+        }
+        if let Some(trace) = trace {
+            out.push_str(",\"trace\":");
+            trace.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Builds the `Server-Timing` header value from a completed trace: one
+/// `<phase>;dur=<ms>` entry per span kind present, in [`SpanKind::ALL`]
+/// order (the root `request` span included as the total).
+pub fn server_timing(trace: &CompletedTrace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (kind, micros) in trace.phase_micros() {
+        if !out.is_empty() {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{};dur={:.3}", kind.label(), micros as f64 / 1000.0);
+    }
+    if out.is_empty() {
+        // A trace always has at least its root span; keep the header valid
+        // regardless.
+        let _ = write!(out, "{};dur={:.3}", SpanKind::Request.label(), 0.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_core::json::Json;
+    use gks_trace::SpanNode;
+
+    fn sample_trace() -> CompletedTrace {
+        CompletedTrace {
+            seq: 3,
+            root: SpanNode {
+                kind: SpanKind::Request,
+                offset_micros: 0,
+                micros: 1500,
+                children: vec![SpanNode {
+                    kind: SpanKind::Search,
+                    offset_micros: 10,
+                    micros: 1200,
+                    children: Vec::new(),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_parser() {
+        let mut record = QueryRecord::new("search");
+        record.query = "twig \"joins\"\nweird".to_string();
+        record.s = "half".to_string();
+        record.limit = 20;
+        record.status = 200;
+        record.micros = 777;
+        record.hits = Some(3);
+        record.sl_len = Some(41);
+        let line = record.to_json(None);
+        let v = Json::parse(&line).expect("qlog line parses");
+        for field in ["ts_ms", "endpoint", "query", "s", "limit", "status", "micros", "cached"] {
+            assert!(v.get(field).is_some(), "missing {field} in {line}");
+        }
+        assert_eq!(v.get("query").and_then(Json::as_str), Some("twig \"joins\"\nweird"));
+        assert_eq!(v.get("status").and_then(Json::as_u64), Some(200));
+        assert_eq!(v.get("hits").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("cached"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn slow_record_embeds_span_tree() {
+        let mut record = QueryRecord::new("search");
+        record.status = 200;
+        record.micros = 1500;
+        let line = record.to_json(Some(&sample_trace()));
+        let v = Json::parse(&line).expect("slow-log line parses");
+        let trace = v.get("trace").expect("embedded trace");
+        assert_eq!(trace.get("seq").and_then(Json::as_u64), Some(3));
+        let root = trace.get("root").expect("root span");
+        assert_eq!(root.get("kind").and_then(Json::as_str), Some("request"));
+        let children = root.get("children").and_then(Json::as_array).unwrap();
+        assert_eq!(children[0].get("kind").and_then(Json::as_str), Some("search"));
+    }
+
+    #[test]
+    fn server_timing_lists_phases() {
+        let header = server_timing(&sample_trace());
+        assert_eq!(header, "request;dur=1.500, search;dur=1.200");
+    }
+
+    #[test]
+    fn log_file_appends_lines() {
+        let dir = std::env::temp_dir().join(format!("gks-qlog-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.jsonl");
+        let log = LogFile::open(&path).unwrap();
+        log.append("{\"a\":1}");
+        log.append("{\"a\":2}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        for line in text.lines() {
+            Json::parse(line).expect("every appended line is one JSON doc");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -38,7 +38,7 @@ fn state_for(xml: &str, cache_bytes: usize) -> ServeState {
     let corpus = Corpus::from_named_strs([("t", xml)]).unwrap();
     let engine = Arc::new(Engine::build(&corpus, IndexOptions::default()).unwrap());
     let config = ServeConfig { cache_bytes, ..ServeConfig::default() };
-    ServeState::new(engine, config)
+    ServeState::new(engine, config).unwrap()
 }
 
 fn get(state: &ServeState, target: &str) -> HttpResponse {

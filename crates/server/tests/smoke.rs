@@ -52,6 +52,7 @@ fn concurrent_load_is_clean_and_drains() {
         zipf_s: 1.1,
         seed: 42,
         timeout: TIMEOUT,
+        pacing: loadgen::Pacing::Closed,
     };
     let report = loadgen::run(&config, &workload);
 
@@ -73,7 +74,7 @@ fn concurrent_load_is_clean_and_drains() {
     assert_eq!(searches, 400);
     let hits = metric_value(&text, "gks_cache_hits_total").unwrap();
     let misses = metric_value(&text, "gks_cache_misses_total").unwrap();
-    assert_eq!(hits, report.cache_hits);
+    assert_eq!(hits, i64::try_from(report.cache_hits).unwrap());
     assert_eq!(hits + misses, 400);
     assert_eq!(metric_value(&text, "gks_responses{class=\"5xx\"}"), Some(0));
     assert!(metric_value(&text, "gks_latency_micros_count").unwrap() >= 400);
@@ -87,6 +88,37 @@ fn concurrent_load_is_clean_and_drains() {
     assert!(report.accepted >= 402, "400 queries + 2 metrics scrapes");
     assert_eq!(report.rejected, 0);
     assert!(report.served >= 402);
+}
+
+#[test]
+fn open_loop_paces_and_reports_send_lag() {
+    let server = serve(dblp_engine(), ephemeral_config()).unwrap();
+    let addr = server.local_addr();
+    let workload = vec![WorkloadEntry { query: "keyword search".to_string(), s: "1".to_string() }];
+    let config = LoadgenConfig {
+        addr,
+        clients: 4,
+        requests_per_client: 25,
+        zipf_s: 0.0,
+        seed: 7,
+        timeout: TIMEOUT,
+        pacing: loadgen::Pacing::Open { rate_qps: 400.0 },
+    };
+    let report = loadgen::run(&config, &workload);
+    assert_eq!(report.total, 100);
+    assert_eq!(report.transport_errors, 0);
+    assert_eq!(report.ok, 100);
+    assert_eq!(report.send_lags_micros.len(), 100, "every request records its send lag");
+    // 100 requests at 400 qps occupy a 250ms schedule; pacing must actually
+    // stretch the run to roughly that (closed loop on localhost would
+    // finish far faster).
+    assert!(
+        report.elapsed >= Duration::from_millis(200),
+        "open loop must honour the schedule, finished in {:?}",
+        report.elapsed
+    );
+    assert!(report.render().contains("send lag p50"));
+    server.shutdown();
 }
 
 #[test]
@@ -104,11 +136,15 @@ fn overload_rejects_with_503_and_retry_after() {
     let server = serve(dblp_engine(), config).unwrap();
     let addr = server.local_addr();
 
-    // Occupy the worker and the queue slot with connections that stall in
-    // read_request until the server's read timeout fires.
-    let stalled: Vec<_> = (0..2)
-        .map(|_| std::net::TcpStream::connect_timeout(&addr, TIMEOUT).unwrap())
-        .collect();
+    // Occupy the worker, then the queue slot, with connections that stall
+    // in read_request until the server's read timeout fires. The pause in
+    // between lets the worker pop the first connection before the second
+    // arrives — connecting both back-to-back races admission: the second
+    // can be rejected while the first still holds the queue slot, leaving
+    // the queue empty for the probes below.
+    let worker_stall = std::net::TcpStream::connect_timeout(&addr, TIMEOUT).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let queue_stall = std::net::TcpStream::connect_timeout(&addr, TIMEOUT).unwrap();
     std::thread::sleep(Duration::from_millis(50));
 
     let mut rejected = 0;
@@ -117,11 +153,13 @@ fn overload_rejects_with_503_and_retry_after() {
             if response.status == 503 {
                 assert_eq!(response.header("retry-after"), Some("1"));
                 rejected += 1;
+                break;
             }
         }
     }
     assert!(rejected > 0, "admission control must shed load");
-    drop(stalled);
+    drop(worker_stall);
+    drop(queue_stall);
 
     // Once the stall clears, service recovers.
     std::thread::sleep(Duration::from_millis(400));

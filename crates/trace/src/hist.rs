@@ -1,0 +1,150 @@
+//! A lock-free fixed-bucket latency histogram over microseconds.
+//!
+//! Shared by the per-span-kind aggregates in this crate and by the server's
+//! request-latency metrics (`gks-server` re-uses it so `/metrics` reports
+//! engine phases and end-to-end latency with identical bucket semantics).
+//! All counters are `AtomicU64` with relaxed ordering — they are statistics,
+//! not synchronization — so recording adds nanoseconds to the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the histogram buckets; a final overflow bucket
+/// catches everything slower than the last bound. The sub-50µs bounds exist
+/// for the engine-phase aggregates — individual phases of a warm query run
+/// in single-digit microseconds, which request-scale buckets would flatten
+/// into one bin.
+pub const LATENCY_BOUNDS_MICROS: [u64; 18] = [
+    5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000,
+];
+
+/// Fixed-bucket latency histogram. Quantiles are derived from cumulative
+/// bucket counts: the reported value is the upper bound of the bucket
+/// containing the target rank, i.e. an over-estimate by at most one bucket
+/// width.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_MICROS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram (const so it can back `static` aggregates).
+    pub const fn new() -> Histogram {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; LATENCY_BOUNDS_MICROS.len() + 1],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        let idx = LATENCY_BOUNDS_MICROS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BOUNDS_MICROS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (µs).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the upper bound of the bucket holding
+    /// the target rank. Observations past the last bound report that bound
+    /// (the histogram cannot resolve further). Returns `None` with no data —
+    /// callers must render an explicit sentinel rather than a bucket bound
+    /// (the `/metrics` exposition emits `-1`).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return Some(
+                    LATENCY_BOUNDS_MICROS
+                        .get(i)
+                        .copied()
+                        .unwrap_or(LATENCY_BOUNDS_MICROS[LATENCY_BOUNDS_MICROS.len() - 1]),
+                );
+            }
+        }
+        Some(LATENCY_BOUNDS_MICROS[LATENCY_BOUNDS_MICROS.len() - 1])
+    }
+
+    /// Zeroes every counter (used by benchmarks between measurement runs;
+    /// concurrent recorders may land observations mid-reset, which is
+    /// acceptable for statistics).
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let h = Histogram::new();
+        for micros in [10, 20, 30, 40, 60, 80, 120, 300, 700, 1500] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 2860);
+        // p50 → 5th observation (60µs) lands in the ≤100 bucket.
+        assert_eq!(h.quantile(0.5), Some(100));
+        // p99 → 10th observation (1500µs) lands in the ≤2500 bucket.
+        assert_eq!(h.quantile(0.99), Some(2_500));
+        assert_eq!(h.quantile(0.1), Some(10));
+    }
+
+    #[test]
+    fn overflow_reports_last_bound() {
+        let h = Histogram::new();
+        h.record(10_000_000);
+        assert_eq!(h.quantile(0.5), Some(2_500_000));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None, "zero samples must not report a bucket bound");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

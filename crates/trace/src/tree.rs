@@ -1,0 +1,197 @@
+//! Completed span trees: the shape a trace takes once every span in it has
+//! closed, plus deterministic JSON and human-readable text renderings.
+//!
+//! JSON emission is hand-rolled (the workspace's `serde` is an offline
+//! marker shim) but trivially safe here: span kinds are a closed set of
+//! identifier labels and every other field is an unsigned integer, so no
+//! string escaping is ever required. Field order is fixed, making the output
+//! deterministic for a given tree — the `/debug/traces` endpoint and the
+//! slow-query log rely on that.
+
+use std::fmt::Write as _;
+
+use crate::SpanKind;
+
+/// One completed span: its kind, when it started relative to the root of
+/// its trace, how long it ran, and the spans completed underneath it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// What pipeline stage this span measured.
+    pub kind: SpanKind,
+    /// Start offset from the root span's start, in µs.
+    pub offset_micros: u64,
+    /// Wall-clock duration, in µs.
+    pub micros: u64,
+    /// Child spans, in completion order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Appends this node (and its subtree) as a JSON object.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"kind\":\"{}\",\"offset_micros\":{},\"micros\":{},\"children\":[",
+            self.kind.label(),
+            self.offset_micros,
+            self.micros
+        );
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.write_json(out);
+        }
+        out.push_str("]}");
+    }
+
+    /// Sum of durations of every span of `kind` in this subtree (the node
+    /// itself included).
+    pub fn kind_micros(&self, kind: SpanKind) -> u64 {
+        let own = if self.kind == kind { self.micros } else { 0 };
+        own + self.children.iter().map(|c| c.kind_micros(kind)).sum::<u64>()
+    }
+
+    /// Number of spans in this subtree (the node itself included).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = writeln!(out, "{} {}µs @{}µs", self.kind.label(), self.micros, self.offset_micros);
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// A finished trace: the root span tree plus a global sequence number
+/// (monotonically increasing across the process, so ring-buffer dumps have a
+/// stable order even after wrap-around).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedTrace {
+    /// Process-wide completion sequence number (1-based).
+    pub seq: u64,
+    /// The root span and everything nested under it.
+    pub root: SpanNode,
+}
+
+impl CompletedTrace {
+    /// Total wall-clock duration of the trace (the root span's duration).
+    pub fn total_micros(&self) -> u64 {
+        self.root.micros
+    }
+
+    /// Per-kind duration totals over the whole tree, in [`SpanKind::ALL`]
+    /// order, skipping kinds that never occurred.
+    pub fn phase_micros(&self) -> Vec<(SpanKind, u64)> {
+        SpanKind::ALL
+            .iter()
+            .filter_map(|&kind| {
+                let micros = self.root.kind_micros(kind);
+                (self.root.has_kind(kind)).then_some((kind, micros))
+            })
+            .collect()
+    }
+
+    /// Appends this trace as a JSON object
+    /// (`{"seq":…,"micros":…,"root":{…}}`).
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"seq\":{},\"micros\":{},\"root\":", self.seq, self.total_micros());
+        self.root.write_json(out);
+        out.push('}');
+    }
+
+    /// Renders the span tree as indented text, one span per line — the
+    /// `gks search --trace` output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace #{} ({}µs, {} spans)",
+            self.seq,
+            self.total_micros(),
+            self.root.span_count()
+        );
+        self.root.render_into(&mut out, 1);
+        out
+    }
+}
+
+impl SpanNode {
+    /// Whether any span of `kind` occurs in this subtree.
+    pub fn has_kind(&self, kind: SpanKind) -> bool {
+        self.kind == kind || self.children.iter().any(|c| c.has_kind(kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompletedTrace {
+        CompletedTrace {
+            seq: 7,
+            root: SpanNode {
+                kind: SpanKind::Request,
+                offset_micros: 0,
+                micros: 100,
+                children: vec![
+                    SpanNode {
+                        kind: SpanKind::Search,
+                        offset_micros: 5,
+                        micros: 80,
+                        children: vec![SpanNode {
+                            kind: SpanKind::Postings,
+                            offset_micros: 10,
+                            micros: 30,
+                            children: Vec::new(),
+                        }],
+                    },
+                    SpanNode {
+                        kind: SpanKind::Di,
+                        offset_micros: 90,
+                        micros: 9,
+                        children: Vec::new(),
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn json_shape_is_deterministic() {
+        let mut out = String::new();
+        sample().write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"seq\":7,\"micros\":100,\"root\":{\"kind\":\"request\",\"offset_micros\":0,\
+             \"micros\":100,\"children\":[{\"kind\":\"search\",\"offset_micros\":5,\"micros\":80,\
+             \"children\":[{\"kind\":\"postings\",\"offset_micros\":10,\"micros\":30,\
+             \"children\":[]}]},{\"kind\":\"di\",\"offset_micros\":90,\"micros\":9,\
+             \"children\":[]}]}}"
+        );
+    }
+
+    #[test]
+    fn phase_totals_and_counts() {
+        let t = sample();
+        assert_eq!(t.total_micros(), 100);
+        assert_eq!(t.root.span_count(), 4);
+        let phases = t.phase_micros();
+        assert!(phases.contains(&(SpanKind::Search, 80)));
+        assert!(phases.contains(&(SpanKind::Di, 9)));
+        assert!(!phases.iter().any(|(k, _)| *k == SpanKind::Rank), "absent kinds are skipped");
+    }
+
+    #[test]
+    fn text_rendering_is_indented() {
+        let text = sample().render_text();
+        assert!(text.starts_with("trace #7 (100µs, 4 spans)"), "{text}");
+        assert!(text.contains("\n  request 100µs @0µs"), "{text}");
+        assert!(text.contains("\n      postings 30µs @10µs"), "{text}");
+    }
+}

@@ -18,6 +18,12 @@
 //! * `no-process-exit` — `std::process::exit` is reserved for the `cli`
 //!   crate; a library that exits the process cannot be embedded in a
 //!   server.
+//! * `no-raw-timing` — `core` and `server` must not call `Instant::now()`
+//!   directly: timing routed through `gks-trace` spans lands in the
+//!   aggregated histograms, the trace ring, and the logs, while a raw
+//!   stopwatch is invisible to every sink. The few genuinely out-of-band
+//!   sites (the accept-loop deadline anchor, the client-side loadgen
+//!   harness) are allowlisted with reasons.
 //!
 //! Tests, benches, `datagen`, the offline dependency shims, and this driver
 //! itself are exempt by construction (they are not in the scanned set).
@@ -29,14 +35,15 @@ use crate::allow::Allowlist;
 use crate::scan::{scan_file, Line};
 
 /// Crates whose `src/` must be panic-free. The server joins the list: a
-/// panicking worker thread silently shrinks the pool.
-const PANIC_FREE: &[&str] = &["xml", "dewey", "text", "index", "core", "server"];
+/// panicking worker thread silently shrinks the pool, and the tracer (which
+/// runs inside every instrumented call) must never take a request down.
+const PANIC_FREE: &[&str] = &["xml", "dewey", "text", "index", "core", "server", "trace"];
 /// Crates checked for truncating casts on Dewey component types. The server
 /// is deliberately absent: its sources mention `doctor`, which the `doc`
 /// marker would false-positive on, and it never manipulates raw Dewey steps.
 const CAST_CHECKED: &[&str] = &["dewey", "index", "core"];
 /// Crates whose public functions must be documented.
-const DOC_REQUIRED: &[&str] = &["core", "index", "server"];
+const DOC_REQUIRED: &[&str] = &["core", "index", "server", "trace"];
 /// Crates scanned for `process::exit` (everything buildable except `cli`).
 const EXIT_CHECKED: &[&str] = &[
     "xml",
@@ -48,7 +55,10 @@ const EXIT_CHECKED: &[&str] = &[
     "datagen",
     "bench",
     "server",
+    "trace",
 ];
+/// Crates where wall-clock reads must flow through `gks-trace`.
+const TIMING_CHECKED: &[&str] = &["core", "server"];
 
 /// A single diagnostic.
 #[derive(Debug)]
@@ -68,6 +78,7 @@ pub fn print_coverage() {
         ("no-truncating-cast", CAST_CHECKED),
         ("pub-fn-docs", DOC_REQUIRED),
         ("no-process-exit", EXIT_CHECKED),
+        ("no-raw-timing", TIMING_CHECKED),
     ] {
         println!("{rule}: {}", crates.join(" "));
     }
@@ -116,6 +127,9 @@ pub fn run(root: &Path, verbose: bool) -> ExitCode {
             }
             if EXIT_CHECKED.contains(&krate) {
                 check_process_exit(&rel, &lines, &mut file_violations);
+            }
+            if TIMING_CHECKED.contains(&krate) {
+                check_raw_timing(&rel, &lines, &mut file_violations);
             }
             for v in file_violations {
                 let (code, raw) = lines
@@ -171,6 +185,7 @@ fn crate_union() -> Vec<&'static str> {
         .chain(CAST_CHECKED)
         .chain(DOC_REQUIRED)
         .chain(EXIT_CHECKED)
+        .chain(TIMING_CHECKED)
         .copied()
         .collect();
     all.sort_unstable();
@@ -340,6 +355,25 @@ fn check_process_exit(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
     }
 }
 
+fn check_raw_timing(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test_mod {
+            continue;
+        }
+        if line.code.contains("Instant::now") {
+            out.push(Violation {
+                path: path.to_string(),
+                line: i + 1,
+                rule: "no-raw-timing",
+                message: "`Instant::now()` outside gks-trace — open a `gks_trace::span` \
+                          (or read `Span::elapsed_micros`) so the measurement reaches \
+                          the histograms, the trace ring, and the logs"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Extracts the function name from a `pub fn ...` line for diagnostics.
 fn fn_name(decl: &str) -> &str {
     let after = decl
@@ -449,5 +483,20 @@ fn private_ok() {}
         let src = "fn f() { std::process::exit(2); }\n";
         let hits = run_rule(src, check_process_exit);
         assert_eq!(hits, vec![(1, "no-process-exit")]);
+    }
+
+    #[test]
+    fn raw_timing_flagged_outside_tests_only() {
+        let src = "\
+fn f() { let t = Instant::now(); }
+fn g() { let span = gks_trace::span(SpanKind::Parse); }
+// Instant::now() in a comment
+#[cfg(test)]
+mod tests {
+    fn t() { let t = Instant::now(); }
+}
+";
+        let hits = run_rule(src, check_raw_timing);
+        assert_eq!(hits, vec![(1, "no-raw-timing")]);
     }
 }
