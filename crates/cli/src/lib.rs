@@ -9,15 +9,19 @@
 //! * `census <file.xml>…` — the §7.2 node-category census (`--schema` adds
 //!   the schema-harmonized view);
 //! * `info <index.gksix>` — index statistics;
-//! * `doctor <index.gksix>` — audit a persisted index against the structural
-//!   invariants of paper §2.1/§2.4 (sorted postings, parent closure, census
-//!   consistency, attribute-store resolvability);
+//! * `doctor <index.gksix>…` — audit persisted indexes against the
+//!   structural invariants of paper §2.1/§2.4 (sorted postings, parent
+//!   closure, census consistency, attribute-store resolvability);
 //! * `generate <dataset> <scale> <out.xml>` — write a synthetic corpus;
-//! * `serve <index.gksix>` — run the resident HTTP query service
-//!   (`gks-server`: worker pool, admission control, result cache, /metrics);
+//! * `serve [<index.gksix>] [--index NAME=PATH]…` — run the resident HTTP
+//!   query service (`gks-server`: a catalog of indexes routed by
+//!   `/ix/<name>/` prefix, worker pool, admission control, per-index result
+//!   caches, /metrics). SIGHUP or `POST /admin/reload` hot-swaps an index
+//!   without dropping in-flight requests;
 //! * `loadgen <host:port> <workload.txt>` — load generator against a
 //!   running `serve` (closed-loop by default, `--open-loop --rate` for a
-//!   paced schedule), reporting QPS and latency percentiles.
+//!   paced schedule, `--index NAME[=WEIGHT]` for a multi-index traffic
+//!   mix), reporting QPS and latency percentiles.
 //!
 //! `search` and `suggest` accept `--json`, emitting exactly the wire format
 //! the serve endpoints return (`gks_core::wire`), so scripts can switch
@@ -39,6 +43,7 @@ use gks_core::search::{SearchOptions, Threshold};
 use gks_core::wire;
 use gks_datagen::Dataset;
 use gks_index::{Corpus, GksIndex, IndexOptions, SchemaSummary};
+use gks_server::catalog::{IndexSpec, DEFAULT_INDEX_NAME};
 use gks_server::{loadgen, signal, ServeConfig};
 
 /// CLI failure: message plus suggested exit code.
@@ -73,21 +78,30 @@ USAGE:
   gks census [--schema] <file.xml>...
   gks schema <index.gksix>
   gks info <index.gksix>
-  gks doctor <index.gksix>
+  gks doctor <index.gksix>...
   gks generate <dataset> <scale> <out.xml>
   gks repl <index.gksix>
-  gks serve <index.gksix> [--addr HOST:PORT] [--workers N] [--queue N]
+  gks serve [<index.gksix>] [--index NAME=PATH]... [--default-index NAME]
+            [--addr HOST:PORT] [--workers N] [--queue N]
             [--deadline-ms N] [--cache-mb N] [--query-log FILE]
-            [--slow-log FILE] [--slow-ms N] [--trace-ring N] [--no-trace]
+            [--slow-log FILE] [--slow-ms N] [--trace-ring N]
+            [--trace-sample N|1/N] [--no-trace]
   gks loadgen <host:port> <workload.txt> [--clients N] [--requests N]
             [--zipf S] [--seed N] [--timeout-ms N] [--open-loop --rate QPS]
+            [--index NAME[=WEIGHT]]...
 
 `--json` emits the same wire format the serve endpoints return.
 `--trace` prints the span tree (per-phase timings) after the results.
-`serve` drains in-flight requests and exits 0 on SIGTERM/ctrl-c; its
-query/slow logs are JSONL, one object per request.
+`serve` hosts a catalog: the positional index registers as \"default\",
+each --index NAME=PATH adds another, reachable under /ix/NAME/search.
+SIGHUP (or POST /admin/reload?index=NAME) hot-swaps an index in place;
+--trace-sample 1/N keeps one in N request traces. `serve` drains
+in-flight requests and exits 0 on SIGTERM/ctrl-c; its query/slow logs
+are JSONL, one object per request.
 `loadgen --open-loop` paces requests on a fixed schedule (no coordinated
 omission); latencies are then measured from the scheduled send time.
+`loadgen --index NAME=WEIGHT` (repeatable) spreads traffic over catalog
+indexes proportional to the weights.
 
 DATASETS (for generate):
   sigmod mondial plays treebank swissprot protein dblp nasa interpro
@@ -479,24 +493,36 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
-    let [path] = args else {
-        return Err(CliError::usage("usage: gks doctor <index.gksix>"));
-    };
-    let index = GksIndex::load(path)
-        .map_err(|e| CliError::runtime(format!("cannot load index {path:?}: {e}")))?;
-    let violations = index.doctor();
-    if violations.is_empty() {
-        let s = index.stats();
-        return Ok(format!(
-            "{path}: index is healthy — 0 violation(s) across {} node(s), {} term(s), {} posting(s)\n",
-            s.total_nodes, s.distinct_terms, s.total_postings
-        ));
+    if args.is_empty() {
+        return Err(CliError::usage("usage: gks doctor <index.gksix>..."));
     }
-    let mut message = format!("{path}: {} violation(s) found\n", violations.len());
-    for v in &violations {
-        let _ = writeln!(message, "  {v}");
+    // Audit every index (mirroring the server's catalog-wide GET /doctor);
+    // the run fails if any one of them is sick, but all are still reported.
+    let mut out = String::new();
+    let mut sick = 0usize;
+    for path in args {
+        let index = GksIndex::load(path)
+            .map_err(|e| CliError::runtime(format!("cannot load index {path:?}: {e}")))?;
+        let violations = index.doctor();
+        if violations.is_empty() {
+            let s = index.stats();
+            let _ = writeln!(
+                out,
+                "{path}: index is healthy — 0 violation(s) across {} node(s), {} term(s), {} posting(s)",
+                s.total_nodes, s.distinct_terms, s.total_postings
+            );
+        } else {
+            sick += 1;
+            let _ = writeln!(out, "{path}: {} violation(s) found", violations.len());
+            for v in &violations {
+                let _ = writeln!(out, "  {v}");
+            }
+        }
     }
-    Err(CliError::runtime(message))
+    if sick > 0 {
+        return Err(CliError::runtime(out));
+    }
+    Ok(out)
 }
 
 fn take_value<'a>(
@@ -512,17 +538,48 @@ fn parse_value<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliEr
         .map_err(|_| CliError::usage(format!("bad {flag} value {value:?}")))
 }
 
+/// Parses a `--trace-sample` spelling: `N` or `1/N`, N ≥ 1.
+fn parse_trace_sample(value: &str) -> Option<u64> {
+    let n = value.strip_prefix("1/").unwrap_or(value);
+    n.parse::<u64>().ok().filter(|&n| n >= 1)
+}
+
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
-    const SERVE_USAGE: &str = "usage: gks serve <index.gksix> [--addr HOST:PORT] \
-        [--workers N] [--queue N] [--deadline-ms N] [--cache-mb N] \
-        [--query-log FILE] [--slow-log FILE] [--slow-ms N] [--trace-ring N] [--no-trace]";
-    let Some((index_path, rest)) = args.split_first() else {
-        return Err(CliError::usage(SERVE_USAGE));
+    const SERVE_USAGE: &str = "usage: gks serve [<index.gksix>] [--index NAME=PATH]... \
+        [--default-index NAME] [--addr HOST:PORT] [--workers N] [--queue N] \
+        [--deadline-ms N] [--cache-mb N] [--query-log FILE] [--slow-log FILE] \
+        [--slow-ms N] [--trace-ring N] [--trace-sample N|1/N] [--no-trace]";
+    // The positional path (registered as the "default" index) is optional
+    // when --index flags supply the catalog.
+    let (positional, rest) = match args.split_first() {
+        Some((first, rest)) if !first.starts_with("--") => (Some(first), rest),
+        _ => (None, args),
     };
     let mut config = ServeConfig::default();
+    let mut specs: Vec<IndexSpec> = Vec::new();
+    if let Some(path) = positional {
+        specs.push(IndexSpec::with_source(DEFAULT_INDEX_NAME, path));
+    }
+    let mut default_index: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--index" => {
+                let v = take_value(&mut it, "--index")?;
+                let Some((name, path)) = v.split_once('=') else {
+                    return Err(CliError::usage(format!("--index wants NAME=PATH, got {v:?}")));
+                };
+                specs.push(IndexSpec::with_source(name, path));
+            }
+            "--default-index" => {
+                default_index = Some(take_value(&mut it, "--default-index")?.clone());
+            }
+            "--trace-sample" => {
+                let v = take_value(&mut it, "--trace-sample")?;
+                config.trace_sample = parse_trace_sample(v).ok_or_else(|| {
+                    CliError::usage(format!("bad --trace-sample value {v:?} (want N or 1/N)"))
+                })?;
+            }
             "--addr" => config.addr = take_value(&mut it, "--addr")?.clone(),
             "--workers" => {
                 config.workers = parse_value(take_value(&mut it, "--workers")?, "--workers")?;
@@ -558,12 +615,17 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             other => return Err(CliError::usage(format!("unknown serve flag {other:?}"))),
         }
     }
-    let engine = std::sync::Arc::new(load_engine(index_path)?);
-    let server = gks_server::serve(engine, config.clone())
+    if specs.is_empty() {
+        return Err(CliError::usage(SERVE_USAGE));
+    }
+    let index_names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
+    let server = gks_server::serve_catalog(specs, default_index.as_deref(), config.clone())
         .map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
-    // Clear any stale flag (e.g. a prior run in the same test process), then
-    // hook SIGTERM/ctrl-c so `kill` triggers a drain instead of a hard stop.
+    // Clear any stale flags (e.g. a prior run in the same test process),
+    // then hook SIGTERM/ctrl-c so `kill` triggers a drain instead of a hard
+    // stop, and SIGHUP so it hot-swaps the default index.
     signal::request_shutdown(false);
+    signal::request_reload(false);
     let have_signals = signal::install_shutdown_handler();
     println!(
         "gks-serve: listening on {} ({} worker(s), queue {}, deadline {} ms, cache {} MiB)",
@@ -572,6 +634,11 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         config.queue_depth,
         config.deadline.as_millis(),
         config.cache_bytes / (1024 * 1024)
+    );
+    println!(
+        "gks-serve: catalog [{}], default index {:?}",
+        index_names.join(", "),
+        server.state().catalog().default_index().name()
     );
     if let Some(path) = &config.query_log {
         println!("gks-serve: query log -> {}", path.display());
@@ -588,6 +655,17 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     }
     let _ = std::io::Write::flush(&mut std::io::stdout());
     while !signal::shutdown_requested() {
+        if signal::take_reload_request() {
+            // SIGHUP: hot-swap the default index off the signal path (the
+            // handler only sets a flag; this loop does the actual work).
+            match server.state().reload_default() {
+                Ok((before, after)) => println!(
+                    "gks-serve: reloaded default index (identity {before:#x} -> {after:#x})"
+                ),
+                Err(e) => println!("gks-serve: reload failed: {e}"),
+            }
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        }
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     let report = server.shutdown();
@@ -600,7 +678,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
     const LOADGEN_USAGE: &str = "usage: gks loadgen <host:port> <workload.txt> \
         [--clients N] [--requests N] [--zipf S] [--seed N] [--timeout-ms N] \
-        [--open-loop --rate QPS]";
+        [--open-loop --rate QPS] [--index NAME[=WEIGHT]]...";
     let [addr_raw, workload_path, rest @ ..] = args else {
         return Err(CliError::usage(LOADGEN_USAGE));
     };
@@ -634,6 +712,13 @@ fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
             "--open-loop" => open_loop = true,
             "--rate" => {
                 rate_qps = Some(parse_value(take_value(&mut it, "--rate")?, "--rate")?);
+            }
+            "--index" => {
+                let v = take_value(&mut it, "--index")?;
+                let target = loadgen::parse_index_target(v).ok_or_else(|| {
+                    CliError::usage(format!("bad --index value {v:?} (want NAME or NAME=WEIGHT)"))
+                })?;
+                config.targets.push(target);
             }
             other => return Err(CliError::usage(format!("unknown loadgen flag {other:?}"))),
         }
@@ -809,7 +894,7 @@ mod tests {
 
     #[test]
     fn serve_and_loadgen_flag_validation() {
-        assert_eq!(run(&args(&["serve"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["serve"])).unwrap_err().code, 2, "no index at all");
         let err = run(&args(&["serve", "/tmp/x.gksix", "--bogus"])).unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("unknown serve flag"));
@@ -821,6 +906,23 @@ mod tests {
         assert_eq!(err.code, 2, "non-numeric slow threshold");
         let err = run(&args(&["serve", "/tmp/x.gksix", "--query-log"])).unwrap_err();
         assert_eq!(err.code, 2, "missing log path");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--index", "noequals"])).unwrap_err();
+        assert_eq!(err.code, 2, "--index wants NAME=PATH");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--trace-sample", "0"])).unwrap_err();
+        assert_eq!(err.code, 2, "sample rate must be >= 1");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--trace-sample", "1/x"])).unwrap_err();
+        assert_eq!(err.code, 2, "non-numeric 1/N sample rate");
+        // A catalog made only of --index flags (no positional) is accepted
+        // at parse time; a missing file is then a runtime (load) error.
+        let err = run(&args(&["serve", "--index", "a=/no/such.gksix"])).unwrap_err();
+        assert_eq!(err.code, 1, "parse passed, load failed");
+
+        assert_eq!(parse_trace_sample("1"), Some(1));
+        assert_eq!(parse_trace_sample("16"), Some(16));
+        assert_eq!(parse_trace_sample("1/8"), Some(8));
+        assert_eq!(parse_trace_sample("1/0"), None);
+        assert_eq!(parse_trace_sample("0"), None);
+        assert_eq!(parse_trace_sample("2/3"), None);
 
         assert_eq!(run(&args(&["loadgen"])).unwrap_err().code, 2);
         let err = run(&args(&["loadgen", "not-an-addr", "/tmp/w.txt"])).unwrap_err();
@@ -848,6 +950,9 @@ mod tests {
         ]))
         .unwrap_err();
         assert_eq!(err.code, 2, "non-numeric rate");
+        let err =
+            run(&args(&["loadgen", "127.0.0.1:1", "/tmp/w.txt", "--index", "a=0"])).unwrap_err();
+        assert_eq!(err.code, 2, "zero traffic weight");
 
         // The usage text must list every subcommand (satellite: docs drift).
         for sub in [
@@ -862,9 +967,12 @@ mod tests {
             "--slow-log",
             "--slow-ms",
             "--trace-ring",
+            "--trace-sample",
             "--no-trace",
             "--open-loop",
             "--rate",
+            "--index",
+            "--default-index",
         ] {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

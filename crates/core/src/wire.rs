@@ -191,6 +191,60 @@ pub fn doctor_response_json(engine: &Engine) -> String {
     out
 }
 
+/// Serializes one catalog index's doctor report: the [`doctor_response_json`]
+/// object with an `"index"` route-key field prepended —
+/// `{"index":"dblp","healthy":true,…}`.
+pub fn doctor_entry_json(name: &str, engine: &Engine) -> String {
+    let inner = doctor_response_json(engine);
+    let mut out = String::with_capacity(inner.len() + name.len() + 16);
+    out.push_str("{\"index\":");
+    push_json_str(&mut out, name);
+    out.push(',');
+    // Splice the per-index fields out of the inner object (skip its '{').
+    out.push_str(&inner[1..]);
+    out
+}
+
+/// Serializes a whole-catalog doctor report from per-index entries produced
+/// by [`doctor_entry_json`]:
+///
+/// ```json
+/// {"healthy":true,"indexes":[{"index":"a",…},{"index":"b",…}]}
+/// ```
+///
+/// The top-level `healthy` is the conjunction over the entries, read back
+/// from the deterministic serialized form (every entry carries exactly one
+/// `"healthy":` field).
+pub fn catalog_doctor_json(entries: &[String]) -> String {
+    let healthy = entries.iter().all(|e| e.contains("\"healthy\":true"));
+    let mut out = String::with_capacity(32 + entries.iter().map(String::len).sum::<usize>());
+    let _ = write!(out, "{{\"healthy\":{healthy},\"indexes\":[");
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(entry);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes the `POST /admin/reload` response: which index was swapped and
+/// the identity transition —
+/// `{"index":"dblp","identity_before":7,"identity_after":9,"changed":true}`.
+pub fn reload_response_json(name: &str, identity_before: u64, identity_after: u64) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"index\":");
+    push_json_str(&mut out, name);
+    let _ = write!(
+        out,
+        ",\"identity_before\":{identity_before},\"identity_after\":{identity_after},\
+         \"changed\":{}}}",
+        identity_before != identity_after
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +313,32 @@ mod tests {
 
         let d = doctor_response_json(&e);
         assert!(d.starts_with("{\"healthy\":true,\"violations\":[]"), "{d}");
+    }
+
+    #[test]
+    fn catalog_doctor_json_shapes() {
+        let e = engine();
+        let entry = doctor_entry_json("dblp", &e);
+        assert!(entry.starts_with("{\"index\":\"dblp\",\"healthy\":true"), "{entry}");
+
+        let all = catalog_doctor_json(&[entry.clone(), doctor_entry_json("nasa", &e)]);
+        assert!(all.starts_with("{\"healthy\":true,\"indexes\":[{\"index\":\"dblp\""), "{all}");
+        assert!(all.contains("{\"index\":\"nasa\""), "{all}");
+
+        // One sick entry flips the conjunction.
+        let sick = entry.replace("\"healthy\":true", "\"healthy\":false");
+        let mixed = catalog_doctor_json(&[entry, sick]);
+        assert!(mixed.starts_with("{\"healthy\":false"), "{mixed}");
+    }
+
+    #[test]
+    fn reload_json_reports_identity_transition() {
+        let j = reload_response_json("dblp", 7, 9);
+        assert_eq!(
+            j,
+            "{\"index\":\"dblp\",\"identity_before\":7,\"identity_after\":9,\"changed\":true}"
+        );
+        let same = reload_response_json("dblp", 7, 7);
+        assert!(same.ends_with("\"changed\":false}"), "{same}");
     }
 }

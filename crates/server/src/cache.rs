@@ -9,10 +9,15 @@
 //!
 //! Capacity is accounted in **bytes** (key + value + bookkeeping overhead),
 //! split evenly across shards. Each shard is an intrusive doubly-linked LRU
-//! list over a slot vector, so `get`/`put`/evict are O(1). The whole cache
-//! is tied to an **index identity** fingerprint: [`ResultCache::ensure_identity`]
-//! drops every entry when the resident index changes, so a reloaded or
-//! swapped index can never serve stale bytes.
+//! list over a slot vector, so `get`/`put`/evict are O(1). The cache is tied
+//! to an **index identity** fingerprint at two levels: every entry is tagged
+//! with the identity it was computed against, and a hit is returned only
+//! when the tag matches the reader's identity ([`ResultCache::get_for`]) —
+//! so a hot-swapped index can never serve stale bytes even while old-engine
+//! requests are still in flight. [`ResultCache::ensure_identity`] is the
+//! bulk complement: it drops every entry when the resident identity changes,
+//! reclaiming memory that the per-entry tags would otherwise only retire
+//! lazily through LRU pressure.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +34,9 @@ const NIL: usize = usize::MAX;
 struct Slot {
     key: String,
     value: Arc<[u8]>,
+    /// Index identity the value was computed against; hits require an exact
+    /// match with the reader's identity.
+    identity: u64,
     charge: usize,
     prev: usize,
     next: usize,
@@ -92,11 +100,19 @@ impl Shard {
         self.head = idx;
     }
 
-    fn get(&mut self, key: &str) -> Option<Arc<[u8]>> {
+    fn get(&mut self, key: &str, identity: u64) -> Option<Arc<[u8]>> {
         let idx = *self.map.get(key)?;
+        let slot = self.slots.get(idx).and_then(|s| s.as_ref())?;
+        if slot.identity != identity {
+            // An entry from a different engine generation. Leave it in place
+            // — it may still be valid for readers on that generation — but
+            // never serve it across generations.
+            return None;
+        }
+        let value = Arc::clone(&slot.value);
         self.detach(idx);
         self.push_front(idx);
-        self.slots.get(idx).and_then(|s| s.as_ref()).map(|s| Arc::clone(&s.value))
+        Some(value)
     }
 
     fn remove_slot(&mut self, idx: usize) {
@@ -115,7 +131,7 @@ impl Shard {
         }
     }
 
-    fn put(&mut self, key: String, value: Arc<[u8]>) {
+    fn put(&mut self, key: String, value: Arc<[u8]>, identity: u64) {
         let charge = key.len() + value.len() + ENTRY_OVERHEAD;
         if charge > self.capacity {
             return; // would evict the whole shard for one oversized entry
@@ -130,7 +146,8 @@ impl Shard {
                 self.slots.len() - 1
             }
         };
-        self.slots[idx] = Some(Slot { key: key.clone(), value, charge, prev: NIL, next: NIL });
+        self.slots[idx] =
+            Some(Slot { key: key.clone(), value, identity, charge, prev: NIL, next: NIL });
         self.map.insert(key, idx);
         self.push_front(idx);
         self.bytes += charge;
@@ -208,16 +225,33 @@ impl ResultCache {
         &self.shards[(h & self.mask) as usize]
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
+    /// Looks up `key` against the cache's current identity, refreshing its
+    /// recency on a hit.
     pub fn get(&self, key: &str) -> Option<Arc<[u8]>> {
-        lock_shard(self.shard_for(key)).get(key)
+        self.get_for(key, self.identity())
     }
 
-    /// Inserts `key → value`, evicting least-recently-used entries from the
-    /// target shard until it fits. Values larger than one shard's capacity
-    /// are silently not cached.
+    /// Looks up `key` for a reader pinned to `identity` (the engine
+    /// generation its request snapshot holds). Returns a hit only when the
+    /// entry was computed against that same identity — the load-bearing
+    /// guarantee that a hot-swap can never surface stale bytes.
+    pub fn get_for(&self, key: &str, identity: u64) -> Option<Arc<[u8]>> {
+        lock_shard(self.shard_for(key)).get(key, identity)
+    }
+
+    /// Inserts `key → value` tagged with the cache's current identity,
+    /// evicting least-recently-used entries from the target shard until it
+    /// fits. Values larger than one shard's capacity are silently not
+    /// cached.
     pub fn put(&self, key: String, value: Arc<[u8]>) {
-        lock_shard(self.shard_for(&key)).put(key, value);
+        self.put_for(key, value, self.identity());
+    }
+
+    /// Inserts `key → value` tagged with the writer's engine-generation
+    /// `identity`. A late writer on a superseded generation only inserts an
+    /// entry current readers will ignore (and LRU pressure will retire).
+    pub fn put_for(&self, key: String, value: Arc<[u8]>, identity: u64) {
+        lock_shard(self.shard_for(&key)).put(key, value, identity);
     }
 
     /// Drops every entry.
@@ -365,6 +399,22 @@ mod tests {
         c.ensure_identity(8);
         assert!(c.get("q").is_none(), "new identity must clear");
         assert_eq!(c.identity(), 8);
+    }
+
+    #[test]
+    fn entries_are_pinned_to_their_identity() {
+        let c = ResultCache::new(100_000, 1, 7);
+        c.put_for("q".into(), val(10), 7);
+        assert!(c.get_for("q", 7).is_some());
+        assert!(c.get_for("q", 8).is_none(), "a new generation must never see old bytes");
+        // The mismatched read leaves the entry alone: generation-7 readers
+        // still in flight keep their hit.
+        assert!(c.get_for("q", 7).is_some());
+        // A late put from a superseded generation is invisible to readers on
+        // the current one.
+        c.put_for("late".into(), val(10), 6);
+        assert!(c.get_for("late", 7).is_none());
+        assert!(c.get_for("late", 6).is_some());
     }
 
     #[test]

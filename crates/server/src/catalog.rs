@@ -1,0 +1,482 @@
+//! The engine catalog: many resident indexes in one process, each
+//! independently hot-swappable.
+//!
+//! The paper evaluates GKS over several corpora (DBLP, IMDB, Wikipedia);
+//! serving them from one process requires replacing the single-engine
+//! assumption with a registry. The catalog maps a **route key** (the
+//! `/ix/<name>/…` URL prefix, with a configurable default for bare
+//! `/search`) to a [`ResidentIndex`] bundling the engine generation, its
+//! result cache, and per-index counters.
+//!
+//! **Hot-swap protocol.** Each resident index holds its current generation
+//! as `RwLock<Arc<Loaded>>`. A request takes a *snapshot* (`Arc` clone under
+//! a read lock) once, then runs entirely against that generation — search,
+//! render, cache tagging. [`ResidentIndex::reload`] builds the replacement
+//! engine *before* taking the write lock, so the lock is held only for the
+//! pointer swap; in-flight requests finish on the old engine, which is freed
+//! when the last snapshot drops. Stale cache entries are impossible by
+//! construction: every cache entry is tagged with the identity it was
+//! computed against ([`crate::cache::ResultCache::get_for`]), and the swap
+//! additionally bulk-clears the superseded generation's entries.
+//!
+//! Route keys are normalized ([`normalize_path`]) — duplicate slashes,
+//! trailing slashes, and ASCII case differences all resolve to the same
+//! index and therefore the same cache.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use gks_core::engine::Engine;
+use gks_index::GksIndex;
+use gks_trace::{CompletedTrace, Histogram, SpanKind};
+
+use crate::cache::ResultCache;
+use crate::error::ServeError;
+use crate::metrics::{Endpoint, IndexMetricsView};
+use crate::{index_identity, ServeConfig};
+
+/// Route key used for an index registered without an explicit name (the
+/// single positional `gks serve` path).
+pub const DEFAULT_INDEX_NAME: &str = "default";
+
+/// One engine generation: the engine plus the identity fingerprint of the
+/// index it was built from. Requests snapshot this pair once and run
+/// entirely against it, so a mid-request hot-swap can never mix generations.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The resident engine of this generation.
+    pub engine: Arc<Engine>,
+    /// Identity fingerprint ([`index_identity`]) of the engine's index.
+    pub identity: u64,
+}
+
+#[derive(Debug)]
+enum IndexSource {
+    /// An already-built engine (tests, benches). Not reloadable.
+    Engine(Arc<Engine>),
+    /// A persisted `.gksix` file; reloadable by re-reading the path.
+    Path(PathBuf),
+}
+
+/// How an index enters the catalog: a route key plus either a prebuilt
+/// engine or a path to load (and later reload) it from.
+#[derive(Debug)]
+pub struct IndexSpec {
+    name: String,
+    source: IndexSource,
+}
+
+impl IndexSpec {
+    /// A spec wrapping an already-built engine. The index will serve but
+    /// cannot be hot-swap reloaded (there is no source to re-read).
+    pub fn with_engine(name: impl Into<String>, engine: Arc<Engine>) -> IndexSpec {
+        IndexSpec { name: name.into(), source: IndexSource::Engine(engine) }
+    }
+
+    /// A spec loading the engine from a persisted `.gksix` file; the same
+    /// path is re-read on every reload.
+    pub fn with_source(name: impl Into<String>, path: impl Into<PathBuf>) -> IndexSpec {
+        IndexSpec { name: name.into(), source: IndexSource::Path(path.into()) }
+    }
+
+    /// The route key this spec registers under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The number of engine phases tracked per index (`SpanKind::PHASES`).
+pub const PHASE_COUNT: usize = SpanKind::PHASES.len();
+
+/// Per-index counters: request and cache totals plus per-phase latency
+/// histograms, all lock-free.
+#[derive(Debug)]
+pub struct IndexCounters {
+    /// Queries (`/search` + `/suggest`) routed to this index.
+    pub requests_total: AtomicU64,
+    /// Result-cache hits for this index.
+    pub cache_hits_total: AtomicU64,
+    /// Result-cache misses for this index.
+    pub cache_misses_total: AtomicU64,
+    /// Completed hot-swap reloads.
+    pub reloads_total: AtomicU64,
+    /// Per-phase latency histograms, in [`SpanKind::PHASES`] order.
+    pub phases: [Histogram; PHASE_COUNT],
+}
+
+impl IndexCounters {
+    fn new() -> IndexCounters {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const EMPTY: Histogram = Histogram::new();
+        IndexCounters {
+            requests_total: AtomicU64::new(0),
+            cache_hits_total: AtomicU64::new(0),
+            cache_misses_total: AtomicU64::new(0),
+            reloads_total: AtomicU64::new(0),
+            phases: [EMPTY; PHASE_COUNT],
+        }
+    }
+}
+
+/// One resident index: the current engine generation behind a `RwLock`,
+/// its identity-keyed result cache, the optional source path reloads
+/// re-read, and per-index counters.
+#[derive(Debug)]
+pub struct ResidentIndex {
+    name: String,
+    source: Option<PathBuf>,
+    loaded: RwLock<Arc<Loaded>>,
+    cache: ResultCache,
+    counters: IndexCounters,
+}
+
+fn load_engine(name: &str, path: &Path) -> Result<Arc<Engine>, ServeError> {
+    let index = GksIndex::load(path)
+        .map_err(|e| ServeError::Index { name: name.to_string(), message: e.to_string() })?;
+    Ok(Arc::new(Engine::from_index(index)))
+}
+
+impl ResidentIndex {
+    fn from_spec(spec: IndexSpec, config: &ServeConfig) -> Result<ResidentIndex, ServeError> {
+        let name = spec.name.to_ascii_lowercase();
+        if name.is_empty() || name.contains('/') || name.chars().any(char::is_whitespace) {
+            return Err(ServeError::BadConfig(format!(
+                "index name {:?} is not a usable route key (must be non-empty, \
+                 without '/' or whitespace)",
+                spec.name
+            )));
+        }
+        let (engine, source) = match spec.source {
+            IndexSource::Engine(engine) => (engine, None),
+            IndexSource::Path(path) => (load_engine(&name, &path)?, Some(path)),
+        };
+        let identity = index_identity(engine.index());
+        Ok(ResidentIndex {
+            name,
+            source,
+            loaded: RwLock::new(Arc::new(Loaded { engine, identity })),
+            cache: ResultCache::new(config.cache_bytes, config.cache_shards, identity),
+            counters: IndexCounters::new(),
+        })
+    }
+
+    /// The normalized route key of this index.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `.gksix` path reloads re-read, if the index was loaded from one.
+    pub fn source(&self) -> Option<&Path> {
+        self.source.as_deref()
+    }
+
+    /// The current engine generation. The returned `Arc` pins the
+    /// generation: a reload swapping the slot does not affect the snapshot,
+    /// and the old engine is freed when the last snapshot drops.
+    pub fn snapshot(&self) -> Arc<Loaded> {
+        let slot = self.loaded.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(&slot)
+    }
+
+    /// Identity fingerprint of the current generation.
+    pub fn identity(&self) -> u64 {
+        self.snapshot().identity
+    }
+
+    /// This index's result cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// This index's counters.
+    pub fn counters(&self) -> &IndexCounters {
+        &self.counters
+    }
+
+    /// Hot-swap reload: re-reads the source path into a fresh engine (the
+    /// expensive part, done without any lock held), then atomically swaps it
+    /// in. In-flight requests holding the old snapshot finish undisturbed.
+    /// Returns `(identity_before, identity_after)`.
+    pub fn reload(&self) -> Result<(u64, u64), ServeError> {
+        let Some(path) = &self.source else {
+            return Err(ServeError::BadConfig(format!(
+                "index {:?} was registered without a source path and cannot be reloaded",
+                self.name
+            )));
+        };
+        let engine = load_engine(&self.name, path)?;
+        let identity = index_identity(engine.index());
+        Ok(self.swap_engine(engine, identity))
+    }
+
+    /// Installs a replacement engine generation (the tail of [`reload`],
+    /// also usable directly by tests). The write lock is held only for the
+    /// pointer swap. Returns `(identity_before, identity_after)`.
+    pub fn swap_engine(&self, engine: Arc<Engine>, identity: u64) -> (u64, u64) {
+        let replacement = Arc::new(Loaded { engine, identity });
+        let before = {
+            let mut slot = self.loaded.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let before = slot.identity;
+            *slot = replacement;
+            before
+        };
+        self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
+        // Bulk-evict the superseded generation's entries. Correctness does
+        // not depend on this — per-entry identity tags already make stale
+        // entries unservable — it just reclaims the memory eagerly.
+        self.cache.ensure_identity(identity);
+        (before, identity)
+    }
+
+    /// Folds the phase spans of a completed request trace into this index's
+    /// per-phase histograms.
+    pub fn record_phases(&self, trace: &CompletedTrace) {
+        for (i, kind) in SpanKind::PHASES.iter().enumerate() {
+            if trace.root.has_kind(*kind) {
+                self.counters.phases[i].record(trace.root.kind_micros(*kind));
+            }
+        }
+    }
+
+    /// Point-in-time view of this index for `/metrics` rendering.
+    pub fn metrics_view(&self) -> IndexMetricsView<'_> {
+        IndexMetricsView {
+            name: &self.name,
+            cache: self.cache.stats(),
+            identity: self.identity(),
+            requests_total: self.counters.requests_total.load(Ordering::Relaxed),
+            cache_hits_total: self.counters.cache_hits_total.load(Ordering::Relaxed),
+            cache_misses_total: self.counters.cache_misses_total.load(Ordering::Relaxed),
+            reloads_total: self.counters.reloads_total.load(Ordering::Relaxed),
+            phases: &self.counters.phases,
+        }
+    }
+}
+
+/// The registry of resident indexes, in registration order, with one of
+/// them designated the default for un-prefixed endpoint paths.
+#[derive(Debug)]
+pub struct EngineCatalog {
+    indexes: Vec<Arc<ResidentIndex>>,
+    default: usize,
+}
+
+impl EngineCatalog {
+    /// Builds the catalog, loading every path-backed spec. `default` names
+    /// the index bare `/search` addresses; `None` picks the first spec.
+    pub fn build(
+        specs: Vec<IndexSpec>,
+        default: Option<&str>,
+        config: &ServeConfig,
+    ) -> Result<EngineCatalog, ServeError> {
+        if specs.is_empty() {
+            return Err(ServeError::BadConfig("the catalog needs at least one index".into()));
+        }
+        let mut indexes: Vec<Arc<ResidentIndex>> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let resident = ResidentIndex::from_spec(spec, config)?;
+            if indexes.iter().any(|r| r.name == resident.name) {
+                return Err(ServeError::BadConfig(format!(
+                    "duplicate index name {:?} (route keys are case-insensitive)",
+                    resident.name
+                )));
+            }
+            indexes.push(Arc::new(resident));
+        }
+        let default = match default {
+            None => 0,
+            Some(name) => {
+                let key = name.to_ascii_lowercase();
+                indexes.iter().position(|r| r.name == key).ok_or_else(|| {
+                    ServeError::BadConfig(format!("default index {name:?} is not in the catalog"))
+                })?
+            }
+        };
+        Ok(EngineCatalog { indexes, default })
+    }
+
+    /// Looks up an index by its (already normalized) route key.
+    pub fn get(&self, name: &str) -> Option<&Arc<ResidentIndex>> {
+        self.indexes.iter().find(|r| r.name == name)
+    }
+
+    /// The index bare (un-prefixed) endpoint paths address.
+    pub fn default_index(&self) -> &Arc<ResidentIndex> {
+        // `default` is a validated position into a non-empty vector.
+        &self.indexes[self.default]
+    }
+
+    /// All resident indexes, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<ResidentIndex>> {
+        self.indexes.iter()
+    }
+
+    /// Number of resident indexes (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Never true — construction rejects an empty catalog. Present because
+    /// `len` without `is_empty` trips clippy.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+}
+
+/// Normalizes a request path into its route form: duplicate slashes
+/// collapse, trailing slashes drop (except the root itself), and ASCII case
+/// folds — `/ix/DBLP//search/` and `/ix/dblp/search` are the same route and
+/// therefore reach the same index and cache. Percent-decoding happened
+/// upstream in the HTTP parser.
+pub fn normalize_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() + 1);
+    out.push('/');
+    for segment in path.split('/').filter(|s| !s.is_empty()) {
+        if !out.ends_with('/') {
+            out.push('/');
+        }
+        for c in segment.chars() {
+            out.push(c.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+/// A routed request: which endpoint, and which index it explicitly
+/// addressed (`None` means the catalog default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The endpoint the (suffix) path names.
+    pub endpoint: Endpoint,
+    /// Route key from an `/ix/<name>/…` prefix, if one was present.
+    pub index: Option<String>,
+}
+
+/// Parses a request path into a [`Route`]: `/ix/<name>/<endpoint>` selects
+/// index `<name>`, any other path addresses the default index. The path is
+/// normalized first ([`normalize_path`]).
+pub fn route_path(path: &str) -> Route {
+    let normalized = normalize_path(path);
+    if let Some(rest) = normalized.strip_prefix("/ix/") {
+        return match rest.split_once('/') {
+            Some((name, suffix)) if !name.is_empty() => Route {
+                endpoint: Endpoint::of_path(&format!("/{suffix}")),
+                index: Some(name.into()),
+            },
+            // `/ix/<name>` with no endpoint suffix, or `/ix//…`: addressed
+            // an index but not an endpoint.
+            _ => Route { endpoint: Endpoint::Other, index: None },
+        };
+    }
+    Route { endpoint: Endpoint::of_path(&normalized), index: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gks_index::{Corpus, IndexOptions};
+
+    fn tiny_engine(tag: &str) -> Arc<Engine> {
+        let xml = format!("<r><a>{tag}</a><a>shared words</a></r>");
+        // The tag doubles as the document name: the identity fingerprint
+        // mixes doc names, so distinct tags guarantee distinct identities
+        // even when the structural stats coincide.
+        let corpus = Corpus::from_named_strs([(tag, xml.as_str())]).unwrap();
+        Arc::new(Engine::build(&corpus, IndexOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn normalizer_collapses_slashes_case_and_trailers() {
+        assert_eq!(normalize_path("/ix/dblp/search"), "/ix/dblp/search");
+        assert_eq!(normalize_path("/ix/dblp//search"), "/ix/dblp/search");
+        assert_eq!(normalize_path("/ix/DBLP/Search/"), "/ix/dblp/search");
+        assert_eq!(normalize_path("//ix///dblp///search//"), "/ix/dblp/search");
+        assert_eq!(normalize_path("/"), "/");
+        assert_eq!(normalize_path(""), "/");
+        assert_eq!(normalize_path("/debug/traces"), "/debug/traces");
+    }
+
+    #[test]
+    fn routes_resolve_prefix_and_default() {
+        let r = route_path("/ix/dblp/search");
+        assert_eq!(r.endpoint, Endpoint::Search);
+        assert_eq!(r.index.as_deref(), Some("dblp"));
+        // Normalization variants are the same route.
+        assert_eq!(route_path("/ix/DBLP//search/"), r);
+        assert_eq!(route_path("/search"), Route { endpoint: Endpoint::Search, index: None });
+        assert_eq!(
+            route_path("/ix/nasa/debug/traces"),
+            Route { endpoint: Endpoint::DebugTraces, index: Some("nasa".into()) }
+        );
+        assert_eq!(route_path("/ix/dblp/nope").endpoint, Endpoint::Other);
+        assert_eq!(route_path("/ix/dblp").endpoint, Endpoint::Other);
+        assert_eq!(route_path("/ix//search").endpoint, Endpoint::Other);
+    }
+
+    #[test]
+    fn catalog_registers_looks_up_and_defaults() {
+        let config = ServeConfig::default();
+        let specs = vec![
+            IndexSpec::with_engine("Alpha", tiny_engine("alpha")),
+            IndexSpec::with_engine("beta", tiny_engine("beta")),
+        ];
+        let catalog = EngineCatalog::build(specs, Some("beta"), &config).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert!(!catalog.is_empty());
+        assert_eq!(catalog.default_index().name(), "beta");
+        // Registration lowercased "Alpha"; lookups use normalized keys.
+        assert!(catalog.get("alpha").is_some());
+        assert!(catalog.get("nope").is_none());
+        assert_ne!(
+            catalog.get("alpha").unwrap().identity(),
+            catalog.get("beta").unwrap().identity()
+        );
+    }
+
+    #[test]
+    fn catalog_rejects_bad_configurations() {
+        let config = ServeConfig::default();
+        let empty: Vec<IndexSpec> = Vec::new();
+        assert!(EngineCatalog::build(empty, None, &config).is_err());
+        let dup = vec![
+            IndexSpec::with_engine("a", tiny_engine("x")),
+            IndexSpec::with_engine("A", tiny_engine("y")),
+        ];
+        assert!(EngineCatalog::build(dup, None, &config).is_err(), "case-insensitive duplicate");
+        let missing_default = vec![IndexSpec::with_engine("a", tiny_engine("x"))];
+        assert!(EngineCatalog::build(missing_default, Some("b"), &config).is_err());
+        let bad_name = vec![IndexSpec::with_engine("a/b", tiny_engine("x"))];
+        assert!(EngineCatalog::build(bad_name, None, &config).is_err());
+        let missing_path = vec![IndexSpec::with_source("a", "/nonexistent/x.gksix")];
+        assert!(matches!(
+            EngineCatalog::build(missing_path, None, &config),
+            Err(ServeError::Index { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_engine_changes_identity_and_clears_cache() {
+        let config = ServeConfig::default();
+        let specs = vec![IndexSpec::with_engine("a", tiny_engine("one"))];
+        let catalog = EngineCatalog::build(specs, None, &config).unwrap();
+        let resident = catalog.get("a").unwrap();
+        let old = resident.snapshot();
+        resident.cache().put("k".into(), Arc::from(&b"v"[..]));
+        assert!(resident.cache().get("k").is_some());
+        assert!(resident.reload().is_err(), "engine-backed indexes cannot reload");
+
+        let replacement = tiny_engine("two");
+        let new_identity = index_identity(replacement.index());
+        let (before, after) = resident.swap_engine(replacement, new_identity);
+        assert_eq!(before, old.identity);
+        assert_eq!(after, new_identity);
+        assert_ne!(before, after);
+        assert_eq!(resident.identity(), new_identity);
+        assert_eq!(resident.counters().reloads_total.load(Ordering::Relaxed), 1);
+        assert!(resident.cache().get("k").is_none(), "swap clears the old generation");
+        // The pre-swap snapshot still works: old generation pinned.
+        assert_eq!(old.identity, before);
+        assert!(Arc::strong_count(&old.engine) >= 1);
+    }
+}

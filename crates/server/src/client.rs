@@ -1,7 +1,7 @@
-//! A minimal blocking HTTP/1.1 GET client — just enough for the load
-//! generator, the CI smoke check, and tests to talk to a running server
-//! without external dependencies. One request per connection (the server
-//! always answers `Connection: close`).
+//! A minimal blocking HTTP/1.1 client (GET, plus body-less POST for admin
+//! endpoints) — just enough for the load generator, the CI smoke check, and
+//! tests to talk to a running server without external dependencies. One
+//! request per connection (the server always answers `Connection: close`).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -38,10 +38,31 @@ pub fn http_get(
     target: &str,
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    http_request("GET", addr, target, timeout)
+}
+
+/// Issues a body-less `POST {target}` against `addr` (the shape the
+/// `/admin/reload` endpoint expects) and reads the full response.
+pub fn http_post(
+    addr: SocketAddr,
+    target: &str,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    http_request("POST", addr, target, timeout)
+}
+
+fn http_request(
+    method: &str,
+    addr: SocketAddr,
+    target: &str,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let request = format!("GET {target} HTTP/1.1\r\nHost: gks\r\nConnection: close\r\n\r\n");
+    let request = format!(
+        "{method} {target} HTTP/1.1\r\nHost: gks\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    );
     stream.write_all(request.as_bytes())?;
     let mut raw = Vec::with_capacity(4096);
     stream.read_to_end(&mut raw)?;

@@ -20,6 +20,13 @@ pub enum ServeError {
     BadResponse(String),
     /// A configuration value is unusable (zero workers, empty workload, …).
     BadConfig(String),
+    /// Loading (or hot-swap reloading) a catalog index failed.
+    Index {
+        /// The catalog route key of the index.
+        name: String,
+        /// What went wrong while loading it.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -29,6 +36,7 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "I/O error: {e}"),
             ServeError::BadResponse(m) => write!(f, "malformed HTTP response: {m}"),
             ServeError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            ServeError::Index { name, message } => write!(f, "index {name:?}: {message}"),
         }
     }
 }

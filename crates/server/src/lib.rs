@@ -4,9 +4,13 @@
 //! queries and a DI-driven refinement loop in which a user issues several
 //! related queries against the same corpus. That only makes sense with a
 //! long-lived index whose per-query setup cost is amortized away — so this
-//! crate keeps an [`Engine`] resident and serves it over HTTP/1.1, std-only
-//! (the workspace vendors its dependencies; the listener is a hand-rolled
-//! subset on `std::net`).
+//! crate keeps a **catalog** of resident [`Engine`]s ([`catalog`]) and
+//! serves them over HTTP/1.1, std-only (the workspace vendors its
+//! dependencies; the listener is a hand-rolled subset on `std::net`).
+//! `/ix/<name>/search` addresses a specific index; bare `/search` goes to
+//! the catalog's default. Each index can be hot-swap reloaded
+//! (`POST /admin/reload?index=<name>`, or SIGHUP for the default) without
+//! dropping in-flight requests.
 //!
 //! Architecture, front to back:
 //!
@@ -19,11 +23,12 @@
 //!   response. Each request carries a **deadline** from the moment it was
 //!   accepted; work still pending past the deadline (including time spent
 //!   queued) is aborted with `503` and counted.
-//! * **result cache** — a sharded LRU ([`cache::ResultCache`]) keyed on the
-//!   normalized `(endpoint, query, s, limit)` tuple, storing the exact
-//!   response bytes; the deterministic wire format (`gks_core::wire`) makes
-//!   a hit byte-identical to recomputation. The cache is invalidated by
-//!   index identity ([`index_identity`]).
+//! * **result cache** — one sharded LRU per index ([`cache::ResultCache`])
+//!   keyed on the normalized `(endpoint, query, s, limit)` tuple, storing
+//!   the exact response bytes; the deterministic wire format
+//!   (`gks_core::wire`) makes a hit byte-identical to recomputation. Every
+//!   entry is tagged with the index identity ([`index_identity`]) it was
+//!   computed against, so a hot-swap can never serve stale bytes.
 //! * **metrics** — lock-free counters and a latency histogram
 //!   ([`metrics::Metrics`]) exposed at `GET /metrics`.
 //! * **graceful shutdown** — [`Server::shutdown`] stops accepting, drains
@@ -38,10 +43,12 @@
 //!   a threshold-gated slow-query log embedding the full span tree.
 //!
 //! Endpoints: `GET /search`, `GET /suggest`, `GET /doctor`, `GET /healthz`,
-//! `GET /metrics`, `GET /debug/traces`. See [`ServeState::handle`] for
-//! parameters.
+//! `GET /metrics`, `GET /debug/traces`, `POST /admin/reload` — each of the
+//! first three also under an `/ix/<name>/` prefix. See
+//! [`ServeState::handle`] for parameters.
 
 pub mod cache;
+pub mod catalog;
 pub mod client;
 pub mod error;
 pub mod http;
@@ -67,6 +74,7 @@ use gks_index::GksIndex;
 use gks_trace::SpanKind;
 
 use crate::cache::ResultCache;
+use crate::catalog::{EngineCatalog, IndexSpec, Loaded, ResidentIndex};
 use crate::error::ServeError;
 use crate::http::{HttpResponse, Request};
 use crate::metrics::{Endpoint, Metrics};
@@ -98,6 +106,10 @@ pub struct ServeConfig {
     pub trace: bool,
     /// Capacity of the completed-trace ring buffer.
     pub trace_ring: usize,
+    /// Trace head-sampling rate: keep 1-in-N root spans (1 = keep all).
+    /// Sampled-out requests still count in `gks_trace_spans_total`, but skip
+    /// the histogram/ring/slow-log-tree writes.
+    pub trace_sample: u64,
     /// JSONL query log path (`None` disables it).
     pub query_log: Option<PathBuf>,
     /// JSONL slow-query log path (`None` disables it).
@@ -120,6 +132,7 @@ impl Default for ServeConfig {
             max_limit: 1_000,
             trace: true,
             trace_ring: gks_trace::DEFAULT_RING_CAPACITY,
+            trace_sample: 1,
             query_log: None,
             slow_log: None,
             slow_threshold: Duration::from_millis(500),
@@ -157,16 +170,14 @@ pub fn index_identity(index: &GksIndex) -> u64 {
     h
 }
 
-/// Shared per-server state: the resident engine, cache, metrics, config.
-/// Routing lives here ([`ServeState::handle`]) so tests and the property
-/// suite can drive the service without sockets.
+/// Shared per-server state: the engine catalog, metrics, config. Routing
+/// lives here ([`ServeState::handle`]) so tests and the property suite can
+/// drive the service without sockets.
 #[derive(Debug)]
 pub struct ServeState {
-    engine: Arc<Engine>,
-    cache: ResultCache,
+    catalog: EngineCatalog,
     metrics: Metrics,
     config: ServeConfig,
-    identity: u64,
     accepted: AtomicU64,
     served: AtomicU64,
     query_log: Option<qlog::LogFile>,
@@ -174,25 +185,37 @@ pub struct ServeState {
 }
 
 impl ServeState {
-    /// Builds the state for `engine` under `config`, opening the query and
-    /// slow-query logs if configured. Tracing is enabled process-wide when
-    /// `config.trace` is set (it is never force-disabled here — another
-    /// in-process consumer, e.g. a test harness, may also depend on it).
+    /// Builds single-index state for `engine` under `config` — the
+    /// historical entry point, now a catalog of one index named
+    /// [`catalog::DEFAULT_INDEX_NAME`].
     pub fn new(engine: Arc<Engine>, config: ServeConfig) -> Result<ServeState, ServeError> {
-        let identity = index_identity(engine.index());
-        let cache = ResultCache::new(config.cache_bytes, config.cache_shards, identity);
+        let specs = vec![IndexSpec::with_engine(catalog::DEFAULT_INDEX_NAME, engine)];
+        ServeState::with_catalog(specs, None, config)
+    }
+
+    /// Builds the state for a whole catalog of indexes, opening the query
+    /// and slow-query logs if configured. `default` names the index bare
+    /// `/search` addresses (`None` → the first spec). Tracing is enabled
+    /// process-wide when `config.trace` is set (it is never force-disabled
+    /// here — another in-process consumer, e.g. a test harness, may also
+    /// depend on it).
+    pub fn with_catalog(
+        specs: Vec<IndexSpec>,
+        default: Option<&str>,
+        config: ServeConfig,
+    ) -> Result<ServeState, ServeError> {
+        let catalog = EngineCatalog::build(specs, default, &config)?;
         let query_log = config.query_log.as_deref().map(qlog::LogFile::open).transpose()?;
         let slow_log = config.slow_log.as_deref().map(qlog::LogFile::open).transpose()?;
         if config.trace {
             gks_trace::set_ring_capacity(config.trace_ring);
             gks_trace::set_enabled(true);
+            gks_trace::set_sample_every(config.trace_sample);
         }
         Ok(ServeState {
-            engine,
-            cache,
+            catalog,
             metrics: Metrics::default(),
             config,
-            identity,
             accepted: AtomicU64::new(0),
             served: AtomicU64::new(0),
             query_log,
@@ -205,14 +228,14 @@ impl ServeState {
         &self.metrics
     }
 
-    /// The result cache.
+    /// The default index's result cache (single-index compatibility view).
     pub fn cache(&self) -> &ResultCache {
-        &self.cache
+        self.catalog.default_index().cache()
     }
 
-    /// The engine being served.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The default index's current engine generation.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.catalog.default_index().snapshot().engine)
     }
 
     /// The active configuration.
@@ -220,29 +243,104 @@ impl ServeState {
         &self.config
     }
 
+    /// The engine catalog.
+    pub fn catalog(&self) -> &EngineCatalog {
+        &self.catalog
+    }
+
+    /// Hot-swap reloads the default index (the SIGHUP action). Returns
+    /// `(identity_before, identity_after)`.
+    pub fn reload_default(&self) -> Result<(u64, u64), ServeError> {
+        self.catalog.default_index().reload()
+    }
+
+    /// Resolves a route's index reference against the catalog: `None`
+    /// addresses the default, a name must exist (else 404).
+    fn resolve(&self, index: Option<&str>) -> Result<&Arc<ResidentIndex>, HttpResponse> {
+        match index {
+            None => Ok(self.catalog.default_index()),
+            Some(name) => self
+                .catalog
+                .get(name)
+                .ok_or_else(|| HttpResponse::error(404, &format!("unknown index {name:?}"))),
+        }
+    }
+
     /// Routes one parsed request. `accepted_at` anchors the per-request
     /// deadline (time spent queued counts against the budget).
     pub fn handle(&self, request: &Request, accepted_at: Instant) -> HttpResponse {
-        let endpoint = Endpoint::of_path(&request.path);
-        self.metrics.record_request(endpoint);
+        let route = catalog::route_path(&request.path);
+        self.metrics.record_request(route.endpoint);
+        if route.endpoint == Endpoint::AdminReload {
+            if request.method != "POST" {
+                return HttpResponse::error(405, "reload requires POST");
+            }
+            return self.handle_reload(request, route.index.as_deref());
+        }
         if request.method != "GET" {
             return HttpResponse::error(405, "only GET is supported");
         }
-        // The cache outlives any future index hot-swap: revalidate identity
-        // on every request (one atomic compare when unchanged).
-        self.cache.ensure_identity(self.identity);
-        match endpoint {
+        let resident = match self.resolve(route.index.as_deref()) {
+            Ok(resident) => resident,
+            Err(response) => return response,
+        };
+        match route.endpoint {
             Endpoint::Healthz => HttpResponse::text(200, "ok\n"),
-            Endpoint::Metrics => {
-                let body = self.metrics.render(self.cache.stats(), self.identity);
-                HttpResponse::text(200, body)
-            }
-            Endpoint::Doctor => HttpResponse::json(200, wire::doctor_response_json(&self.engine)),
+            Endpoint::Metrics => HttpResponse::text(200, self.render_metrics()),
+            Endpoint::Doctor => self.handle_doctor(route.index.as_deref(), resident),
             Endpoint::DebugTraces => self.handle_debug_traces(request),
-            Endpoint::Search => self.handle_query(request, accepted_at, false),
-            Endpoint::Suggest => self.handle_query(request, accepted_at, true),
-            Endpoint::Other => HttpResponse::error(404, "unknown path"),
+            Endpoint::Search => self.handle_query(request, accepted_at, false, resident),
+            Endpoint::Suggest => self.handle_query(request, accepted_at, true, resident),
+            Endpoint::AdminReload | Endpoint::Other => HttpResponse::error(404, "unknown path"),
         }
+    }
+
+    /// `POST /admin/reload?index=<name>` (or `POST /ix/<name>/admin/reload`):
+    /// hot-swaps the named index — default when unnamed — and reports the
+    /// identity transition. `400` for engine-backed (unreloadable) indexes,
+    /// `404` for unknown names, `500` when re-reading the source fails.
+    fn handle_reload(&self, request: &Request, route_index: Option<&str>) -> HttpResponse {
+        let named = request.param("index").map(|s| s.to_ascii_lowercase());
+        let name = named.as_deref().or(route_index);
+        let resident = match self.resolve(name) {
+            Ok(resident) => resident,
+            Err(response) => return response,
+        };
+        match resident.reload() {
+            Ok((before, after)) => {
+                HttpResponse::json(200, wire::reload_response_json(resident.name(), before, after))
+            }
+            Err(ServeError::BadConfig(message)) => HttpResponse::error(400, &message),
+            Err(e) => HttpResponse::error(500, &format!("reload failed: {e}")),
+        }
+    }
+
+    /// `GET /doctor` iterates every resident index; under an `/ix/<name>/`
+    /// prefix it reports just that index.
+    fn handle_doctor(&self, route_index: Option<&str>, resident: &ResidentIndex) -> HttpResponse {
+        if route_index.is_some() {
+            let loaded = resident.snapshot();
+            return HttpResponse::json(
+                200,
+                wire::doctor_entry_json(resident.name(), &loaded.engine),
+            );
+        }
+        let entries: Vec<String> = self
+            .catalog
+            .iter()
+            .map(|r| {
+                let loaded = r.snapshot();
+                wire::doctor_entry_json(r.name(), &loaded.engine)
+            })
+            .collect();
+        HttpResponse::json(200, wire::catalog_doctor_json(&entries))
+    }
+
+    /// Renders `/metrics`: global counters plus one labeled section per
+    /// resident index.
+    fn render_metrics(&self) -> String {
+        let views: Vec<_> = self.catalog.iter().map(|r| r.metrics_view()).collect();
+        self.metrics.render(&views)
     }
 
     /// `GET /debug/traces?n=` — dumps the most recent `n` completed traces
@@ -286,24 +384,40 @@ impl ServeState {
         HttpResponse::error(503, "deadline exceeded").with_header("Retry-After", "1".to_string())
     }
 
-    /// `/search` and `/suggest`: runs the query under a `request` root span,
-    /// then fans the outcome out to every observability sink — the
-    /// `Server-Timing` header, the query log, and (over the threshold) the
+    /// `/search` and `/suggest`: runs the query under a `request` root span
+    /// labeled with the index's route key, then fans the outcome out to
+    /// every observability sink — the `Server-Timing` header, the query log,
+    /// the per-index phase histograms, and (over the threshold) the
     /// slow-query log with the full span tree.
-    fn handle_query(&self, request: &Request, accepted_at: Instant, suggest: bool) -> HttpResponse {
-        let request_span = gks_trace::span(SpanKind::Request);
+    fn handle_query(
+        &self,
+        request: &Request,
+        accepted_at: Instant,
+        suggest: bool,
+        resident: &ResidentIndex,
+    ) -> HttpResponse {
+        // One generation snapshot for the whole request: search, render, and
+        // cache tagging all use it, so a concurrent hot-swap cannot mix
+        // engine output with the wrong cache identity.
+        let loaded = resident.snapshot();
+        resident.counters().requests_total.fetch_add(1, Ordering::Relaxed);
+        let request_span = gks_trace::span_labeled(SpanKind::Request, resident.name());
         let mut record = qlog::QueryRecord::new(if suggest { "suggest" } else { "search" });
+        record.index = resident.name().to_string();
         record.query = request.param("q").unwrap_or_default().to_string();
         record.s = request.param("s").unwrap_or("1").to_string();
-        let mut response = self.run_query(request, accepted_at, suggest, &mut record);
+        let mut response =
+            self.run_query(request, accepted_at, suggest, resident, &loaded, &mut record);
         record.status = response.status;
         record.micros = request_span.elapsed_micros();
         drop(request_span);
         // The root span just closed on this thread; its completed tree (if
-        // tracing is on) is waiting in the thread-local slot.
+        // tracing is on and the root was sampled) is waiting in the
+        // thread-local slot.
         let trace = gks_trace::take_last_trace();
         if let Some(trace) = &trace {
             response = response.with_header("Server-Timing", qlog::server_timing(trace));
+            resident.record_phases(trace);
         }
         if let Some(log) = &self.query_log {
             log.append(&record.to_json(None));
@@ -318,13 +432,17 @@ impl ServeState {
     }
 
     /// The query pipeline proper: parameter parsing, cache lookup, deadline
-    /// checks, engine search, rendering. Fills `record` as facts about the
-    /// request become known.
+    /// checks, engine search, rendering — all against the `loaded`
+    /// generation snapshot. Fills `record` as facts about the request become
+    /// known.
+    #[allow(clippy::too_many_arguments)]
     fn run_query(
         &self,
         request: &Request,
         accepted_at: Instant,
         suggest: bool,
+        resident: &ResidentIndex,
+        loaded: &Loaded,
         record: &mut qlog::QueryRecord,
     ) -> HttpResponse {
         let Some(q) = request.param("q") else {
@@ -366,13 +484,17 @@ impl ServeState {
         };
 
         if self.config.cache_bytes > 0 {
-            if let Some(body) = self.cache.get(&key) {
+            // Lookup pinned to the snapshot's identity: a hit can only ever
+            // return bytes computed against this exact generation.
+            if let Some(body) = resident.cache().get_for(&key, loaded.identity) {
                 self.metrics.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+                resident.counters().cache_hits_total.fetch_add(1, Ordering::Relaxed);
                 record.cached = true;
                 return HttpResponse::json(200, body.to_vec())
                     .with_header("x-gks-cache", "hit".to_string());
             }
             self.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+            resident.counters().cache_misses_total.fetch_add(1, Ordering::Relaxed);
         }
 
         // Admission + queueing may already have consumed the budget; do not
@@ -381,7 +503,7 @@ impl ServeState {
             return self.deadline_abort();
         }
         let options = SearchOptions { s, limit };
-        let response = match self.engine.search(&query, options) {
+        let response = match loaded.engine.search(&query, options) {
             Ok(r) => r,
             Err(e) => return HttpResponse::error(400, &format!("search failed: {e}")),
         };
@@ -395,18 +517,21 @@ impl ServeState {
         }
         let render_span = gks_trace::span(SpanKind::Render);
         let body = if suggest {
-            let di = self.engine.discover_di(&response, &DiOptions::default());
-            let refinement = self.engine.refine(&response, &di);
+            let di = loaded.engine.discover_di(&response, &DiOptions::default());
+            let refinement = loaded.engine.refine(&response, &di);
             wire::suggest_response_json(&response, &refinement, &di)
         } else {
-            wire::search_response_json(&self.engine, &response)
+            wire::search_response_json(&loaded.engine, &response)
         };
         drop(render_span);
         if self.budget_left(accepted_at).is_none() {
             return self.deadline_abort();
         }
         if self.config.cache_bytes > 0 {
-            self.cache.put(key, Arc::from(body.as_bytes()));
+            // Tagged with the snapshot identity, not the live one: if a swap
+            // landed mid-request this entry is already stale and must stay
+            // invisible to post-swap readers.
+            resident.cache().put_for(key, Arc::from(body.as_bytes()), loaded.identity);
         }
         HttpResponse::json(200, body).with_header("x-gks-cache", "miss".to_string())
     }
@@ -436,16 +561,30 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
 }
 
-/// Binds `config.addr` and spawns the accept loop and worker pool. The
-/// returned [`Server`] is live until [`Server::shutdown`].
+/// Binds `config.addr` and spawns the accept loop and worker pool over a
+/// single-index catalog. The returned [`Server`] is live until
+/// [`Server::shutdown`].
 pub fn serve(engine: Arc<Engine>, config: ServeConfig) -> Result<Server, ServeError> {
+    let specs = vec![IndexSpec::with_engine(catalog::DEFAULT_INDEX_NAME, engine)];
+    serve_catalog(specs, None, config)
+}
+
+/// Binds `config.addr` and spawns the accept loop and worker pool over a
+/// catalog built from `specs` (`default` names the index bare `/search`
+/// addresses; `None` → the first spec). The returned [`Server`] is live
+/// until [`Server::shutdown`].
+pub fn serve_catalog(
+    specs: Vec<IndexSpec>,
+    default: Option<&str>,
+    config: ServeConfig,
+) -> Result<Server, ServeError> {
     if config.workers == 0 {
         return Err(ServeError::BadConfig("workers must be > 0".into()));
     }
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| ServeError::Bind { addr: config.addr.clone(), source: e })?;
     let addr = listener.local_addr().map_err(ServeError::Io)?;
-    let state = Arc::new(ServeState::new(engine, config.clone())?);
+    let state = Arc::new(ServeState::with_catalog(specs, default, config.clone())?);
     let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_depth));
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -598,6 +737,32 @@ mod tests {
         let metrics = get(&state, "/metrics");
         let text = String::from_utf8(metrics.body).unwrap();
         assert!(metrics::metric_value(&text, "gks_requests_total").unwrap() >= 4);
+        assert!(
+            metrics::metric_value(&text, "gks_index_requests_total{index=\"default\"}").is_some(),
+            "per-index section present: {text}"
+        );
+    }
+
+    #[test]
+    fn prefixed_routes_reach_the_default_catalog_entry() {
+        let state = ServeState::new(small_engine(), ServeConfig::default()).unwrap();
+        let bare = get(&state, "/search?q=twig&s=1");
+        let prefixed = get(&state, "/ix/default/search?q=twig&s=1");
+        assert_eq!(prefixed.status, 200);
+        assert_eq!(bare.body, prefixed.body, "same index, same bytes");
+        assert_eq!(get(&state, "/ix/nope/search?q=twig").status, 404, "unknown index");
+        assert_eq!(get(&state, "/ix/default/doctor").status, 200);
+
+        // Engine-backed indexes have no source path: reload is a 400.
+        let request = http::parse_request("POST /admin/reload HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(state.handle(&request, Instant::now()).status, 400);
+        // …and reload over GET is a 405.
+        let request = http::parse_request("GET /admin/reload HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(state.handle(&request, Instant::now()).status, 405);
+        // Unknown ?index= names 404 before any reload is attempted.
+        let request =
+            http::parse_request("POST /admin/reload?index=nope HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(state.handle(&request, Instant::now()).status, 404);
     }
 
     #[test]

@@ -44,6 +44,29 @@ pub enum Pacing {
     },
 }
 
+/// One `--index` traffic-mix target: requests carrying this entry go to
+/// `/ix/<name>/search` with probability proportional to `weight`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexTarget {
+    /// Catalog route key (the `/ix/<name>/` prefix).
+    pub name: String,
+    /// Relative traffic weight (≥ 1).
+    pub weight: u64,
+}
+
+/// Parses an `--index` argument: `NAME` or `NAME=WEIGHT` (weight ≥ 1).
+pub fn parse_index_target(arg: &str) -> Option<IndexTarget> {
+    let (name, weight) = match arg.split_once('=') {
+        None => (arg, 1),
+        Some((name, w)) => (name, w.parse::<u64>().ok().filter(|&w| w >= 1)?),
+    };
+    let name = name.trim();
+    if name.is_empty() {
+        return None;
+    }
+    Some(IndexTarget { name: name.to_string(), weight })
+}
+
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -62,6 +85,9 @@ pub struct LoadgenConfig {
     pub timeout: Duration,
     /// Closed or open-loop pacing.
     pub pacing: Pacing,
+    /// Catalog indexes to spread traffic over, weighted. Empty = bare
+    /// `/search` (the server's default index).
+    pub targets: Vec<IndexTarget>,
 }
 
 impl Default for LoadgenConfig {
@@ -74,6 +100,7 @@ impl Default for LoadgenConfig {
             seed: 0x6b73_6721,
             timeout: Duration::from_secs(5),
             pacing: Pacing::Closed,
+            targets: Vec::new(),
         }
     }
 }
@@ -264,18 +291,46 @@ struct SharedTallies {
     cache_hits: AtomicU64,
 }
 
-/// Issues one request and tallies its outcome. Returns the measured
-/// latency anchored at `measure_from` (closed loop: the actual send; open
-/// loop: the scheduled send, which charges generator queueing to the
-/// server), or `None` on a transport error.
+/// Weighted pick over the configured index targets. Empty targets → `None`
+/// (bare `/search`), and — deliberately — no RNG draw, so single-index runs
+/// sample the exact same query sequence as before the traffic-mix feature.
+fn pick_target<'a>(config: &'a LoadgenConfig, rng: &mut SplitMix64) -> Option<&'a IndexTarget> {
+    if config.targets.is_empty() {
+        return None;
+    }
+    let total: u64 = config.targets.iter().map(|t| t.weight.max(1)).sum();
+    let mut roll = rng.next_u64() % total.max(1);
+    for target in &config.targets {
+        let w = target.weight.max(1);
+        if roll < w {
+            return Some(target);
+        }
+        roll -= w;
+    }
+    config.targets.last()
+}
+
+/// Issues one request and tallies its outcome. `index` routes via the
+/// `/ix/<name>/` prefix when given. Returns the measured latency anchored at
+/// `measure_from` (closed loop: the actual send; open loop: the scheduled
+/// send, which charges generator queueing to the server), or `None` on a
+/// transport error.
 fn issue(
     config: &LoadgenConfig,
     tallies: &SharedTallies,
     entry: &WorkloadEntry,
+    index: Option<&str>,
     measure_from: Instant,
 ) -> Option<u64> {
-    let target =
-        format!("/search?q={}&s={}", percent_encode(&entry.query), percent_encode(&entry.s));
+    let prefix = match index {
+        Some(name) => format!("/ix/{}", percent_encode(name)),
+        None => String::new(),
+    };
+    let target = format!(
+        "{prefix}/search?q={}&s={}",
+        percent_encode(&entry.query),
+        percent_encode(&entry.s)
+    );
     match http_get(config.addr, &target, config.timeout) {
         Ok(response) => {
             let micros = u64::try_from(measure_from.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -344,8 +399,9 @@ fn run_closed(
                 let mut latencies = Vec::with_capacity(config.requests_per_client);
                 for _ in 0..config.requests_per_client {
                     let entry = &entries[sampler.sample(&mut rng)];
+                    let index = pick_target(&config, &mut rng).map(|t| t.name.clone());
                     let sent = Instant::now();
-                    if let Some(micros) = issue(&config, &tallies, entry, sent) {
+                    if let Some(micros) = issue(&config, &tallies, entry, index.as_deref(), sent) {
                         latencies.push(micros);
                     }
                 }
@@ -404,7 +460,8 @@ fn run_open(
                     let lag = Instant::now().saturating_duration_since(due);
                     lags.push(u64::try_from(lag.as_micros()).unwrap_or(u64::MAX));
                     let entry = &entries[sampler.sample(&mut rng)];
-                    if let Some(micros) = issue(&config, &tallies, entry, due) {
+                    let index = pick_target(&config, &mut rng).map(|t| t.name.clone());
+                    if let Some(micros) = issue(&config, &tallies, entry, index.as_deref(), due) {
                         latencies.push(micros);
                     }
                 }
@@ -428,6 +485,46 @@ fn run_open(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_target_parsing() {
+        assert_eq!(
+            parse_index_target("dblp"),
+            Some(IndexTarget { name: "dblp".into(), weight: 1 })
+        );
+        assert_eq!(
+            parse_index_target("nasa=3"),
+            Some(IndexTarget { name: "nasa".into(), weight: 3 })
+        );
+        assert_eq!(parse_index_target(""), None);
+        assert_eq!(parse_index_target("=2"), None);
+        assert_eq!(parse_index_target("a=0"), None, "weight must be >= 1");
+        assert_eq!(parse_index_target("a=x"), None);
+    }
+
+    #[test]
+    fn target_picks_follow_weights() {
+        let config = LoadgenConfig {
+            targets: vec![
+                IndexTarget { name: "hot".into(), weight: 9 },
+                IndexTarget { name: "cold".into(), weight: 1 },
+            ],
+            ..Default::default()
+        };
+        let mut rng = SplitMix64(42);
+        let mut hot = 0u32;
+        const DRAWS: u32 = 2_000;
+        for _ in 0..DRAWS {
+            if pick_target(&config, &mut rng).unwrap().name == "hot" {
+                hot += 1;
+            }
+        }
+        // Expect ~90%; allow generous slack for the deterministic PRNG.
+        assert!((1_600..=2_000).contains(&hot), "hot picks {hot} of {DRAWS}");
+
+        let bare = LoadgenConfig::default();
+        assert!(pick_target(&bare, &mut rng).is_none(), "no targets → default index");
+    }
 
     #[test]
     fn workload_parsing() {

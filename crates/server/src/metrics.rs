@@ -35,9 +35,14 @@ pub enum Endpoint {
     Metrics,
     /// `GET /debug/traces`
     DebugTraces,
+    /// `POST /admin/reload`
+    AdminReload,
     /// Anything else (404s, bad paths).
     Other,
 }
+
+/// Number of distinct [`Endpoint`] variants.
+const ENDPOINT_COUNT: usize = 8;
 
 impl Endpoint {
     /// Classifies a request path.
@@ -49,17 +54,19 @@ impl Endpoint {
             "/healthz" => Endpoint::Healthz,
             "/metrics" => Endpoint::Metrics,
             "/debug/traces" => Endpoint::DebugTraces,
+            "/admin/reload" => Endpoint::AdminReload,
             _ => Endpoint::Other,
         }
     }
 
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; ENDPOINT_COUNT] = [
         Endpoint::Search,
         Endpoint::Suggest,
         Endpoint::Doctor,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::DebugTraces,
+        Endpoint::AdminReload,
         Endpoint::Other,
     ];
 
@@ -71,6 +78,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::DebugTraces => "debug_traces",
+            Endpoint::AdminReload => "admin_reload",
             Endpoint::Other => "other",
         }
     }
@@ -83,7 +91,8 @@ impl Endpoint {
             Endpoint::Healthz => 3,
             Endpoint::Metrics => 4,
             Endpoint::DebugTraces => 5,
-            Endpoint::Other => 6,
+            Endpoint::AdminReload => 6,
+            Endpoint::Other => 7,
         }
     }
 }
@@ -95,7 +104,7 @@ pub struct Metrics {
     /// Requests fully parsed and routed (rejected connections excluded).
     pub requests_total: AtomicU64,
     /// Per-endpoint request counts.
-    pub by_endpoint: [AtomicU64; 7],
+    pub by_endpoint: [AtomicU64; ENDPOINT_COUNT],
     /// Responses by status class.
     pub responses_2xx: AtomicU64,
     /// 4xx responses (bad query, unknown path).
@@ -116,6 +125,29 @@ pub struct Metrics {
     pub in_flight: AtomicU64,
     /// End-to-end request latency (accept → response written), µs.
     pub latency: Histogram,
+}
+
+/// Point-in-time view of one catalog index for `/metrics` rendering —
+/// produced by `ResidentIndex::metrics_view`, consumed by
+/// [`Metrics::render`].
+#[derive(Debug)]
+pub struct IndexMetricsView<'a> {
+    /// The index's route key (the `index="…"` label value).
+    pub name: &'a str,
+    /// Cache occupancy of this index's result cache.
+    pub cache: CacheStats,
+    /// Identity fingerprint of the currently resident engine generation.
+    pub identity: u64,
+    /// Queries routed to this index.
+    pub requests_total: u64,
+    /// Result-cache hits for this index.
+    pub cache_hits_total: u64,
+    /// Result-cache misses for this index.
+    pub cache_misses_total: u64,
+    /// Completed hot-swap reloads of this index.
+    pub reloads_total: u64,
+    /// Per-phase latency histograms, in `SpanKind::PHASES` order.
+    pub phases: &'a [Histogram; 5],
 }
 
 /// The quantiles `/metrics` reports for every histogram.
@@ -151,12 +183,23 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the Prometheus-style exposition, folding in cache occupancy,
-    /// the index identity the service is bound to, and the engine's global
-    /// per-phase latency aggregates from `gks-trace`.
-    pub fn render(&self, cache: CacheStats, index_identity: u64) -> String {
+    /// Renders the Prometheus-style exposition. Global lines aggregate over
+    /// the whole catalog (cache occupancy sums across indexes;
+    /// `gks_index_identity` reports the first — default — index, keeping the
+    /// single-index exposition backward compatible); every `indexes` entry
+    /// additionally gets an `index="…"`-labeled section with its own cache,
+    /// reload, and per-phase stats. Process-global per-phase aggregates and
+    /// span totals come from `gks-trace`.
+    pub fn render(&self, indexes: &[IndexMetricsView<'_>]) -> String {
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(2048);
+        let mut cache = CacheStats::default();
+        for view in indexes {
+            cache.entries += view.cache.entries;
+            cache.bytes += view.cache.bytes;
+            cache.capacity += view.cache.capacity;
+        }
+        let index_identity = indexes.first().map_or(0, |v| v.identity);
+        let mut out = String::with_capacity(2048 + indexes.len() * 1024);
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let _ = writeln!(out, "gks_requests_total {}", load(&self.requests_total));
         for endpoint in Endpoint::ALL {
@@ -212,7 +255,79 @@ impl Metrics {
                 hist.count()
             );
         }
+        // Process-global span totals: exact request accounting even under
+        // trace head-sampling (sampled-out spans still count here).
+        for kind in SpanKind::ALL {
+            let _ = writeln!(
+                out,
+                "gks_trace_spans_total{{kind=\"{}\"}} {}",
+                kind.label(),
+                gks_trace::span_count(kind)
+            );
+        }
         let _ = writeln!(out, "gks_index_identity {index_identity}");
+        // Per-index sections: one block per resident catalog index.
+        for view in indexes {
+            let _ = writeln!(
+                out,
+                "gks_index_requests_total{{index=\"{}\"}} {}",
+                view.name, view.requests_total
+            );
+            let _ = writeln!(
+                out,
+                "gks_index_cache_hits_total{{index=\"{}\"}} {}",
+                view.name, view.cache_hits_total
+            );
+            let _ = writeln!(
+                out,
+                "gks_index_cache_misses_total{{index=\"{}\"}} {}",
+                view.name, view.cache_misses_total
+            );
+            let _ = writeln!(
+                out,
+                "gks_index_cache_entries{{index=\"{}\"}} {}",
+                view.name, view.cache.entries
+            );
+            let _ = writeln!(
+                out,
+                "gks_index_cache_bytes{{index=\"{}\"}} {}",
+                view.name, view.cache.bytes
+            );
+            let _ = writeln!(
+                out,
+                "gks_index_reloads_total{{index=\"{}\"}} {}",
+                view.name, view.reloads_total
+            );
+            let _ =
+                writeln!(out, "gks_index_identity{{index=\"{}\"}} {}", view.name, view.identity);
+            for (i, kind) in SpanKind::PHASES.iter().enumerate() {
+                let hist = &view.phases[i];
+                let labels = format!("index=\"{}\",phase=\"{}\",", view.name, kind.label());
+                for (q, label) in QUANTILES {
+                    write_quantile(
+                        &mut out,
+                        "gks_index_phase_latency_micros",
+                        &labels,
+                        label,
+                        hist.quantile(q),
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "gks_index_phase_latency_micros_sum{{index=\"{}\",phase=\"{}\"}} {}",
+                    view.name,
+                    kind.label(),
+                    hist.sum()
+                );
+                let _ = writeln!(
+                    out,
+                    "gks_index_phase_latency_micros_count{{index=\"{}\",phase=\"{}\"}} {}",
+                    view.name,
+                    kind.label(),
+                    hist.count()
+                );
+            }
+        }
         out
     }
 }
@@ -240,6 +355,12 @@ pub fn metric_value(exposition: &str, name: &str) -> Option<i64> {
 mod tests {
     use super::*;
 
+    fn empty_phases() -> [Histogram; 5] {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const EMPTY: Histogram = Histogram::new();
+        [EMPTY; 5]
+    }
+
     #[test]
     fn render_and_parse_round_trip() {
         let m = Metrics::default();
@@ -251,7 +372,19 @@ mod tests {
         m.cache_hits_total.fetch_add(3, Ordering::Relaxed);
         m.latency.record(120);
         let cache = CacheStats { entries: 2, bytes: 400, capacity: 1000 };
-        let text = m.render(cache, 42);
+        let phases = empty_phases();
+        phases[1].record(250); // postings
+        let view = IndexMetricsView {
+            name: "dblp",
+            cache,
+            identity: 42,
+            requests_total: 2,
+            cache_hits_total: 3,
+            cache_misses_total: 1,
+            reloads_total: 1,
+            phases: &phases,
+        };
+        let text = m.render(&[view]);
         assert_eq!(metric_value(&text, "gks_requests_total"), Some(3));
         assert_eq!(metric_value(&text, "gks_requests{endpoint=\"search\"}"), Some(2));
         assert_eq!(metric_value(&text, "gks_responses{class=\"2xx\"}"), Some(1));
@@ -259,27 +392,78 @@ mod tests {
         assert_eq!(metric_value(&text, "gks_cache_entries"), Some(2));
         assert_eq!(metric_value(&text, "gks_latency_micros_count"), Some(1));
         assert_eq!(metric_value(&text, "gks_index_identity"), Some(42));
+        // Per-index section.
+        assert_eq!(metric_value(&text, "gks_index_requests_total{index=\"dblp\"}"), Some(2));
+        assert_eq!(metric_value(&text, "gks_index_cache_hits_total{index=\"dblp\"}"), Some(3));
+        assert_eq!(metric_value(&text, "gks_index_cache_misses_total{index=\"dblp\"}"), Some(1));
+        assert_eq!(metric_value(&text, "gks_index_reloads_total{index=\"dblp\"}"), Some(1));
+        assert_eq!(metric_value(&text, "gks_index_identity{index=\"dblp\"}"), Some(42));
+        assert_eq!(
+            metric_value(
+                &text,
+                "gks_index_phase_latency_micros_count{index=\"dblp\",phase=\"postings\"}"
+            ),
+            Some(1)
+        );
         assert_eq!(metric_value(&text, "gks_nope"), None);
+    }
+
+    #[test]
+    fn multi_index_sections_and_cache_aggregation() {
+        let m = Metrics::default();
+        let phases_a = empty_phases();
+        let phases_b = empty_phases();
+        let a = IndexMetricsView {
+            name: "a",
+            cache: CacheStats { entries: 1, bytes: 100, capacity: 500 },
+            identity: 7,
+            requests_total: 4,
+            cache_hits_total: 2,
+            cache_misses_total: 2,
+            reloads_total: 0,
+            phases: &phases_a,
+        };
+        let b = IndexMetricsView {
+            name: "b",
+            cache: CacheStats { entries: 2, bytes: 300, capacity: 500 },
+            identity: 9,
+            requests_total: 6,
+            cache_hits_total: 1,
+            cache_misses_total: 5,
+            reloads_total: 2,
+            phases: &phases_b,
+        };
+        let text = m.render(&[a, b]);
+        // Globals aggregate the per-index caches; the bare identity is the
+        // default (first) index's.
+        assert_eq!(metric_value(&text, "gks_cache_entries"), Some(3));
+        assert_eq!(metric_value(&text, "gks_cache_bytes"), Some(400));
+        assert_eq!(metric_value(&text, "gks_cache_capacity_bytes"), Some(1000));
+        assert_eq!(metric_value(&text, "gks_index_identity"), Some(7));
+        assert_eq!(metric_value(&text, "gks_index_identity{index=\"a\"}"), Some(7));
+        assert_eq!(metric_value(&text, "gks_index_identity{index=\"b\"}"), Some(9));
+        assert_eq!(metric_value(&text, "gks_index_requests_total{index=\"b\"}"), Some(6));
+        assert_eq!(metric_value(&text, "gks_index_reloads_total{index=\"b\"}"), Some(2));
     }
 
     #[test]
     fn zero_sample_quantiles_render_sentinel() {
         let m = Metrics::default();
-        let text = m.render(CacheStats::default(), 0);
+        let text = m.render(&[]);
         // No latency samples recorded → every quantile is the -1 sentinel,
         // not a bucket bound and not NaN.
         assert_eq!(metric_value(&text, "gks_latency_micros{quantile=\"0.5\"}"), Some(-1));
         assert_eq!(metric_value(&text, "gks_latency_micros{quantile=\"0.99\"}"), Some(-1));
         assert!(!text.contains("NaN"));
         m.latency.record(70);
-        let text = m.render(CacheStats::default(), 0);
+        let text = m.render(&[]);
         assert_eq!(metric_value(&text, "gks_latency_micros{quantile=\"0.5\"}"), Some(100));
     }
 
     #[test]
     fn per_phase_lines_are_exposed() {
         let m = Metrics::default();
-        let text = m.render(CacheStats::default(), 0);
+        let text = m.render(&[]);
         for phase in ["parse", "postings", "sweep", "rank", "di"] {
             for q in ["0.5", "0.95", "0.99"] {
                 let name =
@@ -298,5 +482,6 @@ mod tests {
     fn debug_traces_endpoint_classifies() {
         assert_eq!(Endpoint::of_path("/debug/traces"), Endpoint::DebugTraces);
         assert_eq!(Endpoint::of_path("/debug/other"), Endpoint::Other);
+        assert_eq!(Endpoint::of_path("/admin/reload"), Endpoint::AdminReload);
     }
 }

@@ -59,6 +59,8 @@ fn unix_millis() -> u64 {
 pub struct QueryRecord {
     /// `"search"` or `"suggest"`.
     pub endpoint: &'static str,
+    /// Route key of the catalog index that served the request.
+    pub index: String,
     /// The raw `q` parameter (empty when missing).
     pub query: String,
     /// The raw `s` spelling (`all`, `half`, or an integer).
@@ -82,6 +84,7 @@ impl QueryRecord {
     pub fn new(endpoint: &'static str) -> QueryRecord {
         QueryRecord {
             endpoint,
+            index: String::new(),
             query: String::new(),
             s: String::new(),
             limit: 0,
@@ -101,10 +104,12 @@ impl QueryRecord {
         let mut out = String::with_capacity(160);
         let _ = write!(
             out,
-            "{{\"ts_ms\":{},\"endpoint\":\"{}\",\"query\":",
+            "{{\"ts_ms\":{},\"endpoint\":\"{}\",\"index\":",
             unix_millis(),
             self.endpoint
         );
+        push_json_str(&mut out, &self.index);
+        out.push_str(",\"query\":");
         push_json_str(&mut out, &self.query);
         out.push_str(",\"s\":");
         push_json_str(&mut out, &self.s);
@@ -165,10 +170,12 @@ mod tests {
             seq: 3,
             root: SpanNode {
                 kind: SpanKind::Request,
+                label: None,
                 offset_micros: 0,
                 micros: 1500,
                 children: vec![SpanNode {
                     kind: SpanKind::Search,
+                    label: None,
                     offset_micros: 10,
                     micros: 1200,
                     children: Vec::new(),
@@ -180,6 +187,7 @@ mod tests {
     #[test]
     fn record_round_trips_through_parser() {
         let mut record = QueryRecord::new("search");
+        record.index = "dblp".to_string();
         record.query = "twig \"joins\"\nweird".to_string();
         record.s = "half".to_string();
         record.limit = 20;
@@ -189,9 +197,12 @@ mod tests {
         record.sl_len = Some(41);
         let line = record.to_json(None);
         let v = Json::parse(&line).expect("qlog line parses");
-        for field in ["ts_ms", "endpoint", "query", "s", "limit", "status", "micros", "cached"] {
+        for field in [
+            "ts_ms", "endpoint", "index", "query", "s", "limit", "status", "micros", "cached",
+        ] {
             assert!(v.get(field).is_some(), "missing {field} in {line}");
         }
+        assert_eq!(v.get("index").and_then(Json::as_str), Some("dblp"));
         assert_eq!(v.get("query").and_then(Json::as_str), Some("twig \"joins\"\nweird"));
         assert_eq!(v.get("status").and_then(Json::as_u64), Some(200));
         assert_eq!(v.get("hits").and_then(Json::as_u64), Some(3));

@@ -1,15 +1,16 @@
-//! SIGTERM / SIGINT → a process-wide shutdown flag.
+//! SIGTERM / SIGINT → a process-wide shutdown flag; SIGHUP → a reload flag.
 //!
 //! The standard library exposes no signal API, and the workspace is
 //! offline-only (no `signal-hook`/`libc` crates), so on Unix this module
-//! registers a minimal handler through the C `signal(2)` symbol that std
-//! already links against. The handler body is async-signal-safe: it only
-//! stores to an atomic. Non-Unix builds compile to a flag that never fires
+//! registers minimal handlers through the C `signal(2)` symbol that std
+//! already links against. The handler bodies are async-signal-safe: they
+//! only store to atomics. Non-Unix builds compile to flags that never fire
 //! (callers fall back to ctrl-c terminating the process).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 /// Whether a termination signal has been observed since
 /// [`install_shutdown_handler`] ran.
@@ -22,8 +23,20 @@ pub fn request_shutdown(value: bool) {
     SHUTDOWN.store(value, Ordering::SeqCst);
 }
 
+/// Consumes a pending SIGHUP reload request, clearing the flag. The CLI's
+/// serve loop polls this and hot-swaps the default index when it fires.
+pub fn take_reload_request() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
+}
+
+/// Test/embedding hook: raise (or clear) the reload flag without a signal.
+pub fn request_reload(value: bool) {
+    RELOAD.store(value, Ordering::SeqCst);
+}
+
 #[cfg(unix)]
 mod imp {
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
@@ -40,13 +53,20 @@ mod imp {
         super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
-    /// Registers the handler for SIGINT and SIGTERM; always succeeds here.
+    extern "C" fn on_reload(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::RELOAD.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Registers SIGINT/SIGTERM → shutdown and SIGHUP → reload; always
+    /// succeeds here.
     pub fn install() -> bool {
         // SAFETY: `signal` is the C library's own registration call; the
-        // handler is a plain fn pointer that performs one atomic store.
+        // handlers are plain fn pointers that perform one atomic store each.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+            signal(SIGHUP, on_reload);
         }
         true
     }
@@ -60,9 +80,10 @@ mod imp {
     }
 }
 
-/// Registers SIGINT/SIGTERM handlers that set the shutdown flag. Returns
-/// `false` on platforms without signal support (the flag then only changes
-/// via [`request_shutdown`]). Safe to call more than once.
+/// Registers SIGINT/SIGTERM handlers that set the shutdown flag and a
+/// SIGHUP handler that sets the reload flag. Returns `false` on platforms
+/// without signal support (the flags then only change via
+/// [`request_shutdown`] / [`request_reload`]). Safe to call more than once.
 pub fn install_shutdown_handler() -> bool {
     imp::install()
 }
@@ -78,5 +99,14 @@ mod tests {
         request_shutdown(true);
         assert!(shutdown_requested());
         request_shutdown(false);
+    }
+
+    #[test]
+    fn reload_flag_is_consumed_on_take() {
+        request_reload(false);
+        assert!(!take_reload_request());
+        request_reload(true);
+        assert!(take_reload_request(), "a pending request is observed once");
+        assert!(!take_reload_request(), "…and cleared by the observation");
     }
 }

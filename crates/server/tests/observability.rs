@@ -96,7 +96,9 @@ fn sinks_round_trip_through_the_json_parser() {
         .collect();
     assert_eq!(lines.len(), 4, "one line per /search|/suggest request:\n{qlog_text}");
     for v in &lines {
-        for field in ["ts_ms", "endpoint", "query", "s", "limit", "status", "micros", "cached"] {
+        for field in [
+            "ts_ms", "endpoint", "index", "query", "s", "limit", "status", "micros", "cached",
+        ] {
             assert!(v.get(field).is_some(), "query-log line missing {field}");
         }
     }

@@ -53,6 +53,7 @@ fn concurrent_load_is_clean_and_drains() {
         seed: 42,
         timeout: TIMEOUT,
         pacing: loadgen::Pacing::Closed,
+        targets: Vec::new(),
     };
     let report = loadgen::run(&config, &workload);
 
@@ -103,6 +104,7 @@ fn open_loop_paces_and_reports_send_lag() {
         seed: 7,
         timeout: TIMEOUT,
         pacing: loadgen::Pacing::Open { rate_qps: 400.0 },
+        targets: Vec::new(),
     };
     let report = loadgen::run(&config, &workload);
     assert_eq!(report.total, 100);

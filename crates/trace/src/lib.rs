@@ -138,6 +138,26 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
 static RING: Mutex<VecDeque<CompletedTrace>> = Mutex::new(VecDeque::new());
 
+/// Head-sampling rate: a root span is *sampled* when its arrival number is a
+/// multiple of this value (1 = keep every trace). Children inherit the root's
+/// decision, so a trace is always kept or dropped whole.
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
+/// Arrival counter for root spans, used only for the sampling decision.
+static SAMPLE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct SpanCounts {
+    by_kind: [AtomicU64; KIND_COUNT],
+}
+
+/// Per-kind span totals, bumped on every span close while tracing is enabled
+/// — including spans in sampled-out traces. This is what keeps aggregate
+/// request accounting exact under head-sampling.
+static SPAN_COUNTS: SpanCounts = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    SpanCounts { by_kind: [ZERO; KIND_COUNT] }
+};
+
 struct Aggregates {
     by_kind: [Histogram; KIND_COUNT],
 }
@@ -153,6 +173,10 @@ struct OpenSpan {
     started: Instant,
     offset_micros: u64,
     children: Vec<SpanNode>,
+    /// Whether this span's trace survives head-sampling. Decided once at the
+    /// root and inherited by every descendant.
+    sampled: bool,
+    label: Option<Box<str>>,
 }
 
 thread_local! {
@@ -170,6 +194,25 @@ pub fn set_enabled(on: bool) {
 /// Whether span recording is currently enabled.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets head-sampling to keep 1-in-`every` root spans (0 and 1 both mean
+/// "keep everything"). Sampled-out traces skip the histogram, ring-buffer,
+/// and last-trace sinks, but every span still bumps its [`span_count`] — so
+/// aggregate counts remain exact while per-trace detail is thinned.
+pub fn set_sample_every(every: u64) {
+    SAMPLE_EVERY.store(every.max(1), Ordering::Relaxed);
+}
+
+/// The current head-sampling rate (1 = keep every trace).
+pub fn sample_every() -> u64 {
+    SAMPLE_EVERY.load(Ordering::Relaxed)
+}
+
+/// Total spans of `kind` closed while tracing was enabled, including spans
+/// whose trace was sampled out. Cleared by [`reset`].
+pub fn span_count(kind: SpanKind) -> u64 {
+    SPAN_COUNTS.by_kind[kind.index()].load(Ordering::Relaxed)
 }
 
 /// Sets the capacity of the completed-trace ring buffer (minimum 1). The
@@ -203,16 +246,21 @@ pub fn take_last_trace() -> Option<CompletedTrace> {
     LAST.with(|last| last.borrow_mut().take())
 }
 
-/// Clears every global sink: aggregates, ring buffer, and the sequence
-/// counter. Benchmarks call this between measurement runs so per-phase
-/// percentiles describe exactly one run. Thread-local stacks are untouched
-/// (spans still open will complete normally).
+/// Clears every global sink: aggregates, span counts, ring buffer, and the
+/// sequence and sampling counters (the sampling *rate* is kept). Benchmarks
+/// call this between measurement runs so per-phase percentiles describe
+/// exactly one run. Thread-local stacks are untouched (spans still open will
+/// complete normally).
 pub fn reset() {
     for kind in SpanKind::ALL {
         histogram(kind).reset();
     }
+    for counter in &SPAN_COUNTS.by_kind {
+        counter.store(0, Ordering::Relaxed);
+    }
     lock_ring().clear();
     SEQ.store(0, Ordering::Relaxed);
+    SAMPLE_SEQ.store(0, Ordering::Relaxed);
 }
 
 fn lock_ring() -> std::sync::MutexGuard<'static, VecDeque<CompletedTrace>> {
@@ -239,22 +287,36 @@ pub struct Span {
 /// joins the thread's span stack (nesting under any span already open);
 /// when disabled this is one relaxed atomic load plus a clock read.
 pub fn span(kind: SpanKind) -> Span {
+    open_span(kind, None)
+}
+
+/// Like [`span`], but tags the span with a label (e.g. the catalog index
+/// name on a request root). The label travels into the trace tree and its
+/// JSON/text renderings.
+pub fn span_labeled(kind: SpanKind, label: &str) -> Span {
+    open_span(kind, Some(label))
+}
+
+fn open_span(kind: SpanKind, label: Option<&str>) -> Span {
     let started = Instant::now();
     if !ENABLED.load(Ordering::Relaxed) {
         return Span { started, recording: false };
     }
     STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let offset_micros = match stack.first() {
-            Some(root) => micros_u64(root.started.elapsed()),
+        let (offset_micros, sampled) = match stack.first() {
+            Some(root) => (micros_u64(root.started.elapsed()), root.sampled),
             None => {
                 // A new root span invalidates the thread's last-trace slot:
-                // whatever completes next belongs to this root.
+                // whatever completes next belongs to this root. The root also
+                // makes the trace's sampling decision.
                 LAST.with(|last| last.borrow_mut().take());
-                0
+                let every = SAMPLE_EVERY.load(Ordering::Relaxed).max(1);
+                (0, SAMPLE_SEQ.fetch_add(1, Ordering::Relaxed).is_multiple_of(every))
             }
         };
-        stack.push(OpenSpan { kind, started, offset_micros, children: Vec::new() });
+        let label = if sampled { label.map(Box::from) } else { None };
+        stack.push(OpenSpan { kind, started, offset_micros, children: Vec::new(), sampled, label });
     });
     Span { started, recording: true }
 }
@@ -277,10 +339,19 @@ impl Drop for Span {
             let Some(open) = stack.pop() else {
                 return; // stack cleared mid-span (e.g. by a test); drop quietly
             };
+            SPAN_COUNTS.by_kind[open.kind.index()].fetch_add(1, Ordering::Relaxed);
+            if !open.sampled {
+                // Sampled-out: the count above is the only footprint. No
+                // histogram sample, no tree node, no ring entry — and since
+                // descendants inherited the decision, none of them pushed a
+                // child node either.
+                return;
+            }
             let micros = micros_u64(open.started.elapsed());
             AGGREGATES.by_kind[open.kind.index()].record(micros);
             let node = SpanNode {
                 kind: open.kind,
+                label: open.label,
                 offset_micros: open.offset_micros,
                 micros,
                 children: open.children,
@@ -316,6 +387,7 @@ mod tests {
     fn exclusive() -> MutexGuard<'static, ()> {
         let guard = TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         set_enabled(false);
+        set_sample_every(1);
         reset();
         set_ring_capacity(DEFAULT_RING_CAPACITY);
         guard
@@ -394,6 +466,61 @@ mod tests {
         set_enabled(false);
         let t = take_last_trace().expect("trace from the second root");
         assert_eq!(t.root.kind, SpanKind::Request);
+    }
+
+    #[test]
+    fn head_sampling_keeps_one_in_n_but_counts_everything() {
+        let _x = exclusive();
+        set_enabled(true);
+        set_sample_every(3);
+        for _ in 0..7 {
+            let _root = span(SpanKind::Request);
+            let _child = span(SpanKind::Search);
+        }
+        set_enabled(false);
+        // Roots 1, 4, and 7 (arrival numbers 0, 3, 6) survive sampling.
+        let traces = recent_traces(10);
+        assert_eq!(traces.len(), 3, "1-in-3 sampling keeps 3 of 7 traces");
+        assert_eq!(histogram(SpanKind::Request).count(), 3);
+        assert_eq!(histogram(SpanKind::Search).count(), 3);
+        // Aggregate span counts stay exact: every request is counted even
+        // when its trace was sampled out.
+        assert_eq!(span_count(SpanKind::Request), 7);
+        assert_eq!(span_count(SpanKind::Search), 7);
+        for trace in traces {
+            assert_eq!(trace.root.span_count(), 2, "sampled traces are kept whole");
+        }
+    }
+
+    #[test]
+    fn sampled_out_root_leaves_no_last_trace() {
+        let _x = exclusive();
+        set_enabled(true);
+        set_sample_every(2);
+        {
+            let _kept = span(SpanKind::Request); // arrival 0: sampled
+        }
+        assert!(take_last_trace().is_some());
+        {
+            let _dropped = span(SpanKind::Request); // arrival 1: sampled out
+        }
+        set_enabled(false);
+        assert!(take_last_trace().is_none(), "sampled-out trace must not fill the slot");
+        assert_eq!(span_count(SpanKind::Request), 2);
+    }
+
+    #[test]
+    fn span_labels_reach_the_trace_tree() {
+        let _x = exclusive();
+        set_enabled(true);
+        {
+            let _root = span_labeled(SpanKind::Request, "dblp");
+            let _child = span(SpanKind::Search);
+        }
+        set_enabled(false);
+        let trace = take_last_trace().expect("a completed trace");
+        assert_eq!(trace.root.label.as_deref(), Some("dblp"));
+        assert_eq!(trace.root.children[0].label, None, "unlabeled spans stay unlabeled");
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! closed, plus deterministic JSON and human-readable text renderings.
 //!
 //! JSON emission is hand-rolled (the workspace's `serde` is an offline
-//! marker shim) but trivially safe here: span kinds are a closed set of
-//! identifier labels and every other field is an unsigned integer, so no
-//! string escaping is ever required. Field order is fixed, making the output
-//! deterministic for a given tree — the `/debug/traces` endpoint and the
-//! slow-query log rely on that.
+//! marker shim): span kinds are a closed set of identifier labels and the
+//! timing fields are unsigned integers, so only the optional free-form span
+//! label (an index name, typically) needs escaping — a minimal local escaper
+//! handles it, since this crate sits below `gks-core` and cannot borrow its
+//! JSON helpers. Field order is fixed and the label is emitted only when
+//! present, making the output deterministic for a given tree — the
+//! `/debug/traces` endpoint and the slow-query log rely on that.
 
 use std::fmt::Write as _;
 
@@ -18,6 +20,8 @@ use crate::SpanKind;
 pub struct SpanNode {
     /// What pipeline stage this span measured.
     pub kind: SpanKind,
+    /// Optional free-form tag (the catalog index name on request roots).
+    pub label: Option<Box<str>>,
     /// Start offset from the root span's start, in µs.
     pub offset_micros: u64,
     /// Wall-clock duration, in µs.
@@ -26,15 +30,41 @@ pub struct SpanNode {
     pub children: Vec<SpanNode>,
 }
 
+/// Appends `s` as a JSON string literal, escaping quotes, backslashes, and
+/// control characters.
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 impl SpanNode {
-    /// Appends this node (and its subtree) as a JSON object.
+    /// Appends this node (and its subtree) as a JSON object. The `label`
+    /// field appears only when set, so unlabeled trees keep their exact
+    /// historical shape.
     pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"kind\":\"{}\",", self.kind.label());
+        if let Some(label) = &self.label {
+            out.push_str("\"label\":");
+            push_escaped(out, label);
+            out.push(',');
+        }
         let _ = write!(
             out,
-            "{{\"kind\":\"{}\",\"offset_micros\":{},\"micros\":{},\"children\":[",
-            self.kind.label(),
-            self.offset_micros,
-            self.micros
+            "\"offset_micros\":{},\"micros\":{},\"children\":[",
+            self.offset_micros, self.micros
         );
         for (i, child) in self.children.iter().enumerate() {
             if i > 0 {
@@ -61,7 +91,26 @@ impl SpanNode {
         for _ in 0..depth {
             out.push_str("  ");
         }
-        let _ = writeln!(out, "{} {}µs @{}µs", self.kind.label(), self.micros, self.offset_micros);
+        match &self.label {
+            Some(label) => {
+                let _ = writeln!(
+                    out,
+                    "{}[{label}] {}µs @{}µs",
+                    self.kind.label(),
+                    self.micros,
+                    self.offset_micros
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{} {}µs @{}µs",
+                    self.kind.label(),
+                    self.micros,
+                    self.offset_micros
+                );
+            }
+        }
         for child in &self.children {
             child.render_into(out, depth + 1);
         }
@@ -137,15 +186,18 @@ mod tests {
             seq: 7,
             root: SpanNode {
                 kind: SpanKind::Request,
+                label: None,
                 offset_micros: 0,
                 micros: 100,
                 children: vec![
                     SpanNode {
                         kind: SpanKind::Search,
+                        label: None,
                         offset_micros: 5,
                         micros: 80,
                         children: vec![SpanNode {
                             kind: SpanKind::Postings,
+                            label: None,
                             offset_micros: 10,
                             micros: 30,
                             children: Vec::new(),
@@ -153,6 +205,7 @@ mod tests {
                     },
                     SpanNode {
                         kind: SpanKind::Di,
+                        label: None,
                         offset_micros: 90,
                         micros: 9,
                         children: Vec::new(),
@@ -174,6 +227,26 @@ mod tests {
              \"children\":[]}]},{\"kind\":\"di\",\"offset_micros\":90,\"micros\":9,\
              \"children\":[]}]}}"
         );
+    }
+
+    #[test]
+    fn labels_are_emitted_and_escaped() {
+        let node = SpanNode {
+            kind: SpanKind::Request,
+            label: Some(r#"ix "a"\b"#.into()),
+            offset_micros: 0,
+            micros: 5,
+            children: Vec::new(),
+        };
+        let mut out = String::new();
+        node.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"kind\":\"request\",\"label\":\"ix \\\"a\\\"\\\\b\",\
+             \"offset_micros\":0,\"micros\":5,\"children\":[]}"
+        );
+        let trace = CompletedTrace { seq: 1, root: node };
+        assert!(trace.render_text().contains("request[ix \"a\"\\b] 5µs"));
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! * `no-process-exit` — `std::process::exit` is reserved for the `cli`
 //!   crate; a library that exits the process cannot be embedded in a
 //!   server.
-//! * `no-raw-timing` — `core` and `server` must not call `Instant::now()`
-//!   directly: timing routed through `gks-trace` spans lands in the
+//! * `no-raw-timing` — `cli`, `core`, and `server` must not call
+//!   `Instant::now()` directly: timing routed through `gks-trace` spans lands in the
 //!   aggregated histograms, the trace ring, and the logs, while a raw
 //!   stopwatch is invisible to every sink. The few genuinely out-of-band
 //!   sites (the accept-loop deadline anchor, the client-side loadgen
@@ -58,7 +58,7 @@ const EXIT_CHECKED: &[&str] = &[
     "trace",
 ];
 /// Crates where wall-clock reads must flow through `gks-trace`.
-const TIMING_CHECKED: &[&str] = &["core", "server"];
+const TIMING_CHECKED: &[&str] = &["cli", "core", "server"];
 
 /// A single diagnostic.
 #[derive(Debug)]

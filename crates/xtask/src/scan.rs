@@ -157,11 +157,18 @@ fn strip(source: &str) -> String {
             State::Str => match c {
                 '\\' => {
                     out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                        i += 2;
-                    } else {
-                        i += 1;
+                    match next {
+                        // A string line continuation escapes the newline;
+                        // keep it so line numbering stays aligned.
+                        Some('\n') => {
+                            out.push('\n');
+                            i += 2;
+                        }
+                        Some(_) => {
+                            out.push(' ');
+                            i += 2;
+                        }
+                        None => i += 1,
                     }
                 }
                 '"' => {
@@ -309,6 +316,15 @@ mod tests {
         assert!(lines[3].in_test_mod);
         assert!(lines[4].in_test_mod);
         assert!(!lines[5].in_test_mod);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_count() {
+        let src = "let s = \"first \\\n    second\";\n/// doc\npub fn f() {}\n";
+        let lines = scan_file(src);
+        assert_eq!(lines.len(), 4, "escaped newline must not merge lines");
+        assert!(lines[2].is_doc);
+        assert!(lines[3].code.contains("pub fn f"));
     }
 
     #[test]
