@@ -2,7 +2,9 @@
 //!
 //! Subcommands (see [`run`] and `gks --help`):
 //!
-//! * `index <out.gksix> <file.xml>…` — build and persist an index;
+//! * `index [--shards N] <out.gksix> <file.xml>…` — build and persist an
+//!   index (`--shards N` partitions the corpus by document into N shard
+//!   indexes plus a shard manifest);
 //! * `search <index.gksix> [-s N] [--limit N] [--di] [--analytics] <kw>…` —
 //!   query it (quote phrases: `'"Peter Buneman"'`);
 //! * `suggest <index.gksix> <kw>…` — refinement suggestions for a query;
@@ -42,7 +44,7 @@ use gks_core::query::Query;
 use gks_core::search::{SearchOptions, Threshold};
 use gks_core::wire;
 use gks_datagen::Dataset;
-use gks_index::{Corpus, GksIndex, IndexOptions, SchemaSummary};
+use gks_index::{split_corpus, Corpus, GksIndex, IndexOptions, SchemaSummary, ShardManifest};
 use gks_server::catalog::{IndexSpec, DEFAULT_INDEX_NAME};
 use gks_server::{loadgen, signal, ServeConfig};
 
@@ -71,7 +73,7 @@ pub const USAGE: &str = "\
 gks — Generic Keyword Search over XML data (EDBT 2016)
 
 USAGE:
-  gks index <out.gksix> <file.xml>...
+  gks index [--shards N] <out.gksix> <file.xml>...
   gks search <index.gksix> [-s N|all|half] [--limit N] [--json]
              [--di] [--analytics] [--trace] <keyword>...
   gks suggest <index.gksix> [--json] <keyword>...
@@ -81,20 +83,27 @@ USAGE:
   gks doctor <index.gksix>...
   gks generate <dataset> <scale> <out.xml>
   gks repl <index.gksix>
-  gks serve [<index.gksix>] [--index NAME=PATH]... [--default-index NAME]
-            [--addr HOST:PORT] [--workers N] [--queue N]
-            [--deadline-ms N] [--cache-mb N] [--query-log FILE]
-            [--slow-log FILE] [--slow-ms N] [--trace-ring N]
-            [--trace-sample N|1/N] [--no-trace]
+  gks serve [<index.gksix>] [--index NAME=PATH[,PATH...]]...
+            [--default-index NAME] [--addr HOST:PORT] [--workers N]
+            [--queue N] [--deadline-ms N] [--cache-mb N] [--cache-admission]
+            [--query-log FILE] [--slow-log FILE] [--slow-ms N]
+            [--trace-ring N] [--trace-sample N|1/N] [--no-trace]
   gks loadgen <host:port> <workload.txt> [--clients N] [--requests N]
             [--zipf S] [--seed N] [--timeout-ms N] [--open-loop --rate QPS]
             [--index NAME[=WEIGHT]]...
 
 `--json` emits the same wire format the serve endpoints return.
 `--trace` prints the span tree (per-phase timings) after the results.
+`index --shards N` partitions the corpus by document into N shard
+indexes next to <out> plus a shard manifest at <out> itself.
 `serve` hosts a catalog: the positional index registers as \"default\",
 each --index NAME=PATH adds another, reachable under /ix/NAME/search.
-SIGHUP (or POST /admin/reload?index=NAME) hot-swaps an index in place;
+An index source may be a comma-separated shard list (NAME=p1,p2) or a
+shard manifest path; `/search` then scatters over the shards in
+parallel and gathers a lossless merge. --cache-admission gates result
+cache fills through a TinyLFU frequency sketch.
+SIGHUP (or POST /admin/reload?index=NAME&shard=I) hot-swaps an index —
+or one shard of it — in place;
 --trace-sample 1/N keeps one in N request traces. `serve` drains
 in-flight requests and exits 0 on SIGTERM/ctrl-c; its query/slow logs
 are JSONL, one object per request.
@@ -150,14 +159,32 @@ fn parse_query(words: &[String]) -> Result<Query, CliError> {
 }
 
 fn cmd_index(args: &[String]) -> Result<String, CliError> {
-    let [out, files @ ..] = args else {
-        return Err(CliError::usage("usage: gks index <out.gksix> <file.xml>..."));
+    const INDEX_USAGE: &str = "usage: gks index [--shards N] <out.gksix> <file.xml>...";
+    let mut shards = 1usize;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = parse_value(take_value(&mut it, "--shards")?, "--shards")?;
+                if shards == 0 {
+                    return Err(CliError::usage("--shards must be >= 1"));
+                }
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [out, files @ ..] = positional.as_slice() else {
+        return Err(CliError::usage(INDEX_USAGE));
     };
     if files.is_empty() {
-        return Err(CliError::usage("usage: gks index <out.gksix> <file.xml>..."));
+        return Err(CliError::usage(INDEX_USAGE));
     }
-    let corpus = Corpus::from_paths(files.iter())
+    let corpus = Corpus::from_paths(files.iter().copied())
         .map_err(|e| CliError::runtime(format!("cannot read corpus: {e}")))?;
+    if shards > 1 {
+        return cmd_index_sharded(out, &corpus, shards);
+    }
     let index = GksIndex::build(&corpus, IndexOptions::default())
         .map_err(|e| CliError::runtime(format!("indexing failed: {e}")))?;
     let written = index
@@ -174,6 +201,53 @@ fn cmd_index(args: &[String]) -> Result<String, CliError> {
         s.total_postings,
         s.build_millis
     ))
+}
+
+/// `gks index --shards N`: partition the corpus by document into N
+/// self-contained shard indexes (written next to `out`) plus the shard
+/// manifest at `out` itself. Shard paths are stored relative to the
+/// manifest, so the whole set can be moved as a directory.
+fn cmd_index_sharded(out: &str, corpus: &Corpus, shards: usize) -> Result<String, CliError> {
+    let out_path = std::path::Path::new(out);
+    let stem = out_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| CliError::usage(format!("bad output path {out:?}")))?
+        .to_string();
+    let parts = split_corpus(corpus, shards);
+    let mut manifest = ShardManifest::default();
+    let mut report = String::new();
+    let mut base = 0u32;
+    for (i, part) in parts.iter().enumerate() {
+        let index = GksIndex::build(part, IndexOptions::default())
+            .map_err(|e| CliError::runtime(format!("indexing shard {i} failed: {e}")))?;
+        let file = format!("{stem}.shard{i}.gksix");
+        let path = out_path.with_file_name(&file);
+        let written = index
+            .save(&path)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
+        let s = index.stats();
+        let _ = writeln!(
+            report,
+            "shard {i}: {} document(s), {} nodes, {} terms -> {} ({written} bytes)",
+            s.doc_count,
+            s.total_nodes,
+            s.distinct_terms,
+            path.display()
+        );
+        manifest.shards.push(ShardManifest::entry_for(&index, &file, base));
+        base = base.saturating_add(u32::try_from(part.len()).unwrap_or(u32::MAX));
+    }
+    manifest
+        .save(out_path)
+        .map_err(|e| CliError::runtime(format!("cannot write manifest {out:?}: {e}")))?;
+    let _ = writeln!(
+        report,
+        "wrote shard manifest ({} shard(s), {} document(s)) to {out}",
+        parts.len(),
+        corpus.len()
+    );
+    Ok(report)
 }
 
 fn cmd_search(args: &[String]) -> Result<String, CliError> {
@@ -544,11 +618,29 @@ fn parse_trace_sample(value: &str) -> Option<u64> {
     n.parse::<u64>().ok().filter(|&n| n >= 1)
 }
 
+/// Builds the catalog spec for one index source spelling:
+/// `p1,p2,…` registers the comma-separated paths as shards, a path whose
+/// file starts with the shard-manifest header loads the manifest, and
+/// anything else is a plain single-index path.
+fn index_spec_for(name: &str, spec: &str) -> Result<IndexSpec, CliError> {
+    if spec.contains(',') {
+        return Ok(IndexSpec::with_shard_paths(name, spec.split(',')));
+    }
+    let is_manifest = std::fs::read(spec)
+        .is_ok_and(|bytes| bytes.starts_with(gks_index::shard::MANIFEST_HEADER.as_bytes()));
+    if is_manifest {
+        return IndexSpec::with_manifest(name, spec)
+            .map_err(|e| CliError::runtime(format!("cannot load shard manifest {spec:?}: {e}")));
+    }
+    Ok(IndexSpec::with_source(name, spec))
+}
+
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
-    const SERVE_USAGE: &str = "usage: gks serve [<index.gksix>] [--index NAME=PATH]... \
+    const SERVE_USAGE: &str = "usage: gks serve [<index.gksix>] [--index NAME=PATH[,PATH...]]... \
         [--default-index NAME] [--addr HOST:PORT] [--workers N] [--queue N] \
-        [--deadline-ms N] [--cache-mb N] [--query-log FILE] [--slow-log FILE] \
-        [--slow-ms N] [--trace-ring N] [--trace-sample N|1/N] [--no-trace]";
+        [--deadline-ms N] [--cache-mb N] [--cache-admission] [--query-log FILE] \
+        [--slow-log FILE] [--slow-ms N] [--trace-ring N] [--trace-sample N|1/N] \
+        [--no-trace]";
     // The positional path (registered as the "default" index) is optional
     // when --index flags supply the catalog.
     let (positional, rest) = match args.split_first() {
@@ -558,7 +650,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let mut config = ServeConfig::default();
     let mut specs: Vec<IndexSpec> = Vec::new();
     if let Some(path) = positional {
-        specs.push(IndexSpec::with_source(DEFAULT_INDEX_NAME, path));
+        specs.push(index_spec_for(DEFAULT_INDEX_NAME, path)?);
     }
     let mut default_index: Option<String> = None;
     let mut it = rest.iter();
@@ -569,7 +661,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                 let Some((name, path)) = v.split_once('=') else {
                     return Err(CliError::usage(format!("--index wants NAME=PATH, got {v:?}")));
                 };
-                specs.push(IndexSpec::with_source(name, path));
+                specs.push(index_spec_for(name, path)?);
             }
             "--default-index" => {
                 default_index = Some(take_value(&mut it, "--default-index")?.clone());
@@ -595,6 +687,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                 let mb: usize = parse_value(take_value(&mut it, "--cache-mb")?, "--cache-mb")?;
                 config.cache_bytes = mb * 1024 * 1024;
             }
+            "--cache-admission" => config.cache_admission = true,
             "--query-log" => {
                 config.query_log =
                     Some(std::path::PathBuf::from(take_value(&mut it, "--query-log")?));
@@ -893,6 +986,50 @@ mod tests {
     }
 
     #[test]
+    fn sharded_index_builds_manifest_and_shard_files() {
+        let dir = tmpdir().join("sharded-index");
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml = dir.join("d.xml");
+        run(&args(&["generate", "dblp", "120", xml.to_str().unwrap()])).unwrap();
+        // Two documents so a 2-way document split is possible.
+        let xml2 = dir.join("d2.xml");
+        std::fs::copy(&xml, &xml2).unwrap();
+        let manifest_path = dir.join("corpus.shards");
+        let out = run(&args(&[
+            "index",
+            "--shards",
+            "2",
+            manifest_path.to_str().unwrap(),
+            xml.to_str().unwrap(),
+            xml2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote shard manifest (2 shard(s), 2 document(s))"), "{out}");
+        let manifest = ShardManifest::load(&manifest_path).unwrap();
+        assert_eq!(manifest.shards.len(), 2);
+        assert_eq!(manifest.doc_count(), 2);
+        // Every shard file exists, is a healthy index, and the serve-side
+        // spec sniffing recognizes both spellings.
+        let mut shard_paths = Vec::new();
+        for entry in &manifest.shards {
+            let path = dir.join(&entry.path);
+            assert!(path.exists(), "missing shard file {}", path.display());
+            run(&args(&["doctor", path.to_str().unwrap()])).unwrap();
+            shard_paths.push(path.to_str().unwrap().to_string());
+        }
+        assert!(index_spec_for("m", manifest_path.to_str().unwrap()).is_ok(), "manifest sniffed");
+        assert!(index_spec_for("m", &shard_paths.join(",")).is_ok(), "comma list accepted");
+
+        // Shard flag validation.
+        assert_eq!(run(&args(&["index", "--shards"])).unwrap_err().code, 2, "missing value");
+        let err = run(&args(&["index", "--shards", "0", "/tmp/x", "/tmp/y.xml"])).unwrap_err();
+        assert_eq!(err.code, 2, "zero shards");
+        let err = run(&args(&["index", "--shards", "x", "/tmp/x", "/tmp/y.xml"])).unwrap_err();
+        assert_eq!(err.code, 2, "non-numeric shards");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_and_loadgen_flag_validation() {
         assert_eq!(run(&args(&["serve"])).unwrap_err().code, 2, "no index at all");
         let err = run(&args(&["serve", "/tmp/x.gksix", "--bogus"])).unwrap_err();
@@ -916,6 +1053,9 @@ mod tests {
         // at parse time; a missing file is then a runtime (load) error.
         let err = run(&args(&["serve", "--index", "a=/no/such.gksix"])).unwrap_err();
         assert_eq!(err.code, 1, "parse passed, load failed");
+        // Same for a comma-separated shard list: spec parses, load fails.
+        let err = run(&args(&["serve", "--index", "a=/no/1.gksix,/no/2.gksix"])).unwrap_err();
+        assert_eq!(err.code, 1, "shard list parsed, load failed");
 
         assert_eq!(parse_trace_sample("1"), Some(1));
         assert_eq!(parse_trace_sample("16"), Some(16));
@@ -973,6 +1113,8 @@ mod tests {
             "--rate",
             "--index",
             "--default-index",
+            "--shards",
+            "--cache-admission",
         ] {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

@@ -12,13 +12,14 @@
 //! DI can be applied recursively: the top-m insight values are fed back as a
 //! query, producing `R^r_Q(s)` and deeper insights (§2.3 steps i–iii).
 
+use gks_dewey::DeweyId;
 use gks_index::attrstore::AttrSource;
 use gks_index::fasthash::FastMap;
 use gks_index::GksIndex;
 
 use crate::error::QueryError;
 use crate::query::{Keyword, Query};
-use crate::search::{search, HitKind, Response, SearchOptions};
+use crate::search::{search, Hit, HitKind, Response, SearchOptions};
 
 /// Options for DI extraction.
 #[derive(Debug, Clone)]
@@ -69,35 +70,64 @@ impl Insight {
     }
 }
 
-/// Extracts DI from a response's LCE hits.
-pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -> Vec<Insight> {
-    let _di_span = gks_trace::span(gks_trace::SpanKind::Di);
-    // Normalized query terms, to exclude query keywords from Sw_Q ("if a
-    // keyword in the attribute node is part of the user query Q, it is not
-    // included").
-    let query_terms: std::collections::HashSet<&str> = response
-        .keywords()
-        .iter()
-        .flat_map(|k| k.terms().iter().map(String::as_str))
-        .collect();
+/// Incremental DI aggregation — the body of [`discover_di`], factored so a
+/// sharded gather (see [`crate::shard`]) can feed hits resolved against
+/// several shard indexes while preserving the exact aggregation, first-seen
+/// raw-value choice, and ordering of the unsharded path.
+#[derive(Debug)]
+pub struct DiAccumulator {
+    /// Normalized query terms, to exclude query keywords from Sw_Q ("if a
+    /// keyword in the attribute node is part of the user query Q, it is not
+    /// included").
+    query_terms: std::collections::HashSet<String>,
+    /// Aggregation key: (path labels, normalized value).
+    agg: FastMap<(Vec<String>, String), Insight>,
+    top_m: usize,
+    include_repeating_text: bool,
+    max_hits: usize,
+    observed: usize,
+}
 
-    // Aggregation key: (path labels, normalized value).
-    let mut agg: FastMap<(Vec<String>, String), Insight> = FastMap::default();
-    let analyzer = index.analyzer();
-
-    for hit in response.hits().iter().take(options.max_hits) {
-        if hit.kind != HitKind::Lce {
-            continue;
+impl DiAccumulator {
+    /// Starts an accumulation for `response`'s query under `options`.
+    pub fn new(response: &Response, options: &DiOptions) -> DiAccumulator {
+        DiAccumulator {
+            query_terms: response
+                .keywords()
+                .iter()
+                .flat_map(|k| k.terms().iter().cloned())
+                .collect(),
+            agg: FastMap::default(),
+            top_m: options.top_m,
+            include_repeating_text: options.include_repeating_text,
+            max_hits: options.max_hits,
+            observed: 0,
         }
-        let entity_label = index.node_table().label_name(&hit.node).unwrap_or("?").to_string();
-        for entry in index.attr_store().entries(&hit.node) {
-            if entry.source == AttrSource::RepeatingText && !options.include_repeating_text {
+    }
+
+    /// Feeds one hit, resolved against `index` via `node` — the hit's id in
+    /// `index`'s own document numbering (shard-local for sharded search,
+    /// `hit.node` itself otherwise). Hits must arrive in response rank
+    /// order; every call counts toward `max_hits`, matching the unsharded
+    /// pipeline where non-LCE hits consume budget without contributing.
+    pub fn observe(&mut self, index: &GksIndex, hit: &Hit, node: &DeweyId) {
+        if self.observed >= self.max_hits {
+            return;
+        }
+        self.observed += 1;
+        if hit.kind != HitKind::Lce {
+            return;
+        }
+        let analyzer = index.analyzer();
+        let entity_label = index.node_table().label_name(node).unwrap_or("?").to_string();
+        for entry in index.attr_store().entries(node) {
+            if entry.source == AttrSource::RepeatingText && !self.include_repeating_text {
                 continue;
             }
             // Skip values that restate the query.
             let value_terms = analyzer.analyze(&entry.value);
             if value_terms.is_empty()
-                || value_terms.iter().any(|t| query_terms.contains(t.as_str()))
+                || value_terms.iter().any(|t| self.query_terms.contains(t.as_str()))
             {
                 continue;
             }
@@ -108,7 +138,7 @@ pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -
             );
             let norm_value = value_terms.join(" ");
             let key = (path.clone(), norm_value);
-            let insight = agg.entry(key).or_insert_with(|| Insight {
+            let insight = self.agg.entry(key).or_insert_with(|| Insight {
                 value: entry.value.clone(),
                 path,
                 weight: 0.0,
@@ -119,16 +149,30 @@ pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -
         }
     }
 
-    let mut insights: Vec<Insight> = agg.into_values().collect();
-    insights.sort_by(|a, b| {
-        b.weight
-            .partial_cmp(&a.weight)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| b.support.cmp(&a.support))
-            .then_with(|| a.value.cmp(&b.value))
-    });
-    insights.truncate(options.top_m);
-    insights
+    /// Finishes the accumulation: sorts by (weight desc, support desc,
+    /// value asc) and truncates to the top-m.
+    pub fn finish(self) -> Vec<Insight> {
+        let mut insights: Vec<Insight> = self.agg.into_values().collect();
+        insights.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.support.cmp(&a.support))
+                .then_with(|| a.value.cmp(&b.value))
+        });
+        insights.truncate(self.top_m);
+        insights
+    }
+}
+
+/// Extracts DI from a response's LCE hits.
+pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -> Vec<Insight> {
+    let _di_span = gks_trace::span(gks_trace::SpanKind::Di);
+    let mut acc = DiAccumulator::new(response, options);
+    for hit in response.hits() {
+        acc.observe(index, hit, &hit.node);
+    }
+    acc.finish()
 }
 
 /// One round of recursive DI.

@@ -18,6 +18,8 @@
 //! * [`sweep`] — exact matched-keyword sets, potential-flow ranks (§5) and
 //!   entity witnesses (§4.2) in one pass over `SL`;
 //! * [`search`] — the full GKS search pipeline (Figure 6);
+//! * [`shard`] — the gather half of sharded search: lossless merge of
+//!   per-shard answers from a document-partitioned corpus;
 //! * [`di`] — Deeper Analytical Insights, plain and recursive (§2.3, §6.2);
 //! * [`refine`] — query refinement suggestions (§6.1);
 //! * [`analytics`] — response analytics: group-bys and facets over the
@@ -39,6 +41,7 @@ pub mod postlist;
 pub mod query;
 pub mod refine;
 pub mod search;
+pub mod shard;
 pub mod sweep;
 pub mod window;
 pub mod wire;
@@ -49,3 +52,4 @@ pub use engine::Engine;
 pub use error::QueryError;
 pub use query::Query;
 pub use search::{Hit, HitKind, Response, SearchOptions, Threshold};
+pub use shard::{discover_di_sharded, merge_responses, sharded_search, ShardedResponse};

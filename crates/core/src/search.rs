@@ -216,6 +216,23 @@ impl Response {
     pub fn max_keyword_count(&self) -> u32 {
         self.hits.iter().map(|h| h.keyword_count).max().unwrap_or(0)
     }
+
+    /// Assembles a response from already-ranked parts — the gather half of a
+    /// sharded search (see [`crate::shard`]). No searching or re-ranking
+    /// happens here: `hits` must already be sorted by the final comparator
+    /// (rank desc, keyword count desc, document order) and truncated to the
+    /// caller's limit.
+    pub fn from_parts(
+        keywords: Vec<Keyword>,
+        s: usize,
+        hits: Vec<Hit>,
+        sl_len: usize,
+        elapsed_micros: u64,
+        missing: Vec<usize>,
+        trace: SearchTrace,
+    ) -> Response {
+        Response { keywords, s, hits, sl_len, elapsed_micros, missing, trace }
+    }
 }
 
 /// Runs a GKS search against an index.

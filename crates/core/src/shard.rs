@@ -1,0 +1,322 @@
+//! The gather half of sharded search: merging per-shard answers into one
+//! response that is byte-identical, on the wire, to the unsharded engine's.
+//!
+//! A corpus split by document (see `gks_index::shard`) yields shards whose
+//! local answers compose losslessly: no corpus-global statistic enters the
+//! potential-flow rank (§5), the sweep, or SLCA-style pruning — every
+//! quantity a hit carries is a function of the hit's own subtree and the
+//! query. A node's rank in its shard therefore equals its rank in the
+//! monolithic index, and gathering reduces to:
+//!
+//! 1. **remap** each shard-local [`DocId`] to its global id by adding the
+//!    shard's document base;
+//! 2. **re-sort** the union of per-shard hits with the exact final
+//!    comparator of [`crate::search`] (rank desc, keyword count desc,
+//!    document order) and re-truncate to the request's limit — per-shard
+//!    top-k lists are supersets of their slice of the global top-k;
+//! 3. **union** the bookkeeping: `sl_len` sums, `missing` keywords are the
+//!    per-index intersection (a keyword is absent globally iff absent from
+//!    every shard), and DI observation walks the merged rank order against
+//!    each hit's owning shard so refinement terms match the unsharded
+//!    engine (see [`crate::di::DiAccumulator`]).
+
+use gks_dewey::{DeweyId, DocId};
+use gks_index::GksIndex;
+use gks_trace::{span, SpanKind};
+
+use crate::di::{DiAccumulator, DiOptions, Insight};
+use crate::engine::Engine;
+use crate::error::QueryError;
+use crate::query::Query;
+use crate::search::{Hit, Response, SearchOptions, SearchTrace};
+
+/// A merged (gathered) response plus the per-hit shard provenance the wire
+/// and DI layers need to resolve paths and attributes in the owning shard.
+#[derive(Debug, Clone)]
+pub struct ShardedResponse {
+    response: Response,
+    /// `origins[i]` is the shard ordinal that produced `response.hits()[i]`.
+    origins: Vec<usize>,
+    /// Global document-id base of each shard, by shard ordinal.
+    doc_bases: Vec<u32>,
+}
+
+impl ShardedResponse {
+    /// The merged response. Hits carry **global** document ids and are
+    /// ranked exactly as the unsharded engine would rank them.
+    pub fn response(&self) -> &Response {
+        &self.response
+    }
+
+    /// The shard ordinal that produced hit `i` (0 for out-of-range `i`).
+    pub fn origin(&self, i: usize) -> usize {
+        self.origins.get(i).copied().unwrap_or(0)
+    }
+
+    /// Hit `i`'s id in its owning shard's own document numbering — what
+    /// node-table and attribute-store lookups against that shard expect.
+    pub fn local_node(&self, i: usize) -> DeweyId {
+        let Some(hit) = self.response.hits().get(i) else {
+            return DeweyId::root(DocId(0));
+        };
+        let base = self.doc_bases.get(self.origin(i)).copied().unwrap_or(0);
+        DeweyId::new(DocId(hit.node.doc().0.saturating_sub(base)), hit.node.steps().to_vec())
+    }
+
+    /// Number of shards that contributed to the scatter.
+    pub fn fan_out(&self) -> usize {
+        self.doc_bases.len()
+    }
+}
+
+fn remap_hit(hit: &Hit, base: u32) -> Hit {
+    Hit {
+        node: DeweyId::new(DocId(hit.node.doc().0.saturating_add(base)), hit.node.steps().to_vec()),
+        kind: hit.kind,
+        keyword_mask: hit.keyword_mask,
+        keyword_count: hit.keyword_count,
+        rank: hit.rank,
+    }
+}
+
+/// Merges per-shard answers (each paired with its shard's global document
+/// base, in shard order) into one [`ShardedResponse`] truncated to `limit`.
+/// All answers must come from the same query against shards of one corpus;
+/// the first answer supplies the keyword list and resolved `s` (identical
+/// across shards by construction). Errors only on an empty answer set.
+pub fn merge_responses(
+    answers: Vec<(u32, Response)>,
+    limit: usize,
+) -> Result<ShardedResponse, QueryError> {
+    if answers.is_empty() {
+        return Err(QueryError::Empty);
+    }
+    let shard_count = answers.len();
+    let keywords = answers[0].1.keywords().to_vec();
+    let s = answers[0].1.s();
+    let n = keywords.len();
+
+    // A keyword is missing globally iff it is missing from every shard.
+    let mut missing_counts = vec![0usize; n];
+    let mut sl_len = 0usize;
+    let mut elapsed_micros = 0u64;
+    let mut trace = SearchTrace::default();
+    for (_, r) in &answers {
+        for &i in r.missing_keyword_indices() {
+            if let Some(c) = missing_counts.get_mut(i) {
+                *c += 1;
+            }
+        }
+        sl_len += r.sl_len();
+        // Shards search in parallel: merged wall-clock is the straggler's.
+        elapsed_micros = elapsed_micros.max(r.elapsed_micros());
+        let t = r.trace();
+        trace.candidates += t.candidates;
+        trace.lce_nodes += t.lce_nodes;
+        trace.witnessed_lce += t.witnessed_lce;
+        trace.orphan_lcp += t.orphan_lcp;
+        trace.pruned += t.pruned;
+        trace.parse_micros += t.parse_micros;
+        trace.merge_micros += t.merge_micros;
+        trace.window_micros += t.window_micros;
+        trace.sweep_micros += t.sweep_micros;
+        trace.assemble_micros += t.assemble_micros;
+    }
+    let missing: Vec<usize> = missing_counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == shard_count)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut doc_bases = Vec::with_capacity(shard_count);
+    let mut merged: Vec<(Hit, usize)> = Vec::new();
+    for (ordinal, (base, r)) in answers.iter().enumerate() {
+        doc_bases.push(*base);
+        merged.extend(r.hits().iter().map(|h| (remap_hit(h, *base), ordinal)));
+    }
+    // The exact final comparator of crate::search — shards cover disjoint
+    // document ranges, so the document-order tie-break stays total.
+    merged.sort_by(|(a, _), (b, _)| {
+        b.rank
+            .partial_cmp(&a.rank)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.keyword_count.cmp(&a.keyword_count))
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    merged.truncate(limit);
+
+    let mut hits = Vec::with_capacity(merged.len());
+    let mut origins = Vec::with_capacity(merged.len());
+    for (hit, ordinal) in merged {
+        hits.push(hit);
+        origins.push(ordinal);
+    }
+    let response = Response::from_parts(keywords, s, hits, sl_len, elapsed_micros, missing, trace);
+    Ok(ShardedResponse { response, origins, doc_bases })
+}
+
+/// Runs a sharded search sequentially: one search per shard engine, then a
+/// gather under a [`SpanKind::Gather`] span. `doc_bases[i]` is shard `i`'s
+/// global document base. The parallel scatter lives in the server; this
+/// entry point serves the CLI, benchmarks, and equivalence tests.
+pub fn sharded_search(
+    shards: &[&Engine],
+    doc_bases: &[u32],
+    query: &Query,
+    options: SearchOptions,
+) -> Result<ShardedResponse, QueryError> {
+    let mut answers = Vec::with_capacity(shards.len());
+    for (i, engine) in shards.iter().enumerate() {
+        let base = doc_bases.get(i).copied().unwrap_or(0);
+        answers.push((base, engine.search(query, options)?));
+    }
+    let _gather = span(SpanKind::Gather);
+    merge_responses(answers, options.limit)
+}
+
+/// DI over a merged response: observes hits in global rank order, each
+/// resolved in its owning shard with its shard-local node, so insight
+/// values, weights, supports, and order match [`crate::di::discover_di`] on
+/// the unsharded engine.
+pub fn discover_di_sharded(
+    shards: &[&GksIndex],
+    sharded: &ShardedResponse,
+    options: &DiOptions,
+) -> Vec<Insight> {
+    let _di_span = span(SpanKind::Di);
+    let mut acc = DiAccumulator::new(sharded.response(), options);
+    for (i, hit) in sharded.response().hits().iter().enumerate() {
+        let local = sharded.local_node(i);
+        if let Some(index) = shards.get(sharded.origin(i)) {
+            acc.observe(index, hit, &local);
+        }
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Threshold;
+    use crate::wire;
+    use gks_index::{split_corpus, Corpus, IndexOptions};
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        for i in 0..6 {
+            let who = if i % 2 == 0 { "Karen" } else { "Mike" };
+            c.push(
+                format!("doc{i}"),
+                format!(
+                    "<course><name>Course {i}</name><students>\
+                     <student>{who}</student><student>Alex</student></students></course>"
+                ),
+            );
+        }
+        c
+    }
+
+    fn engines_for(parts: &[Corpus]) -> Vec<Engine> {
+        parts
+            .iter()
+            .map(|p| Engine::build(p, IndexOptions::default()).unwrap())
+            .collect()
+    }
+
+    fn bases_for(parts: &[Corpus]) -> Vec<u32> {
+        let mut bases = Vec::new();
+        let mut base = 0u32;
+        for p in parts {
+            bases.push(base);
+            base += p.len() as u32;
+        }
+        bases
+    }
+
+    #[test]
+    fn sharded_search_matches_unsharded_wire_bytes() {
+        let c = corpus();
+        let whole = Engine::build(&c, IndexOptions::default()).unwrap();
+        let query = Query::parse("karen alex").unwrap();
+        let options = SearchOptions { s: Threshold::Fixed(1), limit: 4 };
+        let expected = whole.search(&query, options).unwrap();
+        let expected_json = wire::search_response_json(&whole, &expected);
+
+        for shards in [2, 3] {
+            let parts = split_corpus(&c, shards);
+            let engines = engines_for(&parts);
+            let refs: Vec<&Engine> = engines.iter().collect();
+            let merged = sharded_search(&refs, &bases_for(&parts), &query, options).unwrap();
+            assert_eq!(merged.fan_out(), shards);
+            let got_json = wire::search_response_json_sharded(&refs, &merged);
+            assert_eq!(got_json, expected_json, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn missing_is_the_intersection_across_shards() {
+        let c = corpus();
+        let parts = split_corpus(&c, 2);
+        let engines = engines_for(&parts);
+        let refs: Vec<&Engine> = engines.iter().collect();
+        // "karen" only appears in even documents — present in both shards'
+        // slices; "zzz" appears nowhere.
+        let query = Query::parse("karen zzz").unwrap();
+        let options = SearchOptions { s: Threshold::Fixed(1), limit: usize::MAX };
+        let merged = sharded_search(&refs, &bases_for(&parts), &query, options).unwrap();
+        assert_eq!(merged.response().missing_keyword_indices(), &[1]);
+        let whole = Engine::build(&c, IndexOptions::default()).unwrap();
+        let expected = whole.search(&query, options).unwrap();
+        assert_eq!(merged.response().missing_keyword_indices(), expected.missing_keyword_indices());
+        assert_eq!(merged.response().sl_len(), expected.sl_len());
+    }
+
+    #[test]
+    fn local_nodes_round_trip_through_the_doc_base() {
+        let c = corpus();
+        let parts = split_corpus(&c, 3);
+        let engines = engines_for(&parts);
+        let refs: Vec<&Engine> = engines.iter().collect();
+        let query = Query::parse("karen").unwrap();
+        let options = SearchOptions { s: Threshold::Fixed(1), limit: usize::MAX };
+        let merged = sharded_search(&refs, &bases_for(&parts), &query, options).unwrap();
+        assert!(!merged.response().hits().is_empty());
+        let bases = bases_for(&parts);
+        for (i, hit) in merged.response().hits().iter().enumerate() {
+            let local = merged.local_node(i);
+            let base = bases[merged.origin(i)];
+            assert_eq!(local.doc().0 + base, hit.node.doc().0);
+            assert_eq!(local.steps(), hit.node.steps());
+        }
+    }
+
+    #[test]
+    fn sharded_di_matches_unsharded() {
+        let c = corpus();
+        let whole = Engine::build(&c, IndexOptions::default()).unwrap();
+        let query = Query::parse("karen mike").unwrap();
+        let options = SearchOptions { s: Threshold::Fixed(1), limit: usize::MAX };
+        let expected = whole.search(&query, options).unwrap();
+        let expected_di = whole.discover_di(&expected, &DiOptions::default());
+
+        let parts = split_corpus(&c, 2);
+        let engines = engines_for(&parts);
+        let refs: Vec<&Engine> = engines.iter().collect();
+        let merged = sharded_search(&refs, &bases_for(&parts), &query, options).unwrap();
+        let indexes: Vec<&GksIndex> = engines.iter().map(Engine::index).collect();
+        let got_di = discover_di_sharded(&indexes, &merged, &DiOptions::default());
+        assert_eq!(got_di.len(), expected_di.len());
+        for (g, e) in got_di.iter().zip(&expected_di) {
+            assert_eq!(g.value, e.value);
+            assert_eq!(g.path, e.path);
+            assert_eq!(g.support, e.support);
+            assert!((g.weight - e.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_of_nothing_is_an_error() {
+        assert!(merge_responses(Vec::new(), 10).is_err());
+    }
+}

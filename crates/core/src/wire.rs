@@ -18,7 +18,8 @@ use std::fmt::Write as _;
 use crate::di::Insight;
 use crate::engine::Engine;
 use crate::refine::Refinement;
-use crate::search::{HitKind, Response};
+use crate::search::{Hit, HitKind, Response};
+use crate::shard::ShardedResponse;
 
 /// Appends `s` to `out` as a JSON string literal (quotes included), escaping
 /// per RFC 8259: `"`, `\`, and control characters below `U+0020`.
@@ -79,6 +80,26 @@ pub fn push_json_f64(out: &mut String, v: f64) {
 /// length of the returned list (not the pre-truncation count, which the
 /// engine does not retain). `missing` lists keywords with zero postings.
 pub fn search_response_json(engine: &Engine, response: &Response) -> String {
+    write_search_response(response, |_, hit| engine.node_path(&hit.node))
+}
+
+/// The sharded variant of [`search_response_json`]: byte-identical output
+/// to the unsharded renderer on the equivalent monolithic engine. Each
+/// hit's `path` is resolved in its owning shard (via the shard-local node),
+/// while the `node` field keeps the merged response's global id.
+pub fn search_response_json_sharded(shards: &[&Engine], sharded: &ShardedResponse) -> String {
+    write_search_response(sharded.response(), |i, _| {
+        shards
+            .get(sharded.origin(i))
+            .map(|engine| engine.node_path(&sharded.local_node(i)))
+            .unwrap_or_default()
+    })
+}
+
+fn write_search_response(
+    response: &Response,
+    mut path_of: impl FnMut(usize, &Hit) -> Vec<String>,
+) -> String {
     let mut out = String::with_capacity(256 + response.hits().len() * 128);
     out.push_str("{\"query\":");
     push_json_str_array(&mut out, response.keywords().iter().map(|k| k.raw()));
@@ -93,7 +114,7 @@ pub fn search_response_json(engine: &Engine, response: &Response) -> String {
         out.push_str("{\"node\":");
         push_json_str(&mut out, &hit.node.to_string());
         out.push_str(",\"path\":");
-        push_json_str_array(&mut out, engine.node_path(&hit.node));
+        push_json_str_array(&mut out, path_of(i, hit));
         out.push_str(",\"kind\":");
         push_json_str(
             &mut out,

@@ -33,6 +33,7 @@ pub mod options;
 pub mod persist;
 pub mod postings;
 pub mod schema;
+pub mod shard;
 pub mod stats;
 
 pub use attrstore::{AttrEntry, AttrSource, AttrStore};
@@ -44,4 +45,5 @@ pub use error::IndexError;
 pub use node_table::{NodeMeta, NodeTable};
 pub use options::IndexOptions;
 pub use schema::{PathStats, SchemaSummary};
+pub use shard::{split_corpus, ShardEntry, ShardManifest};
 pub use stats::{CategoryCensus, IndexStats};

@@ -1,0 +1,316 @@
+//! Document-granular corpus sharding: splitting a corpus into contiguous
+//! document ranges and the manifest that records the split.
+//!
+//! GKS answers are per-node and no corpus-global statistic enters the
+//! potential-flow rank (§5), so a corpus partitioned **by document** yields
+//! shards whose local answers merge losslessly: a node's score in shard `i`
+//! equals its score in the monolithic index, and the only cross-shard work
+//! is remapping each shard-local [`DocId`] back to its global id (the shard
+//! knows its documents as `0..doc_count`; globally they are
+//! `doc_base..doc_base+doc_count`).
+//!
+//! The manifest is a line-based text file (the workspace has no JSON
+//! parser): a header line, a shard-count line, then one `shard` line per
+//! shard carrying the numeric split and per-shard corpus stats followed by
+//! the shard's index path (path last, so paths may contain anything except
+//! a newline).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gks_dewey::DocId;
+
+use crate::builder::GksIndex;
+use crate::corpus::Corpus;
+use crate::error::IndexError;
+
+/// Magic first line of a shard manifest file.
+pub const MANIFEST_HEADER: &str = "gks-shard-manifest v1";
+
+/// One shard of a sharded index: where its self-contained `.gksix` file
+/// lives and which contiguous global document range it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Path to the shard's index file.
+    pub path: PathBuf,
+    /// Global [`DocId`] of the shard's first document; the shard itself
+    /// numbers its documents from zero.
+    pub doc_base: u32,
+    /// Number of documents in the shard.
+    pub doc_count: u32,
+    /// Raw XML bytes of the shard's slice of the corpus.
+    pub raw_bytes: u64,
+    /// Total nodes in the shard's index.
+    pub total_nodes: u64,
+    /// Distinct indexed terms in the shard's index.
+    pub distinct_terms: u64,
+}
+
+/// The record of one corpus split across N self-contained shard indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// The shards, in global document order (ascending `doc_base`).
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Builds a manifest entry for `index` persisted at `path`, covering
+    /// the global document range starting at `doc_base`.
+    pub fn entry_for(index: &GksIndex, path: impl Into<PathBuf>, doc_base: u32) -> ShardEntry {
+        let stats = index.stats();
+        ShardEntry {
+            path: path.into(),
+            doc_base,
+            doc_count: u32::try_from(stats.doc_count).unwrap_or(u32::MAX),
+            raw_bytes: stats.raw_bytes,
+            total_nodes: stats.total_nodes,
+            distinct_terms: stats.distinct_terms,
+        }
+    }
+
+    /// Renders the manifest in its line-based text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{MANIFEST_HEADER}");
+        let _ = writeln!(out, "shards {}", self.shards.len());
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "shard {}\t{}\t{}\t{}\t{}\t{}",
+                s.doc_base,
+                s.doc_count,
+                s.raw_bytes,
+                s.total_nodes,
+                s.distinct_terms,
+                s.path.display()
+            );
+        }
+        out
+    }
+
+    /// Parses a manifest from its text format. The inverse of
+    /// [`ShardManifest::render`]; shard paths are kept verbatim (see
+    /// [`ShardManifest::load`] for relative-path resolution).
+    pub fn parse(text: &str) -> Result<ShardManifest, IndexError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().unwrap_or("");
+        if header.trim() != MANIFEST_HEADER {
+            return Err(IndexError::Corrupt(format!(
+                "not a shard manifest (expected {MANIFEST_HEADER:?}, found {header:?})"
+            )));
+        }
+        let count_line = lines
+            .next()
+            .ok_or_else(|| IndexError::Corrupt("shard manifest missing shard count".into()))?;
+        let declared: usize = count_line
+            .strip_prefix("shards ")
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| IndexError::Corrupt(format!("bad shard count line: {count_line:?}")))?;
+        let mut shards = Vec::with_capacity(declared);
+        for line in lines {
+            let body = line.strip_prefix("shard ").ok_or_else(|| {
+                IndexError::Corrupt(format!("unexpected manifest line: {line:?}"))
+            })?;
+            let fields: Vec<&str> = body.splitn(6, '\t').collect();
+            if fields.len() != 6 {
+                return Err(IndexError::Corrupt(format!(
+                    "shard line has {} fields, expected 6: {line:?}",
+                    fields.len()
+                )));
+            }
+            let num = |i: usize| -> Result<u64, IndexError> {
+                fields[i].trim().parse().map_err(|_| {
+                    IndexError::Corrupt(format!("bad number {:?} in {line:?}", fields[i]))
+                })
+            };
+            shards.push(ShardEntry {
+                doc_base: u32::try_from(num(0)?).unwrap_or(u32::MAX),
+                doc_count: u32::try_from(num(1)?).unwrap_or(u32::MAX),
+                raw_bytes: num(2)?,
+                total_nodes: num(3)?,
+                distinct_terms: num(4)?,
+                path: PathBuf::from(fields[5]),
+            });
+        }
+        if shards.len() != declared {
+            return Err(IndexError::Corrupt(format!(
+                "manifest declares {declared} shards but lists {}",
+                shards.len()
+            )));
+        }
+        if shards.is_empty() {
+            return Err(IndexError::Corrupt("shard manifest lists no shards".into()));
+        }
+        let mut expected_base = 0u32;
+        for (i, s) in shards.iter().enumerate() {
+            if s.doc_base != expected_base {
+                return Err(IndexError::Corrupt(format!(
+                    "shard {i} has doc_base {} but the previous shards cover {expected_base} \
+                     documents",
+                    s.doc_base
+                )));
+            }
+            if s.doc_count == 0 {
+                return Err(IndexError::Corrupt(format!("shard {i} covers no documents")));
+            }
+            expected_base = expected_base.saturating_add(s.doc_count);
+        }
+        Ok(ShardManifest { shards })
+    }
+
+    /// Writes the manifest to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IndexError> {
+        fs::write(path.as_ref(), self.render())?;
+        Ok(())
+    }
+
+    /// Reads and parses a manifest from `path`, resolving relative shard
+    /// paths against the manifest's own directory.
+    pub fn load(path: impl AsRef<Path>) -> Result<ShardManifest, IndexError> {
+        let path = path.as_ref();
+        let text = fs::read_to_string(path)?;
+        let mut manifest = ShardManifest::parse(&text)?;
+        if let Some(dir) = path.parent() {
+            for shard in &mut manifest.shards {
+                if shard.path.is_relative() {
+                    shard.path = dir.join(&shard.path);
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Total documents across all shards.
+    pub fn doc_count(&self) -> u64 {
+        self.shards.iter().map(|s| u64::from(s.doc_count)).sum()
+    }
+
+    /// The global [`DocId`] bases of the shards, in shard order — the
+    /// offsets a gather stage adds to shard-local document ids.
+    pub fn doc_bases(&self) -> Vec<DocId> {
+        self.shards.iter().map(|s| DocId(s.doc_base)).collect()
+    }
+}
+
+/// Splits a corpus into at most `shards` contiguous document ranges, in
+/// global document order. Every returned corpus is non-empty: when the
+/// corpus has fewer documents than `shards`, one single-document corpus is
+/// returned per document. Sizes differ by at most one document (the first
+/// `len % shards` ranges take the extra), so shard `i` starts at the global
+/// document id equal to the sum of the earlier range sizes.
+pub fn split_corpus(corpus: &Corpus, shards: usize) -> Vec<Corpus> {
+    let docs = corpus.docs();
+    let shards = shards.clamp(1, docs.len().max(1));
+    let base_size = docs.len() / shards;
+    let remainder = docs.len() % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for i in 0..shards {
+        let size = base_size + usize::from(i < remainder);
+        let slice = &docs[start..start + size];
+        let mut part = Corpus::new();
+        for d in slice {
+            part.push(d.name.clone(), d.xml.clone());
+        }
+        out.push(part);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::IndexOptions;
+
+    fn corpus(n: usize) -> Corpus {
+        let mut c = Corpus::new();
+        for i in 0..n {
+            c.push(format!("doc{i}"), format!("<r><a>term{i}</a></r>"));
+        }
+        c
+    }
+
+    #[test]
+    fn split_is_contiguous_and_balanced() {
+        let c = corpus(7);
+        let parts = split_corpus(&c, 3);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(Corpus::len).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        // Contiguity: concatenating the parts reproduces the corpus order.
+        let names: Vec<&str> =
+            parts.iter().flat_map(|p| p.docs().iter().map(|d| d.name.as_str())).collect();
+        let expected: Vec<String> = (0..7).map(|i| format!("doc{i}")).collect();
+        assert_eq!(names, expected.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_never_produces_empty_shards() {
+        let c = corpus(2);
+        let parts = split_corpus(&c, 5);
+        assert_eq!(parts.len(), 2, "more shards than documents collapses to len");
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        assert_eq!(split_corpus(&c, 0).len(), 1, "zero shards means one");
+    }
+
+    #[test]
+    fn manifest_round_trips_through_text() {
+        let c = corpus(5);
+        let parts = split_corpus(&c, 2);
+        let mut manifest = ShardManifest::default();
+        let mut base = 0u32;
+        for (i, part) in parts.iter().enumerate() {
+            let ix = GksIndex::build(part, IndexOptions::default()).unwrap();
+            manifest
+                .shards
+                .push(ShardManifest::entry_for(&ix, format!("shard-{i}.gksix"), base));
+            base += part.len() as u32;
+        }
+        assert_eq!(manifest.doc_count(), 5);
+        assert_eq!(manifest.doc_bases(), vec![DocId(0), DocId(3)]);
+        let text = manifest.render();
+        assert!(text.starts_with(MANIFEST_HEADER));
+        let parsed = ShardManifest::parse(&text).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected() {
+        assert!(ShardManifest::parse("").is_err(), "empty");
+        assert!(ShardManifest::parse("nope\nshards 0\n").is_err(), "bad header");
+        assert!(
+            ShardManifest::parse(&format!("{MANIFEST_HEADER}\nshards 2\n")).is_err(),
+            "count mismatch"
+        );
+        let gap = format!(
+            "{MANIFEST_HEADER}\nshards 2\nshard 0\t2\t9\t9\t9\ta.gksix\n\
+             shard 5\t2\t9\t9\t9\tb.gksix\n"
+        );
+        assert!(ShardManifest::parse(&gap).is_err(), "doc_base gap");
+        let empty_shard = format!("{MANIFEST_HEADER}\nshards 1\nshard 0\t0\t9\t9\t9\ta.gksix\n");
+        assert!(ShardManifest::parse(&empty_shard).is_err(), "zero-doc shard");
+    }
+
+    #[test]
+    fn load_resolves_relative_paths() {
+        let dir = std::env::temp_dir().join(format!("gks-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = ShardManifest {
+            shards: vec![ShardEntry {
+                path: PathBuf::from("s0.gksix"),
+                doc_base: 0,
+                doc_count: 1,
+                raw_bytes: 4,
+                total_nodes: 2,
+                distinct_terms: 1,
+            }],
+        };
+        let path = dir.join("corpus.shards");
+        manifest.save(&path).unwrap();
+        let loaded = ShardManifest::load(&path).unwrap();
+        assert_eq!(loaded.shards[0].path, dir.join("s0.gksix"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,16 +8,27 @@
 //! `/search`) to a [`ResidentIndex`] bundling the engine generation, its
 //! result cache, and per-index counters.
 //!
-//! **Hot-swap protocol.** Each resident index holds its current generation
-//! as `RwLock<Arc<Loaded>>`. A request takes a *snapshot* (`Arc` clone under
-//! a read lock) once, then runs entirely against that generation — search,
-//! render, cache tagging. [`ResidentIndex::reload`] builds the replacement
-//! engine *before* taking the write lock, so the lock is held only for the
-//! pointer swap; in-flight requests finish on the old engine, which is freed
-//! when the last snapshot drops. Stale cache entries are impossible by
-//! construction: every cache entry is tagged with the identity it was
-//! computed against ([`crate::cache::ResultCache::get_for`]), and the swap
-//! additionally bulk-clears the superseded generation's entries.
+//! **Hot-swap protocol.** Each resident index holds one or more **shard
+//! slots**, each with its current generation as `RwLock<Arc<Loaded>>`. A
+//! request takes a *snapshot* (`Arc` clone under a read lock) once per
+//! shard, then runs entirely against that generation set — search, render,
+//! cache tagging. [`ResidentIndex::reload`] builds each replacement engine
+//! *before* taking the write lock, so the lock is held only for the pointer
+//! swap; in-flight requests finish on the old engines, which are freed when
+//! the last snapshot drops. Stale cache entries are impossible by
+//! construction: every cache entry is tagged with the (combined) identity it
+//! was computed against ([`crate::cache::ResultCache::get_for`]), and the
+//! swap additionally bulk-clears the superseded generation's entries.
+//!
+//! **Sharded indexes.** A resident index backed by N > 1 shards (a
+//! document-partitioned corpus, see `gks_index::shard`) reloads its shards
+//! one at a time. A monotonically increasing **epoch** counter is bumped
+//! after every slot swap; [`ResidentIndex::snapshot_all`] reads the epoch on
+//! both sides of the slot sweep and retries until both reads agree, so a
+//! scatter can never be handed shards from two different reload sweeps. The
+//! server additionally re-reads the epoch after the scatter completes and
+//! retries once on a new generation before giving up (the
+//! `gks_shard_retries_total` / `gks_shard_mixed_generation_total` metrics).
 //!
 //! Route keys are normalized ([`normalize_path`]) — duplicate slashes,
 //! trailing slashes, and ASCII case differences all resolve to the same
@@ -28,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use gks_core::engine::Engine;
-use gks_index::GksIndex;
+use gks_index::{GksIndex, ShardManifest};
 use gks_trace::{CompletedTrace, Histogram, SpanKind};
 
 use crate::cache::ResultCache;
@@ -57,10 +68,15 @@ enum IndexSource {
     Engine(Arc<Engine>),
     /// A persisted `.gksix` file; reloadable by re-reading the path.
     Path(PathBuf),
+    /// N self-contained shard index files over a document-partitioned
+    /// corpus; each shard reloads by re-reading its own path.
+    Shards(Vec<PathBuf>),
+    /// N already-built shard engines (tests, benches). Not reloadable.
+    ShardEngines(Vec<Arc<Engine>>),
 }
 
 /// How an index enters the catalog: a route key plus either a prebuilt
-/// engine or a path to load (and later reload) it from.
+/// engine or one or more paths to load (and later reload) it from.
 #[derive(Debug)]
 pub struct IndexSpec {
     name: String,
@@ -78,6 +94,43 @@ impl IndexSpec {
     /// path is re-read on every reload.
     pub fn with_source(name: impl Into<String>, path: impl Into<PathBuf>) -> IndexSpec {
         IndexSpec { name: name.into(), source: IndexSource::Path(path.into()) }
+    }
+
+    /// A spec registering one logical index backed by `paths.len()` shard
+    /// index files, in global document order. Each shard is re-read from
+    /// its own path on reload (one slot at a time).
+    pub fn with_shard_paths(
+        name: impl Into<String>,
+        paths: impl IntoIterator<Item = impl Into<PathBuf>>,
+    ) -> IndexSpec {
+        let paths: Vec<PathBuf> = paths.into_iter().map(Into::into).collect();
+        IndexSpec { name: name.into(), source: IndexSource::Shards(paths) }
+    }
+
+    /// A spec wrapping already-built shard engines in global document order
+    /// (tests, benches). Serves sharded but cannot be hot-swap reloaded.
+    pub fn with_shard_engines(
+        name: impl Into<String>,
+        engines: impl IntoIterator<Item = Arc<Engine>>,
+    ) -> IndexSpec {
+        IndexSpec {
+            name: name.into(),
+            source: IndexSource::ShardEngines(engines.into_iter().collect()),
+        }
+    }
+
+    /// A spec loading the shard set recorded in a shard manifest file
+    /// (written by `gks index --shards N`); relative shard paths resolve
+    /// against the manifest's directory.
+    pub fn with_manifest(
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> Result<IndexSpec, ServeError> {
+        let name = name.into();
+        let manifest = ShardManifest::load(path.as_ref())
+            .map_err(|e| ServeError::Index { name: name.clone(), message: e.to_string() })?;
+        let paths: Vec<PathBuf> = manifest.shards.iter().map(|s| s.path.clone()).collect();
+        Ok(IndexSpec { name, source: IndexSource::Shards(paths) })
     }
 
     /// The route key this spec registers under.
@@ -119,14 +172,78 @@ impl IndexCounters {
     }
 }
 
-/// One resident index: the current engine generation behind a `RwLock`,
-/// its identity-keyed result cache, the optional source path reloads
-/// re-read, and per-index counters.
+/// One shard slot of a resident index: the shard's current engine
+/// generation plus the path reloads re-read (absent for engine-backed
+/// shards).
+#[derive(Debug)]
+struct ShardSlot {
+    source: Option<PathBuf>,
+    loaded: RwLock<Arc<Loaded>>,
+}
+
+/// A consistent point-in-time snapshot of every shard of a resident index,
+/// produced by [`ResidentIndex::snapshot_all`]. The `Arc`s pin the
+/// generations; `epoch` is the reload epoch both sides of the slot sweep
+/// agreed on, so the set never mixes shards from two reload sweeps.
+#[derive(Debug)]
+pub struct ShardSet {
+    /// The pinned shard generations, in global document order.
+    pub shards: Vec<Arc<Loaded>>,
+    /// The reload epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// Combined identity of the snapshot (equals the single shard's
+    /// identity for an unsharded index).
+    pub identity: u64,
+    /// Global `DocId` base of each shard, derived from the snapshot's
+    /// per-shard document counts.
+    pub doc_bases: Vec<u32>,
+}
+
+/// Folds per-shard identity fingerprints into one logical-index identity.
+/// A single shard keeps its raw identity (so an unsharded index fingerprints
+/// exactly as before sharding existed); N > 1 shards FNV-fold theirs, mixing
+/// in the count so a prefix subset can never collide with the full set.
+fn combined_identity(identities: &[u64]) -> u64 {
+    match identities {
+        [one] => *one,
+        many => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |v: u64| {
+                for b in v.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            };
+            mix(many.len() as u64);
+            for &id in many {
+                mix(id);
+            }
+            h
+        }
+    }
+}
+
+fn doc_bases_of(shards: &[Arc<Loaded>]) -> Vec<u32> {
+    let mut bases = Vec::with_capacity(shards.len());
+    let mut next = 0u32;
+    for loaded in shards {
+        bases.push(next);
+        let count = u32::try_from(loaded.engine.index().stats().doc_count).unwrap_or(u32::MAX);
+        next = next.saturating_add(count);
+    }
+    bases
+}
+
+/// One resident (logical) index: one or more shard slots each holding their
+/// current engine generation behind a `RwLock`, the identity-keyed result
+/// cache shared by all shards, a reload epoch, and per-index counters.
 #[derive(Debug)]
 pub struct ResidentIndex {
     name: String,
-    source: Option<PathBuf>,
-    loaded: RwLock<Arc<Loaded>>,
+    shards: Vec<ShardSlot>,
+    /// Bumped after every slot swap; lets readers detect a reload sweep
+    /// racing their slot sweep (see [`ResidentIndex::snapshot_all`]).
+    epoch: AtomicU64,
     cache: ResultCache,
     counters: IndexCounters,
 }
@@ -135,6 +252,11 @@ fn load_engine(name: &str, path: &Path) -> Result<Arc<Engine>, ServeError> {
     let index = GksIndex::load(path)
         .map_err(|e| ServeError::Index { name: name.to_string(), message: e.to_string() })?;
     Ok(Arc::new(Engine::from_index(index)))
+}
+
+fn slot_of(engine: Arc<Engine>, source: Option<PathBuf>) -> ShardSlot {
+    let identity = index_identity(engine.index());
+    ShardSlot { source, loaded: RwLock::new(Arc::new(Loaded { engine, identity })) }
 }
 
 impl ResidentIndex {
@@ -147,18 +269,43 @@ impl ResidentIndex {
                 spec.name
             )));
         }
-        let (engine, source) = match spec.source {
-            IndexSource::Engine(engine) => (engine, None),
-            IndexSource::Path(path) => (load_engine(&name, &path)?, Some(path)),
+        let shards: Vec<ShardSlot> = match spec.source {
+            IndexSource::Engine(engine) => vec![slot_of(engine, None)],
+            IndexSource::Path(path) => vec![slot_of(load_engine(&name, &path)?, Some(path))],
+            IndexSource::Shards(paths) => {
+                if paths.is_empty() {
+                    return Err(ServeError::BadConfig(format!(
+                        "sharded index {name:?} lists no shard paths"
+                    )));
+                }
+                paths
+                    .into_iter()
+                    .map(|path| Ok(slot_of(load_engine(&name, &path)?, Some(path))))
+                    .collect::<Result<_, ServeError>>()?
+            }
+            IndexSource::ShardEngines(engines) => {
+                if engines.is_empty() {
+                    return Err(ServeError::BadConfig(format!(
+                        "sharded index {name:?} lists no shard engines"
+                    )));
+                }
+                engines.into_iter().map(|engine| slot_of(engine, None)).collect()
+            }
         };
-        let identity = index_identity(engine.index());
-        Ok(ResidentIndex {
+        let resident = ResidentIndex {
             name,
-            source,
-            loaded: RwLock::new(Arc::new(Loaded { engine, identity })),
-            cache: ResultCache::new(config.cache_bytes, config.cache_shards, identity),
+            shards,
+            epoch: AtomicU64::new(0),
+            cache: ResultCache::with_admission(
+                config.cache_bytes,
+                config.cache_shards,
+                0,
+                config.cache_admission,
+            ),
             counters: IndexCounters::new(),
-        })
+        };
+        resident.cache.ensure_identity(resident.identity());
+        Ok(resident)
     }
 
     /// The normalized route key of this index.
@@ -166,22 +313,77 @@ impl ResidentIndex {
         &self.name
     }
 
-    /// The `.gksix` path reloads re-read, if the index was loaded from one.
+    /// The `.gksix` path reloads re-read for the first shard, if it was
+    /// loaded from one.
     pub fn source(&self) -> Option<&Path> {
-        self.source.as_deref()
+        self.shards.first().and_then(|s| s.source.as_deref())
     }
 
-    /// The current engine generation. The returned `Arc` pins the
-    /// generation: a reload swapping the slot does not affect the snapshot,
-    /// and the old engine is freed when the last snapshot drops.
-    pub fn snapshot(&self) -> Arc<Loaded> {
-        let slot = self.loaded.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+    /// Number of shard slots backing this index (1 for unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether this index fans queries out over more than one shard.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// The current reload epoch (bumped after every slot swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn slot_snapshot(&self, i: usize) -> Arc<Loaded> {
+        // Slot indexes come from iterating `self.shards`, always in range;
+        // fall back to slot 0 rather than panic if that ever changes.
+        let idx = if i < self.shards.len() { i } else { 0 };
+        let slot = self.shards[idx]
+            .loaded
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(&slot)
     }
 
-    /// Identity fingerprint of the current generation.
+    /// The current engine generation of the **first** shard. The returned
+    /// `Arc` pins the generation: a reload swapping the slot does not affect
+    /// the snapshot, and the old engine is freed when the last snapshot
+    /// drops. Unsharded indexes (the common case) have exactly one shard, so
+    /// this is their whole state; sharded callers want
+    /// [`ResidentIndex::snapshot_all`].
+    pub fn snapshot(&self) -> Arc<Loaded> {
+        self.slot_snapshot(0)
+    }
+
+    /// A consistent snapshot of **every** shard, or `None` if a reload
+    /// storm kept invalidating the sweep. The epoch is read on both sides
+    /// of the slot sweep and the sweep retries until both reads agree, so a
+    /// returned set never mixes shards from two reload sweeps — the
+    /// precondition for the gather stage's lossless merge. `None` is the
+    /// only mixed-generation outcome and requires ~64 reload sweeps to land
+    /// inside one snapshot attempt each; callers turn it into a `503`.
+    pub fn snapshot_all(&self) -> Option<ShardSet> {
+        for _ in 0..64 {
+            let before = self.epoch.load(Ordering::Acquire);
+            let shards: Vec<Arc<Loaded>> =
+                (0..self.shards.len()).map(|i| self.slot_snapshot(i)).collect();
+            if self.epoch.load(Ordering::Acquire) == before {
+                let identity =
+                    combined_identity(&shards.iter().map(|l| l.identity).collect::<Vec<u64>>());
+                let doc_bases = doc_bases_of(&shards);
+                return Some(ShardSet { shards, epoch: before, identity, doc_bases });
+            }
+            std::hint::spin_loop();
+        }
+        None
+    }
+
+    /// Combined identity fingerprint of the current generation set (the raw
+    /// shard identity when unsharded).
     pub fn identity(&self) -> u64 {
-        self.snapshot().identity
+        let ids: Vec<u64> =
+            (0..self.shards.len()).map(|i| self.slot_snapshot(i).identity).collect();
+        combined_identity(&ids)
     }
 
     /// This index's result cache.
@@ -194,39 +396,89 @@ impl ResidentIndex {
         &self.counters
     }
 
-    /// Hot-swap reload: re-reads the source path into a fresh engine (the
-    /// expensive part, done without any lock held), then atomically swaps it
-    /// in. In-flight requests holding the old snapshot finish undisturbed.
-    /// Returns `(identity_before, identity_after)`.
+    /// Swaps slot `i` to a new generation and bumps the epoch. The write
+    /// lock is held only for the pointer swap.
+    fn swap_slot(&self, i: usize, engine: Arc<Engine>, identity: u64) {
+        let replacement = Arc::new(Loaded { engine, identity });
+        if let Some(shard) = self.shards.get(i) {
+            let mut slot = shard.loaded.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *slot = replacement;
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Hot-swap reload: re-reads every shard's source path into a fresh
+    /// engine (the expensive part, done without any lock held) and swaps the
+    /// slots in **one at a time**, bumping the epoch after each swap so
+    /// concurrent scatters detect the sweep. In-flight requests holding old
+    /// snapshots finish undisturbed. Returns the combined
+    /// `(identity_before, identity_after)`.
     pub fn reload(&self) -> Result<(u64, u64), ServeError> {
-        let Some(path) = &self.source else {
+        if self.shards.iter().any(|s| s.source.is_none()) {
             return Err(ServeError::BadConfig(format!(
                 "index {:?} was registered without a source path and cannot be reloaded",
                 self.name
             )));
-        };
-        let engine = load_engine(&self.name, path)?;
-        let identity = index_identity(engine.index());
-        Ok(self.swap_engine(engine, identity))
+        }
+        let before = self.identity();
+        for i in 0..self.shards.len() {
+            let Some(path) = self.shards[i].source.clone() else {
+                continue;
+            };
+            let engine = load_engine(&self.name, &path)?;
+            let identity = index_identity(engine.index());
+            self.swap_slot(i, engine, identity);
+            // Re-bind the cache after every swap: entries tagged with a
+            // mid-sweep combined identity are unservable either way, this
+            // just reclaims them eagerly.
+            self.cache.ensure_identity(self.identity());
+        }
+        self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
+        Ok((before, self.identity()))
     }
 
-    /// Installs a replacement engine generation (the tail of [`reload`],
-    /// also usable directly by tests). The write lock is held only for the
-    /// pointer swap. Returns `(identity_before, identity_after)`.
-    pub fn swap_engine(&self, engine: Arc<Engine>, identity: u64) -> (u64, u64) {
-        let replacement = Arc::new(Loaded { engine, identity });
-        let before = {
-            let mut slot = self.loaded.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-            let before = slot.identity;
-            *slot = replacement;
-            before
+    /// Reloads only shard `i` from its source path — the shard-granular
+    /// counterpart of [`reload`] (`POST /admin/reload?index=<name>&shard=<i>`).
+    /// Returns the combined `(identity_before, identity_after)`.
+    pub fn reload_shard(&self, i: usize) -> Result<(u64, u64), ServeError> {
+        let Some(shard) = self.shards.get(i) else {
+            return Err(ServeError::BadConfig(format!(
+                "index {:?} has {} shards; shard {i} does not exist",
+                self.name,
+                self.shards.len()
+            )));
         };
+        let Some(path) = shard.source.clone() else {
+            return Err(ServeError::BadConfig(format!(
+                "shard {i} of index {:?} was registered without a source path and cannot \
+                 be reloaded",
+                self.name
+            )));
+        };
+        let before = self.identity();
+        let engine = load_engine(&self.name, &path)?;
+        let identity = index_identity(engine.index());
+        self.swap_slot(i, engine, identity);
+        let after = self.identity();
+        self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
+        self.cache.ensure_identity(after);
+        Ok((before, after))
+    }
+
+    /// Installs a replacement engine generation in the **first** shard slot
+    /// (the tail of [`reload`] for unsharded indexes, also usable directly
+    /// by tests). The write lock is held only for the pointer swap. Returns
+    /// the combined `(identity_before, identity_after)`.
+    pub fn swap_engine(&self, engine: Arc<Engine>, identity: u64) -> (u64, u64) {
+        let before = self.identity();
+        self.swap_slot(0, engine, identity);
+        let after = self.identity();
         self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
         // Bulk-evict the superseded generation's entries. Correctness does
         // not depend on this — per-entry identity tags already make stale
         // entries unservable — it just reclaims the memory eagerly.
-        self.cache.ensure_identity(identity);
-        (before, identity)
+        self.cache.ensure_identity(after);
+        (before, after)
     }
 
     /// Folds the phase spans of a completed request trace into this index's
@@ -245,9 +497,12 @@ impl ResidentIndex {
             name: &self.name,
             cache: self.cache.stats(),
             identity: self.identity(),
+            shard_count: self.shards.len(),
             requests_total: self.counters.requests_total.load(Ordering::Relaxed),
             cache_hits_total: self.counters.cache_hits_total.load(Ordering::Relaxed),
             cache_misses_total: self.counters.cache_misses_total.load(Ordering::Relaxed),
+            cache_admitted_total: self.cache.admitted_total(),
+            cache_rejected_total: self.cache.rejected_total(),
             reloads_total: self.counters.reloads_total.load(Ordering::Relaxed),
             phases: &self.counters.phases,
         }

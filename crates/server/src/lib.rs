@@ -74,7 +74,7 @@ use gks_index::GksIndex;
 use gks_trace::SpanKind;
 
 use crate::cache::ResultCache;
-use crate::catalog::{EngineCatalog, IndexSpec, Loaded, ResidentIndex};
+use crate::catalog::{EngineCatalog, IndexSpec, Loaded, ResidentIndex, ShardSet};
 use crate::error::ServeError;
 use crate::http::{HttpResponse, Request};
 use crate::metrics::{Endpoint, Metrics};
@@ -97,6 +97,10 @@ pub struct ServeConfig {
     pub cache_bytes: usize,
     /// Result-cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Enable TinyLFU frequency-sketch cache admission: under eviction
+    /// pressure a response is cached only if its key has been requested at
+    /// least as often as the entry it would displace.
+    pub cache_admission: bool,
     /// `limit` applied to `/search` when the request does not pass one.
     pub default_limit: usize,
     /// Upper bound on the `limit` a request may ask for.
@@ -128,6 +132,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_millis(2_000),
             cache_bytes: 32 * 1024 * 1024,
             cache_shards: 8,
+            cache_admission: false,
             default_limit: 20,
             max_limit: 1_000,
             trace: true,
@@ -297,8 +302,10 @@ impl ServeState {
 
     /// `POST /admin/reload?index=<name>` (or `POST /ix/<name>/admin/reload`):
     /// hot-swaps the named index — default when unnamed — and reports the
-    /// identity transition. `400` for engine-backed (unreloadable) indexes,
-    /// `404` for unknown names, `500` when re-reading the source fails.
+    /// identity transition. Sharded indexes swap their shards one at a time;
+    /// `&shard=<i>` reloads only that shard slot. `400` for engine-backed
+    /// (unreloadable) indexes, `404` for unknown names, `500` when
+    /// re-reading a source fails.
     fn handle_reload(&self, request: &Request, route_index: Option<&str>) -> HttpResponse {
         let named = request.param("index").map(|s| s.to_ascii_lowercase());
         let name = named.as_deref().or(route_index);
@@ -306,7 +313,14 @@ impl ServeState {
             Ok(resident) => resident,
             Err(response) => return response,
         };
-        match resident.reload() {
+        let outcome = match request.param("shard") {
+            None => resident.reload(),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(i) => resident.reload_shard(i),
+                Err(_) => return HttpResponse::error(400, &format!("bad shard value {raw:?}")),
+            },
+        };
+        match outcome {
             Ok((before, after)) => {
                 HttpResponse::json(200, wire::reload_response_json(resident.name(), before, after))
             }
@@ -388,7 +402,8 @@ impl ServeState {
     /// labeled with the index's route key, then fans the outcome out to
     /// every observability sink — the `Server-Timing` header, the query log,
     /// the per-index phase histograms, and (over the threshold) the
-    /// slow-query log with the full span tree.
+    /// slow-query log with the full span tree. Sharded indexes take the
+    /// parallel scatter/gather path ([`ServeState::run_query_sharded`]).
     fn handle_query(
         &self,
         request: &Request,
@@ -396,18 +411,21 @@ impl ServeState {
         suggest: bool,
         resident: &ResidentIndex,
     ) -> HttpResponse {
-        // One generation snapshot for the whole request: search, render, and
-        // cache tagging all use it, so a concurrent hot-swap cannot mix
-        // engine output with the wrong cache identity.
-        let loaded = resident.snapshot();
         resident.counters().requests_total.fetch_add(1, Ordering::Relaxed);
         let request_span = gks_trace::span_labeled(SpanKind::Request, resident.name());
         let mut record = qlog::QueryRecord::new(if suggest { "suggest" } else { "search" });
         record.index = resident.name().to_string();
         record.query = request.param("q").unwrap_or_default().to_string();
         record.s = request.param("s").unwrap_or("1").to_string();
-        let mut response =
-            self.run_query(request, accepted_at, suggest, resident, &loaded, &mut record);
+        let mut response = if resident.is_sharded() {
+            self.run_query_sharded(request, accepted_at, suggest, resident, &mut record)
+        } else {
+            // One generation snapshot for the whole request: search, render,
+            // and cache tagging all use it, so a concurrent hot-swap cannot
+            // mix engine output with the wrong cache identity.
+            let loaded = resident.snapshot();
+            self.run_query(request, accepted_at, suggest, resident, &loaded, &mut record)
+        };
         record.status = response.status;
         record.micros = request_span.elapsed_micros();
         drop(request_span);
@@ -431,6 +449,30 @@ impl ServeState {
         response
     }
 
+    /// Parses and validates the `q`, `s`, and `limit` parameters shared by
+    /// `/search` and `/suggest`; `Err` is the ready-to-send 400 response.
+    fn parse_query_params(&self, request: &Request) -> Result<QueryParams, HttpResponse> {
+        let Some(q) = request.param("q") else {
+            return Err(HttpResponse::error(400, "missing query parameter q"));
+        };
+        let query = match Query::parse(q) {
+            Ok(query) => query,
+            Err(e) => return Err(HttpResponse::error(400, &format!("bad query: {e}"))),
+        };
+        let s_raw = request.param("s").unwrap_or("1");
+        let Some(s) = Threshold::parse(s_raw) else {
+            return Err(HttpResponse::error(400, &format!("bad s value {s_raw:?}")));
+        };
+        let limit = match request.param("limit") {
+            None => self.config.default_limit,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => n.min(self.config.max_limit),
+                _ => return Err(HttpResponse::error(400, &format!("bad limit value {v:?}"))),
+            },
+        };
+        Ok(QueryParams { query, s, s_raw: s_raw.to_string(), limit })
+    }
+
     /// The query pipeline proper: parameter parsing, cache lookup, deadline
     /// checks, engine search, rendering — all against the `loaded`
     /// generation snapshot. Fills `record` as facts about the request become
@@ -445,43 +487,14 @@ impl ServeState {
         loaded: &Loaded,
         record: &mut qlog::QueryRecord,
     ) -> HttpResponse {
-        let Some(q) = request.param("q") else {
-            return HttpResponse::error(400, "missing query parameter q");
+        let params = match self.parse_query_params(request) {
+            Ok(params) => params,
+            Err(response) => return response,
         };
-        let query = match Query::parse(q) {
-            Ok(query) => query,
-            Err(e) => return HttpResponse::error(400, &format!("bad query: {e}")),
-        };
-        let s_raw = request.param("s").unwrap_or("1");
-        let Some(s) = Threshold::parse(s_raw) else {
-            return HttpResponse::error(400, &format!("bad s value {s_raw:?}"));
-        };
-        let limit = match request.param("limit") {
-            None => self.config.default_limit,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) if n > 0 => n.min(self.config.max_limit),
-                _ => return HttpResponse::error(400, &format!("bad limit value {v:?}")),
-            },
-        };
+        let QueryParams { query, s, limit, .. } = &params;
+        let (s, limit) = (*s, *limit);
         record.limit = limit;
-
-        // Normalized cache key: endpoint + parsed keywords (whitespace
-        // collapsed by the parser) + s + limit. Raw spellings are kept —
-        // they are echoed in the response body, so they are part of the
-        // cached bytes' identity.
-        let mut key = String::with_capacity(q.len() + 24);
-        key.push_str(if suggest { "suggest" } else { "search" });
-        for kw in query.keywords() {
-            key.push('\u{1}');
-            key.push_str(kw.raw());
-        }
-        key.push('\u{2}');
-        key.push_str(s_raw);
-        key.push('\u{2}');
-        let _ = {
-            use std::fmt::Write as _;
-            write!(key, "{limit}")
-        };
+        let key = cache_key(suggest, &params);
 
         if self.config.cache_bytes > 0 {
             // Lookup pinned to the snapshot's identity: a hit can only ever
@@ -503,7 +516,7 @@ impl ServeState {
             return self.deadline_abort();
         }
         let options = SearchOptions { s, limit };
-        let response = match loaded.engine.search(&query, options) {
+        let response = match loaded.engine.search(query, options) {
             Ok(r) => r,
             Err(e) => return HttpResponse::error(400, &format!("search failed: {e}")),
         };
@@ -535,6 +548,195 @@ impl ServeState {
         }
         HttpResponse::json(200, body).with_header("x-gks-cache", "miss".to_string())
     }
+
+    /// The sharded query pipeline: scatter the query over every shard of
+    /// `resident` in parallel (one worker per shard, each pinning its own
+    /// generation snapshot and capturing its span subtree), then gather —
+    /// merge the per-shard answers losslessly by potential-flow score,
+    /// re-truncate to the limit, and render against the owning shards.
+    ///
+    /// A mixed-generation answer is never merged: the snapshot itself is
+    /// taken under an epoch double-read ([`ResidentIndex::snapshot_all`]),
+    /// so every scatter runs against a set that coexisted at one instant.
+    /// If the epoch moved while the scatter ran, the first race re-scatters
+    /// once on the new generation (freshness, not correctness — the pinned
+    /// set is still internally consistent); a second race serves the pinned
+    /// answer. Only a snapshot that cannot converge under a reload storm
+    /// yields `503`. Cache entries are tagged with the snapshot set's
+    /// combined identity, so hits carry exactly the same staleness guarantee
+    /// as the unsharded path.
+    fn run_query_sharded(
+        &self,
+        request: &Request,
+        accepted_at: Instant,
+        suggest: bool,
+        resident: &ResidentIndex,
+        record: &mut qlog::QueryRecord,
+    ) -> HttpResponse {
+        let params = match self.parse_query_params(request) {
+            Ok(params) => params,
+            Err(response) => return response,
+        };
+        record.limit = params.limit;
+        let key = cache_key(suggest, &params);
+        let shard_total = resident.shard_count();
+
+        for attempt in 0..2u32 {
+            let Some(set): Option<ShardSet> = resident.snapshot_all() else {
+                // The only true mixed-generation outcome: the epoch kept
+                // moving across every snapshot attempt, so no consistent
+                // shard set could be pinned at all.
+                self.metrics.shard_mixed_generation_total.fetch_add(1, Ordering::Relaxed);
+                return HttpResponse::error(503, "index reloading, retry shortly")
+                    .with_header("Retry-After", "1".to_string());
+            };
+            if attempt == 0 && self.config.cache_bytes > 0 {
+                // Lookup pinned to the snapshot set's combined identity: a
+                // hit can only return bytes merged from this generation set.
+                if let Some(body) = resident.cache().get_for(&key, set.identity) {
+                    self.metrics.cache_hits_total.fetch_add(1, Ordering::Relaxed);
+                    resident.counters().cache_hits_total.fetch_add(1, Ordering::Relaxed);
+                    record.cached = true;
+                    return HttpResponse::json(200, body.to_vec())
+                        .with_header("x-gks-cache", "hit".to_string())
+                        .with_header("x-gks-shards", shard_total.to_string());
+                }
+                self.metrics.cache_misses_total.fetch_add(1, Ordering::Relaxed);
+                resident.counters().cache_misses_total.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.budget_left(accepted_at).is_none() {
+                return self.deadline_abort();
+            }
+            let options = SearchOptions { s: params.s, limit: params.limit };
+            // Scatter: every shard searches concurrently on its own worker.
+            // Each worker captures its span subtree (timed even when the
+            // request is sampled out) so the shard trees can be grafted
+            // under the scatter span afterwards.
+            let sampled = gks_trace::current_sampled();
+            let scatter_span = gks_trace::span(SpanKind::Scatter);
+            let query = &params.query;
+            let joined: Vec<Option<gks_trace::Captured<_>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = set
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, loaded)| {
+                        let engine = Arc::clone(&loaded.engine);
+                        scope.spawn(move || {
+                            let label = format!("shard-{i}");
+                            gks_trace::capture(SpanKind::Search, &label, sampled, || {
+                                engine.search(query, options)
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().ok()).collect()
+            });
+            let mut caps = Vec::with_capacity(joined.len());
+            for cap in joined {
+                match cap {
+                    Some(cap) => caps.push(cap),
+                    // join() only fails when a shard worker panicked.
+                    None => return HttpResponse::error(500, "shard worker failed"),
+                }
+            }
+            let fastest = caps.iter().map(|c| c.micros).min().unwrap_or(0);
+            let slowest = caps.iter().map(|c| c.micros).max().unwrap_or(0);
+            self.metrics.shard_fanout.record(shard_total as u64);
+            self.metrics.shard_straggler_micros.record(slowest.saturating_sub(fastest));
+            let mut answers = Vec::with_capacity(caps.len());
+            for (i, cap) in caps.into_iter().enumerate() {
+                if let Some(node) = cap.node {
+                    gks_trace::attach(node);
+                }
+                match cap.output {
+                    Ok(response) => {
+                        answers.push((set.doc_bases.get(i).copied().unwrap_or(0), response));
+                    }
+                    Err(e) => return HttpResponse::error(400, &format!("search failed: {e}")),
+                }
+            }
+            drop(scatter_span);
+            // Freshness guard: the pinned set is internally consistent by
+            // construction, but if a reload sweep landed during the scatter
+            // the answer describes the previous generation. Re-scatter once
+            // on the new generation; if the epoch races again, serve the
+            // pinned (consistent) answer rather than fail.
+            if attempt == 0 && resident.epoch() != set.epoch {
+                self.metrics.shard_retries_total.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Gather: lossless merge — exact re-sort by (rank, keyword
+            // count, Dewey order), re-truncate, DI keyword re-aggregation.
+            let gather_span = gks_trace::span(SpanKind::Gather);
+            let merged = match gks_core::merge_responses(answers, params.limit) {
+                Ok(merged) => merged,
+                Err(e) => return HttpResponse::error(400, &format!("gather failed: {e}")),
+            };
+            let gather_micros = gather_span.elapsed_micros();
+            drop(gather_span);
+            record.hits = Some(merged.response().hits().len());
+            record.sl_len = Some(merged.response().sl_len());
+            if self.budget_left(accepted_at).is_none() {
+                return self.deadline_abort();
+            }
+            let render_span = gks_trace::span(SpanKind::Render);
+            let engines: Vec<&Engine> = set.shards.iter().map(|l| l.engine.as_ref()).collect();
+            let Some(first_engine) = engines.first() else {
+                return HttpResponse::error(500, "sharded index has no shards");
+            };
+            let body = if suggest {
+                let indexes: Vec<&GksIndex> = engines.iter().map(|e| e.index()).collect();
+                let di = gks_core::discover_di_sharded(&indexes, &merged, &DiOptions::default());
+                let refinement = first_engine.refine(merged.response(), &di);
+                wire::suggest_response_json(merged.response(), &refinement, &di)
+            } else {
+                wire::search_response_json_sharded(&engines, &merged)
+            };
+            drop(render_span);
+            if self.budget_left(accepted_at).is_none() {
+                return self.deadline_abort();
+            }
+            if self.config.cache_bytes > 0 {
+                resident.cache().put_for(key, Arc::from(body.as_bytes()), set.identity);
+            }
+            return HttpResponse::json(200, body)
+                .with_header("x-gks-cache", "miss".to_string())
+                .with_header("x-gks-shards", shard_total.to_string())
+                .with_header("x-gks-gather-micros", gather_micros.to_string());
+        }
+        // Unreachable: both loop iterations return on every path; the
+        // second never takes the `continue` branch.
+        HttpResponse::error(503, "index reloading, retry shortly")
+    }
+}
+
+/// Parsed, validated `/search`-`/suggest` parameters.
+#[derive(Debug)]
+struct QueryParams {
+    query: Query,
+    s: Threshold,
+    s_raw: String,
+    limit: usize,
+}
+
+/// The normalized cache key: endpoint + parsed keywords (whitespace
+/// collapsed by the parser) + s + limit. Raw keyword spellings are kept —
+/// they are echoed in the response body, so they are part of the cached
+/// bytes' identity.
+fn cache_key(suggest: bool, params: &QueryParams) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::with_capacity(params.s_raw.len() + 24);
+    key.push_str(if suggest { "suggest" } else { "search" });
+    for kw in params.query.keywords() {
+        key.push('\u{1}');
+        key.push_str(kw.raw());
+    }
+    key.push('\u{2}');
+    key.push_str(&params.s_raw);
+    key.push('\u{2}');
+    let _ = write!(key, "{}", params.limit);
+    key
 }
 
 /// Totals reported by [`Server::shutdown`] after the drain completes.

@@ -155,6 +155,15 @@ pub struct LoadReport {
     /// — how far behind its schedule the generator was when the request
     /// actually went out. Empty for closed-loop runs.
     pub send_lags_micros: Vec<u64>,
+    /// Responses carrying `x-gks-shards` (answered by a sharded index).
+    pub sharded: u64,
+    /// Widest per-request shard fan-out observed (`x-gks-shards`); 0 when
+    /// no sharded response was seen.
+    pub fanout_max: u64,
+    /// Sorted per-request gather (merge) times (µs) reported by the server
+    /// via `x-gks-gather-micros`. Cache hits skip the gather, so this only
+    /// samples real scatter/gather rounds.
+    pub gather_micros: Vec<u64>,
 }
 
 impl LoadReport {
@@ -184,6 +193,11 @@ impl LoadReport {
     /// Exact `q`-quantile of the recorded send lags (open loop), in µs.
     pub fn send_lag_percentile(&self, q: f64) -> u64 {
         Self::exact_quantile(&self.send_lags_micros, q)
+    }
+
+    /// Exact `q`-quantile of the recorded gather times (sharded), in µs.
+    pub fn gather_percentile(&self, q: f64) -> u64 {
+        Self::exact_quantile(&self.gather_micros, q)
     }
 
     fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
@@ -224,6 +238,18 @@ impl LoadReport {
                 "send lag max      {}us",
                 self.send_lags_micros[self.send_lags_micros.len() - 1]
             );
+        }
+        if self.sharded > 0 {
+            let _ = writeln!(
+                out,
+                "sharded           {} response(s), fan-out {}",
+                self.sharded, self.fanout_max
+            );
+            if !self.gather_micros.is_empty() {
+                for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
+                    let _ = writeln!(out, "gather {label}        {}us", self.gather_percentile(q));
+                }
+            }
         }
         out
     }
@@ -289,6 +315,9 @@ struct SharedTallies {
     server_errors: AtomicU64,
     transport_errors: AtomicU64,
     cache_hits: AtomicU64,
+    sharded: AtomicU64,
+    fanout_max: AtomicU64,
+    gather_micros: std::sync::Mutex<Vec<u64>>,
 }
 
 /// Weighted pick over the configured index targets. Empty targets → `None`
@@ -343,6 +372,19 @@ fn issue(
             if response.header("x-gks-cache") == Some("hit") {
                 tallies.cache_hits.fetch_add(1, Ordering::Relaxed);
             }
+            // Sharded indexes announce their scatter width and (on misses)
+            // the gather time; fold both into the run summary.
+            if let Some(width) = response.header("x-gks-shards").and_then(|v| v.parse().ok()) {
+                tallies.sharded.fetch_add(1, Ordering::Relaxed);
+                tallies.fanout_max.fetch_max(width, Ordering::Relaxed);
+            }
+            if let Some(gather) =
+                response.header("x-gks-gather-micros").and_then(|v| v.parse().ok())
+            {
+                if let Ok(mut samples) = tallies.gather_micros.lock() {
+                    samples.push(gather);
+                }
+            }
             Some(micros)
         }
         Err(_) => {
@@ -369,6 +411,9 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
         Pacing::Closed => (run_closed(config, &entries, &tallies), Vec::new()),
         Pacing::Open { rate_qps } => run_open(config, &entries, &tallies, rate_qps, total),
     };
+    let mut gather_micros =
+        tallies.gather_micros.lock().map(|samples| samples.clone()).unwrap_or_default();
+    gather_micros.sort_unstable();
     LoadReport {
         total,
         ok: tallies.ok.load(Ordering::Relaxed),
@@ -379,6 +424,9 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
         elapsed: started.elapsed(),
         latencies_micros,
         send_lags_micros,
+        sharded: tallies.sharded.load(Ordering::Relaxed),
+        fanout_max: tallies.fanout_max.load(Ordering::Relaxed),
+        gather_micros,
     }
 }
 
@@ -577,6 +625,9 @@ mod tests {
             elapsed: Duration::from_secs(2),
             latencies_micros: vec![10, 20, 30, 40],
             send_lags_micros: Vec::new(),
+            sharded: 0,
+            fanout_max: 0,
+            gather_micros: Vec::new(),
         };
         assert_eq!(report.percentile(0.5), 20);
         assert_eq!(report.percentile(0.99), 40);
@@ -585,6 +636,7 @@ mod tests {
         let text = report.render();
         assert!(text.contains("throughput"));
         assert!(!text.contains("send lag"), "closed loop reports no lag");
+        assert!(!text.contains("sharded"), "no shard lines for unsharded runs");
     }
 
     #[test]
@@ -599,11 +651,38 @@ mod tests {
             elapsed: Duration::from_secs(1),
             latencies_micros: vec![100, 200, 300],
             send_lags_micros: vec![0, 5, 250],
+            sharded: 0,
+            fanout_max: 0,
+            gather_micros: Vec::new(),
         };
         assert_eq!(report.send_lag_percentile(0.5), 5);
         assert_eq!(report.send_lag_percentile(0.99), 250);
         let text = report.render();
         assert!(text.contains("send lag p50"), "{text}");
         assert!(text.contains("send lag max      250us"), "{text}");
+    }
+
+    #[test]
+    fn sharded_report_includes_fanout_and_gather() {
+        let report = LoadReport {
+            total: 3,
+            ok: 3,
+            client_errors: 0,
+            server_errors: 0,
+            transport_errors: 0,
+            cache_hits: 1,
+            elapsed: Duration::from_secs(1),
+            latencies_micros: vec![100, 200, 300],
+            send_lags_micros: Vec::new(),
+            sharded: 3,
+            fanout_max: 4,
+            gather_micros: vec![7, 11],
+        };
+        assert_eq!(report.gather_percentile(0.5), 7);
+        assert_eq!(report.gather_percentile(0.99), 11);
+        let text = report.render();
+        assert!(text.contains("sharded           3 response(s), fan-out 4"), "{text}");
+        assert!(text.contains("gather p50        7us"), "{text}");
+        assert!(text.contains("gather p99        11us"), "{text}");
     }
 }

@@ -19,6 +19,7 @@ use gks_trace::SpanKind;
 pub use gks_trace::{Histogram, LATENCY_BOUNDS_MICROS};
 
 use crate::cache::CacheStats;
+use crate::catalog::PHASE_COUNT;
 
 /// The endpoints the service distinguishes in its counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,16 @@ pub struct Metrics {
     pub in_flight: AtomicU64,
     /// End-to-end request latency (accept → response written), µs.
     pub latency: Histogram,
+    /// Scatter width of sharded searches (shards fanned out per request).
+    pub shard_fanout: Histogram,
+    /// Straggler overhead per sharded search: slowest shard minus fastest
+    /// shard, µs — the wall-clock cost of waiting for the last shard.
+    pub shard_straggler_micros: Histogram,
+    /// Scatters retried once because a reload sweep landed mid-flight.
+    pub shard_retries_total: AtomicU64,
+    /// Scatters abandoned (503) because the retry also raced a reload —
+    /// mixed-generation answers are never merged.
+    pub shard_mixed_generation_total: AtomicU64,
 }
 
 /// Point-in-time view of one catalog index for `/metrics` rendering —
@@ -136,18 +147,25 @@ pub struct IndexMetricsView<'a> {
     pub name: &'a str,
     /// Cache occupancy of this index's result cache.
     pub cache: CacheStats,
-    /// Identity fingerprint of the currently resident engine generation.
+    /// Identity fingerprint of the currently resident engine generation
+    /// (combined across shards for a sharded index).
     pub identity: u64,
+    /// Number of shards backing this index (1 when unsharded).
+    pub shard_count: usize,
     /// Queries routed to this index.
     pub requests_total: u64,
     /// Result-cache hits for this index.
     pub cache_hits_total: u64,
     /// Result-cache misses for this index.
     pub cache_misses_total: u64,
+    /// Cache puts admitted by the TinyLFU gate under eviction pressure.
+    pub cache_admitted_total: u64,
+    /// Cache puts rejected by the TinyLFU gate.
+    pub cache_rejected_total: u64,
     /// Completed hot-swap reloads of this index.
     pub reloads_total: u64,
     /// Per-phase latency histograms, in `SpanKind::PHASES` order.
-    pub phases: &'a [Histogram; 5],
+    pub phases: &'a [Histogram; PHASE_COUNT],
 }
 
 /// The quantiles `/metrics` reports for every histogram.
@@ -227,6 +245,40 @@ impl Metrics {
         }
         let _ = writeln!(out, "gks_latency_micros_sum {}", self.latency.sum());
         let _ = writeln!(out, "gks_latency_micros_count {}", self.latency.count());
+        // Scatter/gather fan-out stats for sharded indexes. Zero-sample
+        // quantiles render the -1 sentinel, so an unsharded deployment
+        // exposes the same line set with sentinel values.
+        for (q, label) in QUANTILES {
+            write_quantile(&mut out, "gks_shard_fanout", "", label, self.shard_fanout.quantile(q));
+        }
+        let _ = writeln!(out, "gks_shard_fanout_count {}", self.shard_fanout.count());
+        for (q, label) in QUANTILES {
+            write_quantile(
+                &mut out,
+                "gks_shard_straggler_micros",
+                "",
+                label,
+                self.shard_straggler_micros.quantile(q),
+            );
+        }
+        let _ =
+            writeln!(out, "gks_shard_straggler_micros_sum {}", self.shard_straggler_micros.sum());
+        let _ = writeln!(
+            out,
+            "gks_shard_straggler_micros_count {}",
+            self.shard_straggler_micros.count()
+        );
+        let _ = writeln!(out, "gks_shard_retries_total {}", load(&self.shard_retries_total));
+        let _ = writeln!(
+            out,
+            "gks_shard_mixed_generation_total {}",
+            load(&self.shard_mixed_generation_total)
+        );
+        // TinyLFU admission outcomes, summed across every index's cache.
+        let admitted: u64 = indexes.iter().map(|v| v.cache_admitted_total).sum();
+        let rejected: u64 = indexes.iter().map(|v| v.cache_rejected_total).sum();
+        let _ = writeln!(out, "gks_cache_admitted_total {admitted}");
+        let _ = writeln!(out, "gks_cache_rejected_total {rejected}");
         // Per-phase engine latency, aggregated by gks-trace across every
         // span of that kind recorded process-wide (CLI-triggered searches
         // included, though in the server they all come from requests).
@@ -300,6 +352,18 @@ impl Metrics {
             );
             let _ =
                 writeln!(out, "gks_index_identity{{index=\"{}\"}} {}", view.name, view.identity);
+            let _ =
+                writeln!(out, "gks_index_shards{{index=\"{}\"}} {}", view.name, view.shard_count);
+            let _ = writeln!(
+                out,
+                "gks_index_cache_admitted_total{{index=\"{}\"}} {}",
+                view.name, view.cache_admitted_total
+            );
+            let _ = writeln!(
+                out,
+                "gks_index_cache_rejected_total{{index=\"{}\"}} {}",
+                view.name, view.cache_rejected_total
+            );
             for (i, kind) in SpanKind::PHASES.iter().enumerate() {
                 let hist = &view.phases[i];
                 let labels = format!("index=\"{}\",phase=\"{}\",", view.name, kind.label());
@@ -355,10 +419,10 @@ pub fn metric_value(exposition: &str, name: &str) -> Option<i64> {
 mod tests {
     use super::*;
 
-    fn empty_phases() -> [Histogram; 5] {
+    fn empty_phases() -> [Histogram; PHASE_COUNT] {
         #[allow(clippy::declare_interior_mutable_const)]
         const EMPTY: Histogram = Histogram::new();
-        [EMPTY; 5]
+        [EMPTY; PHASE_COUNT]
     }
 
     #[test]
@@ -378,9 +442,12 @@ mod tests {
             name: "dblp",
             cache,
             identity: 42,
+            shard_count: 2,
             requests_total: 2,
             cache_hits_total: 3,
             cache_misses_total: 1,
+            cache_admitted_total: 5,
+            cache_rejected_total: 4,
             reloads_total: 1,
             phases: &phases,
         };
@@ -398,6 +465,10 @@ mod tests {
         assert_eq!(metric_value(&text, "gks_index_cache_misses_total{index=\"dblp\"}"), Some(1));
         assert_eq!(metric_value(&text, "gks_index_reloads_total{index=\"dblp\"}"), Some(1));
         assert_eq!(metric_value(&text, "gks_index_identity{index=\"dblp\"}"), Some(42));
+        assert_eq!(metric_value(&text, "gks_index_shards{index=\"dblp\"}"), Some(2));
+        assert_eq!(metric_value(&text, "gks_cache_admitted_total"), Some(5));
+        assert_eq!(metric_value(&text, "gks_cache_rejected_total"), Some(4));
+        assert_eq!(metric_value(&text, "gks_index_cache_admitted_total{index=\"dblp\"}"), Some(5));
         assert_eq!(
             metric_value(
                 &text,
@@ -417,9 +488,12 @@ mod tests {
             name: "a",
             cache: CacheStats { entries: 1, bytes: 100, capacity: 500 },
             identity: 7,
+            shard_count: 1,
             requests_total: 4,
             cache_hits_total: 2,
             cache_misses_total: 2,
+            cache_admitted_total: 1,
+            cache_rejected_total: 0,
             reloads_total: 0,
             phases: &phases_a,
         };
@@ -427,9 +501,12 @@ mod tests {
             name: "b",
             cache: CacheStats { entries: 2, bytes: 300, capacity: 500 },
             identity: 9,
+            shard_count: 4,
             requests_total: 6,
             cache_hits_total: 1,
             cache_misses_total: 5,
+            cache_admitted_total: 0,
+            cache_rejected_total: 3,
             reloads_total: 2,
             phases: &phases_b,
         };
@@ -444,6 +521,11 @@ mod tests {
         assert_eq!(metric_value(&text, "gks_index_identity{index=\"b\"}"), Some(9));
         assert_eq!(metric_value(&text, "gks_index_requests_total{index=\"b\"}"), Some(6));
         assert_eq!(metric_value(&text, "gks_index_reloads_total{index=\"b\"}"), Some(2));
+        assert_eq!(metric_value(&text, "gks_index_shards{index=\"a\"}"), Some(1));
+        assert_eq!(metric_value(&text, "gks_index_shards{index=\"b\"}"), Some(4));
+        // Admission counters sum across the catalog.
+        assert_eq!(metric_value(&text, "gks_cache_admitted_total"), Some(1));
+        assert_eq!(metric_value(&text, "gks_cache_rejected_total"), Some(3));
     }
 
     #[test]
@@ -464,7 +546,7 @@ mod tests {
     fn per_phase_lines_are_exposed() {
         let m = Metrics::default();
         let text = m.render(&[]);
-        for phase in ["parse", "postings", "sweep", "rank", "di"] {
+        for phase in ["parse", "postings", "sweep", "rank", "di", "scatter", "gather"] {
             for q in ["0.5", "0.95", "0.99"] {
                 let name =
                     format!("gks_phase_latency_micros{{phase=\"{phase}\",quantile=\"{q}\"}}");
@@ -476,6 +558,12 @@ mod tests {
             let count = format!("gks_phase_latency_micros_count{{phase=\"{phase}\"}}");
             assert!(metric_value(&text, &count).is_some(), "missing {count}");
         }
+        // Shard fan-out lines exist even with zero samples (the -1 sentinel
+        // pattern extends to the scatter/gather metrics).
+        assert_eq!(metric_value(&text, "gks_shard_fanout{quantile=\"0.5\"}"), Some(-1));
+        assert_eq!(metric_value(&text, "gks_shard_straggler_micros{quantile=\"0.99\"}"), Some(-1));
+        assert_eq!(metric_value(&text, "gks_shard_retries_total"), Some(0));
+        assert_eq!(metric_value(&text, "gks_shard_mixed_generation_total"), Some(0));
     }
 
     #[test]

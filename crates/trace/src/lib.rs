@@ -67,11 +67,17 @@ pub enum SpanKind {
     Di,
     /// Response-body serialization (the wire JSON rendering).
     Render,
+    /// Parallel fan-out of one search across index shards; carries one
+    /// child subtree per shard (captured on the shard's worker thread).
+    Scatter,
+    /// Merging per-shard answers into one ranked response: re-sort by
+    /// potential flow, Dewey tie-break, top-k re-truncation, DI union.
+    Gather,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 9] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Request,
         SpanKind::IndexOpen,
         SpanKind::Search,
@@ -81,16 +87,22 @@ impl SpanKind {
         SpanKind::Rank,
         SpanKind::Di,
         SpanKind::Render,
+        SpanKind::Scatter,
+        SpanKind::Gather,
     ];
 
     /// The engine phases the acceptance criteria require `/metrics` to
-    /// expose percentiles for (a subset of [`SpanKind::ALL`]).
-    pub const PHASES: [SpanKind; 5] = [
+    /// expose percentiles for (a subset of [`SpanKind::ALL`]). `scatter`
+    /// and `gather` only occur on sharded indexes; unsharded ones keep a
+    /// zero-sample (`-1` sentinel) quantile for them.
+    pub const PHASES: [SpanKind; 7] = [
         SpanKind::Parse,
         SpanKind::Postings,
         SpanKind::Sweep,
         SpanKind::Rank,
         SpanKind::Di,
+        SpanKind::Scatter,
+        SpanKind::Gather,
     ];
 
     /// The stable wire label of this kind.
@@ -105,6 +117,8 @@ impl SpanKind {
             SpanKind::Rank => "rank",
             SpanKind::Di => "di",
             SpanKind::Render => "render",
+            SpanKind::Scatter => "scatter",
+            SpanKind::Gather => "gather",
         }
     }
 
@@ -124,6 +138,8 @@ impl SpanKind {
             SpanKind::Rank => 6,
             SpanKind::Di => 7,
             SpanKind::Render => 8,
+            SpanKind::Scatter => 9,
+            SpanKind::Gather => 10,
         }
     }
 }
@@ -364,6 +380,117 @@ impl Drop for Span {
     }
 }
 
+/// Result of [`capture`]: the closure's output, its wall-clock duration,
+/// and the span subtree recorded while it ran.
+#[derive(Debug)]
+pub struct Captured<T> {
+    /// The closure's return value.
+    pub output: T,
+    /// Wall-clock duration of the closure, in µs (valid even when tracing
+    /// is disabled).
+    pub micros: u64,
+    /// The recorded subtree, rooted at the captured span. `None` when
+    /// tracing was disabled or the capture was not sampled.
+    pub node: Option<SpanNode>,
+}
+
+/// Whether the innermost span open on this thread belongs to a trace that
+/// survived head-sampling (`false` when tracing is disabled or no span is
+/// open). Scatter fan-out passes this to [`capture`] on each shard worker
+/// so per-shard subtrees follow the request root's sampling decision.
+pub fn current_sampled() -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    STACK.with(|stack| stack.borrow().last().is_some_and(|s| s.sampled))
+}
+
+/// Runs `f` on the current thread under a span of `kind` whose subtree is
+/// **returned** instead of completing a trace — the cross-thread half of
+/// scatter/gather tracing. Intended for fresh worker threads with no span
+/// open: spans `f` opens nest under the captured span with offsets relative
+/// to the capture start, and the finished subtree never touches the ring
+/// buffer or last-trace slot of the worker thread. The caller grafts it
+/// onto the request trace with [`attach`]. Span counts and aggregate
+/// histograms are still fed exactly as for ordinary spans.
+pub fn capture<T>(
+    kind: SpanKind,
+    label: &str,
+    sampled: bool,
+    f: impl FnOnce() -> T,
+) -> Captured<T> {
+    let started = Instant::now();
+    if !ENABLED.load(Ordering::Relaxed) {
+        let output = f();
+        return Captured { output, micros: micros_u64(started.elapsed()), node: None };
+    }
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let label = if sampled {
+            Some(Box::from(label))
+        } else {
+            None
+        };
+        stack.push(OpenSpan {
+            kind,
+            started,
+            offset_micros: 0,
+            children: Vec::new(),
+            sampled,
+            label,
+        });
+        stack.len()
+    });
+    let output = f();
+    let micros = micros_u64(started.elapsed());
+    let node = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        if stack.len() != depth {
+            // A span leaked inside `f` (or the stack was cleared); abandon
+            // the capture rather than pop someone else's span.
+            return None;
+        }
+        let open = stack.pop()?;
+        SPAN_COUNTS.by_kind[open.kind.index()].fetch_add(1, Ordering::Relaxed);
+        if !open.sampled {
+            return None;
+        }
+        AGGREGATES.by_kind[open.kind.index()].record(micros);
+        Some(SpanNode {
+            kind: open.kind,
+            label: open.label,
+            offset_micros: 0,
+            micros,
+            children: open.children,
+        })
+    });
+    Captured { output, micros, node }
+}
+
+/// Attaches a subtree recorded by [`capture`] on another thread as a child
+/// of the innermost span open on this thread. Offsets inside the subtree
+/// (relative to the capture start) are shifted by the open span's own start
+/// offset, placing the grafted spans at approximately the right point on
+/// the request timeline. No-op when tracing is disabled, no span is open,
+/// or the current trace is sampled out.
+pub fn attach(node: SpanNode) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let Some(parent) = stack.last_mut() else {
+            return;
+        };
+        if !parent.sampled {
+            return;
+        }
+        let mut node = node;
+        node.shift_offsets(parent.offset_micros);
+        parent.children.push(node);
+    });
+}
+
 fn complete_trace(root: SpanNode) {
     let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;
     let trace = CompletedTrace { seq, root };
@@ -521,6 +648,89 @@ mod tests {
         let trace = take_last_trace().expect("a completed trace");
         assert_eq!(trace.root.label.as_deref(), Some("dblp"));
         assert_eq!(trace.root.children[0].label, None, "unlabeled spans stay unlabeled");
+    }
+
+    #[test]
+    fn captured_subtrees_attach_under_the_open_span() {
+        let _x = exclusive();
+        set_enabled(true);
+        {
+            let _root = span(SpanKind::Request);
+            let sampled = current_sampled();
+            assert!(sampled, "sample_every=1 keeps every trace");
+            let scatter = span(SpanKind::Scatter);
+            let cap = std::thread::scope(|scope| {
+                scope
+                    .spawn(|| {
+                        capture(SpanKind::Search, "shard-1", sampled, || {
+                            let _p = span(SpanKind::Postings);
+                            42
+                        })
+                    })
+                    .join()
+                    .expect("shard worker")
+            });
+            assert_eq!(cap.output, 42);
+            let node = cap.node.expect("sampled capture records a subtree");
+            assert_eq!(node.kind, SpanKind::Search);
+            assert_eq!(node.label.as_deref(), Some("shard-1"));
+            assert_eq!(node.children[0].kind, SpanKind::Postings);
+            attach(node);
+            drop(scatter);
+        }
+        set_enabled(false);
+        let trace = take_last_trace().expect("a completed trace");
+        let scatter = &trace.root.children[0];
+        assert_eq!(scatter.kind, SpanKind::Scatter);
+        assert_eq!(scatter.children.len(), 1, "the captured subtree is grafted on");
+        assert_eq!(scatter.children[0].kind, SpanKind::Search);
+        assert_eq!(scatter.children[0].children[0].kind, SpanKind::Postings);
+        assert_eq!(histogram(SpanKind::Search).count(), 1, "captures feed the aggregates");
+        assert_eq!(span_count(SpanKind::Search), 1);
+        assert!(recent_traces(10).len() == 1, "the worker thread completed no trace of its own");
+    }
+
+    #[test]
+    fn unsampled_capture_counts_but_records_nothing() {
+        let _x = exclusive();
+        set_enabled(true);
+        let cap = capture(SpanKind::Search, "shard-0", false, || 7);
+        assert_eq!(cap.output, 7);
+        assert!(cap.node.is_none(), "unsampled capture yields no subtree");
+        set_enabled(false);
+        assert_eq!(span_count(SpanKind::Search), 1, "counts stay exact");
+        assert_eq!(histogram(SpanKind::Search).count(), 0);
+        assert!(take_last_trace().is_none());
+    }
+
+    #[test]
+    fn disabled_capture_still_times_the_closure() {
+        let _x = exclusive();
+        let cap = capture(SpanKind::Search, "shard-0", true, || "ok");
+        assert_eq!(cap.output, "ok");
+        assert!(cap.node.is_none());
+        assert!(cap.micros < 1_000_000, "duration is measured even when disabled");
+        assert_eq!(span_count(SpanKind::Search), 0);
+    }
+
+    #[test]
+    fn attach_shifts_offsets_by_the_parent_start() {
+        let mut node = SpanNode {
+            kind: SpanKind::Search,
+            label: None,
+            offset_micros: 5,
+            micros: 10,
+            children: vec![SpanNode {
+                kind: SpanKind::Postings,
+                label: None,
+                offset_micros: 7,
+                micros: 2,
+                children: Vec::new(),
+            }],
+        };
+        node.shift_offsets(100);
+        assert_eq!(node.offset_micros, 105);
+        assert_eq!(node.children[0].offset_micros, 107);
     }
 
     #[test]

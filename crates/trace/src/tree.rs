@@ -87,6 +87,16 @@ impl SpanNode {
         1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
     }
 
+    /// Shifts every start offset in this subtree forward by `base` µs —
+    /// used when a subtree captured on another thread (offsets relative to
+    /// its own capture start) is grafted onto a request trace.
+    pub fn shift_offsets(&mut self, base: u64) {
+        self.offset_micros = self.offset_micros.saturating_add(base);
+        for child in &mut self.children {
+            child.shift_offsets(base);
+        }
+    }
+
     fn render_into(&self, out: &mut String, depth: usize) {
         for _ in 0..depth {
             out.push_str("  ");
