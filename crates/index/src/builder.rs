@@ -39,8 +39,12 @@ pub struct GksIndex {
 
 /// Locks a mutex, recovering the data even if another worker panicked while
 /// holding it (the panic itself still propagates through the thread scope).
-fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// `name` registers the hold with the debug-build lock-order registry.
+fn lock_ignoring_poison<'m, T>(
+    name: &'static str,
+    m: &'m Mutex<T>,
+) -> gks_trace::lockorder::Tracked<MutexGuard<'m, T>> {
+    gks_trace::lockorder::track(name, m.lock().unwrap_or_else(PoisonError::into_inner))
 }
 
 /// Everything a closed element hands to its parent.
@@ -110,11 +114,11 @@ impl GksIndex {
                     for (j, doc) in slice.iter().enumerate() {
                         let doc_id = DocId((w * chunk + j) as u32);
                         if let Err(e) = part.index_document(doc_id, &doc.name, &doc.xml) {
-                            *lock_ignoring_poison(error) = Some(e);
+                            **lock_ignoring_poison("index/builder.error", error) = Some(e);
                             return;
                         }
                     }
-                    lock_ignoring_poison(results).push((w, part));
+                    lock_ignoring_poison("index/builder.results", results).push((w, part));
                 });
             }
         });

@@ -347,10 +347,13 @@ pub struct ResultCache {
     rejected: AtomicU64,
 }
 
-fn lock_shard(m: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+fn lock_shard(m: &Mutex<Shard>) -> gks_trace::lockorder::Tracked<MutexGuard<'_, Shard>> {
     // A poisoned shard only means a panicking thread died mid-operation;
     // the shard data is a cache and safe to keep using (worst case: drop it).
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    gks_trace::lockorder::track(
+        "server/cache.shards",
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
 }
 
 impl ResultCache {

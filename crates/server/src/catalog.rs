@@ -338,10 +338,13 @@ impl ResidentIndex {
         // Slot indexes come from iterating `self.shards`, always in range;
         // fall back to slot 0 rather than panic if that ever changes.
         let idx = if i < self.shards.len() { i } else { 0 };
-        let slot = self.shards[idx]
-            .loaded
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = gks_trace::lockorder::track(
+            "server/catalog.loaded",
+            self.shards[idx]
+                .loaded
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         Arc::clone(&slot)
     }
 
@@ -401,8 +404,11 @@ impl ResidentIndex {
     fn swap_slot(&self, i: usize, engine: Arc<Engine>, identity: u64) {
         let replacement = Arc::new(Loaded { engine, identity });
         if let Some(shard) = self.shards.get(i) {
-            let mut slot = shard.loaded.write().unwrap_or_else(std::sync::PoisonError::into_inner);
-            *slot = replacement;
+            let mut slot = gks_trace::lockorder::track(
+                "server/catalog.loaded",
+                shard.loaded.write().unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            **slot = replacement;
         }
         self.epoch.fetch_add(1, Ordering::Release);
     }

@@ -12,6 +12,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
+use gks_trace::lockorder::{self, Tracked};
+
 #[derive(Debug)]
 struct State<T> {
     items: VecDeque<T>,
@@ -26,10 +28,10 @@ pub struct BoundedQueue<T> {
     capacity: usize,
 }
 
-fn lock<T>(m: &Mutex<State<T>>) -> MutexGuard<'_, State<T>> {
+fn lock<T>(m: &Mutex<State<T>>) -> Tracked<MutexGuard<'_, State<T>>> {
     // Poison only means another thread panicked while holding the lock; the
     // queue of sockets is still structurally sound, so continue draining.
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+    lockorder::track("server/pool.state", m.lock().unwrap_or_else(PoisonError::into_inner))
 }
 
 impl<T> BoundedQueue<T> {
@@ -66,7 +68,7 @@ impl<T> BoundedQueue<T> {
             if state.shutdown {
                 return None;
             }
-            state = self.available.wait(state).unwrap_or_else(PoisonError::into_inner);
+            state = state.wait(&self.available);
         }
     }
 

@@ -41,7 +41,10 @@ impl LogFile {
         let mut line = String::with_capacity(record.len() + 1);
         line.push_str(record);
         line.push('\n');
-        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut file = gks_trace::lockorder::track(
+            "server/qlog.file",
+            self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         let _ = file.write_all(line.as_bytes());
     }
 }

@@ -196,6 +196,16 @@ fn reload_mid_flight_never_yields_5xx() {
         assert!(statuses.iter().all(|&s| s == 200), "non-200 under reload: {statuses:?}");
     }
 
+    // The catalog/pool/cache locks are instrumented with the debug-build
+    // lock-order registry; this storm of concurrent acquisitions must have
+    // flowed through it (and any inversion would have panicked above).
+    if cfg!(debug_assertions) {
+        assert!(
+            gks_trace::lockorder::acquisition_count() > 0,
+            "the lock-order registry must observe the instrumented server locks"
+        );
+    }
+
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

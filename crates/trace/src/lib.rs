@@ -32,6 +32,7 @@
 //! slow-query log entry to the request that produced the trace.
 
 pub mod hist;
+pub mod lockorder;
 pub mod tree;
 
 pub use hist::{Histogram, LATENCY_BOUNDS_MICROS};
@@ -279,10 +280,13 @@ pub fn reset() {
     SAMPLE_SEQ.store(0, Ordering::Relaxed);
 }
 
-fn lock_ring() -> std::sync::MutexGuard<'static, VecDeque<CompletedTrace>> {
+fn lock_ring() -> lockorder::Tracked<std::sync::MutexGuard<'static, VecDeque<CompletedTrace>>> {
     // A panic while holding this mutex can only come from allocation
     // failure; recover the data rather than poisoning every later query.
-    RING.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    lockorder::track(
+        "trace/lib.RING",
+        RING.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
 }
 
 fn micros_u64(d: std::time::Duration) -> u64 {

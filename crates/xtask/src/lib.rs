@@ -1,0 +1,39 @@
+//! Workspace automation library for the GKS repo.
+//!
+//! The binary (`cargo xtask`) is a thin dispatcher over this library so the
+//! integration tests can drive the lint and analysis passes directly against
+//! fixture trees. Everything here is dependency-free by design: it must run
+//! in the offline build container and stay fast enough to sit in front of
+//! every CI job.
+//!
+//! Modules:
+//!
+//! * [`scan`] — comment/string stripping and `#[cfg(test)]` region tracking.
+//! * [`allow`] — the `lint-allow.toml` escape hatch shared by every rule.
+//! * [`lint`] — line-level source rules (`cargo xtask lint`).
+//! * [`model`] — the per-function concurrency model (locks, guards, calls).
+//! * [`analyze`] — concurrency rules over the model (`cargo xtask analyze`).
+
+// Not an engine library crate: unwrap/expect on deterministic, known-good
+// data is acceptable here. The hard panic-free rule is scoped to the
+// engine crates and enforced by `cargo xtask lint` (see docs/ANALYSIS.md).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod allow;
+pub mod analyze;
+pub mod lint;
+pub mod model;
+pub mod scan;
+
+/// A single diagnostic, shared by the lint and analyze passes.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number (0 when the whole file is the problem).
+    pub line: usize,
+    /// Rule id as it appears in diagnostics and `lint-allow.toml`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}

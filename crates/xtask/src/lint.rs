@@ -33,6 +33,7 @@ use std::process::ExitCode;
 
 use crate::allow::Allowlist;
 use crate::scan::{scan_file, Line};
+use crate::Violation;
 
 /// Crates whose `src/` must be panic-free. The server joins the list: a
 /// panicking worker thread silently shrinks the pool, and the tracer (which
@@ -59,15 +60,6 @@ const EXIT_CHECKED: &[&str] = &[
 ];
 /// Crates where wall-clock reads must flow through `gks-trace`.
 const TIMING_CHECKED: &[&str] = &["cli", "core", "server"];
-
-/// A single diagnostic.
-#[derive(Debug)]
-struct Violation {
-    path: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
 
 /// Prints which crates each rule covers (`cargo xtask lint --crates`), one
 /// `rule: crate crate …` line per rule. CI greps this to assert new crates
@@ -149,8 +141,21 @@ pub fn run(root: &Path, verbose: bool) -> ExitCode {
         println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
     }
 
+    // Entries for the analyze rules are invisible to this pass; only
+    // lint-rule entries can meaningfully be "unused" here (the analyze
+    // driver and `--check-stale` keep the rest honest).
+    let lint_rules = [
+        "no-panic",
+        "no-truncating-cast",
+        "pub-fn-docs",
+        "no-process-exit",
+        "no-raw-timing",
+    ];
     let mut unused = 0usize;
     for (entry, hits) in allowlist.entries.iter().zip(&allowed) {
+        if !lint_rules.contains(&entry.rule.as_str()) {
+            continue;
+        }
         if *hits == 0 {
             unused += 1;
             eprintln!(
@@ -193,8 +198,85 @@ fn crate_union() -> Vec<&'static str> {
     all
 }
 
+/// Checks that every `lint-allow.toml` entry still matches a source line
+/// (`cargo xtask lint --check-stale`): the named file must exist in the
+/// scanned tree, and a non-empty `pattern` must still appear in it. Stale
+/// entries fail the run so the allowlist cannot outlive the code it
+/// excuses.
+pub fn run_check_stale(root: &Path) -> ExitCode {
+    let allow_path = root.join("crates/xtask/lint-allow.toml");
+    let allowlist = Allowlist::load(&allow_path);
+    if !allowlist.errors.is_empty() {
+        eprintln!("error: malformed {}:", allow_path.display());
+        for e in &allowlist.errors {
+            eprintln!("  {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Every file any rule could scan (the lint crates cover the analyze
+    // crates, so one union suffices).
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for krate in crate_union() {
+        let src = root.join("crates").join(krate).join("src");
+        for file in rust_files(&src) {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            if let Ok(text) = std::fs::read_to_string(&file) {
+                sources.push((rel, text));
+            }
+        }
+    }
+
+    let mut stale = 0usize;
+    for entry in &allowlist.entries {
+        let matching: Vec<&(String, String)> = sources
+            .iter()
+            .filter(|(rel, _)| rel == &entry.path || rel.ends_with(&entry.path))
+            .collect();
+        let ok = if matching.is_empty() {
+            false
+        } else if entry.pattern.is_empty() {
+            true // whole-file entries only require the file to exist
+        } else {
+            matching
+                .iter()
+                .any(|(_, text)| text.lines().any(|l| l.contains(&entry.pattern)))
+        };
+        if !ok {
+            stale += 1;
+            eprintln!(
+                "stale allowlist entry (line {}): rule={} path={} pattern={:?} — {}",
+                entry.defined_at,
+                entry.rule,
+                entry.path,
+                entry.pattern,
+                if matching.is_empty() {
+                    "no scanned file matches the path"
+                } else {
+                    "pattern no longer appears in the file"
+                }
+            );
+        }
+    }
+    eprintln!(
+        "xtask lint --check-stale: {} entr{} checked, {} stale",
+        allowlist.entries.len(),
+        if allowlist.entries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        stale,
+    );
+    if stale == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {

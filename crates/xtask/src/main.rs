@@ -3,33 +3,53 @@
 //! Subcommands:
 //!
 //! * `lint` — run the GKS-specific lint rules over the workspace sources
-//!   (see [`lint`] and `docs/ANALYSIS.md`). Exits nonzero on violations.
+//!   (see `docs/ANALYSIS.md`). Exits nonzero on violations.
+//! * `analyze` — run the concurrency analysis (lock-order graph, guard
+//!   lifetime rules) over the lock-bearing crates. Exits nonzero on
+//!   violations; `--format json` emits a machine-readable report for CI.
 //!
 //! The driver is dependency-free by design: it must run in the offline
 //! build container and stay fast enough to sit in front of every CI job.
 
-// Not an engine library crate: unwrap/expect on deterministic, known-good
-// data is acceptable here. The hard panic-free rule is scoped to the
-// engine crates and enforced by `cargo xtask lint` (see docs/ANALYSIS.md).
-#![allow(clippy::unwrap_used, clippy::expect_used)]
-
-mod allow;
-mod lint;
-mod scan;
-
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::{analyze, lint};
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
     match args.first().map(String::as_str) {
         Some("lint") => {
             if args.iter().any(|a| a == "--crates") {
                 lint::print_coverage();
                 return ExitCode::SUCCESS;
             }
-            let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+            if args.iter().any(|a| a == "--check-stale") {
+                return lint::run_check_stale(&workspace_root());
+            }
             lint::run(&workspace_root(), verbose)
+        }
+        Some("analyze") => {
+            if args.iter().any(|a| a == "--crates") {
+                analyze::print_coverage();
+                return ExitCode::SUCCESS;
+            }
+            let format = match args.iter().position(|a| a == "--format") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some("json") => analyze::OutputFormat::Json,
+                    Some("text") => analyze::OutputFormat::Text,
+                    other => {
+                        eprintln!(
+                            "unknown analyze format {:?}; expected `text` or `json`",
+                            other.unwrap_or("<missing>")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => analyze::OutputFormat::Text,
+            };
+            analyze::run(&workspace_root(), format, verbose)
         }
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -48,20 +68,29 @@ fn print_usage() {
         "usage: cargo xtask <command>\n\
          \n\
          commands:\n\
-           lint [--verbose]   run the GKS lint rules (no-panic, no-truncating-cast,\n\
-                              pub-fn-docs, no-process-exit) over the workspace;\n\
-                              allowlist lives in crates/xtask/lint-allow.toml\n\
-           lint --crates      print which crates each rule covers and exit\n\
-           help               show this message"
+           lint [--verbose]      run the GKS lint rules (no-panic, no-truncating-cast,\n\
+                                 pub-fn-docs, no-process-exit, no-raw-timing) over the\n\
+                                 workspace; allowlist in crates/xtask/lint-allow.toml\n\
+           lint --crates         print which crates each lint rule covers and exit\n\
+           lint --check-stale    fail if any allowlist entry no longer matches a\n\
+                                 source line\n\
+           analyze [--verbose]   run the concurrency analysis (lock-order,\n\
+                                 no-guard-across-blocking, no-guard-across-spawn,\n\
+                                 no-unbounded-channel) over the lock-bearing crates\n\
+           analyze --format json emit the analyze report as one JSON object\n\
+           analyze --crates      print which crates each analyze rule covers and exit\n\
+           help                  show this message"
     );
 }
 
 /// The workspace root, resolved from this crate's manifest directory so the
 /// driver works from any cwd.
 fn workspace_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .expect("crates/xtask has a workspace root two levels up")
-        .to_path_buf()
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(|p| p.parent()) {
+        Some(root) => root.to_path_buf(),
+        // CARGO_MANIFEST_DIR is `<root>/crates/xtask`; a rootless path can
+        // only mean a broken checkout, where cwd is the best fallback.
+        None => PathBuf::from("."),
+    }
 }

@@ -1,0 +1,46 @@
+//! Fixture: the silent control. Same shapes as the firing fixtures —
+//! two locks, file I/O, a spawn, a channel — but each written the safe
+//! way: consistent acquisition order, guard dropped before blocking,
+//! bounded channel. `cargo xtask analyze` must stay completely quiet.
+//!
+//! This crate is analyzer input only: it is not a workspace member and is
+//! never compiled.
+
+use std::io::Write;
+use std::sync::{mpsc, Mutex, PoisonError};
+
+static FIRST: Mutex<u64> = Mutex::new(0);
+static SECOND: Mutex<u64> = Mutex::new(0);
+
+pub fn ordered() -> u64 {
+    let a = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = SECOND.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+pub fn ordered_again() -> u64 {
+    let a = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = SECOND.lock().unwrap_or_else(PoisonError::into_inner);
+    *a * *b
+}
+
+pub fn drop_before_io(out: &mut std::fs::File, payload: &[u8]) {
+    let mut count = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    *count += 1;
+    drop(count);
+    let _ = out.write_all(payload);
+}
+
+pub fn scoped_before_spawn() -> std::thread::JoinHandle<()> {
+    {
+        let mut count = SECOND.lock().unwrap_or_else(PoisonError::into_inner);
+        *count += 1;
+    }
+    std::thread::spawn(|| {})
+}
+
+pub fn bounded() -> mpsc::SyncSender<u64> {
+    let (tx, rx) = mpsc::sync_channel(8);
+    drop(rx);
+    tx
+}

@@ -1,0 +1,23 @@
+//! Fixture: two functions acquire the same pair of locks in opposite
+//! orders — the canonical AB/BA deadlock. `cargo xtask analyze` must
+//! report exactly one `lock-order` cycle over ALPHA and BETA.
+//!
+//! This crate is analyzer input only: it is not a workspace member and is
+//! never compiled.
+
+use std::sync::{Mutex, PoisonError};
+
+static ALPHA: Mutex<u64> = Mutex::new(0);
+static BETA: Mutex<u64> = Mutex::new(0);
+
+pub fn forward() -> u64 {
+    let a = ALPHA.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = BETA.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+pub fn backward() -> u64 {
+    let b = BETA.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = ALPHA.lock().unwrap_or_else(PoisonError::into_inner);
+    *a - *b
+}

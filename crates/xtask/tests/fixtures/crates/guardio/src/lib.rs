@@ -1,0 +1,31 @@
+//! Fixture: one firing example per guard/channel rule — a guard live
+//! across file I/O, a guard live across a spawn, and an unbounded
+//! channel. Each must be reported at exactly the line asserted by
+//! `tests/analyze_fixtures.rs`.
+//!
+//! This crate is analyzer input only: it is not a workspace member and is
+//! never compiled.
+
+use std::io::Write;
+use std::sync::{mpsc, Mutex, PoisonError};
+
+static LOG: Mutex<u64> = Mutex::new(0);
+
+pub fn guard_across_io(out: &mut std::fs::File, payload: &[u8]) {
+    let mut count = LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = out.write_all(payload);
+    *count += 1;
+}
+
+pub fn guard_across_spawn() -> std::thread::JoinHandle<()> {
+    let count = LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    let handle = std::thread::spawn(|| {});
+    drop(count);
+    handle
+}
+
+pub fn unbounded() -> mpsc::Sender<u64> {
+    let (tx, rx) = mpsc::channel();
+    drop(rx);
+    tx
+}
