@@ -4,22 +4,34 @@
 //!
 //! * `index [--shards N] <out.gksix> <file.xml>…` — build and persist an
 //!   index (`--shards N` partitions the corpus by document into N shard
-//!   indexes plus a shard manifest);
+//!   indexes plus a shard manifest). A single *directory* argument builds
+//!   an updatable corpus-directory manifest (`gks_index::index_directory`)
+//!   that `watch`/`compact` and the serve-side watcher can keep fresh;
 //! * `search <index.gksix> [-s N] [--limit N] [--di] [--analytics] <kw>…` —
 //!   query it (quote phrases: `'"Peter Buneman"'`);
 //! * `suggest <index.gksix> <kw>…` — refinement suggestions for a query;
 //! * `census <file.xml>…` — the §7.2 node-category census (`--schema` adds
 //!   the schema-harmonized view);
 //! * `info <index.gksix>` — index statistics;
-//! * `doctor <index.gksix>…` — audit persisted indexes against the
+//! * `doctor <index.gksix|manifest>…` — audit persisted indexes against the
 //!   structural invariants of paper §2.1/§2.4 (sorted postings, parent
-//!   closure, census consistency, attribute-store resolvability);
+//!   closure, census consistency, attribute-store resolvability); shard
+//!   manifests are additionally checked for update-path invariants
+//!   (duplicate ids, doc-table referential integrity, orphaned shard
+//!   files) and every shard file they reference is audited too;
+//! * `watch <manifest> [--interval-ms N] [--compact-threshold N] [--once]`
+//!   — poll the manifest's corpus directory and commit a delta shard for
+//!   every batch of changes (the standalone form of `serve --watch`);
+//! * `compact <manifest>` — fold the delta backlog into fresh base shards;
 //! * `generate <dataset> <scale> <out.xml>` — write a synthetic corpus;
 //! * `serve [<index.gksix>] [--index NAME=PATH]…` — run the resident HTTP
 //!   query service (`gks-server`: a catalog of indexes routed by
 //!   `/ix/<name>/` prefix, worker pool, admission control, per-index result
 //!   caches, /metrics). SIGHUP or `POST /admin/reload` hot-swaps an index
-//!   without dropping in-flight requests;
+//!   without dropping in-flight requests; `--watch` runs the incremental
+//!   update loop in-process so corpus mutations become searchable live,
+//!   and `--compact-threshold N` folds the delta backlog once it reaches
+//!   N shards (`POST /admin/compact` forces a fold);
 //! * `loadgen <host:port> <workload.txt>` — load generator against a
 //!   running `serve` (closed-loop by default, `--open-loop --rate` for a
 //!   paced schedule, `--index NAME[=WEIGHT]` for a multi-index traffic
@@ -44,7 +56,10 @@ use gks_core::query::Query;
 use gks_core::search::{SearchOptions, Threshold};
 use gks_core::wire;
 use gks_datagen::Dataset;
-use gks_index::{split_corpus, Corpus, GksIndex, IndexOptions, SchemaSummary, ShardManifest};
+use gks_index::{
+    commit_delta, compact, index_directory, split_corpus, validate_manifest,
+    validate_manifest_files, Corpus, GksIndex, IndexOptions, SchemaSummary, ShardManifest,
+};
 use gks_server::catalog::{IndexSpec, DEFAULT_INDEX_NAME};
 use gks_server::{loadgen, signal, ServeConfig};
 
@@ -73,14 +88,16 @@ pub const USAGE: &str = "\
 gks — Generic Keyword Search over XML data (EDBT 2016)
 
 USAGE:
-  gks index [--shards N] <out.gksix> <file.xml>...
+  gks index [--shards N] <out.gksix> <file.xml>...|<corpus-dir>
   gks search <index.gksix> [-s N|all|half] [--limit N] [--json]
              [--di] [--analytics] [--trace] <keyword>...
   gks suggest <index.gksix> [--json] <keyword>...
   gks census [--schema] <file.xml>...
   gks schema <index.gksix>
   gks info <index.gksix>
-  gks doctor <index.gksix>...
+  gks doctor <index.gksix|manifest>...
+  gks watch <manifest> [--interval-ms N] [--compact-threshold N] [--once]
+  gks compact <manifest>
   gks generate <dataset> <scale> <out.xml>
   gks repl <index.gksix>
   gks serve [<index.gksix>] [--index NAME=PATH[,PATH...]]...
@@ -88,6 +105,7 @@ USAGE:
             [--queue N] [--deadline-ms N] [--cache-mb N] [--cache-admission]
             [--query-log FILE] [--slow-log FILE] [--slow-ms N]
             [--trace-ring N] [--trace-sample N|1/N] [--no-trace]
+            [--watch] [--watch-interval-ms N] [--compact-threshold N]
   gks loadgen <host:port> <workload.txt> [--clients N] [--requests N]
             [--zipf S] [--seed N] [--timeout-ms N] [--open-loop --rate QPS]
             [--index NAME[=WEIGHT]]...
@@ -96,6 +114,10 @@ USAGE:
 `--trace` prints the span tree (per-phase timings) after the results.
 `index --shards N` partitions the corpus by document into N shard
 indexes next to <out> plus a shard manifest at <out> itself.
+`index <out> <corpus-dir>` builds an updatable manifest that records the
+corpus directory and per-document content hashes; `gks watch` (or
+`serve --watch`) then commits delta shards as the directory changes, and
+`gks compact` folds the backlog into fresh base shards.
 `serve` hosts a catalog: the positional index registers as \"default\",
 each --index NAME=PATH adds another, reachable under /ix/NAME/search.
 An index source may be a comma-separated shard list (NAME=p1,p2) or a
@@ -135,6 +157,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "schema" => cmd_schema(rest),
         "info" => cmd_info(rest),
         "doctor" => cmd_doctor(rest),
+        "watch" => cmd_watch(rest),
+        "compact" => cmd_compact(rest),
         "generate" => cmd_generate(rest),
         "repl" => cmd_repl(rest),
         "serve" => cmd_serve(rest),
@@ -179,6 +203,28 @@ fn cmd_index(args: &[String]) -> Result<String, CliError> {
     };
     if files.is_empty() {
         return Err(CliError::usage(INDEX_USAGE));
+    }
+    // A single directory argument builds an updatable corpus-directory
+    // manifest instead of a one-shot index: it records the directory and
+    // per-document content hashes so `gks watch` / `serve --watch` can
+    // commit delta shards as the corpus changes.
+    if let [dir] = files {
+        if std::path::Path::new(dir.as_str()).is_dir() {
+            let manifest = index_directory(
+                std::path::Path::new(dir.as_str()),
+                std::path::Path::new(out.as_str()),
+                shards,
+                IndexOptions::default(),
+            )
+            .map_err(|e| CliError::runtime(format!("cannot index directory {dir:?}: {e}")))?;
+            return Ok(format!(
+                "indexed corpus directory {dir}: {} document(s) across {} shard(s), epoch {}\n\
+                 wrote manifest to {out} — keep it fresh with `gks watch {out}`\n",
+                manifest.docs.len(),
+                manifest.shards.len(),
+                manifest.epoch
+            ));
+        }
     }
     let corpus = Corpus::from_paths(files.iter().copied())
         .map_err(|e| CliError::runtime(format!("cannot read corpus: {e}")))?;
@@ -235,7 +281,9 @@ fn cmd_index_sharded(out: &str, corpus: &Corpus, shards: usize) -> Result<String
             s.distinct_terms,
             path.display()
         );
-        manifest.shards.push(ShardManifest::entry_for(&index, &file, base));
+        let mut entry = ShardManifest::entry_for(&index, &file, base);
+        entry.id = u64::try_from(i).unwrap_or(u64::MAX);
+        manifest.shards.push(entry);
         base = base.saturating_add(u32::try_from(part.len()).unwrap_or(u32::MAX));
     }
     manifest
@@ -566,15 +614,84 @@ fn cmd_info(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// True when `path` holds a shard manifest (either header version) rather
+/// than a single persisted index.
+fn is_manifest_file(path: &str) -> bool {
+    std::fs::read(path).is_ok_and(|bytes| bytes.starts_with(gks_index::MANIFEST_MAGIC.as_bytes()))
+}
+
+/// Audits one shard manifest: structural invariants of the update path
+/// (duplicate ids, doc-table referential integrity, tombstone sanity),
+/// disk-level state (missing/orphaned shard files, name mismatches), and
+/// the index-level doctor for every shard file that loads. Returns the
+/// report plus whether anything was sick.
+fn doctor_manifest(path: &str, out: &mut String) -> Result<bool, CliError> {
+    let manifest = ShardManifest::load(path)
+        .map_err(|e| CliError::runtime(format!("cannot load shard manifest {path:?}: {e}")))?;
+    let mut violations = validate_manifest(&manifest);
+    violations.extend(validate_manifest_files(&manifest, std::path::Path::new(path)));
+    let mut sick = !violations.is_empty();
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "{path}: manifest is healthy — epoch {}, {} shard(s) ({} delta), {} document(s), {} tombstone(s)",
+            manifest.epoch,
+            manifest.shards.len(),
+            manifest.delta_shard_count(),
+            manifest.docs.len(),
+            manifest.tombstones.len()
+        );
+    } else {
+        let _ = writeln!(out, "{path}: {} manifest violation(s) found", violations.len());
+        for v in &violations {
+            let _ = writeln!(out, "  {v}");
+        }
+    }
+    let dir = std::path::Path::new(path)
+        .parent()
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_default();
+    for entry in &manifest.shards {
+        let full = dir.join(&entry.path);
+        let shown = full.display();
+        let Ok(index) = GksIndex::load(&full) else {
+            // Already reported as MissingShardFile by validate_manifest_files.
+            continue;
+        };
+        let shard_violations = index.doctor();
+        if shard_violations.is_empty() {
+            let _ = writeln!(out, "  shard {}: healthy ({})", entry.id, shown);
+        } else {
+            sick = true;
+            let _ = writeln!(
+                out,
+                "  shard {}: {} violation(s) found ({shown})",
+                entry.id,
+                shard_violations.len()
+            );
+            for v in &shard_violations {
+                let _ = writeln!(out, "    {v}");
+            }
+        }
+    }
+    Ok(sick)
+}
+
 fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
     if args.is_empty() {
-        return Err(CliError::usage("usage: gks doctor <index.gksix>..."));
+        return Err(CliError::usage("usage: gks doctor <index.gksix|manifest>..."));
     }
     // Audit every index (mirroring the server's catalog-wide GET /doctor);
     // the run fails if any one of them is sick, but all are still reported.
     let mut out = String::new();
     let mut sick = 0usize;
     for path in args {
+        if is_manifest_file(path) {
+            if doctor_manifest(path, &mut out)? {
+                sick += 1;
+            }
+            continue;
+        }
         let index = GksIndex::load(path)
             .map_err(|e| CliError::runtime(format!("cannot load index {path:?}: {e}")))?;
         let violations = index.doctor();
@@ -626,9 +743,7 @@ fn index_spec_for(name: &str, spec: &str) -> Result<IndexSpec, CliError> {
     if spec.contains(',') {
         return Ok(IndexSpec::with_shard_paths(name, spec.split(',')));
     }
-    let is_manifest = std::fs::read(spec)
-        .is_ok_and(|bytes| bytes.starts_with(gks_index::shard::MANIFEST_HEADER.as_bytes()));
-    if is_manifest {
+    if is_manifest_file(spec) {
         return IndexSpec::with_manifest(name, spec)
             .map_err(|e| CliError::runtime(format!("cannot load shard manifest {spec:?}: {e}")));
     }
@@ -640,7 +755,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         [--default-index NAME] [--addr HOST:PORT] [--workers N] [--queue N] \
         [--deadline-ms N] [--cache-mb N] [--cache-admission] [--query-log FILE] \
         [--slow-log FILE] [--slow-ms N] [--trace-ring N] [--trace-sample N|1/N] \
-        [--no-trace]";
+        [--no-trace] [--watch] [--watch-interval-ms N] [--compact-threshold N]";
     // The positional path (registered as the "default" index) is optional
     // when --index flags supply the catalog.
     let (positional, rest) = match args.split_first() {
@@ -653,9 +768,27 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         specs.push(index_spec_for(DEFAULT_INDEX_NAME, path)?);
     }
     let mut default_index: Option<String> = None;
+    let mut watch = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--watch" => watch = true,
+            "--watch-interval-ms" => {
+                let ms: u64 = parse_value(
+                    take_value(&mut it, "--watch-interval-ms")?,
+                    "--watch-interval-ms",
+                )?;
+                if ms == 0 {
+                    return Err(CliError::usage("--watch-interval-ms must be >= 1"));
+                }
+                config.watch_interval = Some(std::time::Duration::from_millis(ms));
+            }
+            "--compact-threshold" => {
+                config.compact_threshold = Some(parse_value(
+                    take_value(&mut it, "--compact-threshold")?,
+                    "--compact-threshold",
+                )?);
+            }
             "--index" => {
                 let v = take_value(&mut it, "--index")?;
                 let Some((name, path)) = v.split_once('=') else {
@@ -711,6 +844,11 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     if specs.is_empty() {
         return Err(CliError::usage(SERVE_USAGE));
     }
+    // Bare `--watch` picks the default cadence; an explicit interval
+    // implies watching.
+    if watch && config.watch_interval.is_none() {
+        config.watch_interval = Some(std::time::Duration::from_millis(2000));
+    }
     let index_names: Vec<String> = specs.iter().map(|s| s.name().to_string()).collect();
     let server = gks_server::serve_catalog(specs, default_index.as_deref(), config.clone())
         .map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
@@ -733,6 +871,16 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         index_names.join(", "),
         server.state().catalog().default_index().name()
     );
+    if let Some(interval) = config.watch_interval {
+        println!(
+            "gks-serve: watching manifest corpus directories every {} ms{}",
+            interval.as_millis(),
+            config
+                .compact_threshold
+                .map(|t| format!(", compacting at {t} delta shard(s)"))
+                .unwrap_or_default()
+        );
+    }
     if let Some(path) = &config.query_log {
         println!("gks-serve: query log -> {}", path.display());
     }
@@ -835,6 +983,151 @@ fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
     }
     let report = loadgen::run(&config, &workload);
     Ok(report.render())
+}
+
+/// One watcher tick: commit a delta for whatever changed in the corpus
+/// directory, then fold the backlog when it reaches the threshold. Appends
+/// a line per event to `out` and returns whether anything happened.
+fn watch_tick(
+    manifest_path: &std::path::Path,
+    threshold: Option<u64>,
+    out: &mut String,
+) -> Result<bool, CliError> {
+    let mut acted = false;
+    match commit_delta(manifest_path) {
+        Ok(Some(stats)) => {
+            acted = true;
+            let _ = writeln!(
+                out,
+                "committed epoch {}: +{} added, ~{} changed, -{} deleted",
+                stats.epoch, stats.added, stats.changed, stats.deleted
+            );
+        }
+        Ok(None) => {}
+        Err(e) => {
+            // Non-fatal: a mid-mutation scan or transient I/O failure is
+            // retried on the next tick; the manifest on disk is untouched.
+            let _ = writeln!(out, "delta commit failed (will retry): {e}");
+        }
+    }
+    if let Some(threshold) = threshold {
+        let backlog = ShardManifest::load(manifest_path)
+            .map(|m| u64::try_from(m.delta_shard_count()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        if backlog >= threshold.max(1) {
+            match compact(manifest_path) {
+                Ok(Some(stats)) => {
+                    acted = true;
+                    let _ = writeln!(
+                        out,
+                        "compacted to epoch {}: {} base shard(s), {} document(s), {} old file(s) removed",
+                        stats.epoch, stats.base_shards, stats.docs, stats.removed_files
+                    );
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = writeln!(out, "compaction failed (will retry): {e}");
+                }
+            }
+        }
+    }
+    Ok(acted)
+}
+
+fn cmd_watch(args: &[String]) -> Result<String, CliError> {
+    const WATCH_USAGE: &str =
+        "usage: gks watch <manifest> [--interval-ms N] [--compact-threshold N] [--once]";
+    let mut interval_ms = 2000u64;
+    let mut threshold: Option<u64> = None;
+    let mut once = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                interval_ms = parse_value(take_value(&mut it, "--interval-ms")?, "--interval-ms")?;
+                if interval_ms == 0 {
+                    return Err(CliError::usage("--interval-ms must be >= 1"));
+                }
+            }
+            "--compact-threshold" => {
+                threshold = Some(parse_value(
+                    take_value(&mut it, "--compact-threshold")?,
+                    "--compact-threshold",
+                )?);
+            }
+            "--once" => once = true,
+            other if other.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown watch flag {other:?}")));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [manifest_arg] = positional.as_slice() else {
+        return Err(CliError::usage(WATCH_USAGE));
+    };
+    let manifest_path = std::path::PathBuf::from(manifest_arg.as_str());
+    // Fail fast on a path that is not an updatable manifest at all.
+    let manifest = ShardManifest::load(&manifest_path).map_err(|e| {
+        CliError::runtime(format!("cannot load shard manifest {manifest_arg:?}: {e}"))
+    })?;
+    if gks_index::delta::corpus_dir_of(&manifest, &manifest_path).is_none() {
+        return Err(CliError::runtime(format!(
+            "manifest {manifest_arg:?} records no corpus directory — rebuild it with \
+             `gks index <manifest> <corpus-dir>` to enable the update path"
+        )));
+    }
+    if once {
+        let mut out = String::new();
+        if !watch_tick(&manifest_path, threshold, &mut out)? {
+            let _ = writeln!(out, "corpus unchanged — nothing to commit");
+        }
+        return Ok(out);
+    }
+    signal::request_shutdown(false);
+    let have_signals = signal::install_shutdown_handler();
+    println!(
+        "gks-watch: polling {} every {interval_ms} ms{}",
+        manifest_arg,
+        threshold
+            .map(|t| format!(", compacting at {t} delta shard(s)"))
+            .unwrap_or_default()
+    );
+    if !have_signals {
+        println!("gks-watch: no signal support on this platform; stop by killing the process");
+    }
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    while !signal::shutdown_requested() {
+        let mut events = String::new();
+        let _ = watch_tick(&manifest_path, threshold, &mut events)?;
+        if !events.is_empty() {
+            print!("gks-watch: {events}");
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        }
+        // Sleep in short slices so SIGTERM/ctrl-c stays prompt.
+        let mut remaining = interval_ms;
+        while remaining > 0 && !signal::shutdown_requested() {
+            let slice = remaining.min(50);
+            std::thread::sleep(std::time::Duration::from_millis(slice));
+            remaining -= slice;
+        }
+    }
+    Ok("gks-watch: stopped\n".to_string())
+}
+
+fn cmd_compact(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::usage("usage: gks compact <manifest>"));
+    };
+    let manifest_path = std::path::Path::new(path.as_str());
+    match compact(manifest_path) {
+        Ok(Some(stats)) => Ok(format!(
+            "compacted {path}: epoch {}, {} base shard(s), {} document(s), {} old file(s) removed\n",
+            stats.epoch, stats.base_shards, stats.docs, stats.removed_files
+        )),
+        Ok(None) => Ok(format!("{path}: no delta backlog — nothing to compact\n")),
+        Err(e) => Err(CliError::runtime(format!("cannot compact {path:?}: {e}"))),
+    }
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
@@ -1030,6 +1323,112 @@ mod tests {
     }
 
     #[test]
+    fn directory_index_watch_and_compact_round_trip() {
+        let dir = tmpdir().join("watch-compact");
+        let corpus = dir.join("corpus");
+        std::fs::create_dir_all(&corpus).unwrap();
+        std::fs::write(corpus.join("a.xml"), "<r><x>alpha</x></r>").unwrap();
+        std::fs::write(corpus.join("b.xml"), "<r><x>beta</x></r>").unwrap();
+        let manifest = dir.join("corpus.shards");
+        let manifest_s = manifest.to_str().unwrap().to_string();
+
+        // A directory argument builds an updatable manifest.
+        let out = run(&args(&["index", &manifest_s, corpus.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 document(s)"), "{out}");
+        assert!(out.contains("gks watch"), "{out}");
+
+        // The fresh manifest and its shards pass the manifest-aware doctor.
+        let out = run(&args(&["doctor", &manifest_s])).unwrap();
+        assert!(out.contains("manifest is healthy"), "{out}");
+        assert!(out.contains("shard 0: healthy"), "{out}");
+
+        // A clean poll commits nothing.
+        let out = run(&args(&["watch", &manifest_s, "--once"])).unwrap();
+        assert!(out.contains("nothing to commit"), "{out}");
+
+        // Mutate the corpus; one watch tick commits a delta.
+        std::fs::write(corpus.join("c.xml"), "<r><x>gamma</x></r>").unwrap();
+        let out = run(&args(&["watch", &manifest_s, "--once"])).unwrap();
+        assert!(out.contains("+1 added"), "{out}");
+        let loaded = ShardManifest::load(&manifest).unwrap();
+        assert_eq!(loaded.delta_shard_count(), 1);
+
+        // Searching via a serve-side spec sees the delta-committed doc.
+        assert!(index_spec_for("m", &manifest_s).is_ok());
+
+        // Compact folds the backlog; a second compact is a no-op.
+        let out = run(&args(&["compact", &manifest_s])).unwrap();
+        assert!(out.contains("compacted"), "{out}");
+        let out = run(&args(&["compact", &manifest_s])).unwrap();
+        assert!(out.contains("nothing to compact"), "{out}");
+        let loaded = ShardManifest::load(&manifest).unwrap();
+        assert_eq!(loaded.delta_shard_count(), 0);
+        assert_eq!(loaded.doc_count(), 3);
+
+        // A --once tick with a threshold of 1 commits and compacts in one go.
+        std::fs::write(corpus.join("d.xml"), "<r><x>delta</x></r>").unwrap();
+        let out =
+            run(&args(&["watch", &manifest_s, "--once", "--compact-threshold", "1"])).unwrap();
+        assert!(out.contains("+1 added"), "{out}");
+        assert!(out.contains("compacted to epoch"), "{out}");
+
+        // Doctor still passes after the full update cycle.
+        let out = run(&args(&["doctor", &manifest_s])).unwrap();
+        assert!(out.contains("manifest is healthy"), "{out}");
+
+        // Watch flag validation.
+        assert_eq!(run(&args(&["watch"])).unwrap_err().code, 2, "manifest required");
+        assert_eq!(
+            run(&args(&["watch", &manifest_s, "--interval-ms", "0"])).unwrap_err().code,
+            2,
+            "zero interval"
+        );
+        assert_eq!(
+            run(&args(&["watch", &manifest_s, "--bogus"])).unwrap_err().code,
+            2,
+            "unknown watch flag"
+        );
+        assert_eq!(
+            run(&args(&["watch", "/no/such.shards", "--once"])).unwrap_err().code,
+            1,
+            "missing manifest is a runtime error"
+        );
+        assert_eq!(run(&args(&["compact"])).unwrap_err().code, 2, "compact wants one path");
+        assert_eq!(
+            run(&args(&["compact", "/no/such.shards"])).unwrap_err().code,
+            1,
+            "missing manifest is a runtime error"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_rejects_manifest_without_corpus_dir() {
+        // A file-list manifest (classic `index --shards N` over .xml files)
+        // records no corpus directory, so the update path refuses it.
+        let dir = tmpdir().join("watch-no-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml = dir.join("d.xml");
+        run(&args(&["generate", "dblp", "60", xml.to_str().unwrap()])).unwrap();
+        let xml2 = dir.join("d2.xml");
+        std::fs::copy(&xml, &xml2).unwrap();
+        let manifest = dir.join("legacy.shards");
+        run(&args(&[
+            "index",
+            "--shards",
+            "2",
+            manifest.to_str().unwrap(),
+            xml.to_str().unwrap(),
+            xml2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&args(&["watch", manifest.to_str().unwrap(), "--once"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("no corpus directory"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_and_loadgen_flag_validation() {
         assert_eq!(run(&args(&["serve"])).unwrap_err().code, 2, "no index at all");
         let err = run(&args(&["serve", "/tmp/x.gksix", "--bogus"])).unwrap_err();
@@ -1049,6 +1448,13 @@ mod tests {
         assert_eq!(err.code, 2, "sample rate must be >= 1");
         let err = run(&args(&["serve", "/tmp/x.gksix", "--trace-sample", "1/x"])).unwrap_err();
         assert_eq!(err.code, 2, "non-numeric 1/N sample rate");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--watch-interval-ms", "0"])).unwrap_err();
+        assert_eq!(err.code, 2, "zero watch interval");
+        let err = run(&args(&["serve", "/tmp/x.gksix", "--compact-threshold"])).unwrap_err();
+        assert_eq!(err.code, 2, "missing compact threshold");
+        let err =
+            run(&args(&["serve", "/tmp/x.gksix", "--compact-threshold", "soon"])).unwrap_err();
+        assert_eq!(err.code, 2, "non-numeric compact threshold");
         // A catalog made only of --index flags (no positional) is accepted
         // at parse time; a missing file is then a runtime (load) error.
         let err = run(&args(&["serve", "--index", "a=/no/such.gksix"])).unwrap_err();
@@ -1096,8 +1502,8 @@ mod tests {
 
         // The usage text must list every subcommand (satellite: docs drift).
         for sub in [
-            "index", "search", "suggest", "census", "schema", "info", "doctor", "generate", "repl",
-            "serve", "loadgen",
+            "index", "search", "suggest", "census", "schema", "info", "doctor", "watch", "compact",
+            "generate", "repl", "serve", "loadgen",
         ] {
             assert!(USAGE.contains(&format!("gks {sub} ")), "USAGE missing {sub}");
         }
@@ -1115,6 +1521,11 @@ mod tests {
             "--default-index",
             "--shards",
             "--cache-admission",
+            "--watch",
+            "--watch-interval-ms",
+            "--compact-threshold",
+            "--interval-ms",
+            "--once",
         ] {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

@@ -1,6 +1,8 @@
 //! The [`Engine`] facade: the three GKS modules of Figure 3 — indexing
 //! engine, search engine, search-analysis engine — behind one handle.
 
+use std::sync::Arc;
+
 use gks_dewey::{DeweyId, DocId};
 use gks_index::{Corpus, GksIndex, IndexError, IndexOptions};
 
@@ -10,7 +12,7 @@ use crate::di::{discover_di, recursive_di, DiOptions, DiRound, Insight};
 use crate::error::QueryError;
 use crate::query::Query;
 use crate::refine::{refine, Refinement};
-use crate::search::{search, Hit, Response, SearchOptions};
+use crate::search::{search_masked, Hit, Response, SearchOptions};
 
 /// A GKS engine over one indexed corpus.
 ///
@@ -35,13 +37,17 @@ use crate::search::{search, Hit, Response, SearchOptions};
 /// ```
 #[derive(Debug)]
 pub struct Engine {
-    index: GksIndex,
+    index: Arc<GksIndex>,
+    /// Sorted local document ids masked out of every search — documents
+    /// deleted or superseded by a delta shard (see `gks_index::delta`).
+    /// Empty for an engine over a frozen index, and free when empty.
+    tombstones: Vec<u32>,
 }
 
 impl Engine {
     /// Indexes a corpus (single-threaded) and wraps it.
     pub fn build(corpus: &Corpus, options: IndexOptions) -> Result<Engine, IndexError> {
-        Ok(Engine { index: GksIndex::build(corpus, options)? })
+        Ok(Engine::from_index(GksIndex::build(corpus, options)?))
     }
 
     /// Indexes a corpus with `workers` parallel workers.
@@ -50,12 +56,24 @@ impl Engine {
         options: IndexOptions,
         workers: usize,
     ) -> Result<Engine, IndexError> {
-        Ok(Engine { index: GksIndex::build_parallel(corpus, options, workers)? })
+        Ok(Engine::from_index(GksIndex::build_parallel(corpus, options, workers)?))
     }
 
     /// Wraps an existing index (e.g. loaded via [`GksIndex::load`]).
     pub fn from_index(index: GksIndex) -> Engine {
-        Engine { index }
+        Engine { index: Arc::new(index), tombstones: Vec::new() }
+    }
+
+    /// Wraps a shared index with a tombstone mask: `tombstones` lists the
+    /// local document ids to hide from every search. Sharing the `Arc`
+    /// makes re-masking cheap — when a delta commit adds tombstones to an
+    /// unchanged shard, the server builds a new `Engine` over the same
+    /// loaded index instead of re-reading it from disk. The list is
+    /// sorted/deduped here so searches can binary-search it.
+    pub fn from_shared(index: Arc<GksIndex>, mut tombstones: Vec<u32>) -> Engine {
+        tombstones.sort_unstable();
+        tombstones.dedup();
+        Engine { index, tombstones }
     }
 
     /// The underlying index.
@@ -63,9 +81,19 @@ impl Engine {
         &self.index
     }
 
-    /// Runs a GKS search (§4).
+    /// The underlying index, shareable with another engine (re-masking).
+    pub fn index_shared(&self) -> Arc<GksIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// The sorted local document ids this engine masks out of searches.
+    pub fn tombstones(&self) -> &[u32] {
+        &self.tombstones
+    }
+
+    /// Runs a GKS search (§4), with this engine's tombstones masked out.
     pub fn search(&self, query: &Query, options: SearchOptions) -> Result<Response, QueryError> {
-        search(&self.index, query, options)
+        search_masked(&self.index, &self.tombstones, query, options)
     }
 
     /// Extracts DI from a response (§6.2).

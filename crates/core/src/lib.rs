@@ -52,4 +52,7 @@ pub use engine::Engine;
 pub use error::QueryError;
 pub use query::Query;
 pub use search::{Hit, HitKind, Response, SearchOptions, Threshold};
-pub use shard::{discover_di_sharded, merge_responses, sharded_search, ShardedResponse};
+pub use shard::{
+    discover_di_sharded, load_manifest_engines, merge_responses, sharded_search,
+    sharded_search_mapped, DocMap, ShardedResponse,
+};

@@ -14,6 +14,22 @@ use crate::query::Keyword;
 /// The document-ordered list of nodes matching `keyword`, empty if any term
 /// is absent from the corpus.
 pub fn keyword_postings(index: &GksIndex, keyword: &Keyword) -> Vec<DeweyId> {
+    keyword_postings_masked(index, &[], keyword)
+}
+
+/// [`keyword_postings`] with tombstoned documents masked out: any posting
+/// whose document id appears in `dead` (a sorted list of local doc ids) is
+/// dropped. An empty mask takes the unfiltered fast path, so unmasked
+/// search pays nothing.
+pub fn keyword_postings_masked(index: &GksIndex, dead: &[u32], keyword: &Keyword) -> Vec<DeweyId> {
+    let list = raw_keyword_postings(index, keyword);
+    if dead.is_empty() {
+        return list;
+    }
+    list.into_iter().filter(|id| dead.binary_search(&id.doc().0).is_err()).collect()
+}
+
+fn raw_keyword_postings(index: &GksIndex, keyword: &Keyword) -> Vec<DeweyId> {
     match keyword.terms() {
         [] => Vec::new(),
         [term] => index.postings(term).to_vec(),

@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::QueryError;
 use crate::merge::merge_posting_lists;
-use crate::postlist::keyword_postings;
+use crate::postlist::keyword_postings_masked;
 use crate::query::{Keyword, Query};
 use crate::sweep::sweep;
 use crate::window::lcp_candidates;
@@ -241,6 +241,23 @@ pub fn search(
     query: &Query,
     options: SearchOptions,
 ) -> Result<Response, QueryError> {
+    search_masked(index, &[], query, options)
+}
+
+/// [`search`] with tombstoned documents masked out of the posting lists
+/// before the merge: `dead` is a sorted list of local document ids whose
+/// postings must not contribute to the answer (documents deleted or
+/// superseded by a delta shard — see `gks_index::delta`). Filtering at the
+/// posting-list stage keeps everything downstream — `missing`, the merged
+/// `SL`, the sweep statistics, and the ranks — identical to an index that
+/// never contained those documents, because no corpus-global statistic
+/// enters the potential-flow rank. An empty mask is free.
+pub fn search_masked(
+    index: &GksIndex,
+    dead: &[u32],
+    query: &Query,
+    options: SearchOptions,
+) -> Result<Response, QueryError> {
     let search_span = span(SpanKind::Search);
     let mut trace = SearchTrace::default();
 
@@ -256,7 +273,8 @@ pub fn search(
 
     // 1.–2. Posting lists, merged into SL.
     let postings_span = span(SpanKind::Postings);
-    let lists: Vec<Vec<DeweyId>> = keywords.iter().map(|k| keyword_postings(index, k)).collect();
+    let lists: Vec<Vec<DeweyId>> =
+        keywords.iter().map(|k| keyword_postings_masked(index, dead, k)).collect();
     let missing: Vec<usize> =
         lists.iter().enumerate().filter(|(_, l)| l.is_empty()).map(|(i, _)| i).collect();
     let sl = merge_posting_lists(lists);

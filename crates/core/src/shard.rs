@@ -20,8 +20,10 @@
 //!    each hit's owning shard so refinement terms match the unsharded
 //!    engine (see [`crate::di::DiAccumulator`]).
 
+use std::sync::Arc;
+
 use gks_dewey::{DeweyId, DocId};
-use gks_index::GksIndex;
+use gks_index::{GksIndex, IndexError, ShardManifest, DEAD_DOC};
 use gks_trace::{span, SpanKind};
 
 use crate::di::{DiAccumulator, DiOptions, Insight};
@@ -30,6 +32,70 @@ use crate::error::QueryError;
 use crate::query::Query;
 use crate::search::{Hit, Response, SearchOptions, SearchTrace};
 
+/// How one shard's local document ids renumber into global ids.
+///
+/// A frozen, contiguous shard set (PR 5's `gks index --shards`) uses plain
+/// [`DocMap::Base`] offsets. Once a manifest carries deltas and tombstones
+/// the tiling has holes — a shard's live documents map to the *manifest
+/// document table's* numbering (which tracks what a full rebuild would
+/// assign) — and each shard carries an explicit [`DocMap::Table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocMap {
+    /// `global = local + base`: the dense, nothing-deleted case.
+    Base(u32),
+    /// Explicit per-local mapping, with an inverse for gather lookups.
+    Table {
+        /// `forward[local] = global`, or `gks_index::DEAD_DOC` for a
+        /// tombstoned local id (which can never appear in a masked
+        /// engine's answer).
+        forward: Vec<u32>,
+        /// `(global, local)` pairs sorted by global id.
+        inverse: Vec<(u32, u32)>,
+    },
+}
+
+impl DocMap {
+    /// A dense base-offset map.
+    pub fn base(base: u32) -> DocMap {
+        DocMap::Base(base)
+    }
+
+    /// An explicit map from a `forward[local] = global` table (dead locals
+    /// hold `gks_index::DEAD_DOC`); builds the inverse index.
+    pub fn table(forward: Vec<u32>) -> DocMap {
+        let mut inverse: Vec<(u32, u32)> = forward
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g != DEAD_DOC)
+            .map(|(local, &g)| (g, u32::try_from(local).unwrap_or(DEAD_DOC)))
+            .collect();
+        inverse.sort_unstable();
+        DocMap::Table { forward, inverse }
+    }
+
+    /// The global id of shard-local document `local`, if it is live.
+    pub fn to_global(&self, local: u32) -> Option<u32> {
+        match self {
+            DocMap::Base(base) => local.checked_add(*base),
+            DocMap::Table { forward, .. } => {
+                forward.get(local as usize).copied().filter(|&g| g != DEAD_DOC)
+            }
+        }
+    }
+
+    /// The shard-local id of global document `global`, if this shard owns
+    /// it.
+    pub fn to_local(&self, global: u32) -> Option<u32> {
+        match self {
+            DocMap::Base(base) => global.checked_sub(*base),
+            DocMap::Table { inverse, .. } => inverse
+                .binary_search_by_key(&global, |&(g, _)| g)
+                .ok()
+                .and_then(|i| inverse.get(i).map(|&(_, l)| l)),
+        }
+    }
+}
+
 /// A merged (gathered) response plus the per-hit shard provenance the wire
 /// and DI layers need to resolve paths and attributes in the owning shard.
 #[derive(Debug, Clone)]
@@ -37,8 +103,8 @@ pub struct ShardedResponse {
     response: Response,
     /// `origins[i]` is the shard ordinal that produced `response.hits()[i]`.
     origins: Vec<usize>,
-    /// Global document-id base of each shard, by shard ordinal.
-    doc_bases: Vec<u32>,
+    /// Local→global document renumbering of each shard, by shard ordinal.
+    doc_maps: Vec<DocMap>,
 }
 
 impl ShardedResponse {
@@ -59,19 +125,29 @@ impl ShardedResponse {
         let Some(hit) = self.response.hits().get(i) else {
             return DeweyId::root(DocId(0));
         };
-        let base = self.doc_bases.get(self.origin(i)).copied().unwrap_or(0);
-        DeweyId::new(DocId(hit.node.doc().0.saturating_sub(base)), hit.node.steps().to_vec())
+        let local = self
+            .doc_maps
+            .get(self.origin(i))
+            .and_then(|m| m.to_local(hit.node.doc().0))
+            .unwrap_or(0);
+        DeweyId::new(DocId(local), hit.node.steps().to_vec())
     }
 
     /// Number of shards that contributed to the scatter.
     pub fn fan_out(&self) -> usize {
-        self.doc_bases.len()
+        self.doc_maps.len()
     }
 }
 
-fn remap_hit(hit: &Hit, base: u32) -> Hit {
+fn remap_hit(hit: &Hit, map: &DocMap) -> Hit {
     Hit {
-        node: DeweyId::new(DocId(hit.node.doc().0.saturating_add(base)), hit.node.steps().to_vec()),
+        // A masked engine cannot emit a dead document, so the lookup only
+        // misses on a corrupted map; `DEAD_DOC` keeps the hit visible (and
+        // sorted last) rather than silently dropped.
+        node: DeweyId::new(
+            DocId(map.to_global(hit.node.doc().0).unwrap_or(DEAD_DOC)),
+            hit.node.steps().to_vec(),
+        ),
         kind: hit.kind,
         keyword_mask: hit.keyword_mask,
         keyword_count: hit.keyword_count,
@@ -79,13 +155,13 @@ fn remap_hit(hit: &Hit, base: u32) -> Hit {
     }
 }
 
-/// Merges per-shard answers (each paired with its shard's global document
-/// base, in shard order) into one [`ShardedResponse`] truncated to `limit`.
-/// All answers must come from the same query against shards of one corpus;
-/// the first answer supplies the keyword list and resolved `s` (identical
+/// Merges per-shard answers (each paired with its shard's [`DocMap`], in
+/// shard order) into one [`ShardedResponse`] truncated to `limit`. All
+/// answers must come from the same query against shards of one corpus; the
+/// first answer supplies the keyword list and resolved `s` (identical
 /// across shards by construction). Errors only on an empty answer set.
 pub fn merge_responses(
-    answers: Vec<(u32, Response)>,
+    answers: Vec<(DocMap, Response)>,
     limit: usize,
 ) -> Result<ShardedResponse, QueryError> {
     if answers.is_empty() {
@@ -129,11 +205,11 @@ pub fn merge_responses(
         .map(|(i, _)| i)
         .collect();
 
-    let mut doc_bases = Vec::with_capacity(shard_count);
+    let mut doc_maps = Vec::with_capacity(shard_count);
     let mut merged: Vec<(Hit, usize)> = Vec::new();
-    for (ordinal, (base, r)) in answers.iter().enumerate() {
-        doc_bases.push(*base);
-        merged.extend(r.hits().iter().map(|h| (remap_hit(h, *base), ordinal)));
+    for (ordinal, (map, r)) in answers.iter().enumerate() {
+        merged.extend(r.hits().iter().map(|h| (remap_hit(h, map), ordinal)));
+        doc_maps.push(map.clone());
     }
     // The exact final comparator of crate::search — shards cover disjoint
     // document ranges, so the document-order tie-break stays total.
@@ -153,26 +229,66 @@ pub fn merge_responses(
         origins.push(ordinal);
     }
     let response = Response::from_parts(keywords, s, hits, sl_len, elapsed_micros, missing, trace);
-    Ok(ShardedResponse { response, origins, doc_bases })
+    Ok(ShardedResponse { response, origins, doc_maps })
 }
 
 /// Runs a sharded search sequentially: one search per shard engine, then a
 /// gather under a [`SpanKind::Gather`] span. `doc_bases[i]` is shard `i`'s
-/// global document base. The parallel scatter lives in the server; this
-/// entry point serves the CLI, benchmarks, and equivalence tests.
+/// global document base (the dense, nothing-deleted tiling; see
+/// [`sharded_search_mapped`] for delta-carrying shard sets). The parallel
+/// scatter lives in the server; this entry point serves the CLI,
+/// benchmarks, and equivalence tests.
 pub fn sharded_search(
     shards: &[&Engine],
     doc_bases: &[u32],
     query: &Query,
     options: SearchOptions,
 ) -> Result<ShardedResponse, QueryError> {
+    let maps: Vec<DocMap> = (0..shards.len())
+        .map(|i| DocMap::base(doc_bases.get(i).copied().unwrap_or(0)))
+        .collect();
+    sharded_search_mapped(shards, &maps, query, options)
+}
+
+/// [`sharded_search`] with explicit per-shard [`DocMap`]s — the entry
+/// point for manifest-backed shard sets carrying deltas and tombstones.
+pub fn sharded_search_mapped(
+    shards: &[&Engine],
+    doc_maps: &[DocMap],
+    query: &Query,
+    options: SearchOptions,
+) -> Result<ShardedResponse, QueryError> {
     let mut answers = Vec::with_capacity(shards.len());
     for (i, engine) in shards.iter().enumerate() {
-        let base = doc_bases.get(i).copied().unwrap_or(0);
-        answers.push((base, engine.search(query, options)?));
+        let map = doc_maps.get(i).cloned().unwrap_or(DocMap::Base(0));
+        answers.push((map, engine.search(query, options)?));
     }
     let _gather = span(SpanKind::Gather);
     merge_responses(answers, options.limit)
+}
+
+/// Loads every shard of a manifest into a tombstone-masked [`Engine`]
+/// paired with its [`DocMap`], in shard order — the read side of the
+/// incremental update path (the server catalog keeps its own slot-reusing
+/// variant; this one serves the CLI and equivalence tests). Shard paths
+/// must already be resolved (see `ShardManifest::load`).
+pub fn load_manifest_engines(
+    manifest: &ShardManifest,
+) -> Result<Vec<(Engine, DocMap)>, IndexError> {
+    manifest
+        .shards
+        .iter()
+        .zip(manifest.shard_views())
+        .map(|(entry, view)| {
+            let ix = GksIndex::load(&entry.path)?;
+            let engine = Engine::from_shared(Arc::new(ix), view.tombstones);
+            let map = match view.doc_map {
+                Some(forward) => DocMap::table(forward),
+                None => DocMap::base(view.doc_base),
+            };
+            Ok((engine, map))
+        })
+        .collect()
 }
 
 /// DI over a merged response: observes hits in global rank order, each

@@ -266,6 +266,28 @@ pub fn reload_response_json(name: &str, identity_before: u64, identity_after: u6
     out
 }
 
+/// Serializes the `POST /admin/compact` response. `stats` is
+/// `(epoch, base_shards, docs, removed_files)` when deltas were folded,
+/// `None` when the index was already fully compacted —
+/// `{"index":"dblp","compacted":true,"epoch":4,"base_shards":2,"docs":10,"removed_files":3}`
+/// or `{"index":"dblp","compacted":false}`.
+pub fn compact_response_json(name: &str, stats: Option<(u64, usize, usize, usize)>) -> String {
+    let mut out = String::with_capacity(112);
+    out.push_str("{\"index\":");
+    push_json_str(&mut out, name);
+    match stats {
+        Some((epoch, base_shards, docs, removed_files)) => {
+            let _ = write!(
+                out,
+                ",\"compacted\":true,\"epoch\":{epoch},\"base_shards\":{base_shards},\
+                 \"docs\":{docs},\"removed_files\":{removed_files}}}"
+            );
+        }
+        None => out.push_str(",\"compacted\":false}"),
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,24 @@ pub enum IndexError {
     Corrupt(String),
     /// A persisted index has an incompatible format version.
     VersionMismatch { found: u32, expected: u32 },
+    /// A shard manifest lists the same shard id twice.
+    DuplicateShardId {
+        /// The repeated id.
+        id: u64,
+        /// Path of the entry that claimed the id first.
+        first: String,
+        /// Path of the entry that repeated it.
+        second: String,
+    },
+    /// A shard manifest's `doc_base` ranges overlap or leave a gap.
+    ShardRange {
+        /// Path of the offending shard entry.
+        shard: String,
+        /// The base the contiguous tiling requires at this position.
+        expected_base: u32,
+        /// The base the entry declares.
+        found_base: u32,
+    },
     /// An internal invariant did not hold during construction — a bug in
     /// this crate, reported as a typed error rather than a panic.
     Invariant(&'static str),
@@ -32,6 +50,16 @@ impl fmt::Display for IndexError {
             IndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
             IndexError::VersionMismatch { found, expected } => {
                 write!(f, "index format version {found}, expected {expected}")
+            }
+            IndexError::DuplicateShardId { id, first, second } => {
+                write!(f, "shard manifest repeats shard id {id}: first {first:?}, again {second:?}")
+            }
+            IndexError::ShardRange { shard, expected_base, found_base } => {
+                write!(
+                    f,
+                    "shard {shard:?} declares doc_base {found_base} where the contiguous \
+                     tiling requires {expected_base} (ranges overlap or leave a gap)"
+                )
             }
             IndexError::Invariant(what) => {
                 write!(f, "internal invariant violated: {what}")

@@ -25,6 +25,7 @@ pub mod attrstore;
 pub mod builder;
 pub mod categorize;
 pub mod corpus;
+pub mod delta;
 pub mod doctor;
 pub mod error;
 pub mod fasthash;
@@ -40,10 +41,17 @@ pub use attrstore::{AttrEntry, AttrSource, AttrStore};
 pub use builder::GksIndex;
 pub use categorize::{NodeCategory, NodeFlags};
 pub use corpus::Corpus;
+pub use delta::{
+    commit_delta, compact, index_directory, plan_delta, validate_manifest, validate_manifest_files,
+    CommitStats, CompactStats, DeltaPlan, ManifestViolation,
+};
 pub use doctor::Violation;
 pub use error::IndexError;
 pub use node_table::{NodeMeta, NodeTable};
 pub use options::IndexOptions;
 pub use schema::{PathStats, SchemaSummary};
-pub use shard::{split_corpus, ShardEntry, ShardManifest};
+pub use shard::{
+    split_corpus, DocEntry, ShardEntry, ShardKind, ShardManifest, ShardView, Tombstone, DEAD_DOC,
+    MANIFEST_MAGIC,
+};
 pub use stats::{CategoryCensus, IndexStats};

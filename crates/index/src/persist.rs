@@ -253,10 +253,19 @@ impl GksIndex {
     }
 
     /// Writes the index to a file, returning the number of bytes written
-    /// (the "Index Size" of Table 4).
+    /// (the "Index Size" of Table 4). The write is atomic — bytes land in a
+    /// sibling temp file renamed into place — so a concurrent reader (the
+    /// server's per-shard reload, the delta commit protocol) never observes
+    /// a torn index file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, IndexError> {
+        let path = path.as_ref();
         let bytes = self.to_bytes();
-        fs::write(path, &bytes)?;
+        let tmp = crate::shard::sibling_tmp_path(path);
+        fs::write(&tmp, &bytes)?;
+        if let Err(e) = fs::rename(&tmp, path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(IndexError::Io(e));
+        }
         Ok(bytes.len() as u64)
     }
 

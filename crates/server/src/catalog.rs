@@ -1,5 +1,6 @@
 //! The engine catalog: many resident indexes in one process, each
-//! independently hot-swappable.
+//! independently hot-swappable and — when manifest-backed — incrementally
+//! updatable without a restart.
 //!
 //! The paper evaluates GKS over several corpora (DBLP, IMDB, Wikipedia);
 //! serving them from one process requires replacing the single-engine
@@ -9,26 +10,44 @@
 //! result cache, and per-index counters.
 //!
 //! **Hot-swap protocol.** Each resident index holds one or more **shard
-//! slots**, each with its current generation as `RwLock<Arc<Loaded>>`. A
-//! request takes a *snapshot* (`Arc` clone under a read lock) once per
-//! shard, then runs entirely against that generation set — search, render,
-//! cache tagging. [`ResidentIndex::reload`] builds each replacement engine
-//! *before* taking the write lock, so the lock is held only for the pointer
-//! swap; in-flight requests finish on the old engines, which are freed when
-//! the last snapshot drops. Stale cache entries are impossible by
-//! construction: every cache entry is tagged with the (combined) identity it
-//! was computed against ([`crate::cache::ResultCache::get_for`]), and the
-//! swap additionally bulk-clears the superseded generation's entries.
+//! slots** behind a `RwLock<Vec<…>>`, each slot carrying its current
+//! generation as `RwLock<Arc<Loaded>>`. A request takes a *snapshot* (`Arc`
+//! clone under read locks) once per shard, then runs entirely against that
+//! generation set — search, render, cache tagging. Replacement engines are
+//! always built *before* any write lock is taken, so locks are held only
+//! for pointer swaps; in-flight requests finish on the old engines, which
+//! are freed when the last snapshot drops. Stale cache entries are
+//! impossible by construction: every cache entry is tagged with the
+//! (combined) identity it was computed against
+//! ([`crate::cache::ResultCache::get_for`]), and a swap additionally
+//! bulk-clears the superseded generation's entries.
 //!
 //! **Sharded indexes.** A resident index backed by N > 1 shards (a
 //! document-partitioned corpus, see `gks_index::shard`) reloads its shards
 //! one at a time. A monotonically increasing **epoch** counter is bumped
-//! after every slot swap; [`ResidentIndex::snapshot_all`] reads the epoch on
+//! after every swap; [`ResidentIndex::snapshot_all`] reads the epoch on
 //! both sides of the slot sweep and retries until both reads agree, so a
-//! scatter can never be handed shards from two different reload sweeps. The
-//! server additionally re-reads the epoch after the scatter completes and
-//! retries once on a new generation before giving up (the
-//! `gks_shard_retries_total` / `gks_shard_mixed_generation_total` metrics).
+//! scatter can never be handed shards from two different reload sweeps.
+//!
+//! **Manifest-backed indexes and the update path.** An index registered
+//! from a shard manifest ([`IndexSpec::with_manifest`]) tracks the
+//! manifest's **epoch**: delta commits (`gks_index::delta`) append delta
+//! shards and tombstones, compactions fold them back into base shards, and
+//! [`ResidentIndex::sync_manifest`] re-reads the manifest and installs the
+//! new shard set. Slots whose shard file is unchanged (same shard id, same
+//! path — shard files are immutable once written) are **reused**: the
+//! loaded index is shared via `Arc` and only re-wrapped with the new
+//! tombstone mask and document map, so a delta commit touching one shard
+//! re-reads one file, not N. [`ResidentIndex::poll_corpus`] (the watcher)
+//! and [`ResidentIndex::compact_now`] (`POST /admin/compact`, or the
+//! background compactor once the `--compact-threshold` backlog is reached)
+//! both funnel through a maintenance mutex so at most one manifest
+//! mutation runs per index at a time.
+//!
+//! Lock order within this module: `catalog.maintenance` →
+//! `catalog.slots` → `catalog.loaded` (checked statically by
+//! `cargo xtask analyze` and dynamically by the debug-build
+//! `gks_trace::lockorder` registry).
 //!
 //! Route keys are normalized ([`normalize_path`]) — duplicate slashes,
 //! trailing slashes, and ASCII case differences all resolve to the same
@@ -36,9 +55,11 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use gks_core::engine::Engine;
+use gks_core::shard::DocMap;
+use gks_index::delta::{commit_delta, compact, wall_clock_ms, CommitStats, CompactStats};
 use gks_index::{GksIndex, ShardManifest};
 use gks_trace::{CompletedTrace, Histogram, SpanKind};
 
@@ -52,14 +73,22 @@ use crate::{index_identity, ServeConfig};
 pub const DEFAULT_INDEX_NAME: &str = "default";
 
 /// One engine generation: the engine plus the identity fingerprint of the
-/// index it was built from. Requests snapshot this pair once and run
-/// entirely against it, so a mid-request hot-swap can never mix generations.
+/// index it was built from and the document renumbering of its shard.
+/// Requests snapshot this bundle once and run entirely against it, so a
+/// mid-request hot-swap can never mix generations.
 #[derive(Debug)]
 pub struct Loaded {
-    /// The resident engine of this generation.
+    /// The resident engine of this generation (tombstone-masked when the
+    /// manifest carries tombstones for this shard).
     pub engine: Arc<Engine>,
-    /// Identity fingerprint ([`index_identity`]) of the engine's index.
+    /// Identity fingerprint of the engine's index, mixed with the
+    /// tombstone mask and document map when present ([`index_identity`]
+    /// alone for a plain frozen shard).
     pub identity: u64,
+    /// Local→global document renumbering of this shard; `None` means the
+    /// positional dense tiling (global = local + sum of preceding shard
+    /// sizes), which is what frozen shard sets use.
+    pub doc_map: Option<DocMap>,
 }
 
 #[derive(Debug)]
@@ -73,6 +102,10 @@ enum IndexSource {
     Shards(Vec<PathBuf>),
     /// N already-built shard engines (tests, benches). Not reloadable.
     ShardEngines(Vec<Arc<Engine>>),
+    /// A shard manifest file: the live-update source. Reloads re-read the
+    /// manifest and sync the slot set to it (delta shards, tombstones,
+    /// compactions — see `gks_index::delta`).
+    Manifest(PathBuf),
 }
 
 /// How an index enters the catalog: a route key plus either a prebuilt
@@ -119,18 +152,21 @@ impl IndexSpec {
         }
     }
 
-    /// A spec loading the shard set recorded in a shard manifest file
+    /// A spec serving the shard set recorded in a shard manifest file
     /// (written by `gks index --shards N`); relative shard paths resolve
-    /// against the manifest's directory.
+    /// against the manifest's directory. Manifest-backed indexes follow
+    /// the incremental update path: delta commits and compactions are
+    /// picked up by [`ResidentIndex::sync_manifest`] without a restart.
     pub fn with_manifest(
         name: impl Into<String>,
         path: impl AsRef<Path>,
     ) -> Result<IndexSpec, ServeError> {
         let name = name.into();
-        let manifest = ShardManifest::load(path.as_ref())
+        // Validate eagerly so a bad manifest fails at registration, not at
+        // first sync.
+        ShardManifest::load(path.as_ref())
             .map_err(|e| ServeError::Index { name: name.clone(), message: e.to_string() })?;
-        let paths: Vec<PathBuf> = manifest.shards.iter().map(|s| s.path.clone()).collect();
-        Ok(IndexSpec { name, source: IndexSource::Shards(paths) })
+        Ok(IndexSpec { name, source: IndexSource::Manifest(path.as_ref().to_path_buf()) })
     }
 
     /// The route key this spec registers under.
@@ -152,8 +188,15 @@ pub struct IndexCounters {
     pub cache_hits_total: AtomicU64,
     /// Result-cache misses for this index.
     pub cache_misses_total: AtomicU64,
-    /// Completed hot-swap reloads.
+    /// Completed hot-swap reloads (manifest syncs included).
     pub reloads_total: AtomicU64,
+    /// Delta commits observed (watcher ticks or `gks watch` processes)
+    /// and synced into the serving set.
+    pub delta_commits_total: AtomicU64,
+    /// Compactions completed for this index.
+    pub compactions_total: AtomicU64,
+    /// Total wall-clock milliseconds spent compacting.
+    pub compaction_millis_total: AtomicU64,
     /// Per-phase latency histograms, in [`SpanKind::PHASES`] order.
     pub phases: [Histogram; PHASE_COUNT],
 }
@@ -167,6 +210,9 @@ impl IndexCounters {
             cache_hits_total: AtomicU64::new(0),
             cache_misses_total: AtomicU64::new(0),
             reloads_total: AtomicU64::new(0),
+            delta_commits_total: AtomicU64::new(0),
+            compactions_total: AtomicU64::new(0),
+            compaction_millis_total: AtomicU64::new(0),
             phases: [EMPTY; PHASE_COUNT],
         }
     }
@@ -174,9 +220,12 @@ impl IndexCounters {
 
 /// One shard slot of a resident index: the shard's current engine
 /// generation plus the path reloads re-read (absent for engine-backed
-/// shards).
+/// shards) and the manifest shard id — the slot-reuse key for manifest
+/// syncs.
 #[derive(Debug)]
 struct ShardSlot {
+    /// Manifest shard id, when this slot came from a manifest.
+    shard_id: Option<u64>,
     source: Option<PathBuf>,
     loaded: RwLock<Arc<Loaded>>,
 }
@@ -194,9 +243,10 @@ pub struct ShardSet {
     /// Combined identity of the snapshot (equals the single shard's
     /// identity for an unsharded index).
     pub identity: u64,
-    /// Global `DocId` base of each shard, derived from the snapshot's
-    /// per-shard document counts.
-    pub doc_bases: Vec<u32>,
+    /// Per-shard local→global document renumbering, in shard order:
+    /// explicit maps for manifest-backed sets, dense positional bases
+    /// otherwise.
+    pub doc_maps: Vec<DocMap>,
 }
 
 /// Folds per-shard identity fingerprints into one logical-index identity.
@@ -208,42 +258,94 @@ fn combined_identity(identities: &[u64]) -> u64 {
         [one] => *one,
         many => {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            let mut mix = |v: u64| {
-                for b in v.to_le_bytes() {
-                    h ^= u64::from(b);
-                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
-                }
-            };
-            mix(many.len() as u64);
+            mix64(&mut h, many.len() as u64);
             for &id in many {
-                mix(id);
+                mix64(&mut h, id);
             }
             h
         }
     }
 }
 
-fn doc_bases_of(shards: &[Arc<Loaded>]) -> Vec<u32> {
-    let mut bases = Vec::with_capacity(shards.len());
+/// FNV-folds one value into a running hash.
+fn mix64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Identity of one slot generation: the raw [`index_identity`] for a plain
+/// frozen shard, additionally folding the tombstone mask and explicit
+/// document map when present — re-masking an unchanged shard file must
+/// change the identity, or a post-commit cache lookup could replay bytes
+/// computed before the mask existed.
+fn slot_identity(engine: &Engine, doc_map: Option<&DocMap>) -> u64 {
+    let base = index_identity(engine.index());
+    let table = match doc_map {
+        Some(DocMap::Table { forward, .. }) => Some(forward),
+        _ => None,
+    };
+    if engine.tombstones().is_empty() && table.is_none() {
+        return base;
+    }
+    let mut h = base;
+    mix64(&mut h, 0x6d61_736b); // domain tag: masked/mapped generation
+    mix64(&mut h, engine.tombstones().len() as u64);
+    for &t in engine.tombstones() {
+        mix64(&mut h, u64::from(t));
+    }
+    if let Some(forward) = table {
+        mix64(&mut h, forward.len() as u64);
+        for &g in forward {
+            mix64(&mut h, u64::from(g));
+        }
+    }
+    h
+}
+
+/// Derives the per-shard document maps of a snapshot: a slot's explicit
+/// map when it has one, otherwise the dense positional base computed from
+/// the preceding shards' document counts.
+fn doc_maps_of(shards: &[Arc<Loaded>]) -> Vec<DocMap> {
+    let mut maps = Vec::with_capacity(shards.len());
     let mut next = 0u32;
     for loaded in shards {
-        bases.push(next);
+        match &loaded.doc_map {
+            Some(map) => maps.push(map.clone()),
+            None => maps.push(DocMap::base(next)),
+        }
         let count = u32::try_from(loaded.engine.index().stats().doc_count).unwrap_or(u32::MAX);
         next = next.saturating_add(count);
     }
-    bases
+    maps
 }
 
-/// One resident (logical) index: one or more shard slots each holding their
-/// current engine generation behind a `RwLock`, the identity-keyed result
-/// cache shared by all shards, a reload epoch, and per-index counters.
+/// One resident (logical) index: shard slots each holding their current
+/// engine generation behind a `RwLock`, the identity-keyed result cache
+/// shared by all shards, a reload epoch, per-index counters, and — for
+/// manifest-backed indexes — the manifest path plus delta backlog gauges.
 #[derive(Debug)]
 pub struct ResidentIndex {
     name: String,
-    shards: Vec<ShardSlot>,
-    /// Bumped after every slot swap; lets readers detect a reload sweep
-    /// racing their slot sweep (see [`ResidentIndex::snapshot_all`]).
+    /// The shard slots, swapped wholesale by manifest syncs (the slot
+    /// *count* changes when delta shards appear or compaction folds them
+    /// away). Never empty. Lock order: `slots` before any slot's `loaded`.
+    slots: RwLock<Vec<Arc<ShardSlot>>>,
+    /// Manifest path, for manifest-backed indexes.
+    manifest: Option<PathBuf>,
+    /// Serializes manifest mutations (delta commits, compactions) and the
+    /// syncs they trigger. Ordered before `slots`.
+    maintenance: Mutex<()>,
+    /// Bumped after every swap; lets readers detect a reload racing their
+    /// slot sweep (see [`ResidentIndex::snapshot_all`]).
     epoch: AtomicU64,
+    /// Delta shards currently serving (the compactor's backlog gauge).
+    delta_shards: AtomicU64,
+    /// Documents living in delta shards.
+    delta_docs: AtomicU64,
+    /// `committed-ms` of the manifest generation currently serving.
+    committed_ms: AtomicU64,
     cache: ResultCache,
     counters: IndexCounters,
 }
@@ -254,9 +356,66 @@ fn load_engine(name: &str, path: &Path) -> Result<Arc<Engine>, ServeError> {
     Ok(Arc::new(Engine::from_index(index)))
 }
 
-fn slot_of(engine: Arc<Engine>, source: Option<PathBuf>) -> ShardSlot {
+fn slot_of(engine: Arc<Engine>, source: Option<PathBuf>) -> Arc<ShardSlot> {
     let identity = index_identity(engine.index());
-    ShardSlot { source, loaded: RwLock::new(Arc::new(Loaded { engine, identity })) }
+    Arc::new(ShardSlot {
+        shard_id: None,
+        source,
+        loaded: RwLock::new(Arc::new(Loaded { engine, identity, doc_map: None })),
+    })
+}
+
+/// Reads a slot's current generation (`Arc` clone under the read lock).
+fn slot_loaded(slot: &ShardSlot) -> Arc<Loaded> {
+    let guard = gks_trace::lockorder::track(
+        "server/catalog.loaded",
+        slot.loaded.read().unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    Arc::clone(&guard)
+}
+
+/// Builds the slot set for one manifest generation, reusing `current`
+/// slots whose shard file is unchanged. Shard files are immutable once
+/// written (commits and compactions write new epoch-stamped files), so
+/// (shard id, path) identifies the bytes; a reused slot shares the loaded
+/// index via `Arc` and is re-wrapped with the new tombstone mask and
+/// document map.
+fn build_manifest_slots(
+    name: &str,
+    manifest: &ShardManifest,
+    current: &[Arc<ShardSlot>],
+) -> Result<Vec<Arc<ShardSlot>>, ServeError> {
+    if manifest.shards.is_empty() {
+        return Err(ServeError::BadConfig(format!("manifest for {name:?} lists no shards")));
+    }
+    let mut slots = Vec::with_capacity(manifest.shards.len());
+    for (entry, view) in manifest.shards.iter().zip(manifest.shard_views()) {
+        let reused = current
+            .iter()
+            .find(|s| {
+                s.shard_id == Some(entry.id) && s.source.as_deref() == Some(entry.path.as_path())
+            })
+            .map(|slot| slot_loaded(slot).engine.index_shared());
+        let index = match reused {
+            Some(index) => index,
+            None => Arc::new(GksIndex::load(&entry.path).map_err(|e| ServeError::Index {
+                name: name.to_string(),
+                message: e.to_string(),
+            })?),
+        };
+        let engine = Arc::new(Engine::from_shared(index, view.tombstones));
+        let doc_map = Some(match view.doc_map {
+            Some(forward) => DocMap::table(forward),
+            None => DocMap::base(view.doc_base),
+        });
+        let identity = slot_identity(&engine, doc_map.as_ref());
+        slots.push(Arc::new(ShardSlot {
+            shard_id: Some(entry.id),
+            source: Some(entry.path.clone()),
+            loaded: RwLock::new(Arc::new(Loaded { engine, identity, doc_map })),
+        }));
+    }
+    Ok(slots)
 }
 
 impl ResidentIndex {
@@ -269,7 +428,9 @@ impl ResidentIndex {
                 spec.name
             )));
         }
-        let shards: Vec<ShardSlot> = match spec.source {
+        let mut manifest_path = None;
+        let mut manifest_loaded: Option<ShardManifest> = None;
+        let slots: Vec<Arc<ShardSlot>> = match spec.source {
             IndexSource::Engine(engine) => vec![slot_of(engine, None)],
             IndexSource::Path(path) => vec![slot_of(load_engine(&name, &path)?, Some(path))],
             IndexSource::Shards(paths) => {
@@ -291,11 +452,26 @@ impl ResidentIndex {
                 }
                 engines.into_iter().map(|engine| slot_of(engine, None)).collect()
             }
+            IndexSource::Manifest(path) => {
+                let manifest = ShardManifest::load(&path).map_err(|e| ServeError::Index {
+                    name: name.clone(),
+                    message: e.to_string(),
+                })?;
+                let slots = build_manifest_slots(&name, &manifest, &[])?;
+                manifest_path = Some(path);
+                manifest_loaded = Some(manifest);
+                slots
+            }
         };
         let resident = ResidentIndex {
             name,
-            shards,
+            slots: RwLock::new(slots),
+            manifest: manifest_path,
+            maintenance: Mutex::new(()),
             epoch: AtomicU64::new(0),
+            delta_shards: AtomicU64::new(0),
+            delta_docs: AtomicU64::new(0),
+            committed_ms: AtomicU64::new(0),
             cache: ResultCache::with_admission(
                 config.cache_bytes,
                 config.cache_shards,
@@ -304,6 +480,9 @@ impl ResidentIndex {
             ),
             counters: IndexCounters::new(),
         };
+        if let Some(manifest) = &manifest_loaded {
+            resident.record_manifest_stats(manifest);
+        }
         resident.cache.ensure_identity(resident.identity());
         Ok(resident)
     }
@@ -313,20 +492,25 @@ impl ResidentIndex {
         &self.name
     }
 
+    /// The manifest path for a manifest-backed index.
+    pub fn manifest_path(&self) -> Option<&Path> {
+        self.manifest.as_deref()
+    }
+
     /// The `.gksix` path reloads re-read for the first shard, if it was
     /// loaded from one.
-    pub fn source(&self) -> Option<&Path> {
-        self.shards.first().and_then(|s| s.source.as_deref())
+    pub fn source(&self) -> Option<PathBuf> {
+        self.slots_snapshot().first().and_then(|s| s.source.clone())
     }
 
     /// Number of shard slots backing this index (1 for unsharded).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.slots_snapshot().len()
     }
 
     /// Whether this index fans queries out over more than one shard.
     pub fn is_sharded(&self) -> bool {
-        self.shards.len() > 1
+        self.shard_count() > 1
     }
 
     /// The current reload epoch (bumped after every slot swap).
@@ -334,18 +518,42 @@ impl ResidentIndex {
         self.epoch.load(Ordering::Acquire)
     }
 
-    fn slot_snapshot(&self, i: usize) -> Arc<Loaded> {
-        // Slot indexes come from iterating `self.shards`, always in range;
-        // fall back to slot 0 rather than panic if that ever changes.
-        let idx = if i < self.shards.len() { i } else { 0 };
-        let slot = gks_trace::lockorder::track(
-            "server/catalog.loaded",
-            self.shards[idx]
-                .loaded
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+    /// Delta shards currently serving (the compactor's backlog gauge).
+    pub fn delta_shards(&self) -> u64 {
+        self.delta_shards.load(Ordering::Relaxed)
+    }
+
+    /// Documents currently living in delta shards.
+    pub fn delta_docs(&self) -> u64 {
+        self.delta_docs.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the serving manifest generation was committed, or
+    /// `-1` when this index is not manifest-backed. This is the freshness
+    /// lag a scrape observes: it grows between commits and drops to ~0
+    /// right after every delta commit or compaction is synced in.
+    pub fn freshness_seconds(&self) -> i64 {
+        if self.manifest.is_none() {
+            return -1;
+        }
+        let committed = self.committed_ms.load(Ordering::Relaxed);
+        let lag_ms = wall_clock_ms().saturating_sub(committed);
+        i64::try_from(lag_ms / 1000).unwrap_or(i64::MAX)
+    }
+
+    fn record_manifest_stats(&self, manifest: &ShardManifest) {
+        self.delta_shards.store(manifest.delta_shard_count() as u64, Ordering::Relaxed);
+        self.delta_docs.store(manifest.delta_doc_count(), Ordering::Relaxed);
+        self.committed_ms.store(manifest.committed_ms, Ordering::Relaxed);
+    }
+
+    /// The current slot list (`Arc` clones under the read lock).
+    fn slots_snapshot(&self) -> Vec<Arc<ShardSlot>> {
+        let slots = gks_trace::lockorder::track(
+            "server/catalog.slots",
+            self.slots.read().unwrap_or_else(std::sync::PoisonError::into_inner),
         );
-        Arc::clone(&slot)
+        slots.iter().map(Arc::clone).collect()
     }
 
     /// The current engine generation of the **first** shard. The returned
@@ -355,7 +563,9 @@ impl ResidentIndex {
     /// this is their whole state; sharded callers want
     /// [`ResidentIndex::snapshot_all`].
     pub fn snapshot(&self) -> Arc<Loaded> {
-        self.slot_snapshot(0)
+        // The slot list is never empty: construction and every manifest
+        // sync reject an empty shard set.
+        slot_loaded(&self.slots_snapshot()[0])
     }
 
     /// A consistent snapshot of **every** shard, or `None` if a reload
@@ -368,13 +578,13 @@ impl ResidentIndex {
     pub fn snapshot_all(&self) -> Option<ShardSet> {
         for _ in 0..64 {
             let before = self.epoch.load(Ordering::Acquire);
-            let shards: Vec<Arc<Loaded>> =
-                (0..self.shards.len()).map(|i| self.slot_snapshot(i)).collect();
+            let slots = self.slots_snapshot();
+            let shards: Vec<Arc<Loaded>> = slots.iter().map(|s| slot_loaded(s)).collect();
             if self.epoch.load(Ordering::Acquire) == before {
                 let identity =
                     combined_identity(&shards.iter().map(|l| l.identity).collect::<Vec<u64>>());
-                let doc_bases = doc_bases_of(&shards);
-                return Some(ShardSet { shards, epoch: before, identity, doc_bases });
+                let doc_maps = doc_maps_of(&shards);
+                return Some(ShardSet { shards, epoch: before, identity, doc_maps });
             }
             std::hint::spin_loop();
         }
@@ -384,8 +594,7 @@ impl ResidentIndex {
     /// Combined identity fingerprint of the current generation set (the raw
     /// shard identity when unsharded).
     pub fn identity(&self) -> u64 {
-        let ids: Vec<u64> =
-            (0..self.shards.len()).map(|i| self.slot_snapshot(i).identity).collect();
+        let ids: Vec<u64> = self.slots_snapshot().iter().map(|s| slot_loaded(s).identity).collect();
         combined_identity(&ids)
     }
 
@@ -401,39 +610,44 @@ impl ResidentIndex {
 
     /// Swaps slot `i` to a new generation and bumps the epoch. The write
     /// lock is held only for the pointer swap.
-    fn swap_slot(&self, i: usize, engine: Arc<Engine>, identity: u64) {
-        let replacement = Arc::new(Loaded { engine, identity });
-        if let Some(shard) = self.shards.get(i) {
-            let mut slot = gks_trace::lockorder::track(
+    fn swap_slot(&self, i: usize, replacement: Arc<Loaded>) {
+        let slots = self.slots_snapshot();
+        if let Some(slot) = slots.get(i) {
+            let mut guard = gks_trace::lockorder::track(
                 "server/catalog.loaded",
-                shard.loaded.write().unwrap_or_else(std::sync::PoisonError::into_inner),
+                slot.loaded.write().unwrap_or_else(std::sync::PoisonError::into_inner),
             );
-            **slot = replacement;
+            **guard = replacement;
         }
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Hot-swap reload: re-reads every shard's source path into a fresh
-    /// engine (the expensive part, done without any lock held) and swaps the
-    /// slots in **one at a time**, bumping the epoch after each swap so
-    /// concurrent scatters detect the sweep. In-flight requests holding old
-    /// snapshots finish undisturbed. Returns the combined
-    /// `(identity_before, identity_after)`.
+    /// Hot-swap reload. Manifest-backed indexes delegate to
+    /// [`ResidentIndex::sync_manifest`]; path-backed indexes re-read every
+    /// shard's source into a fresh engine (the expensive part, done without
+    /// any lock held) and swap the slots in **one at a time**, bumping the
+    /// epoch after each swap so concurrent scatters detect the sweep.
+    /// In-flight requests holding old snapshots finish undisturbed. Returns
+    /// the combined `(identity_before, identity_after)`.
     pub fn reload(&self) -> Result<(u64, u64), ServeError> {
-        if self.shards.iter().any(|s| s.source.is_none()) {
+        if self.manifest.is_some() {
+            return self.sync_manifest();
+        }
+        let slots = self.slots_snapshot();
+        if slots.iter().any(|s| s.source.is_none()) {
             return Err(ServeError::BadConfig(format!(
                 "index {:?} was registered without a source path and cannot be reloaded",
                 self.name
             )));
         }
         let before = self.identity();
-        for i in 0..self.shards.len() {
-            let Some(path) = self.shards[i].source.clone() else {
+        for (i, slot) in slots.iter().enumerate() {
+            let Some(path) = slot.source.clone() else {
                 continue;
             };
             let engine = load_engine(&self.name, &path)?;
             let identity = index_identity(engine.index());
-            self.swap_slot(i, engine, identity);
+            self.swap_slot(i, Arc::new(Loaded { engine, identity, doc_map: None }));
             // Re-bind the cache after every swap: entries tagged with a
             // mid-sweep combined identity are unservable either way, this
             // just reclaims them eagerly.
@@ -444,17 +658,21 @@ impl ResidentIndex {
     }
 
     /// Reloads only shard `i` from its source path — the shard-granular
-    /// counterpart of [`reload`] (`POST /admin/reload?index=<name>&shard=<i>`).
+    /// counterpart of [`ResidentIndex::reload`]
+    /// (`POST /admin/reload?index=<name>&shard=<i>`). The replacement
+    /// generation keeps the slot's tombstone mask and document map, so a
+    /// manifest-backed shard re-reads its bytes without losing its masking.
     /// Returns the combined `(identity_before, identity_after)`.
     pub fn reload_shard(&self, i: usize) -> Result<(u64, u64), ServeError> {
-        let Some(shard) = self.shards.get(i) else {
+        let slots = self.slots_snapshot();
+        let Some(slot) = slots.get(i) else {
             return Err(ServeError::BadConfig(format!(
                 "index {:?} has {} shards; shard {i} does not exist",
                 self.name,
-                self.shards.len()
+                slots.len()
             )));
         };
-        let Some(path) = shard.source.clone() else {
+        let Some(path) = slot.source.clone() else {
             return Err(ServeError::BadConfig(format!(
                 "shard {i} of index {:?} was registered without a source path and cannot \
                  be reloaded",
@@ -462,9 +680,13 @@ impl ResidentIndex {
             )));
         };
         let before = self.identity();
-        let engine = load_engine(&self.name, &path)?;
-        let identity = index_identity(engine.index());
-        self.swap_slot(i, engine, identity);
+        let old = slot_loaded(slot);
+        let index = GksIndex::load(&path)
+            .map_err(|e| ServeError::Index { name: self.name.clone(), message: e.to_string() })?;
+        let engine =
+            Arc::new(Engine::from_shared(Arc::new(index), old.engine.tombstones().to_vec()));
+        let identity = slot_identity(&engine, old.doc_map.as_ref());
+        self.swap_slot(i, Arc::new(Loaded { engine, identity, doc_map: old.doc_map.clone() }));
         let after = self.identity();
         self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
         self.cache.ensure_identity(after);
@@ -472,12 +694,13 @@ impl ResidentIndex {
     }
 
     /// Installs a replacement engine generation in the **first** shard slot
-    /// (the tail of [`reload`] for unsharded indexes, also usable directly
-    /// by tests). The write lock is held only for the pointer swap. Returns
-    /// the combined `(identity_before, identity_after)`.
+    /// (the tail of [`ResidentIndex::reload`] for unsharded indexes, also
+    /// usable directly by tests). The write lock is held only for the
+    /// pointer swap. Returns the combined
+    /// `(identity_before, identity_after)`.
     pub fn swap_engine(&self, engine: Arc<Engine>, identity: u64) -> (u64, u64) {
         let before = self.identity();
-        self.swap_slot(0, engine, identity);
+        self.swap_slot(0, Arc::new(Loaded { engine, identity, doc_map: None }));
         let after = self.identity();
         self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
         // Bulk-evict the superseded generation's entries. Correctness does
@@ -485,6 +708,95 @@ impl ResidentIndex {
         // entries unservable — it just reclaims the memory eagerly.
         self.cache.ensure_identity(after);
         (before, after)
+    }
+
+    /// Re-reads the manifest and installs its shard set: the read side of
+    /// the incremental update path. Unchanged shard files are reused (the
+    /// loaded index is shared and only re-masked); new delta shards are
+    /// loaded; slots whose shard vanished (compaction) drop off. The slot
+    /// list is swapped wholesale under the write lock — held only for the
+    /// pointer swap — and the epoch bump makes concurrent scatters retry
+    /// on the new set. Returns `(identity_before, identity_after)`.
+    pub fn sync_manifest(&self) -> Result<(u64, u64), ServeError> {
+        let Some(path) = self.manifest.clone() else {
+            return Err(ServeError::BadConfig(format!(
+                "index {:?} is not manifest-backed and cannot sync",
+                self.name
+            )));
+        };
+        let manifest = ShardManifest::load(&path)
+            .map_err(|e| ServeError::Index { name: self.name.clone(), message: e.to_string() })?;
+        let before = self.identity();
+        let current = self.slots_snapshot();
+        let replacement = build_manifest_slots(&self.name, &manifest, &current)?;
+        {
+            let mut guard = gks_trace::lockorder::track(
+                "server/catalog.slots",
+                self.slots.write().unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            **guard = replacement;
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.record_manifest_stats(&manifest);
+        let after = self.identity();
+        self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
+        self.cache.ensure_identity(after);
+        Ok((before, after))
+    }
+
+    /// One watcher tick: scans the manifest's corpus directory, commits a
+    /// delta for whatever changed, and syncs the new generation in.
+    /// Returns `Ok(None)` when the corpus is unchanged. Serialized with
+    /// compactions through the maintenance mutex, so at most one manifest
+    /// mutation runs per index at a time; holding the mutex across the
+    /// commit I/O is the point — it is the serialization, and it is never
+    /// taken on the request path.
+    pub fn poll_corpus(&self) -> Result<Option<CommitStats>, ServeError> {
+        let Some(path) = self.manifest.clone() else {
+            return Err(ServeError::BadConfig(format!(
+                "index {:?} is not manifest-backed and cannot watch a corpus",
+                self.name
+            )));
+        };
+        let _maintenance = gks_trace::lockorder::track(
+            "server/catalog.maintenance",
+            self.maintenance.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let stats = commit_delta(&path)
+            .map_err(|e| ServeError::Index { name: self.name.clone(), message: e.to_string() })?;
+        if stats.is_some() {
+            self.counters.delta_commits_total.fetch_add(1, Ordering::Relaxed);
+            self.sync_manifest()?;
+        }
+        Ok(stats)
+    }
+
+    /// Folds this index's delta shards back into its base shards
+    /// (`POST /admin/compact`, or the background compactor once the
+    /// backlog crosses the threshold) and syncs the compacted generation
+    /// in. Returns `Ok(None)` when there was nothing to fold. Serialized
+    /// with watcher commits through the maintenance mutex.
+    pub fn compact_now(&self) -> Result<Option<CompactStats>, ServeError> {
+        let Some(path) = self.manifest.clone() else {
+            return Err(ServeError::BadConfig(format!(
+                "index {:?} is not manifest-backed and cannot compact",
+                self.name
+            )));
+        };
+        let _maintenance = gks_trace::lockorder::track(
+            "server/catalog.maintenance",
+            self.maintenance.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let started_ms = wall_clock_ms();
+        let stats = compact(&path)
+            .map_err(|e| ServeError::Index { name: self.name.clone(), message: e.to_string() })?;
+        if stats.is_some() {
+            let elapsed = wall_clock_ms().saturating_sub(started_ms);
+            self.counters.compactions_total.fetch_add(1, Ordering::Relaxed);
+            self.counters.compaction_millis_total.fetch_add(elapsed, Ordering::Relaxed);
+            self.sync_manifest()?;
+        }
+        Ok(stats)
     }
 
     /// Folds the phase spans of a completed request trace into this index's
@@ -503,13 +815,19 @@ impl ResidentIndex {
             name: &self.name,
             cache: self.cache.stats(),
             identity: self.identity(),
-            shard_count: self.shards.len(),
+            shard_count: self.shard_count(),
             requests_total: self.counters.requests_total.load(Ordering::Relaxed),
             cache_hits_total: self.counters.cache_hits_total.load(Ordering::Relaxed),
             cache_misses_total: self.counters.cache_misses_total.load(Ordering::Relaxed),
             cache_admitted_total: self.cache.admitted_total(),
             cache_rejected_total: self.cache.rejected_total(),
             reloads_total: self.counters.reloads_total.load(Ordering::Relaxed),
+            delta_shards: self.delta_shards(),
+            delta_docs: self.delta_docs(),
+            freshness_seconds: self.freshness_seconds(),
+            delta_commits_total: self.counters.delta_commits_total.load(Ordering::Relaxed),
+            compactions_total: self.counters.compactions_total.load(Ordering::Relaxed),
+            compaction_millis_total: self.counters.compaction_millis_total.load(Ordering::Relaxed),
             phases: &self.counters.phases,
         }
     }
@@ -670,6 +988,10 @@ mod tests {
             route_path("/ix/nasa/debug/traces"),
             Route { endpoint: Endpoint::DebugTraces, index: Some("nasa".into()) }
         );
+        assert_eq!(
+            route_path("/ix/dblp/admin/compact"),
+            Route { endpoint: Endpoint::AdminCompact, index: Some("dblp".into()) }
+        );
         assert_eq!(route_path("/ix/dblp/nope").endpoint, Endpoint::Other);
         assert_eq!(route_path("/ix/dblp").endpoint, Endpoint::Other);
         assert_eq!(route_path("/ix//search").endpoint, Endpoint::Other);
@@ -726,6 +1048,9 @@ mod tests {
         resident.cache().put("k".into(), Arc::from(&b"v"[..]));
         assert!(resident.cache().get("k").is_some());
         assert!(resident.reload().is_err(), "engine-backed indexes cannot reload");
+        assert!(resident.poll_corpus().is_err(), "engine-backed indexes cannot watch");
+        assert!(resident.compact_now().is_err(), "engine-backed indexes cannot compact");
+        assert_eq!(resident.freshness_seconds(), -1, "freshness is manifest-only");
 
         let replacement = tiny_engine("two");
         let new_identity = index_identity(replacement.index());
@@ -739,5 +1064,21 @@ mod tests {
         // The pre-swap snapshot still works: old generation pinned.
         assert_eq!(old.identity, before);
         assert!(Arc::strong_count(&old.engine) >= 1);
+    }
+
+    #[test]
+    fn masked_identity_differs_from_plain() {
+        let engine = tiny_engine("mask");
+        let plain = slot_identity(&engine, None);
+        assert_eq!(plain, index_identity(engine.index()), "no mask, raw identity");
+        let masked = Engine::from_shared(engine.index_shared(), vec![0]);
+        assert_ne!(slot_identity(&masked, None), plain, "tombstones change the identity");
+        let mapped = DocMap::table(vec![3, 7]);
+        assert_ne!(slot_identity(&engine, Some(&mapped)), plain, "a doc map changes it too");
+        assert_eq!(
+            slot_identity(&engine, Some(&DocMap::base(0))),
+            plain,
+            "a dense base map is the plain case"
+        );
     }
 }

@@ -42,10 +42,20 @@
 //!   `Server-Timing` header, and the server can write a JSONL query log plus
 //!   a threshold-gated slow-query log embedding the full span tree.
 //!
+//! * **live updates** — an index registered from a shard manifest follows
+//!   the incremental update path (`gks_index::delta`): an optional watcher
+//!   thread polls the corpus directory and commits delta shards for
+//!   whatever changed, and a background compactor folds the delta backlog
+//!   into base shards once it crosses `--compact-threshold` (or on demand
+//!   via `POST /admin/compact`). Both publish through the same hot-swap
+//!   protocol, so a mutation becomes visible to `/search` without a
+//!   restart and without a dropped request; `gks_index_freshness_seconds`
+//!   tracks the corpus-to-serving lag.
+//!
 //! Endpoints: `GET /search`, `GET /suggest`, `GET /doctor`, `GET /healthz`,
-//! `GET /metrics`, `GET /debug/traces`, `POST /admin/reload` — each of the
-//! first three also under an `/ix/<name>/` prefix. See
-//! [`ServeState::handle`] for parameters.
+//! `GET /metrics`, `GET /debug/traces`, `POST /admin/reload`,
+//! `POST /admin/compact` — each of the first three also under an
+//! `/ix/<name>/` prefix. See [`ServeState::handle`] for parameters.
 
 pub mod cache;
 pub mod catalog;
@@ -69,7 +79,9 @@ use gks_core::di::DiOptions;
 use gks_core::engine::Engine;
 use gks_core::query::Query;
 use gks_core::search::{SearchOptions, Threshold};
+use gks_core::shard::DocMap;
 use gks_core::wire;
+use gks_index::delta::wall_clock_ms;
 use gks_index::GksIndex;
 use gks_trace::SpanKind;
 
@@ -121,6 +133,15 @@ pub struct ServeConfig {
     /// Queries at least this slow count as slow (logged with their span
     /// tree when `slow_log` is set).
     pub slow_threshold: Duration,
+    /// Watcher poll interval for manifest-backed indexes: every interval
+    /// the corpus directory is scanned and changes are committed as a
+    /// delta shard, then hot-swapped in. `None` disables watching.
+    pub watch_interval: Option<Duration>,
+    /// Background-compaction trigger: once a manifest-backed index serves
+    /// at least this many delta shards, the maintenance thread folds them
+    /// into the base shards. `None` leaves compaction manual
+    /// (`POST /admin/compact` or `gks compact`).
+    pub compact_threshold: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +162,8 @@ impl Default for ServeConfig {
             query_log: None,
             slow_log: None,
             slow_threshold: Duration::from_millis(500),
+            watch_interval: None,
+            compact_threshold: None,
         }
     }
 }
@@ -282,6 +305,12 @@ impl ServeState {
             }
             return self.handle_reload(request, route.index.as_deref());
         }
+        if route.endpoint == Endpoint::AdminCompact {
+            if request.method != "POST" {
+                return HttpResponse::error(405, "compact requires POST");
+            }
+            return self.handle_compact(request, route.index.as_deref());
+        }
         if request.method != "GET" {
             return HttpResponse::error(405, "only GET is supported");
         }
@@ -296,7 +325,9 @@ impl ServeState {
             Endpoint::DebugTraces => self.handle_debug_traces(request),
             Endpoint::Search => self.handle_query(request, accepted_at, false, resident),
             Endpoint::Suggest => self.handle_query(request, accepted_at, true, resident),
-            Endpoint::AdminReload | Endpoint::Other => HttpResponse::error(404, "unknown path"),
+            Endpoint::AdminReload | Endpoint::AdminCompact | Endpoint::Other => {
+                HttpResponse::error(404, "unknown path")
+            }
         }
     }
 
@@ -326,6 +357,35 @@ impl ServeState {
             }
             Err(ServeError::BadConfig(message)) => HttpResponse::error(400, &message),
             Err(e) => HttpResponse::error(500, &format!("reload failed: {e}")),
+        }
+    }
+
+    /// `POST /admin/compact?index=<name>` (or `POST /ix/<name>/admin/compact`):
+    /// folds the named index's delta shards into its base shards under a
+    /// compaction trace span and hot-swaps the compacted generation in.
+    /// Reports `"compacted":false` when there was no delta backlog. `400`
+    /// for indexes without a manifest (no update path), `404` for unknown
+    /// names, `500` when the fold itself fails.
+    fn handle_compact(&self, request: &Request, route_index: Option<&str>) -> HttpResponse {
+        let named = request.param("index").map(|s| s.to_ascii_lowercase());
+        let name = named.as_deref().or(route_index);
+        let resident = match self.resolve(name) {
+            Ok(resident) => resident,
+            Err(response) => return response,
+        };
+        let span = gks_trace::span_labeled(SpanKind::Compaction, resident.name());
+        let outcome = resident.compact_now();
+        drop(span);
+        match outcome {
+            Ok(stats) => HttpResponse::json(
+                200,
+                wire::compact_response_json(
+                    resident.name(),
+                    stats.map(|s| (s.epoch, s.base_shards, s.docs, s.removed_files)),
+                ),
+            ),
+            Err(ServeError::BadConfig(message)) => HttpResponse::error(400, &message),
+            Err(e) => HttpResponse::error(500, &format!("compact failed: {e}")),
         }
     }
 
@@ -651,7 +711,8 @@ impl ServeState {
                 }
                 match cap.output {
                     Ok(response) => {
-                        answers.push((set.doc_bases.get(i).copied().unwrap_or(0), response));
+                        let map = set.doc_maps.get(i).cloned().unwrap_or_else(|| DocMap::base(0));
+                        answers.push((map, response));
                     }
                     Err(e) => return HttpResponse::error(400, &format!("search failed: {e}")),
                 }
@@ -761,6 +822,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<()>>,
 }
 
 /// Binds `config.addr` and spawns the accept loop and worker pool over a
@@ -809,8 +871,72 @@ pub fn serve_catalog(
                 .map_err(ServeError::Io)
         })
         .collect::<Result<Vec<_>, _>>()?;
+    // The maintenance thread exists only when there is update-path work to
+    // do: a watcher interval or a compaction threshold, and at least one
+    // manifest-backed index to apply it to.
+    let wants_maintenance = (config.watch_interval.is_some() || config.compact_threshold.is_some())
+        && state.catalog().iter().any(|r| r.manifest_path().is_some());
+    let maintenance = if wants_maintenance {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        Some(
+            std::thread::Builder::new()
+                .name("gks-maintenance".to_string())
+                .spawn(move || maintenance_loop(&state, &stop))
+                .map_err(ServeError::Io)?,
+        )
+    } else {
+        None
+    };
 
-    Ok(Server { state, addr, queue, stop, acceptor: Some(acceptor), workers })
+    Ok(Server { state, addr, queue, stop, acceptor: Some(acceptor), workers, maintenance })
+}
+
+/// The background update loop: on every watcher tick, commit a delta for
+/// whatever changed in each manifest-backed index's corpus directory and
+/// hot-swap it in; whenever an index's delta backlog reaches the
+/// compaction threshold, fold it into the base shards. Errors are
+/// deliberately non-fatal — a mid-mutation corpus scan or a transient I/O
+/// failure is retried on the next tick, and the serving set is never left
+/// inconsistent because every publish goes through the manifest's atomic
+/// epoch bump. Sleeps in short slices so shutdown stays prompt.
+fn maintenance_loop(state: &ServeState, stop: &AtomicBool) {
+    let interval_ms = state
+        .config
+        .watch_interval
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1));
+    let mut next_poll_ms = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        if let Some(interval) = interval_ms {
+            let now = wall_clock_ms();
+            if now >= next_poll_ms {
+                for resident in state.catalog().iter() {
+                    if resident.manifest_path().is_none() {
+                        continue;
+                    }
+                    let span = gks_trace::span_labeled(SpanKind::DeltaBuild, resident.name());
+                    let _ = resident.poll_corpus();
+                    drop(span);
+                }
+                next_poll_ms = now.saturating_add(interval);
+            }
+        }
+        if let Some(threshold) = state.config.compact_threshold {
+            for resident in state.catalog().iter() {
+                if resident.manifest_path().is_some() && resident.delta_shards() >= threshold {
+                    let span = gks_trace::span_labeled(SpanKind::Compaction, resident.name());
+                    let _ = resident.compact_now();
+                    drop(span);
+                }
+            }
+        }
+        for _ in 0..5 {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
 }
 
 fn accept_loop(
@@ -885,6 +1011,9 @@ impl Server {
         // No more admissions; release workers once the backlog drains.
         self.queue.shutdown();
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.maintenance.take() {
             let _ = handle.join();
         }
         DrainReport {

@@ -38,12 +38,14 @@ pub enum Endpoint {
     DebugTraces,
     /// `POST /admin/reload`
     AdminReload,
+    /// `POST /admin/compact`
+    AdminCompact,
     /// Anything else (404s, bad paths).
     Other,
 }
 
 /// Number of distinct [`Endpoint`] variants.
-const ENDPOINT_COUNT: usize = 8;
+const ENDPOINT_COUNT: usize = 9;
 
 impl Endpoint {
     /// Classifies a request path.
@@ -56,6 +58,7 @@ impl Endpoint {
             "/metrics" => Endpoint::Metrics,
             "/debug/traces" => Endpoint::DebugTraces,
             "/admin/reload" => Endpoint::AdminReload,
+            "/admin/compact" => Endpoint::AdminCompact,
             _ => Endpoint::Other,
         }
     }
@@ -68,6 +71,7 @@ impl Endpoint {
         Endpoint::Metrics,
         Endpoint::DebugTraces,
         Endpoint::AdminReload,
+        Endpoint::AdminCompact,
         Endpoint::Other,
     ];
 
@@ -80,6 +84,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::DebugTraces => "debug_traces",
             Endpoint::AdminReload => "admin_reload",
+            Endpoint::AdminCompact => "admin_compact",
             Endpoint::Other => "other",
         }
     }
@@ -93,7 +98,8 @@ impl Endpoint {
             Endpoint::Metrics => 4,
             Endpoint::DebugTraces => 5,
             Endpoint::AdminReload => 6,
-            Endpoint::Other => 7,
+            Endpoint::AdminCompact => 7,
+            Endpoint::Other => 8,
         }
     }
 }
@@ -164,6 +170,19 @@ pub struct IndexMetricsView<'a> {
     pub cache_rejected_total: u64,
     /// Completed hot-swap reloads of this index.
     pub reloads_total: u64,
+    /// Delta shards currently serving (0 for non-manifest indexes).
+    pub delta_shards: u64,
+    /// Documents living in delta shards.
+    pub delta_docs: u64,
+    /// Seconds since the serving manifest generation was committed, or the
+    /// `-1` sentinel for indexes without an update path.
+    pub freshness_seconds: i64,
+    /// Delta commits synced into the serving set.
+    pub delta_commits_total: u64,
+    /// Compactions completed.
+    pub compactions_total: u64,
+    /// Total wall-clock milliseconds spent compacting.
+    pub compaction_millis_total: u64,
     /// Per-phase latency histograms, in `SpanKind::PHASES` order.
     pub phases: &'a [Histogram; PHASE_COUNT],
 }
@@ -307,6 +326,20 @@ impl Metrics {
                 hist.count()
             );
         }
+        // Maintenance (update-path) latency: delta builds and compactions,
+        // aggregated process-wide by gks-trace. Zero-sample quantiles render
+        // the -1 sentinel on deployments with no update path.
+        for (kind, name) in [
+            (SpanKind::DeltaBuild, "gks_delta_build_micros"),
+            (SpanKind::Compaction, "gks_compaction_micros"),
+        ] {
+            let hist = gks_trace::histogram(kind);
+            for (q, label) in QUANTILES {
+                write_quantile(&mut out, name, "", label, hist.quantile(q));
+            }
+            let _ = writeln!(out, "{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
         // Process-global span totals: exact request accounting even under
         // trace head-sampling (sampled-out spans still count here).
         for kind in SpanKind::ALL {
@@ -363,6 +396,32 @@ impl Metrics {
                 out,
                 "gks_index_cache_rejected_total{{index=\"{}\"}} {}",
                 view.name, view.cache_rejected_total
+            );
+            // Update-path gauges and counters. Non-manifest indexes expose
+            // the same lines with zeros (and the -1 freshness sentinel) so
+            // dashboards need no per-deployment templating.
+            let _ =
+                writeln!(out, "gks_delta_shards{{index=\"{}\"}} {}", view.name, view.delta_shards);
+            let _ = writeln!(out, "gks_delta_docs{{index=\"{}\"}} {}", view.name, view.delta_docs);
+            let _ = writeln!(
+                out,
+                "gks_index_freshness_seconds{{index=\"{}\"}} {}",
+                view.name, view.freshness_seconds
+            );
+            let _ = writeln!(
+                out,
+                "gks_delta_commits_total{{index=\"{}\"}} {}",
+                view.name, view.delta_commits_total
+            );
+            let _ = writeln!(
+                out,
+                "gks_compactions_total{{index=\"{}\"}} {}",
+                view.name, view.compactions_total
+            );
+            let _ = writeln!(
+                out,
+                "gks_compaction_millis_total{{index=\"{}\"}} {}",
+                view.name, view.compaction_millis_total
             );
             for (i, kind) in SpanKind::PHASES.iter().enumerate() {
                 let hist = &view.phases[i];
@@ -449,6 +508,12 @@ mod tests {
             cache_admitted_total: 5,
             cache_rejected_total: 4,
             reloads_total: 1,
+            delta_shards: 2,
+            delta_docs: 17,
+            freshness_seconds: 3,
+            delta_commits_total: 4,
+            compactions_total: 1,
+            compaction_millis_total: 250,
             phases: &phases,
         };
         let text = m.render(&[view]);
@@ -469,6 +534,15 @@ mod tests {
         assert_eq!(metric_value(&text, "gks_cache_admitted_total"), Some(5));
         assert_eq!(metric_value(&text, "gks_cache_rejected_total"), Some(4));
         assert_eq!(metric_value(&text, "gks_index_cache_admitted_total{index=\"dblp\"}"), Some(5));
+        // Update-path lines.
+        assert_eq!(metric_value(&text, "gks_delta_shards{index=\"dblp\"}"), Some(2));
+        assert_eq!(metric_value(&text, "gks_delta_docs{index=\"dblp\"}"), Some(17));
+        assert_eq!(metric_value(&text, "gks_index_freshness_seconds{index=\"dblp\"}"), Some(3));
+        assert_eq!(metric_value(&text, "gks_delta_commits_total{index=\"dblp\"}"), Some(4));
+        assert_eq!(metric_value(&text, "gks_compactions_total{index=\"dblp\"}"), Some(1));
+        assert_eq!(metric_value(&text, "gks_compaction_millis_total{index=\"dblp\"}"), Some(250));
+        assert!(metric_value(&text, "gks_compaction_micros_count").is_some());
+        assert!(metric_value(&text, "gks_delta_build_micros_count").is_some());
         assert_eq!(
             metric_value(
                 &text,
@@ -495,6 +569,12 @@ mod tests {
             cache_admitted_total: 1,
             cache_rejected_total: 0,
             reloads_total: 0,
+            delta_shards: 0,
+            delta_docs: 0,
+            freshness_seconds: -1,
+            delta_commits_total: 0,
+            compactions_total: 0,
+            compaction_millis_total: 0,
             phases: &phases_a,
         };
         let b = IndexMetricsView {
@@ -508,6 +588,12 @@ mod tests {
             cache_admitted_total: 0,
             cache_rejected_total: 3,
             reloads_total: 2,
+            delta_shards: 3,
+            delta_docs: 9,
+            freshness_seconds: 0,
+            delta_commits_total: 5,
+            compactions_total: 2,
+            compaction_millis_total: 40,
             phases: &phases_b,
         };
         let text = m.render(&[a, b]);
@@ -571,5 +657,6 @@ mod tests {
         assert_eq!(Endpoint::of_path("/debug/traces"), Endpoint::DebugTraces);
         assert_eq!(Endpoint::of_path("/debug/other"), Endpoint::Other);
         assert_eq!(Endpoint::of_path("/admin/reload"), Endpoint::AdminReload);
+        assert_eq!(Endpoint::of_path("/admin/compact"), Endpoint::AdminCompact);
     }
 }

@@ -115,7 +115,9 @@ fn persist_shards(dir: &std::path::Path, corpus: &Corpus) -> std::path::PathBuf 
         let index = GksIndex::build(part, IndexOptions::default()).unwrap();
         let path = dir.join(format!("shard-{i}.gksix"));
         index.save(&path).unwrap();
-        manifest.shards.push(ShardManifest::entry_for(&index, &path, base));
+        let mut entry = ShardManifest::entry_for(&index, &path, base);
+        entry.id = u64::try_from(i).unwrap();
+        manifest.shards.push(entry);
         base += u32::try_from(part.len()).unwrap();
     }
     let manifest_path = dir.join("corpus.shards");
@@ -219,8 +221,12 @@ fn shard_reload_validation_and_manifest_spec() {
     assert!(resident.reload_shard(7).is_err(), "out-of-range shard slot");
     let set = resident.snapshot_all().expect("no reload racing; snapshot converges");
     let manifest = ShardManifest::load(&manifest_path).unwrap();
-    let expected: Vec<u32> = manifest.shards.iter().map(|s| s.doc_base).collect();
-    assert_eq!(set.doc_bases, expected, "loaded doc bases match the manifest split");
+    let expected: Vec<gks_core::shard::DocMap> = manifest
+        .shards
+        .iter()
+        .map(|s| gks_core::shard::DocMap::base(s.doc_base))
+        .collect();
+    assert_eq!(set.doc_maps, expected, "loaded doc maps match the manifest split");
     assert_eq!(set.identity, resident.identity());
     // A shard-granular reload of the same bytes keeps the identity.
     let (before, after) = resident.reload_shard(0).unwrap();

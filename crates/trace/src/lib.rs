@@ -74,11 +74,16 @@ pub enum SpanKind {
     /// Merging per-shard answers into one ranked response: re-sort by
     /// potential flow, Dewey tie-break, top-k re-truncation, DI union.
     Gather,
+    /// Building and committing one incremental delta: corpus scan, change
+    /// detection, delta-shard build, manifest epoch bump.
+    DeltaBuild,
+    /// Folding accumulated deltas and tombstones back into base shards.
+    Compaction,
 }
 
 impl SpanKind {
     /// Every kind, in display order.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 13] = [
         SpanKind::Request,
         SpanKind::IndexOpen,
         SpanKind::Search,
@@ -90,6 +95,8 @@ impl SpanKind {
         SpanKind::Render,
         SpanKind::Scatter,
         SpanKind::Gather,
+        SpanKind::DeltaBuild,
+        SpanKind::Compaction,
     ];
 
     /// The engine phases the acceptance criteria require `/metrics` to
@@ -120,6 +127,8 @@ impl SpanKind {
             SpanKind::Render => "render",
             SpanKind::Scatter => "scatter",
             SpanKind::Gather => "gather",
+            SpanKind::DeltaBuild => "delta_build",
+            SpanKind::Compaction => "compaction",
         }
     }
 
@@ -141,6 +150,8 @@ impl SpanKind {
             SpanKind::Render => 8,
             SpanKind::Scatter => 9,
             SpanKind::Gather => 10,
+            SpanKind::DeltaBuild => 11,
+            SpanKind::Compaction => 12,
         }
     }
 }

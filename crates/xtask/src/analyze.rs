@@ -772,6 +772,13 @@ pub fn run(root: &Path, format: OutputFormat, verbose: bool) -> ExitCode {
                     json_str(&v.message)
                 ));
             }
+            out.push_str("],\"locks\":[");
+            for (i, d) in analysis.locks.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(&d.id));
+            }
             out.push_str(&format!(
                 "],\"summary\":{{\"files\":{},\"functions\":{},\"locks\":{},\"edges\":{},\
                  \"violations\":{},\"suppressed\":{},\"unresolved\":{}}}}}",
