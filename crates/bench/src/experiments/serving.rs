@@ -12,6 +12,10 @@
 //! * **tracing overhead** — the same fixed workload with the tracer
 //!   disabled (control) and enabled; the acceptance bar is an enabled QPS
 //!   within 2% of the control.
+//! * **cost-ledger / explain overhead** — the same interleaved A/B with
+//!   `explain=1` on the B leg (ledger counters are live on both sides);
+//!   same ≤ 2% bar, plus the work-per-query summary the explain leg's
+//!   `x-gks-cost` headers carry.
 //! * **per-phase breakdown** — the Table-6-style DBLP queries run directly
 //!   against the engine with tracing on, reporting where each query's time
 //!   goes (parse / postings / sweep / rank / di). This is the measured
@@ -74,6 +78,7 @@ fn drive(
     clients: usize,
     requests_per_client: usize,
     trace: bool,
+    explain: bool,
 ) -> Result<loadgen::LoadReport, String> {
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -92,6 +97,7 @@ fn drive(
         timeout: Duration::from_secs(10),
         pacing: Pacing::Closed,
         targets: Vec::new(),
+        explain,
     };
     let report = loadgen::run(&load, workload);
     server.shutdown();
@@ -107,12 +113,13 @@ fn best_qps(
     engine: &Arc<gks_core::engine::Engine>,
     workload: &[WorkloadEntry],
     trace: bool,
+    explain: bool,
     runs: usize,
 ) -> Result<loadgen::LoadReport, String> {
     let mut best: Option<loadgen::LoadReport> = None;
     for _ in 0..runs {
         gks_trace::set_enabled(trace);
-        let report = drive(engine, workload, 8, 2_000, trace)?;
+        let report = drive(engine, workload, 8, 2_000, trace, explain)?;
         if best.as_ref().is_none_or(|b| report.qps() > b.qps()) {
             best = Some(report);
         }
@@ -133,7 +140,7 @@ pub fn run() -> String {
     // run pays the one-time costs (page cache, allocator, socket setup) so
     // they do not land on the control side of the comparison.
     gks_trace::set_enabled(false);
-    if let Err(e) = drive(&engine, &workload, 8, 500, false) {
+    if let Err(e) = drive(&engine, &workload, 8, 500, false, false) {
         return format!("== Serving throughput ==\n{e}\n");
     }
     // Interleave the legs (A B A B A B A B) so drift in the shared
@@ -141,12 +148,12 @@ pub fn run() -> String {
     let mut control: Option<loadgen::LoadReport> = None;
     let mut traced: Option<loadgen::LoadReport> = None;
     for _ in 0..4 {
-        match best_qps(&engine, &workload, false, 1) {
+        match best_qps(&engine, &workload, false, false, 1) {
             Ok(r) if control.as_ref().is_none_or(|b| r.qps() > b.qps()) => control = Some(r),
             Ok(_) => {}
             Err(e) => return format!("== Serving throughput ==\n{e}\n"),
         }
-        match best_qps(&engine, &workload, true, 1) {
+        match best_qps(&engine, &workload, true, false, 1) {
             Ok(r) if traced.as_ref().is_none_or(|b| r.qps() > b.qps()) => traced = Some(r),
             Ok(_) => {}
             Err(e) => return format!("== Serving throughput ==\n{e}\n"),
@@ -167,6 +174,45 @@ pub fn run() -> String {
         traced.percentile(0.99),
     ));
 
+    // -- Cost-ledger / explain overhead. The ledger's counters are plain
+    // integer adds threaded through the search path and are live in BOTH
+    // legs (there is no off switch to measure against); what `explain=1`
+    // adds on top is the x-gks-cost header, the JSON cost splice, and the
+    // loadgen's client-side header parse. Same interleaved best-of-4
+    // policy as the tracing A/B, tracer enabled on both sides.
+    let mut plain: Option<loadgen::LoadReport> = None;
+    let mut explained: Option<loadgen::LoadReport> = None;
+    for _ in 0..4 {
+        match best_qps(&engine, &workload, true, false, 1) {
+            Ok(r) if plain.as_ref().is_none_or(|b| r.qps() > b.qps()) => plain = Some(r),
+            Ok(_) => {}
+            Err(e) => return format!("== Serving throughput ==\n{e}\n"),
+        }
+        match best_qps(&engine, &workload, true, true, 1) {
+            Ok(r) if explained.as_ref().is_none_or(|b| r.qps() > b.qps()) => explained = Some(r),
+            Ok(_) => {}
+            Err(e) => return format!("== Serving throughput ==\n{e}\n"),
+        }
+    }
+    let (Some(plain), Some(explained)) = (plain, explained) else {
+        return "== Serving throughput ==\nno runs\n".to_string();
+    };
+    let explain_delta_pct = (plain.qps() - explained.qps()) / plain.qps() * 100.0;
+    out.push_str(&format!(
+        "== Cost-ledger / explain overhead (8 clients, 16000 requests, best of 4 interleaved) ==\n\
+         explain off: {:.0} qps (p99 {} µs)\n\
+         explain on:  {:.0} qps (p99 {} µs)\n\
+         explain-vs-plain QPS delta: {explain_delta_pct:+.1}% (acceptance bar: <= 2%)\n\
+         work per engine run (explain leg): p50 {} / p99 {} postings scanned over {} sample(s)\n\n",
+        plain.qps(),
+        plain.percentile(0.99),
+        explained.qps(),
+        explained.percentile(0.99),
+        explained.work_percentile(0.5),
+        explained.work_percentile(0.99),
+        explained.work_postings.len(),
+    ));
+
     // -- Scaling table, now with server-side per-phase p50s. The histograms
     // are process-global, so they are reset per row.
     let mut t = TextTable::new(&[
@@ -175,7 +221,7 @@ pub fn run() -> String {
     ]);
     for clients in [1usize, 4, 8, 16] {
         gks_trace::reset();
-        let report = match drive(&engine, &workload, clients, 200, true) {
+        let report = match drive(&engine, &workload, clients, 200, true, false) {
             Ok(r) => r,
             Err(e) => return format!("== Serving throughput ==\n{e}\n"),
         };
@@ -280,6 +326,7 @@ pub fn run() -> String {
             IndexTarget { name: "nasa".to_string(), weight: 3 },
             IndexTarget { name: "dblp".to_string(), weight: 1 },
         ],
+        explain: false,
     };
     let report = loadgen::run(&load, &workload);
     let exposition = http_get(server.local_addr(), "/metrics", Duration::from_secs(5))
@@ -366,6 +413,7 @@ pub fn run() -> String {
                 timeout: Duration::from_secs(10),
                 pacing: Pacing::Closed,
                 targets: Vec::new(),
+                explain: false,
             };
             let report = loadgen::run(&load, &workload);
             let exposition = http_get(server.local_addr(), "/metrics", Duration::from_secs(5))

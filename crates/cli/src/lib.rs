@@ -90,7 +90,7 @@ gks — Generic Keyword Search over XML data (EDBT 2016)
 USAGE:
   gks index [--shards N] <out.gksix> <file.xml>...|<corpus-dir>
   gks search <index.gksix> [-s N|all|half] [--limit N] [--json]
-             [--di] [--analytics] [--trace] <keyword>...
+             [--di] [--analytics] [--trace] [--explain] <keyword>...
   gks suggest <index.gksix> [--json] <keyword>...
   gks census [--schema] <file.xml>...
   gks schema <index.gksix>
@@ -108,10 +108,14 @@ USAGE:
             [--watch] [--watch-interval-ms N] [--compact-threshold N]
   gks loadgen <host:port> <workload.txt> [--clients N] [--requests N]
             [--zipf S] [--seed N] [--timeout-ms N] [--open-loop --rate QPS]
-            [--index NAME[=WEIGHT]]...
+            [--index NAME[=WEIGHT]]... [--explain]
 
 `--json` emits the same wire format the serve endpoints return.
 `--trace` prints the span tree (per-phase timings) after the results.
+`--explain` reports the cost ledger (work counters, not timings): the
+CLI prints it after the hits, `--json` splices it into the wire body,
+and `loadgen --explain` sends explain=1 so its report can summarize
+work per query (postings p50/p99) next to QPS.
 `index --shards N` partitions the corpus by document into N shard
 indexes next to <out> plus a shard manifest at <out> itself.
 `index <out> <corpus-dir>` builds an updatable manifest that records the
@@ -308,6 +312,7 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
     let mut want_analytics = false;
     let mut want_json = false;
     let mut want_trace = false;
+    let mut want_explain = false;
     let mut keywords: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -326,6 +331,7 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
             "--analytics" => want_analytics = true,
             "--json" => want_json = true,
             "--trace" => want_trace = true,
+            "--explain" => want_explain = true,
             _ => keywords.push(arg.clone()),
         }
     }
@@ -357,7 +363,11 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
         None
     };
     if want_json {
-        let mut body = wire::search_response_json(&engine, &resp);
+        let mut body = if want_explain {
+            wire::search_response_json_explained(&engine, &resp)
+        } else {
+            wire::search_response_json(&engine, &resp)
+        };
         body.push('\n');
         return Ok(body);
     }
@@ -402,6 +412,23 @@ fn cmd_search(args: &[String]) -> Result<String, CliError> {
                 f.values.iter().map(|v| format!("{}×{}", v.value, v.count)).collect();
             let _ = writeln!(out, "  {}: {}", f.path.join("/"), values.join(", "));
         }
+    }
+    if want_explain {
+        let cost = resp.cost();
+        let _ = writeln!(out, "\ncost (work, not time):");
+        let _ = writeln!(
+            out,
+            "  postings scanned: {}  (masked: {})",
+            cost.postings_scanned, cost.tombstone_masked
+        );
+        for (i, kw) in resp.keywords().iter().enumerate() {
+            let postings = cost.per_keyword.get(i).copied().unwrap_or(0);
+            let _ = writeln!(out, "    {:>12}: {postings}", kw.raw());
+        }
+        let _ = writeln!(out, "  heap ops: {}", cost.heap_ops);
+        let _ = writeln!(out, "  sweep advances: {}", cost.sweep_advances);
+        let _ = writeln!(out, "  rank candidates: {}", cost.rank_candidates);
+        let _ = writeln!(out, "  total work: {}", cost.total_work());
     }
     if want_trace {
         let _ = writeln!(out, "\nspans:");
@@ -919,7 +946,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
     const LOADGEN_USAGE: &str = "usage: gks loadgen <host:port> <workload.txt> \
         [--clients N] [--requests N] [--zipf S] [--seed N] [--timeout-ms N] \
-        [--open-loop --rate QPS] [--index NAME[=WEIGHT]]...";
+        [--open-loop --rate QPS] [--index NAME[=WEIGHT]]... [--explain]";
     let [addr_raw, workload_path, rest @ ..] = args else {
         return Err(CliError::usage(LOADGEN_USAGE));
     };
@@ -951,6 +978,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
                 config.timeout = std::time::Duration::from_millis(ms);
             }
             "--open-loop" => open_loop = true,
+            "--explain" => config.explain = true,
             "--rate" => {
                 rate_qps = Some(parse_value(take_value(&mut it, "--rate")?, "--rate")?);
             }
@@ -1205,6 +1233,16 @@ mod tests {
 
         let out = run(&args(&["search", ix_s, "--analytics", "xml"])).unwrap();
         assert!(out.contains("hits by entity type"), "{out}");
+
+        let out = run(&args(&["search", ix_s, "--explain", "keyword", "search"])).unwrap();
+        assert!(out.contains("cost (work, not time):"), "{out}");
+        assert!(out.contains("postings scanned:"), "{out}");
+        assert!(out.contains("total work:"), "{out}");
+
+        let out =
+            run(&args(&["search", ix_s, "--json", "--explain", "keyword", "search"])).unwrap();
+        assert!(out.contains("\"cost\":{\"postings_scanned\":"), "{out}");
+        assert!(out.contains("\"cost_keywords\":[{\"keyword\":"), "{out}");
 
         let out = run(&args(&["suggest", ix_s, "keyword", "zzznothing"])).unwrap();
         assert!(out.contains("unmatched keywords"), "{out}");

@@ -1,0 +1,221 @@
+//! Per-request cost accounting: the work a query performed, counted in
+//! units the paper's complexity analysis (§4.2, §5) is stated in — posting
+//! entries, merge heap operations, sweep advances, rank candidates — rather
+//! than wall-clock time. A slow query on a busy box and an expensive query
+//! look identical to a latency histogram; the ledger tells them apart.
+//!
+//! Every counter is a deterministic function of the index contents and the
+//! query, never of the clock or the machine, so ledgers obey the same
+//! equivalence laws as answers:
+//!
+//! * **sharding**: documents partition across shards and every counter is a
+//!   per-document sum, so gather-summed per-shard ledgers equal the
+//!   unsharded engine's ledger exactly (the sharded explain proptest pins
+//!   this);
+//! * **masking**: after tombstone filtering the surviving work (per-keyword
+//!   posting lengths, heap ops, sweep advances, rank candidates) equals a
+//!   full rebuild's — only `postings_scanned`/`tombstone_masked` differ,
+//!   and by exactly the dead entries.
+//!
+//! The ledger travels inside [`crate::search::Response`], is summed
+//! field-wise at the gather, and is rendered by [`crate::wire`]'s explain
+//! surface, the server's query log, `/metrics`, and the `/debug/top`
+//! offender table.
+
+/// Work counters for one search request. All counts are exact, not sampled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostLedger {
+    /// Raw posting entries fetched from the inverted index (phrase keywords
+    /// count every term's list — the entries the intersection walks over).
+    pub postings_scanned: u64,
+    /// Posting entries dropped by the tombstone mask (0 on a fresh index).
+    pub tombstone_masked: u64,
+    /// Heap operations of the k-way merge: each surviving entry is pushed
+    /// and popped exactly once, so this is 2 × the merged input size.
+    pub heap_ops: u64,
+    /// Candidate-update steps of the statistics sweep: the sum over `SL`
+    /// entries of the active candidate stack size (§4.2's sweep cost).
+    pub sweep_advances: u64,
+    /// Distinct nodes statistics were computed for (LCP candidates ∪ their
+    /// LCEs) — the per-query rank workload.
+    pub rank_candidates: u64,
+    /// Attribute values examined by Deeper-Insight discovery (0 when DI is
+    /// off).
+    pub di_attrs: u64,
+    /// Result-cache lookups made on behalf of this request (server only).
+    pub cache_probes: u64,
+    /// Result-cache lookups that hit (server only).
+    pub cache_hits: u64,
+    /// Bytes of the rendered (non-explain) response body (server/CLI only).
+    pub result_bytes: u64,
+    /// Per-keyword posting-list lengths after masking, in query keyword
+    /// order — what actually entered the merge.
+    pub per_keyword: Vec<u64>,
+}
+
+impl CostLedger {
+    /// Adds `other` into `self`, field-wise. Per-keyword lengths add
+    /// element-wise (the same query has the same keyword arity on every
+    /// shard, but a short vector is padded rather than trusted).
+    pub fn add(&mut self, other: &CostLedger) {
+        self.postings_scanned += other.postings_scanned;
+        self.tombstone_masked += other.tombstone_masked;
+        self.heap_ops += other.heap_ops;
+        self.sweep_advances += other.sweep_advances;
+        self.rank_candidates += other.rank_candidates;
+        self.di_attrs += other.di_attrs;
+        self.cache_probes += other.cache_probes;
+        self.cache_hits += other.cache_hits;
+        self.result_bytes += other.result_bytes;
+        if self.per_keyword.len() < other.per_keyword.len() {
+            self.per_keyword.resize(other.per_keyword.len(), 0);
+        }
+        for (slot, v) in self.per_keyword.iter_mut().zip(&other.per_keyword) {
+            *slot += v;
+        }
+    }
+
+    /// Scalar work total used to rank queries against each other (the
+    /// `/debug/top` offender table and the loadgen work summary): the
+    /// algorithmic counters, excluding cache and byte bookkeeping.
+    pub fn total_work(&self) -> u64 {
+        self.postings_scanned
+            + self.heap_ops
+            + self.sweep_advances
+            + self.rank_candidates
+            + self.di_attrs
+    }
+
+    /// Appends the ledger as a deterministic JSON object (field order fixed,
+    /// integers only — safe for byte-identity assertions).
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"postings_scanned\":{},\"tombstone_masked\":{},\"heap_ops\":{},\
+             \"sweep_advances\":{},\"rank_candidates\":{},\"di_attrs\":{},\
+             \"cache_probes\":{},\"cache_hits\":{},\"result_bytes\":{},\"per_keyword\":[",
+            self.postings_scanned,
+            self.tombstone_masked,
+            self.heap_ops,
+            self.sweep_advances,
+            self.rank_candidates,
+            self.di_attrs,
+            self.cache_probes,
+            self.cache_hits,
+            self.result_bytes,
+        );
+        for (i, n) in self.per_keyword.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{n}");
+        }
+        out.push_str("]}");
+    }
+
+    /// The `x-gks-cost` header value: a compact `key=value;…` summary of the
+    /// scalar counters (no per-keyword detail — that lives in the explain
+    /// body).
+    pub fn summary_header(&self) -> String {
+        format!(
+            "postings={};masked={};heap={};advances={};candidates={};di={};bytes={}",
+            self.postings_scanned,
+            self.tombstone_masked,
+            self.heap_ops,
+            self.sweep_advances,
+            self.rank_candidates,
+            self.di_attrs,
+            self.result_bytes,
+        )
+    }
+
+    /// Parses a [`CostLedger::summary_header`] value back into the scalar
+    /// counters (per-keyword stays empty). Returns `None` on any malformed
+    /// field — used by `gks loadgen` to fold response headers into its work
+    /// summary.
+    pub fn parse_summary_header(value: &str) -> Option<CostLedger> {
+        let mut ledger = CostLedger::default();
+        for part in value.split(';') {
+            let (key, v) = part.split_once('=')?;
+            let n: u64 = v.trim().parse().ok()?;
+            match key.trim() {
+                "postings" => ledger.postings_scanned = n,
+                "masked" => ledger.tombstone_masked = n,
+                "heap" => ledger.heap_ops = n,
+                "advances" => ledger.sweep_advances = n,
+                "candidates" => ledger.rank_candidates = n,
+                "di" => ledger.di_attrs = n,
+                "bytes" => ledger.result_bytes = n,
+                _ => return None,
+            }
+        }
+        Some(ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostLedger {
+        CostLedger {
+            postings_scanned: 10,
+            tombstone_masked: 2,
+            heap_ops: 16,
+            sweep_advances: 7,
+            rank_candidates: 3,
+            di_attrs: 4,
+            cache_probes: 1,
+            cache_hits: 0,
+            result_bytes: 120,
+            per_keyword: vec![5, 3],
+        }
+    }
+
+    #[test]
+    fn add_is_field_wise() {
+        let mut a = sample();
+        a.add(&sample());
+        assert_eq!(a.postings_scanned, 20);
+        assert_eq!(a.heap_ops, 32);
+        assert_eq!(a.per_keyword, vec![10, 6]);
+        // A wider addend grows the vector rather than losing lanes.
+        let mut b = CostLedger::default();
+        b.add(&sample());
+        assert_eq!(b.per_keyword, vec![5, 3]);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let mut out = String::new();
+        sample().write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"postings_scanned\":10,\"tombstone_masked\":2,\"heap_ops\":16,\
+             \"sweep_advances\":7,\"rank_candidates\":3,\"di_attrs\":4,\
+             \"cache_probes\":1,\"cache_hits\":0,\"result_bytes\":120,\"per_keyword\":[5,3]}"
+        );
+        let mut again = String::new();
+        sample().write_json(&mut again);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn summary_header_round_trips() {
+        let header = sample().summary_header();
+        let parsed = CostLedger::parse_summary_header(&header).expect("parses");
+        assert_eq!(parsed.postings_scanned, 10);
+        assert_eq!(parsed.sweep_advances, 7);
+        assert_eq!(parsed.result_bytes, 120);
+        assert!(parsed.per_keyword.is_empty(), "header carries scalars only");
+        assert!(CostLedger::parse_summary_header("postings=x").is_none());
+        assert!(CostLedger::parse_summary_header("bogus=1").is_none());
+    }
+
+    #[test]
+    fn total_work_excludes_cache_and_bytes() {
+        let l = sample();
+        assert_eq!(l.total_work(), 10 + 16 + 7 + 3 + 4);
+    }
+}

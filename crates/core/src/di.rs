@@ -86,6 +86,7 @@ pub struct DiAccumulator {
     include_repeating_text: bool,
     max_hits: usize,
     observed: usize,
+    attrs_evaluated: u64,
 }
 
 impl DiAccumulator {
@@ -102,7 +103,17 @@ impl DiAccumulator {
             include_repeating_text: options.include_repeating_text,
             max_hits: options.max_hits,
             observed: 0,
+            attrs_evaluated: 0,
         }
+    }
+
+    /// How many attribute-store entries [`observe`](Self::observe) has
+    /// inspected so far — the DI term of the request's
+    /// [`CostLedger`](crate::CostLedger). Counted per entry *considered*
+    /// (before the repeating-text and query-restating filters), so the
+    /// number reflects work done, not insights kept.
+    pub fn attrs_evaluated(&self) -> u64 {
+        self.attrs_evaluated
     }
 
     /// Feeds one hit, resolved against `index` via `node` — the hit's id in
@@ -121,6 +132,7 @@ impl DiAccumulator {
         let analyzer = index.analyzer();
         let entity_label = index.node_table().label_name(node).unwrap_or("?").to_string();
         for entry in index.attr_store().entries(node) {
+            self.attrs_evaluated += 1;
             if entry.source == AttrSource::RepeatingText && !self.include_repeating_text {
                 continue;
             }
@@ -167,12 +179,24 @@ impl DiAccumulator {
 
 /// Extracts DI from a response's LCE hits.
 pub fn discover_di(index: &GksIndex, response: &Response, options: &DiOptions) -> Vec<Insight> {
+    discover_di_counted(index, response, options).0
+}
+
+/// [`discover_di`] plus the number of attribute entries evaluated — the
+/// `di_attrs` term of the request's [`CostLedger`](crate::CostLedger).
+pub fn discover_di_counted(
+    index: &GksIndex,
+    response: &Response,
+    options: &DiOptions,
+) -> (Vec<Insight>, u64) {
     let _di_span = gks_trace::span(gks_trace::SpanKind::Di);
     let mut acc = DiAccumulator::new(response, options);
     for hit in response.hits() {
         acc.observe(index, hit, &hit.node);
     }
-    acc.finish()
+    let attrs = acc.attrs_evaluated();
+    gks_trace::annotate("di_attrs", attrs);
+    (acc.finish(), attrs)
 }
 
 /// One round of recursive DI.
@@ -325,6 +349,22 @@ mod tests {
         for kw in rounds[1].query.keywords() {
             assert!(first_values.contains(&kw.raw()));
         }
+    }
+
+    #[test]
+    fn di_counts_attribute_entries_evaluated() {
+        let ix = dblp_index();
+        let r = example2_response(&ix);
+        let (di, attrs) = discover_di_counted(&ix, &r, &DiOptions::default());
+        assert!(!di.is_empty());
+        // Every LCE hit carries at least title/journal-or-booktitle/year
+        // attribute entries, and evaluation counts filtered entries too, so
+        // the count strictly exceeds the kept-insight count.
+        assert!(attrs as usize >= di.len(), "{attrs} evaluated vs {} kept", di.len());
+        assert!(attrs > 0);
+        let q = Query::parse("zzznothing").unwrap();
+        let empty = search(&ix, &q, SearchOptions::with_s(1)).unwrap();
+        assert_eq!(discover_di_counted(&ix, &empty, &DiOptions::default()).1, 0);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`refine`] — query refinement suggestions (§6.1);
 //! * [`analytics`] — response analytics: group-bys and facets over the
 //!   answer set (the paper's "analytics over raw XML data" future work);
+//! * [`cost`] — per-request work accounting: the [`cost::CostLedger`]
+//!   every response carries and the explain surfaces render;
 //! * [`wire`] — the deterministic JSON wire format shared by the CLI's
 //!   `--json` mode and the `gks-serve` HTTP endpoints;
 //! * [`json`] — the matching JSON reader used by round-trip tests and the
@@ -32,6 +34,7 @@
 
 pub mod analytics;
 pub mod chunk;
+pub mod cost;
 pub mod di;
 pub mod engine;
 pub mod error;
@@ -47,12 +50,13 @@ pub mod window;
 pub mod wire;
 
 pub use analytics::{AnalyticsOptions, ResponseAnalytics};
+pub use cost::CostLedger;
 pub use di::{DiOptions, Insight};
 pub use engine::Engine;
 pub use error::QueryError;
 pub use query::Query;
 pub use search::{Hit, HitKind, Response, SearchOptions, Threshold};
 pub use shard::{
-    discover_di_sharded, load_manifest_engines, merge_responses, sharded_search,
-    sharded_search_mapped, DocMap, ShardedResponse,
+    discover_di_sharded, discover_di_sharded_counted, load_manifest_engines, merge_responses,
+    sharded_search, sharded_search_mapped, DocMap, ShardedResponse,
 };

@@ -15,6 +15,15 @@ use gks_dewey::DeweyId;
 /// found at it.
 pub type SlEntry = (DeweyId, u8);
 
+/// [`merge_posting_lists`] plus the heap-operation count for the cost
+/// ledger: every input entry is pushed and popped exactly once, so the
+/// count is `2 × Σ|list|` — a deterministic function of the inputs, equal
+/// to the actual number of `BinaryHeap` operations performed.
+pub fn merge_posting_lists_counted(lists: Vec<Vec<DeweyId>>) -> (Vec<SlEntry>, u64) {
+    let heap_ops: u64 = lists.iter().map(|l| 2 * l.len() as u64).sum();
+    (merge_posting_lists(lists), heap_ops)
+}
+
 /// Merges the per-keyword lists (each already document-ordered) into `SL`.
 pub fn merge_posting_lists(lists: Vec<Vec<DeweyId>>) -> Vec<SlEntry> {
     let total: usize = lists.iter().map(Vec::len).sum();
@@ -67,6 +76,17 @@ mod tests {
         let sl = merge_posting_lists(vec![a, b]);
         assert_eq!(sl.len(), 2);
         assert_eq!(sl[0].0, sl[1].0);
+    }
+
+    #[test]
+    fn counted_merge_reports_two_ops_per_entry() {
+        let a = vec![d(&[0, 0]), d(&[2])];
+        let b = vec![d(&[0, 1]), d(&[1]), d(&[3])];
+        let plain = merge_posting_lists(vec![a.clone(), b.clone()]);
+        let (sl, heap_ops) = merge_posting_lists_counted(vec![a, b]);
+        assert_eq!(sl, plain, "counting wrapper changes nothing");
+        assert_eq!(heap_ops, 10, "5 entries × (push + pop)");
+        assert_eq!(merge_posting_lists_counted(vec![]).1, 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use gks_dewey::DeweyId;
 use gks_index::GksIndex;
 
+use crate::cost::CostLedger;
 use crate::query::Keyword;
 
 /// The document-ordered list of nodes matching `keyword`, empty if any term
@@ -27,6 +28,32 @@ pub fn keyword_postings_masked(index: &GksIndex, dead: &[u32], keyword: &Keyword
         return list;
     }
     list.into_iter().filter(|id| dead.binary_search(&id.doc().0).is_err()).collect()
+}
+
+/// [`keyword_postings_masked`] with cost accounting folded into `ledger`:
+/// `postings_scanned` grows by the raw posting entries fetched (every term's
+/// list for a phrase), `tombstone_masked` by the entries the mask dropped,
+/// and `per_keyword` gains one lane holding the surviving list length. All
+/// three are deterministic functions of the index and the keyword, so the
+/// counts obey the same shard-sum and mask-equivalence laws as the answers.
+pub fn keyword_postings_counted(
+    index: &GksIndex,
+    dead: &[u32],
+    keyword: &Keyword,
+    ledger: &mut CostLedger,
+) -> Vec<DeweyId> {
+    ledger.postings_scanned +=
+        keyword.terms().iter().map(|t| index.postings(t).len() as u64).sum::<u64>();
+    let raw = raw_keyword_postings(index, keyword);
+    let raw_len = raw.len() as u64;
+    let list: Vec<DeweyId> = if dead.is_empty() {
+        raw
+    } else {
+        raw.into_iter().filter(|id| dead.binary_search(&id.doc().0).is_err()).collect()
+    };
+    ledger.tombstone_masked += raw_len - list.len() as u64;
+    ledger.per_keyword.push(list.len() as u64);
+    list
 }
 
 fn raw_keyword_postings(index: &GksIndex, keyword: &Keyword) -> Vec<DeweyId> {
@@ -124,6 +151,28 @@ mod tests {
         let q = crate::query::Query::parse(r#""Peter Nosuch""#).unwrap();
         let kw = &q.normalized(ix.analyzer())[0];
         assert!(keyword_postings(&ix, kw).is_empty());
+    }
+
+    #[test]
+    fn counted_postings_track_scans_and_mask_drops() {
+        let xml = "<r><a>ka</a><a>ka</a><a>kb</a></r>";
+        let corpus = Corpus::from_named_strs([("d", xml)]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let q = crate::query::Query::parse("ka").unwrap();
+        let kw = &q.normalized(ix.analyzer())[0];
+        let mut ledger = crate::cost::CostLedger::default();
+        let list = keyword_postings_counted(&ix, &[], kw, &mut ledger);
+        assert_eq!(list, keyword_postings(&ix, kw));
+        assert_eq!(ledger.postings_scanned, 2);
+        assert_eq!(ledger.tombstone_masked, 0);
+        assert_eq!(ledger.per_keyword, vec![2]);
+        // Masking the whole document drops every entry — and counts it.
+        let mut masked = crate::cost::CostLedger::default();
+        let none = keyword_postings_counted(&ix, &[0], kw, &mut masked);
+        assert!(none.is_empty());
+        assert_eq!(masked.postings_scanned, 2);
+        assert_eq!(masked.tombstone_masked, 2);
+        assert_eq!(masked.per_keyword, vec![0]);
     }
 
     #[test]

@@ -24,11 +24,12 @@ use gks_index::GksIndex;
 use gks_trace::{span, SpanKind};
 use serde::{Deserialize, Serialize};
 
+use crate::cost::CostLedger;
 use crate::error::QueryError;
-use crate::merge::merge_posting_lists;
-use crate::postlist::keyword_postings_masked;
+use crate::merge::merge_posting_lists_counted;
+use crate::postlist::keyword_postings_counted;
 use crate::query::{Keyword, Query};
-use crate::sweep::sweep;
+use crate::sweep::sweep_counted;
 use crate::window::lcp_candidates;
 
 /// How the minimum keyword count `s` is chosen for a query.
@@ -173,6 +174,8 @@ pub struct Response {
     missing: Vec<usize>,
     /// Per-stage counters and timings.
     trace: SearchTrace,
+    /// Work performed: the per-request resource ledger.
+    cost: CostLedger,
 }
 
 impl Response {
@@ -211,6 +214,18 @@ impl Response {
         &self.trace
     }
 
+    /// The work this search performed, in index-and-query-determined units
+    /// (see [`crate::cost`]).
+    pub fn cost(&self) -> &CostLedger {
+        &self.cost
+    }
+
+    /// Mutable ledger access, for layers above the engine (DI discovery,
+    /// cache probes, rendered bytes) to fold their own work in.
+    pub fn cost_mut(&mut self) -> &mut CostLedger {
+        &mut self.cost
+    }
+
     /// The highest keyword count among hits (the paper's "Max keywords in a
     /// GKS node", Table 7).
     pub fn max_keyword_count(&self) -> u32 {
@@ -222,6 +237,7 @@ impl Response {
     /// happens here: `hits` must already be sorted by the final comparator
     /// (rank desc, keyword count desc, document order) and truncated to the
     /// caller's limit.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         keywords: Vec<Keyword>,
         s: usize,
@@ -230,8 +246,9 @@ impl Response {
         elapsed_micros: u64,
         missing: Vec<usize>,
         trace: SearchTrace,
+        cost: CostLedger,
     ) -> Response {
-        Response { keywords, s, hits, sl_len, elapsed_micros, missing, trace }
+        Response { keywords, s, hits, sl_len, elapsed_micros, missing, trace, cost }
     }
 }
 
@@ -260,6 +277,7 @@ pub fn search_masked(
 ) -> Result<Response, QueryError> {
     let search_span = span(SpanKind::Search);
     let mut trace = SearchTrace::default();
+    let mut cost = CostLedger::default();
 
     let parse_span = span(SpanKind::Parse);
     let keywords = query.normalized(index.analyzer());
@@ -273,12 +291,18 @@ pub fn search_masked(
 
     // 1.–2. Posting lists, merged into SL.
     let postings_span = span(SpanKind::Postings);
-    let lists: Vec<Vec<DeweyId>> =
-        keywords.iter().map(|k| keyword_postings_masked(index, dead, k)).collect();
+    let lists: Vec<Vec<DeweyId>> = keywords
+        .iter()
+        .map(|k| keyword_postings_counted(index, dead, k, &mut cost))
+        .collect();
     let missing: Vec<usize> =
         lists.iter().enumerate().filter(|(_, l)| l.is_empty()).map(|(i, _)| i).collect();
-    let sl = merge_posting_lists(lists);
+    let (sl, heap_ops) = merge_posting_lists_counted(lists);
+    cost.heap_ops = heap_ops;
     let sl_len = sl.len();
+    gks_trace::annotate("postings_scanned", cost.postings_scanned);
+    gks_trace::annotate("tombstone_masked", cost.tombstone_masked);
+    gks_trace::annotate("heap_ops", cost.heap_ops);
     trace.merge_micros = postings_span.elapsed_micros();
     drop(postings_span);
 
@@ -305,7 +329,11 @@ pub fn search_masked(
     stat_nodes.sort_unstable();
     stat_nodes.dedup();
     let pre_sweep_micros = sweep_span.elapsed_micros();
-    let stats = sweep(index, &sl, &stat_nodes, n);
+    let (stats, advances) = sweep_counted(index, &sl, &stat_nodes, n);
+    cost.sweep_advances = advances;
+    cost.rank_candidates = stat_nodes.len() as u64;
+    gks_trace::annotate("sweep_advances", cost.sweep_advances);
+    gks_trace::annotate("rank_candidates", cost.rank_candidates);
     trace.sweep_micros = sweep_span.elapsed_micros().saturating_sub(pre_sweep_micros);
     trace.lce_nodes = lce_set.len();
     drop(sweep_span);
@@ -407,6 +435,7 @@ pub fn search_masked(
         elapsed_micros: search_span.elapsed_micros(),
         missing,
         trace,
+        cost,
     })
 }
 
@@ -594,6 +623,25 @@ mod tests {
         opts.limit = 2;
         let r = search(&ix, &Query::parse("ka kb kc kd").unwrap(), opts).unwrap();
         assert_eq!(r.hits().len(), 2);
+    }
+
+    #[test]
+    fn cost_ledger_counts_the_pipeline_work() {
+        let ix = fig1();
+        let r = run(&ix, "ka kb kc kd", 2);
+        let c = r.cost();
+        assert_eq!(c.per_keyword.len(), 4, "one lane per keyword");
+        // Plain keywords, no mask: scans equal surviving lengths, and every
+        // scanned entry is pushed and popped once by the merge.
+        assert_eq!(c.postings_scanned, c.per_keyword.iter().sum::<u64>());
+        assert_eq!(c.heap_ops, 2 * r.sl_len() as u64);
+        assert_eq!(c.tombstone_masked, 0);
+        assert!(c.sweep_advances >= r.sl_len() as u64, "every entry hits ≥1 candidate here");
+        assert!(c.rank_candidates > 0);
+        // Engine-level ledgers know nothing of caches, DI, or rendering.
+        assert_eq!(c.cache_probes, 0);
+        assert_eq!(c.di_attrs, 0);
+        assert_eq!(c.result_bytes, 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use gks_dewey::{DeweyId, DocId};
 use gks_index::{GksIndex, IndexError, ShardManifest, DEAD_DOC};
 use gks_trace::{span, SpanKind};
 
+use crate::cost::CostLedger;
 use crate::di::{DiAccumulator, DiOptions, Insight};
 use crate::engine::Engine;
 use crate::error::QueryError;
@@ -105,6 +106,9 @@ pub struct ShardedResponse {
     origins: Vec<usize>,
     /// Local→global document renumbering of each shard, by shard ordinal.
     doc_maps: Vec<DocMap>,
+    /// Each shard's own cost ledger, by shard ordinal (the merged response
+    /// carries their sum).
+    shard_costs: Vec<CostLedger>,
 }
 
 impl ShardedResponse {
@@ -112,6 +116,13 @@ impl ShardedResponse {
     /// ranked exactly as the unsharded engine would rank them.
     pub fn response(&self) -> &Response {
         &self.response
+    }
+
+    /// Mutable access to the merged response — the server folds
+    /// request-level cost (DI attributes, cache probes, rendered bytes)
+    /// into the gathered ledger through this.
+    pub fn response_mut(&mut self) -> &mut Response {
+        &mut self.response
     }
 
     /// The shard ordinal that produced hit `i` (0 for out-of-range `i`).
@@ -136,6 +147,13 @@ impl ShardedResponse {
     /// Number of shards that contributed to the scatter.
     pub fn fan_out(&self) -> usize {
         self.doc_maps.len()
+    }
+
+    /// Each shard's own cost ledger, in shard order — the per-shard
+    /// breakdown the explain surface renders. Their field-wise sum is the
+    /// merged response's ledger.
+    pub fn shard_costs(&self) -> &[CostLedger] {
+        &self.shard_costs
     }
 }
 
@@ -177,6 +195,8 @@ pub fn merge_responses(
     let mut sl_len = 0usize;
     let mut elapsed_micros = 0u64;
     let mut trace = SearchTrace::default();
+    let mut cost = CostLedger::default();
+    let mut shard_costs = Vec::with_capacity(shard_count);
     for (_, r) in &answers {
         for &i in r.missing_keyword_indices() {
             if let Some(c) = missing_counts.get_mut(i) {
@@ -197,6 +217,11 @@ pub fn merge_responses(
         trace.window_micros += t.window_micros;
         trace.sweep_micros += t.sweep_micros;
         trace.assemble_micros += t.assemble_micros;
+        // Every ledger counter is a per-document sum and shards partition
+        // the documents, so the gathered ledger is the plain field-wise sum
+        // — and equals the unsharded engine's ledger exactly.
+        cost.add(r.cost());
+        shard_costs.push(r.cost().clone());
     }
     let missing: Vec<usize> = missing_counts
         .iter()
@@ -228,8 +253,9 @@ pub fn merge_responses(
         hits.push(hit);
         origins.push(ordinal);
     }
-    let response = Response::from_parts(keywords, s, hits, sl_len, elapsed_micros, missing, trace);
-    Ok(ShardedResponse { response, origins, doc_maps })
+    let response =
+        Response::from_parts(keywords, s, hits, sl_len, elapsed_micros, missing, trace, cost);
+    Ok(ShardedResponse { response, origins, doc_maps, shard_costs })
 }
 
 /// Runs a sharded search sequentially: one search per shard engine, then a
@@ -300,6 +326,18 @@ pub fn discover_di_sharded(
     sharded: &ShardedResponse,
     options: &DiOptions,
 ) -> Vec<Insight> {
+    discover_di_sharded_counted(shards, sharded, options).0
+}
+
+/// [`discover_di_sharded`] plus the number of attribute entries evaluated —
+/// the `di_attrs` term of the request's [`CostLedger`]. Hits are observed in
+/// the same global rank order as the unsharded pipeline, so the count equals
+/// [`crate::di::discover_di_counted`]'s on the equivalent monolithic engine.
+pub fn discover_di_sharded_counted(
+    shards: &[&GksIndex],
+    sharded: &ShardedResponse,
+    options: &DiOptions,
+) -> (Vec<Insight>, u64) {
     let _di_span = span(SpanKind::Di);
     let mut acc = DiAccumulator::new(sharded.response(), options);
     for (i, hit) in sharded.response().hits().iter().enumerate() {
@@ -308,7 +346,9 @@ pub fn discover_di_sharded(
             acc.observe(index, hit, &local);
         }
     }
-    acc.finish()
+    let attrs = acc.attrs_evaluated();
+    gks_trace::annotate("di_attrs", attrs);
+    (acc.finish(), attrs)
 }
 
 #[cfg(test)]
@@ -428,6 +468,27 @@ mod tests {
             assert_eq!(g.path, e.path);
             assert_eq!(g.support, e.support);
             assert!((g.weight - e.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gathered_ledger_equals_unsharded_ledger() {
+        let c = corpus();
+        let whole = Engine::build(&c, IndexOptions::default()).unwrap();
+        let query = Query::parse("karen alex").unwrap();
+        let options = SearchOptions { s: Threshold::Fixed(1), limit: usize::MAX };
+        let expected = whole.search(&query, options).unwrap();
+        for shards in [2, 3] {
+            let parts = split_corpus(&c, shards);
+            let engines = engines_for(&parts);
+            let refs: Vec<&Engine> = engines.iter().collect();
+            let merged = sharded_search(&refs, &bases_for(&parts), &query, options).unwrap();
+            assert_eq!(merged.response().cost(), expected.cost(), "{shards} shards");
+            let mut summed = CostLedger::default();
+            for ledger in merged.shard_costs() {
+                summed.add(ledger);
+            }
+            assert_eq!(&summed, merged.response().cost(), "shard ledgers sum to the gather");
         }
     }
 

@@ -56,6 +56,21 @@ pub fn sweep(
     nodes: &[DeweyId],
     n_keywords: usize,
 ) -> Vec<NodeStats> {
+    sweep_counted(index, sl, nodes, n_keywords).0
+}
+
+/// [`sweep`] plus the advance count for the cost ledger: the sum over `SL`
+/// entries of the active candidate stack size — each unit is one
+/// candidate-update step (mask join + terminal check), the dominant term of
+/// the §4.2 sweep cost. The stack only ever holds ancestors of the current
+/// entry, so the count is a per-document quantity and sums exactly across
+/// shards of a document-partitioned corpus.
+pub fn sweep_counted(
+    index: &GksIndex,
+    sl: &[SlEntry],
+    nodes: &[DeweyId],
+    n_keywords: usize,
+) -> (Vec<NodeStats>, u64) {
     debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes sorted+deduped");
     let n_nodes = nodes.len();
     let mut mask = vec![0u64; n_nodes];
@@ -66,6 +81,7 @@ pub fn sweep(
 
     let mut stack: Vec<usize> = Vec::new();
     let mut next_node = 0usize;
+    let mut advances = 0u64;
 
     // Reciprocal child-count products along the current entry's root path:
     // prods[t] = Π_{u<t} 1/children(prefix of depth u), so the product from a
@@ -103,6 +119,7 @@ pub fn sweep(
             update_prods(index, &mut prods, prev_entry.as_ref(), entry);
             prev_entry = Some(entry.clone());
             let d_entry = entry.depth();
+            advances += stack.len() as u64;
             for &idx in &stack {
                 mask[idx] |= 1 << kw;
                 let d_node = nodes[idx].depth();
@@ -133,7 +150,7 @@ pub fn sweep(
         }
     }
 
-    (0..n_nodes)
+    let stats = (0..n_nodes)
         .map(|i| {
             let sum: f64 = prod_sum[i * n_keywords..(i + 1) * n_keywords].iter().sum();
             let p = mask[i].count_ones() as f64;
@@ -144,7 +161,8 @@ pub fn sweep(
                 witnessed: witnessed[i],
             }
         })
-        .collect()
+        .collect();
+    (stats, advances)
 }
 
 /// Refreshes the prefix-product vector for a new entry, reusing the shared
@@ -274,6 +292,30 @@ mod tests {
         // Both masks are full nonetheless.
         assert_eq!(stats[0].mask, 0b11);
         assert_eq!(stats[1].mask, 0b11);
+    }
+
+    #[test]
+    fn advance_count_sums_active_stack_sizes() {
+        let ix = fig1_index();
+        let sl = sl_for(&ix, &["ka", "kd"]);
+        // Candidates root, x2, x5: every entry updates the root; entries
+        // inside x2 / x5 update two candidates.
+        let nodes = [d(&[]), d(&[0, 4]), d(&[1, 2])];
+        let (stats, advances) = sweep_counted(&ix, &sl, &nodes, 2);
+        assert_eq!(stats.len(), 3);
+        let mut expected = 0u64;
+        for (entry, _) in &sl {
+            expected += nodes.iter().filter(|n| n.is_ancestor_or_self(entry)).count() as u64;
+        }
+        assert_eq!(advances, expected);
+        assert!(advances > sl.len() as u64, "nested candidates multi-count");
+        // The counting wrapper must not perturb the statistics.
+        let plain = sweep(&ix, &sl, &nodes, 2);
+        assert_eq!(plain.len(), stats.len());
+        for (a, b) in plain.iter().zip(&stats) {
+            assert_eq!(a.mask, b.mask);
+            assert_eq!(a.rank, b.rank);
+        }
     }
 
     #[test]

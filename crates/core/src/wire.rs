@@ -15,6 +15,7 @@
 
 use std::fmt::Write as _;
 
+use crate::cost::CostLedger;
 use crate::di::Insight;
 use crate::engine::Engine;
 use crate::refine::Refinement;
@@ -139,6 +140,67 @@ fn write_search_response(
     push_json_str_array(&mut out, missing);
     out.push('}');
     out
+}
+
+/// The explain variant of [`search_response_json`]: the same body with a
+/// cost breakdown appended (see [`append_cost_explain`]).
+pub fn search_response_json_explained(engine: &Engine, response: &Response) -> String {
+    let mut out = search_response_json(engine, response);
+    append_cost_explain(&mut out, response, &[]);
+    out
+}
+
+/// The explain variant of [`search_response_json_sharded`]: the sharded body
+/// plus the gathered cost breakdown and one per-shard ledger each.
+pub fn search_response_json_sharded_explained(
+    shards: &[&Engine],
+    sharded: &ShardedResponse,
+) -> String {
+    let mut out = search_response_json_sharded(shards, sharded);
+    append_cost_explain(&mut out, sharded.response(), sharded.shard_costs());
+    out
+}
+
+/// Splices the `explain=1` cost breakdown into an already-rendered search
+/// body: three fields appended before the closing brace —
+///
+/// ```json
+/// ,"cost":{"postings_scanned":9,…,"per_keyword":[4,5]},
+///  "cost_keywords":[{"keyword":"karen","postings":4},…],
+///  "shard_costs":[{…},{…}]
+/// ```
+///
+/// `cost_keywords` pairs each keyword spelling with its (masked) posting-list
+/// length; `shard_costs` carries one ledger per shard in shard order (empty
+/// for unsharded runs). Cost counters are work counts, not timings, so the
+/// explain body stays deterministic — the gathered `"cost"` object on a
+/// sharded run is byte-identical to the unsharded engine's (the shard-sum
+/// property [`CostLedger::add`] documents), which the equivalence proptests
+/// assert.
+pub fn append_cost_explain(out: &mut String, response: &Response, shard_costs: &[CostLedger]) {
+    let closing = out.pop();
+    debug_assert_eq!(closing, Some('}'), "explain splices into a rendered JSON object");
+    let cost = response.cost();
+    out.push_str(",\"cost\":");
+    cost.write_json(out);
+    out.push_str(",\"cost_keywords\":[");
+    for (i, keyword) in response.keywords().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"keyword\":");
+        push_json_str(out, keyword.raw());
+        let postings = cost.per_keyword.get(i).copied().unwrap_or(0);
+        let _ = write!(out, ",\"postings\":{postings}}}");
+    }
+    out.push_str("],\"shard_costs\":[");
+    for (i, shard) in shard_costs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        shard.write_json(out);
+    }
+    out.push_str("]}");
 }
 
 /// Serializes refinement suggestions plus their DI as one deterministic JSON
@@ -340,6 +402,25 @@ mod tests {
         assert!(j1.contains("\"path\":[\"courses\",\"course\"]"), "{j1}");
         // No timing field: determinism is the cache's correctness argument.
         assert!(!j1.contains("micros"), "{j1}");
+    }
+
+    #[test]
+    fn explain_body_extends_the_plain_body() {
+        let e = engine();
+        let q = Query::parse("karen mike").unwrap();
+        let r = e.search(&q, SearchOptions::with_s(2)).unwrap();
+        let plain = search_response_json(&e, &r);
+        let explained = search_response_json_explained(&e, &r);
+        // The explain body is the plain body plus appended cost fields — a
+        // strict superset, so non-explain consumers are unaffected.
+        assert!(explained.starts_with(plain.trim_end_matches('}')), "{explained}");
+        assert!(explained.contains("\"cost\":{\"postings_scanned\":"), "{explained}");
+        assert!(explained.contains("\"cost_keywords\":[{\"keyword\":\"karen\",\"postings\":"));
+        assert!(explained.ends_with("\"shard_costs\":[]}"), "{explained}");
+        // Still no timing field: cost counters are work, not wall-clock.
+        assert!(!explained.contains("micros"), "{explained}");
+        let again = search_response_json_explained(&e, &r);
+        assert_eq!(explained, again, "explain bodies are deterministic");
     }
 
     #[test]

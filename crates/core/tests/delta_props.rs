@@ -149,6 +149,27 @@ proptest! {
             rounds.len(),
             shards
         );
+
+        // Cost equivalence modulo masking: the work that survives the
+        // tombstone mask is identical to the rebuild's — per-keyword
+        // surviving posting counts, heap ops (2× survivors), sweep
+        // advances, and rank candidates all agree exactly. Only the raw
+        // scan counters legitimately differ: base+delta shards fetch (and
+        // then mask) dead postings the rebuild never stores, so
+        // `postings_scanned` ≥ the rebuild's and the excess is precisely
+        // `tombstone_masked`.
+        let got_cost = merged.response().cost();
+        let want_cost = expected.cost();
+        prop_assert_eq!(&got_cost.per_keyword, &want_cost.per_keyword);
+        prop_assert_eq!(got_cost.heap_ops, want_cost.heap_ops);
+        prop_assert_eq!(got_cost.sweep_advances, want_cost.sweep_advances);
+        prop_assert_eq!(got_cost.rank_candidates, want_cost.rank_candidates);
+        prop_assert_eq!(want_cost.tombstone_masked, 0, "a rebuild has no tombstones");
+        prop_assert_eq!(
+            got_cost.postings_scanned - got_cost.tombstone_masked,
+            want_cost.postings_scanned,
+            "masked-out postings are exactly the scan excess"
+        );
         fs::remove_dir_all(&root).ok();
     }
 }

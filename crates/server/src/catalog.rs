@@ -59,6 +59,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use gks_core::engine::Engine;
 use gks_core::shard::DocMap;
+use gks_core::CostLedger;
 use gks_index::delta::{commit_delta, compact, wall_clock_ms, CommitStats, CompactStats};
 use gks_index::{GksIndex, ShardManifest};
 use gks_trace::{CompletedTrace, Histogram, SpanKind};
@@ -199,6 +200,12 @@ pub struct IndexCounters {
     pub compaction_millis_total: AtomicU64,
     /// Per-phase latency histograms, in [`SpanKind::PHASES`] order.
     pub phases: [Histogram; PHASE_COUNT],
+    /// Summed cost-ledger counters across this index's engine runs.
+    pub cost: CostCounters,
+    /// Distribution of postings scanned per engine run.
+    pub work_postings: Histogram,
+    /// Distribution of sweep advances per engine run.
+    pub work_advances: Histogram,
 }
 
 impl IndexCounters {
@@ -214,6 +221,62 @@ impl IndexCounters {
             compactions_total: AtomicU64::new(0),
             compaction_millis_total: AtomicU64::new(0),
             phases: [EMPTY; PHASE_COUNT],
+            cost: CostCounters::new(),
+            work_postings: EMPTY,
+            work_advances: EMPTY,
+        }
+    }
+}
+
+/// Lock-free accumulators for the per-request [`CostLedger`] counters —
+/// one `fetch_add` per field per engine run, snapshotted for `/metrics`.
+/// `per_keyword` is request-shaped and is not aggregated here.
+#[derive(Debug)]
+pub struct CostCounters {
+    postings_scanned: AtomicU64,
+    tombstone_masked: AtomicU64,
+    heap_ops: AtomicU64,
+    sweep_advances: AtomicU64,
+    rank_candidates: AtomicU64,
+    di_attrs: AtomicU64,
+    result_bytes: AtomicU64,
+}
+
+impl CostCounters {
+    fn new() -> CostCounters {
+        CostCounters {
+            postings_scanned: AtomicU64::new(0),
+            tombstone_masked: AtomicU64::new(0),
+            heap_ops: AtomicU64::new(0),
+            sweep_advances: AtomicU64::new(0),
+            rank_candidates: AtomicU64::new(0),
+            di_attrs: AtomicU64::new(0),
+            result_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds one request's ledger into the totals.
+    pub fn record(&self, ledger: &CostLedger) {
+        self.postings_scanned.fetch_add(ledger.postings_scanned, Ordering::Relaxed);
+        self.tombstone_masked.fetch_add(ledger.tombstone_masked, Ordering::Relaxed);
+        self.heap_ops.fetch_add(ledger.heap_ops, Ordering::Relaxed);
+        self.sweep_advances.fetch_add(ledger.sweep_advances, Ordering::Relaxed);
+        self.rank_candidates.fetch_add(ledger.rank_candidates, Ordering::Relaxed);
+        self.di_attrs.fetch_add(ledger.di_attrs, Ordering::Relaxed);
+        self.result_bytes.fetch_add(ledger.result_bytes, Ordering::Relaxed);
+    }
+
+    /// Point-in-time totals as a ledger (with an empty `per_keyword`).
+    pub fn snapshot(&self) -> CostLedger {
+        CostLedger {
+            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
+            tombstone_masked: self.tombstone_masked.load(Ordering::Relaxed),
+            heap_ops: self.heap_ops.load(Ordering::Relaxed),
+            sweep_advances: self.sweep_advances.load(Ordering::Relaxed),
+            rank_candidates: self.rank_candidates.load(Ordering::Relaxed),
+            di_attrs: self.di_attrs.load(Ordering::Relaxed),
+            result_bytes: self.result_bytes.load(Ordering::Relaxed),
+            ..CostLedger::default()
         }
     }
 }
@@ -799,6 +862,15 @@ impl ResidentIndex {
         Ok(stats)
     }
 
+    /// Folds one engine run's cost ledger into this index's totals and
+    /// work-per-query histograms. Cache hits do no engine work and are
+    /// never recorded here.
+    pub fn record_cost(&self, ledger: &CostLedger) {
+        self.counters.cost.record(ledger);
+        self.counters.work_postings.record(ledger.postings_scanned);
+        self.counters.work_advances.record(ledger.sweep_advances);
+    }
+
     /// Folds the phase spans of a completed request trace into this index's
     /// per-phase histograms.
     pub fn record_phases(&self, trace: &CompletedTrace) {
@@ -829,6 +901,9 @@ impl ResidentIndex {
             compactions_total: self.counters.compactions_total.load(Ordering::Relaxed),
             compaction_millis_total: self.counters.compaction_millis_total.load(Ordering::Relaxed),
             phases: &self.counters.phases,
+            cost: self.counters.cost.snapshot(),
+            work_postings: &self.counters.work_postings,
+            work_advances: &self.counters.work_advances,
         }
     }
 }

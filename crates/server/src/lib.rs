@@ -52,10 +52,20 @@
 //!   restart and without a dropped request; `gks_index_freshness_seconds`
 //!   tracks the corpus-to-serving lag.
 //!
+//! * **cost accounting** — every engine run carries a
+//!   [`gks_core::CostLedger`] of the work it did (postings scanned, heap
+//!   ops, sweep advances, …). `?explain=1` splices the per-phase /
+//!   per-shard breakdown into the response body and adds an `x-gks-cost`
+//!   summary header; `/metrics` exposes `gks_cost_*` totals and
+//!   work-per-query histograms per index; the query log gains a `cost`
+//!   field; and `GET /debug/top?n=` serves a rolling top-K
+//!   most-expensive-query table ([`topk`]).
+//!
 //! Endpoints: `GET /search`, `GET /suggest`, `GET /doctor`, `GET /healthz`,
-//! `GET /metrics`, `GET /debug/traces`, `POST /admin/reload`,
-//! `POST /admin/compact` — each of the first three also under an
-//! `/ix/<name>/` prefix. See [`ServeState::handle`] for parameters.
+//! `GET /metrics`, `GET /debug/traces`, `GET /debug/top`,
+//! `POST /admin/reload`, `POST /admin/compact` — each of the first three
+//! also under an `/ix/<name>/` prefix. See [`ServeState::handle`] for
+//! parameters.
 
 pub mod cache;
 pub mod catalog;
@@ -67,6 +77,7 @@ pub mod metrics;
 pub mod pool;
 pub mod qlog;
 pub mod signal;
+pub mod topk;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -323,6 +334,7 @@ impl ServeState {
             Endpoint::Metrics => HttpResponse::text(200, self.render_metrics()),
             Endpoint::Doctor => self.handle_doctor(route.index.as_deref(), resident),
             Endpoint::DebugTraces => self.handle_debug_traces(request),
+            Endpoint::DebugTop => self.handle_debug_top(request, route.index.as_deref()),
             Endpoint::Search => self.handle_query(request, accepted_at, false, resident),
             Endpoint::Suggest => self.handle_query(request, accepted_at, true, resident),
             Endpoint::AdminReload | Endpoint::AdminCompact | Endpoint::Other => {
@@ -447,6 +459,20 @@ impl ServeState {
         HttpResponse::json(200, body)
     }
 
+    /// `GET /debug/top?n=` — renders the rolling top-K most-expensive-query
+    /// table (default 10 rows) as deterministic JSON, most work first.
+    /// Under an `/ix/<name>/` prefix only that index's entries are listed.
+    fn handle_debug_top(&self, request: &Request, route_index: Option<&str>) -> HttpResponse {
+        let n = match request.param("n") {
+            None => 10,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return HttpResponse::error(400, &format!("bad n value {v:?}")),
+            },
+        };
+        HttpResponse::json(200, self.metrics.top_queries.render_json(n, route_index))
+    }
+
     /// Remaining budget before `accepted_at + deadline`, or `None` if the
     /// deadline already passed.
     fn budget_left(&self, accepted_at: Instant) -> Option<Duration> {
@@ -488,6 +514,16 @@ impl ServeState {
         };
         record.status = response.status;
         record.micros = request_span.elapsed_micros();
+        // Engine runs (cache hits and errors carry no ledger) feed the
+        // per-index cost totals and the top-K offender table.
+        if let Some(cost) = &record.cost {
+            resident.record_cost(cost);
+            self.metrics.top_queries.record(
+                resident.name(),
+                &topk::normalize_query(&record.query),
+                cost.total_work(),
+            );
+        }
         drop(request_span);
         // The root span just closed on this thread; its completed tree (if
         // tracing is on and the root was sampled) is waiting in the
@@ -530,7 +566,8 @@ impl ServeState {
                 _ => return Err(HttpResponse::error(400, &format!("bad limit value {v:?}"))),
             },
         };
-        Ok(QueryParams { query, s, s_raw: s_raw.to_string(), limit })
+        let explain = matches!(request.param("explain"), Some("1") | Some("true"));
+        Ok(QueryParams { query, s, s_raw: s_raw.to_string(), limit, explain })
     }
 
     /// The query pipeline proper: parameter parsing, cache lookup, deadline
@@ -576,7 +613,7 @@ impl ServeState {
             return self.deadline_abort();
         }
         let options = SearchOptions { s, limit };
-        let response = match loaded.engine.search(query, options) {
+        let mut response = match loaded.engine.search(query, options) {
             Ok(r) => r,
             Err(e) => return HttpResponse::error(400, &format!("search failed: {e}")),
         };
@@ -589,8 +626,13 @@ impl ServeState {
             return self.deadline_abort();
         }
         let render_span = gks_trace::span(SpanKind::Render);
-        let body = if suggest {
-            let di = loaded.engine.discover_di(&response, &DiOptions::default());
+        let mut body = if suggest {
+            let (di, di_attrs) = gks_core::di::discover_di_counted(
+                loaded.engine.index(),
+                &response,
+                &DiOptions::default(),
+            );
+            response.cost_mut().di_attrs = di_attrs;
             let refinement = loaded.engine.refine(&response, &di);
             wire::suggest_response_json(&response, &refinement, &di)
         } else {
@@ -600,13 +642,32 @@ impl ServeState {
         if self.budget_left(accepted_at).is_none() {
             return self.deadline_abort();
         }
+        // An engine run implies the cache was probed and missed (hits return
+        // above). `result_bytes` is the plain body — the explain splice is
+        // accounting, not payload.
+        {
+            let cost = response.cost_mut();
+            if self.config.cache_bytes > 0 {
+                cost.cache_probes = 1;
+            }
+            cost.result_bytes = body.len() as u64;
+        }
+        if params.explain && !suggest {
+            wire::append_cost_explain(&mut body, &response, &[]);
+        }
+        record.cost = Some(response.cost().clone());
         if self.config.cache_bytes > 0 {
             // Tagged with the snapshot identity, not the live one: if a swap
             // landed mid-request this entry is already stale and must stay
             // invisible to post-swap readers.
             resident.cache().put_for(key, Arc::from(body.as_bytes()), loaded.identity);
         }
-        HttpResponse::json(200, body).with_header("x-gks-cache", "miss".to_string())
+        let http = HttpResponse::json(200, body).with_header("x-gks-cache", "miss".to_string());
+        if params.explain {
+            http.with_header("x-gks-cost", response.cost().summary_header())
+        } else {
+            http
+        }
     }
 
     /// The sharded query pipeline: scatter the query over every shard of
@@ -730,7 +791,7 @@ impl ServeState {
             // Gather: lossless merge — exact re-sort by (rank, keyword
             // count, Dewey order), re-truncate, DI keyword re-aggregation.
             let gather_span = gks_trace::span(SpanKind::Gather);
-            let merged = match gks_core::merge_responses(answers, params.limit) {
+            let mut merged = match gks_core::merge_responses(answers, params.limit) {
                 Ok(merged) => merged,
                 Err(e) => return HttpResponse::error(400, &format!("gather failed: {e}")),
             };
@@ -746,9 +807,11 @@ impl ServeState {
             let Some(first_engine) = engines.first() else {
                 return HttpResponse::error(500, "sharded index has no shards");
             };
-            let body = if suggest {
+            let mut body = if suggest {
                 let indexes: Vec<&GksIndex> = engines.iter().map(|e| e.index()).collect();
-                let di = gks_core::discover_di_sharded(&indexes, &merged, &DiOptions::default());
+                let (di, di_attrs) =
+                    gks_core::discover_di_sharded_counted(&indexes, &merged, &DiOptions::default());
+                merged.response_mut().cost_mut().di_attrs = di_attrs;
                 let refinement = first_engine.refine(merged.response(), &di);
                 wire::suggest_response_json(merged.response(), &refinement, &di)
             } else {
@@ -758,13 +821,31 @@ impl ServeState {
             if self.budget_left(accepted_at).is_none() {
                 return self.deadline_abort();
             }
+            // Mirror of the unsharded path: the probe missed (hits return
+            // above), and `result_bytes` is the plain merged body.
+            {
+                let cost = merged.response_mut().cost_mut();
+                if self.config.cache_bytes > 0 {
+                    cost.cache_probes = 1;
+                }
+                cost.result_bytes = body.len() as u64;
+            }
+            if params.explain && !suggest {
+                wire::append_cost_explain(&mut body, merged.response(), merged.shard_costs());
+            }
+            record.cost = Some(merged.response().cost().clone());
             if self.config.cache_bytes > 0 {
                 resident.cache().put_for(key, Arc::from(body.as_bytes()), set.identity);
             }
-            return HttpResponse::json(200, body)
+            let http = HttpResponse::json(200, body)
                 .with_header("x-gks-cache", "miss".to_string())
                 .with_header("x-gks-shards", shard_total.to_string())
                 .with_header("x-gks-gather-micros", gather_micros.to_string());
+            return if params.explain {
+                http.with_header("x-gks-cost", merged.response().cost().summary_header())
+            } else {
+                http
+            };
         }
         // Unreachable: both loop iterations return on every path; the
         // second never takes the `continue` branch.
@@ -779,12 +860,14 @@ struct QueryParams {
     s: Threshold,
     s_raw: String,
     limit: usize,
+    explain: bool,
 }
 
 /// The normalized cache key: endpoint + parsed keywords (whitespace
-/// collapsed by the parser) + s + limit. Raw keyword spellings are kept —
-/// they are echoed in the response body, so they are part of the cached
-/// bytes' identity.
+/// collapsed by the parser) + s + limit + explain. Raw keyword spellings
+/// are kept — they are echoed in the response body, so they are part of
+/// the cached bytes' identity; `explain` changes the body (the spliced
+/// cost breakdown), so it is part of the key too.
 fn cache_key(suggest: bool, params: &QueryParams) -> String {
     use std::fmt::Write as _;
     let mut key = String::with_capacity(params.s_raw.len() + 24);
@@ -797,6 +880,8 @@ fn cache_key(suggest: bool, params: &QueryParams) -> String {
     key.push_str(&params.s_raw);
     key.push('\u{2}');
     let _ = write!(key, "{}", params.limit);
+    key.push('\u{2}');
+    key.push(if params.explain { '1' } else { '0' });
     key
 }
 
@@ -1120,6 +1205,53 @@ mod tests {
         assert_eq!(hdr(&second).as_deref(), Some("hit"));
         assert_eq!(state.metrics.cache_hits_total.load(Ordering::Relaxed), 1);
         assert_eq!(state.metrics.cache_misses_total.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn explain_splices_cost_and_feeds_the_sinks() {
+        let state = ServeState::new(small_engine(), ServeConfig::default()).unwrap();
+        let plain = get(&state, "/search?q=twig+joins&s=1");
+        let explained = get(&state, "/search?q=twig+joins&s=1&explain=1");
+        assert_eq!(explained.status, 200);
+        let plain_body = String::from_utf8(plain.body).unwrap();
+        let body = String::from_utf8(explained.body).unwrap();
+        // Strict superset: the explain splice extends the plain body.
+        assert!(body.starts_with(plain_body.trim_end_matches('}')), "{body}");
+        assert!(body.contains("\"cost\":{\"postings_scanned\":"), "{body}");
+        assert!(body.contains("\"cost_keywords\":[{\"keyword\":\"twig\""), "{body}");
+        assert!(body.ends_with("\"shard_costs\":[]}"), "unsharded breakdown is empty: {body}");
+        let summary = explained
+            .headers
+            .iter()
+            .find(|(k, _)| *k == "x-gks-cost")
+            .map(|(_, v)| v.clone())
+            .expect("x-gks-cost behind explain=1");
+        let ledger = gks_core::CostLedger::parse_summary_header(&summary).unwrap();
+        assert!(ledger.postings_scanned > 0 && ledger.result_bytes > 0, "{summary}");
+        assert_eq!(ledger.result_bytes as usize, plain_body.len(), "plain body is the payload");
+        assert!(
+            !plain.headers.iter().any(|(k, _)| *k == "x-gks-cost"),
+            "header gated on explain"
+        );
+        // Both keys cache independently and replay their own bytes.
+        let replay = get(&state, "/search?q=twig+joins&s=1&explain=1");
+        assert_eq!(String::from_utf8(replay.body).unwrap(), body);
+        // The engine runs fed the per-index cost counters and the top-K table.
+        let metrics = get(&state, "/metrics");
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(
+            metrics::metric_value(&text, "gks_cost_postings_scanned_total{index=\"default\"}")
+                .is_some_and(|v| v > 0),
+            "{text}"
+        );
+        assert!(
+            metrics::metric_value(&text, "gks_cost_postings_per_query_count{index=\"default\"}")
+                .is_some_and(|v| v >= 2),
+            "{text}"
+        );
+        let top = get(&state, "/debug/top");
+        let top_body = String::from_utf8(top.body).unwrap();
+        assert!(top_body.contains("\"query\":\"twig joins\""), "{top_body}");
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub struct LoadgenConfig {
     /// Catalog indexes to spread traffic over, weighted. Empty = bare
     /// `/search` (the server's default index).
     pub targets: Vec<IndexTarget>,
+    /// Send `explain=1` and collect the per-response `x-gks-cost` summary,
+    /// so the report can put work per query next to QPS.
+    pub explain: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -101,6 +104,7 @@ impl Default for LoadgenConfig {
             timeout: Duration::from_secs(5),
             pacing: Pacing::Closed,
             targets: Vec::new(),
+            explain: false,
         }
     }
 }
@@ -164,6 +168,10 @@ pub struct LoadReport {
     /// via `x-gks-gather-micros`. Cache hits skip the gather, so this only
     /// samples real scatter/gather rounds.
     pub gather_micros: Vec<u64>,
+    /// Sorted postings-scanned-per-query samples from `x-gks-cost`
+    /// summaries (`--explain` runs only). Cache hits replay cached bytes
+    /// without the header, so this samples actual engine work.
+    pub work_postings: Vec<u64>,
 }
 
 impl LoadReport {
@@ -198,6 +206,11 @@ impl LoadReport {
     /// Exact `q`-quantile of the recorded gather times (sharded), in µs.
     pub fn gather_percentile(&self, q: f64) -> u64 {
         Self::exact_quantile(&self.gather_micros, q)
+    }
+
+    /// Exact `q`-quantile of postings scanned per query (`--explain` runs).
+    pub fn work_percentile(&self, q: f64) -> u64 {
+        Self::exact_quantile(&self.work_postings, q)
     }
 
     fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
@@ -249,6 +262,18 @@ impl LoadReport {
                 for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
                     let _ = writeln!(out, "gather {label}        {}us", self.gather_percentile(q));
                 }
+            }
+        }
+        if !self.work_postings.is_empty() {
+            // Work beside QPS: a bench leg that got faster by scanning less
+            // (cache, pruning) reads differently from one that got faster
+            // per posting.
+            for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
+                let _ = writeln!(
+                    out,
+                    "work {label}          {} postings/query",
+                    self.work_percentile(q)
+                );
             }
         }
         out
@@ -318,6 +343,7 @@ struct SharedTallies {
     sharded: AtomicU64,
     fanout_max: AtomicU64,
     gather_micros: std::sync::Mutex<Vec<u64>>,
+    work_postings: std::sync::Mutex<Vec<u64>>,
 }
 
 /// Weighted pick over the configured index targets. Empty targets → `None`
@@ -356,9 +382,10 @@ fn issue(
         None => String::new(),
     };
     let target = format!(
-        "{prefix}/search?q={}&s={}",
+        "{prefix}/search?q={}&s={}{}",
         percent_encode(&entry.query),
-        percent_encode(&entry.s)
+        percent_encode(&entry.s),
+        if config.explain { "&explain=1" } else { "" }
     );
     match http_get(config.addr, &target, config.timeout) {
         Ok(response) => {
@@ -383,6 +410,16 @@ fn issue(
             {
                 if let Ok(mut samples) = tallies.gather_micros.lock() {
                     samples.push(gather);
+                }
+            }
+            // Engine runs under --explain report their cost summary; cache
+            // hits have no header, so work samples only cover real work.
+            if let Some(ledger) = response
+                .header("x-gks-cost")
+                .and_then(gks_core::CostLedger::parse_summary_header)
+            {
+                if let Ok(mut samples) = tallies.work_postings.lock() {
+                    samples.push(ledger.postings_scanned);
                 }
             }
             Some(micros)
@@ -414,6 +451,9 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
     let mut gather_micros =
         tallies.gather_micros.lock().map(|samples| samples.clone()).unwrap_or_default();
     gather_micros.sort_unstable();
+    let mut work_postings =
+        tallies.work_postings.lock().map(|samples| samples.clone()).unwrap_or_default();
+    work_postings.sort_unstable();
     LoadReport {
         total,
         ok: tallies.ok.load(Ordering::Relaxed),
@@ -427,6 +467,7 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
         sharded: tallies.sharded.load(Ordering::Relaxed),
         fanout_max: tallies.fanout_max.load(Ordering::Relaxed),
         gather_micros,
+        work_postings,
     }
 }
 
@@ -628,6 +669,7 @@ mod tests {
             sharded: 0,
             fanout_max: 0,
             gather_micros: Vec::new(),
+            work_postings: Vec::new(),
         };
         assert_eq!(report.percentile(0.5), 20);
         assert_eq!(report.percentile(0.99), 40);
@@ -654,12 +696,37 @@ mod tests {
             sharded: 0,
             fanout_max: 0,
             gather_micros: Vec::new(),
+            work_postings: Vec::new(),
         };
         assert_eq!(report.send_lag_percentile(0.5), 5);
         assert_eq!(report.send_lag_percentile(0.99), 250);
         let text = report.render();
         assert!(text.contains("send lag p50"), "{text}");
         assert!(text.contains("send lag max      250us"), "{text}");
+    }
+
+    #[test]
+    fn explain_report_includes_work_summary() {
+        let report = LoadReport {
+            total: 3,
+            ok: 3,
+            client_errors: 0,
+            server_errors: 0,
+            transport_errors: 0,
+            cache_hits: 0,
+            elapsed: Duration::from_secs(1),
+            latencies_micros: vec![100, 200, 300],
+            send_lags_micros: Vec::new(),
+            sharded: 0,
+            fanout_max: 0,
+            gather_micros: Vec::new(),
+            work_postings: vec![4, 9, 120],
+        };
+        assert_eq!(report.work_percentile(0.5), 9);
+        assert_eq!(report.work_percentile(0.99), 120);
+        let text = report.render();
+        assert!(text.contains("work p50          9 postings/query"), "{text}");
+        assert!(text.contains("work p99          120 postings/query"), "{text}");
     }
 
     #[test]
@@ -677,6 +744,7 @@ mod tests {
             sharded: 3,
             fanout_max: 4,
             gather_micros: vec![7, 11],
+            work_postings: Vec::new(),
         };
         assert_eq!(report.gather_percentile(0.5), 7);
         assert_eq!(report.gather_percentile(0.99), 11);

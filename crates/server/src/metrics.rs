@@ -9,17 +9,24 @@
 //! nanoseconds to the request path. Quantiles are derived from cumulative
 //! bucket counts: the reported value is the upper bound of the bucket
 //! containing the target rank, i.e. an over-estimate by at most one bucket
-//! width. A histogram with **zero samples** renders its quantiles as the
-//! sentinel `-1` — never a bucket bound, never `NaN` — so dashboards can
-//! distinguish "no traffic" from "sub-50µs traffic".
+//! width. A histogram with **zero samples** never renders a bucket bound or
+//! `NaN`: the legacy request-scale families (`gks_latency_micros`,
+//! `gks_shard_fanout`, `gks_shard_straggler_micros`, the maintenance
+//! histograms) keep their historical `-1` sentinel, while the per-phase and
+//! cost families **omit** their quantile lines entirely and rely on the
+//! always-present `_count` (plus `gks_phase_samples_total`) to distinguish
+//! "no traffic" from "sub-50µs traffic" — see the wire-format note in
+//! DESIGN.md.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use gks_core::CostLedger;
 use gks_trace::SpanKind;
 pub use gks_trace::{Histogram, LATENCY_BOUNDS_MICROS};
 
 use crate::cache::CacheStats;
 use crate::catalog::PHASE_COUNT;
+use crate::topk::TopQueries;
 
 /// The endpoints the service distinguishes in its counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +43,8 @@ pub enum Endpoint {
     Metrics,
     /// `GET /debug/traces`
     DebugTraces,
+    /// `GET /debug/top`
+    DebugTop,
     /// `POST /admin/reload`
     AdminReload,
     /// `POST /admin/compact`
@@ -45,7 +54,7 @@ pub enum Endpoint {
 }
 
 /// Number of distinct [`Endpoint`] variants.
-const ENDPOINT_COUNT: usize = 9;
+const ENDPOINT_COUNT: usize = 10;
 
 impl Endpoint {
     /// Classifies a request path.
@@ -57,6 +66,7 @@ impl Endpoint {
             "/healthz" => Endpoint::Healthz,
             "/metrics" => Endpoint::Metrics,
             "/debug/traces" => Endpoint::DebugTraces,
+            "/debug/top" => Endpoint::DebugTop,
             "/admin/reload" => Endpoint::AdminReload,
             "/admin/compact" => Endpoint::AdminCompact,
             _ => Endpoint::Other,
@@ -70,6 +80,7 @@ impl Endpoint {
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::DebugTraces,
+        Endpoint::DebugTop,
         Endpoint::AdminReload,
         Endpoint::AdminCompact,
         Endpoint::Other,
@@ -83,6 +94,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::DebugTraces => "debug_traces",
+            Endpoint::DebugTop => "debug_top",
             Endpoint::AdminReload => "admin_reload",
             Endpoint::AdminCompact => "admin_compact",
             Endpoint::Other => "other",
@@ -97,9 +109,10 @@ impl Endpoint {
             Endpoint::Healthz => 3,
             Endpoint::Metrics => 4,
             Endpoint::DebugTraces => 5,
-            Endpoint::AdminReload => 6,
-            Endpoint::AdminCompact => 7,
-            Endpoint::Other => 8,
+            Endpoint::DebugTop => 6,
+            Endpoint::AdminReload => 7,
+            Endpoint::AdminCompact => 8,
+            Endpoint::Other => 9,
         }
     }
 }
@@ -142,6 +155,8 @@ pub struct Metrics {
     /// Scatters abandoned (503) because the retry also raced a reload —
     /// mixed-generation answers are never merged.
     pub shard_mixed_generation_total: AtomicU64,
+    /// Rolling top-K most-expensive-query table (`GET /debug/top?n=`).
+    pub top_queries: TopQueries,
 }
 
 /// Point-in-time view of one catalog index for `/metrics` rendering —
@@ -185,6 +200,13 @@ pub struct IndexMetricsView<'a> {
     pub compaction_millis_total: u64,
     /// Per-phase latency histograms, in `SpanKind::PHASES` order.
     pub phases: &'a [Histogram; PHASE_COUNT],
+    /// Summed cost ledgers of this index's engine runs (cache hits do no
+    /// engine work and are excluded; `per_keyword` is not aggregated).
+    pub cost: CostLedger,
+    /// Distribution of postings scanned per engine run.
+    pub work_postings: &'a Histogram,
+    /// Distribution of sweep advances per engine run.
+    pub work_advances: &'a Histogram,
 }
 
 /// The quantiles `/metrics` reports for every histogram.
@@ -201,6 +223,25 @@ fn write_quantile(out: &mut String, name: &str, labels: &str, q_label: &str, val
             let _ = writeln!(out, "{name}{{{labels}quantile=\"{q_label}\"}} -1");
         }
     }
+}
+
+/// Appends one labeled histogram as quantile lines plus `_sum`/`_count`.
+/// Unlike the legacy `-1` sentinel, quantile lines are **omitted** entirely
+/// at zero samples — the always-present `_count` (and, for engine phases,
+/// `gks_phase_samples_total`) distinguishes "no traffic" from "fast
+/// traffic" without a nonstandard negative sample (wire-format note in
+/// DESIGN.md). `labels` must be a non-empty label block ending in `,`.
+fn write_sampled_histogram(out: &mut String, name: &str, labels: &str, hist: &Histogram) {
+    use std::fmt::Write as _;
+    let count = hist.count();
+    if count > 0 {
+        for (q, label) in QUANTILES {
+            write_quantile(out, name, labels, label, hist.quantile(q));
+        }
+    }
+    let bare = labels.trim_end_matches(',');
+    let _ = writeln!(out, "{name}_sum{{{bare}}} {}", hist.sum());
+    let _ = writeln!(out, "{name}_count{{{bare}}} {count}");
 }
 
 impl Metrics {
@@ -301,27 +342,15 @@ impl Metrics {
         // Per-phase engine latency, aggregated by gks-trace across every
         // span of that kind recorded process-wide (CLI-triggered searches
         // included, though in the server they all come from requests).
+        // Quantile lines are omitted at zero samples; the samples counter
+        // below is the "did this phase run at all" signal.
         for kind in SpanKind::PHASES {
             let hist = gks_trace::histogram(kind);
             let labels = format!("phase=\"{}\",", kind.label());
-            for (q, label) in QUANTILES {
-                write_quantile(
-                    &mut out,
-                    "gks_phase_latency_micros",
-                    &labels,
-                    label,
-                    hist.quantile(q),
-                );
-            }
+            write_sampled_histogram(&mut out, "gks_phase_latency_micros", &labels, hist);
             let _ = writeln!(
                 out,
-                "gks_phase_latency_micros_sum{{phase=\"{}\"}} {}",
-                kind.label(),
-                hist.sum()
-            );
-            let _ = writeln!(
-                out,
-                "gks_phase_latency_micros_count{{phase=\"{}\"}} {}",
+                "gks_phase_samples_total{{phase=\"{}\"}} {}",
                 kind.label(),
                 hist.count()
             );
@@ -426,30 +455,35 @@ impl Metrics {
             for (i, kind) in SpanKind::PHASES.iter().enumerate() {
                 let hist = &view.phases[i];
                 let labels = format!("index=\"{}\",phase=\"{}\",", view.name, kind.label());
-                for (q, label) in QUANTILES {
-                    write_quantile(
-                        &mut out,
-                        "gks_index_phase_latency_micros",
-                        &labels,
-                        label,
-                        hist.quantile(q),
-                    );
-                }
-                let _ = writeln!(
-                    out,
-                    "gks_index_phase_latency_micros_sum{{index=\"{}\",phase=\"{}\"}} {}",
-                    view.name,
-                    kind.label(),
-                    hist.sum()
-                );
-                let _ = writeln!(
-                    out,
-                    "gks_index_phase_latency_micros_count{{index=\"{}\",phase=\"{}\"}} {}",
-                    view.name,
-                    kind.label(),
-                    hist.count()
-                );
+                write_sampled_histogram(&mut out, "gks_index_phase_latency_micros", &labels, hist);
             }
+            // Per-index cost accounting: total engine work (cache hits do
+            // no engine work and are excluded) plus work-per-query
+            // distributions, all pure counters — never wall-clock.
+            for (name, v) in [
+                ("gks_cost_postings_scanned_total", view.cost.postings_scanned),
+                ("gks_cost_tombstone_masked_total", view.cost.tombstone_masked),
+                ("gks_cost_heap_ops_total", view.cost.heap_ops),
+                ("gks_cost_sweep_advances_total", view.cost.sweep_advances),
+                ("gks_cost_rank_candidates_total", view.cost.rank_candidates),
+                ("gks_cost_di_attrs_total", view.cost.di_attrs),
+                ("gks_cost_result_bytes_total", view.cost.result_bytes),
+            ] {
+                let _ = writeln!(out, "{name}{{index=\"{}\"}} {v}", view.name);
+            }
+            let labels = format!("index=\"{}\",", view.name);
+            write_sampled_histogram(
+                &mut out,
+                "gks_cost_postings_per_query",
+                &labels,
+                view.work_postings,
+            );
+            write_sampled_histogram(
+                &mut out,
+                "gks_cost_advances_per_query",
+                &labels,
+                view.work_advances,
+            );
         }
         out
     }
@@ -497,6 +531,10 @@ mod tests {
         let cache = CacheStats { entries: 2, bytes: 400, capacity: 1000 };
         let phases = empty_phases();
         phases[1].record(250); // postings
+        let work_postings = Histogram::new();
+        let work_advances = Histogram::new();
+        work_postings.record(9);
+        work_advances.record(31);
         let view = IndexMetricsView {
             name: "dblp",
             cache,
@@ -515,6 +553,18 @@ mod tests {
             compactions_total: 1,
             compaction_millis_total: 250,
             phases: &phases,
+            cost: CostLedger {
+                postings_scanned: 9,
+                tombstone_masked: 2,
+                heap_ops: 18,
+                sweep_advances: 31,
+                rank_candidates: 6,
+                di_attrs: 4,
+                result_bytes: 512,
+                ..CostLedger::default()
+            },
+            work_postings: &work_postings,
+            work_advances: &work_advances,
         };
         let text = m.render(&[view]);
         assert_eq!(metric_value(&text, "gks_requests_total"), Some(3));
@@ -550,6 +600,27 @@ mod tests {
             ),
             Some(1)
         );
+        // Cost families: per-index work totals and per-query distributions.
+        assert_eq!(metric_value(&text, "gks_cost_postings_scanned_total{index=\"dblp\"}"), Some(9));
+        assert_eq!(metric_value(&text, "gks_cost_tombstone_masked_total{index=\"dblp\"}"), Some(2));
+        assert_eq!(metric_value(&text, "gks_cost_heap_ops_total{index=\"dblp\"}"), Some(18));
+        assert_eq!(metric_value(&text, "gks_cost_sweep_advances_total{index=\"dblp\"}"), Some(31));
+        assert_eq!(metric_value(&text, "gks_cost_rank_candidates_total{index=\"dblp\"}"), Some(6));
+        assert_eq!(metric_value(&text, "gks_cost_di_attrs_total{index=\"dblp\"}"), Some(4));
+        assert_eq!(metric_value(&text, "gks_cost_result_bytes_total{index=\"dblp\"}"), Some(512));
+        assert_eq!(
+            metric_value(&text, "gks_cost_postings_per_query_count{index=\"dblp\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            metric_value(&text, "gks_cost_postings_per_query{index=\"dblp\",quantile=\"0.5\"}"),
+            Some(10),
+            "9 postings land in the ≤10 bucket"
+        );
+        assert_eq!(
+            metric_value(&text, "gks_cost_advances_per_query_sum{index=\"dblp\"}"),
+            Some(31)
+        );
         assert_eq!(metric_value(&text, "gks_nope"), None);
     }
 
@@ -558,6 +629,7 @@ mod tests {
         let m = Metrics::default();
         let phases_a = empty_phases();
         let phases_b = empty_phases();
+        let empty_work = Histogram::new();
         let a = IndexMetricsView {
             name: "a",
             cache: CacheStats { entries: 1, bytes: 100, capacity: 500 },
@@ -576,6 +648,9 @@ mod tests {
             compactions_total: 0,
             compaction_millis_total: 0,
             phases: &phases_a,
+            cost: CostLedger::default(),
+            work_postings: &empty_work,
+            work_advances: &empty_work,
         };
         let b = IndexMetricsView {
             name: "b",
@@ -595,6 +670,9 @@ mod tests {
             compactions_total: 2,
             compaction_millis_total: 40,
             phases: &phases_b,
+            cost: CostLedger::default(),
+            work_postings: &empty_work,
+            work_advances: &empty_work,
         };
         let text = m.render(&[a, b]);
         // Globals aggregate the per-index caches; the bare identity is the
@@ -632,20 +710,19 @@ mod tests {
     fn per_phase_lines_are_exposed() {
         let m = Metrics::default();
         let text = m.render(&[]);
+        // Phase quantile lines are *omitted* at zero samples (no `-1`
+        // sentinel for this family); `_count` and the explicit samples
+        // counter are always present. The global trace histograms are
+        // process-wide shared state, so other tests may have recorded into
+        // them — assert only the unconditional lines here.
         for phase in ["parse", "postings", "sweep", "rank", "di", "scatter", "gather"] {
-            for q in ["0.5", "0.95", "0.99"] {
-                let name =
-                    format!("gks_phase_latency_micros{{phase=\"{phase}\",quantile=\"{q}\"}}");
-                assert!(
-                    metric_value(&text, &name).is_some(),
-                    "missing per-phase quantile line {name}"
-                );
-            }
             let count = format!("gks_phase_latency_micros_count{{phase=\"{phase}\"}}");
             assert!(metric_value(&text, &count).is_some(), "missing {count}");
+            let samples = format!("gks_phase_samples_total{{phase=\"{phase}\"}}");
+            assert!(metric_value(&text, &samples).is_some(), "missing {samples}");
         }
         // Shard fan-out lines exist even with zero samples (the -1 sentinel
-        // pattern extends to the scatter/gather metrics).
+        // pattern is kept for the legacy scatter/gather families).
         assert_eq!(metric_value(&text, "gks_shard_fanout{quantile=\"0.5\"}"), Some(-1));
         assert_eq!(metric_value(&text, "gks_shard_straggler_micros{quantile=\"0.99\"}"), Some(-1));
         assert_eq!(metric_value(&text, "gks_shard_retries_total"), Some(0));
@@ -653,8 +730,78 @@ mod tests {
     }
 
     #[test]
+    fn per_index_phase_quantiles_omitted_until_sampled() {
+        let m = Metrics::default();
+        let phases = empty_phases();
+        let empty_work = Histogram::new();
+        let mut view = IndexMetricsView {
+            name: "dblp",
+            cache: CacheStats { entries: 0, bytes: 0, capacity: 0 },
+            identity: 1,
+            shard_count: 1,
+            requests_total: 0,
+            cache_hits_total: 0,
+            cache_misses_total: 0,
+            cache_admitted_total: 0,
+            cache_rejected_total: 0,
+            reloads_total: 0,
+            delta_shards: 0,
+            delta_docs: 0,
+            freshness_seconds: -1,
+            delta_commits_total: 0,
+            compactions_total: 0,
+            compaction_millis_total: 0,
+            phases: &phases,
+            cost: CostLedger::default(),
+            work_postings: &empty_work,
+            work_advances: &empty_work,
+        };
+        let text = m.render(std::slice::from_ref(&view));
+        // Zero samples: no quantile lines, but _count and cost counters exist.
+        assert!(
+            !text.contains(
+                "gks_index_phase_latency_micros{index=\"dblp\",phase=\"sweep\",quantile="
+            ),
+            "zero-sample per-index quantiles must be omitted:\n{text}"
+        );
+        assert_eq!(
+            metric_value(
+                &text,
+                "gks_index_phase_latency_micros_count{index=\"dblp\",phase=\"sweep\"}"
+            ),
+            Some(0)
+        );
+        assert!(
+            !text.contains("gks_cost_postings_per_query{index=\"dblp\",quantile="),
+            "zero-sample work quantiles must be omitted:\n{text}"
+        );
+        // One sample: the quantile lines appear.
+        let sampled = empty_phases();
+        sampled[2].record(123); // sweep
+        let work = Histogram::new();
+        work.record(42);
+        view.phases = &sampled;
+        view.work_postings = &work;
+        let text = m.render(std::slice::from_ref(&view));
+        assert!(
+            metric_value(
+                &text,
+                "gks_index_phase_latency_micros{index=\"dblp\",phase=\"sweep\",quantile=\"0.5\"}"
+            )
+            .is_some_and(|v| v > 0),
+            "sampled per-index quantiles must appear:\n{text}"
+        );
+        assert!(
+            metric_value(&text, "gks_cost_postings_per_query{index=\"dblp\",quantile=\"0.5\"}")
+                .is_some(),
+            "sampled work quantiles must appear:\n{text}"
+        );
+    }
+
+    #[test]
     fn debug_traces_endpoint_classifies() {
         assert_eq!(Endpoint::of_path("/debug/traces"), Endpoint::DebugTraces);
+        assert_eq!(Endpoint::of_path("/debug/top"), Endpoint::DebugTop);
         assert_eq!(Endpoint::of_path("/debug/other"), Endpoint::Other);
         assert_eq!(Endpoint::of_path("/admin/reload"), Endpoint::AdminReload);
         assert_eq!(Endpoint::of_path("/admin/compact"), Endpoint::AdminCompact);

@@ -20,6 +20,7 @@ use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use gks_core::wire::push_json_str;
+use gks_core::CostLedger;
 use gks_trace::{CompletedTrace, SpanKind};
 
 /// An append-only JSONL sink shared by worker threads.
@@ -80,6 +81,9 @@ pub struct QueryRecord {
     pub hits: Option<usize>,
     /// |SL| of the search (engine runs only).
     pub sl_len: Option<usize>,
+    /// The request's cost ledger (engine runs only; `None` for cache hits
+    /// and errors) — the work half of the canonical wide event.
+    pub cost: Option<CostLedger>,
 }
 
 impl QueryRecord {
@@ -96,6 +100,7 @@ impl QueryRecord {
             cached: false,
             hits: None,
             sl_len: None,
+            cost: None,
         }
     }
 
@@ -132,6 +137,13 @@ impl QueryRecord {
                 let _ = write!(out, ",\"sl_len\":{n}");
             }
             None => out.push_str(",\"sl_len\":null"),
+        }
+        match &self.cost {
+            Some(cost) => {
+                out.push_str(",\"cost\":");
+                cost.write_json(&mut out);
+            }
+            None => out.push_str(",\"cost\":null"),
         }
         if let Some(trace) = trace {
             out.push_str(",\"trace\":");
@@ -176,11 +188,13 @@ mod tests {
                 label: None,
                 offset_micros: 0,
                 micros: 1500,
+                counters: Vec::new(),
                 children: vec![SpanNode {
                     kind: SpanKind::Search,
                     label: None,
                     offset_micros: 10,
                     micros: 1200,
+                    counters: Vec::new(),
                     children: Vec::new(),
                 }],
             },
@@ -198,13 +212,23 @@ mod tests {
         record.micros = 777;
         record.hits = Some(3);
         record.sl_len = Some(41);
+        record.cost = Some(CostLedger {
+            postings_scanned: 9,
+            heap_ops: 18,
+            per_keyword: vec![4, 5],
+            ..CostLedger::default()
+        });
         let line = record.to_json(None);
         let v = Json::parse(&line).expect("qlog line parses");
         for field in [
             "ts_ms", "endpoint", "index", "query", "s", "limit", "status", "micros", "cached",
+            "cost",
         ] {
             assert!(v.get(field).is_some(), "missing {field} in {line}");
         }
+        let cost = v.get("cost").expect("cost object");
+        assert_eq!(cost.get("postings_scanned").and_then(Json::as_u64), Some(9));
+        assert_eq!(cost.get("heap_ops").and_then(Json::as_u64), Some(18));
         assert_eq!(v.get("index").and_then(Json::as_str), Some("dblp"));
         assert_eq!(v.get("query").and_then(Json::as_str), Some("twig \"joins\"\nweird"));
         assert_eq!(v.get("status").and_then(Json::as_u64), Some(200));

@@ -1,0 +1,187 @@
+//! Rolling top-K most-expensive-query table, served by `GET /debug/top?n=`.
+//!
+//! Every engine run (cache hits do no engine work and are skipped) folds its
+//! [`CostLedger::total_work`](gks_core::CostLedger::total_work) into an
+//! entry keyed on `(index, normalized query)` — count, total work, max work.
+//! The table is deliberately **bounded** and **lock-cheap**: a single short
+//! mutex section per request over a small map (default 256 entries); when
+//! the map is full a new key evicts the entry with the least total work, so
+//! sustained offenders survive churn while one-off cheap queries age out.
+//! Eviction can under-count a genuinely expensive query that first appears
+//! while the table is full of heavier entries — acceptable for a debugging
+//! aid; exact accounting lives in the query log.
+//!
+//! Rendering is deterministic for a given table state: entries sort by
+//! total work descending, then count descending, then key ascending.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Default maximum number of distinct `(index, query)` entries tracked.
+pub const DEFAULT_TOP_CAPACITY: usize = 256;
+
+/// Aggregated cost of one normalized query on one index.
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    count: u64,
+    total_work: u64,
+    max_work: u64,
+}
+
+/// The bounded offender table. `Default` uses [`DEFAULT_TOP_CAPACITY`].
+#[derive(Debug)]
+pub struct TopQueries {
+    capacity: usize,
+    entries: Mutex<HashMap<(String, String), Entry>>,
+}
+
+impl Default for TopQueries {
+    fn default() -> TopQueries {
+        TopQueries::with_capacity(DEFAULT_TOP_CAPACITY)
+    }
+}
+
+/// Normalizes a raw `q` parameter into its table key: whitespace collapsed
+/// to single spaces, ASCII case folded — `" Twig  JOINS "` and
+/// `"twig joins"` aggregate into one entry.
+pub fn normalize_query(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for token in raw.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        for c in token.chars() {
+            out.push(c.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+impl TopQueries {
+    /// A table bounded to `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> TopQueries {
+        TopQueries { capacity: capacity.max(1), entries: Mutex::new(HashMap::new()) }
+    }
+
+    /// Folds one engine run into the table. `query` should already be
+    /// normalized ([`normalize_query`]).
+    pub fn record(&self, index: &str, query: &str, work: u64) {
+        let mut entries = gks_trace::lockorder::track(
+            "server/topk.entries",
+            self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        if let Some(entry) = entries.get_mut(&(index.to_string(), query.to_string())) {
+            entry.count += 1;
+            entry.total_work = entry.total_work.saturating_add(work);
+            entry.max_work = entry.max_work.max(work);
+            return;
+        }
+        if entries.len() >= self.capacity {
+            // Evict the least-total-work entry (ties broken by key so the
+            // choice is deterministic) to make room for the newcomer.
+            let victim = entries
+                .iter()
+                .min_by(|(ka, a), (kb, b)| a.total_work.cmp(&b.total_work).then_with(|| ka.cmp(kb)))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(
+            (index.to_string(), query.to_string()),
+            Entry { count: 1, total_work: work, max_work: work },
+        );
+    }
+
+    /// Renders the top `n` entries as one deterministic JSON object —
+    /// `{"top":[{"index":"dblp","query":"twig joins","count":3,
+    /// "total_work":120,"max_work":60},…]}` — ordered by total work
+    /// descending (count descending, then key ascending on ties). With
+    /// `index` set, only that index's entries are listed.
+    pub fn render_json(&self, n: usize, index: Option<&str>) -> String {
+        let mut rows: Vec<((String, String), Entry)> = {
+            let entries = gks_trace::lockorder::track(
+                "server/topk.entries",
+                self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            entries
+                .iter()
+                .filter(|((ix, _), _)| index.is_none_or(|want| want == ix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        rows.sort_by(|(ka, a), (kb, b)| {
+            b.total_work
+                .cmp(&a.total_work)
+                .then_with(|| b.count.cmp(&a.count))
+                .then_with(|| ka.cmp(kb))
+        });
+        rows.truncate(n);
+        let mut out = String::with_capacity(32 + rows.len() * 96);
+        out.push_str("{\"top\":[");
+        for (i, ((ix, query), entry)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"index\":");
+            gks_core::wire::push_json_str(&mut out, ix);
+            out.push_str(",\"query\":");
+            gks_core::wire::push_json_str(&mut out, query);
+            use std::fmt::Write as _;
+            let _ = write!(
+                out,
+                ",\"count\":{},\"total_work\":{},\"max_work\":{}}}",
+                entry.count, entry.total_work, entry.max_work
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace_and_case() {
+        assert_eq!(normalize_query("  Twig\t JOINS \n"), "twig joins");
+        assert_eq!(normalize_query("twig joins"), "twig joins");
+        assert_eq!(normalize_query(""), "");
+    }
+
+    #[test]
+    fn records_aggregate_and_render_sorted() {
+        let top = TopQueries::default();
+        top.record("dblp", "cheap", 5);
+        top.record("dblp", "heavy", 100);
+        top.record("dblp", "heavy", 40);
+        top.record("nasa", "medium", 60);
+        let json = top.render_json(10, None);
+        let heavy = json.find("\"heavy\"").unwrap();
+        let medium = json.find("\"medium\"").unwrap();
+        let cheap = json.find("\"cheap\"").unwrap();
+        assert!(heavy < medium && medium < cheap, "{json}");
+        assert!(json.contains("\"count\":2,\"total_work\":140,\"max_work\":100"), "{json}");
+        // n truncates; the index filter narrows.
+        assert!(!top.render_json(1, None).contains("medium"));
+        let nasa = top.render_json(10, Some("nasa"));
+        assert!(nasa.contains("medium") && !nasa.contains("heavy"), "{nasa}");
+        assert_eq!(top.render_json(0, None), "{\"top\":[]}");
+    }
+
+    #[test]
+    fn capacity_evicts_least_total_work() {
+        let top = TopQueries::with_capacity(2);
+        top.record("a", "big", 100);
+        top.record("a", "small", 1);
+        top.record("a", "newcomer", 50);
+        let json = top.render_json(10, None);
+        assert!(json.contains("big"), "{json}");
+        assert!(json.contains("newcomer"), "{json}");
+        assert!(!json.contains("small"), "the cheapest entry was evicted: {json}");
+        // An existing key updates in place without evicting anyone.
+        top.record("a", "big", 7);
+        assert!(top.render_json(10, None).contains("\"count\":2"));
+    }
+}

@@ -107,6 +107,19 @@ fn sinks_round_trip_through_the_json_parser() {
     assert_eq!(lines[1].get("cached"), Some(&Json::Bool(true)));
     assert_eq!(lines[2].get("status").and_then(Json::as_u64), Some(400));
     assert_eq!(lines[3].get("endpoint").and_then(Json::as_str), Some("suggest"));
+    // Engine runs carry their cost ledger in the wide event; cache hits and
+    // errors did no engine work, so theirs is null.
+    let cost = lines[0].get("cost").expect("engine run logs its cost ledger");
+    assert!(cost.get("postings_scanned").and_then(Json::as_u64).is_some(), "{cost:?}");
+    assert!(cost.get("sweep_advances").and_then(Json::as_u64).is_some(), "{cost:?}");
+    assert_eq!(lines[1].get("cost"), Some(&Json::Null), "cache hit carries no ledger");
+    assert_eq!(lines[2].get("cost"), Some(&Json::Null), "parse error carries no ledger");
+    let di_attrs = lines[3]
+        .get("cost")
+        .and_then(|c| c.get("di_attrs"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(di_attrs > 0, "suggest runs DI and accounts its attribute scans");
 
     // Slow log (threshold 0): same lines, each embedding a span tree whose
     // root is the request span.
@@ -142,15 +155,19 @@ fn sinks_round_trip_through_the_json_parser() {
         let count =
             metric_value(&text, &format!("gks_phase_latency_micros_count{{phase=\"{phase}\"}}"))
                 .expect("per-phase count line");
+        let samples = metric_value(&text, &format!("gks_phase_samples_total{{phase=\"{phase}\"}}"))
+            .expect("per-phase samples counter");
+        assert_eq!(samples, count, "samples counter mirrors the histogram count");
+        // Quantile lines exist exactly when the phase has samples — the
+        // zero-sample `-1` sentinel was retired for this family.
         let p50 = metric_value(
             &text,
             &format!("gks_phase_latency_micros{{phase=\"{phase}\",quantile=\"0.5\"}}"),
-        )
-        .expect("per-phase p50 line");
+        );
         if count > 0 {
-            assert!(p50 >= 0, "phase {phase} has samples but sentinel p50");
+            assert!(p50.is_some_and(|v| v >= 0), "phase {phase} has samples but no p50");
         } else {
-            assert_eq!(p50, -1, "phase {phase} has no samples, p50 must be the sentinel");
+            assert!(p50.is_none(), "phase {phase} has no samples, p50 must be omitted");
         }
     }
     let postings =

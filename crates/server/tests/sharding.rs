@@ -103,7 +103,80 @@ proptest! {
         let replay = get(&split, &target);
         prop_assert_eq!(header(&replay, "x-gks-cache"), Some("hit"));
         prop_assert_eq!(&replay.body, &expected.body, "cache hit must replay the merge");
+
+        // Cost accounting must gather losslessly too: every ledger counter
+        // is a per-document sum and shards partition documents, so the
+        // field-wise sum of the per-shard ledgers equals the unsharded
+        // ledger exactly. The summary header carries all scalar counters.
+        let explain_target = format!("{target}&explain=1");
+        let mono_explained = get(&mono, &explain_target);
+        let split_explained = get(&split, &explain_target);
+        prop_assert_eq!(mono_explained.status, 200);
+        prop_assert_eq!(split_explained.status, 200);
+        prop_assert_eq!(
+            header(&mono_explained, "x-gks-cost"),
+            header(&split_explained, "x-gks-cost"),
+            "gathered cost summary must equal the unsharded one"
+        );
+        if !suggest {
+            // The explained bodies agree on everything up to the per-shard
+            // breakdown (`shard_costs` legitimately differs: [] vs N
+            // entries) — the merged `cost` object itself is byte-identical.
+            let mono_body = String::from_utf8(mono_explained.body).unwrap();
+            let split_body = String::from_utf8(split_explained.body).unwrap();
+            let up_to_shards = |body: &str| body.split("\"shard_costs\":").next().unwrap().to_string();
+            prop_assert_eq!(
+                up_to_shards(&mono_body),
+                up_to_shards(&split_body),
+                "merged cost object must byte-equal the unsharded one"
+            );
+            let shard_count = split.catalog().default_index().shard_count();
+            let tail = split_body.split("\"shard_costs\":[").nth(1).unwrap();
+            let per_shard = tail.matches("\"postings_scanned\":").count();
+            prop_assert_eq!(per_shard, shard_count, "one ledger per shard in the breakdown");
+        }
     }
+}
+
+/// Satellite checks on one deterministic sharded request: the
+/// `Server-Timing` header covers the scatter/gather phases, `explain=1`
+/// adds a parseable `x-gks-cost` summary and the in-body per-shard
+/// breakdown, and the engine run lands in the `/debug/top` offender table.
+#[test]
+fn sharded_explain_carries_scatter_timing_cost_and_top_entry() {
+    let corpus = {
+        let mut c = Corpus::new();
+        for i in 0..6 {
+            c.push(format!("doc{i}"), format!("<r><a>alpha beta</a><b>gamma doc{i}</b></r>"));
+        }
+        c
+    };
+    let split = sharded_state(&corpus, 2);
+    let response = get(&split, "/search?q=alpha+gamma&s=1&explain=1");
+    assert_eq!(response.status, 200);
+    let timing = header(&response, "Server-Timing").expect("sharded responses carry Server-Timing");
+    assert!(timing.contains("scatter"), "scatter phase in Server-Timing: {timing}");
+    assert!(timing.contains("gather"), "gather phase in Server-Timing: {timing}");
+    let summary = header(&response, "x-gks-cost").expect("explain=1 adds the cost summary header");
+    let ledger = gks_core::CostLedger::parse_summary_header(summary).expect("parseable summary");
+    assert!(ledger.postings_scanned > 0, "work was accounted: {summary}");
+    assert!(ledger.result_bytes > 0, "result bytes were accounted: {summary}");
+    let body = String::from_utf8(response.body).unwrap();
+    assert!(body.contains("\"cost\":{\"postings_scanned\":"), "{body}");
+    assert!(body.contains("\"shard_costs\":[{"), "per-shard breakdown present: {body}");
+    // Non-explain requests carry no cost header.
+    let plain = get(&split, "/search?q=alpha+gamma&s=1");
+    assert_eq!(header(&plain, "x-gks-cost"), None);
+    // Both engine runs above aggregated into the offender table.
+    let top = get(&split, "/debug/top?n=5");
+    assert_eq!(top.status, 200);
+    let top_body = String::from_utf8(top.body).unwrap();
+    assert!(top_body.contains("\"query\":\"alpha gamma\""), "{top_body}");
+    assert!(top_body.contains("\"count\":2"), "two engine runs aggregated: {top_body}");
+    let filtered = get(&split, "/ix/default/debug/top?n=5");
+    assert!(String::from_utf8(filtered.body).unwrap().contains("\"index\":\"default\""));
+    let bad = get(&split, "/debug/top?n=wat");
+    assert_eq!(bad.status, 400);
 }
 
 /// Builds a 2-shard on-disk index set (plus manifest) for the reload test.

@@ -54,6 +54,7 @@ fn concurrent_load_is_clean_and_drains() {
         timeout: TIMEOUT,
         pacing: loadgen::Pacing::Closed,
         targets: Vec::new(),
+        explain: true,
     };
     let report = loadgen::run(&config, &workload);
 
@@ -68,6 +69,15 @@ fn concurrent_load_is_clean_and_drains() {
         report.hit_rate()
     );
     assert!(report.percentile(0.99) > 0, "latencies were recorded");
+    // --explain: every engine run (cache miss) reported its cost summary,
+    // so the report can state work per query alongside QPS.
+    assert_eq!(
+        report.work_postings.len() as u64,
+        400 - report.cache_hits,
+        "one work sample per engine run"
+    );
+    assert!(report.work_percentile(0.5) > 0, "queries scanned postings");
+    assert!(report.render().contains("work p50"), "{}", report.render());
 
     // Metrics surface agrees with the client-side tally and is monotonic.
     let text = http_get(addr, "/metrics", TIMEOUT).unwrap().body_text();
@@ -105,6 +115,7 @@ fn open_loop_paces_and_reports_send_lag() {
         timeout: TIMEOUT,
         pacing: loadgen::Pacing::Open { rate_qps: 400.0 },
         targets: Vec::new(),
+        explain: false,
     };
     let report = loadgen::run(&config, &workload);
     assert_eq!(report.total, 100);

@@ -48,8 +48,23 @@ impl Histogram {
             .position(|&bound| micros <= bound)
             .unwrap_or(LATENCY_BOUNDS_MICROS.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(micros, Ordering::Relaxed);
+        // The sum is the one counter extreme observations can overflow;
+        // saturate rather than wrap so long-lived aggregates stay ordered.
+        saturating_fetch_add(&self.sum, micros);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds `other` into `self`, bucket by bucket — merging per-thread (or
+    /// per-shard) histograms into one aggregate view. Both histograms may be
+    /// live; each counter is read once with relaxed ordering, so the merge
+    /// is a statistical snapshot, not a linearized one. All additions
+    /// saturate.
+    pub fn merge(&self, other: &Histogram) {
+        for (into, from) in self.buckets.iter().zip(&other.buckets) {
+            saturating_fetch_add(into, from.load(Ordering::Relaxed));
+        }
+        saturating_fetch_add(&self.sum, other.sum());
+        saturating_fetch_add(&self.count, other.count());
     }
 
     /// Number of observations.
@@ -106,6 +121,13 @@ impl Default for Histogram {
     }
 }
 
+/// `cell += v`, saturating at `u64::MAX` instead of wrapping. A CAS loop,
+/// but contention-free in practice (statistics counters, relaxed ordering).
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    let _ =
+        cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| Some(cur.saturating_add(v)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +158,77 @@ mod tests {
     fn empty_histogram_has_no_quantile() {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), None, "zero samples must not report a bucket bound");
+    }
+
+    #[test]
+    fn boundary_values_land_in_their_bucket() {
+        // A value exactly on a bound belongs to that bucket (`<=`), so a
+        // one-observation histogram reports the bound itself at any
+        // quantile; one past the bound falls into the next bucket.
+        for &bound in &LATENCY_BOUNDS_MICROS {
+            let h = Histogram::new();
+            h.record(bound);
+            assert_eq!(h.quantile(0.5), Some(bound), "on-bound value for {bound}");
+            assert_eq!(h.quantile(1.0), Some(bound));
+            let h2 = Histogram::new();
+            h2.record(bound + 1);
+            let next = LATENCY_BOUNDS_MICROS
+                .iter()
+                .copied()
+                .find(|&b| b > bound)
+                .unwrap_or(LATENCY_BOUNDS_MICROS[LATENCY_BOUNDS_MICROS.len() - 1]);
+            assert_eq!(h2.quantile(0.5), Some(next), "past-bound value for {bound}");
+        }
+        // Zero belongs to the very first bucket.
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), Some(LATENCY_BOUNDS_MICROS[0]));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum pins at the ceiling");
+        assert_eq!(h.count(), 2, "counts are unaffected");
+        assert_eq!(h.quantile(0.5), Some(2_500_000), "overflow bucket still reports");
+        // Merging a saturated histogram saturates too.
+        let other = Histogram::new();
+        other.record(1);
+        other.merge(&h);
+        assert_eq!(other.sum(), u64::MAX);
+        assert_eq!(other.count(), 3);
+    }
+
+    #[test]
+    fn merge_combines_per_thread_histograms() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for micros in [10, 20, 30, 40, 60] {
+            a.record(micros);
+            combined.record(micros);
+        }
+        for micros in [80, 120, 300, 700, 1500] {
+            b.record(micros);
+            combined.record(micros);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.sum(), combined.sum());
+        for q in [0.1, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), combined.quantile(q), "q={q}");
+        }
+        // Merging an empty histogram is the identity.
+        let before = (a.count(), a.sum(), a.quantile(0.5));
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.sum(), a.quantile(0.5)), before);
+        // Merging *into* an empty histogram copies the distribution.
+        let fresh = Histogram::new();
+        fresh.merge(&combined);
+        assert_eq!(fresh.count(), combined.count());
+        assert_eq!(fresh.quantile(0.99), combined.quantile(0.99));
     }
 
     #[test]

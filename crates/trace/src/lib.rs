@@ -205,6 +205,8 @@ struct OpenSpan {
     /// root and inherited by every descendant.
     sampled: bool,
     label: Option<Box<str>>,
+    /// Work counters annotated while the span was open (see [`annotate`]).
+    counters: Vec<(&'static str, u64)>,
 }
 
 thread_local! {
@@ -347,9 +349,43 @@ fn open_span(kind: SpanKind, label: Option<&str>) -> Span {
             }
         };
         let label = if sampled { label.map(Box::from) } else { None };
-        stack.push(OpenSpan { kind, started, offset_micros, children: Vec::new(), sampled, label });
+        stack.push(OpenSpan {
+            kind,
+            started,
+            offset_micros,
+            children: Vec::new(),
+            sampled,
+            label,
+            counters: Vec::new(),
+        });
     });
     Span { started, recording: true }
+}
+
+/// Adds a work counter to the innermost span open on this thread: spans
+/// carry *counters*, not just durations. Repeated keys accumulate, so a
+/// stage recorded in pieces still reports one total. A no-op when tracing
+/// is disabled, no span is open, or the current trace is sampled out —
+/// callers annotate unconditionally and pay one relaxed load on the cold
+/// path. Keys must be static identifiers (they are emitted unescaped into
+/// the trace JSON).
+pub fn annotate(key: &'static str, value: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let Some(open) = stack.last_mut() else {
+            return;
+        };
+        if !open.sampled {
+            return;
+        }
+        match open.counters.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v += value,
+            None => open.counters.push((key, value)),
+        }
+    });
 }
 
 impl Span {
@@ -385,6 +421,7 @@ impl Drop for Span {
                 label: open.label,
                 offset_micros: open.offset_micros,
                 micros,
+                counters: open.counters,
                 children: open.children,
             };
             match stack.last_mut() {
@@ -453,6 +490,7 @@ pub fn capture<T>(
             children: Vec::new(),
             sampled,
             label,
+            counters: Vec::new(),
         });
         stack.len()
     });
@@ -476,6 +514,7 @@ pub fn capture<T>(
             label: open.label,
             offset_micros: 0,
             micros,
+            counters: open.counters,
             children: open.children,
         })
     });
@@ -729,17 +768,61 @@ mod tests {
     }
 
     #[test]
+    fn annotations_land_on_the_innermost_span_and_accumulate() {
+        let _x = exclusive();
+        // Disabled: a pure no-op.
+        annotate("postings_scanned", 5);
+        set_enabled(true);
+        {
+            let _root = span(SpanKind::Request);
+            {
+                let _postings = span(SpanKind::Postings);
+                annotate("postings_scanned", 3);
+                annotate("postings_scanned", 4);
+                annotate("heap_ops", 14);
+            }
+            annotate("rank_candidates", 2); // lands on the request span
+        }
+        set_enabled(false);
+        let trace = take_last_trace().expect("a completed trace");
+        assert_eq!(trace.root.counters, vec![("rank_candidates", 2)]);
+        let postings = &trace.root.children[0];
+        assert_eq!(postings.kind, SpanKind::Postings);
+        assert_eq!(postings.counters, vec![("postings_scanned", 7), ("heap_ops", 14)]);
+    }
+
+    #[test]
+    fn sampled_out_spans_ignore_annotations() {
+        let _x = exclusive();
+        set_enabled(true);
+        set_sample_every(2);
+        {
+            let _kept = span(SpanKind::Request); // arrival 0: sampled
+            annotate("postings_scanned", 1);
+        }
+        assert_eq!(take_last_trace().unwrap().root.counters, vec![("postings_scanned", 1)]);
+        {
+            let _dropped = span(SpanKind::Request); // arrival 1: sampled out
+            annotate("postings_scanned", 1); // must not panic or leak
+        }
+        set_enabled(false);
+        assert!(take_last_trace().is_none());
+    }
+
+    #[test]
     fn attach_shifts_offsets_by_the_parent_start() {
         let mut node = SpanNode {
             kind: SpanKind::Search,
             label: None,
             offset_micros: 5,
             micros: 10,
+            counters: Vec::new(),
             children: vec![SpanNode {
                 kind: SpanKind::Postings,
                 label: None,
                 offset_micros: 7,
                 micros: 2,
+                counters: Vec::new(),
                 children: Vec::new(),
             }],
         };

@@ -26,6 +26,11 @@ pub struct SpanNode {
     pub offset_micros: u64,
     /// Wall-clock duration, in µs.
     pub micros: u64,
+    /// Work counters annotated onto the span (see [`crate::annotate`]), in
+    /// annotation order. Empty for purely timed spans — and omitted from
+    /// the JSON rendering then, so counter-free trees keep their exact
+    /// historical shape.
+    pub counters: Vec<(&'static str, u64)>,
     /// Child spans, in completion order.
     pub children: Vec<SpanNode>,
 }
@@ -61,11 +66,19 @@ impl SpanNode {
             push_escaped(out, label);
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "\"offset_micros\":{},\"micros\":{},\"children\":[",
-            self.offset_micros, self.micros
-        );
+        let _ = write!(out, "\"offset_micros\":{},\"micros\":{},", self.offset_micros, self.micros);
+        if !self.counters.is_empty() {
+            out.push_str("\"counters\":{");
+            for (i, (key, value)) in self.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                // Counter keys are static identifiers; no escaping needed.
+                let _ = write!(out, "\"{key}\":{value}");
+            }
+            out.push_str("},");
+        }
+        out.push_str("\"children\":[");
         for (i, child) in self.children.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -103,7 +116,7 @@ impl SpanNode {
         }
         match &self.label {
             Some(label) => {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{}[{label}] {}µs @{}µs",
                     self.kind.label(),
@@ -112,7 +125,7 @@ impl SpanNode {
                 );
             }
             None => {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{} {}µs @{}µs",
                     self.kind.label(),
@@ -121,6 +134,10 @@ impl SpanNode {
                 );
             }
         }
+        for (key, value) in &self.counters {
+            let _ = write!(out, " {key}={value}");
+        }
+        out.push('\n');
         for child in &self.children {
             child.render_into(out, depth + 1);
         }
@@ -199,17 +216,20 @@ mod tests {
                 label: None,
                 offset_micros: 0,
                 micros: 100,
+                counters: Vec::new(),
                 children: vec![
                     SpanNode {
                         kind: SpanKind::Search,
                         label: None,
                         offset_micros: 5,
                         micros: 80,
+                        counters: Vec::new(),
                         children: vec![SpanNode {
                             kind: SpanKind::Postings,
                             label: None,
                             offset_micros: 10,
                             micros: 30,
+                            counters: Vec::new(),
                             children: Vec::new(),
                         }],
                     },
@@ -218,6 +238,7 @@ mod tests {
                         label: None,
                         offset_micros: 90,
                         micros: 9,
+                        counters: Vec::new(),
                         children: Vec::new(),
                     },
                 ],
@@ -246,6 +267,7 @@ mod tests {
             label: Some(r#"ix "a"\b"#.into()),
             offset_micros: 0,
             micros: 5,
+            counters: Vec::new(),
             children: Vec::new(),
         };
         let mut out = String::new();
@@ -257,6 +279,27 @@ mod tests {
         );
         let trace = CompletedTrace { seq: 1, root: node };
         assert!(trace.render_text().contains("request[ix \"a\"\\b] 5µs"));
+    }
+
+    #[test]
+    fn counters_are_emitted_only_when_present() {
+        let node = SpanNode {
+            kind: SpanKind::Postings,
+            label: None,
+            offset_micros: 1,
+            micros: 9,
+            counters: vec![("postings_scanned", 42), ("heap_ops", 84)],
+            children: Vec::new(),
+        };
+        let mut out = String::new();
+        node.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"kind\":\"postings\",\"offset_micros\":1,\"micros\":9,\
+             \"counters\":{\"postings_scanned\":42,\"heap_ops\":84},\"children\":[]}"
+        );
+        let trace = CompletedTrace { seq: 1, root: node };
+        assert!(trace.render_text().contains("postings_scanned=42"), "{}", trace.render_text());
     }
 
     #[test]
