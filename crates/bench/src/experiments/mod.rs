@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod analyzer;
+pub mod connections;
 pub mod di_quality;
 pub mod feedback;
 pub mod fig10;
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "analyzer",
     "di_quality",
     "serving",
+    "connections",
 ];
 
 /// Runs one experiment by id.
@@ -60,6 +62,7 @@ pub fn run(id: &str) -> Option<String> {
         "analyzer" => analyzer::run(),
         "di_quality" => di_quality::run(),
         "serving" => serving::run(),
+        "connections" => connections::run(),
         _ => return None,
     })
 }

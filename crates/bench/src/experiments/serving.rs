@@ -98,6 +98,7 @@ fn drive(
         pacing: Pacing::Closed,
         targets: Vec::new(),
         explain,
+        ..LoadgenConfig::default()
     };
     let report = loadgen::run(&load, workload);
     server.shutdown();
@@ -327,6 +328,7 @@ pub fn run() -> String {
             IndexTarget { name: "dblp".to_string(), weight: 1 },
         ],
         explain: false,
+        ..LoadgenConfig::default()
     };
     let report = loadgen::run(&load, &workload);
     let exposition = http_get(server.local_addr(), "/metrics", Duration::from_secs(5))
@@ -414,6 +416,7 @@ pub fn run() -> String {
                 pacing: Pacing::Closed,
                 targets: Vec::new(),
                 explain: false,
+                ..LoadgenConfig::default()
             };
             let report = loadgen::run(&load, &workload);
             let exposition = http_get(server.local_addr(), "/metrics", Duration::from_secs(5))

@@ -106,9 +106,11 @@ USAGE:
             [--query-log FILE] [--slow-log FILE] [--slow-ms N]
             [--trace-ring N] [--trace-sample N|1/N] [--no-trace]
             [--watch] [--watch-interval-ms N] [--compact-threshold N]
+            [--max-connections N] [--idle-timeout-ms N] [--shard-workers N]
   gks loadgen <host:port> <workload.txt> [--clients N] [--requests N]
             [--zipf S] [--seed N] [--timeout-ms N] [--open-loop --rate QPS]
-            [--index NAME[=WEIGHT]]... [--explain]
+            [--index NAME[=WEIGHT]]... [--explain] [--keep-alive]
+            [--connections N] [--slow-clients N]
 
 `--json` emits the same wire format the serve endpoints return.
 `--trace` prints the span tree (per-phase timings) after the results.
@@ -137,6 +139,10 @@ are JSONL, one object per request.
 omission); latencies are then measured from the scheduled send time.
 `loadgen --index NAME=WEIGHT` (repeatable) spreads traffic over catalog
 indexes proportional to the weights.
+`loadgen --keep-alive` reuses one connection per client; --connections N
+holds N extra idle sockets open for the whole run and --slow-clients N
+adds stalled partial-request connections — together they exercise the
+server's event-driven connection layer at high connection counts.
 
 DATASETS (for generate):
   sigmod mondial plays treebank swissprot protein dblp nasa interpro
@@ -782,7 +788,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         [--default-index NAME] [--addr HOST:PORT] [--workers N] [--queue N] \
         [--deadline-ms N] [--cache-mb N] [--cache-admission] [--query-log FILE] \
         [--slow-log FILE] [--slow-ms N] [--trace-ring N] [--trace-sample N|1/N] \
-        [--no-trace] [--watch] [--watch-interval-ms N] [--compact-threshold N]";
+        [--no-trace] [--watch] [--watch-interval-ms N] [--compact-threshold N] \
+        [--max-connections N] [--idle-timeout-ms N] [--shard-workers N]";
     // The positional path (registered as the "default" index) is optional
     // when --index flags supply the catalog.
     let (positional, rest) = match args.split_first() {
@@ -865,6 +872,19 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                     parse_value(take_value(&mut it, "--trace-ring")?, "--trace-ring")?;
             }
             "--no-trace" => config.trace = false,
+            "--max-connections" => {
+                config.max_connections =
+                    parse_value(take_value(&mut it, "--max-connections")?, "--max-connections")?;
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 =
+                    parse_value(take_value(&mut it, "--idle-timeout-ms")?, "--idle-timeout-ms")?;
+                config.idle_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--shard-workers" => {
+                config.shard_workers =
+                    parse_value(take_value(&mut it, "--shard-workers")?, "--shard-workers")?;
+            }
             other => return Err(CliError::usage(format!("unknown serve flag {other:?}"))),
         }
     }
@@ -946,7 +966,8 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
     const LOADGEN_USAGE: &str = "usage: gks loadgen <host:port> <workload.txt> \
         [--clients N] [--requests N] [--zipf S] [--seed N] [--timeout-ms N] \
-        [--open-loop --rate QPS] [--index NAME[=WEIGHT]]... [--explain]";
+        [--open-loop --rate QPS] [--index NAME[=WEIGHT]]... [--explain] \
+        [--keep-alive] [--connections N] [--slow-clients N]";
     let [addr_raw, workload_path, rest @ ..] = args else {
         return Err(CliError::usage(LOADGEN_USAGE));
     };
@@ -979,6 +1000,15 @@ fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
             }
             "--open-loop" => open_loop = true,
             "--explain" => config.explain = true,
+            "--keep-alive" => config.keep_alive = true,
+            "--connections" => {
+                config.connections =
+                    parse_value(take_value(&mut it, "--connections")?, "--connections")?;
+            }
+            "--slow-clients" => {
+                config.slow_clients =
+                    parse_value(take_value(&mut it, "--slow-clients")?, "--slow-clients")?;
+            }
             "--rate" => {
                 rate_qps = Some(parse_value(take_value(&mut it, "--rate")?, "--rate")?);
             }
@@ -1564,6 +1594,12 @@ mod tests {
             "--compact-threshold",
             "--interval-ms",
             "--once",
+            "--max-connections",
+            "--idle-timeout-ms",
+            "--shard-workers",
+            "--keep-alive",
+            "--connections",
+            "--slow-clients",
         ] {
             assert!(USAGE.contains(flag), "USAGE missing {flag}");
         }

@@ -30,7 +30,9 @@
 //!   `--json` mode and the `gks-serve` HTTP endpoints;
 //! * [`json`] — the matching JSON reader used by round-trip tests and the
 //!   smoke tooling;
-//! * [`engine`] — the [`engine::Engine`] facade tying it all together.
+//! * [`engine`] — the [`engine::Engine`] facade tying it all together;
+//! * [`executor`] — the persistent per-shard worker lanes the server's
+//!   scatter rides on (spawn threads once, fan out over queues).
 
 pub mod analytics;
 pub mod chunk;
@@ -38,6 +40,7 @@ pub mod cost;
 pub mod di;
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod json;
 pub mod merge;
 pub mod postlist;
@@ -54,6 +57,7 @@ pub use cost::CostLedger;
 pub use di::{DiOptions, Insight};
 pub use engine::Engine;
 pub use error::QueryError;
+pub use executor::ShardExecutor;
 pub use query::Query;
 pub use search::{Hit, HitKind, Response, SearchOptions, Threshold};
 pub use shard::{

@@ -8,16 +8,16 @@
 //! attribute/repeating status, emits its children's node-table entries, and
 //! reports a structural summary to its parent.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use gks_dewey::{DeweyId, DocId};
+use gks_exec::{Scatter, WorkerPool};
 use gks_text::Analyzer;
 use gks_xml::{Event, Reader};
 
 use crate::attrstore::{AttrEntry, AttrSource, AttrStore};
 use crate::categorize::{close_element, finalize_child_flags, self_flags, ChildSummary};
-use crate::corpus::Corpus;
+use crate::corpus::{Corpus, CorpusDoc};
 use crate::error::IndexError;
 use crate::fasthash::FastMap;
 use crate::node_table::{NodeMeta, NodeTable};
@@ -35,16 +35,6 @@ pub struct GksIndex {
     attrs: AttrStore,
     stats: IndexStats,
     doc_names: Vec<String>,
-}
-
-/// Locks a mutex, recovering the data even if another worker panicked while
-/// holding it (the panic itself still propagates through the thread scope).
-/// `name` registers the hold with the debug-build lock-order registry.
-fn lock_ignoring_poison<'m, T>(
-    name: &'static str,
-    m: &'m Mutex<T>,
-) -> gks_trace::lockorder::Tracked<MutexGuard<'m, T>> {
-    gks_trace::lockorder::track(name, m.lock().unwrap_or_else(PoisonError::into_inner))
 }
 
 /// Everything a closed element hands to its parent.
@@ -102,38 +92,47 @@ impl GksIndex {
             return Self::build(corpus, options);
         }
         let chunk = docs.len().div_ceil(workers);
-        let results = std::sync::Mutex::new(Vec::<(usize, GksIndex)>::new());
-        let error = std::sync::Mutex::new(None::<IndexError>);
-        std::thread::scope(|scope| {
-            for (w, slice) in docs.chunks(chunk).enumerate() {
-                let options = options.clone();
-                let results = &results;
-                let error = &error;
-                scope.spawn(move || {
-                    let mut part = GksIndex::empty(options);
-                    for (j, doc) in slice.iter().enumerate() {
-                        let doc_id = DocId((w * chunk + j) as u32);
-                        if let Err(e) = part.index_document(doc_id, &doc.name, &doc.xml) {
-                            **lock_ignoring_poison("index/builder.error", error) = Some(e);
-                            return;
-                        }
-                    }
-                    lock_ignoring_poison("index/builder.results", results).push((w, part));
-                });
-            }
-        });
-        if let Some(e) = error.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
-            return Err(e);
+        // Jobs on a persistent pool must own their input, so each chunk's
+        // documents are cloned out of the corpus; the clones die with the
+        // jobs, and the partial indexes the workers build dwarf them anyway.
+        let chunks: Vec<Vec<CorpusDoc>> = docs.chunks(chunk).map(<[CorpusDoc]>::to_vec).collect();
+        let pool = WorkerPool::new("gks-build", workers).map_err(IndexError::Io)?;
+        let scatter = Scatter::new(chunks.len());
+        for (w, slice) in chunks.into_iter().enumerate() {
+            let options = options.clone();
+            // submit() cannot fail here (the pool outlives the loop), and
+            // even if it did the slot guard resolves the slot to Err.
+            let _ = pool.submit(scatter.task(w, move || -> Result<GksIndex, IndexError> {
+                let mut part = GksIndex::empty(options);
+                for (j, doc) in slice.iter().enumerate() {
+                    part.index_document(DocId((w * chunk + j) as u32), &doc.name, &doc.xml)?;
+                }
+                Ok(part)
+            }));
         }
-        let mut parts = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
-        parts.sort_by_key(|(w, _)| *w);
+        // Slots come back in submission order, so the merge below needs no
+        // sort and the lowest-index chunk's error wins deterministically.
+        let slots = scatter.wait();
+        drop(pool);
+        let mut parts = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Ok(Ok(part)) => parts.push(part),
+                Ok(Err(e)) => return Err(e),
+                Err(msg) => {
+                    return Err(IndexError::Io(std::io::Error::other(format!(
+                        "index build worker failed: {msg}"
+                    ))))
+                }
+            }
+        }
         let mut iter = parts.into_iter();
-        let Some((_, mut ix)) = iter.next() else {
+        let Some(mut ix) = iter.next() else {
             // workers >= 2 implies at least one chunk, so this is unreachable
             // in practice; fall back to the sequential path rather than panic.
             return Self::build(corpus, options);
         };
-        for (_, part) in iter {
+        for part in iter {
             ix.merge(part);
         }
         ix.finish(start);

@@ -59,7 +59,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use gks_core::engine::Engine;
 use gks_core::shard::DocMap;
-use gks_core::CostLedger;
+use gks_core::{CostLedger, ShardExecutor};
 use gks_index::delta::{commit_delta, compact, wall_clock_ms, CommitStats, CompactStats};
 use gks_index::{GksIndex, ShardManifest};
 use gks_trace::{CompletedTrace, Histogram, SpanKind};
@@ -411,6 +411,11 @@ pub struct ResidentIndex {
     committed_ms: AtomicU64,
     cache: ResultCache,
     counters: IndexCounters,
+    /// Persistent per-shard worker lanes for the scatter path: shard
+    /// fan-out is a channel send to a long-lived lane, never a thread
+    /// spawn per request. Lanes grow with the shard count (manifest syncs
+    /// can add delta shards) and never shrink.
+    executor: Arc<ShardExecutor>,
 }
 
 fn load_engine(name: &str, path: &Path) -> Result<Arc<Engine>, ServeError> {
@@ -526,6 +531,13 @@ impl ResidentIndex {
                 slots
             }
         };
+        let per_lane = if config.shard_workers == 0 {
+            config.workers
+        } else {
+            config.shard_workers
+        };
+        let executor = Arc::new(ShardExecutor::new(per_lane));
+        executor.ensure_lanes(slots.len()).map_err(ServeError::Io)?;
         let resident = ResidentIndex {
             name,
             slots: RwLock::new(slots),
@@ -542,6 +554,7 @@ impl ResidentIndex {
                 config.cache_admission,
             ),
             counters: IndexCounters::new(),
+            executor,
         };
         if let Some(manifest) = &manifest_loaded {
             resident.record_manifest_stats(manifest);
@@ -574,6 +587,12 @@ impl ResidentIndex {
     /// Whether this index fans queries out over more than one shard.
     pub fn is_sharded(&self) -> bool {
         self.shard_count() > 1
+    }
+
+    /// The persistent scatter executor backing this index's sharded
+    /// searches.
+    pub fn executor(&self) -> &ShardExecutor {
+        &self.executor
     }
 
     /// The current reload epoch (bumped after every slot swap).
@@ -801,6 +820,10 @@ impl ResidentIndex {
         }
         self.epoch.fetch_add(1, Ordering::Release);
         self.record_manifest_stats(&manifest);
+        // A sync can widen the shard set (new delta shards); grow the
+        // scatter lanes to match. Best-effort — scatter falls back to
+        // round-robin over the existing lanes until the next sync.
+        let _ = self.executor.ensure_lanes(self.shard_count());
         let after = self.identity();
         self.counters.reloads_total.fetch_add(1, Ordering::Relaxed);
         self.cache.ensure_identity(after);

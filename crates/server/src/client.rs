@@ -1,7 +1,9 @@
 //! A minimal blocking HTTP/1.1 client (GET, plus body-less POST for admin
 //! endpoints) — just enough for the load generator, the CI smoke check, and
-//! tests to talk to a running server without external dependencies. One
-//! request per connection (the server always answers `Connection: close`).
+//! tests to talk to a running server without external dependencies.
+//! [`http_get`]/[`http_post`] use one connection per request
+//! (`Connection: close`); [`HttpClient`] holds a keep-alive connection and
+//! frames responses by `Content-Length`, so many requests ride one socket.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -70,6 +72,81 @@ fn http_request(
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
 }
 
+/// A persistent keep-alive connection: requests are sent without
+/// `Connection: close` and responses are framed by their `Content-Length`,
+/// so the socket stays open across calls. A transport error poisons the
+/// connection — drop it and connect again.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the last framed response (the start of the next one).
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` with `timeout` applied to the connect and to
+    /// every subsequent read/write.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream, buf: Vec::new() })
+    }
+
+    /// Issues `GET {target}` on the persistent connection and reads exactly
+    /// one `Content-Length`-framed response.
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        let request = format!("GET {target} HTTP/1.1\r\nHost: gks\r\nContent-Length: 0\r\n\r\n");
+        self.stream.write_all(request.as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(split) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let content_length = std::str::from_utf8(&self.buf[..split])
+                    .ok()
+                    .and_then(head_content_length)
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "keep-alive response lacks a content-length",
+                        )
+                    })?;
+                let total = split + 4 + content_length;
+                if self.buf.len() >= total {
+                    let frame: Vec<u8> = self.buf.drain(..total).collect();
+                    return parse_response(&frame).ok_or_else(|| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+                    });
+                }
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the keep-alive connection",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// `Content-Length` value in a response head, if present.
+fn head_content_length(head: &str) -> Option<usize> {
+    head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
 /// Splits a raw HTTP/1.1 response into status, headers, and body. Returns
 /// `None` when the status line or header block is malformed.
 pub fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
@@ -100,6 +177,13 @@ mod tests {
         assert_eq!(r.header("Content-Type"), Some("application/json"));
         assert_eq!(r.header("X-GKS-Cache"), Some("hit"));
         assert_eq!(r.body_text(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn content_length_is_read_from_the_head() {
+        assert_eq!(head_content_length("HTTP/1.1 200 OK\r\nContent-Length: 12"), Some(12));
+        assert_eq!(head_content_length("HTTP/1.1 200 OK\r\ncontent-length:3"), Some(3));
+        assert_eq!(head_content_length("HTTP/1.1 200 OK\r\nX-Other: 1"), None);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! A deliberately minimal HTTP/1.1 subset on `std::net`, sufficient for the
 //! query service: `GET` requests with query strings, fixed-length responses,
-//! `Connection: close` semantics. No TLS, no chunked bodies, no keep-alive —
-//! each connection carries exactly one request.
+//! persistent connections with HTTP/1.1 keep-alive defaults (`Connection:
+//! close` honored per message). No TLS, no chunked bodies — requests are
+//! framed by the head terminator plus an optional `Content-Length`.
 //!
 //! Parsing is separated from socket I/O ([`parse_request`] vs
-//! [`read_request`]) so the router and its tests never need a socket.
+//! [`read_request`]) so the router, the reactor's connection state machine
+//! and their tests never need a socket.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -23,6 +25,10 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded query parameters in request order.
     pub params: Vec<(String, String)>,
+    /// Whether the connection may carry another request after this one:
+    /// the HTTP/1.1 default unless the client sent `Connection: close`
+    /// (HTTP/1.0 inverts the default, opting in via `keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -123,9 +129,10 @@ pub fn percent_encode(s: &str) -> String {
 const HEX_UPPER: [char; 16] =
     ['0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'A', 'B', 'C', 'D', 'E', 'F'];
 
-/// Parses a raw request head (`GET /path?a=1 HTTP/1.1\r\n…`). Headers are
+/// Parses a raw request head (`GET /path?a=1 HTTP/1.1\r\n…`). Only the
+/// `Connection` header is interpreted (for keep-alive); the rest are
 /// accepted and discarded — the service keys off method, path, and query
-/// string only.
+/// string.
 pub fn parse_request(head: &str) -> Result<Request, HttpError> {
     let request_line = head.lines().next().ok_or(HttpError::Malformed("empty request"))?;
     let mut parts = request_line.split_whitespace();
@@ -150,7 +157,35 @@ pub fn parse_request(head: &str) -> Result<Request, HttpError> {
                 .collect()
         })
         .unwrap_or_default();
-    Ok(Request { method: method.to_ascii_uppercase(), path: percent_decode(raw_path), params })
+    let http_11 = version != "HTTP/1.0";
+    let keep_alive = match header_value(head, "connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => http_11,
+    };
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: percent_decode(raw_path),
+        params,
+        keep_alive,
+    })
+}
+
+/// The trimmed value of header `name` (ASCII case-insensitive) in a raw
+/// request head, if present.
+fn header_value<'h>(head: &'h str, name: &str) -> Option<&'h str> {
+    head.lines().skip(1).find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        k.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+/// The request's declared `Content-Length`, if any — how many body bytes
+/// follow the head terminator. Unparsable values read as `None` (the body,
+/// if real, then bleeds into the next message and fails parsing there —
+/// acceptable for a GET-only service).
+pub fn head_content_length(head: &str) -> Option<usize> {
+    header_value(head, "content-length").and_then(|v| v.parse().ok())
 }
 
 /// Reads one request head from `stream` (until the blank line), bounded by
@@ -175,7 +210,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     }
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+/// Offset one past the head's final header line (i.e. up to and including
+/// its closing `\r\n`, excluding the blank line); the full terminator ends
+/// two bytes later and any body starts at `p + 2` beyond the returned
+/// offset.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 2)
 }
 
@@ -228,15 +267,17 @@ impl HttpResponse {
         self
     }
 
-    /// Serializes status line, headers, and body with `Connection: close`
-    /// and an exact `Content-Length`.
-    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+    /// Serializes status line, headers, and body into one buffer, with an
+    /// exact `Content-Length` and `Connection: keep-alive` or `close` as
+    /// requested — the form the reactor's write path consumes.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         );
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -245,8 +286,15 @@ impl HttpResponse {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the `Connection: close` serialization to `w` — the one-shot
+    /// path used by tests and by the drain's courtesy responses.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.serialize(false))?;
         w.flush()
     }
 }
@@ -258,6 +306,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -288,6 +337,36 @@ mod tests {
         // Invalid escapes pass through instead of erroring.
         assert_eq!(percent_decode("100%zz"), "100%zz");
         assert_eq!(percent_decode("dangling%2"), "dangling%2");
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let r = parse_request("GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let r = parse_request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse_request("GET / HTTP/1.1\r\nconnection:  CLOSE \r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "header name and value are case-insensitive");
+        let r = parse_request("GET / HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = parse_request("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "HTTP/1.0 opts in explicitly");
+    }
+
+    #[test]
+    fn content_length_framing() {
+        assert_eq!(head_content_length("GET / HTTP/1.1\r\nContent-Length: 12\r\n"), Some(12));
+        assert_eq!(head_content_length("GET / HTTP/1.1\r\ncontent-length:0\r\n"), Some(0));
+        assert_eq!(head_content_length("GET / HTTP/1.1\r\nHost: x\r\n"), None);
+        assert_eq!(head_content_length("GET / HTTP/1.1\r\nContent-Length: nope\r\n"), None);
+    }
+
+    #[test]
+    fn serialize_controls_the_connection_header() {
+        let keep = String::from_utf8(HttpResponse::json(200, "{}").serialize(true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
+        let close = String::from_utf8(HttpResponse::json(200, "{}").serialize(false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"), "{close}");
     }
 
     #[test]

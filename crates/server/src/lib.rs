@@ -14,15 +14,22 @@
 //!
 //! Architecture, front to back:
 //!
-//! * **accept loop** — one thread accepting connections and applying
-//!   *admission control*: connections are handed to a **bounded** queue
-//!   ([`pool::BoundedQueue`]); when it is full the connection is answered
+//! * **reactor** — one event-driven thread owns every client socket
+//!   (nonblocking, multiplexed with poll(2) on Unix) and does all the
+//!   accepting, request reading, and keep-alive parking. Slow readers and
+//!   writers cost a poll-set entry, not a thread. Only **fully-read**
+//!   requests cross the *admission control* boundary: a **bounded** queue
+//!   ([`pool::BoundedQueue`]); when it is full the request is answered
 //!   `503 + Retry-After` immediately instead of queueing unboundedly.
-//! * **worker pool** — a fixed number of threads pop connections, parse the
-//!   request ([`http`]), route it ([`ServeState::handle`]), and write the
-//!   response. Each request carries a **deadline** from the moment it was
-//!   accepted; work still pending past the deadline (including time spent
-//!   queued) is aborted with `503` and counted.
+//! * **worker pool** — a fixed number of threads pop parsed requests,
+//!   route them ([`ServeState::handle`]), and write the response,
+//!   handing the socket back to the reactor if the write would block or
+//!   the connection is keep-alive. Each request carries a **deadline**
+//!   from its first byte; work still pending past the deadline
+//!   (including time spent queued) is aborted with `503` and counted.
+//! * **shard executor** — sharded indexes scatter each query over a
+//!   persistent per-shard worker pool ([`gks_core::ShardExecutor`]); the
+//!   fan-out is a channel send, never a thread spawn on the request path.
 //! * **result cache** — one sharded LRU per index ([`cache::ResultCache`])
 //!   keyed on the normalized `(endpoint, query, s, limit)` tuple, storing
 //!   the exact response bytes; the deterministic wire format
@@ -79,6 +86,10 @@ pub mod qlog;
 pub mod signal;
 pub mod topk;
 
+mod conn;
+mod poller;
+mod reactor;
+
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -111,11 +122,23 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads executing queries.
     pub workers: usize,
-    /// Bounded queue depth between the accept loop and the workers; the
+    /// Bounded queue depth between the reactor and the workers; the
     /// admission-control limit.
     pub queue_depth: usize,
-    /// Per-request deadline measured from accept (queueing time included).
+    /// Per-request deadline measured from the request's first byte
+    /// (read and queueing time included).
     pub deadline: Duration,
+    /// Upper bound on concurrently open client connections; at the cap the
+    /// reactor stops polling the listener (new connects wait in the
+    /// kernel backlog) until a slot frees.
+    pub max_connections: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the reactor closes it.
+    pub idle_timeout: Duration,
+    /// Threads per shard lane of the persistent scatter executor backing
+    /// sharded indexes (0 = match `workers`, preserving the peak shard
+    /// concurrency of the old spawn-per-request scatter).
+    pub shard_workers: usize,
     /// Result-cache capacity in bytes (0 disables caching).
     pub cache_bytes: usize,
     /// Result-cache shard count (rounded up to a power of two).
@@ -162,6 +185,9 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             deadline: Duration::from_millis(2_000),
+            max_connections: 8_192,
+            idle_timeout: Duration::from_secs(30),
+            shard_workers: 0,
             cache_bytes: 32 * 1024 * 1024,
             cache_shards: 8,
             cache_admission: false,
@@ -217,8 +243,8 @@ pub struct ServeState {
     catalog: EngineCatalog,
     metrics: Metrics,
     config: ServeConfig,
-    accepted: AtomicU64,
-    served: AtomicU64,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) served: AtomicU64,
     query_log: Option<qlog::LogFile>,
     slow_log: Option<qlog::LogFile>,
 }
@@ -330,7 +356,18 @@ impl ServeState {
             Err(response) => return response,
         };
         match route.endpoint {
-            Endpoint::Healthz => HttpResponse::text(200, "ok\n"),
+            Endpoint::Healthz => {
+                // First line stays exactly "ok" for existing probes; the
+                // second line summarizes the connection layer.
+                let body = format!(
+                    "ok\nconnections: open={} parked={} queued={} in_flight={}\n",
+                    self.metrics.conn_open.load(Ordering::Relaxed),
+                    self.metrics.conn_parked.load(Ordering::Relaxed),
+                    self.metrics.conn_queue_depth.load(Ordering::Relaxed),
+                    self.metrics.in_flight.load(Ordering::Relaxed),
+                );
+                HttpResponse::text(200, body)
+            }
             Endpoint::Metrics => HttpResponse::text(200, self.render_metrics()),
             Endpoint::Doctor => self.handle_doctor(route.index.as_deref(), resident),
             Endpoint::DebugTraces => self.handle_debug_traces(request),
@@ -729,36 +766,37 @@ impl ServeState {
                 return self.deadline_abort();
             }
             let options = SearchOptions { s: params.s, limit: params.limit };
-            // Scatter: every shard searches concurrently on its own worker.
-            // Each worker captures its span subtree (timed even when the
-            // request is sampled out) so the shard trees can be grafted
-            // under the scatter span afterwards.
+            // Scatter: every shard searches concurrently on its own lane of
+            // the resident index's persistent executor — a channel send per
+            // shard, no thread spawn on the request path. Each task captures
+            // its span subtree (timed even when the request is sampled out)
+            // so the shard trees can be grafted under the scatter span.
             let sampled = gks_trace::current_sampled();
             let scatter_span = gks_trace::span(SpanKind::Scatter);
-            let query = &params.query;
-            let joined: Vec<Option<gks_trace::Captured<_>>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = set
-                    .shards
-                    .iter()
-                    .enumerate()
-                    .map(|(i, loaded)| {
-                        let engine = Arc::clone(&loaded.engine);
-                        scope.spawn(move || {
-                            let label = format!("shard-{i}");
-                            gks_trace::capture(SpanKind::Search, &label, sampled, || {
-                                engine.search(query, options)
-                            })
+            let query = Arc::new(params.query.clone());
+            let tasks: Vec<_> = set
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, loaded)| {
+                    let engine = Arc::clone(&loaded.engine);
+                    let query = Arc::clone(&query);
+                    move || {
+                        let label = format!("shard-{i}");
+                        gks_trace::capture(SpanKind::Search, &label, sampled, || {
+                            engine.search(&query, options)
                         })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().ok()).collect()
-            });
+                    }
+                })
+                .collect();
+            let joined = resident.executor().scatter(tasks);
             let mut caps = Vec::with_capacity(joined.len());
             for cap in joined {
                 match cap {
-                    Some(cap) => caps.push(cap),
-                    // join() only fails when a shard worker panicked.
-                    None => return HttpResponse::error(500, "shard worker failed"),
+                    Ok(cap) => caps.push(cap),
+                    // A slot only fails when the shard task panicked (or the
+                    // executor is shutting down).
+                    Err(_) => return HttpResponse::error(500, "shard worker failed"),
                 }
             }
             let fastest = caps.iter().map(|c| c.micros).min().unwrap_or(0);
@@ -896,16 +934,15 @@ pub struct DrainReport {
     pub rejected: u64,
 }
 
-type Job = (TcpStream, Instant);
-
-/// A running server: accept thread + worker pool over a [`ServeState`].
+/// A running server: reactor thread + worker pool over a [`ServeState`].
 #[derive(Debug)]
 pub struct Server {
     state: Arc<ServeState>,
     addr: SocketAddr,
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<BoundedQueue<conn::WorkItem>>,
+    shared: Arc<reactor::ReactorShared>,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     maintenance: Option<JoinHandle<()>>,
 }
@@ -930,29 +967,54 @@ pub fn serve_catalog(
     if config.workers == 0 {
         return Err(ServeError::BadConfig("workers must be > 0".into()));
     }
+    if config.max_connections == 0 {
+        return Err(ServeError::BadConfig("max-connections must be > 0".into()));
+    }
     let listener = TcpListener::bind(&config.addr)
         .map_err(|e| ServeError::Bind { addr: config.addr.clone(), source: e })?;
+    listener.set_nonblocking(true).map_err(ServeError::Io)?;
     let addr = listener.local_addr().map_err(ServeError::Io)?;
     let state = Arc::new(ServeState::with_catalog(specs, default, config.clone())?);
-    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_depth));
+    let queue: Arc<BoundedQueue<conn::WorkItem>> = Arc::new(BoundedQueue::new(config.queue_depth));
     let stop = Arc::new(AtomicBool::new(false));
+    // The reactor's wake channel is a loopback self-pipe: workers write a
+    // byte to pop it out of poll(). Built here — blocking connect/accept
+    // are fine outside the reactor.
+    let (wake_tx, wake_rx) = {
+        let pipe = TcpListener::bind("127.0.0.1:0").map_err(ServeError::Io)?;
+        let pipe_addr = pipe.local_addr().map_err(ServeError::Io)?;
+        let tx = TcpStream::connect(pipe_addr).map_err(ServeError::Io)?;
+        let (rx, _) = pipe.accept().map_err(ServeError::Io)?;
+        tx.set_nonblocking(true).map_err(ServeError::Io)?;
+        let _ = tx.set_nodelay(true);
+        rx.set_nonblocking(true).map_err(ServeError::Io)?;
+        (tx, rx)
+    };
+    let shared = Arc::new(reactor::ReactorShared::new(wake_tx));
 
-    let acceptor = {
-        let state = Arc::clone(&state);
-        let queue = Arc::clone(&queue);
-        let stop = Arc::clone(&stop);
+    let reactor_handle = {
+        let reactor = reactor::Reactor {
+            listener,
+            wake_rx,
+            shared: Arc::clone(&shared),
+            queue: Arc::clone(&queue),
+            stop: Arc::clone(&stop),
+            state: Arc::clone(&state),
+        };
         std::thread::Builder::new()
-            .name("gks-accept".to_string())
-            .spawn(move || accept_loop(&listener, &state, &queue, &stop))
+            .name("gks-reactor".to_string())
+            .spawn(move || reactor.run())
             .map_err(ServeError::Io)?
     };
     let workers = (0..config.workers)
         .map(|i| {
             let state = Arc::clone(&state);
             let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("gks-worker-{i}"))
-                .spawn(move || worker_loop(&state, &queue))
+                .spawn(move || worker_loop(&state, &queue, &shared, &stop))
                 .map_err(ServeError::Io)
         })
         .collect::<Result<Vec<_>, _>>()?;
@@ -974,7 +1036,16 @@ pub fn serve_catalog(
         None
     };
 
-    Ok(Server { state, addr, queue, stop, acceptor: Some(acceptor), workers, maintenance })
+    Ok(Server {
+        state,
+        addr,
+        queue,
+        shared,
+        stop,
+        reactor: Some(reactor_handle),
+        workers,
+        maintenance,
+    })
 }
 
 /// The background update loop: on every watcher tick, commit a delta for
@@ -1024,51 +1095,62 @@ fn maintenance_loop(state: &ServeState, stop: &AtomicBool) {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
+/// Pops fully-read requests off the admission queue, routes them, and
+/// writes the response with nonblocking single shots. The socket's final
+/// disposition goes back to the reactor: idle for the next keep-alive
+/// request, a partial flush to finish, or dropped on close. The pending
+/// decrement is strictly last — the reactor's drain barrier counts on it
+/// coming after the retired socket is visible.
+fn worker_loop(
     state: &ServeState,
-    queue: &BoundedQueue<Job>,
+    queue: &BoundedQueue<conn::WorkItem>,
+    shared: &reactor::ReactorShared,
     stop: &AtomicBool,
 ) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break; // the shutdown poke connection lands here too
-        }
-        let Ok(stream) = stream else { continue };
-        state.accepted.fetch_add(1, Ordering::Relaxed);
-        let accepted_at = Instant::now();
-        if let Err((stream, _)) = queue.try_push((stream, accepted_at)) {
-            // Admission reject: answer 503 without occupying a worker. The
-            // short write timeout keeps a slow client from stalling accepts.
-            state.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
-            let mut stream = stream;
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-            let _ = HttpResponse::error(503, "server overloaded, retry shortly")
-                .with_header("Retry-After", "1".to_string())
-                .write_to(&mut stream);
-        }
-    }
-}
-
-fn worker_loop(state: &ServeState, queue: &BoundedQueue<Job>) {
-    while let Some((mut stream, accepted_at)) = queue.pop() {
+    while let Some(item) = queue.pop() {
+        let conn::WorkItem { mut stream, request, accepted_at, residual, requests_served } = item;
         state.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        let _ = stream.set_read_timeout(Some(state.config.deadline));
-        let _ = stream.set_write_timeout(Some(state.config.deadline));
-        let _ = stream.set_nodelay(true);
-        let response = match http::read_request(&mut stream) {
-            Ok(request) => state.handle(&request, accepted_at),
-            Err(http::HttpError::TooLarge) => HttpResponse::error(400, "request too large"),
-            Err(e) => HttpResponse::error(400, &format!("{e}")),
-        };
+        let response = state.handle(&request, accepted_at);
         let micros = u64::try_from(accepted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
         state.metrics.record_status(response.status);
         state.metrics.latency.record(micros);
         let response = response.with_header("x-gks-micros", micros.to_string());
-        if response.write_to(&mut stream).is_ok() {
-            state.served.fetch_add(1, Ordering::Relaxed);
+        // A drain closes keep-alive connections after their in-flight
+        // response: honoring `keep_alive` would park them forever.
+        let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+        let buf = response.serialize(keep_alive);
+        let mut written = 0;
+        match conn::write_some(&mut stream, &buf, &mut written) {
+            conn::WriteOutcome::Done => {
+                state.served.fetch_add(1, Ordering::Relaxed);
+                if keep_alive {
+                    shared.retire(conn::Retired {
+                        stream,
+                        kind: conn::RetiredKind::Idle { residual },
+                        requests_served: requests_served + 1,
+                    });
+                }
+            }
+            conn::WriteOutcome::Blocked => {
+                // Slow reader: park the remaining bytes on the reactor
+                // instead of pinning this worker (it counts `served` when
+                // the flush completes).
+                shared.retire(conn::Retired {
+                    stream,
+                    kind: conn::RetiredKind::Flush { buf, written, keep_alive, residual },
+                    requests_served: requests_served + 1,
+                });
+            }
+            conn::WriteOutcome::Closed => {}
         }
         state.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.pending.fetch_sub(1, Ordering::SeqCst);
+        // `retire()` above wakes the reactor when a socket went back; a
+        // closed socket needs no wake — except during a drain, where the
+        // reactor may be parked in poll waiting for pending to hit zero.
+        if stop.load(Ordering::SeqCst) {
+            shared.wake();
+        }
     }
 }
 
@@ -1088,13 +1170,15 @@ impl Server {
     /// construction (consumes the server).
     pub fn shutdown(mut self) -> DrainReport {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
-        if let Some(handle) = self.acceptor.take() {
+        // No more admissions; workers drain the backlog, then exit.
+        self.queue.shutdown();
+        // Pop the reactor out of poll() so it sees the stop flag; it exits
+        // once every dispatched request has been answered and every
+        // in-progress response flush has completed.
+        self.shared.wake();
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
-        // No more admissions; release workers once the backlog drains.
-        self.queue.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }

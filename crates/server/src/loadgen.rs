@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::client::http_get;
+use crate::client::{http_get, ClientResponse, HttpClient};
 use crate::http::percent_encode;
 
 /// How request send times are decided.
@@ -91,6 +91,18 @@ pub struct LoadgenConfig {
     /// Send `explain=1` and collect the per-response `x-gks-cost` summary,
     /// so the report can put work per query next to QPS.
     pub explain: bool,
+    /// Reuse one keep-alive connection per client thread instead of
+    /// connecting per request (the event-driven server parks the idle
+    /// socket between requests).
+    pub keep_alive: bool,
+    /// Extra idle connections opened before the run and held for its whole
+    /// duration (`--connections`): a high-connection sweep measures QPS and
+    /// latency while the server multiplexes thousands of parked sockets.
+    pub connections: usize,
+    /// Slowloris connections (`--slow-clients`): each sends a partial
+    /// request head and then stalls. They must pin reactor poll slots, not
+    /// workers — the measured workload should be unaffected.
+    pub slow_clients: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -105,6 +117,9 @@ impl Default for LoadgenConfig {
             pacing: Pacing::Closed,
             targets: Vec::new(),
             explain: false,
+            keep_alive: false,
+            connections: 0,
+            slow_clients: 0,
         }
     }
 }
@@ -365,6 +380,29 @@ fn pick_target<'a>(config: &'a LoadgenConfig, rng: &mut SplitMix64) -> Option<&'
     config.targets.last()
 }
 
+/// Routes one GET through the per-thread keep-alive connection when
+/// [`LoadgenConfig::keep_alive`] is set, dialing (or redialing) on demand;
+/// otherwise falls back to connect-per-request [`http_get`]. A transport
+/// error clears the slot so the next request reconnects.
+fn send(
+    config: &LoadgenConfig,
+    target: &str,
+    conn: &mut Option<HttpClient>,
+) -> std::io::Result<ClientResponse> {
+    if !config.keep_alive {
+        return http_get(config.addr, target, config.timeout);
+    }
+    let mut client = match conn.take() {
+        Some(client) => client,
+        None => HttpClient::connect(config.addr, config.timeout)?,
+    };
+    let response = client.get(target)?;
+    // Only a healthy connection goes back in the slot; an error above
+    // dropped the client, so the next request redials.
+    *conn = Some(client);
+    Ok(response)
+}
+
 /// Issues one request and tallies its outcome. `index` routes via the
 /// `/ix/<name>/` prefix when given. Returns the measured latency anchored at
 /// `measure_from` (closed loop: the actual send; open loop: the scheduled
@@ -376,6 +414,7 @@ fn issue(
     entry: &WorkloadEntry,
     index: Option<&str>,
     measure_from: Instant,
+    conn: &mut Option<HttpClient>,
 ) -> Option<u64> {
     let prefix = match index {
         Some(name) => format!("/ix/{}", percent_encode(name)),
@@ -387,7 +426,7 @@ fn issue(
         percent_encode(&entry.s),
         if config.explain { "&explain=1" } else { "" }
     );
-    match http_get(config.addr, &target, config.timeout) {
+    match send(config, &target, conn) {
         Ok(response) => {
             let micros = u64::try_from(measure_from.elapsed().as_micros()).unwrap_or(u64::MAX);
             let counter = match response.status {
@@ -442,6 +481,11 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
         workload.to_vec()
     });
     let tallies = Arc::new(SharedTallies::default());
+    // Background sockets held for the whole run: `connections` idle
+    // keep-alive conns (the server parks them in its poll set) and
+    // `slow_clients` slowloris conns that stall mid-request-head. Both are
+    // dropped only after the measured workload finishes.
+    let _holders = open_holders(config);
     let started = Instant::now();
     let total = (config.clients.max(1) * config.requests_per_client) as u64;
     let (latencies_micros, send_lags_micros) = match config.pacing {
@@ -471,6 +515,29 @@ pub fn run(config: &LoadgenConfig, workload: &[WorkloadEntry]) -> LoadReport {
     }
 }
 
+/// Opens the idle and slowloris holder connections. Idle holders complete
+/// the TCP handshake and go silent — a well-behaved but inactive keep-alive
+/// client. Slowloris holders send an unterminated request head and stall,
+/// which must tie up a poll slot (until the read deadline evicts them with
+/// a 408), never a worker. Connect failures are skipped: the point is the
+/// population held open, not an exact count.
+fn open_holders(config: &LoadgenConfig) -> Vec<std::net::TcpStream> {
+    use std::io::Write as _;
+    let mut holders = Vec::with_capacity(config.connections + config.slow_clients);
+    for _ in 0..config.connections {
+        if let Ok(stream) = std::net::TcpStream::connect_timeout(&config.addr, config.timeout) {
+            holders.push(stream);
+        }
+    }
+    for _ in 0..config.slow_clients {
+        if let Ok(mut stream) = std::net::TcpStream::connect_timeout(&config.addr, config.timeout) {
+            let _ = stream.write(b"GET /search?q=slowloris HTTP/1.1\r\nHost: gks\r\n");
+            holders.push(stream);
+        }
+    }
+    holders
+}
+
 /// Closed loop: each client sends back-to-back.
 fn run_closed(
     config: &LoadgenConfig,
@@ -486,11 +553,14 @@ fn run_closed(
                 let mut rng = SplitMix64(config.seed ^ (client_id as u64).wrapping_mul(0x9e37));
                 let sampler = ZipfSampler::new(entries.len(), config.zipf_s);
                 let mut latencies = Vec::with_capacity(config.requests_per_client);
+                let mut conn = None;
                 for _ in 0..config.requests_per_client {
                     let entry = &entries[sampler.sample(&mut rng)];
                     let index = pick_target(&config, &mut rng).map(|t| t.name.clone());
                     let sent = Instant::now();
-                    if let Some(micros) = issue(&config, &tallies, entry, index.as_deref(), sent) {
+                    if let Some(micros) =
+                        issue(&config, &tallies, entry, index.as_deref(), sent, &mut conn)
+                    {
                         latencies.push(micros);
                     }
                 }
@@ -534,6 +604,7 @@ fn run_open(
                 let sampler = ZipfSampler::new(entries.len(), config.zipf_s);
                 let mut latencies = Vec::new();
                 let mut lags = Vec::new();
+                let mut conn = None;
                 loop {
                     let slot = next_slot.fetch_add(1, Ordering::Relaxed);
                     if slot as u64 >= total {
@@ -550,7 +621,9 @@ fn run_open(
                     lags.push(u64::try_from(lag.as_micros()).unwrap_or(u64::MAX));
                     let entry = &entries[sampler.sample(&mut rng)];
                     let index = pick_target(&config, &mut rng).map(|t| t.name.clone());
-                    if let Some(micros) = issue(&config, &tallies, entry, index.as_deref(), due) {
+                    if let Some(micros) =
+                        issue(&config, &tallies, entry, index.as_deref(), due, &mut conn)
+                    {
                         latencies.push(micros);
                     }
                 }

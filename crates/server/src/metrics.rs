@@ -155,6 +155,23 @@ pub struct Metrics {
     /// Scatters abandoned (503) because the retry also raced a reload —
     /// mixed-generation answers are never merged.
     pub shard_mixed_generation_total: AtomicU64,
+    /// Connections currently owned by the reactor (gauge; a socket being
+    /// handled by a worker is counted by `in_flight` instead).
+    pub conn_open: AtomicU64,
+    /// Reactor-owned connections parked mid-request — reading a request
+    /// that has started arriving, or flushing a response (gauge).
+    pub conn_parked: AtomicU64,
+    /// Fully-read requests waiting in the dispatch queue (gauge).
+    pub conn_queue_depth: AtomicU64,
+    /// Requests dispatched on a connection that had already served at
+    /// least one response (keep-alive reuse).
+    pub conn_keepalive_requests_total: AtomicU64,
+    /// Connections evicted by the reactor: request deadline while reading
+    /// (answered 408), idle timeout between requests, or a stalled flush.
+    pub conn_evictions_total: AtomicU64,
+    /// First byte of a request to worker dispatch, µs — the read-side wait
+    /// the reactor absorbed on behalf of the worker pool.
+    pub conn_accept_to_dispatch_micros: Histogram,
     /// Rolling top-K most-expensive-query table (`GET /debug/top?n=`).
     pub top_queries: TopQueries,
 }
@@ -334,6 +351,31 @@ impl Metrics {
             "gks_shard_mixed_generation_total {}",
             load(&self.shard_mixed_generation_total)
         );
+        // Connection-layer stats from the reactor. The histogram follows
+        // the sampled convention: quantile lines omitted at zero samples,
+        // `_count` always present.
+        let _ = writeln!(out, "gks_conn_open {}", load(&self.conn_open));
+        let _ = writeln!(out, "gks_conn_parked {}", load(&self.conn_parked));
+        let _ = writeln!(out, "gks_conn_queue_depth {}", load(&self.conn_queue_depth));
+        let _ = writeln!(
+            out,
+            "gks_conn_keepalive_requests_total {}",
+            load(&self.conn_keepalive_requests_total)
+        );
+        let _ = writeln!(out, "gks_conn_evictions_total {}", load(&self.conn_evictions_total));
+        let dispatch = &self.conn_accept_to_dispatch_micros;
+        if dispatch.count() > 0 {
+            for (q, label) in QUANTILES {
+                if let Some(v) = dispatch.quantile(q) {
+                    let _ = writeln!(
+                        out,
+                        "gks_conn_accept_to_dispatch_micros{{quantile=\"{label}\"}} {v}"
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "gks_conn_accept_to_dispatch_micros_sum {}", dispatch.sum());
+        let _ = writeln!(out, "gks_conn_accept_to_dispatch_micros_count {}", dispatch.count());
         // TinyLFU admission outcomes, summed across every index's cache.
         let admitted: u64 = indexes.iter().map(|v| v.cache_admitted_total).sum();
         let rejected: u64 = indexes.iter().map(|v| v.cache_rejected_total).sum();

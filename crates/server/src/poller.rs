@@ -1,0 +1,148 @@
+//! Readiness multiplexing for the reactor, std-only.
+//!
+//! On Unix this wraps `poll(2)` through the same minimal `extern "C"`
+//! technique `signal.rs` uses for `signal(2)` — no crate dependency, one
+//! syscall, level-triggered semantics that pair naturally with the
+//! reactor's "retry until `WouldBlock`" I/O. On other platforms it
+//! degrades to a short sleep that reports every slot ready; the sockets
+//! are nonblocking, so a spurious ready costs one `WouldBlock` read.
+
+use std::net::{TcpListener, TcpStream};
+
+/// One pollable endpoint the reactor is interested in.
+#[derive(Debug)]
+pub(crate) enum Source<'a> {
+    Listener(&'a TcpListener),
+    Stream(&'a TcpStream),
+}
+
+/// An entry in the poll set: which socket, which direction, and the
+/// caller's token for mapping readiness back to a connection.
+#[derive(Debug)]
+pub(crate) struct Slot<'a> {
+    pub token: usize,
+    pub src: Source<'a>,
+    /// Poll for writability instead of readability.
+    pub write: bool,
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{Slot, Source};
+    use std::os::unix::io::AsRawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Blocks up to `timeout_ms` and returns the tokens of every slot with
+    /// any readiness (including errors/hangups — the subsequent
+    /// nonblocking I/O surfaces those as `Closed`).
+    pub(crate) fn wait(slots: &[Slot<'_>], timeout_ms: i32) -> Vec<usize> {
+        if slots.is_empty() {
+            return Vec::new();
+        }
+        let mut fds: Vec<PollFd> = slots
+            .iter()
+            .map(|slot| PollFd {
+                fd: match slot.src {
+                    Source::Listener(l) => l.as_raw_fd(),
+                    Source::Stream(s) => s.as_raw_fd(),
+                },
+                events: if slot.write { POLLOUT } else { POLLIN },
+                revents: 0,
+            })
+            .collect();
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc <= 0 {
+            // Timeout or EINTR: nothing ready; the reactor loops again.
+            return Vec::new();
+        }
+        slots
+            .iter()
+            .zip(&fds)
+            .filter(|(_, fd)| fd.revents != 0)
+            .map(|(slot, _)| slot.token)
+            .collect()
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::Slot;
+    use std::time::Duration;
+
+    /// Portable fallback: nap briefly, then claim everything is ready.
+    /// Level-triggered spurious readiness is harmless — all sockets are
+    /// nonblocking, so a not-actually-ready slot costs one `WouldBlock`.
+    pub(crate) fn wait(slots: &[Slot<'_>], timeout_ms: i32) -> Vec<usize> {
+        std::thread::sleep(Duration::from_millis(u64::from(timeout_ms.clamp(0, 2) as u32)));
+        slots.iter().map(|slot| slot.token).collect()
+    }
+}
+
+pub(crate) use imp::wait;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    #[test]
+    fn readable_stream_is_reported_and_quiet_stream_is_not() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut chatty_client = std::net::TcpStream::connect(addr).unwrap();
+        let (chatty, _) = listener.accept().unwrap();
+        let _quiet_client = std::net::TcpStream::connect(addr).unwrap();
+        let (quiet, _) = listener.accept().unwrap();
+        chatty_client.write_all(b"hi").unwrap();
+        chatty_client.flush().unwrap();
+
+        // Poll until the written bytes are visible on the accepted side.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let slots = [
+                Slot { token: 7, src: Source::Stream(&chatty), write: false },
+                Slot { token: 8, src: Source::Stream(&quiet), write: false },
+            ];
+            let ready = wait(&slots, 50);
+            if ready.contains(&7) {
+                #[cfg(unix)]
+                assert!(!ready.contains(&8), "quiet stream reported readable");
+                return;
+            }
+            assert!(std::time::Instant::now() < deadline, "chatty stream never ready");
+        }
+    }
+
+    #[test]
+    fn pending_accept_makes_the_listener_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let slots = [Slot { token: 0, src: Source::Listener(&listener), write: false }];
+            if wait(&slots, 50).contains(&0) {
+                return;
+            }
+            assert!(std::time::Instant::now() < deadline, "listener never ready");
+        }
+    }
+
+    #[test]
+    fn empty_poll_set_returns_immediately() {
+        assert!(wait(&[], 0).is_empty());
+    }
+}

@@ -179,6 +179,38 @@ fn sharded_explain_carries_scatter_timing_cost_and_top_entry() {
     assert_eq!(bad.status, 400);
 }
 
+/// The ISSUE's acceptance bar for the persistent shard executor: once the
+/// resident index is warm, a sharded `/search` issues **zero** thread
+/// spawns on the request path — scatter is a channel send into per-shard
+/// lanes that already exist. `gks_exec` counts every pool thread it ever
+/// spawns, so a flat counter across a burst of cache-missing requests
+/// proves the fan-out is spawn-free.
+#[test]
+fn sharded_search_spawns_no_threads_on_the_request_path() {
+    let corpus = {
+        let mut c = Corpus::new();
+        for i in 0..8 {
+            c.push(format!("doc{i}"), format!("<r><a>alpha beta</a><b>gamma doc{i}</b></r>"));
+        }
+        c
+    };
+    let split = sharded_state(&corpus, 4);
+    // Warm-up: the first request may lazily grow executor lanes.
+    assert_eq!(get(&split, "/search?q=alpha&s=1").status, 200);
+    let spawned_before = gks_exec::threads_spawned_total();
+    for i in 0..20 {
+        // Distinct queries dodge the result cache, forcing a real scatter.
+        let response = get(&split, &format!("/search?q=alpha+gamma+doc{i}&s=1"));
+        assert_eq!(response.status, 200);
+        assert_eq!(header(&response, "x-gks-shards"), Some("4"));
+    }
+    assert_eq!(
+        gks_exec::threads_spawned_total(),
+        spawned_before,
+        "warm sharded scatter must not spawn threads per request"
+    );
+}
+
 /// Builds a 2-shard on-disk index set (plus manifest) for the reload test.
 fn persist_shards(dir: &std::path::Path, corpus: &Corpus) -> std::path::PathBuf {
     std::fs::create_dir_all(dir).unwrap();

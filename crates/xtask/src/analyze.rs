@@ -15,6 +15,11 @@
 //! * `no-unbounded-channel` — `mpsc::channel()` in the serving crate; the
 //!   admission-controlled pool must stay bounded (`sync_channel` or the
 //!   `BoundedQueue` are fine).
+//! * `no-blocking-in-reactor` — any blocking operation in a `*reactor.rs`
+//!   file, guard or no guard. The reactor thread owns every connection;
+//!   one blocking call stalls all of them, so its event loop must stay
+//!   readiness-driven (the poll wait itself lives in `poller.rs`, outside
+//!   this rule's file scope, deliberately).
 //!
 //! The model is textual (see [`crate::model`]): method calls resolve to
 //! crate-local functions only when the bare name is unique in the crate,
@@ -43,6 +48,8 @@ pub struct CrateSpec {
     pub guard_spawn: bool,
     /// Enforce `no-unbounded-channel`.
     pub unbounded_channel: bool,
+    /// Enforce `no-blocking-in-reactor` (files ending `reactor.rs`).
+    pub reactor_nonblocking: bool,
 }
 
 /// The production crate set: every crate that declares or touches a lock.
@@ -53,6 +60,15 @@ pub const DEFAULT_SPECS: &[CrateSpec] = &[
         guard_blocking: false,
         guard_spawn: false,
         unbounded_channel: false,
+        reactor_nonblocking: false,
+    },
+    CrateSpec {
+        name: "exec",
+        lock_order: true,
+        guard_blocking: false,
+        guard_spawn: false,
+        unbounded_channel: false,
+        reactor_nonblocking: false,
     },
     CrateSpec {
         name: "index",
@@ -60,6 +76,7 @@ pub const DEFAULT_SPECS: &[CrateSpec] = &[
         guard_blocking: false,
         guard_spawn: true,
         unbounded_channel: false,
+        reactor_nonblocking: false,
     },
     CrateSpec {
         name: "server",
@@ -67,6 +84,7 @@ pub const DEFAULT_SPECS: &[CrateSpec] = &[
         guard_blocking: true,
         guard_spawn: true,
         unbounded_channel: true,
+        reactor_nonblocking: true,
     },
     CrateSpec {
         name: "trace",
@@ -74,6 +92,7 @@ pub const DEFAULT_SPECS: &[CrateSpec] = &[
         guard_blocking: false,
         guard_spawn: false,
         unbounded_channel: false,
+        reactor_nonblocking: false,
     },
 ];
 
@@ -83,11 +102,12 @@ type RuleFlag = fn(&CrateSpec) -> bool;
 /// Prints which crates each analyze rule covers (`cargo xtask analyze
 /// --crates`); CI greps this like it greps `lint --crates`.
 pub fn print_coverage() {
-    let rules: [(&str, RuleFlag); 4] = [
+    let rules: [(&str, RuleFlag); 5] = [
         ("lock-order", |s| s.lock_order),
         ("no-guard-across-blocking", |s| s.guard_blocking),
         ("no-guard-across-spawn", |s| s.guard_spawn),
         ("no-unbounded-channel", |s| s.unbounded_channel),
+        ("no-blocking-in-reactor", |s| s.reactor_nonblocking),
     ];
     for (rule, enabled) in rules {
         let crates: Vec<&str> =
@@ -363,6 +383,7 @@ fn walk_fn(
     out: &mut Analysis,
 ) {
     let path = &model.files[file_idx].path;
+    let in_reactor = spec.reactor_nonblocking && path.ends_with("reactor.rs");
     let mut live: Vec<LiveGuard> = Vec::new();
     for e in &f.events {
         live.retain(|g| g.live_end > e.idx());
@@ -431,6 +452,16 @@ fn walk_fn(
                         }
                     }
                 }
+                if in_reactor {
+                    if let Some(what) = &callee.blocking {
+                        out.violations.push(reactor_violation(
+                            path,
+                            c.line,
+                            &f.name,
+                            &format!("{what} (via `{}`)", c.callee),
+                        ));
+                    }
+                }
                 if !live.is_empty() {
                     if spec.guard_blocking {
                         if let Some(what) = &callee.blocking {
@@ -468,6 +499,9 @@ fn walk_fn(
                 }
             }
             Event::Blocking(b) => {
+                if in_reactor {
+                    out.violations.push(reactor_violation(path, b.line, &f.name, &b.what));
+                }
                 if spec.guard_blocking && !live.is_empty() {
                     out.violations.push(blocking_violation(path, b.line, &f.name, &live, &b.what));
                 }
@@ -497,6 +531,20 @@ fn blocking_violation(
             "guard on {} held across blocking {what} in fn `{fn_name}` — \
              drop the guard (or clone what it protects) before blocking",
             held_list(live)
+        ),
+    }
+}
+
+/// Formats a `no-blocking-in-reactor` violation.
+fn reactor_violation(path: &str, line: usize, fn_name: &str, what: &str) -> Violation {
+    Violation {
+        path: path.to_string(),
+        line,
+        rule: "no-blocking-in-reactor",
+        message: format!(
+            "blocking {what} in reactor fn `{fn_name}` — the reactor thread owns \
+             every connection, so one blocking call stalls all of them; hand the \
+             work to a worker or use a readiness-driven (WouldBlock) call"
         ),
     }
 }

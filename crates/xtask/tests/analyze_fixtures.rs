@@ -19,6 +19,7 @@ fn spec(name: &'static str) -> CrateSpec {
         guard_blocking: true,
         guard_spawn: true,
         unbounded_channel: true,
+        reactor_nonblocking: true,
     }
 }
 
@@ -70,6 +71,31 @@ fn guardio_fixture_fires_each_guard_rule_at_the_exact_line() {
         .find(|v| v.rule == "no-guard-across-blocking")
         .expect("blocking violation present");
     assert!(io.message.contains("guardio/lib.LOG"), "got {}", io.message);
+}
+
+#[test]
+fn reactorblock_fixture_flags_blocking_only_inside_the_reactor_file() {
+    let analysis = analyze_tree(&fixtures_root(), &[spec("reactorblock")]);
+    let mut hits: Vec<(&str, usize)> =
+        analysis.violations.iter().map(|v| (v.rule, v.line)).collect();
+    hits.sort_unstable();
+    assert_eq!(
+        hits,
+        vec![
+            ("no-blocking-in-reactor", 9),
+            ("no-blocking-in-reactor", 14),
+            ("no-blocking-in-reactor", 19),
+        ],
+        "violations: {:#?}",
+        analysis.violations
+    );
+    for v in &analysis.violations {
+        assert!(
+            v.path.ends_with("reactorblock/src/reactor.rs"),
+            "the rule is file-scoped; lib.rs blocking must not fire: {v:?}"
+        );
+        assert!(v.message.contains("reactor"), "got {}", v.message);
+    }
 }
 
 #[test]

@@ -1,0 +1,11 @@
+//! Fixture crate for the `no-blocking-in-reactor` rule: blocking calls
+//! live in `reactor.rs` (all flagged) and in this file (none flagged —
+//! the rule is file-scoped, and no guard is live here).
+//!
+//! Analyzer input only; never compiled.
+
+mod reactor;
+
+pub fn outside_the_reactor_is_fine() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

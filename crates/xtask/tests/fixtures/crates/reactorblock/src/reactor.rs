@@ -1,0 +1,20 @@
+//! Fixture: blocking calls inside a reactor file — every one must be
+//! reported by `no-blocking-in-reactor` whether or not a guard is live.
+//!
+//! Analyzer input only; never compiled.
+
+use std::io::Read;
+
+pub fn poll_loop(listener: &std::net::TcpListener) {
+    let (stream, _) = listener.accept().unwrap();
+    drop(stream);
+}
+
+pub fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn drain(stream: &mut std::net::TcpStream) {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+}
