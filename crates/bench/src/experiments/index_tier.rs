@@ -1,0 +1,194 @@
+//! Index-tier experiment: format v2 (eager single-stream postings) versus
+//! v3 (block-compressed postings behind a term dictionary, served off an
+//! mmap). Four measurements back the format's claims:
+//!
+//! * **file size** — delta-blocked postings make v3 strictly smaller;
+//! * **cold open** — v3 reads no posting blocks at open, so open time is
+//!   near-constant in corpus size;
+//! * **resident posting memory** — at 4 shards, v3 keeps postings on the
+//!   map instead of the heap;
+//! * **search throughput** — lazily-decoded postings serve the same
+//!   workload at comparable speed, with every response byte-identical.
+
+use std::path::Path;
+use std::time::Instant;
+
+use gks_core::engine::Engine;
+use gks_core::query::Query;
+use gks_core::search::{SearchOptions, Threshold};
+use gks_core::wire;
+use gks_datagen::dblp;
+use gks_index::{split_corpus, Corpus, GksIndex, IndexFormat, IndexOptions};
+
+use crate::table::TextTable;
+
+/// DBLP articles in the main corpus — large enough that eager posting
+/// decode dominates a v2 open, small enough for a CI bench leg.
+const ARTICLES: usize = 8000;
+const SEED: u64 = 2016;
+
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2}MB", bytes as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1}KB", bytes as f64 / (1 << 10) as f64)
+    }
+}
+
+/// Median wall-clock milliseconds of `tries` cold loads of `path`.
+fn median_open_millis(path: &Path, tries: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..tries)
+        .map(|_| {
+            let start = Instant::now();
+            let ix = GksIndex::load(path).expect("load");
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            drop(ix);
+            elapsed
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let dir = std::env::temp_dir().join("gks-index-tier");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = dblp::generate(&dblp::Config { articles: ARTICLES, ..Default::default() }, SEED);
+    let clusters = &out.clusters;
+    let corpus = Corpus::from_named_strs([("dblp", out.xml.as_str())]).expect("corpus");
+    let index = GksIndex::build(&corpus, IndexOptions::default()).expect("index");
+
+    // File size: the same index persisted in both formats.
+    let v2_path = dir.join("dblp-v2.gksix");
+    let v3_path = dir.join("dblp-v3.gksix");
+    let v2_size = index.save_as(&v2_path, IndexFormat::V2).expect("save v2");
+    let v3_size = index.save_as(&v3_path, IndexFormat::V3).expect("save v3");
+    let mut size = TextTable::new(&["Format", "File Size", "Bytes/Article", "vs v2"]);
+    for (name, bytes) in [("v2 (eager)", v2_size), ("v3 (blocked)", v3_size)] {
+        size.row(&[
+            name.to_string(),
+            fmt_bytes(bytes),
+            format!("{:.0}", bytes as f64 / ARTICLES as f64),
+            format!("{:.3}x", bytes as f64 / v2_size as f64),
+        ]);
+    }
+
+    // Cold open: v3 parses the footer and dictionary but no posting
+    // blocks; v2 decodes every posting list before returning.
+    let v2_open = median_open_millis(&v2_path, 5);
+    let v3_open = median_open_millis(&v3_path, 5);
+    let v3_cold = GksIndex::load(&v3_path).expect("load v3");
+    assert_eq!(v3_cold.decoded_terms(), 0, "a v3 open must decode no posting blocks");
+    let mut open = TextTable::new(&["Format", "Cold Open (median)", "Terms Decoded at Open"]);
+    open.row(&["v2 (eager)".into(), format!("{v2_open:.2}ms"), "all".into()]);
+    open.row(&["v3 (blocked)".into(), format!("{v3_open:.2}ms"), "0".into()]);
+    drop(v3_cold);
+
+    // Resident posting memory at 4 shards: heap bytes held by the posting
+    // tier right after open, plus what v3 leaves on the map instead.
+    let mut resident = TextTable::new(&["Format", "Shards", "Posting Heap", "Mapped"]);
+    for format in [IndexFormat::V2, IndexFormat::V3] {
+        let shards = split_corpus(&corpus, 4);
+        let mut heap = 0u64;
+        let mut mapped = 0u64;
+        for (i, shard) in shards.iter().enumerate() {
+            let ix = GksIndex::build(shard, IndexOptions::default()).expect("shard index");
+            let path = dir.join(format!("shard-{i}.gksix"));
+            ix.save_as(&path, format).expect("save shard");
+            let loaded = GksIndex::load(&path).expect("load shard");
+            heap += loaded.inverted().resident_bytes();
+            mapped += loaded.bytes_mapped();
+        }
+        let name = match format {
+            IndexFormat::V2 => "v2 (eager)",
+            IndexFormat::V3 => "v3 (blocked)",
+        };
+        resident.row(&[name.into(), "4".into(), fmt_bytes(heap), fmt_bytes(mapped)]);
+    }
+
+    // Search throughput over the Table-6-shaped DBLP queries, byte-checked:
+    // both engines must produce identical wire responses for every query.
+    let queries: Vec<Query> = vec![
+        Query::from_keywords(clusters[0][..2].to_vec()).expect("QD1"),
+        Query::from_keywords(
+            clusters[0][..3].iter().chain(&clusters[1][..1]).cloned().collect::<Vec<_>>(),
+        )
+        .expect("QD2"),
+        Query::from_keywords(
+            clusters[0][..2]
+                .iter()
+                .chain(&clusters[1][..2])
+                .chain(&clusters[2][..2])
+                .cloned()
+                .collect::<Vec<_>>(),
+        )
+        .expect("QD3"),
+    ];
+    let options = SearchOptions { s: Threshold::Fixed(2), limit: 16 };
+    let v2_engine = Engine::from_index(GksIndex::load(&v2_path).expect("load v2"));
+    let v3_engine = Engine::from_index(GksIndex::load(&v3_path).expect("load v3"));
+    const ROUNDS: usize = 30;
+    let mut throughput = TextTable::new(&["Format", "Queries", "Total", "Throughput"]);
+    let mut baselines: Vec<String> = Vec::new();
+    for (name, engine) in [("v2 (eager)", &v2_engine), ("v3 (blocked)", &v3_engine)] {
+        let start = Instant::now();
+        let mut responses = Vec::new();
+        for _ in 0..ROUNDS {
+            responses.clear();
+            for query in &queries {
+                let response = engine.search(query, options).expect("search");
+                responses.push(wire::search_response_json(engine, &response));
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let total = ROUNDS * queries.len();
+        if baselines.is_empty() {
+            baselines = responses;
+        } else {
+            assert_eq!(baselines, responses, "v2/v3 responses must be byte-identical");
+        }
+        throughput.row(&[
+            name.to_string(),
+            queries.len().to_string(),
+            total.to_string(),
+            format!("{:.0} q/s", total as f64 / secs),
+        ]);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    format!(
+        "== Index tier: format v2 vs v3 (DBLP, {ARTICLES} articles) ==\n\
+         file size:\n{}\n\
+         cold open:\n{}\n\
+         posting-tier memory after open:\n{}\n\
+         search throughput (responses byte-checked equal):\n{}",
+        size.render(),
+        open.render(),
+        resident.render(),
+        throughput.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar: v3 strictly smaller on disk and no posting
+    /// decode at open, at a bench-shaped (pool-vocabulary) corpus.
+    #[test]
+    fn v3_is_smaller_and_opens_lazily() {
+        let dir = std::env::temp_dir().join(format!("gks-index-tier-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dblp::generate(&dblp::Config { articles: 400, ..Default::default() }, 7);
+        let corpus = Corpus::from_named_strs([("dblp", out.xml.as_str())]).unwrap();
+        let index = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let v2 = index.save_as(&dir.join("t.v2"), IndexFormat::V2).unwrap();
+        let v3 = index.save_as(&dir.join("t.v3"), IndexFormat::V3).unwrap();
+        assert!(v3 < v2, "v3 ({v3}) must be strictly smaller than v2 ({v2})");
+        let cold = GksIndex::load(&dir.join("t.v3")).unwrap();
+        assert_eq!(cold.decoded_terms(), 0);
+        assert!(cold.bytes_mapped() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -10,6 +10,7 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod hybrid;
+pub mod index_tier;
 pub mod lemma3;
 pub mod pipeline;
 pub mod quality;
@@ -40,6 +41,7 @@ pub const ALL: &[&str] = &[
     "di_quality",
     "serving",
     "connections",
+    "index-tier",
 ];
 
 /// Runs one experiment by id.
@@ -63,6 +65,7 @@ pub fn run(id: &str) -> Option<String> {
         "di_quality" => di_quality::run(),
         "serving" => serving::run(),
         "connections" => connections::run(),
+        "index-tier" => index_tier::run(),
         _ => return None,
     })
 }

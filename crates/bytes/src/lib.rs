@@ -7,8 +7,16 @@
 //! [`BytesMut`]. Multi-byte integers use big-endian order, matching the real
 //! crate, so on-disk artifacts stay compatible if the real `bytes` is ever
 //! swapped back in.
+//!
+//! One deliberate extension beyond the real crate's API: [`mmap::Mmap`], a
+//! std-only read-only memory map used by the format-v3 zero-copy index open
+//! (see that module's docs for why it lives here).
 
 use std::sync::Arc;
+
+pub mod mmap;
+
+pub use mmap::Mmap;
 
 /// Read-side cursor over a contiguous byte region (subset of `bytes::Buf`).
 pub trait Buf {

@@ -58,7 +58,8 @@ use gks_core::wire;
 use gks_datagen::Dataset;
 use gks_index::{
     commit_delta, compact, index_directory, split_corpus, validate_manifest,
-    validate_manifest_files, Corpus, GksIndex, IndexOptions, SchemaSummary, ShardManifest,
+    validate_manifest_files, Corpus, GksIndex, IndexFormat, IndexOptions, SchemaSummary,
+    ShardManifest,
 };
 use gks_server::catalog::{IndexSpec, DEFAULT_INDEX_NAME};
 use gks_server::{loadgen, signal, ServeConfig};
@@ -88,7 +89,7 @@ pub const USAGE: &str = "\
 gks — Generic Keyword Search over XML data (EDBT 2016)
 
 USAGE:
-  gks index [--shards N] <out.gksix> <file.xml>...|<corpus-dir>
+  gks index [--shards N] [--format v2|v3] <out.gksix> <file.xml>...|<corpus-dir>
   gks search <index.gksix> [-s N|all|half] [--limit N] [--json]
              [--di] [--analytics] [--trace] [--explain] <keyword>...
   gks suggest <index.gksix> [--json] <keyword>...
@@ -120,6 +121,9 @@ and `loadgen --explain` sends explain=1 so its report can summarize
 work per query (postings p50/p99) next to QPS.
 `index --shards N` partitions the corpus by document into N shard
 indexes next to <out> plus a shard manifest at <out> itself.
+`index --format` selects the on-disk layout: v3 (default) stores
+block-compressed postings behind a term dictionary and opens via mmap
+without decoding them; v2 is the eager single-stream format.
 `index <out> <corpus-dir>` builds an updatable manifest that records the
 corpus directory and per-document content hashes; `gks watch` (or
 `serve --watch`) then commits delta shards as the directory changes, and
@@ -193,8 +197,10 @@ fn parse_query(words: &[String]) -> Result<Query, CliError> {
 }
 
 fn cmd_index(args: &[String]) -> Result<String, CliError> {
-    const INDEX_USAGE: &str = "usage: gks index [--shards N] <out.gksix> <file.xml>...";
+    const INDEX_USAGE: &str =
+        "usage: gks index [--shards N] [--format v2|v3] <out.gksix> <file.xml>...";
     let mut shards = 1usize;
+    let mut format = IndexFormat::V3;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -204,6 +210,12 @@ fn cmd_index(args: &[String]) -> Result<String, CliError> {
                 if shards == 0 {
                     return Err(CliError::usage("--shards must be >= 1"));
                 }
+            }
+            "--format" => {
+                let value = take_value(&mut it, "--format")?;
+                format = IndexFormat::parse(value).ok_or_else(|| {
+                    CliError::usage(format!("--format must be v2 or v3, got {value:?}"))
+                })?;
             }
             _ => positional.push(arg),
         }
@@ -239,12 +251,12 @@ fn cmd_index(args: &[String]) -> Result<String, CliError> {
     let corpus = Corpus::from_paths(files.iter().copied())
         .map_err(|e| CliError::runtime(format!("cannot read corpus: {e}")))?;
     if shards > 1 {
-        return cmd_index_sharded(out, &corpus, shards);
+        return cmd_index_sharded(out, &corpus, shards, format);
     }
     let index = GksIndex::build(&corpus, IndexOptions::default())
         .map_err(|e| CliError::runtime(format!("indexing failed: {e}")))?;
     let written = index
-        .save(out)
+        .save_as(out, format)
         .map_err(|e| CliError::runtime(format!("cannot write {out:?}: {e}")))?;
     let s = index.stats();
     Ok(format!(
@@ -263,7 +275,12 @@ fn cmd_index(args: &[String]) -> Result<String, CliError> {
 /// self-contained shard indexes (written next to `out`) plus the shard
 /// manifest at `out` itself. Shard paths are stored relative to the
 /// manifest, so the whole set can be moved as a directory.
-fn cmd_index_sharded(out: &str, corpus: &Corpus, shards: usize) -> Result<String, CliError> {
+fn cmd_index_sharded(
+    out: &str,
+    corpus: &Corpus,
+    shards: usize,
+    format: IndexFormat,
+) -> Result<String, CliError> {
     let out_path = std::path::Path::new(out);
     let stem = out_path
         .file_stem()
@@ -280,7 +297,7 @@ fn cmd_index_sharded(out: &str, corpus: &Corpus, shards: usize) -> Result<String
         let file = format!("{stem}.shard{i}.gksix");
         let path = out_path.with_file_name(&file);
         let written = index
-            .save(&path)
+            .save_as(&path, format)
             .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
         let s = index.stats();
         let _ = writeln!(
@@ -658,6 +675,40 @@ fn is_manifest_file(path: &str) -> bool {
 /// disk-level state (missing/orphaned shard files, name mismatches), and
 /// the index-level doctor for every shard file that loads. Returns the
 /// report plus whether anything was sick.
+/// Appends the per-section byte breakdown of one index file (`gks doctor`):
+/// term dictionary, postings, node table and attribute store, for both the
+/// eager v2 stream and the blocked v3 layout.
+fn section_report(path: &std::path::Path, indent: &str, out: &mut String) {
+    let Ok(s) = gks_index::section_sizes(path) else {
+        return;
+    };
+    let pct = |n: u64| {
+        if s.total == 0 {
+            0.0
+        } else {
+            n as f64 * 100.0 / s.total as f64
+        }
+    };
+    let other = s.header + s.doc_names + s.labels + s.stats + s.footer;
+    let _ = writeln!(
+        out,
+        "{indent}format v{}, {} bytes: term dict {} ({:.1}%), postings {} ({:.1}%), \
+         node table {} ({:.1}%), attr store {} ({:.1}%), other {} ({:.1}%)",
+        s.version,
+        s.total,
+        s.term_dict,
+        pct(s.term_dict),
+        s.postings,
+        pct(s.postings),
+        s.node_table,
+        pct(s.node_table),
+        s.attr_store,
+        pct(s.attr_store),
+        other,
+        pct(other),
+    );
+}
+
 fn doctor_manifest(path: &str, out: &mut String) -> Result<bool, CliError> {
     let manifest = ShardManifest::load(path)
         .map_err(|e| CliError::runtime(format!("cannot load shard manifest {path:?}: {e}")))?;
@@ -694,6 +745,7 @@ fn doctor_manifest(path: &str, out: &mut String) -> Result<bool, CliError> {
         let shard_violations = index.doctor();
         if shard_violations.is_empty() {
             let _ = writeln!(out, "  shard {}: healthy ({})", entry.id, shown);
+            section_report(&full, "    ", out);
         } else {
             sick = true;
             let _ = writeln!(
@@ -735,6 +787,7 @@ fn cmd_doctor(args: &[String]) -> Result<String, CliError> {
                 "{path}: index is healthy — 0 violation(s) across {} node(s), {} term(s), {} posting(s)",
                 s.total_nodes, s.distinct_terms, s.total_postings
             );
+            section_report(std::path::Path::new(path), "  ", &mut out);
         } else {
             sick += 1;
             let _ = writeln!(out, "{path}: {} violation(s) found", violations.len());

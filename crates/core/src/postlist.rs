@@ -23,11 +23,7 @@ pub fn keyword_postings(index: &GksIndex, keyword: &Keyword) -> Vec<DeweyId> {
 /// dropped. An empty mask takes the unfiltered fast path, so unmasked
 /// search pays nothing.
 pub fn keyword_postings_masked(index: &GksIndex, dead: &[u32], keyword: &Keyword) -> Vec<DeweyId> {
-    let list = raw_keyword_postings(index, keyword);
-    if dead.is_empty() {
-        return list;
-    }
-    list.into_iter().filter(|id| dead.binary_search(&id.doc().0).is_err()).collect()
+    masked_keyword_postings(index, dead, keyword).0
 }
 
 /// [`keyword_postings_masked`] with cost accounting folded into `ledger`:
@@ -36,6 +32,8 @@ pub fn keyword_postings_masked(index: &GksIndex, dead: &[u32], keyword: &Keyword
 /// and `per_keyword` gains one lane holding the surviving list length. All
 /// three are deterministic functions of the index and the keyword, so the
 /// counts obey the same shard-sum and mask-equivalence laws as the answers.
+/// Scan counts come from the term dictionary ([`GksIndex::posting_count`]),
+/// which a format-v3 index answers without decoding any posting block.
 pub fn keyword_postings_counted(
     index: &GksIndex,
     dead: &[u32],
@@ -43,17 +41,36 @@ pub fn keyword_postings_counted(
     ledger: &mut CostLedger,
 ) -> Vec<DeweyId> {
     ledger.postings_scanned +=
-        keyword.terms().iter().map(|t| index.postings(t).len() as u64).sum::<u64>();
-    let raw = raw_keyword_postings(index, keyword);
-    let raw_len = raw.len() as u64;
-    let list: Vec<DeweyId> = if dead.is_empty() {
-        raw
-    } else {
-        raw.into_iter().filter(|id| dead.binary_search(&id.doc().0).is_err()).collect()
-    };
-    ledger.tombstone_masked += raw_len - list.len() as u64;
+        keyword.terms().iter().map(|t| index.posting_count(t) as u64).sum::<u64>();
+    let (list, masked) = masked_keyword_postings(index, dead, keyword);
+    ledger.tombstone_masked += masked;
     ledger.per_keyword.push(list.len() as u64);
     list
+}
+
+/// Shared fetch-and-mask: returns the surviving list and how many postings
+/// the mask dropped. A masked single-term keyword goes through
+/// [`GksIndex::postings_masked`], which on a format-v3 index can skip
+/// fully-tombstoned blocks without decoding them; phrases intersect raw
+/// lists first and mask the (smaller) intersection, preserving the ledger
+/// algebra of the eager path.
+fn masked_keyword_postings(
+    index: &GksIndex,
+    dead: &[u32],
+    keyword: &Keyword,
+) -> (Vec<DeweyId>, u64) {
+    if dead.is_empty() {
+        return (raw_keyword_postings(index, keyword), 0);
+    }
+    if let [term] = keyword.terms() {
+        return index.postings_masked(term, dead);
+    }
+    let raw = raw_keyword_postings(index, keyword);
+    let raw_len = raw.len() as u64;
+    let list: Vec<DeweyId> =
+        raw.into_iter().filter(|id| dead.binary_search(&id.doc().0).is_err()).collect();
+    let masked = raw_len - list.len() as u64;
+    (list, masked)
 }
 
 fn raw_keyword_postings(index: &GksIndex, keyword: &Keyword) -> Vec<DeweyId> {

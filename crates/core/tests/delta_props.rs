@@ -18,7 +18,7 @@ use gks_core::search::{SearchOptions, Threshold};
 use gks_core::shard::{load_manifest_engines, sharded_search_mapped};
 use gks_core::wire;
 use gks_index::delta::{commit_delta, compact, index_directory};
-use gks_index::{Corpus, IndexOptions, ShardManifest};
+use gks_index::{Corpus, GksIndex, IndexFormat, IndexOptions, ShardManifest};
 use proptest::prelude::*;
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
@@ -170,6 +170,84 @@ proptest! {
             want_cost.postings_scanned,
             "masked-out postings are exactly the scan excess"
         );
+        fs::remove_dir_all(&root).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Format equivalence on the wire: the same base+delta shard set must
+    /// search **byte-identically** whether its shard files are stored in
+    /// format v3 (block-compressed postings served off the mmap) or
+    /// rewritten as eager v2 — tombstone masks, document renumbering, rank
+    /// order, and the cost ledger included. This is the contract that lets
+    /// `gks index --format` be a pure storage choice.
+    #[test]
+    fn v2_and_v3_shard_files_search_byte_identically(
+        initial in prop::collection::vec(prop::collection::vec(0usize..6, 1..5), 1..4),
+        rounds in prop::collection::vec(arb_round(), 1..3),
+        shards in 1usize..4,
+        query_words in prop::collection::hash_set(0usize..6, 1..3),
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir()
+            .join(format!("gks-format-props-{}-{case}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let corpus = root.join("corpus");
+        fs::create_dir_all(&corpus).unwrap();
+        for (slot, words) in initial.iter().enumerate() {
+            fs::write(doc_path(&corpus, slot), doc_xml(words)).unwrap();
+        }
+        let manifest_path = root.join("corpus.shards");
+        index_directory(&corpus, &manifest_path, shards, IndexOptions::default()).unwrap();
+        for round in &rounds {
+            for op in &round.ops {
+                match op {
+                    Op::Write { slot, words } => {
+                        fs::write(doc_path(&corpus, *slot), doc_xml(words)).unwrap();
+                    }
+                    Op::Delete { slot } => {
+                        if live_docs(&corpus) > 1 {
+                            let _ = fs::remove_file(doc_path(&corpus, *slot));
+                        }
+                    }
+                }
+            }
+            commit_delta(&manifest_path).unwrap();
+            if round.compact_after {
+                compact(&manifest_path).unwrap();
+            }
+        }
+
+        let query = Query::from_keywords(
+            query_words.iter().map(|&w| WORDS[w].to_string()),
+        )
+        .unwrap();
+        let options = SearchOptions { s: Threshold::Fixed(1), limit: 16 };
+        let run = |manifest: &ShardManifest| {
+            let loaded = load_manifest_engines(manifest).unwrap();
+            let engines: Vec<&Engine> = loaded.iter().map(|(e, _)| e).collect();
+            let maps: Vec<_> = loaded.iter().map(|(_, m)| m.clone()).collect();
+            let merged = sharded_search_mapped(&engines, &maps, &query, options).unwrap();
+            wire::search_response_json_sharded(&engines, &merged)
+        };
+
+        // Search the shard set as written (v3 everywhere: `index_directory`,
+        // `commit_delta`, and `compact` all save the default format).
+        let manifest = ShardManifest::load(&manifest_path).unwrap();
+        let v3_json = run(&manifest);
+
+        // Rewrite every shard file as eager v2 in place — the manifest
+        // carries no per-file format knowledge, so nothing else changes —
+        // and search the same manifest again.
+        for entry in &manifest.shards {
+            let ix = GksIndex::load(&entry.path).unwrap();
+            prop_assert_eq!(ix.format_version(), 3, "shards are written v3 by default");
+            ix.save_as(&entry.path, IndexFormat::V2).unwrap();
+        }
+        let v2_json = run(&ShardManifest::load(&manifest_path).unwrap());
+        prop_assert_eq!(v2_json, v3_json, "wire bytes must not depend on the on-disk format");
         fs::remove_dir_all(&root).ok();
     }
 }

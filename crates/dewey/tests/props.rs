@@ -8,6 +8,16 @@ fn arb_id() -> impl Strategy<Value = DeweyId> {
         .prop_map(|(doc, steps)| DeweyId::new(DocId(doc), steps))
 }
 
+/// Ids for the blocked-run codec: documents from a small pool (so runs pack
+/// many postings per document and masks overlap) plus a few at the top of
+/// the u32 range, and steps spanning the full varint width at depths well
+/// past anything the tree builder emits.
+fn arb_deep_id() -> impl Strategy<Value = DeweyId> {
+    let doc = (0u32..16).prop_map(|d| if d < 12 { d } else { u32::MAX - (d - 12) });
+    (doc, proptest::collection::vec(0u32..u32::MAX, 0..24))
+        .prop_map(|(doc, steps)| DeweyId::new(DocId(doc), steps))
+}
+
 proptest! {
     /// Ancestor iff strict prefix, and prefix-order sorts ancestors first.
     #[test]
@@ -78,5 +88,59 @@ proptest! {
     #[test]
     fn parent_child_inverse(a in arb_id(), ord in 0u32..16) {
         prop_assert_eq!(a.child(ord).parent().unwrap(), a);
+    }
+
+    /// Blocked-run codec round trip, over runs long enough to span several
+    /// blocks and ids at extreme depth and step values (full-width varints).
+    /// Beyond the round trip itself, the skip table must cohere with the
+    /// blocks it indexes: each entry names its block's first id, last
+    /// document, and posting count. The length-1 case covers single-posting
+    /// terms, whose skip entry is reconstructed from the block leader.
+    #[test]
+    fn codec_blocked_run_round_trip(mut ids in proptest::collection::vec(arb_deep_id(), 0..300)) {
+        ids.sort();
+        ids.dedup();
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_blocked_run(&ids, &mut buf);
+        let frozen = buf.freeze();
+        let mut slice = frozen.as_ref();
+        let reader = codec::BlockedRunReader::parse(&mut slice, ids.len()).unwrap();
+        prop_assert!(slice.is_empty(), "parse must consume the run exactly");
+        prop_assert_eq!(reader.total(), ids.len());
+        prop_assert_eq!(reader.decode_all().unwrap(), ids.clone());
+        prop_assert_eq!(reader.skip_entries().len(), ids.len().div_ceil(codec::BLOCK_SIZE));
+        for (i, entry) in reader.skip_entries().iter().enumerate() {
+            let block = reader.decode_block(i).unwrap();
+            prop_assert_eq!(&entry.first, block.first().unwrap());
+            prop_assert_eq!(entry.last_doc, block.last().unwrap().doc());
+            prop_assert_eq!(entry.count, block.len());
+        }
+    }
+
+    /// Masked block decode equals decode-then-filter, and reports exactly
+    /// the number of postings it dropped — the law `postings_masked`
+    /// relies on to keep tombstoned v3 search byte-identical to eager v2.
+    #[test]
+    fn codec_blocked_masked_equals_filter(
+        mut ids in proptest::collection::vec(arb_deep_id(), 0..260),
+        mut dead in proptest::collection::vec(0u32..12, 0..8),
+    ) {
+        ids.sort();
+        ids.dedup();
+        dead.sort();
+        dead.dedup();
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_blocked_run(&ids, &mut buf);
+        let frozen = buf.freeze();
+        let mut slice = frozen.as_ref();
+        let reader = codec::BlockedRunReader::parse(&mut slice, ids.len()).unwrap();
+        let expected: Vec<DeweyId> = ids
+            .iter()
+            .filter(|id| dead.binary_search(&id.doc().0).is_err())
+            .cloned()
+            .collect();
+        let (masked, dropped) = reader.decode_masked(&dead).unwrap();
+        prop_assert_eq!(dropped, (ids.len() - expected.len()) as u64);
+        prop_assert_eq!(masked, expected);
     }
 }

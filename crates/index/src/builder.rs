@@ -22,7 +22,7 @@ use crate::error::IndexError;
 use crate::fasthash::FastMap;
 use crate::node_table::{NodeMeta, NodeTable};
 use crate::options::IndexOptions;
-use crate::postings::InvertedIndex;
+use crate::postings::{InvertedIndex, PostingsReader};
 use crate::stats::IndexStats;
 
 /// A fully built GKS index over a corpus.
@@ -31,10 +31,14 @@ pub struct GksIndex {
     options: IndexOptions,
     analyzer: Analyzer,
     node_table: NodeTable,
-    inverted: InvertedIndex,
+    inverted: PostingsReader,
     attrs: AttrStore,
     stats: IndexStats,
     doc_names: Vec<String>,
+    /// On-disk format this index was loaded from (0 for in-memory builds).
+    format_version: u32,
+    /// Wall-clock milliseconds [`GksIndex::load`] spent opening this index.
+    open_millis: u64,
 }
 
 /// Everything a closed element hands to its parent.
@@ -161,15 +165,17 @@ impl GksIndex {
             options,
             analyzer,
             node_table: NodeTable::new(),
-            inverted: InvertedIndex::new(),
+            inverted: PostingsReader::Heap(InvertedIndex::new()),
             attrs: AttrStore::new(),
             stats: IndexStats::default(),
             doc_names: Vec::new(),
+            format_version: 0,
+            open_millis: 0,
         }
     }
 
     fn finish(&mut self, start: Instant) {
-        self.inverted.finalize();
+        self.inverted.heap_mut().finalize();
         self.stats.distinct_terms = self.inverted.term_count() as u64;
         self.stats.total_postings = self.inverted.total_postings() as u64;
         self.stats.posting_depth_sum = self
@@ -224,8 +230,9 @@ impl GksIndex {
                         // their local part.
                         let local = tag.rsplit(':').next().unwrap_or(tag);
                         if let Some(term) = self.analyzer.normalize_term(local) {
-                            let tid = self.inverted.term_id(&term);
-                            self.inverted.push(tid, dewey.clone());
+                            let inv = self.inverted.heap_mut();
+                            let tid = inv.term_id(&term);
+                            inv.push(tid, dewey.clone());
                         }
                     }
                     let mut frame = OpenFrame {
@@ -252,9 +259,10 @@ impl GksIndex {
                     // for attribute nodes at candidate-generation time.
                     terms_buf.clear();
                     self.analyzer.analyze_into(&text, &mut terms_buf);
+                    let inv = self.inverted.heap_mut();
                     for term in &terms_buf {
-                        let tid = self.inverted.term_id(term);
-                        self.inverted.push(tid, frame.dewey.clone());
+                        let tid = inv.term_id(term);
+                        inv.push(tid, frame.dewey.clone());
                     }
                     if !text.trim().is_empty() {
                         if frame.has_text {
@@ -288,15 +296,17 @@ impl GksIndex {
         if self.options.index_element_names {
             let local = attr_name.rsplit(':').next().unwrap_or(attr_name);
             if let Some(term) = self.analyzer.normalize_term(local) {
-                let tid = self.inverted.term_id(&term);
-                self.inverted.push(tid, dewey.clone());
+                let inv = self.inverted.heap_mut();
+                let tid = inv.term_id(&term);
+                inv.push(tid, dewey.clone());
             }
         }
         let mut terms = Vec::new();
         self.analyzer.analyze_into(value, &mut terms);
+        let inv = self.inverted.heap_mut();
         for term in &terms {
-            let tid = self.inverted.term_id(term);
-            self.inverted.push(tid, dewey.clone());
+            let tid = inv.term_id(term);
+            inv.push(tid, dewey.clone());
         }
         self.stats.max_depth = self.stats.max_depth.max(dewey.depth() as u32);
         frame.children.push(ChildInfo {
@@ -443,10 +453,11 @@ impl GksIndex {
                 .collect();
             self.attrs.insert(entity.clone(), remapped);
         }
+        let inv = self.inverted.heap_mut();
         for (term, list) in other.inverted.iter() {
-            let tid = self.inverted.term_id(term);
+            let tid = inv.term_id(term);
             for id in list {
-                self.inverted.push(tid, id.clone());
+                inv.push(tid, id.clone());
             }
         }
         self.stats.merge(&other.stats);
@@ -467,9 +478,25 @@ impl GksIndex {
     }
 
     /// Inverted-index lookup: the document-ordered posting list `S_i` of a
-    /// normalized term.
+    /// normalized term. On a mapped (format v3) index this decodes the
+    /// term's blocked run on first access and caches it.
     pub fn postings(&self, term: &str) -> &[DeweyId] {
         self.inverted.postings(term)
+    }
+
+    /// Posting-list length for a term without forcing a decode: heap indexes
+    /// read the list length, mapped indexes the dictionary's stored count.
+    /// Always equals `self.postings(term).len()`.
+    pub fn posting_count(&self, term: &str) -> usize {
+        self.inverted.posting_count(term)
+    }
+
+    /// The posting list with documents in the sorted `dead` list masked out,
+    /// plus the exact number of postings dropped. On a mapped index whose
+    /// run is still cold, blocks lying entirely within dead documents are
+    /// skipped without decoding.
+    pub fn postings_masked(&self, term: &str, dead: &[u32]) -> (Vec<DeweyId>, u64) {
+        self.inverted.postings_masked(term, dead)
     }
 
     /// The node table (`entityHash` + `elementHash`).
@@ -497,15 +524,40 @@ impl GksIndex {
         &self.doc_names
     }
 
-    /// The raw inverted index (persistence and diagnostics).
-    pub fn inverted(&self) -> &InvertedIndex {
+    /// The posting-list reader (persistence and diagnostics).
+    pub fn inverted(&self) -> &PostingsReader {
         &self.inverted
+    }
+
+    /// On-disk format version this index was loaded from: 2 or 3 for loads,
+    /// 0 for an index built in memory.
+    pub fn format_version(&self) -> u32 {
+        self.format_version
+    }
+
+    /// Wall-clock milliseconds [`GksIndex::load`] took (0 for in-memory
+    /// builds). Measured here rather than by callers so the server's
+    /// metrics never need raw timing outside the index crate.
+    pub fn open_millis(&self) -> u64 {
+        self.open_millis
+    }
+
+    /// Bytes of index file served straight off a kernel memory map (0 for
+    /// heap-resident indexes).
+    pub fn bytes_mapped(&self) -> u64 {
+        self.inverted.bytes_mapped()
+    }
+
+    /// Posting runs decoded so far — 0 right after a v3 open, grows as
+    /// queries touch terms.
+    pub fn decoded_terms(&self) -> usize {
+        self.inverted.decoded_terms()
     }
 
     // ----- test-only mutators for the doctor's corrupted-index fixtures -----
 
     #[cfg(test)]
-    pub(crate) fn inverted_mut(&mut self) -> &mut InvertedIndex {
+    pub(crate) fn inverted_mut(&mut self) -> &mut PostingsReader {
         &mut self.inverted
     }
 
@@ -528,13 +580,29 @@ impl GksIndex {
     pub(crate) fn from_parts(
         options: IndexOptions,
         node_table: NodeTable,
-        inverted: InvertedIndex,
+        inverted: PostingsReader,
         attrs: AttrStore,
         stats: IndexStats,
         doc_names: Vec<String>,
     ) -> GksIndex {
         let analyzer = Analyzer::new(options.analyzer_options());
-        GksIndex { options, analyzer, node_table, inverted, attrs, stats, doc_names }
+        GksIndex {
+            options,
+            analyzer,
+            node_table,
+            inverted,
+            attrs,
+            stats,
+            doc_names,
+            format_version: 0,
+            open_millis: 0,
+        }
+    }
+
+    /// Records where this index came from (persistence layer).
+    pub(crate) fn set_open_info(&mut self, format_version: u32, open_millis: u64) {
+        self.format_version = format_version;
+        self.open_millis = open_millis;
     }
 }
 

@@ -46,6 +46,13 @@ pub fn wall_clock_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// How far a file's mtime must predate the last commit before the mtime
+/// fast path may skip hashing it. Covers the gap between the kernel's
+/// coarse file-timestamp clock (tick granularity, up to ~10ms) and the
+/// precise clock behind [`wall_clock_ms`], plus filesystems that truncate
+/// mtimes to whole seconds (FAT stores two-second resolution).
+const MTIME_SLACK_MS: u64 = 2_000;
+
 /// Stable 64-bit FNV-1a content hash used for change detection. Not a
 /// collision-resistant digest — it only has to distinguish "this document
 /// changed" from "it did not" across commits, and it must stay stable
@@ -165,11 +172,15 @@ pub fn plan_delta(manifest: &ShardManifest, corpus_dir: &Path) -> Result<DeltaPl
         if let Some(&entry) = old.get(scanned.name.as_str()) {
             seen.push(entry.name.as_str());
             // The mtime fast path is only trusted when the mtime predates
-            // the last commit: a write landing in the same millisecond as
-            // the recorded mtime would otherwise go undetected.
+            // the last commit by a clear margin. Strict `<` is not enough:
+            // file mtimes come from the kernel's coarse (tick-granularity)
+            // clock while `committed-ms` reads the precise one, so a
+            // rewrite landing in the same tick as the original write gets
+            // an identical mtime that still sorts before the commit — the
+            // hash check below is what catches it.
             if entry.mtime_ms != 0
                 && entry.mtime_ms == scanned.mtime_ms
-                && scanned.mtime_ms < manifest.committed_ms
+                && scanned.mtime_ms.saturating_add(MTIME_SLACK_MS) < manifest.committed_ms
             {
                 plan.docs.push(PlannedEntry::Keep(entry.clone()));
                 continue;

@@ -84,6 +84,24 @@ pub enum Violation {
         /// The entity whose entry is broken.
         entity: DeweyId,
     },
+    /// A format-v3 posting run failed to decode (the open-path checksum
+    /// covers only the header and footer, so block corruption surfaces
+    /// lazily; the doctor forces every run and reports the first failure).
+    PostingsCorrupt {
+        /// Decoder error description.
+        detail: String,
+    },
+    /// A term's dictionary posting count disagrees with its decoded run
+    /// (format v3 serves counts straight from the dictionary, so a mismatch
+    /// would skew cost accounting and scoring).
+    PostingCountMismatch {
+        /// The term whose count is broken.
+        term: String,
+        /// Count recorded in the term dictionary.
+        in_dict: usize,
+        /// Postings actually decoded from the run.
+        decoded: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -116,6 +134,13 @@ impl fmt::Display for Violation {
             Violation::AttrPathEmpty { entity } => {
                 write!(f, "attribute entry of {entity} has an empty element path")
             }
+            Violation::PostingsCorrupt { detail } => {
+                write!(f, "a posting run failed to decode: {detail}")
+            }
+            Violation::PostingCountMismatch { term, in_dict, decoded } => write!(
+                f,
+                "term {term:?} records {in_dict} posting(s) in the dictionary but its run decodes to {decoded}"
+            ),
         }
     }
 }
@@ -147,6 +172,21 @@ fn check_postings(index: &GksIndex, out: &mut Vec<Violation>) {
         if let Some(node) = list.iter().find(|id| index.node_table().get(id).is_none()) {
             out.push(Violation::PostingUnknownNode { term: term.to_string(), node: node.clone() });
         }
+        // Format v3 serves counts from the term dictionary without decoding;
+        // the audit forces the decode and cross-checks the two.
+        let in_dict = index.posting_count(term);
+        if in_dict != list.len() {
+            out.push(Violation::PostingCountMismatch {
+                term: term.to_string(),
+                in_dict,
+                decoded: list.len(),
+            });
+        }
+    }
+    // Iterating above forced every mapped run through its decoder; report
+    // any block-level corruption it surfaced.
+    if let Some(detail) = index.inverted().corrupt() {
+        out.push(Violation::PostingsCorrupt { detail: detail.to_string() });
     }
 }
 
@@ -249,8 +289,8 @@ mod tests {
     fn detects_unsorted_posting_list() {
         let mut ix = build();
         // Corrupt the "karen" list by swapping its (two) postings.
-        let tid = ix.inverted_mut().term_id("karen");
-        ix.inverted_mut().list_mut(tid).reverse();
+        let tid = ix.inverted_mut().heap_mut().term_id("karen");
+        ix.inverted_mut().heap_mut().list_mut(tid).reverse();
         let violations = ix.doctor();
         assert!(
             violations.iter().any(|v| matches!(
@@ -309,9 +349,9 @@ mod tests {
     #[test]
     fn detects_dangling_posting_and_bad_attr_entry() {
         let mut ix = build();
-        let tid = ix.inverted_mut().term_id("karen");
+        let tid = ix.inverted_mut().heap_mut().term_id("karen");
         // A posting beyond every real node, appended in order.
-        ix.inverted_mut().list_mut(tid).push(DeweyId::new(DocId(7), vec![1]));
+        ix.inverted_mut().heap_mut().list_mut(tid).push(DeweyId::new(DocId(7), vec![1]));
         let entity = DeweyId::new(DocId(0), vec![5, 5]);
         ix.attrs_mut().insert(
             entity.clone(),

@@ -49,6 +49,8 @@ pub use doctor::Violation;
 pub use error::IndexError;
 pub use node_table::{NodeMeta, NodeTable};
 pub use options::IndexOptions;
+pub use persist::{section_sizes, IndexFormat, SectionSizes};
+pub use postings::{InvertedIndex, MappedPostings, PostingsReader};
 pub use schema::{PathStats, SchemaSummary};
 pub use shard::{
     split_corpus, DocEntry, ShardEntry, ShardKind, ShardManifest, ShardView, Tombstone, DEAD_DOC,

@@ -2,17 +2,35 @@
 //!
 //! "For a given XML data repository, we first prepare an index on it. This is
 //! a onetime activity" (paper §2.4); Table 4 then reports on-disk index sizes
-//! comparable to the raw data. This module serializes the whole index into a
-//! compact format: posting lists and the node table use the delta-prefix
-//! Dewey codec, strings are length-prefixed UTF-8, and all integers are
-//! LEB128 varints.
+//! comparable to the raw data. Two formats are supported:
+//!
+//! * **v2** — one eagerly-decoded stream: posting lists and the node table
+//!   use the delta-prefix Dewey codec, strings are length-prefixed UTF-8,
+//!   integers are LEB128 varints. Loading decodes everything onto the heap.
+//! * **v3** (default) — the zero-copy tier. The same eager sections for
+//!   options, document names, labels, node table, attribute store and stats,
+//!   followed by a **sorted term dictionary** (term bytes + posting-run
+//!   offset/length/count per term), a fixed-width offset table for binary
+//!   search straight off the file, and a postings region of blocked
+//!   delta-prefix runs ([`gks_dewey::codec::encode_blocked_run`]). A fixed
+//!   footer carries the section offsets and an FNV-64 checksum over the
+//!   header and footer metadata. Loading `mmap`s the file, validates the
+//!   header/footer and dictionary, and hands the engine lazily-decoded
+//!   posting cursors — posting blocks are never read at open.
+//!
+//! Both loads share one buffer end to end: v2 decodes in place from the
+//! mapped file (strings are built straight from subslices), v3 keeps the map
+//! alive inside [`crate::postings::MappedPostings`].
 
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut, Mmap};
 use gks_dewey::codec::{
-    decode_id, decode_sorted_run, encode_id, encode_sorted_run, read_varint, write_varint,
+    decode_id, decode_sorted_run, encode_blocked_run, encode_id, encode_sorted_run, read_varint,
+    write_varint,
 };
 use gks_dewey::DeweyId;
 
@@ -22,25 +40,97 @@ use crate::categorize::NodeFlags;
 use crate::error::IndexError;
 use crate::node_table::{NodeMeta, NodeTable};
 use crate::options::{AnalyzerOptionsSer, IndexOptions};
-use crate::postings::InvertedIndex;
+use crate::postings::{InvertedIndex, MappedPostings, PostingsReader, TermEntry};
 use crate::stats::{CategoryCensus, IndexStats};
 
 const MAGIC: &[u8; 5] = b"GKSIX";
-const VERSION: u32 = 2;
+const VERSION_V2: u32 = 2;
+const VERSION_V3: u32 = 3;
+/// Trailing magic of the v3 footer; lets the doctor tell "not a v3 file"
+/// from "v3 file with a torn footer".
+const TAIL_MAGIC: &[u8; 4] = b"GKS3";
+/// v3 footer: 8 section offsets + term count + file length + checksum
+/// (u64 big-endian each), then [`TAIL_MAGIC`].
+const FOOTER_LEN: usize = 11 * 8 + TAIL_MAGIC.len();
+
+/// On-disk format selector for [`GksIndex::save_as`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexFormat {
+    /// Eager single-stream format (pre-zero-copy).
+    V2,
+    /// Blocked postings + term dictionary + footer; opens via `mmap`.
+    V3,
+}
+
+impl IndexFormat {
+    /// Parses a CLI `--format` value.
+    pub fn parse(s: &str) -> Option<IndexFormat> {
+        match s {
+            "v2" | "2" => Some(IndexFormat::V2),
+            "v3" | "3" => Some(IndexFormat::V3),
+            _ => None,
+        }
+    }
+}
+
+/// Per-section byte breakdown of an index file (`gks doctor`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SectionSizes {
+    /// On-disk format version (2 or 3).
+    pub version: u32,
+    /// Total file bytes.
+    pub total: u64,
+    /// Magic + version + options.
+    pub header: u64,
+    /// Document-name section bytes.
+    pub doc_names: u64,
+    /// Label-name section bytes.
+    pub labels: u64,
+    /// Node-table bytes (Dewey run + per-node metadata).
+    pub node_table: u64,
+    /// Attribute-store bytes.
+    pub attr_store: u64,
+    /// Stats section bytes.
+    pub stats: u64,
+    /// Term-dictionary bytes (v3: records + offset table; v2: the term
+    /// strings interleaved with the posting runs).
+    pub term_dict: u64,
+    /// Posting bytes (v3: blocked runs; v2: delta-prefix runs).
+    pub postings: u64,
+    /// Footer bytes (v3 only; 0 for v2).
+    pub footer: u64,
+}
+
+/// FNV-1a 64-bit over a sequence of byte slices (header/footer checksum).
+fn fnv64(parts: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
 
 fn write_str(out: &mut BytesMut, s: &str) {
     write_varint(out, s.len() as u64);
     out.put_slice(s.as_bytes());
 }
 
-fn read_str(input: &mut Bytes) -> Result<String, IndexError> {
+/// Decodes a length-prefixed string in place: the `String` is built straight
+/// from the input subslice, with no intermediate buffer.
+fn read_str(input: &mut &[u8]) -> Result<String, IndexError> {
     let len = read_varint(input)? as usize;
-    if input.remaining() < len {
+    if input.len() < len {
         return Err(IndexError::Corrupt("truncated string".into()));
     }
-    let bytes = input.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| IndexError::Corrupt("invalid UTF-8 in string".into()))
+    let (head, rest) = input.split_at(len);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| IndexError::Corrupt("invalid UTF-8 in string".into()))?
+        .to_string();
+    *input = rest;
+    Ok(s)
 }
 
 fn write_census(out: &mut BytesMut, c: &CategoryCensus) {
@@ -50,7 +140,7 @@ fn write_census(out: &mut BytesMut, c: &CategoryCensus) {
     write_varint(out, c.connecting);
 }
 
-fn read_census(input: &mut Bytes) -> Result<CategoryCensus, IndexError> {
+fn read_census(input: &mut impl Buf) -> Result<CategoryCensus, IndexError> {
     Ok(CategoryCensus {
         attribute: read_varint(input)?,
         repeating: read_varint(input)?,
@@ -59,207 +149,488 @@ fn read_census(input: &mut Bytes) -> Result<CategoryCensus, IndexError> {
     })
 }
 
+/// Reads the magic and version prefix shared by both formats.
+fn sniff_version(bytes: &[u8]) -> Result<u32, IndexError> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(IndexError::Corrupt("header too short".into()));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(IndexError::Corrupt("bad magic".into()));
+    }
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 4]);
+    Ok(u32::from_be_bytes(v))
+}
+
+// ----- shared section codecs (identical byte layout in v2 and v3) -----
+
+fn write_options(out: &mut BytesMut, o: &IndexOptions) {
+    out.put_u8(u8::from(o.analyzer.remove_stopwords));
+    out.put_u8(u8::from(o.analyzer.stem));
+    write_varint(out, o.analyzer.min_term_len as u64);
+    out.put_u8(u8::from(o.xml_attributes_as_elements));
+    out.put_u8(u8::from(o.index_element_names));
+}
+
+fn read_options(input: &mut &[u8]) -> Result<IndexOptions, IndexError> {
+    if input.len() < 2 {
+        return Err(IndexError::Corrupt("truncated options".into()));
+    }
+    let remove_stopwords = input.get_u8() != 0;
+    let stem = input.get_u8() != 0;
+    let min_term_len = read_varint(input)? as usize;
+    if input.len() < 2 {
+        return Err(IndexError::Corrupt("truncated options".into()));
+    }
+    Ok(IndexOptions {
+        analyzer: AnalyzerOptionsSer { remove_stopwords, stem, min_term_len },
+        xml_attributes_as_elements: input.get_u8() != 0,
+        index_element_names: input.get_u8() != 0,
+    })
+}
+
+fn write_doc_names(out: &mut BytesMut, ix: &GksIndex) {
+    write_varint(out, ix.doc_names().len() as u64);
+    for name in ix.doc_names() {
+        write_str(out, name);
+    }
+}
+
+fn read_doc_names(input: &mut &[u8]) -> Result<Vec<String>, IndexError> {
+    let doc_count = read_varint(input)? as usize;
+    let mut doc_names = Vec::with_capacity(doc_count.min(1 << 16));
+    for _ in 0..doc_count {
+        doc_names.push(read_str(input)?);
+    }
+    Ok(doc_names)
+}
+
+fn write_labels(out: &mut BytesMut, ix: &GksIndex) {
+    let labels = ix.node_table().labels().names();
+    write_varint(out, labels.len() as u64);
+    for name in labels {
+        write_str(out, name);
+    }
+}
+
+fn write_node_table(out: &mut BytesMut, ix: &GksIndex) {
+    // Sorted by Dewey id so the run codec compresses.
+    let mut nodes: Vec<(&DeweyId, &NodeMeta)> = ix.node_table().iter().collect();
+    nodes.sort_by(|a, b| a.0.cmp(b.0));
+    let ids: Vec<DeweyId> = nodes.iter().map(|(d, _)| (*d).clone()).collect();
+    encode_sorted_run(&ids, out);
+    for (_, meta) in &nodes {
+        write_varint(out, u64::from(meta.child_count));
+        out.put_u8(meta.flags.bits());
+        write_varint(out, u64::from(meta.label));
+    }
+}
+
+/// Reads the label section into a fresh `NodeTable` (the node rows follow in
+/// [`read_nodes`]; v2 interleaves the two, v3 gives each its own section).
+fn read_labels(input: &mut &[u8]) -> Result<NodeTable, IndexError> {
+    let label_count = read_varint(input)? as usize;
+    let mut node_table = NodeTable::new();
+    for _ in 0..label_count {
+        let name = read_str(input)?;
+        node_table.labels_mut().intern(&name);
+    }
+    Ok(node_table)
+}
+
+/// Reads the node rows (Dewey run + per-node metadata) into `table`.
+fn read_nodes(input: &mut &[u8], table: &mut NodeTable) -> Result<(), IndexError> {
+    let label_count = table.labels().names().len();
+    let ids = decode_sorted_run(input)?;
+    for id in ids {
+        let child_count = read_varint(input)? as u32;
+        if !input.has_remaining() {
+            return Err(IndexError::Corrupt("truncated node meta".into()));
+        }
+        let flags = NodeFlags::from_bits(input.get_u8());
+        let label = read_varint(input)? as u32;
+        if label as usize >= label_count {
+            return Err(IndexError::Corrupt(format!("label id {label} out of range")));
+        }
+        table.insert(id, NodeMeta { child_count, flags, label });
+    }
+    Ok(())
+}
+
+fn write_attrs(out: &mut BytesMut, ix: &GksIndex) {
+    write_varint(out, ix.attr_store().len() as u64);
+    for (entity, entries) in ix.attr_store().iter() {
+        encode_id(entity, out);
+        write_varint(out, entries.len() as u64);
+        for e in entries {
+            write_varint(out, e.path.len() as u64);
+            for &l in &e.path {
+                write_varint(out, u64::from(l));
+            }
+            write_str(out, &e.value);
+            out.put_u8(match e.source {
+                AttrSource::Attribute => 0,
+                AttrSource::RepeatingText => 1,
+            });
+        }
+    }
+}
+
+fn read_attrs(input: &mut &[u8]) -> Result<AttrStore, IndexError> {
+    let attr_count = read_varint(input)? as usize;
+    let mut attrs = AttrStore::new();
+    for _ in 0..attr_count {
+        let entity = decode_id(input)?;
+        let entry_count = read_varint(input)? as usize;
+        let mut entries = Vec::with_capacity(entry_count.min(1 << 16));
+        for _ in 0..entry_count {
+            let path_len = read_varint(input)? as usize;
+            let mut path = Vec::with_capacity(path_len.min(1 << 16));
+            for _ in 0..path_len {
+                path.push(read_varint(input)? as u32);
+            }
+            let value = read_str(input)?;
+            if !input.has_remaining() {
+                return Err(IndexError::Corrupt("truncated attr entry".into()));
+            }
+            let source = match input.get_u8() {
+                0 => AttrSource::Attribute,
+                1 => AttrSource::RepeatingText,
+                other => return Err(IndexError::Corrupt(format!("bad attr source {other}"))),
+            };
+            entries.push(AttrEntry { path, value, source });
+        }
+        attrs.insert(entity, entries);
+    }
+    Ok(attrs)
+}
+
+fn write_stats(out: &mut BytesMut, ix: &GksIndex) {
+    let s = ix.stats();
+    write_varint(out, s.doc_count);
+    write_varint(out, s.total_nodes);
+    write_census(out, &s.census);
+    write_varint(out, s.per_label.len() as u64);
+    for (label, census) in &s.per_label {
+        write_str(out, label);
+        write_census(out, census);
+    }
+    write_varint(out, u64::from(s.max_depth));
+    write_varint(out, s.raw_bytes);
+    write_varint(out, s.distinct_terms);
+    write_varint(out, s.total_postings);
+    write_varint(out, s.posting_depth_sum);
+    write_varint(out, s.build_millis);
+}
+
+fn read_stats(input: &mut &[u8]) -> Result<IndexStats, IndexError> {
+    let mut stats = IndexStats {
+        doc_count: read_varint(input)?,
+        total_nodes: read_varint(input)?,
+        census: read_census(input)?,
+        ..Default::default()
+    };
+    let per_label_count = read_varint(input)? as usize;
+    for _ in 0..per_label_count {
+        let label = read_str(input)?;
+        let census = read_census(input)?;
+        stats.per_label.insert(label, census);
+    }
+    stats.max_depth = read_varint(input)? as u32;
+    stats.raw_bytes = read_varint(input)?;
+    stats.distinct_terms = read_varint(input)?;
+    stats.total_postings = read_varint(input)?;
+    stats.posting_depth_sum = read_varint(input)?;
+    stats.build_millis = read_varint(input)?;
+    Ok(stats)
+}
+
 impl GksIndex {
-    /// Serializes the index to bytes.
+    /// Serializes the index to format-v2 bytes.
     pub fn to_bytes(&self) -> Bytes {
         let mut out = BytesMut::new();
         out.put_slice(MAGIC);
-        out.put_u32(VERSION);
+        out.put_u32(VERSION_V2);
+        write_options(&mut out, self.options());
+        write_doc_names(&mut out, self);
+        write_labels(&mut out, self);
+        write_node_table(&mut out, self);
 
-        // Options.
-        let o = self.options();
-        out.put_u8(u8::from(o.analyzer.remove_stopwords));
-        out.put_u8(u8::from(o.analyzer.stem));
-        write_varint(&mut out, o.analyzer.min_term_len as u64);
-        out.put_u8(u8::from(o.xml_attributes_as_elements));
-        out.put_u8(u8::from(o.index_element_names));
-
-        // Document names.
-        write_varint(&mut out, self.doc_names().len() as u64);
-        for name in self.doc_names() {
-            write_str(&mut out, name);
-        }
-
-        // Labels.
-        let labels = self.node_table().labels().names();
-        write_varint(&mut out, labels.len() as u64);
-        for name in labels {
-            write_str(&mut out, name);
-        }
-
-        // Node table, sorted by Dewey id so the run codec compresses.
-        let mut nodes: Vec<(&DeweyId, &NodeMeta)> = self.node_table().iter().collect();
-        nodes.sort_by(|a, b| a.0.cmp(b.0));
-        let ids: Vec<DeweyId> = nodes.iter().map(|(d, _)| (*d).clone()).collect();
-        encode_sorted_run(&ids, &mut out);
-        for (_, meta) in &nodes {
-            write_varint(&mut out, u64::from(meta.child_count));
-            out.put_u8(meta.flags.bits());
-            write_varint(&mut out, u64::from(meta.label));
-        }
-
-        // Inverted index.
+        // Inverted index: term strings interleaved with posting runs.
         write_varint(&mut out, self.inverted().term_count() as u64);
         for (term, list) in self.inverted().iter() {
             write_str(&mut out, term);
             encode_sorted_run(list, &mut out);
         }
 
-        // Attribute store.
-        write_varint(&mut out, self.attr_store().len() as u64);
-        for (entity, entries) in self.attr_store().iter() {
-            encode_id(entity, &mut out);
-            write_varint(&mut out, entries.len() as u64);
-            for e in entries {
-                write_varint(&mut out, e.path.len() as u64);
-                for &l in &e.path {
-                    write_varint(&mut out, u64::from(l));
-                }
-                write_str(&mut out, &e.value);
-                out.put_u8(match e.source {
-                    AttrSource::Attribute => 0,
-                    AttrSource::RepeatingText => 1,
-                });
-            }
-        }
-
-        // Stats.
-        let s = self.stats();
-        write_varint(&mut out, s.doc_count);
-        write_varint(&mut out, s.total_nodes);
-        write_census(&mut out, &s.census);
-        write_varint(&mut out, s.per_label.len() as u64);
-        for (label, census) in &s.per_label {
-            write_str(&mut out, label);
-            write_census(&mut out, census);
-        }
-        write_varint(&mut out, u64::from(s.max_depth));
-        write_varint(&mut out, s.raw_bytes);
-        write_varint(&mut out, s.distinct_terms);
-        write_varint(&mut out, s.total_postings);
-        write_varint(&mut out, s.posting_depth_sum);
-        write_varint(&mut out, s.build_millis);
-
+        write_attrs(&mut out, self);
+        write_stats(&mut out, self);
         out.freeze()
     }
 
-    /// Deserializes an index produced by [`Self::to_bytes`].
+    /// Serializes the index to format-v3 bytes: eager sections, then the
+    /// sorted term dictionary, its offset table, the blocked postings
+    /// region, and the checksummed footer.
+    ///
+    /// Errors only if the term dictionary outgrows the fixed-width `u32`
+    /// offset table (4GiB of term records — far past any real corpus).
+    pub fn to_bytes_v3(&self) -> Result<Bytes, IndexError> {
+        let mut out = BytesMut::new();
+        out.put_slice(MAGIC);
+        out.put_u32(VERSION_V3);
+        write_options(&mut out, self.options());
+        let header_len = out.len();
+
+        let doc_off = out.len() as u64;
+        write_doc_names(&mut out, self);
+        let lab_off = out.len() as u64;
+        write_labels(&mut out, self);
+        let node_off = out.len() as u64;
+        write_node_table(&mut out, self);
+        let attr_off = out.len() as u64;
+        write_attrs(&mut out, self);
+        let stat_off = out.len() as u64;
+        write_stats(&mut out, self);
+
+        // Dictionary sorted by term bytes, postings as blocked runs packed
+        // tightly in dictionary order. Each record stores only the term,
+        // the run's start offset, and its posting count: the run's byte
+        // length is the gap to the next record's start (or the region
+        // end), and the run itself carries no framing of its own — that
+        // redundancy is what would make sparse-vocabulary corpora larger
+        // in v3 than v2.
+        let mut terms: Vec<(&str, &[DeweyId])> = self.inverted().iter().collect();
+        terms.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+        let mut post_buf: Vec<u8> = Vec::new();
+        let mut dict_buf = BytesMut::new();
+        let mut rec_offsets: Vec<u32> = Vec::with_capacity(terms.len());
+        for (term, list) in &terms {
+            let run_start = post_buf.len() as u64;
+            encode_blocked_run(list, &mut post_buf);
+            let rec = u32::try_from(dict_buf.len())
+                .map_err(|_| IndexError::Invariant("format-v3 term dictionary exceeds 4GiB"))?;
+            rec_offsets.push(rec);
+            write_str(&mut dict_buf, term);
+            write_varint(&mut dict_buf, run_start);
+            write_varint(&mut dict_buf, list.len() as u64);
+        }
+        let dict_off = out.len() as u64;
+        out.put_slice(dict_buf.as_ref());
+        let offs_off = out.len() as u64;
+        for rec in &rec_offsets {
+            out.put_u32(*rec);
+        }
+        let post_off = out.len() as u64;
+        out.put_slice(&post_buf);
+
+        // Footer: offsets + term count + file length, checksummed together
+        // with the header so a truncated or resected file fails fast at
+        // open — without ever checksumming (= reading) the posting blocks.
+        let mut footer = BytesMut::new();
+        for v in [doc_off, lab_off, node_off, attr_off, stat_off, dict_off, offs_off, post_off] {
+            footer.put_u64(v);
+        }
+        footer.put_u64(terms.len() as u64);
+        footer.put_u64(out.len() as u64 + FOOTER_LEN as u64);
+        let checksum = fnv64(&[&out.as_ref()[..header_len], footer.as_ref()]);
+        footer.put_u64(checksum);
+        footer.put_slice(TAIL_MAGIC);
+        out.put_slice(footer.as_ref());
+        Ok(out.freeze())
+    }
+
+    /// Deserializes a format-v2 index produced by [`Self::to_bytes`].
     pub fn from_bytes(bytes: Bytes) -> Result<GksIndex, IndexError> {
-        let mut input = bytes;
-        if input.remaining() < MAGIC.len() + 4 {
-            return Err(IndexError::Corrupt("header too short".into()));
-        }
-        let mut magic = [0u8; 5];
-        input.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(IndexError::Corrupt("bad magic".into()));
-        }
-        let version = input.get_u32();
-        if version != VERSION {
-            return Err(IndexError::VersionMismatch { found: version, expected: VERSION });
-        }
+        GksIndex::from_slice_v2(bytes.as_slice())
+    }
 
-        let options = IndexOptions {
-            analyzer: AnalyzerOptionsSer {
-                remove_stopwords: input.get_u8() != 0,
-                stem: input.get_u8() != 0,
-                min_term_len: read_varint(&mut input)? as usize,
-            },
-            xml_attributes_as_elements: input.get_u8() != 0,
-            index_element_names: input.get_u8() != 0,
-        };
-
-        let doc_count = read_varint(&mut input)? as usize;
-        let mut doc_names = Vec::with_capacity(doc_count);
-        for _ in 0..doc_count {
-            doc_names.push(read_str(&mut input)?);
+    /// Format-v2 decode straight off one buffer (no double-buffering: the
+    /// strings and runs are built in place from subslices of `bytes`).
+    fn from_slice_v2(bytes: &[u8]) -> Result<GksIndex, IndexError> {
+        let version = sniff_version(bytes)?;
+        if version != VERSION_V2 {
+            return Err(IndexError::VersionMismatch { found: version, expected: VERSION_V2 });
         }
+        let mut input = &bytes[MAGIC.len() + 4..];
+        let input = &mut input;
+        let options = read_options(input)?;
+        let doc_names = read_doc_names(input)?;
+        let mut node_table = read_labels(input)?;
+        read_nodes(input, &mut node_table)?;
 
-        let label_count = read_varint(&mut input)? as usize;
-        let mut node_table = NodeTable::new();
-        for _ in 0..label_count {
-            let name = read_str(&mut input)?;
-            node_table.labels_mut().intern(&name);
-        }
-
-        let ids = decode_sorted_run(&mut input)?;
-        for id in ids {
-            let child_count = read_varint(&mut input)? as u32;
-            if !input.has_remaining() {
-                return Err(IndexError::Corrupt("truncated node meta".into()));
-            }
-            let flags = NodeFlags::from_bits(input.get_u8());
-            let label = read_varint(&mut input)? as u32;
-            if label as usize >= label_count {
-                return Err(IndexError::Corrupt(format!("label id {label} out of range")));
-            }
-            node_table.insert(id, NodeMeta { child_count, flags, label });
-        }
-
-        let term_count = read_varint(&mut input)? as usize;
+        let term_count = read_varint(input)? as usize;
         let mut inverted = InvertedIndex::new();
         for _ in 0..term_count {
-            let term = read_str(&mut input)?;
-            let list = decode_sorted_run(&mut input)?;
+            let term = read_str(input)?;
+            let list = decode_sorted_run(input)?;
             inverted.load_term(term, list);
         }
 
-        let attr_count = read_varint(&mut input)? as usize;
-        let mut attrs = AttrStore::new();
-        for _ in 0..attr_count {
-            let entity = decode_id(&mut input)?;
-            let entry_count = read_varint(&mut input)? as usize;
-            let mut entries = Vec::with_capacity(entry_count);
-            for _ in 0..entry_count {
-                let path_len = read_varint(&mut input)? as usize;
-                let mut path = Vec::with_capacity(path_len);
-                for _ in 0..path_len {
-                    path.push(read_varint(&mut input)? as u32);
-                }
-                let value = read_str(&mut input)?;
-                if !input.has_remaining() {
-                    return Err(IndexError::Corrupt("truncated attr entry".into()));
-                }
-                let source = match input.get_u8() {
-                    0 => AttrSource::Attribute,
-                    1 => AttrSource::RepeatingText,
-                    other => return Err(IndexError::Corrupt(format!("bad attr source {other}"))),
-                };
-                entries.push(AttrEntry { path, value, source });
-            }
-            attrs.insert(entity, entries);
-        }
-
-        let mut stats = IndexStats {
-            doc_count: read_varint(&mut input)?,
-            total_nodes: read_varint(&mut input)?,
-            census: read_census(&mut input)?,
-            ..Default::default()
-        };
-        let per_label_count = read_varint(&mut input)? as usize;
-        for _ in 0..per_label_count {
-            let label = read_str(&mut input)?;
-            let census = read_census(&mut input)?;
-            stats.per_label.insert(label, census);
-        }
-        stats.max_depth = read_varint(&mut input)? as u32;
-        stats.raw_bytes = read_varint(&mut input)?;
-        stats.distinct_terms = read_varint(&mut input)?;
-        stats.total_postings = read_varint(&mut input)?;
-        stats.posting_depth_sum = read_varint(&mut input)?;
-        stats.build_millis = read_varint(&mut input)?;
-
-        Ok(GksIndex::from_parts(options, node_table, inverted, attrs, stats, doc_names))
+        let attrs = read_attrs(input)?;
+        let stats = read_stats(input)?;
+        Ok(GksIndex::from_parts(
+            options,
+            node_table,
+            PostingsReader::Heap(inverted),
+            attrs,
+            stats,
+            doc_names,
+        ))
     }
 
-    /// Writes the index to a file, returning the number of bytes written
-    /// (the "Index Size" of Table 4). The write is atomic — bytes land in a
-    /// sibling temp file renamed into place — so a concurrent reader (the
-    /// server's per-shard reload, the delta commit protocol) never observes
-    /// a torn index file.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, IndexError> {
+    /// Opens a format-v3 index over a mapped file: validates the header,
+    /// footer checksum, section offsets and term dictionary, decodes the
+    /// eager sections, and leaves every posting run encoded in the map.
+    pub fn from_mapped(map: Arc<Mmap>) -> Result<GksIndex, IndexError> {
+        let bytes = map.as_slice();
+        let version = sniff_version(bytes)?;
+        if version != VERSION_V3 {
+            return Err(IndexError::VersionMismatch { found: version, expected: VERSION_V3 });
+        }
+        let mut header_cur = &bytes[MAGIC.len() + 4..];
+        let before = header_cur.len();
+        let options = read_options(&mut header_cur)?;
+        let header_len = MAGIC.len() + 4 + (before - header_cur.len());
+
+        if bytes.len() < header_len + FOOTER_LEN {
+            return Err(IndexError::Corrupt("v3 file too short for footer".into()));
+        }
+        let footer_off = bytes.len() - FOOTER_LEN;
+        let footer = &bytes[footer_off..];
+        if &footer[FOOTER_LEN - TAIL_MAGIC.len()..] != TAIL_MAGIC {
+            return Err(IndexError::Corrupt("bad v3 footer magic".into()));
+        }
+        let mut fcur = footer;
+        let mut fields = [0u64; 11];
+        for f in &mut fields {
+            *f = fcur.get_u64();
+        }
+        let [doc_off, lab_off, node_off, attr_off, stat_off, dict_off, offs_off, post_off, term_count, file_len, checksum] =
+            fields;
+        if file_len != bytes.len() as u64 {
+            return Err(IndexError::Corrupt(format!(
+                "v3 file length mismatch: footer says {file_len}, file is {}",
+                bytes.len()
+            )));
+        }
+        let computed = fnv64(&[&bytes[..header_len], &footer[..FOOTER_LEN - TAIL_MAGIC.len() - 8]]);
+        if computed != checksum {
+            return Err(IndexError::Corrupt("v3 header/footer checksum mismatch".into()));
+        }
+        let bounds = [doc_off, lab_off, node_off, attr_off, stat_off, dict_off, offs_off, post_off];
+        if doc_off != header_len as u64
+            || bounds.windows(2).any(|w| w[0] > w[1])
+            || post_off > footer_off as u64
+        {
+            return Err(IndexError::Corrupt("v3 section offsets out of order".into()));
+        }
+
+        let section = |from: u64, to: u64| &bytes[from as usize..to as usize];
+        let doc_names = read_doc_names(&mut section(doc_off, lab_off))?;
+        let mut node_table = read_labels(&mut section(lab_off, node_off))?;
+        read_nodes(&mut section(node_off, attr_off), &mut node_table)?;
+        let attrs = read_attrs(&mut section(attr_off, stat_off))?;
+        let stats = read_stats(&mut section(stat_off, dict_off))?;
+
+        // Term dictionary: fixed-width u32 offset table into varint
+        // records of (term, run start, posting count). Runs are packed
+        // tightly in dictionary order, so each run's byte length is the
+        // gap to the next record's run start; the final run ends at the
+        // posting region's end.
+        let term_count = term_count as usize;
+        if (post_off - offs_off) as usize != term_count * 4 {
+            return Err(IndexError::Corrupt("v3 term offset table length mismatch".into()));
+        }
+        if stats.distinct_terms != term_count as u64 {
+            return Err(IndexError::Corrupt("v3 term count disagrees with stats".into()));
+        }
+        let dict = section(dict_off, offs_off);
+        let post_section_len = footer_off - post_off as usize;
+        let mut offs_cur = section(offs_off, post_off);
+        let mut terms: Vec<TermEntry> = Vec::with_capacity(term_count.min(1 << 20));
+        let mut total: u64 = 0;
+        let mut prev_term: Option<(usize, usize)> = None;
+        for _ in 0..term_count {
+            let rec_off = offs_cur.get_u32() as usize;
+            if rec_off >= dict.len() {
+                return Err(IndexError::Corrupt("v3 term record offset out of range".into()));
+            }
+            let mut cur = &dict[rec_off..];
+            let before = cur.len();
+            let term_len = read_varint(&mut cur)? as usize;
+            let len_bytes = before - cur.len();
+            if cur.len() < term_len {
+                return Err(IndexError::Corrupt("v3 truncated term".into()));
+            }
+            let term_start = dict_off as usize + rec_off + len_bytes;
+            let term_bytes = &cur[..term_len];
+            if std::str::from_utf8(term_bytes).is_err() {
+                return Err(IndexError::Corrupt("invalid UTF-8 in term".into()));
+            }
+            if let Some((ps, pl)) = prev_term {
+                if &bytes[ps..ps + pl] >= term_bytes {
+                    return Err(IndexError::Corrupt("v3 term dictionary not sorted".into()));
+                }
+            }
+            prev_term = Some((term_start, term_len));
+            cur = &cur[term_len..];
+            let run_start = read_varint(&mut cur)? as usize;
+            let count = read_varint(&mut cur)? as usize;
+            if run_start > post_section_len {
+                return Err(IndexError::Corrupt("v3 posting run out of range".into()));
+            }
+            if let Some(prev) = terms.last_mut() {
+                let prev: &mut TermEntry = prev;
+                let prev_start = prev.post_start - post_off as usize;
+                if run_start < prev_start {
+                    return Err(IndexError::Corrupt("v3 posting runs out of order".into()));
+                }
+                prev.post_len = run_start - prev_start;
+            } else if run_start != 0 {
+                return Err(IndexError::Corrupt("v3 first posting run not at offset 0".into()));
+            }
+            total += count as u64;
+            terms.push(TermEntry {
+                term_start,
+                term_len,
+                post_start: post_off as usize + run_start,
+                post_len: 0, // patched when the next record pins the run's end
+                count,
+            });
+        }
+        if let Some(last) = terms.last_mut() {
+            let last_start = last.post_start - post_off as usize;
+            last.post_len = post_section_len - last_start;
+        }
+        if terms.iter().any(|t| (t.count == 0) != (t.post_len == 0)) {
+            return Err(IndexError::Corrupt("v3 empty run disagrees with its count".into()));
+        }
+        if total != stats.total_postings {
+            return Err(IndexError::Corrupt("v3 posting counts disagree with stats".into()));
+        }
+
+        let mapped = MappedPostings::from_parts(map, terms);
+        Ok(GksIndex::from_parts(
+            options,
+            node_table,
+            PostingsReader::Mapped(mapped),
+            attrs,
+            stats,
+            doc_names,
+        ))
+    }
+
+    /// Writes the index to a file in the given format, returning the number
+    /// of bytes written (the "Index Size" of Table 4). The write is atomic —
+    /// bytes land in a sibling temp file renamed into place — so a
+    /// concurrent reader (the server's per-shard reload, the delta commit
+    /// protocol) never observes a torn index file.
+    pub fn save_as(&self, path: impl AsRef<Path>, format: IndexFormat) -> Result<u64, IndexError> {
         let path = path.as_ref();
-        let bytes = self.to_bytes();
+        let bytes = match format {
+            IndexFormat::V2 => self.to_bytes(),
+            IndexFormat::V3 => self.to_bytes_v3()?,
+        };
         let tmp = crate::shard::sibling_tmp_path(path);
         fs::write(&tmp, &bytes)?;
         if let Err(e) = fs::rename(&tmp, path) {
@@ -269,12 +640,138 @@ impl GksIndex {
         Ok(bytes.len() as u64)
     }
 
-    /// Loads an index written by [`Self::save`].
+    /// Writes the index in the default format (v3).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, IndexError> {
+        self.save_as(path, IndexFormat::V3)
+    }
+
+    /// Loads an index written by [`Self::save`] or [`Self::save_as`].
+    ///
+    /// The file is mapped, never slurped: a v3 index stays mapped for its
+    /// lifetime with posting blocks untouched until queried; a v2 index is
+    /// decoded in place from the map (one buffer, no copies of the raw
+    /// file), after which the map is dropped.
     pub fn load(path: impl AsRef<Path>) -> Result<GksIndex, IndexError> {
         let _open_span = gks_trace::span(gks_trace::SpanKind::IndexOpen);
-        let bytes = fs::read(path)?;
-        GksIndex::from_bytes(Bytes::from(bytes))
+        let start = Instant::now();
+        let map = Mmap::open(path.as_ref()).map_err(IndexError::Io)?;
+        let version = sniff_version(map.as_slice())?;
+        let mut ix = match version {
+            VERSION_V2 => GksIndex::from_slice_v2(map.as_slice())?,
+            VERSION_V3 => GksIndex::from_mapped(Arc::new(map))?,
+            other => {
+                return Err(IndexError::VersionMismatch { found: other, expected: VERSION_V3 })
+            }
+        };
+        ix.set_open_info(version, start.elapsed().as_millis() as u64);
+        Ok(ix)
     }
+}
+
+/// Measures the per-section byte breakdown of an index file without fully
+/// materializing it (v3 reads the footer; v2 walks the stream off the map).
+pub fn section_sizes(path: impl AsRef<Path>) -> Result<SectionSizes, IndexError> {
+    let map = Mmap::open(path.as_ref()).map_err(IndexError::Io)?;
+    let bytes = map.as_slice();
+    let version = sniff_version(bytes)?;
+    match version {
+        VERSION_V2 => section_sizes_v2(bytes),
+        VERSION_V3 => section_sizes_v3(bytes),
+        other => Err(IndexError::VersionMismatch { found: other, expected: VERSION_V3 }),
+    }
+}
+
+fn section_sizes_v3(bytes: &[u8]) -> Result<SectionSizes, IndexError> {
+    // Validate via the real open path, then read the footer offsets.
+    let mut header_cur = &bytes[MAGIC.len() + 4..];
+    let before = header_cur.len();
+    read_options(&mut header_cur)?;
+    let header_len = (MAGIC.len() + 4 + (before - header_cur.len())) as u64;
+    if bytes.len() < header_len as usize + FOOTER_LEN {
+        return Err(IndexError::Corrupt("v3 file too short for footer".into()));
+    }
+    let footer_off = (bytes.len() - FOOTER_LEN) as u64;
+    let mut fcur = &bytes[footer_off as usize..];
+    let mut fields = [0u64; 8];
+    for f in &mut fields {
+        *f = fcur.get_u64();
+    }
+    let [_doc, lab, node, attr, stat, dict, _offs, post] = fields;
+    Ok(SectionSizes {
+        version: VERSION_V3,
+        total: bytes.len() as u64,
+        header: header_len,
+        doc_names: lab - header_len,
+        labels: node - lab,
+        node_table: attr - node,
+        attr_store: stat - attr,
+        stats: dict - stat,
+        term_dict: post - dict,
+        postings: footer_off - post,
+        footer: FOOTER_LEN as u64,
+    })
+}
+
+fn section_sizes_v2(bytes: &[u8]) -> Result<SectionSizes, IndexError> {
+    let total = bytes.len() as u64;
+    let mut input = &bytes[MAGIC.len() + 4..];
+    let input = &mut input;
+    let mark = |input: &&[u8]| total - input.len() as u64;
+    read_options(input)?;
+    let header = mark(input);
+
+    read_doc_names(input)?;
+    let after_docs = mark(input);
+    // Labels + node table share one cursor (v2 interleaves them).
+    let label_count = read_varint(input)? as usize;
+    for _ in 0..label_count {
+        read_str(input)?;
+    }
+    let after_labels = mark(input);
+    let ids = decode_sorted_run(input)?;
+    for _ in 0..ids.len() {
+        read_varint(input)?; // child_count
+        if !input.has_remaining() {
+            return Err(IndexError::Corrupt("truncated node meta".into()));
+        }
+        input.get_u8(); // flags
+        read_varint(input)?; // label
+    }
+    let after_nodes = mark(input);
+
+    // Inverted region: term strings (and the term-count varint) count as
+    // dictionary bytes, posting runs as posting bytes.
+    let term_count = read_varint(input)? as usize;
+    let mut dict_bytes = mark(input) - after_nodes;
+    let mut post_bytes = 0u64;
+    for _ in 0..term_count {
+        let before = mark(input);
+        read_str(input)?;
+        let after_term = mark(input);
+        decode_sorted_run(input)?;
+        dict_bytes += after_term - before;
+        post_bytes += mark(input) - after_term;
+    }
+    let after_inverted = mark(input);
+
+    read_attrs(input)?;
+    let after_attrs = mark(input);
+    read_stats(input)?;
+    let after_stats = mark(input);
+
+    Ok(SectionSizes {
+        version: VERSION_V2,
+        total,
+        header,
+        doc_names: after_docs - header,
+        labels: after_labels - after_docs,
+        node_table: after_nodes - after_labels,
+        attr_store: after_attrs - after_inverted,
+        stats: after_stats - after_attrs,
+        term_dict: dict_bytes,
+        postings: post_bytes,
+        footer: total - after_stats,
+    })
 }
 
 #[cfg(test)]
@@ -292,12 +789,7 @@ mod tests {
         GksIndex::build(&corpus, IndexOptions::default()).unwrap()
     }
 
-    #[test]
-    fn round_trip_preserves_everything() {
-        let ix = sample_index();
-        let bytes = ix.to_bytes();
-        let loaded = GksIndex::from_bytes(bytes).unwrap();
-
+    fn assert_indexes_equal(loaded: &GksIndex, ix: &GksIndex) {
         assert_eq!(loaded.options(), ix.options());
         assert_eq!(loaded.doc_names(), ix.doc_names());
         assert_eq!(loaded.stats().total_nodes, ix.stats().total_nodes);
@@ -307,6 +799,7 @@ mod tests {
         assert_eq!(loaded.inverted().term_count(), ix.inverted().term_count());
         for (term, list) in ix.inverted().iter() {
             assert_eq!(loaded.postings(term), list, "postings for {term}");
+            assert_eq!(loaded.posting_count(term), list.len(), "count for {term}");
         }
         assert_eq!(loaded.node_table().len(), ix.node_table().len());
         for (dewey, meta) in ix.node_table().iter() {
@@ -328,22 +821,89 @@ mod tests {
                 let names = |ix: &GksIndex, e: &AttrEntry| -> Vec<String> {
                     e.path.iter().map(|&l| ix.node_table().labels().name(l).to_string()).collect()
                 };
-                assert_eq!(names(&ix, a), names(&loaded, b));
+                assert_eq!(names(ix, a), names(loaded, b));
             }
         }
     }
 
     #[test]
-    fn save_load_via_filesystem() {
+    fn round_trip_preserves_everything() {
         let ix = sample_index();
-        let dir = std::env::temp_dir().join("gks-persist-test");
+        let loaded = GksIndex::from_bytes(ix.to_bytes()).unwrap();
+        assert_indexes_equal(&loaded, &ix);
+    }
+
+    #[test]
+    fn v3_round_trip_preserves_everything() {
+        let ix = sample_index();
+        let dir = std::env::temp_dir().join(format!("gks-persist-v3-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sample.gksix");
-        let written = ix.save(&path).unwrap();
-        assert!(written > 0);
+        ix.save_as(&path, IndexFormat::V3).unwrap();
         let loaded = GksIndex::load(&path).unwrap();
-        assert_eq!(loaded.postings("gray"), ix.postings("gray"));
+        assert_eq!(loaded.format_version(), 3);
+        assert_indexes_equal(&loaded, &ix);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_open_decodes_no_posting_blocks() {
+        let ix = sample_index();
+        let dir = std::env::temp_dir().join(format!("gks-persist-lazy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lazy.gksix");
+        ix.save(&path).unwrap(); // default format is v3
+        let loaded = GksIndex::load(&path).unwrap();
+        // Open touches the dictionary but no posting run.
+        assert_eq!(loaded.decoded_terms(), 0, "open must not decode postings");
+        assert!(loaded.bytes_mapped() > 0, "v3 index is served off the map");
+        // First query decodes exactly the terms it touches.
+        let mut terms = ix.inverted().iter().map(|(t, _)| t.to_string());
+        let (first, second) = (terms.next().unwrap(), terms.next().unwrap());
+        assert!(!loaded.postings(&first).is_empty());
+        assert_eq!(loaded.decoded_terms(), 1);
+        // Counts come from the dictionary without decoding.
+        assert_eq!(loaded.posting_count(&second), ix.posting_count(&second));
+        assert_eq!(loaded.decoded_terms(), 1, "posting_count must not decode");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_load_via_filesystem_both_formats() {
+        let ix = sample_index();
+        let dir = std::env::temp_dir().join(format!("gks-persist-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, format) in [("v2.gksix", IndexFormat::V2), ("v3.gksix", IndexFormat::V3)] {
+            let path = dir.join(name);
+            let written = ix.save_as(&path, format).unwrap();
+            assert!(written > 0);
+            let loaded = GksIndex::load(&path).unwrap();
+            for (term, list) in ix.inverted().iter() {
+                assert_eq!(loaded.postings(term), list, "postings for {term}");
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v3_is_smaller_than_v2() {
+        // The folded document flag in v3 blocks must beat v2's per-entry
+        // flag byte on a pool-shaped corpus (bounded vocabulary, high term
+        // frequency — the shape the synthetic benchmark corpora have).
+        let mut xml = String::from("<dblp>");
+        for i in 0..300 {
+            xml.push_str(&format!(
+                "<article><title>generic keyword search over xml data part {}</title>\
+                 <author>Ada Lovelace</author><author>Alan Turing</author></article>",
+                i % 10
+            ));
+        }
+        xml.push_str("</dblp>");
+        let corpus = Corpus::from_named_strs([("big", xml.as_str())]).unwrap();
+        let ix = GksIndex::build(&corpus, IndexOptions::default()).unwrap();
+        let v2 = ix.to_bytes().len();
+        let v3 = ix.to_bytes_v3().unwrap().len();
+        assert!(v3 < v2, "v3 ({v3} B) must be smaller than v2 ({v2} B)");
     }
 
     #[test]
@@ -367,5 +927,79 @@ mod tests {
         let bytes = ix.to_bytes();
         let truncated = bytes.slice(..bytes.len() / 2);
         assert!(GksIndex::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn v3_truncation_and_checksum_rejected() {
+        let ix = sample_index();
+        let good = ix.to_bytes_v3().unwrap().to_vec();
+        let dir = std::env::temp_dir().join(format!("gks-persist-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Truncated file: the footer length check fires.
+        let path = dir.join("trunc.gksix");
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(GksIndex::load(&path).is_err());
+
+        // Flipped header byte: checksum mismatch.
+        let mut flipped = good.clone();
+        flipped[10] ^= 0xff;
+        let path2 = dir.join("flip.gksix");
+        std::fs::write(&path2, &flipped).unwrap();
+        let err = GksIndex::load(&path2).unwrap_err();
+        assert!(matches!(err, IndexError::Corrupt(_)), "got {err:?}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn section_sizes_cover_the_file() {
+        let ix = sample_index();
+        let dir = std::env::temp_dir().join(format!("gks-persist-sizes-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, format) in [("v2.gksix", IndexFormat::V2), ("v3.gksix", IndexFormat::V3)] {
+            let path = dir.join(name);
+            let written = ix.save_as(&path, format).unwrap();
+            let s = section_sizes(&path).unwrap();
+            assert_eq!(s.total, written, "{name}");
+            let sum = s.header
+                + s.doc_names
+                + s.labels
+                + s.node_table
+                + s.attr_store
+                + s.stats
+                + s.term_dict
+                + s.postings
+                + s.footer;
+            assert_eq!(sum, s.total, "{name}: sections must tile the file");
+            assert!(s.postings > 0 && s.term_dict > 0 && s.node_table > 0, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v2_and_v3_search_surfaces_agree() {
+        let ix = sample_index();
+        let dir = std::env::temp_dir().join(format!("gks-persist-agree-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p2 = dir.join("a.gksix");
+        let p3 = dir.join("b.gksix");
+        ix.save_as(&p2, IndexFormat::V2).unwrap();
+        ix.save_as(&p3, IndexFormat::V3).unwrap();
+        let v2 = GksIndex::load(&p2).unwrap();
+        let v3 = GksIndex::load(&p3).unwrap();
+        assert_eq!(v2.format_version(), 2);
+        assert_eq!(v3.format_version(), 3);
+        for (term, _) in ix.inverted().iter() {
+            assert_eq!(v2.postings(term), v3.postings(term), "postings for {term}");
+            assert_eq!(v2.posting_count(term), v3.posting_count(term));
+            let (m2, d2) = v2.postings_masked(term, &[0]);
+            let (m3, d3) = v3.postings_masked(term, &[0]);
+            assert_eq!(m2, m3);
+            assert_eq!(d2, d3);
+        }
+        std::fs::remove_file(&p2).ok();
+        std::fs::remove_file(&p3).ok();
     }
 }

@@ -610,6 +610,26 @@ impl ResidentIndex {
         self.delta_docs.load(Ordering::Relaxed)
     }
 
+    /// Index-file bytes served straight from the mmap, summed across all
+    /// shard slots. Zero for format-v2 (eager heap) indexes, so the gauge
+    /// doubles as an on-disk-format indicator per index.
+    pub fn bytes_mapped(&self) -> u64 {
+        self.slots_snapshot()
+            .iter()
+            .map(|s| slot_loaded(s).engine.index().bytes_mapped())
+            .sum()
+    }
+
+    /// Milliseconds spent opening the shard files currently serving,
+    /// summed across slots. Format-v3 opens skip posting decode, so this
+    /// stays near-constant as the corpus grows.
+    pub fn open_millis(&self) -> u64 {
+        self.slots_snapshot()
+            .iter()
+            .map(|s| slot_loaded(s).engine.index().open_millis())
+            .sum()
+    }
+
     /// Seconds since the serving manifest generation was committed, or
     /// `-1` when this index is not manifest-backed. This is the freshness
     /// lag a scrape observes: it grows between commits and drops to ~0
@@ -923,6 +943,8 @@ impl ResidentIndex {
             delta_commits_total: self.counters.delta_commits_total.load(Ordering::Relaxed),
             compactions_total: self.counters.compactions_total.load(Ordering::Relaxed),
             compaction_millis_total: self.counters.compaction_millis_total.load(Ordering::Relaxed),
+            bytes_mapped: self.bytes_mapped(),
+            open_millis: self.open_millis(),
             phases: &self.counters.phases,
             cost: self.counters.cost.snapshot(),
             work_postings: &self.counters.work_postings,

@@ -215,6 +215,12 @@ pub struct IndexMetricsView<'a> {
     pub compactions_total: u64,
     /// Total wall-clock milliseconds spent compacting.
     pub compaction_millis_total: u64,
+    /// Index-file bytes served straight from the mmap across all shard
+    /// slots — zero for format-v2 (eager heap) indexes.
+    pub bytes_mapped: u64,
+    /// Milliseconds spent opening the shard files currently serving,
+    /// summed across slots.
+    pub open_millis: u64,
     /// Per-phase latency histograms, in `SpanKind::PHASES` order.
     pub phases: &'a [Histogram; PHASE_COUNT],
     /// Summed cost ledgers of this index's engine runs (cache hits do no
@@ -494,6 +500,20 @@ impl Metrics {
                 "gks_compaction_millis_total{{index=\"{}\"}} {}",
                 view.name, view.compaction_millis_total
             );
+            // Zero-copy tier gauges: how much of the index stays on the
+            // mmap instead of the heap, and what opening the serving
+            // shard files cost. A v2 (eager) index reports 0 mapped
+            // bytes, so the ratio doubles as a format indicator.
+            let _ = writeln!(
+                out,
+                "gks_index_bytes_mapped{{index=\"{}\"}} {}",
+                view.name, view.bytes_mapped
+            );
+            let _ = writeln!(
+                out,
+                "gks_index_open_millis{{index=\"{}\"}} {}",
+                view.name, view.open_millis
+            );
             for (i, kind) in SpanKind::PHASES.iter().enumerate() {
                 let hist = &view.phases[i];
                 let labels = format!("index=\"{}\",phase=\"{}\",", view.name, kind.label());
@@ -594,6 +614,8 @@ mod tests {
             delta_commits_total: 4,
             compactions_total: 1,
             compaction_millis_total: 250,
+            bytes_mapped: 7340032,
+            open_millis: 12,
             phases: &phases,
             cost: CostLedger {
                 postings_scanned: 9,
@@ -633,6 +655,9 @@ mod tests {
         assert_eq!(metric_value(&text, "gks_delta_commits_total{index=\"dblp\"}"), Some(4));
         assert_eq!(metric_value(&text, "gks_compactions_total{index=\"dblp\"}"), Some(1));
         assert_eq!(metric_value(&text, "gks_compaction_millis_total{index=\"dblp\"}"), Some(250));
+        // Zero-copy tier gauges.
+        assert_eq!(metric_value(&text, "gks_index_bytes_mapped{index=\"dblp\"}"), Some(7340032));
+        assert_eq!(metric_value(&text, "gks_index_open_millis{index=\"dblp\"}"), Some(12));
         assert!(metric_value(&text, "gks_compaction_micros_count").is_some());
         assert!(metric_value(&text, "gks_delta_build_micros_count").is_some());
         assert_eq!(
@@ -689,6 +714,8 @@ mod tests {
             delta_commits_total: 0,
             compactions_total: 0,
             compaction_millis_total: 0,
+            bytes_mapped: 0,
+            open_millis: 0,
             phases: &phases_a,
             cost: CostLedger::default(),
             work_postings: &empty_work,
@@ -711,6 +738,8 @@ mod tests {
             delta_commits_total: 5,
             compactions_total: 2,
             compaction_millis_total: 40,
+            bytes_mapped: 0,
+            open_millis: 3,
             phases: &phases_b,
             cost: CostLedger::default(),
             work_postings: &empty_work,
@@ -793,6 +822,8 @@ mod tests {
             delta_commits_total: 0,
             compactions_total: 0,
             compaction_millis_total: 0,
+            bytes_mapped: 0,
+            open_millis: 0,
             phases: &phases,
             cost: CostLedger::default(),
             work_postings: &empty_work,

@@ -149,6 +149,16 @@ fn admin_reload_swaps_identity_and_invalidates_the_cache() {
     let text = http_get(addr, "/metrics", TIMEOUT).unwrap().body_text();
     assert_eq!(metric_value(&text, "gks_index_reloads_total{index=\"live\"}"), Some(1));
 
+    // The path-backed index was loaded from a format-v3 file, so its
+    // postings serve straight off the mmap; the in-memory engine maps
+    // nothing. Both expose the same gauge set regardless.
+    assert!(
+        metric_value(&text, "gks_index_bytes_mapped{index=\"live\"}").unwrap() > 0,
+        "v3 load must serve postings off the mmap: {text}"
+    );
+    assert_eq!(metric_value(&text, "gks_index_bytes_mapped{index=\"static\"}"), Some(0));
+    assert!(metric_value(&text, "gks_index_open_millis{index=\"live\"}").is_some(), "{text}");
+
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -24,6 +24,12 @@
 //!   stopwatch is invisible to every sink. The few genuinely out-of-band
 //!   sites (the accept-loop deadline anchor, the client-side loadgen
 //!   harness) are allowlisted with reasons.
+//! * `no-eager-decode-in-open` — the index open path (`persist.rs`,
+//!   `postings.rs` in `gks-index`) must not slurp shard files with
+//!   `fs::read` / `read_to_string` / `read_to_end`: format-v3 opens are
+//!   O(dictionary) because the file is served off an mmap and posting
+//!   blocks decode lazily, and one eager read would silently regress every
+//!   shard open back to O(file).
 //!
 //! Tests, benches, `datagen`, the offline dependency shims, and this driver
 //! itself are exempt by construction (they are not in the scanned set).
@@ -60,6 +66,12 @@ const EXIT_CHECKED: &[&str] = &[
 ];
 /// Crates where wall-clock reads must flow through `gks-trace`.
 const TIMING_CHECKED: &[&str] = &["cli", "core", "server"];
+/// Crates whose index open path must stay eager-read free.
+const EAGER_DECODE_CHECKED: &[&str] = &["index"];
+/// The open-path files within those crates: everything between a `.gksix`
+/// path and a searchable index. Other `gks-index` files (the corpus
+/// scanner, the delta planner) legitimately read source XML.
+const OPEN_PATH_FILES: &[&str] = &["src/persist.rs", "src/postings.rs"];
 
 /// Prints which crates each rule covers (`cargo xtask lint --crates`), one
 /// `rule: crate crate …` line per rule. CI greps this to assert new crates
@@ -71,6 +83,7 @@ pub fn print_coverage() {
         ("pub-fn-docs", DOC_REQUIRED),
         ("no-process-exit", EXIT_CHECKED),
         ("no-raw-timing", TIMING_CHECKED),
+        ("no-eager-decode-in-open", EAGER_DECODE_CHECKED),
     ] {
         println!("{rule}: {}", crates.join(" "));
     }
@@ -123,6 +136,9 @@ pub fn run(root: &Path, verbose: bool) -> ExitCode {
             if TIMING_CHECKED.contains(&krate) {
                 check_raw_timing(&rel, &lines, &mut file_violations);
             }
+            if EAGER_DECODE_CHECKED.contains(&krate) {
+                check_eager_decode(&rel, &lines, &mut file_violations);
+            }
             for v in file_violations {
                 let (code, raw) = lines
                     .get(v.line.saturating_sub(1))
@@ -150,6 +166,7 @@ pub fn run(root: &Path, verbose: bool) -> ExitCode {
         "pub-fn-docs",
         "no-process-exit",
         "no-raw-timing",
+        "no-eager-decode-in-open",
     ];
     let mut unused = 0usize;
     for (entry, hits) in allowlist.entries.iter().zip(&allowed) {
@@ -456,6 +473,36 @@ fn check_raw_timing(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
     }
 }
 
+/// Whole-file reads that would drag a shard open back to O(file).
+const EAGER_READ_PATTERNS: &[&str] = &["fs::read(", "fs::read_to_string(", "read_to_end("];
+
+fn check_eager_decode(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    if !OPEN_PATH_FILES.iter().any(|f| path.ends_with(f)) {
+        return;
+    }
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test_mod {
+            continue;
+        }
+        for pattern in EAGER_READ_PATTERNS {
+            if line.code.contains(pattern) {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: i + 1,
+                    rule: "no-eager-decode-in-open",
+                    message: format!(
+                        "`{}` in the index open path — a format-v3 open must stay \
+                         O(dictionary): serve the file off the mmap and let posting \
+                         blocks decode lazily",
+                        pattern.trim_end_matches('(')
+                    ),
+                });
+                break; // one diagnostic per line
+            }
+        }
+    }
+}
+
 /// Extracts the function name from a `pub fn ...` line for diagnostics.
 fn fn_name(decl: &str) -> &str {
     let after = decl
@@ -565,6 +612,39 @@ fn private_ok() {}
         let src = "fn f() { std::process::exit(2); }\n";
         let hits = run_rule(src, check_process_exit);
         assert_eq!(hits, vec![(1, "no-process-exit")]);
+    }
+
+    #[test]
+    fn eager_decode_fires_in_open_path_files_only() {
+        // The firing fixture: every forbidden whole-file read, in a file on
+        // the open path.
+        let src = "\
+fn load(path: &Path) { let bytes = fs::read(path); }
+fn load2(path: &Path) { let text = fs::read_to_string(path); }
+fn load3(mut f: File) { f.read_to_end(&mut buf); }
+fn ok(map: &Mmap) { let dict = &map.as_slice()[off..]; }
+#[cfg(test)]
+mod tests {
+    fn t(path: &Path) { let bytes = fs::read(path); }
+}
+";
+        let lines = scan_file(src);
+        let mut out = Vec::new();
+        check_eager_decode("crates/index/src/persist.rs", &lines, &mut out);
+        let hits: Vec<(usize, &str)> = out.iter().map(|v| (v.line, v.rule)).collect();
+        assert_eq!(
+            hits,
+            vec![
+                (1, "no-eager-decode-in-open"),
+                (2, "no-eager-decode-in-open"),
+                (3, "no-eager-decode-in-open"),
+            ]
+        );
+        // The same source outside the open path is none of this rule's
+        // business (the delta planner reads corpus XML with fs::read).
+        let mut elsewhere = Vec::new();
+        check_eager_decode("crates/index/src/delta.rs", &lines, &mut elsewhere);
+        assert!(elsewhere.is_empty());
     }
 
     #[test]

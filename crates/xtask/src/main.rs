@@ -69,8 +69,9 @@ fn print_usage() {
          \n\
          commands:\n\
            lint [--verbose]      run the GKS lint rules (no-panic, no-truncating-cast,\n\
-                                 pub-fn-docs, no-process-exit, no-raw-timing) over the\n\
-                                 workspace; allowlist in crates/xtask/lint-allow.toml\n\
+                                 pub-fn-docs, no-process-exit, no-raw-timing,\n\
+                                 no-eager-decode-in-open) over the workspace;\n\
+                                 allowlist in crates/xtask/lint-allow.toml\n\
            lint --crates         print which crates each lint rule covers and exit\n\
            lint --check-stale    fail if any allowlist entry no longer matches a\n\
                                  source line\n\
